@@ -1,0 +1,73 @@
+// Experiment E8 (paper Sections 1 and 5): HyperFile vs a file-interface
+// server.
+//
+// "Performing similar queries in a distributed file system would require
+// searching entire files; this in effect results in sending all data to a
+// central site. At best this uses a single message for each file, the
+// worst-case requires a message for each object. Our messages send only the
+// query (about 40 bytes for the experiments presented here) versus
+// potentially huge messages required to send a complete file."
+//
+// Objects carry an 8 KiB body (a file server cannot filter content it does
+// not understand, so it ships everything); HyperFile's protocol messages
+// never include bodies.
+#include "baseline/file_server.hpp"
+#include "bench_util.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+int main() {
+  header("E8: HyperFile vs file-interface baseline (8 KiB document bodies)",
+         "~40-byte query messages vs shipping complete files to the client");
+
+  workload::WorkloadConfig cfg;
+  cfg.blob_bytes = 8192;
+
+  std::printf("%-34s %-12s %-14s %-10s\n", "system", "resp time", "bytes moved",
+              "messages");
+  for (std::size_t sites : {3u, 9u}) {
+    // HyperFile: simulated distributed processing.
+    PaperSim ps(sites, cfg);
+    Query q = workload::closure_query(workload::kRandKeys[6],
+                                      workload::kRand10pKey, 5);
+    auto h = ps.sim.run(q);
+    if (!h.ok()) return 1;
+    char label[64];
+    std::snprintf(label, sizeof label, "HyperFile (%zu sites)", sites);
+    std::printf("%-34s %8.2f s  %12llu  %8llu\n", label,
+                static_cast<double>(h.value().response_time.count()) / 1e6,
+                static_cast<unsigned long long>(h.value().stats.bytes_on_wire),
+                static_cast<unsigned long long>(h.value().stats.deref_messages +
+                                                h.value().stats.result_messages));
+
+    // Baseline: ship everything, evaluate at the client.
+    std::vector<std::unique_ptr<SiteStore>> owned;
+    std::vector<SiteStore*> stores;
+    for (std::size_t i = 0; i < sites; ++i) {
+      owned.push_back(std::make_unique<SiteStore>(static_cast<SiteId>(i)));
+      stores.push_back(owned.back().get());
+    }
+    workload::populate_paper_workload(stores, cfg);
+
+    for (auto gran : {baseline::TransferGranularity::kPerSite,
+                      baseline::TransferGranularity::kPerObject}) {
+      baseline::BaselineConfig bc;
+      bc.granularity = gran;
+      auto b = baseline::run_file_server_baseline(stores, q, bc);
+      if (!b.ok()) return 1;
+      std::snprintf(label, sizeof label, "file server (%zu sites, per-%s)",
+                    sites,
+                    gran == baseline::TransferGranularity::kPerSite ? "site"
+                                                                    : "object");
+      std::printf("%-34s %8.2f s  %12llu  %8llu\n", label,
+                  static_cast<double>(b.value().response_time.count()) / 1e6,
+                  static_cast<unsigned long long>(b.value().bytes_shipped),
+                  static_cast<unsigned long long>(b.value().messages));
+    }
+  }
+  std::printf("\nshape check: HyperFile moves orders of magnitude fewer bytes;\n"
+              "the baseline's cost is dominated by shipping bodies it cannot\n"
+              "filter, and per-object framing makes it strictly worse.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A5: batched remote dereferences.
+//
+// The paper's protocol sends one message per remote pointer, maximizing
+// overlap (the remote site starts on the first pointer while the local site
+// is still working). The batched variant ships a drain's worth of
+// dereferences per destination in one message — far fewer messages, but
+// remote sites start later. The paper's design goals pull both ways
+// ("messages should be as small as possible, limited in number" vs the
+// parallelism its evaluation celebrates); this bench quantifies the trade
+// on the Figure 4 workloads.
+#include "bench_util.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+namespace {
+
+struct Point {
+  double sec;
+  double msgs;
+};
+
+Point run_point(std::size_t sites, const char* pointer_key, bool batch) {
+  sim::SimOptions opts;
+  opts.batch_derefs = batch;
+  sim::Simulation s(sim::CostModel::paper_1991(), sites, opts);
+  std::vector<SiteStore*> stores;
+  for (SiteId i = 0; i < sites; ++i) stores.push_back(&s.store(i));
+  workload::populate_paper_workload(stores, workload::WorkloadConfig{});
+
+  Rng rng(42);
+  double sec = 0, msgs = 0;
+  constexpr int kRuns = 100;
+  for (int i = 0; i < kRuns; ++i) {
+    Query q = workload::closure_query(pointer_key, workload::kRand10pKey,
+                                      rng.next_range(1, 10));
+    auto r = s.run(q);
+    if (!r.ok()) std::abort();
+    sec += static_cast<double>(r.value().response_time.count()) / 1e6;
+    msgs += static_cast<double>(r.value().stats.deref_messages +
+                                r.value().stats.batch_messages +
+                                r.value().stats.result_messages);
+  }
+  return {sec / kRuns, msgs / kRuns};
+}
+
+}  // namespace
+
+int main() {
+  header("A5: per-pointer vs batched remote dereferences",
+         "one message per pointer (the paper) vs one per (drain, site); "
+         "batching cuts messages but delays remote starts");
+
+  std::printf("%-10s %-8s %-22s %-22s\n", "pointers", "sites",
+              "per-pointer (paper)", "batched");
+  std::printf("%-10s %-8s %-11s %-10s %-11s %-10s\n", "", "", "resp", "msgs",
+              "resp", "msgs");
+  for (const char* key :
+       {workload::kTreeKey, workload::kRandKeys[0], workload::kRandKeys[3],
+        workload::kRandKeys[6]}) {
+    for (std::size_t sites : {3u, 9u}) {
+      Point plain = run_point(sites, key, /*batch=*/false);
+      Point batched = run_point(sites, key, /*batch=*/true);
+      std::printf("%-10s %-8zu %7.2f s  %8.1f  %7.2f s  %8.1f\n", key, sites,
+                  plain.sec, plain.msgs, batched.sec, batched.msgs);
+    }
+  }
+  std::printf(
+      "\nshape check: batching slashes message counts wherever a drain emits\n"
+      "several pointers to one destination. At low locality it also improves\n"
+      "response time (per-message CPU dominates there — Figure 4's left edge\n"
+      "was 'too much message traffic'); on the tree it slightly hurts, since\n"
+      "the win there was starting remote subtrees as early as possible.\n");
+  return 0;
+}

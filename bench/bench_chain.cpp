@@ -1,0 +1,33 @@
+// Experiment E3 (paper Section 5): chain pointers — the worst-case delay
+// scenario.
+//
+// "In the worst case delay scenario (following chain pointers) in the
+// distributed case (on either three or nine machines) the query took 15
+// seconds. ... pointers with such a structure can probably be avoided in
+// practice."
+//
+// Every chain hop crosses a machine boundary, so the full per-message cost
+// (~50 ms) lands on the critical path, serialized with the 8 ms of
+// processing: 269 x 58 ms ≈ 15.6 s regardless of machine count.
+#include "bench_util.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+int main() {
+  header("E3: chain pointers, worst-case delay",
+         "15 s on 3 or 9 machines (vs 2.7 s single-site)");
+
+  std::printf("%-8s %-12s %-14s %-14s\n", "sites", "mean resp", "deref msgs",
+              "result msgs");
+  for (std::size_t sites : {1u, 3u, 9u}) {
+    PaperSim ps(sites);
+    SeriesStats s = run_series(ps, workload::kChainKey, workload::kRand10pKey, 10);
+    std::printf("%-8zu %8.2f s  %10.1f    %10.1f\n", sites, s.mean_sec,
+                s.mean_derefs, s.mean_result_msgs);
+  }
+  std::printf("\nshape check: distributed chain is ~5-6x slower than a single\n"
+              "site and does NOT improve with more machines (all servers idle\n"
+              "while each message is in transit).\n");
+  return 0;
+}

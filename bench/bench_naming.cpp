@@ -1,0 +1,76 @@
+// Ablation A6 (paper Section 4): the cost of moving an object under
+// birth-site naming, measured on the live threaded runtime.
+//
+// "The obvious alternative of including the host site as part of the
+// pointer seriously increases the cost of moving an object, as all pointers
+// to the object must be updated if it changes sites. We use a variant of
+// the method of R* which includes the birth site and the presumed current
+// site of an object in the name."
+//
+// Setup: N objects across 3 sites all point at one target X; X migrates.
+// Measured: protocol messages for the move (should be O(1), not O(N)), and
+// the per-query forwarding overhead afterwards (stale hints chase one extra
+// hop per dereference until pointers are refreshed — which never *needs* to
+// happen).
+#include <cstdio>
+
+#include "dist/cluster.hpp"
+#include "query/parser.hpp"
+
+using namespace hyperfile;
+
+int main() {
+  std::printf(
+      "A6: live object migration cost (paper Section 4)\n"
+      "paper: moving updates one birth-site record + one hint; pointers are\n"
+      "never rewritten. Strawman host-in-pointer naming rewrites N pointers.\n\n");
+
+  std::printf("%-12s %-16s %-16s %-18s\n", "N pointers", "move msgs",
+              "strawman writes", "query msgs after");
+  for (std::size_t n : {10u, 100u, 1000u}) {
+    Cluster cluster(3);
+    // Target X at site 1; N referrers spread across the sites.
+    ObjectId x = cluster.store(1).allocate();
+    cluster.store(1).put(Object(x, {Tuple::keyword("target")}));
+    std::vector<ObjectId> referrers;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SiteId s = static_cast<SiteId>(i % 3);
+      ObjectId r = cluster.store(s).allocate();
+      cluster.store(s).put(Object(r, {Tuple::pointer("Ref", x),
+                                      Tuple::keyword("referrer")}));
+      referrers.push_back(r);
+    }
+    cluster.store(0).create_set("S", referrers);
+    cluster.start();
+
+    const auto before_move = cluster.network_stats();
+    auto moved = cluster.client().move(x, 2);
+    if (!moved.ok()) {
+      std::fprintf(stderr, "move failed: %s\n", moved.error().to_string().c_str());
+      return 1;
+    }
+    const auto after_move = cluster.network_stats();
+    const auto move_msgs = after_move.messages_sent - before_move.messages_sent;
+
+    // Every referrer dereferences the moved target: each remote deref lands
+    // on the stale site and forwards once.
+    auto q = parse_query(R"(S (pointer, "Ref", ?X) ^X (keyword, "target", ?) -> T)");
+    auto r = cluster.client().run(q.value());
+    if (!r.ok() || r.value().ids.size() != 1) {
+      std::fprintf(stderr, "post-move query wrong\n");
+      return 1;
+    }
+    const auto after_query = cluster.network_stats();
+    const auto query_msgs = after_query.messages_sent - after_move.messages_sent;
+    cluster.stop();
+
+    std::printf("%-12zu %-16llu %-16zu %-18llu\n", n,
+                static_cast<unsigned long long>(move_msgs), n,
+                static_cast<unsigned long long>(query_msgs));
+  }
+  std::printf(
+      "\nshape check: move cost is constant in N (a command, the object,\n"
+      "one location update, one reply) while the strawman rewrites all N\n"
+      "pointers; queries keep resolving through the birth site/hints.\n");
+  return 0;
+}

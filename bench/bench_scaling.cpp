@@ -1,0 +1,33 @@
+// Experiment E6 (paper Section 5): data-set size scaling.
+//
+// "As the algorithm is linear we expect using a different number of items in
+// the query would result in a linear change in the response time. We did
+// construct a data set with half the number of items; this didn't quite cut
+// the query time in half. This is as we would expect (since there is some
+// constant overhead associated with the query, regardless of size)."
+#include "bench_util.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+int main() {
+  header("E6: half-size data set (135 vs 270 objects)",
+         "halving the data does not quite halve the time (constant overhead)");
+
+  std::printf("%-8s %-10s %-10s %-10s\n", "sites", "270 objs", "135 objs",
+              "ratio");
+  for (std::size_t sites : {1u, 3u, 9u}) {
+    workload::WorkloadConfig full, half;
+    half.num_objects = 135;
+    PaperSim ps_full(sites, full);
+    PaperSim ps_half(sites, half);
+    SeriesStats sf =
+        run_series(ps_full, workload::kTreeKey, workload::kRand10pKey, 10);
+    SeriesStats sh =
+        run_series(ps_half, workload::kTreeKey, workload::kRand10pKey, 10);
+    const double ratio = sh.mean_sec / sf.mean_sec;
+    std::printf("%-8zu %6.2f s  %6.2f s  %6.3f %s\n", sites, sf.mean_sec,
+                sh.mean_sec, ratio, ratio > 0.5 ? "(> 0.5: fixed overhead)" : "");
+  }
+  return 0;
+}

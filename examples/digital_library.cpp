@@ -1,0 +1,149 @@
+// A distributed digital library — the deployment the paper's introduction
+// sketches: "old papers would be placed on an archival server, whereas it
+// makes sense to keep work in progress on the author's workstation", with
+// sharing across machines that is transparent to queries.
+//
+// Three sites: 0 = archival server, 1 and 2 = author workstations. Papers
+// cite across sites; queries chase citations wherever they lead ("send the
+// query, not the data"). Also demonstrates:
+//   * the "lost in hyperspace" fix (Section 6): a query finds a document no
+//     browsing path obviously leads to;
+//   * the distributed-set optimisation for broad queries;
+//   * partial results when a workstation is down.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "dist/cluster.hpp"
+#include "query/parser.hpp"
+
+using namespace hyperfile;
+
+namespace {
+
+struct Paper {
+  const char* title;
+  const char* author;
+  int year;
+  const char* keyword;
+  SiteId site;  // 0 = archive, 1/2 = workstations
+};
+
+const Paper kPapers[] = {
+    {"A Relational Model of Data", "Codd", 1970, "database", 0},
+    {"The Entity-Relationship Model", "Chen", 1976, "database", 0},
+    {"System R: An Overview", "Astrahan", 1976, "database", 0},
+    {"Access Path Selection", "Selinger", 1979, "optimizer", 0},
+    {"Principles of Transaction-Oriented Recovery", "Haerder", 1983, "recovery", 0},
+    {"The Case for Shared Nothing", "Stonebraker", 1986, "distributed", 0},
+    {"A Measure of Transaction Processing Power", "Anon", 1985, "benchmark", 0},
+    {"R*: An Overview", "Williams", 1981, "distributed", 0},
+    {"HyperFile draft: filtering queries", "Clifton", 1990, "hypertext", 1},
+    {"HyperFile draft: distributed processing", "Clifton", 1991, "distributed", 1},
+    {"Notes on weighted termination", "Clifton", 1991, "distributed", 1},
+    {"Survey of hypertext systems (WIP)", "Garcia-Molina", 1990, "hypertext", 2},
+    {"Massive Memory Machine notes", "Garcia-Molina", 1989, "memory", 2},
+    {"Index structures for reachability", "Garcia-Molina", 1991, "hypertext", 2},
+};
+
+}  // namespace
+
+int main() {
+  Cluster cluster(3);
+  Rng rng(7);
+
+  constexpr std::size_t kN = std::size(kPapers);
+  std::vector<ObjectId> ids;
+  for (const Paper& p : kPapers) {
+    ids.push_back(cluster.store(p.site).allocate());
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Paper& p = kPapers[i];
+    Object obj(ids[i]);
+    obj.add(Tuple::string("Title", p.title));
+    obj.add(Tuple::string("Author", p.author));
+    obj.add(Tuple::number("Year", p.year));
+    obj.add(Tuple::keyword(p.keyword));
+    obj.add(Tuple::text("Body", std::string(2048, '#')));  // the "document"
+    // Citations: each paper cites up to 3 strictly older papers; every
+    // database-flavored paper also cites Codd (everyone cites Codd).
+    for (int c = 0; c < 3; ++c) {
+      const std::size_t target = rng.next_below(kN);
+      if (kPapers[target].year < p.year) {
+        obj.add(Tuple::pointer("Cites", ids[target]));
+      }
+    }
+    if (i != 0 && p.year >= 1976) {
+      obj.add(Tuple::pointer("Cites", ids[0]));
+    }
+    // Citation sinks (papers citing nothing) need care: a closure loop's
+    // body selection (pointer, "Cites", ?X) *filters*, so an object with no
+    // Cites tuple dies inside the loop and never reaches the filters after
+    // it (paper Section 3.1, the E function). Applications handle this by
+    // ensuring every document carries the link category — here the root of
+    // the citation DAG self-cites.
+    if (i == 0) {
+      obj.add(Tuple::pointer("Cites", ids[0]));
+    }
+    cluster.store(p.site).put(std::move(obj));
+  }
+  // The reading-list set on the archive server: the two 1991 drafts.
+  std::vector<ObjectId> reading = {ids[9], ids[10]};
+  cluster.store(0).create_set("Reading", reading);
+
+  cluster.start();
+  Client& client = cluster.client();
+
+  auto run = [&](const char* label, const std::string& text) {
+    auto q = parse_query(text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.error().to_string().c_str());
+      return;
+    }
+    auto r = client.run(q.value());
+    std::printf("\n%s\n  query: %s\n", label, text.c_str());
+    if (!r.ok()) {
+      std::printf("  error: %s\n", r.error().to_string().c_str());
+      return;
+    }
+    if (r.value().count_only) {
+      std::printf("  -> %llu matching documents (left distributed)\n",
+                  static_cast<unsigned long long>(r.value().total_count));
+    }
+    for (const auto& v : r.value().values) {
+      std::printf("  -> %s\n", v.value.to_string().c_str());
+    }
+    if (r.value().values.empty() && !r.value().count_only) {
+      std::printf("  -> %zu documents\n", r.value().ids.size());
+    }
+  };
+
+  std::printf("digital library: %zu papers across archive + 2 workstations\n",
+              kN);
+
+  run("everything the reading list transitively cites (titles):",
+      R"(Reading [ (pointer, "Cites", ?X) | ^^X ]* (string, "Title", ->t) -> Cited)");
+
+  run("\"lost in hyperspace\": distributed-era papers in the citation web,",
+      R"(Reading [ (pointer, "Cites", ?X) | ^^X ]* (keyword, "distributed", ?) (string, "Title", ->t) -> Dist)");
+
+  run("1970s foundations reachable from today's drafts:",
+      R"(Cited (number, "Year", [1970..1979]) (string, "Title", ->t) -> Seventies)");
+
+  run("broad query, distributed-set mode (counts only):",
+      R"(Reading [ (pointer, "Cites", ?X) | ^^X ]* (?, ?, ?) count -> Everything)");
+
+  run("...then narrowed without the set ever moving:",
+      R"(Everything (string, "Author", "Codd") (string, "Title", ->t) -> CoddPapers)");
+
+  // Failure injection: workstation 2 goes away; the archive still answers.
+  cluster.stop_site(2);
+  run("workstation 2 is DOWN — same citation query, partial results:",
+      R"(Reading [ (pointer, "Cites", ?X) | ^^X ]* (string, "Title", ->t) -> Partial)");
+
+  auto net = cluster.network_stats();
+  std::printf("\nnetwork: %llu messages, %llu bytes total (bodies never moved)\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<unsigned long long>(net.bytes_sent));
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// hyperfiled — a standalone HyperFile site server over TCP.
+//
+// Together with `hfq` (the query client) this is the deployment shape the
+// paper describes: one server per machine, clients anywhere, queries
+// chasing pointers between servers.
+//
+//   usage:
+//     hyperfiled init CONFIG DIR [objects]
+//         Generate the paper's synthetic workload as per-site snapshots
+//         (DIR/site_<i>.hfs), partitioned for the CONFIG's site count
+//         (1, 3, or 9 sites).
+//     hyperfiled serve SITE_ID CONFIG [SNAPSHOT]
+//         Run site SITE_ID, listening on its CONFIG address, serving the
+//         snapshot (or an empty store).
+//
+//   CONFIG: text file, one "host port" line per site (line i = site i).
+//
+//   demo (three shells + one for the client):
+//     $ hyperfiled init cluster.conf /tmp/hf
+//     $ hyperfiled serve 0 cluster.conf /tmp/hf/site_0.hfs
+//     $ hyperfiled serve 1 cluster.conf /tmp/hf/site_1.hfs
+//     $ hyperfiled serve 2 cluster.conf /tmp/hf/site_2.hfs
+//     $ hfq cluster.conf 'Root [ (pointer, "Tree", ?X) | ^^X ]* (skey, "Rand10p", 5) -> T'
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "dist/site_server.hpp"
+#include "net/tcp.hpp"
+#include "store/snapshot.hpp"
+#include "workload/paper_workload.hpp"
+
+using namespace hyperfile;
+
+namespace {
+
+Result<std::vector<TcpPeer>> read_config(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return make_error(Errc::kIo, "cannot open config " + path);
+  std::vector<TcpPeer> peers;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    TcpPeer peer;
+    int port = 0;
+    if (!(is >> peer.host >> port)) {
+      return make_error(Errc::kInvalidArgument, "bad config line: " + line);
+    }
+    peer.port = static_cast<std::uint16_t>(port);
+    peers.push_back(std::move(peer));
+  }
+  if (peers.empty()) return make_error(Errc::kInvalidArgument, "empty config");
+  return peers;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int cmd_init(const std::string& config_path, const std::string& dir,
+             std::size_t objects) {
+  auto peers = read_config(config_path);
+  if (!peers.ok()) {
+    std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
+    return 1;
+  }
+  const std::size_t sites = peers.value().size();
+  std::vector<SiteStore> stores;
+  std::vector<SiteStore*> ptrs;
+  for (std::size_t i = 0; i < sites; ++i) stores.emplace_back(static_cast<SiteId>(i));
+  for (auto& s : stores) ptrs.push_back(&s);
+  workload::WorkloadConfig cfg;
+  cfg.num_objects = objects;
+  workload::populate_paper_workload(ptrs, cfg);
+  for (std::size_t i = 0; i < sites; ++i) {
+    const std::string path = dir + "/site_" + std::to_string(i) + ".hfs";
+    if (auto r = save_snapshot(stores[i], path); !r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu objects)\n", path.c_str(), stores[i].size());
+  }
+  return 0;
+}
+
+int cmd_serve(SiteId site, const std::string& config_path,
+              const std::string& snapshot_path) {
+  auto peers = read_config(config_path);
+  if (!peers.ok()) {
+    std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
+    return 1;
+  }
+  if (site >= peers.value().size()) {
+    std::fprintf(stderr, "site %u not in config (%zu sites)\n", site,
+                 peers.value().size());
+    return 1;
+  }
+
+  SiteStore store(site);
+  if (!snapshot_path.empty()) {
+    auto loaded = load_snapshot(snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.error().to_string().c_str());
+      return 1;
+    }
+    if (loaded.value().site() != site) {
+      std::fprintf(stderr, "snapshot belongs to site %u, serving as %u\n",
+                   loaded.value().site(), site);
+      return 1;
+    }
+    store = std::move(loaded).value();
+  }
+
+  auto net = TcpNetwork::create(site, peers.value());
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("hyperfiled: site %u on %s:%u, %zu objects, sets:", site,
+              peers.value()[site].host.c_str(), net.value()->bound_port(),
+              store.size());
+  for (const auto& name : store.set_names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+
+  SiteServer server(std::move(net).value(), std::move(store));
+  server.start();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    ::usleep(200'000);
+  }
+  std::printf("\nshutting down...\n");
+  server.stop();
+  auto stats = server.engine_stats();
+  std::printf("served: %llu objects processed, %llu results\n",
+              static_cast<unsigned long long>(stats.processed),
+              static_cast<unsigned long long>(stats.results));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::string(argv[1]) == "init") {
+    const std::size_t objects =
+        argc >= 5 ? static_cast<std::size_t>(std::stoul(argv[4])) : 270;
+    return cmd_init(argv[2], argv[3], objects);
+  }
+  if (argc >= 4 && std::string(argv[1]) == "serve") {
+    return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
+                     argc >= 5 ? argv[4] : "");
+  }
+  std::printf(
+      "hyperfiled — standalone HyperFile TCP site server\n"
+      "  hyperfiled init CONFIG DIR [objects]     generate workload snapshots\n"
+      "  hyperfiled serve SITE_ID CONFIG [SNAP]   run one site\n"
+      "CONFIG: one \"host port\" line per site. Query with hfq.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Quickstart: the paper's Section 2 walkthrough, runnable.
+//
+// Build a tiny software-engineering repository (the paper's sample object is
+// "a module from a Software Engineering system"), then run the three
+// queries Section 2 develops:
+//   1. select by author;
+//   2. follow Called-Routine pointers one level (⇑, written ^^);
+//   3. bounded/unbounded iteration over the call graph;
+//   4. the retrieval operator -> to pull titles into the application.
+#include <cstdio>
+
+#include "engine/local_engine.hpp"
+#include "query/parser.hpp"
+
+using namespace hyperfile;
+
+namespace {
+
+void show(const char* title, const Result<QueryResult>& r, const SiteStore& store) {
+  std::printf("\n%s\n", title);
+  if (!r.ok()) {
+    std::printf("  error: %s\n", r.error().to_string().c_str());
+    return;
+  }
+  for (const ObjectId& id : r.value().ids) {
+    const Object* obj = store.get(id);
+    const Tuple* t = obj != nullptr ? obj->find("string", "Title") : nullptr;
+    std::printf("  %-12s %s\n", id.to_string().c_str(),
+                t != nullptr ? t->data.as_string().c_str() : "<no title>");
+  }
+  for (const auto& v : r.value().values) {
+    std::printf("  retrieved %s = %s\n",
+                r.value().slot_names[v.slot].c_str(), v.value.to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SiteStore store(0);
+
+  // The paper's sample module, plus a small call graph:
+  //   main -> sort -> compare,  main -> print,  sort -> libmath (Library)
+  ObjectId libmath = store.allocate();
+  ObjectId compare = store.allocate();
+  ObjectId print = store.allocate();
+  ObjectId sort = store.allocate();
+  ObjectId main_mod = store.allocate();
+
+  store.put(Object(libmath, {
+                                Tuple::string("Title", "Math library"),
+                                Tuple::string("Author", "Vendor Inc"),
+                            }));
+  store.put(Object(compare, {
+                                Tuple::string("Title", "Compare routine"),
+                                Tuple::string("Author", "Joe Programmer"),
+                                Tuple::text("C Code", "int cmp(...) { ... }"),
+                            }));
+  store.put(Object(print, {
+                              Tuple::string("Title", "Print routine"),
+                              Tuple::string("Author", "Jane Hacker"),
+                          }));
+  store.put(Object(sort, {
+                             Tuple::string("Title", "Main Program for Sort routine"),
+                             Tuple::string("Author", "Joe Programmer"),
+                             Tuple::text("Description", "<Arbitrary text description>"),
+                             Tuple::text("C Code", "<Text of the Program>"),
+                             Tuple::pointer("Called Routine", compare),
+                             Tuple::pointer("Library", libmath),
+                         }));
+  store.put(Object(main_mod, {
+                                 Tuple::string("Title", "main()"),
+                                 Tuple::string("Author", "Joe Programmer"),
+                                 Tuple::pointer("Called Routine", sort),
+                                 Tuple::pointer("Called Routine", print),
+                             }));
+
+  std::vector<ObjectId> members = {main_mod};
+  store.create_set("S", members);
+  LocalEngine engine(store);
+
+  auto run = [&](const char* title, const char* text) {
+    auto q = parse_query(text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.error().to_string().c_str());
+      return;
+    }
+    std::printf("\nquery: %s", text);
+    show(title, engine.run(q.value()), store);
+  };
+
+  run("— modules in S by Joe Programmer:",
+      R"(S (string, "Author", "Joe Programmer") -> T)");
+
+  run("— one level of Called Routine (keeping the caller):",
+      R"(S (pointer, "Called Routine", ?X) ^^X (string, "Author", "Joe Programmer") -> T)");
+
+  run("— transitive closure of the call graph:",
+      R"(S [ (pointer, "Called Routine", ?X) | ^^X ]* (string, "Author", "Joe Programmer") -> T)");
+
+  run("— follow ALL pointer categories (wildcard key), any author:",
+      R"(S [ (pointer, ?, ?X) | ^^X ]* (string, "Author", ?) -> T)");
+
+  run("— titles of Joe's modules via the retrieval operator:",
+      R"(S [ (pointer, "Called Routine", ?X) | ^^X ]* (string, "Author", "Joe Programmer") (string, "Title", ->title) -> T)");
+
+  // Result sets are sets: use T as the next query's starting point.
+  run("— chained query over the previous result set T:",
+      R"(T (string, "Title", /Sort/) -> U)");
+
+  return 0;
+}

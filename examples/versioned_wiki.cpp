@@ -1,0 +1,135 @@
+// A small wiki on HyperFile — the hypertext application the paper's title
+// promises, exercising the whole maintenance surface in one place:
+//   * pages as objects with typed tuples (enforced by a TypeRegistry);
+//   * wiki links as pointers, searched with closure queries;
+//   * edits via version checkpoints ("previous version of a program" is the
+//     paper's own example of a pointer property);
+//   * set algebra combining query results;
+//   * pruning + mark-sweep GC reclaiming dead history;
+//   * a snapshot at the end, reloaded and re-queried.
+#include <cstdio>
+
+#include "engine/local_engine.hpp"
+#include "model/type_registry.hpp"
+#include "query/parser.hpp"
+#include "store/gc.hpp"
+#include "store/set_algebra.hpp"
+#include "store/snapshot.hpp"
+#include "store/versioning.hpp"
+
+using namespace hyperfile;
+
+namespace {
+
+Result<QueryResult> run(LocalEngine& engine, const char* text) {
+  auto q = parse_query(text);
+  if (!q.ok()) return q.error();
+  return engine.run(q.value());
+}
+
+void show(SiteStore& store, const char* label, const Result<QueryResult>& r) {
+  std::printf("%s\n", label);
+  if (!r.ok()) {
+    std::printf("  error: %s\n", r.error().to_string().c_str());
+    return;
+  }
+  for (const ObjectId& id : r.value().ids) {
+    const Object* obj = store.get(id);
+    const Tuple* t = obj != nullptr ? obj->find("string", "Title") : nullptr;
+    std::printf("  %-12s %s\n", id.to_string().c_str(),
+                t != nullptr ? t->data.as_string().c_str() : "?");
+  }
+}
+
+}  // namespace
+
+int main() {
+  SiteStore store(0);
+  // Wiki conventions, enforced at the write boundary.
+  TypeRegistry types = TypeRegistry::with_builtins();
+  types.register_type("WikiLink", DataConstraint::kPointer);
+  types.set_reject_unknown(true);
+
+  auto page = [&](const std::string& title, const std::string& topic) {
+    Object obj(store.allocate());
+    obj.add(Tuple::string("Title", title));
+    obj.add(Tuple::keyword(topic));
+    obj.add(Tuple::text("Body", "== " + title + " ==\n..."));
+    auto id = store.put_validated(std::move(obj), types);
+    if (!id.ok()) {
+      std::printf("rejected: %s\n", id.error().to_string().c_str());
+      std::exit(1);
+    }
+    return id.value();
+  };
+  auto link = [&](ObjectId from, ObjectId to) {
+    (void)store.add_tuple(from, Tuple("WikiLink", "links", Value::pointer(to)));
+  };
+
+  ObjectId home = page("Home", "meta");
+  ObjectId dist = page("Distributed Systems", "systems");
+  ObjectId hyper = page("Hypertext", "docs");
+  ObjectId query = page("Filtering Queries", "docs");
+  ObjectId term = page("Termination Detection", "systems");
+  link(home, dist);
+  link(home, hyper);
+  link(dist, term);
+  link(hyper, query);
+  link(query, dist);
+  link(term, term);  // leaf pages self-link so closures test them (see DESIGN.md §7)
+  std::vector<ObjectId> root = {home};
+  store.create_set("Home", root);
+
+  // A write that violates the conventions is rejected outright.
+  Object bad(store.allocate());
+  bad.add(Tuple("WikiLink", "links", Value::string("not a pointer")));
+  std::printf("malformed page accepted? %s\n\n",
+              store.put_validated(std::move(bad), types).ok() ? "YES (bug!)"
+                                                              : "no (rejected)");
+
+  LocalEngine engine(store);
+  show(store, "everything reachable from Home:",
+       run(engine, R"(Home [ (WikiLink, "links", ?X) | ^^X ]* (?, ?, ?) -> All)"));
+  show(store, "\nsystems pages in the link web:",
+       run(engine, R"(Home [ (WikiLink, "links", ?X) | ^^X ]* (keyword, "systems", ?) -> Sys)"));
+  show(store, "\ndocs pages in the link web:",
+       run(engine, R"(Home [ (WikiLink, "links", ?X) | ^^X ]* (keyword, "docs", ?) -> Docs)"));
+
+  // Set algebra over the result sets.
+  (void)set_union(store, "Interesting", "Sys", "Docs");
+  show(store, "\nSys ∪ Docs:", run(engine, R"(Interesting (?, ?, ?) -> _)"));
+
+  // Edit with history: five revisions of the Hypertext page.
+  for (int rev = 1; rev <= 5; ++rev) {
+    (void)checkpoint_version(store, hyper, [&](Object& obj) {
+      obj.remove("text", "Body");
+      obj.add(Tuple::text("Body", "revision " + std::to_string(rev)));
+    });
+  }
+  std::printf("\nHypertext page history: %zu entries (live + archives)\n",
+              version_history(store, hyper).size());
+
+  // Keep two archives, prune the rest, then GC the store.
+  const std::size_t pruned = prune_versions(store, hyper, 2);
+  GcReport gc = collect_garbage(store);
+  std::printf("pruned %zu archives; gc: %zu live, %zu collected, %zu bytes\n",
+              pruned, gc.live, gc.collected, gc.bytes_reclaimed);
+
+  // Persist and reload: same answers.
+  const std::string path = "/tmp/hyperfile_wiki.hfs";
+  if (auto r = save_snapshot(store, path); !r.ok()) {
+    std::printf("snapshot failed: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  auto reloaded = load_snapshot(path);
+  if (!reloaded.ok()) {
+    std::printf("reload failed: %s\n", reloaded.error().to_string().c_str());
+    return 1;
+  }
+  SiteStore store2 = std::move(reloaded).value();
+  LocalEngine engine2(store2);
+  show(store2, "\nafter snapshot reload, systems pages again:",
+       run(engine2, R"(Home [ (WikiLink, "links", ?X) | ^^X ]* (keyword, "systems", ?) -> Sys2)"));
+  std::remove(path.c_str());
+  return 0;
+}

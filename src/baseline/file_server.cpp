@@ -1,0 +1,68 @@
+#include "baseline/file_server.hpp"
+
+#include "engine/local_engine.hpp"
+
+namespace hyperfile::baseline {
+
+Result<BaselineOutcome> run_file_server_baseline(
+    std::span<SiteStore* const> stores, const Query& query,
+    const BaselineConfig& config) {
+  if (auto v = query.validate(); !v.ok()) return v.error();
+
+  BaselineOutcome out;
+
+  // The "client" builds a merged local replica — that's what fetching every
+  // file amounts to. Fetch costs: per-message overhead plus byte transfer.
+  SiteStore replica(kNoSite - 1);
+  const auto& costs = config.costs;
+  Duration clock = costs.query_setup;
+
+  for (const SiteStore* site : stores) {
+    std::uint64_t site_bytes = 0;
+    std::uint64_t site_objects = 0;
+    site->for_each([&](const Object& obj) {
+      replica.put(obj);
+      site_bytes += obj.byte_size();
+      ++site_objects;
+    });
+    out.bytes_shipped += site_bytes;
+    out.objects_shipped += site_objects;
+    if (config.granularity == TransferGranularity::kPerObject) {
+      out.messages += site_objects;
+    } else if (site_objects > 0) {
+      out.messages += 1;
+    }
+  }
+  // Request messages (one per site) + reply messages + bandwidth.
+  const Duration msg_cost = costs.msg_send_cpu + costs.msg_latency + costs.msg_recv_cpu;
+  clock += Duration(static_cast<std::int64_t>(stores.size()) * msg_cost.count());
+  clock += Duration(static_cast<std::int64_t>(out.messages) * msg_cost.count());
+  clock += Duration(static_cast<std::int64_t>(
+      static_cast<double>(out.bytes_shipped) / config.bandwidth_bytes_per_sec * 1e6));
+
+  // Named sets live with their home sites; replicate the bindings so the
+  // query's initial set resolves.
+  for (const SiteStore* site : stores) {
+    for (const auto& name : site->set_names()) {
+      if (auto id = site->find_set(name)) replica.bind_set(name, *id);
+    }
+  }
+
+  // Client-side evaluation over the replica: same engine, so identical
+  // results — the comparison is purely about where the work and bytes go.
+  LocalEngine engine(replica);
+  auto result = engine.run(query);
+  if (!result.ok()) return result.error();
+  out.result = std::move(result).value();
+
+  // Client CPU: it still pushes every examined object through the filters.
+  clock += Duration(static_cast<std::int64_t>(out.result.stats.processed) *
+                    costs.process_object.count());
+  clock += Duration(static_cast<std::int64_t>(out.result.stats.results) *
+                    costs.result_insert.count());
+  clock += costs.query_reply;
+  out.response_time = clock;
+  return out;
+}
+
+}  // namespace hyperfile::baseline

@@ -1,0 +1,53 @@
+// Baseline comparator: the file-interface server the paper argues against
+// (Sections 1 and 5).
+//
+// "Performing similar queries in a distributed file system would require
+// searching entire files; this in effect results in sending all data to a
+// central site. At best this uses a single message for each file, the
+// worst-case requires a message for each object. Our messages send only the
+// query (about 40 bytes ...) versus potentially huge messages required to
+// send a complete file."
+//
+// The baseline ships every stored object's full bytes (including blob
+// payloads — a file server cannot filter by content it does not understand)
+// to the client, which then evaluates the query locally. Costs follow the
+// same constants as the simulator, plus a bandwidth term for bulk data:
+// the paper-era Ethernet moves roughly 1 MB/s of user payload.
+#pragma once
+
+#include <span>
+
+#include "engine/query_result.hpp"
+#include "sim/cost_model.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile::baseline {
+
+enum class TransferGranularity {
+  kPerObject,  // the paper's worst case: one message per object
+  kPerSite,    // the paper's best case: one bulk message per site ("file")
+};
+
+struct BaselineConfig {
+  sim::CostModel costs = sim::CostModel::paper_1991();
+  /// Bytes per second for bulk object data (1991 Ethernet, user payload).
+  double bandwidth_bytes_per_sec = 1.0e6;
+  TransferGranularity granularity = TransferGranularity::kPerSite;
+};
+
+struct BaselineOutcome {
+  QueryResult result;
+  Duration response_time{0};
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t objects_shipped = 0;
+};
+
+/// Evaluate `query` the file-server way: fetch everything from every site,
+/// then run the real engine client-side over the merged copy. stores[0]
+/// must hold the query's named initial set (as in the HyperFile runs).
+Result<BaselineOutcome> run_file_server_baseline(
+    std::span<SiteStore* const> stores, const Query& query,
+    const BaselineConfig& config = {});
+
+}  // namespace hyperfile::baseline

@@ -1,0 +1,36 @@
+// Hash helpers used by identifier types so they can live in unordered maps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hyperfile {
+
+/// 64-bit mix (Murmur3 finalizer). Good avalanche for combining fields.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(v)));
+}
+
+/// FNV-1a over a byte range; used as the snapshot integrity checksum.
+inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,18 @@
+#include "common/logging.hpp"
+
+namespace hyperfile {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[hf %s] %s\n", kNames[idx], message.c_str());
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,57 @@
+// Tiny leveled logger.
+//
+// HyperFile libraries are quiet by default (level = kWarn); examples and the
+// TCP server raise the level for visibility. The logger exists so that
+// distributed-runtime races can be diagnosed without attaching a debugger —
+// messages carry the site id where applicable.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hyperfile {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mu_;
+};
+
+namespace log_detail {
+struct Line {
+  LogLevel level;
+  std::ostringstream os;
+  explicit Line(LogLevel l) : level(l) {}
+  ~Line() { Logger::instance().write(level, os.str()); }
+};
+}  // namespace log_detail
+
+#define HF_LOG(level_)                                                 \
+  if (!::hyperfile::Logger::instance().enabled(level_)) {              \
+  } else                                                               \
+    ::hyperfile::log_detail::Line(level_).os
+
+#define HF_DEBUG HF_LOG(::hyperfile::LogLevel::kDebug)
+#define HF_INFO HF_LOG(::hyperfile::LogLevel::kInfo)
+#define HF_WARN HF_LOG(::hyperfile::LogLevel::kWarn)
+#define HF_ERROR HF_LOG(::hyperfile::LogLevel::kError)
+
+}  // namespace hyperfile

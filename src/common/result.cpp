@@ -1,0 +1,32 @@
+#include "common/result.hpp"
+
+namespace hyperfile {
+
+const char* to_string(Errc c) {
+  switch (c) {
+    case Errc::kInvalidArgument:
+      return "invalid_argument";
+    case Errc::kNotFound:
+      return "not_found";
+    case Errc::kDecode:
+      return "decode";
+    case Errc::kIo:
+      return "io";
+    case Errc::kClosed:
+      return "closed";
+    case Errc::kTimeout:
+      return "timeout";
+    case Errc::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s = hyperfile::to_string(code);
+  s += ": ";
+  s += message;
+  return s;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,92 @@
+// A minimal expected/Result type used at module boundaries that can fail
+// without it being a programming error (parsing, decoding, name resolution,
+// socket I/O). Programming errors use assertions/exceptions instead.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hyperfile {
+
+/// Error categories. Kept coarse on purpose: callers branch on a few cases,
+/// humans read the message.
+enum class Errc : std::uint8_t {
+  kInvalidArgument,  // malformed query text, bad pattern, bad parameters
+  kNotFound,         // unknown object id, set name, or site
+  kDecode,           // wire-format decoding failure
+  kIo,               // transport / file errors
+  kClosed,           // channel or server shut down
+  kTimeout,          // operation deadline exceeded
+  kInternal,         // invariant violation surfaced as an error
+};
+
+const char* to_string(Errc c);
+
+struct Error {
+  Errc code;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Result<T>: either a value or an Error. Result<void> is supported.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error e) : rep_(std::move(e)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(rep_);
+  }
+
+  /// Value or a fallback; convenient in tests and examples.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error e) : error_(std::move(e)), failed_(true) {}  // NOLINT
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace hyperfile

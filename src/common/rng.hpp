@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// Every randomized component (workload generator, property tests, simulator
+// jitter) takes an explicit Rng so runs are reproducible from a single seed.
+// The generator is xoshiro256** (Blackman & Vigna) seeded via splitmix64 —
+// small, fast, and identical across platforms, unlike std::mt19937 whose
+// distributions are not portable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hyperfile {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  /// the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p). p outside [0,1] is clamped.
+  bool next_bool(double p);
+
+  /// Derive an independent child generator (stable function of this
+  /// generator's next output); handy for giving subsystems their own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,20 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace hyperfile {
+
+std::string format_duration(Duration d) {
+  const auto us = d.count();
+  char buf[64];
+  if (us >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldus", static_cast<long>(us));
+  }
+  return buf;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,45 @@
+// Basic identifier and scalar types shared by every HyperFile subsystem.
+//
+// HyperFile (Clifton & Garcia-Molina, ICDCS 1991) is a distributed back-end
+// document store. Sites are the unit of distribution: each site runs one
+// server holding a partition of the object graph. Identifiers defined here
+// are deliberately plain integral types so they can cross the wire without
+// any translation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hyperfile {
+
+/// Identifies one HyperFile server node. Site ids are assigned by the
+/// deployment (cluster constructor, simulator, or TCP configuration) and are
+/// dense: a deployment of N sites uses ids [0, N).
+using SiteId = std::uint32_t;
+
+/// Sentinel for "no site" (e.g. an unresolved presumed location).
+inline constexpr SiteId kNoSite = std::numeric_limits<SiteId>::max();
+
+/// Per-site object sequence number. Combined with the birth site it forms a
+/// globally unique object identity (see model/object_id.hpp).
+using LocalSeq = std::uint64_t;
+
+/// Identifier of a query, unique per originating site. The pair
+/// (originator, QuerySeq) is globally unique ("Q.id @ Q.originator" in the
+/// paper, Section 3.2).
+using QuerySeq = std::uint64_t;
+
+/// Simulated / measured durations. The 1991 experiments report times in
+/// milliseconds; we keep microsecond resolution so the simulator can model
+/// sub-millisecond costs without rounding artifacts.
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::microseconds;  // simulated absolute time
+
+inline constexpr Duration kDurationZero{0};
+
+/// Human-readable rendering used by benches and examples ("2.70s", "83ms").
+std::string format_duration(Duration d);
+
+}  // namespace hyperfile

@@ -1,0 +1,124 @@
+#include "dist/cluster.hpp"
+
+#include "naming/persist.hpp"
+#include "store/snapshot.hpp"
+
+namespace hyperfile {
+namespace {
+
+std::string site_snapshot_path(const std::string& dir, SiteId site) {
+  return dir + "/site_" + std::to_string(site) + ".hfs";
+}
+
+std::string site_names_path(const std::string& dir, SiteId site) {
+  return dir + "/site_" + std::to_string(site) + ".names";
+}
+
+}  // namespace
+
+Cluster::Cluster(std::size_t sites, SiteServerOptions options,
+                 std::size_t clients)
+    : net_(sites + clients) {
+  servers_.reserve(sites);
+  for (std::size_t i = 0; i < sites; ++i) {
+    const SiteId site = static_cast<SiteId>(i);
+    servers_.push_back(std::make_unique<SiteServer>(
+        net_.endpoint(site), SiteStore(site), options));
+  }
+  clients_.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    clients_.push_back(std::make_unique<Client>(
+        net_.endpoint(static_cast<SiteId>(sites + c)), /*default_server=*/0));
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  for (auto& s : servers_) s->start();
+}
+
+void Cluster::stop() {
+  for (auto& s : servers_) s->stop();
+  net_.shutdown();
+}
+
+Result<void> Cluster::move_object(const ObjectId& id, SiteId from, SiteId to) {
+  if (from >= servers_.size() || to >= servers_.size()) {
+    return make_error(Errc::kNotFound, "no such site");
+  }
+  if (servers_[from]->running() || servers_[to]->running()) {
+    return make_error(Errc::kInvalidArgument,
+                      "move_object requires both sites stopped");
+  }
+  auto obj = servers_[from]->store().take(id);
+  if (!obj.has_value()) {
+    return make_error(Errc::kNotFound,
+                      "object " + id.to_string() + " not at site " +
+                          std::to_string(from));
+  }
+  servers_[to]->store().put(std::move(*obj));
+  // Departure hint at the old home; authoritative record at the birth site.
+  servers_[from]->names().record_departure(id, to);
+  servers_[id.birth_site]->names().record_location(id, to);
+  return {};
+}
+
+Result<void> Cluster::save_snapshots(const std::string& dir) const {
+  for (const auto& server : servers_) {
+    if (server->running()) {
+      return make_error(Errc::kInvalidArgument,
+                        "save_snapshots requires a stopped cluster");
+    }
+  }
+  for (SiteId s = 0; s < static_cast<SiteId>(servers_.size()); ++s) {
+    auto r = save_snapshot(servers_[s]->store(), site_snapshot_path(dir, s));
+    if (!r.ok()) return r;
+    auto nr = save_registry(servers_[s]->names(), site_names_path(dir, s));
+    if (!nr.ok()) return nr;
+  }
+  return {};
+}
+
+Result<void> Cluster::load_snapshots(const std::string& dir) {
+  for (const auto& server : servers_) {
+    if (server->running()) {
+      return make_error(Errc::kInvalidArgument,
+                        "load_snapshots requires a stopped cluster");
+    }
+  }
+  for (SiteId s = 0; s < static_cast<SiteId>(servers_.size()); ++s) {
+    auto loaded = load_snapshot(site_snapshot_path(dir, s));
+    if (!loaded.ok()) return loaded.error();
+    if (loaded.value().site() != s) {
+      return make_error(Errc::kInvalidArgument,
+                        "snapshot site id mismatch at " +
+                            site_snapshot_path(dir, s));
+    }
+    servers_[s]->store() = std::move(loaded).value();
+    // Location knowledge: prefer the persisted registry (it remembers
+    // migrations); fall back to rebuilding birth records for deployments
+    // saved without one.
+    auto registry = load_registry(site_names_path(dir, s));
+    if (registry.ok()) {
+      if (registry.value().self() != s) {
+        return make_error(Errc::kInvalidArgument,
+                          "registry site id mismatch at " +
+                              site_names_path(dir, s));
+      }
+      servers_[s]->names() = std::move(registry).value();
+    }
+    for (const ObjectId& id : servers_[s]->store().all_ids()) {
+      servers_[s]->names().register_birth(id);
+    }
+  }
+  return {};
+}
+
+EngineStats Cluster::engine_stats() const {
+  EngineStats total;
+  for (const auto& s : servers_) total += s->engine_stats();
+  return total;
+}
+
+}  // namespace hyperfile

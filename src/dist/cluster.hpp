@@ -1,0 +1,78 @@
+// Cluster: an in-process multi-site HyperFile deployment — N SiteServers on
+// their own threads plus one client endpoint, wired through an InProcNetwork
+// (every message wire-serialized). This is the distributed runtime used by
+// integration tests and the examples; the TCP variant (examples/tcp_cluster)
+// wires the same SiteServer over sockets.
+//
+// Usage:
+//   Cluster cluster(3);
+//   cluster.store(0).put(...); ...          // populate before start()
+//   cluster.store(0).create_set("S", ids);
+//   cluster.start();
+//   auto result = cluster.client().run(query);   // originates at site 0
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dist/client.hpp"
+#include "dist/site_server.hpp"
+#include "net/inproc.hpp"
+
+namespace hyperfile {
+
+class Cluster {
+ public:
+  /// `clients` independent client endpoints are created (ids N .. N+C-1);
+  /// they may issue queries concurrently from different threads — each
+  /// SiteServer multiplexes per-query contexts.
+  explicit Cluster(std::size_t sites, SiteServerOptions options = {},
+                   std::size_t clients = 1);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t size() const { return servers_.size(); }
+
+  /// Population access. Only safe before start() (or for a stopped site).
+  SiteStore& store(SiteId site) { return servers_[site]->store(); }
+  SiteServer& server(SiteId site) { return *servers_[site]; }
+
+  void start();
+  void stop();
+
+  /// Stop a single site (failure injection: the rest of the cluster keeps
+  /// answering with partial results). The site's mailbox closes too, so
+  /// peers see send failures and repay the termination weight they would
+  /// have shipped — queries complete instead of hanging.
+  void stop_site(SiteId site) {
+    net_.close_endpoint(site);
+    servers_[site]->stop();
+  }
+
+  Client& client(std::size_t index = 0) { return *clients_[index]; }
+  std::size_t client_count() const { return clients_.size(); }
+  /// The first client's endpoint id (== number of sites).
+  SiteId client_site() const { return static_cast<SiteId>(servers_.size()); }
+
+  /// Move an object between sites, updating the name registries (birth-site
+  /// authoritative record + departure hint). Only valid while stopped.
+  Result<void> move_object(const ObjectId& id, SiteId from, SiteId to);
+
+  /// Persist every site's store as `<dir>/site_<i>.hfs` (cluster stopped).
+  Result<void> save_snapshots(const std::string& dir) const;
+  /// Reload every site's store from `<dir>/site_<i>.hfs` (cluster stopped).
+  /// A new deployment restored this way answers queries identically.
+  Result<void> load_snapshots(const std::string& dir);
+
+  NetworkStats network_stats() const { return net_.stats(); }
+  EngineStats engine_stats() const;
+
+ private:
+  InProcNetwork net_;
+  std::vector<std::unique_ptr<SiteServer>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace hyperfile

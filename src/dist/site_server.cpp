@@ -1,0 +1,576 @@
+#include "dist/site_server.hpp"
+
+#include "common/logging.hpp"
+#include "query/rewrite.hpp"
+
+namespace hyperfile {
+
+SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore store,
+                       SiteServerOptions options)
+    : endpoint_(std::move(endpoint)),
+      store_(std::move(store)),
+      names_(store_.site()),
+      options_(options) {
+  // Everything currently stored here was (as far as we know) born here.
+  for (const ObjectId& id : store_.all_ids()) names_.register_birth(id);
+}
+
+SiteServer::~SiteServer() { stop(); }
+
+void SiteServer::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void SiteServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  // Fold stats of any still-live contexts (e.g. queries interrupted by
+  // shutdown) into the totals; safe now that the loop thread is gone.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (auto& [qid, p] : contexts_) total_stats_ += p.exec->stats();
+  contexts_.clear();
+  context_count_cache_ = 0;
+}
+
+EngineStats SiteServer::engine_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return total_stats_;
+}
+
+std::size_t SiteServer::context_count() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return context_count_cache_;
+}
+
+void SiteServer::run_loop() {
+  while (!stopping_.load()) {
+    auto env = endpoint_->recv(options_.poll_interval);
+    if (!env.has_value()) continue;
+    handle(std::move(*env));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    context_count_cache_ = contexts_.size();
+  }
+}
+
+void SiteServer::handle(wire::Envelope env) {
+  const SiteId src = env.src;
+  if (auto* dr = std::get_if<wire::DerefRequest>(&env.message)) {
+    handle_deref(src, std::move(*dr));
+  } else if (auto* bd = std::get_if<wire::BatchDerefRequest>(&env.message)) {
+    handle_batch_deref(src, std::move(*bd));
+  } else if (auto* sq = std::get_if<wire::StartQuery>(&env.message)) {
+    handle_start(src, std::move(*sq));
+  } else if (auto* rm = std::get_if<wire::ResultMessage>(&env.message)) {
+    handle_result(src, std::move(*rm));
+  } else if (auto* cr = std::get_if<wire::ClientRequest>(&env.message)) {
+    handle_client_request(src, std::move(*cr));
+  } else if (auto* ta = std::get_if<wire::TermAck>(&env.message)) {
+    handle_term_ack(*ta);
+  } else if (auto* mc = std::get_if<wire::MoveCommand>(&env.message)) {
+    handle_move_command(src, *mc);
+  } else if (auto* md = std::get_if<wire::MoveData>(&env.message)) {
+    handle_move_data(std::move(*md));
+  } else if (auto* lu = std::get_if<wire::LocationUpdate>(&env.message)) {
+    handle_location_update(*lu);
+  } else if (auto* qd = std::get_if<wire::QueryDone>(&env.message)) {
+    handle_done(*qd);
+  }
+  // ClientReply at a server: stray, ignore.
+}
+
+SiteServer::Origination* SiteServer::find_origination(const wire::QueryId& qid) {
+  auto it = originated_.find(qid);
+  return it == originated_.end() ? nullptr : &it->second;
+}
+
+SiteServer::Participation& SiteServer::participation(const wire::QueryId& qid,
+                                                     const Query& query) {
+  auto it = contexts_.find(qid);
+  if (it != contexts_.end()) return it->second;
+
+  ExecutionOptions opts;
+  opts.discipline = options_.discipline;
+  opts.is_local = [this](const ObjectId& id) { return store_.contains(id); };
+  opts.remote_sink = [this, qid](WorkItem&& item) {
+    auto cit = contexts_.find(qid);
+    if (cit == contexts_.end()) return;
+    route_remote(qid, cit->second, std::move(item));
+  };
+
+  auto [nit, inserted] = contexts_.emplace(qid, Participation{});
+  (void)inserted;
+  nit->second.exec =
+      std::make_unique<QueryExecution>(query, store_, std::move(opts));
+  return nit->second;
+}
+
+Weight SiteServer::borrow_weight(const wire::QueryId& qid, Participation& p) {
+  if (using_ds()) return Weight::zero();  // D-S messages carry no weight
+  if (Origination* o = find_origination(qid)) return o->term.borrow();
+  return p.weight.borrow();
+}
+
+void SiteServer::repay_weight(const wire::QueryId& qid, Participation& p,
+                              Weight w) {
+  if (w.is_zero()) return;
+  if (Origination* o = find_origination(qid)) {
+    o->term.repay(std::move(w));
+  } else {
+    p.weight.receive(std::move(w));
+  }
+}
+
+void SiteServer::ds_on_computation_message(const wire::QueryId& qid,
+                                           Participation& p, SiteId src) {
+  if (!using_ds()) return;
+  if (find_origination(qid) != nullptr) {
+    // The root is permanently engaged: every incoming message is acked at
+    // once (its completion is subsumed by the root's own idle/deficit test).
+    (void)endpoint_->send(src, wire::TermAck{qid});
+    return;
+  }
+  if (!p.ds_engaged) {
+    p.ds_engaged = true;  // this message becomes our tree edge
+    p.ds_parent = src;
+    return;
+  }
+  (void)endpoint_->send(src, wire::TermAck{qid});
+}
+
+void SiteServer::handle_term_ack(const wire::TermAck& ta) {
+  auto it = contexts_.find(ta.qid);
+  if (it == contexts_.end()) return;
+  Participation& p = it->second;
+  if (p.ds_deficit > 0) --p.ds_deficit;
+  ds_try_settle(ta.qid, p);
+}
+
+void SiteServer::ds_try_settle(const wire::QueryId& qid, Participation& p) {
+  if (!using_ds()) return;
+  if (Origination* o = find_origination(qid)) {
+    maybe_finish(qid, *o);
+    return;
+  }
+  if (p.ds_engaged && p.ds_deficit == 0 && p.exec->idle()) {
+    const SiteId parent = p.ds_parent;
+    p.ds_engaged = false;
+    p.ds_parent = kNoSite;
+    (void)endpoint_->send(parent, wire::TermAck{qid});
+  }
+}
+
+void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
+                              WorkItem item) {
+  const SiteId self = store_.site();
+  SiteId dest;
+  if (item.id.presumed_site != self && item.id.presumed_site != kNoSite) {
+    dest = item.id.presumed_site;
+  } else {
+    // The hint points here but the object is absent (moved away, or a
+    // dangling pointer). Chase it at most once per (id, start) — the name
+    // registry's next hop (local hint, else birth site) decides where.
+    if (!p.forwarded.emplace(item.id, item.start).second) return;
+    auto hop = names_.next_hop(item.id);
+    if (!hop.has_value()) return;  // final arbiter says gone: partial result
+    dest = *hop;
+  }
+
+  if (options_.batch_remote_derefs) {
+    wire::DerefEntry entry;
+    entry.oid = item.id;
+    entry.oid.presumed_site = dest;
+    entry.start = item.start;
+    entry.iter_stack = std::move(item.iter_stack);
+    p.pending_batches[dest].push_back(std::move(entry));
+    return;
+  }
+
+  Weight w = borrow_weight(qid, p);
+  wire::DerefRequest dr;
+  dr.qid = qid;
+  dr.query = p.exec->query();
+  dr.oid = item.id;
+  dr.oid.presumed_site = dest;
+  dr.start = item.start;
+  dr.iter_stack = item.iter_stack;
+  dr.weight = w.exponents();
+  if (auto r = endpoint_->send(dest, std::move(dr)); !r.ok()) {
+    // Site unreachable: drop the item but keep its weight, so the query
+    // terminates with partial results instead of hanging (paper Section 1:
+    // "Partial results are better than none at all").
+    HF_DEBUG << "site " << self << ": deref to site " << dest
+             << " failed (" << r.error().to_string() << "); dropping item";
+    repay_weight(qid, p, std::move(w));
+    return;
+  }
+  ds_on_send(p);
+  if (Origination* o = find_origination(qid)) o->involved.insert(dest);
+}
+
+void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
+  for (auto& [dest, items] : p.pending_batches) {
+    if (items.empty()) continue;
+    Weight w = borrow_weight(qid, p);
+    wire::BatchDerefRequest bd;
+    bd.qid = qid;
+    bd.query = p.exec->query();
+    bd.items = std::move(items);
+    bd.weight = w.exponents();
+    if (auto r = endpoint_->send(dest, std::move(bd)); !r.ok()) {
+      HF_DEBUG << "site " << store_.site() << ": batch deref to site " << dest
+               << " failed (" << r.error().to_string() << "); dropping batch";
+      repay_weight(qid, p, std::move(w));
+      continue;
+    }
+    ds_on_send(p);
+    if (Origination* o = find_origination(qid)) o->involved.insert(dest);
+  }
+  p.pending_batches.clear();
+}
+
+void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
+  Participation& p = participation(dr.qid, dr.query);
+  ds_on_computation_message(dr.qid, p, src);
+  repay_weight(dr.qid, p, Weight::from_exponents(dr.weight));
+
+  WorkItem item;
+  item.id = dr.oid;
+  item.start = dr.start;
+  item.next = dr.start;
+  item.iter_stack = dr.iter_stack.empty() ? std::vector<std::uint32_t>{1}
+                                          : dr.iter_stack;
+  if (store_.contains(item.id)) {
+    p.exec->add_item(std::move(item));
+  } else {
+    route_remote(dr.qid, p, std::move(item));
+  }
+  drain_and_flush(dr.qid);
+}
+
+void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
+  Participation& p = participation(bd.qid, bd.query);
+  ds_on_computation_message(bd.qid, p, src);
+  repay_weight(bd.qid, p, Weight::from_exponents(bd.weight));
+  for (wire::DerefEntry& entry : bd.items) {
+    WorkItem item;
+    item.id = entry.oid;
+    item.start = entry.start;
+    item.next = entry.start;
+    item.iter_stack = entry.iter_stack.empty() ? std::vector<std::uint32_t>{1}
+                                               : std::move(entry.iter_stack);
+    if (store_.contains(item.id)) {
+      p.exec->add_item(std::move(item));
+    } else {
+      route_remote(bd.qid, p, std::move(item));
+    }
+  }
+  drain_and_flush(bd.qid);
+}
+
+void SiteServer::handle_start(SiteId src, wire::StartQuery sq) {
+  Participation& p = participation(sq.qid, sq.query);
+  ds_on_computation_message(sq.qid, p, src);
+  repay_weight(sq.qid, p, Weight::from_exponents(sq.weight));
+
+  for (const ObjectId& id : sq.ids) {
+    WorkItem item = WorkItem::initial(id);
+    if (store_.contains(id)) {
+      p.exec->add_item(std::move(item));
+    } else {
+      route_remote(sq.qid, p, std::move(item));
+    }
+  }
+  if (!sq.local_set_name.empty()) p.exec->seed_local_set(sq.local_set_name);
+  drain_and_flush(sq.qid);
+}
+
+void SiteServer::drain_and_flush(const wire::QueryId& qid) {
+  auto it = contexts_.find(qid);
+  if (it == contexts_.end()) return;
+  Participation& p = it->second;
+  p.exec->drain();
+  flush_batches(qid, p);
+
+  const Query& query = p.exec->query();
+  std::vector<ObjectId> ids = p.exec->take_result_ids();
+  std::vector<Retrieved> vals = p.exec->take_retrieved();
+
+  // count_only: results stay here, bound under the result set name; only
+  // the count travels (paper Section 5's distributed-set optimisation).
+  std::uint64_t local_count = 0;
+  if (query.count_only()) {
+    p.retained.insert(p.retained.end(), ids.begin(), ids.end());
+    local_count = ids.size();
+    if (!query.result_set_name().empty() && !ids.empty()) {
+      store_.create_set(query.result_set_name(), p.retained);
+    }
+    ids.clear();
+    vals.clear();
+  }
+
+  if (Origination* o = find_origination(qid)) {
+    if (query.count_only()) {
+      o->total_count += local_count;
+      o->site_counts[store_.site()] += local_count;
+    } else {
+      for (const ObjectId& id : ids) {
+        if (o->ids_seen.insert(id).second) o->ids.push_back(id);
+      }
+      for (Retrieved& r : vals) {
+        o->values.push_back({r.slot, r.source, std::move(r.value)});
+      }
+    }
+    maybe_finish(qid, *o);
+    return;
+  }
+
+  // Participant: results + every bit of held weight go straight to the
+  // originating site ("no intermediate site need be involved").
+  wire::ResultMessage rm;
+  rm.qid = qid;
+  rm.count_only = query.count_only();
+  rm.local_count = local_count;
+  for (const ObjectId& id : ids) rm.ids.push_back(id);
+  for (Retrieved& r : vals) {
+    rm.values.push_back({r.slot, r.source, std::move(r.value)});
+  }
+  rm.weight = p.weight.release_all().exponents();
+  if (auto r = endpoint_->send(qid.originator, std::move(rm)); !r.ok()) {
+    HF_DEBUG << "site " << store_.site() << ": result to originator "
+             << qid.originator << " failed: " << r.error().to_string();
+  } else {
+    // D-S: result messages are tree messages too — the originator acks
+    // them, which is what keeps termination from racing ahead of results.
+    ds_on_send(p);
+  }
+  ds_try_settle(qid, p);
+}
+
+void SiteServer::handle_result(SiteId src, wire::ResultMessage rm) {
+  Origination* o = find_origination(rm.qid);
+  if (o == nullptr) return;  // stale result for a finished query
+  if (using_ds()) (void)endpoint_->send(src, wire::TermAck{rm.qid});
+  o->involved.insert(src);
+  o->term.repay(Weight::from_exponents(rm.weight));
+  if (rm.count_only) {
+    o->total_count += rm.local_count;
+    o->site_counts[src] += rm.local_count;
+  } else {
+    for (const ObjectId& id : rm.ids) {
+      if (o->ids_seen.insert(id).second) o->ids.push_back(id);
+    }
+    for (auto& v : rm.values) o->values.push_back(std::move(v));
+  }
+  maybe_finish(rm.qid, *o);
+}
+
+void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
+  auto reply_error = [&](const Error& err) {
+    wire::ClientReply reply;
+    reply.client_seq = cr.client_seq;
+    reply.ok = false;
+    reply.error = err.to_string();
+    (void)endpoint_->send(src, std::move(reply));
+  };
+
+  if (auto v = cr.query.validate(); !v.ok()) {
+    reply_error(v.error());
+    return;
+  }
+  // Simplify once at origination: every subsequent message (one per remote
+  // pointer!) carries the rewritten, smaller body.
+  if (options_.rewrite_queries) cr.query = rewrite_query(cr.query);
+
+  const wire::QueryId qid{store_.site(), next_query_seq_++};
+  Origination o;
+  o.query = cr.query;
+  o.client = src;
+  o.client_seq = cr.client_seq;
+  originated_.emplace(qid, std::move(o));
+  Origination& origin = originated_.at(qid);
+  Participation& p = participation(qid, cr.query);
+
+  // Seed the initial set. A named set that a previous count_only query left
+  // *distributed* is seeded by fanning StartQuery to the sites holding
+  // portions; anything else resolves locally (remote members of a local set
+  // travel as ordinary dereferences).
+  bool seeded = false;
+  const std::string& set_name = cr.query.initial_set_name();
+  if (!set_name.empty()) {
+    auto dit = distributed_sets_.find(set_name);
+    if (dit != distributed_sets_.end()) {
+      for (SiteId s : dit->second) {
+        if (s == store_.site()) {
+          p.exec->seed_local_set(set_name);
+          continue;
+        }
+        Weight w = borrow_weight(qid, p);
+        wire::StartQuery sq;
+        sq.qid = qid;
+        sq.query = cr.query;
+        sq.local_set_name = set_name;
+        sq.weight = w.exponents();
+        if (auto r = endpoint_->send(s, std::move(sq)); !r.ok()) {
+          repay_weight(qid, p, std::move(w));
+          continue;
+        }
+        ds_on_send(p);
+        origin.involved.insert(s);
+      }
+      seeded = true;
+    }
+  }
+  if (!seeded) {
+    if (auto r = p.exec->seed_initial(); !r.ok()) {
+      reply_error(r.error());
+      discard_context(qid);
+      originated_.erase(qid);
+      return;
+    }
+  }
+  drain_and_flush(qid);
+}
+
+void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o) {
+  auto cit = contexts_.find(qid);
+  if (cit == contexts_.end()) return;
+  if (!cit->second.exec->idle()) return;
+  const bool quiescent = using_ds() ? cit->second.ds_deficit == 0
+                                    : o.term.all_weight_home();
+  if (!quiescent) return;
+  if (o.replied) return;
+  o.replied = true;
+
+  const Query& query = o.query;
+  if (!query.result_set_name().empty()) {
+    if (query.count_only()) {
+      std::vector<SiteId> sites;
+      for (const auto& [site, count] : o.site_counts) {
+        if (count > 0) sites.push_back(site);
+      }
+      distributed_sets_[query.result_set_name()] = std::move(sites);
+    } else {
+      store_.create_set(query.result_set_name(), o.ids);
+    }
+  }
+
+  wire::ClientReply reply;
+  reply.client_seq = o.client_seq;
+  reply.ok = true;
+  reply.ids = o.ids;
+  reply.values = o.values;
+  reply.count_only = query.count_only();
+  reply.total_count = query.count_only() ? o.total_count : o.ids.size();
+  if (o.client != kNoSite) {
+    (void)endpoint_->send(o.client, std::move(reply));
+  }
+
+  // Global termination: tell every involved site to discard its context.
+  for (SiteId s : o.involved) {
+    if (s == store_.site()) continue;
+    (void)endpoint_->send(s, wire::QueryDone{qid});
+  }
+  discard_context(qid);
+  originated_.erase(qid);
+}
+
+void SiteServer::handle_done(const wire::QueryDone& qd) { discard_context(qd.qid); }
+
+void SiteServer::handle_move_command(SiteId src, const wire::MoveCommand& mc) {
+  // Forwarded commands carry the client's address explicitly; a command
+  // straight from the client may predate that field being set.
+  const SiteId reply_to = mc.reply_to != kNoSite ? mc.reply_to : src;
+  auto reply_error = [&](const std::string& message) {
+    wire::MoveReply reply;
+    reply.client_seq = mc.client_seq;
+    reply.ok = false;
+    reply.error = message;
+    (void)endpoint_->send(reply_to, std::move(reply));
+  };
+
+  if (!store_.contains(mc.id)) {
+    // Stale hint: chase the object like a dereference would, with a fuse.
+    if (mc.hops_left == 0) {
+      reply_error("object not found (forwarding fuse exhausted)");
+      return;
+    }
+    auto hop = names_.next_hop(mc.id);
+    if (!hop.has_value()) {
+      reply_error("object " + mc.id.to_string() + " does not exist");
+      return;
+    }
+    wire::MoveCommand forwarded = mc;
+    forwarded.reply_to = reply_to;
+    --forwarded.hops_left;
+    if (auto r = endpoint_->send(*hop, forwarded); !r.ok()) {
+      reply_error("forwarding failed: " + r.error().to_string());
+    }
+    return;
+  }
+
+  if (mc.to == store_.site()) {  // already home: trivially done
+    wire::MoveReply reply;
+    reply.client_seq = mc.client_seq;
+    reply.now_at = store_.site();
+    (void)endpoint_->send(reply_to, std::move(reply));
+    return;
+  }
+
+  // Hint first, then take: a dereference arriving in between still finds a
+  // forwarding route (the brief not-yet-installed window at the new home
+  // degrades to partial results, never a hang).
+  names_.record_departure(mc.id, mc.to);
+  auto obj = store_.take(mc.id);
+  if (!obj.has_value()) {
+    reply_error("object vanished during move");
+    return;
+  }
+  wire::MoveData md;
+  md.object = std::move(*obj);
+  md.reply_to = reply_to;
+  md.client_seq = mc.client_seq;
+  // Sent by copy so the object can be reinstalled if the send fails.
+  if (auto r = endpoint_->send(mc.to, md); !r.ok()) {
+    store_.put(std::move(md.object));
+    names_.forget_hint(mc.id);
+    reply_error("destination unreachable: " + r.error().to_string());
+  }
+}
+
+void SiteServer::handle_move_data(wire::MoveData md) {
+  const ObjectId id = md.object.id();
+  store_.put(std::move(md.object));
+  if (id.birth_site == store_.site()) {
+    names_.record_location(id, store_.site());
+  } else {
+    (void)endpoint_->send(id.birth_site,
+                          wire::LocationUpdate{id, store_.site()});
+  }
+  // We are the object's home now; drop any stale departure hint.
+  names_.forget_hint(id);
+
+  wire::MoveReply reply;
+  reply.client_seq = md.client_seq;
+  reply.now_at = store_.site();
+  (void)endpoint_->send(md.reply_to, std::move(reply));
+}
+
+void SiteServer::handle_location_update(const wire::LocationUpdate& lu) {
+  names_.record_location(lu.id, lu.now_at);
+}
+
+void SiteServer::discard_context(const wire::QueryId& qid) {
+  auto it = contexts_.find(qid);
+  if (it == contexts_.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_stats_ += it->second.exec->stats();
+  }
+  contexts_.erase(it);
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,201 @@
+// SiteServer: one HyperFile server node (paper Sections 3.2 and 4).
+//
+// Each site keeps a *local context* for every query it is processing:
+//   Q.id, Q.originator  — globally unique query identity
+//   Q.body, Q.size      — the filters (carried by every message; installed
+//                         on first sight, so per-site setup cost is paid
+//                         exactly once — "the context Q is discarded only on
+//                         global termination")
+//   Q.mark_table, Q.W   — per-site engine state (engine/execution.hpp)
+//   Q.result            — results batched since the last drain
+//
+// Message handling:
+//   * DerefRequest  — install context if new, enqueue (id, start, iter#),
+//     drain, then send accumulated results + all held termination weight
+//     straight to the originator (results never flow along pointer paths).
+//   * StartQuery    — like DerefRequest but seeds several ids and/or this
+//     site's local portion of a named set (distributed-set continuation).
+//   * ClientRequest — this site becomes the query's *originating site*: it
+//     seeds the initial set, holds the master termination weight, collects
+//     results, detects global termination (weighted-message algorithm),
+//     binds the result set, replies to the client, and broadcasts QueryDone
+//     so contexts are discarded everywhere.
+//   * ResultMessage — (originator only) merge results, recover weight.
+//   * QueryDone     — discard the local context.
+//
+// During a drain, dereferences of non-local objects become DerefRequests
+// sent to the target's presumed site with a borrowed share of our weight.
+// If a send fails (site down / channel closed), the weight is repaid and the
+// item dropped: the query still terminates with partial results, honoring
+// the paper's "partial results are better than none at all".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/execution.hpp"
+#include "naming/name_registry.hpp"
+#include "net/endpoint.hpp"
+#include "store/site_store.hpp"
+#include "term/weighted.hpp"
+
+namespace hyperfile {
+
+/// Which distributed-termination detector the deployment runs. All sites of
+/// a deployment must agree. The paper chose weighted messages as
+/// "particularly appropriate to HyperFile" (Section 4); Dijkstra-Scholten is
+/// provided as the classic alternative — it needs no weight fields but adds
+/// one acknowledgement message per computation message.
+enum class TerminationAlgorithm {
+  kWeightedMessages,
+  kDijkstraScholten,
+};
+
+struct SiteServerOptions {
+  WorkSetDiscipline discipline = WorkSetDiscipline::kFifo;
+  TerminationAlgorithm termination = TerminationAlgorithm::kWeightedMessages;
+  /// How long the event loop blocks waiting for a message.
+  Duration poll_interval = Duration(2'000);
+  /// Buffer a drain's remote dereferences per destination and ship them as
+  /// one BatchDerefRequest each (ablation A5). Off by default: the paper's
+  /// one-message-per-pointer protocol starts remote work earlier.
+  bool batch_remote_derefs = false;
+  /// Run rewrite_query() on client queries before originating them — the
+  /// simplified body is what every subsequent message carries.
+  bool rewrite_queries = true;
+};
+
+class SiteServer {
+ public:
+  SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore store,
+             SiteServerOptions options = {});
+  ~SiteServer();
+
+  SiteServer(const SiteServer&) = delete;
+  SiteServer& operator=(const SiteServer&) = delete;
+
+  SiteId site() const { return store_.site(); }
+
+  /// Pre-start population access. Not thread-safe once start()ed.
+  SiteStore& store() { return store_; }
+  NameRegistry& names() { return names_; }
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(); }
+
+  /// Aggregated engine statistics across all queries this site processed.
+  EngineStats engine_stats() const;
+
+  /// Number of live query contexts (for tests: must drop to 0 after
+  /// QueryDone).
+  std::size_t context_count() const;
+
+ private:
+  struct Participation {
+    std::unique_ptr<QueryExecution> exec;
+    WeightedTerminationParticipant weight;
+    /// count_only: ids retained locally instead of shipped.
+    std::vector<ObjectId> retained;
+    /// (id, start) pairs already forwarded for objects absent here —
+    /// prevents forwarding ping-pong when location records are stale.
+    std::set<std::pair<ObjectId, std::uint32_t>> forwarded;
+    /// With batch_remote_derefs: dereferences buffered per destination
+    /// during the current drain, flushed as one message each.
+    std::unordered_map<SiteId, std::vector<wire::DerefEntry>> pending_batches;
+
+    // --- Dijkstra-Scholten state (termination == kDijkstraScholten) ---
+    bool ds_engaged = false;      // on the engagement tree?
+    SiteId ds_parent = kNoSite;   // whose message engaged us
+    std::uint64_t ds_deficit = 0; // our unacknowledged computation messages
+  };
+
+  struct Origination {
+    Query query;
+    WeightedTerminationOriginator term;
+    SiteId client = kNoSite;
+    QuerySeq client_seq = 0;
+    std::unordered_set<ObjectId> ids_seen;
+    std::vector<ObjectId> ids;
+    std::vector<wire::RetrievedValue> values;
+    std::uint64_t total_count = 0;
+    std::unordered_map<SiteId, std::uint64_t> site_counts;  // count_only mode
+    std::unordered_set<SiteId> involved;  // sites we heard from / sent to
+    bool replied = false;
+  };
+
+  void run_loop();
+  void handle(wire::Envelope env);
+  void handle_deref(SiteId src, wire::DerefRequest dr);
+  void handle_batch_deref(SiteId src, wire::BatchDerefRequest bd);
+  void handle_start(SiteId src, wire::StartQuery sq);
+  void handle_result(SiteId src, wire::ResultMessage rm);
+  void handle_client_request(SiteId src, wire::ClientRequest cr);
+  void handle_done(const wire::QueryDone& qd);
+  void handle_move_command(SiteId src, const wire::MoveCommand& mc);
+  void handle_move_data(wire::MoveData md);
+  void handle_location_update(const wire::LocationUpdate& lu);
+
+  Participation& participation(const wire::QueryId& qid, const Query& query);
+  Origination* find_origination(const wire::QueryId& qid);
+  /// Drain the context's working set, then flush: results+weight to the
+  /// originator (participants) or merged into the origination (originator).
+  void drain_and_flush(const wire::QueryId& qid);
+  void maybe_finish(const wire::QueryId& qid, Origination& o);
+  void discard_context(const wire::QueryId& qid);
+
+  /// Route `item` to a remote site as a DerefRequest: destination is the
+  /// id's presumed site, or the name registry's next hop when the hint
+  /// points here. Borrows termination weight for the message; repays and
+  /// drops the item if no destination exists or the send fails. With
+  /// batching enabled the item is buffered instead (see flush_batches).
+  void route_remote(const wire::QueryId& qid, Participation& p, WorkItem item);
+  void flush_batches(const wire::QueryId& qid, Participation& p);
+
+  /// Borrow / repay weight for qid: from the master weight if we originated
+  /// it, else from the participant's held weight. No-ops under D-S.
+  Weight borrow_weight(const wire::QueryId& qid, Participation& p);
+  void repay_weight(const wire::QueryId& qid, Participation& p, Weight w);
+
+  bool using_ds() const {
+    return options_.termination == TerminationAlgorithm::kDijkstraScholten;
+  }
+  /// D-S bookkeeping: a computation message (deref/batch/start/result)
+  /// arrived from `src` — engage or ack immediately.
+  void ds_on_computation_message(const wire::QueryId& qid, Participation& p,
+                                 SiteId src);
+  /// D-S: we successfully sent a computation message.
+  void ds_on_send(Participation& p) {
+    if (using_ds()) ++p.ds_deficit;
+  }
+  void handle_term_ack(const wire::TermAck& ta);
+  /// D-S: idle + zero deficit -> ack our engaging message (participants) or
+  /// finish the query (originator).
+  void ds_try_settle(const wire::QueryId& qid, Participation& p);
+
+  std::unique_ptr<MessageEndpoint> endpoint_;
+  SiteStore store_;
+  NameRegistry names_;
+  SiteServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+
+  QuerySeq next_query_seq_ = 1;
+  std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash> contexts_;
+  std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash> originated_;
+  /// Result sets of count_only queries: name -> sites holding portions.
+  std::unordered_map<std::string, std::vector<SiteId>> distributed_sets_;
+
+  mutable std::mutex stats_mu_;
+  EngineStats total_stats_;
+  std::size_t context_count_cache_ = 0;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,122 @@
+#include "engine/efunction.hpp"
+
+#include <cassert>
+
+namespace hyperfile {
+namespace {
+
+/// Field-level pattern match, resolving $X against the current bindings.
+bool match_field(const Pattern& p, const Value& v, const MatchBindings& mvars) {
+  if (p.uses()) return mvars.contains(p.var(), v);
+  return p.matches_basic(v);
+}
+
+struct PendingBind {
+  const std::string* var;
+  const Value* value;
+};
+
+EOutcome apply_select(const SelectFilter& f, WorkItem& item, const Object* obj,
+                      EStats* stats) {
+  EOutcome out;
+  if (obj == nullptr) return out;  // missing data: object cannot pass
+  bool any_match = false;
+  for (const auto& t : obj->tuples()) {
+    if (stats != nullptr) ++stats->tuples_scanned;
+    const Value type_value = Value::string(t.type);
+    const Value key_value = Value::string(t.key);
+    if (!match_field(f.type_pattern, type_value, item.mvars)) continue;
+    if (!match_field(f.key_pattern, key_value, item.mvars)) continue;
+    if (!match_field(f.data_pattern, t.data, item.mvars)) continue;
+
+    any_match = true;
+    // The tuple matched as a whole: apply bindings and retrievals now, so
+    // they are visible to later tuples in this same filter (the paper's
+    // pseudocode mutates O.mvars tuple-by-tuple).
+    struct FieldRef {
+      const Pattern* p;
+      const Value* v;
+    };
+    const FieldRef fields[3] = {{&f.type_pattern, &type_value},
+                                {&f.key_pattern, &key_value},
+                                {&f.data_pattern, &t.data}};
+    for (const auto& [p, v] : fields) {
+      if (p->binds()) item.mvars.bind(p->var(), *v);
+      if (p->retrieves()) out.retrieved.push_back({p->slot(), obj->id(), *v});
+    }
+  }
+  if (any_match) {
+    ++item.next;
+    out.alive = true;
+  }
+  return out;
+}
+
+EOutcome apply_deref(const Query& q, const DerefFilter& f, WorkItem& item,
+                     EStats* stats) {
+  EOutcome out;
+  if (const auto* values = item.mvars.lookup(f.var)) {
+    for (const Value& v : *values) {
+      if (!v.is_pointer()) continue;  // "if x is an object id"
+      WorkItem child;
+      child.id = v.as_pointer();
+      child.start = item.next + 1;
+      child.next = item.next + 1;
+      child.iter_stack = item.iter_stack;  // copy the stack...
+      if (child.iter_stack.empty()) child.iter_stack.push_back(1);
+      ++child.iter_stack.back();  // ...incrementing only the top entry
+      normalize_iter_stack(q, child);
+      out.derefs.push_back(std::move(child));
+      if (stats != nullptr) ++stats->derefs_followed;
+    }
+  }
+  if (f.keep_source) {
+    ++item.next;
+    out.alive = true;
+  }
+  return out;
+}
+
+EOutcome apply_iterate(const Query& q, const IterateFilter& f, WorkItem& item) {
+  EOutcome out;
+  out.alive = true;
+  const bool through_body = item.start <= f.body_start;
+  const bool chain_long_enough = !f.unbounded() && item.iter_top() >= f.count;
+  if (through_body || chain_long_enough) {
+    ++item.next;  // fall out of the loop
+  } else {
+    item.start = f.body_start;  // "so that O will pass next time"
+    item.next = f.body_start;
+  }
+  normalize_iter_stack(q, item);
+  return out;
+}
+
+}  // namespace
+
+void normalize_iter_stack(const Query& q, WorkItem& item) {
+  const std::uint32_t depth =
+      item.next <= q.size() ? q.iterator_depth(item.next) : 0;
+  const std::size_t want = static_cast<std::size_t>(depth) + 1;
+  while (item.iter_stack.size() > want) item.iter_stack.pop_back();
+  while (item.iter_stack.size() < want) item.iter_stack.push_back(1);
+}
+
+EOutcome apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                      EStats* stats) {
+  assert(item.next >= 1 && item.next <= q.size());
+  const Filter& f = q.filter(item.next);
+  EOutcome out;
+  if (const auto* s = std::get_if<SelectFilter>(&f)) {
+    out = apply_select(*s, item, obj, stats);
+    if (out.alive) normalize_iter_stack(q, item);
+  } else if (const auto* d = std::get_if<DerefFilter>(&f)) {
+    out = apply_deref(q, *d, item, stats);
+    if (out.alive) normalize_iter_stack(q, item);
+  } else {
+    out = apply_iterate(q, std::get<IterateFilter>(f), item);
+  }
+  return out;
+}
+
+}  // namespace hyperfile

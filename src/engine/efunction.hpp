@@ -1,0 +1,69 @@
+// The E function (paper Section 3.1): applies one filter to one object.
+//
+//   E(F_i, O) -> ({O_x, ...}, [O])
+//
+// takes a filter and an object and returns a (possibly empty) set of objects
+// obtained through dereferencing, plus either the object itself (if it
+// passed) or null. This file implements E for the three filter kinds exactly
+// as the paper's pseudocode specifies, including:
+//   * matching-variable binding on selection ("?X adds the field value to
+//     the bindings for X if the tuple otherwise matches");
+//   * dereference initialization (P.start = P.next = O.next + 1, iteration
+//     stack copied with only the top entry incremented, empty bindings);
+//   * the iterator test (O.start <= j  "already through the body", or
+//     iter# >= k "chain long enough" => fall through; otherwise loop back
+//     with O.start = j so the object passes next time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/work_item.hpp"
+#include "model/object.hpp"
+#include "query/query.hpp"
+
+namespace hyperfile {
+
+/// A value captured by the -> retrieval operator during selection.
+struct Retrieved {
+  std::uint32_t slot = 0;
+  ObjectId source;
+  Value value;
+
+  friend bool operator==(const Retrieved&, const Retrieved&) = default;
+};
+
+struct EOutcome {
+  /// Objects produced by dereferencing (to be routed local/remote).
+  std::vector<WorkItem> derefs;
+  /// Values captured by -> patterns (only when the filter matched).
+  std::vector<Retrieved> retrieved;
+  /// True if O itself survives the filter.
+  bool alive = false;
+};
+
+struct EStats {
+  std::uint64_t tuples_scanned = 0;
+  std::uint64_t derefs_followed = 0;
+};
+
+/// Applies filter `q.filter(item.next)` to `item`.
+///
+/// `obj` is the object's data; it is required for selection and dereference
+/// filters and may be null for iterator filters (which touch only control
+/// state — this mirrors the distributed algorithm, where an iterator test
+/// needs no data access).
+///
+/// On return `item.next` / `item.start` / bindings are updated per the
+/// paper's pseudocode. The caller owns routing of `outcome.derefs` and the
+/// decision to keep processing (`outcome.alive` and item.next <= n).
+EOutcome apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                      EStats* stats = nullptr);
+
+/// Make the iteration stack consistent with the static nesting depth of the
+/// item's next position: entering an iterator body pushes a fresh counter
+/// (value 1), leaving one pops back to the enclosing loop's counter. Called
+/// by engines after seeding and whenever `next` moves across loop edges.
+void normalize_iter_stack(const Query& q, WorkItem& item);
+
+}  // namespace hyperfile

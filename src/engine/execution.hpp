@@ -1,0 +1,140 @@
+// QueryExecution: the Figure 3 algorithm, usable both standalone (a single
+// site processing everything) and as the per-site half of the distributed
+// algorithm (Section 3.2).
+//
+// The execution owns the query's per-site state: working set W, mark table,
+// and accumulated results. Work enters via seed_initial() (at the
+// originator) or add_item() (remote dereference arrivals); step()/drain()
+// process it. Dereferenced ids that the locality predicate rejects are
+// handed to the remote sink instead of entering W — "send the query, not
+// the data".
+//
+// There is deliberately *no* global state beyond this object plus the store:
+// the paper stresses that an object in the set can be processed knowing only
+// the query, the object, and the local mark table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/efunction.hpp"
+#include "engine/mark_table.hpp"
+#include "engine/work_set.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+
+struct EngineStats {
+  std::uint64_t pops = 0;                // items taken from W
+  std::uint64_t processed = 0;           // items that ran through filters
+  std::uint64_t suppressed = 0;          // items skipped via the mark table
+  std::uint64_t missing = 0;             // ids not found in the store
+  std::uint64_t filters_applied = 0;
+  std::uint64_t tuples_scanned = 0;
+  std::uint64_t derefs_followed = 0;
+  std::uint64_t remote_handoffs = 0;     // items routed to the remote sink
+  std::uint64_t results = 0;             // ids added to the result set
+  std::uint64_t duplicate_results = 0;   // result-set dedup hits
+  std::uint64_t retrieved_values = 0;
+  std::uint64_t max_working_set = 0;     // peak |W| (search-order dependent)
+
+  EngineStats& operator+=(const EngineStats& o);
+};
+
+struct ExecutionOptions {
+  WorkSetDiscipline discipline = WorkSetDiscipline::kFifo;
+  /// Ablation (bench_marktable): mark whole objects instead of (object,
+  /// filter-index) pairs. This is the naive cycle-prevention the paper's
+  /// Section 3.1 subtlety argues against — an object seen (and failed) at
+  /// filter F1 would never be reprocessed when later dereferenced into F3,
+  /// silently losing results. Off everywhere except the ablation.
+  bool naive_whole_object_marking = false;
+  /// Is this object stored at this site? Default: everything is local.
+  std::function<bool(const ObjectId&)> is_local;
+  /// Receives work items for non-local objects (the distributed layer turns
+  /// them into DerefRequest messages). Required if is_local can be false.
+  std::function<void(WorkItem&&)> remote_sink;
+  /// Called for local ids missing from the store (dangling pointers). The
+  /// item is dropped — partial results beat no results (paper Section 1).
+  std::function<void(const ObjectId&)> missing_sink;
+};
+
+/// What one step() did — the simulator charges costs from this.
+enum class StepKind : std::uint8_t {
+  kIdle,        // working set empty, nothing done
+  kProcessed,   // one object pushed through the filters
+  kSuppressed,  // mark table hit, object skipped
+  kMissing,     // object id not in the local store
+};
+
+struct StepReport {
+  StepKind kind = StepKind::kIdle;
+  std::uint32_t results_added = 0;
+  std::uint32_t values_retrieved = 0;
+  std::uint32_t remote_handoffs = 0;
+  std::uint32_t local_enqueues = 0;
+};
+
+class QueryExecution {
+ public:
+  QueryExecution(const Query& query, const SiteStore& store,
+                 ExecutionOptions options = {});
+
+  const Query& query() const { return query_; }
+
+  /// Originator-side seeding from the query's initial set (explicit ids or
+  /// a named set looked up in the local store). Non-local members are routed
+  /// through the remote sink like any dereference.
+  Result<void> seed_initial();
+
+  /// Seed from this site's local portion of a named set (distributed-set
+  /// continuation, paper Section 5). Unknown names are a no-op: a site
+  /// holding no portion simply contributes nothing.
+  void seed_local_set(const std::string& name);
+
+  /// Inject one work item (remote dereference arrival, or local routing).
+  void add_item(WorkItem item);
+
+  /// Process one item from W. Returns kIdle when W is empty.
+  StepReport step();
+
+  /// Process until W is empty.
+  void drain();
+
+  bool idle() const { return work_.empty(); }
+  std::size_t pending() const { return work_.size(); }
+
+  /// Results accumulated so far (already deduplicated).
+  const std::vector<ObjectId>& result_ids() const { return result_ids_; }
+  const std::vector<Retrieved>& retrieved() const { return retrieved_; }
+
+  /// Hand over results accumulated since the last take (for batching into a
+  /// result message when W drains; the context keeps dedup state so later
+  /// batches never repeat an id).
+  std::vector<ObjectId> take_result_ids();
+  std::vector<Retrieved> take_retrieved();
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  void route(WorkItem&& item, StepReport* report);
+
+  const Query query_;  // by value: executions outlive transient messages
+  const SiteStore& store_;
+  ExecutionOptions options_;
+  WorkSet work_;
+  MarkTable marks_;
+  std::unordered_set<ObjectId> result_members_;
+  std::vector<ObjectId> result_ids_;
+  std::size_t result_take_cursor_ = 0;
+  std::vector<Retrieved> retrieved_;
+  std::size_t retrieved_take_cursor_ = 0;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_;
+  EngineStats stats_;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,56 @@
+// The mark table (paper Section 3.1).
+//
+// Cycles in the pointer graph would make transitive-closure iterators loop
+// forever, so processed objects are marked. The important subtlety the paper
+// calls out: an object may legitimately need processing *more than once* if
+// it is reached at different points of the query (it failed filter F1 but is
+// later dereferenced into F3). The table therefore records, per object, the
+// *set of filter indices* at which processing has started or passed — the
+// pop-time guard asks "has this object already been processed from (or
+// through) filter O.start?".
+//
+// One mark table exists per (query, site): marking is purely local, which is
+// what lets every site run the identical algorithm with no shared state
+// (paper Section 3.2; duplicate remote requests are suppressed on arrival).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/object_id.hpp"
+
+namespace hyperfile {
+
+class MarkTable {
+ public:
+  /// `filter_count` is n, the number of filters. Valid indices are 1..n+1:
+  /// an object dereferenced by the very last filter enters at start n+1
+  /// ("past the end" — it joins the result with no further filtering).
+  explicit MarkTable(std::uint32_t filter_count)
+      : words_per_entry_((filter_count + 2 + 63) / 64) {}
+
+  bool test(const ObjectId& id, std::uint32_t filter_index) const {
+    auto it = marks_.find(id);
+    if (it == marks_.end()) return false;
+    return (it->second[filter_index / 64] >> (filter_index % 64)) & 1;
+  }
+
+  void set(const ObjectId& id, std::uint32_t filter_index) {
+    auto [it, inserted] = marks_.try_emplace(id);
+    if (inserted) it->second.assign(words_per_entry_, 0);
+    it->second[filter_index / 64] |= std::uint64_t{1} << (filter_index % 64);
+  }
+
+  /// Any mark at all for this object (used by the naive-marking ablation).
+  bool test_any(const ObjectId& id) const { return marks_.count(id) != 0; }
+
+  std::size_t marked_objects() const { return marks_.size(); }
+  void clear() { marks_.clear(); }
+
+ private:
+  std::size_t words_per_entry_;
+  std::unordered_map<ObjectId, std::vector<std::uint64_t>> marks_;
+};
+
+}  // namespace hyperfile

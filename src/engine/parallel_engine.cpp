@@ -1,0 +1,212 @@
+#include "engine/parallel_engine.hpp"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "engine/mark_table.hpp"
+
+namespace hyperfile {
+namespace {
+
+/// Items a worker claims per queue-lock acquisition. Per-object filter work
+/// is a few microseconds, so single-item handoff would be mutex-bound;
+/// batching amortizes the lock while keeping load balance fine-grained.
+constexpr std::size_t kClaimBatch = 64;
+
+/// Mark-table shards. The paper's observation that "it is not necessary to
+/// have a strict locking mechanism" licenses per-shard locking with a
+/// benign window between the pop-time guard and the post-processing set:
+/// two workers may process the same object concurrently, producing only
+/// duplicate (deduplicated) answers.
+constexpr std::size_t kMarkShards = 32;
+
+struct MarkShard {
+  std::mutex mu;
+  MarkTable table;
+
+  explicit MarkShard(std::uint32_t filters) : table(filters) {}
+};
+
+struct Shared {
+  explicit Shared(const Query& q) {
+    shards.reserve(kMarkShards);
+    for (std::size_t i = 0; i < kMarkShards; ++i) {
+      shards.push_back(std::make_unique<MarkShard>(q.size()));
+    }
+  }
+
+  MarkShard& shard_for(const ObjectId& id) {
+    return *shards[ObjectIdHash{}(id) % kMarkShards];
+  }
+
+  bool marked(const ObjectId& id, std::uint32_t index) {
+    MarkShard& s = shard_for(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.table.test(id, index);
+  }
+
+  void set_mark(const ObjectId& id, std::uint32_t index) {
+    MarkShard& s = shard_for(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.table.set(id, index);
+  }
+
+  // Work queue + termination accounting.
+  std::mutex mu_q;
+  std::condition_variable cv;
+  std::deque<WorkItem> work;
+  std::size_t active = 0;
+  bool done = false;
+
+  std::vector<std::unique_ptr<MarkShard>> shards;
+
+  // Result set.
+  std::mutex mu_r;
+  std::unordered_set<ObjectId> result_members;
+  std::vector<ObjectId> result_ids;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen;
+  std::vector<Retrieved> retrieved;
+
+  // Stats merged from workers at the end.
+  std::mutex mu_s;
+  EngineStats stats;
+};
+
+void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
+  const std::uint32_t n = query.size();
+  EngineStats local;
+  std::vector<WorkItem> batch;
+  batch.reserve(kClaimBatch);
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(sh.mu_q);
+      sh.cv.wait(lock, [&] { return !sh.work.empty() || sh.done; });
+      if (sh.done && sh.work.empty()) break;
+      while (!sh.work.empty() && batch.size() < kClaimBatch) {
+        batch.push_back(std::move(sh.work.front()));
+        sh.work.pop_front();
+      }
+      local.pops += batch.size();
+      ++sh.active;
+    }
+
+    // --- outside the queue lock ---
+    std::vector<ObjectId> survivors;
+    std::vector<WorkItem> children;
+    std::vector<Retrieved> captured;
+    EStats estats;
+    for (WorkItem& item : batch) {
+      // Pop-time guard (sharded lock; benign race with the post-set below).
+      if (sh.marked(item.id, item.start)) {
+        ++local.suppressed;
+        continue;
+      }
+      const Object* obj = store.get(item.id);
+      if (obj == nullptr) {
+        ++local.missing;
+        continue;
+      }
+      ++local.processed;
+      bool alive = true;
+      while (alive && item.next <= n) {
+        sh.set_mark(item.id, item.next);
+        ++local.filters_applied;
+        EOutcome out = apply_filter(query, item, obj, &estats);
+        for (auto& c : out.derefs) children.push_back(std::move(c));
+        for (auto& r : out.retrieved) captured.push_back(std::move(r));
+        alive = out.alive;
+      }
+      if (alive) {
+        sh.set_mark(item.id, n + 1);
+        survivors.push_back(item.id);
+      }
+    }
+    local.tuples_scanned += estats.tuples_scanned;
+    local.derefs_followed += estats.derefs_followed;
+
+    if (!survivors.empty() || !captured.empty()) {
+      std::lock_guard<std::mutex> lock(sh.mu_r);
+      for (const ObjectId& id : survivors) {
+        if (sh.result_members.insert(id).second) {
+          sh.result_ids.push_back(id);
+          ++local.results;
+        } else {
+          ++local.duplicate_results;
+        }
+      }
+      for (auto& r : captured) {
+        if (sh.retrieved_seen.emplace(r.slot, r.source, r.value).second) {
+          sh.retrieved.push_back(std::move(r));
+          ++local.retrieved_values;
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(sh.mu_q);
+      for (auto& c : children) sh.work.push_back(std::move(c));
+      --sh.active;
+      if (sh.work.empty() && sh.active == 0) {
+        sh.done = true;
+        sh.cv.notify_all();
+      } else if (!sh.work.empty()) {
+        sh.cv.notify_all();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(sh.mu_s);
+  sh.stats += local;
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(const SiteStore& store, std::size_t workers)
+    : store_(store),
+      workers_(workers != 0 ? workers
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+Result<QueryResult> ParallelEngine::run(const Query& query) const {
+  if (auto v = query.validate(); !v.ok()) return v.error();
+
+  Shared sh(query);
+
+  // Seed (serially) from the initial set.
+  std::vector<ObjectId> ids = query.initial_ids();
+  if (!query.initial_set_name().empty()) {
+    auto members = store_.set_members(query.initial_set_name());
+    if (!members.ok()) return members.error();
+    const auto& m = members.value();
+    ids.insert(ids.end(), m.begin(), m.end());
+  }
+  for (const ObjectId& id : ids) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query, item);
+    sh.work.push_back(std::move(item));
+  }
+  if (sh.work.empty()) sh.done = true;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    threads.emplace_back([&] { worker_loop(query, store_, sh); });
+  }
+  for (auto& t : threads) t.join();
+
+  QueryResult result;
+  result.ids = std::move(sh.result_ids);
+  result.values = std::move(sh.retrieved);
+  result.slot_names = query.retrieve_slots();
+  result.count_only = query.count_only();
+  result.total_count = result.ids.size();
+  result.stats = sh.stats;
+  return result;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,53 @@
+// Client-facing query result.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/execution.hpp"
+
+namespace hyperfile {
+
+struct QueryResult {
+  /// Objects that passed every filter (a set: no duplicates).
+  std::vector<ObjectId> ids;
+  /// Values captured by -> retrieval patterns.
+  std::vector<Retrieved> values;
+  /// Slot names from the query, aligned with Retrieved::slot.
+  std::vector<std::string> slot_names;
+  /// In count_only (distributed-set) mode: total result-set size; the
+  /// members stay distributed at the sites under the result set name.
+  std::uint64_t total_count = 0;
+  bool count_only = false;
+  EngineStats stats;
+
+  bool contains(const ObjectId& id) const {
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  }
+
+  /// All values retrieved into the named slot (e.g. every "title").
+  std::vector<Value> values_for(const std::string& slot_name) const {
+    std::vector<Value> out;
+    for (std::size_t slot = 0; slot < slot_names.size(); ++slot) {
+      if (slot_names[slot] != slot_name) continue;
+      for (const auto& r : values) {
+        if (r.slot == slot) out.push_back(r.value);
+      }
+    }
+    return out;
+  }
+
+  /// Sort ids for deterministic comparison in tests.
+  void sort() {
+    std::sort(ids.begin(), ids.end());
+    std::sort(values.begin(), values.end(),
+              [](const Retrieved& a, const Retrieved& b) {
+                if (a.slot != b.slot) return a.slot < b.slot;
+                if (a.source != b.source) return a.source < b.source;
+                return a.value < b.value;
+              });
+  }
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,51 @@
+// The working set W (paper Section 3.1).
+//
+// Footnote 4 of the paper: "The choice of data structure for the working set
+// determines the search order for the algorithm, for example a queue gives
+// breadth-first search. Work by Sarantos Kapidakis shows that a node-based
+// search (such as a breadth-first search) will give the best results in the
+// average case." We support both disciplines; bench_discipline measures the
+// difference (ablation A1 in DESIGN.md).
+#pragma once
+
+#include <deque>
+
+#include "engine/work_item.hpp"
+
+namespace hyperfile {
+
+enum class WorkSetDiscipline {
+  kFifo,  // queue: breadth-first traversal (the paper's recommendation)
+  kLifo,  // stack: depth-first traversal
+};
+
+class WorkSet {
+ public:
+  explicit WorkSet(WorkSetDiscipline discipline = WorkSetDiscipline::kFifo)
+      : discipline_(discipline) {}
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  void push(WorkItem item) { items_.push_back(std::move(item)); }
+
+  WorkItem pop() {
+    WorkItem item;
+    if (discipline_ == WorkSetDiscipline::kFifo) {
+      item = std::move(items_.front());
+      items_.pop_front();
+    } else {
+      item = std::move(items_.back());
+      items_.pop_back();
+    }
+    return item;
+  }
+
+  WorkSetDiscipline discipline() const { return discipline_; }
+
+ private:
+  WorkSetDiscipline discipline_;
+  std::deque<WorkItem> items_;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,138 @@
+#include "index/accelerate.hpp"
+
+#include <unordered_set>
+
+namespace hyperfile::index {
+namespace {
+
+bool is_pure_basic(const Pattern& p) {
+  switch (p.kind()) {
+    case PatternKind::kAny:
+    case PatternKind::kLiteral:
+    case PatternKind::kRegex:
+    case PatternKind::kRange:
+      return true;
+    case PatternKind::kBind:
+    case PatternKind::kUse:
+    case PatternKind::kRetrieve:
+      return false;
+  }
+  return false;
+}
+
+bool literal_string(const Pattern& p, std::string* out) {
+  if (p.kind() != PatternKind::kLiteral || !p.literal_value().is_string()) {
+    return false;
+  }
+  *out = p.literal_value().as_string();
+  return true;
+}
+
+/// Does the object satisfy a pure selection filter?
+bool passes_select(const Object& obj, const SelectFilter& s) {
+  for (const Tuple& t : obj.tuples()) {
+    if (!s.type_pattern.matches_basic(t.type)) continue;
+    if (!s.key_pattern.matches_basic(t.key)) continue;
+    if (!s.data_pattern.matches_basic(t.data)) continue;
+    return true;
+  }
+  return false;
+}
+
+/// Does the object own at least one traversal tuple (the loop-body
+/// selection's pass condition — data is a bind, so any value qualifies)?
+bool has_traversal_tuple(const Object& obj, const ClosureShape& shape) {
+  for (const Tuple& t : obj.tuples()) {
+    if (t.type == shape.tuple_type && t.key == shape.pointer_key) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ClosureShape> match_closure_shape(const Query& q) {
+  if (q.size() < 3) return std::nullopt;
+
+  const auto* body_select = std::get_if<SelectFilter>(&q.filter(1));
+  const auto* deref = std::get_if<DerefFilter>(&q.filter(2));
+  const auto* iter = std::get_if<IterateFilter>(&q.filter(3));
+  if (body_select == nullptr || deref == nullptr || iter == nullptr) {
+    return std::nullopt;
+  }
+  if (!iter->unbounded() || iter->body_start != 1) return std::nullopt;
+  if (!deref->keep_source) return std::nullopt;
+
+  ClosureShape shape;
+  if (!literal_string(body_select->type_pattern, &shape.tuple_type)) {
+    return std::nullopt;
+  }
+  if (!literal_string(body_select->key_pattern, &shape.pointer_key)) {
+    return std::nullopt;
+  }
+  if (!body_select->data_pattern.binds() ||
+      body_select->data_pattern.var() != deref->var) {
+    return std::nullopt;
+  }
+
+  for (std::uint32_t i = 4; i <= q.size(); ++i) {
+    const auto* s = std::get_if<SelectFilter>(&q.filter(i));
+    if (s == nullptr) return std::nullopt;  // further loops/derefs: bail
+    if (!is_pure_basic(s->type_pattern) || !is_pure_basic(s->key_pattern) ||
+        !is_pure_basic(s->data_pattern)) {
+      return std::nullopt;
+    }
+    shape.predicate_filters.push_back(i);
+  }
+  return shape;
+}
+
+std::optional<std::vector<ObjectId>> accelerate_closure(
+    const SiteStore& store, const ReachabilityIndex& reach, const Query& q) {
+  auto shape = match_closure_shape(q);
+  if (!shape.has_value()) return std::nullopt;
+  // The index must be edge-precise for this traversal: same key and same
+  // tuple type (a key-only index would traverse same-key pointer tuples of
+  // other types, which the engine's type match would reject).
+  if (reach.pointer_key() != shape->pointer_key) return std::nullopt;
+  if (reach.tuple_type() != shape->tuple_type) return std::nullopt;
+
+  // Initial set.
+  std::vector<ObjectId> seeds = q.initial_ids();
+  if (!q.initial_set_name().empty()) {
+    auto members = store.set_members(q.initial_set_name());
+    if (!members.ok()) return std::nullopt;
+    const auto& m = members.value();
+    seeds.insert(seeds.end(), m.begin(), m.end());
+  }
+
+  // Candidates: the seeds plus everything reachable from them.
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> candidates;
+  auto add = [&](const ObjectId& id) {
+    if (seen.insert(id).second) candidates.push_back(id);
+  };
+  for (const ObjectId& seed : seeds) {
+    add(seed);
+    for (const ObjectId& id : reach.reachable(seed)) add(id);
+  }
+
+  std::vector<ObjectId> out;
+  for (const ObjectId& id : candidates) {
+    const Object* obj = store.get(id);
+    if (obj == nullptr) continue;  // dangling pointer: engine drops it too
+    // Loop-body pass condition: objects without a traversal tuple die
+    // inside the loop, never reaching the predicates.
+    if (!has_traversal_tuple(*obj, *shape)) continue;
+    bool ok = true;
+    for (std::uint32_t i : shape->predicate_filters) {
+      if (!passes_select(*obj, std::get<SelectFilter>(q.filter(i)))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace hyperfile::index

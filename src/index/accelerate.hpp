@@ -1,0 +1,54 @@
+// Index-accelerated evaluation of canonical closure queries.
+//
+// The paper (Section 2, citing its companion report [4]) describes indexes
+// "based on the reachability of an object (to speed up queries such as
+// 'Find all documents referenced directly or indirectly by this document
+// that in addition have a given keyword')". This module closes the loop: it
+// recognizes queries of exactly that canonical shape,
+//
+//     S [ (type, key, ?X) | ^^X ]* <pure selection filters...> -> T
+//
+// and answers them from a prebuilt ReachabilityIndex plus per-candidate
+// tuple matching — no traversal, no working set.
+//
+// Acceleration preserves the engine's exact semantics, including the subtle
+// one: an object in the closure still had to *pass the body selection*
+// (own at least one matching pointer tuple) or it would have died inside
+// the loop — so candidates are filtered on that condition too.
+//
+// Shape restrictions (anything else returns nullopt and the caller falls
+// back to the engine):
+//   * exactly one iterator, unbounded (*), body = [select, deref-keep];
+//   * the body select is (literal type, literal key, ?X) with X derefed;
+//   * every filter after the loop is a selection with no bind/use/retrieve
+//     patterns (pure predicates);
+//   * the initial set resolves in the given store.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "index/reachability_index.hpp"
+#include "query/query.hpp"
+
+namespace hyperfile::index {
+
+/// Shape of an accelerable query, extracted by match_closure_shape().
+struct ClosureShape {
+  std::string tuple_type;   // literal type of the traversal selection
+  std::string pointer_key;  // literal key of the traversal selection
+  /// 1-based indexes of the pure selection filters after the loop.
+  std::vector<std::uint32_t> predicate_filters;
+};
+
+/// Returns the closure shape if `q` matches the canonical pattern.
+std::optional<ClosureShape> match_closure_shape(const Query& q);
+
+/// Evaluates `q` via `reach` (which must have been built over `store` with
+/// the same tuple type and pointer key as the query's traversal selection —
+/// mismatches return nullopt). Returns the result ids, deduplicated,
+/// identical to what the engine would produce.
+std::optional<std::vector<ObjectId>> accelerate_closure(
+    const SiteStore& store, const ReachabilityIndex& reach, const Query& q);
+
+}  // namespace hyperfile::index

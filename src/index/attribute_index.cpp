@@ -1,0 +1,76 @@
+#include "index/attribute_index.hpp"
+
+#include <algorithm>
+
+#include "model/tuple.hpp"
+
+namespace hyperfile::index {
+
+AttributeIndex::AttributeIndex(const SiteStore& store, std::string type,
+                               std::string key)
+    : type_(std::move(type)), key_(std::move(key)) {
+  store.for_each([this](const Object& obj) { add_object(obj); });
+}
+
+void AttributeIndex::add_object(const Object& obj) {
+  for (const Tuple& t : obj.tuples()) {
+    if (t.type != type_ || t.key != key_) continue;
+    auto& ids = by_value_[t.data];
+    if (std::find(ids.begin(), ids.end(), obj.id()) == ids.end()) {
+      ids.push_back(obj.id());
+      ++entries_;
+    }
+  }
+}
+
+void AttributeIndex::remove_object(const Object& obj) {
+  for (const Tuple& t : obj.tuples()) {
+    if (t.type != type_ || t.key != key_) continue;
+    auto it = by_value_.find(t.data);
+    if (it == by_value_.end()) continue;
+    auto& ids = it->second;
+    auto pos = std::find(ids.begin(), ids.end(), obj.id());
+    if (pos != ids.end()) {
+      ids.erase(pos);
+      --entries_;
+      if (ids.empty()) by_value_.erase(it);
+    }
+  }
+}
+
+std::vector<ObjectId> AttributeIndex::lookup(const Value& v) const {
+  auto it = by_value_.find(v);
+  return it == by_value_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::vector<ObjectId> AttributeIndex::lookup_range(std::int64_t lo,
+                                                   std::int64_t hi) const {
+  std::vector<ObjectId> out;
+  auto it = by_value_.lower_bound(Value::number(lo));
+  for (; it != by_value_.end(); ++it) {
+    if (!it->first.is_number() || it->first.as_number() > hi) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+KeywordIndex::KeywordIndex(const SiteStore& store) {
+  store.for_each([this](const Object& obj) { add_object(obj); });
+}
+
+void KeywordIndex::add_object(const Object& obj) {
+  for (const Tuple& t : obj.tuples()) {
+    if (t.type != tuple_types::kKeyword) continue;
+    auto& ids = by_word_[t.key];
+    if (std::find(ids.begin(), ids.end(), obj.id()) == ids.end()) {
+      ids.push_back(obj.id());
+    }
+  }
+}
+
+std::vector<ObjectId> KeywordIndex::lookup(const std::string& word) const {
+  auto it = by_word_.find(word);
+  return it == by_word_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+}  // namespace hyperfile::index

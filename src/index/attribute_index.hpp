@@ -1,0 +1,65 @@
+// Indexing facilities (paper Section 2: "In addition to the distributed
+// server, we have developed facilities for indexing. These support
+// conventional indexes (say for keywords in documents), as well as indexes
+// based on the reachability of an object").
+//
+// AttributeIndex is the conventional index: it maps the data values of all
+// (type, key) tuples in a store to the objects containing them, supporting
+// exact-match and numeric-range lookups. It accelerates the first selection
+// filter of a query (instead of scanning every object's tuples, seed
+// directly from the index) — bench_index measures the effect (ablation A4).
+//
+// Indexes are site-local, matching the paper's autonomy goal: no global
+// index structure exists, each site indexes only what it stores.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/site_store.hpp"
+
+namespace hyperfile::index {
+
+class AttributeIndex {
+ public:
+  /// Index every tuple with the given type and key across the store.
+  AttributeIndex(const SiteStore& store, std::string type, std::string key);
+
+  const std::string& type() const { return type_; }
+  const std::string& key() const { return key_; }
+
+  /// Objects whose (type, key) tuple equals `v`.
+  std::vector<ObjectId> lookup(const Value& v) const;
+
+  /// Objects whose numeric (type, key) tuple lies in [lo, hi].
+  std::vector<ObjectId> lookup_range(std::int64_t lo, std::int64_t hi) const;
+
+  /// Incremental maintenance when an object is added/changed/removed.
+  void add_object(const Object& obj);
+  void remove_object(const Object& obj);
+
+  std::size_t entries() const { return entries_; }
+
+ private:
+  std::string type_;
+  std::string key_;
+  std::map<Value, std::vector<ObjectId>> by_value_;
+  std::size_t entries_ = 0;
+};
+
+/// Keyword index: the common special case (type "keyword", word in the key
+/// position, data ignored). Maps word -> objects.
+class KeywordIndex {
+ public:
+  explicit KeywordIndex(const SiteStore& store);
+
+  std::vector<ObjectId> lookup(const std::string& word) const;
+  void add_object(const Object& obj);
+  std::size_t words() const { return by_word_.size(); }
+
+ private:
+  std::map<std::string, std::vector<ObjectId>> by_word_;
+};
+
+}  // namespace hyperfile::index

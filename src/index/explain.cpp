@@ -1,0 +1,88 @@
+#include "index/explain.hpp"
+
+#include <sstream>
+
+namespace hyperfile::index {
+
+QueryExplanation explain_query(const Query& query) {
+  QueryExplanation out;
+  out.original = query.to_string();
+  Query rewritten = rewrite_query(query, &out.rewrite);
+  out.rewritten = rewritten.to_string();
+
+  out.filters = rewritten.size();
+  out.count_only = rewritten.count_only();
+  out.retrieve_slots =
+      static_cast<std::uint32_t>(rewritten.retrieve_slots().size());
+
+  bool unbounded_drop_source_loop = false;
+  for (std::uint32_t i = 1; i <= rewritten.size(); ++i) {
+    const Filter& f = rewritten.filter(i);
+    out.max_nesting = std::max(out.max_nesting, rewritten.iterator_depth(i));
+    if (std::holds_alternative<SelectFilter>(f)) {
+      ++out.selections;
+    } else if (const auto* d = std::get_if<DerefFilter>(&f)) {
+      ++out.dereferences;
+      if (!d->keep_source) {
+        // Inside an unbounded loop, drop-source deref means nothing
+        // survives on acyclic graphs (every survivor must exit by depth).
+        for (std::uint32_t j = i + 1; j <= rewritten.size(); ++j) {
+          const auto* it = std::get_if<IterateFilter>(&rewritten.filter(j));
+          if (it != nullptr && it->unbounded() && it->body_start <= i) {
+            unbounded_drop_source_loop = true;
+          }
+        }
+      }
+    } else {
+      ++out.iterators;
+      if (std::get<IterateFilter>(f).unbounded()) out.transitive_closure = true;
+    }
+  }
+
+  if (auto shape = match_closure_shape(rewritten)) {
+    out.accelerable_via = shape->tuple_type + "/" + shape->pointer_key;
+  }
+
+  if (out.rewrite.total() > 0) {
+    out.notes.push_back(std::to_string(out.rewrite.total()) +
+                        " simplification(s) applied by the rewriter");
+  }
+  if (out.transitive_closure) {
+    out.notes.push_back(
+        "transitive closure: objects lacking the traversed pointer tuple die "
+        "inside the loop body and are not tested by later filters");
+  }
+  if (unbounded_drop_source_loop) {
+    out.notes.push_back(
+        "unbounded loop with drop-source dereference (^): on acyclic graphs "
+        "this keeps nothing — did you mean ^^ ?");
+  }
+  if (!out.accelerable_via.empty()) {
+    out.notes.push_back("answerable from a ReachabilityIndex(" +
+                        out.accelerable_via + ") without traversal");
+  }
+  if (out.count_only) {
+    out.notes.push_back(
+        "count-only: sites retain their result portions (distributed set)");
+  }
+  return out;
+}
+
+std::string QueryExplanation::to_string() const {
+  std::ostringstream os;
+  os << "query:     " << original << "\n";
+  if (rewritten != original) {
+    os << "rewritten: " << rewritten << "\n";
+  }
+  os << "shape:     " << filters << " filters (" << selections
+     << " selections, " << dereferences << " dereferences, " << iterators
+     << " iterators), nesting depth " << max_nesting;
+  if (retrieve_slots > 0) os << ", " << retrieve_slots << " retrieval slot(s)";
+  os << "\n";
+  for (const auto& note : notes) {
+    os << "note:      " << note << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyperfile::index

@@ -1,0 +1,40 @@
+// Query explanation: a human-readable account of what a query will do —
+// structure, rewriter effect, traversal shape, acceleration eligibility,
+// and warnings about the language's sharp edges (drop-source closures,
+// sink objects dying inside loop bodies). Surfaced by hfsh's `explain`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index/accelerate.hpp"
+#include "query/rewrite.hpp"
+
+namespace hyperfile::index {
+
+struct QueryExplanation {
+  std::string original;
+  std::string rewritten;
+  RewriteStats rewrite;
+
+  std::uint32_t filters = 0;
+  std::uint32_t selections = 0;
+  std::uint32_t dereferences = 0;
+  std::uint32_t iterators = 0;
+  std::uint32_t max_nesting = 0;
+  bool transitive_closure = false;  // any unbounded iterator
+  bool count_only = false;
+  std::uint32_t retrieve_slots = 0;
+
+  /// Nonempty if the (rewritten) query matches the canonical reachable-
+  /// index shape (index/accelerate.hpp): "type/key" of the traversal.
+  std::string accelerable_via;
+
+  std::vector<std::string> notes;
+
+  std::string to_string() const;
+};
+
+QueryExplanation explain_query(const Query& query);
+
+}  // namespace hyperfile::index

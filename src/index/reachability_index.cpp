@@ -1,0 +1,82 @@
+#include "index/reachability_index.hpp"
+
+namespace hyperfile::index {
+
+ReachabilityIndex::ReachabilityIndex(const SiteStore& store,
+                                     std::string pointer_key)
+    : pointer_key_(std::move(pointer_key)) {
+  build(store);
+}
+
+ReachabilityIndex::ReachabilityIndex(const SiteStore& store,
+                                     std::string tuple_type,
+                                     std::string pointer_key)
+    : tuple_type_(std::move(tuple_type)), pointer_key_(std::move(pointer_key)) {
+  build(store);
+}
+
+void ReachabilityIndex::build(const SiteStore& store) {
+  store.for_each([this](const Object& obj) {
+    dense_[obj.id()] = ids_.size();
+    ids_.push_back(obj.id());
+  });
+  const std::size_t n = ids_.size();
+  const std::size_t words = word_count();
+  rows_.assign(n * words, 0);
+
+  // Direct edges.
+  std::vector<std::vector<std::size_t>> out_edges(n);
+  store.for_each([&](const Object& obj) {
+    const std::size_t from = dense_.at(obj.id());
+    for (const Tuple& t : obj.tuples()) {
+      if (!t.data.is_pointer()) continue;
+      if (!tuple_type_.empty() && t.type != tuple_type_) continue;
+      if (!pointer_key_.empty() && t.key != pointer_key_) continue;
+      auto it = dense_.find(t.data.as_pointer());
+      if (it != dense_.end()) out_edges[from].push_back(it->second);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j : out_edges[i]) {
+      rows_[i * words + j / 64] |= std::uint64_t{1} << (j % 64);
+    }
+  }
+
+  // Iterate to a fixed point: row[i] |= row[j] for every edge i -> j.
+  // O(n * E / 64) per pass; passes bounded by the longest shortest path.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j : out_edges[i]) {
+        for (std::size_t w = 0; w < words; ++w) {
+          const std::uint64_t merged = rows_[i * words + w] | rows_[j * words + w];
+          if (merged != rows_[i * words + w]) {
+            rows_[i * words + w] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<ObjectId> ReachabilityIndex::reachable(const ObjectId& from) const {
+  std::vector<ObjectId> out;
+  auto it = dense_.find(from);
+  if (it == dense_.end()) return out;
+  const std::size_t row = it->second;
+  for (std::size_t j = 0; j < ids_.size(); ++j) {
+    if (test(row, j)) out.push_back(ids_[j]);
+  }
+  return out;
+}
+
+bool ReachabilityIndex::reaches(const ObjectId& from, const ObjectId& to) const {
+  auto fi = dense_.find(from);
+  auto ti = dense_.find(to);
+  if (fi == dense_.end() || ti == dense_.end()) return false;
+  return test(fi->second, ti->second);
+}
+
+}  // namespace hyperfile::index

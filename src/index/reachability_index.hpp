@@ -1,0 +1,57 @@
+// Reachability index (paper Section 2 / reference [4]): precomputed
+// transitive closure over one pointer category, answering queries like
+// "find all documents referenced directly or indirectly by this document
+// that in addition have a given keyword" without traversing at query time.
+//
+// Representation: objects are numbered densely; each object's reachable set
+// is a bitset row. Building is a DFS per object with memoization on the
+// (acyclic condensation would be fancier; stores here are small enough that
+// iterative closure is fine and simpler to verify).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/site_store.hpp"
+
+namespace hyperfile::index {
+
+class ReachabilityIndex {
+ public:
+  /// Closure over pointers with the given key (empty key = all pointers).
+  ReachabilityIndex(const SiteStore& store, std::string pointer_key);
+
+  /// Closure over pointer-valued tuples matching both type and key (empty
+  /// = wildcard). The engine's traversal selection matches the tuple *type*
+  /// too, so query acceleration needs this precision.
+  ReachabilityIndex(const SiteStore& store, std::string tuple_type,
+                    std::string pointer_key);
+
+  /// All objects reachable from `from` (excluding `from` itself unless it
+  /// lies on a cycle back to itself). Unknown ids yield an empty set.
+  std::vector<ObjectId> reachable(const ObjectId& from) const;
+
+  /// Is `to` reachable from `from`?
+  bool reaches(const ObjectId& from, const ObjectId& to) const;
+
+  std::size_t size() const { return ids_.size(); }
+  const std::string& pointer_key() const { return pointer_key_; }
+  const std::string& tuple_type() const { return tuple_type_; }
+
+ private:
+  std::size_t word_count() const { return (ids_.size() + 63) / 64; }
+  bool test(std::size_t row, std::size_t col) const {
+    return (rows_[row * word_count() + col / 64] >> (col % 64)) & 1;
+  }
+
+  void build(const SiteStore& store);
+
+  std::string tuple_type_;  // empty = any type
+  std::string pointer_key_;
+  std::vector<ObjectId> ids_;                       // dense index -> id
+  std::unordered_map<ObjectId, std::size_t> dense_; // id -> dense index
+  std::vector<std::uint64_t> rows_;                 // n rows x word_count
+};
+
+}  // namespace hyperfile::index

@@ -1,0 +1,60 @@
+#include "model/object.hpp"
+
+namespace hyperfile {
+
+std::string Tuple::to_string() const {
+  return "(" + type + ", \"" + key + "\", " + data.to_string() + ")";
+}
+
+std::size_t Object::remove(const std::string& type, const std::string& key) {
+  const auto before = tuples_.size();
+  tuples_.erase(std::remove_if(tuples_.begin(), tuples_.end(),
+                               [&](const Tuple& t) {
+                                 return t.type == type && t.key == key;
+                               }),
+                tuples_.end());
+  return before - tuples_.size();
+}
+
+const Tuple* Object::find(const std::string& type, const std::string& key) const {
+  for (const auto& t : tuples_) {
+    if (t.type == type && t.key == key) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const Tuple*> Object::find_all(const std::string& type,
+                                           const std::string& key) const {
+  std::vector<const Tuple*> out;
+  for (const auto& t : tuples_) {
+    if (t.type == type && t.key == key) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<ObjectId> Object::pointers(const std::string& key) const {
+  std::vector<ObjectId> out;
+  for (const auto& t : tuples_) {
+    if (!t.data.is_pointer()) continue;
+    if (!key.empty() && t.key != key) continue;
+    out.push_back(t.data.as_pointer());
+  }
+  return out;
+}
+
+std::size_t Object::byte_size() const {
+  std::size_t total = 17;  // id
+  for (const auto& t : tuples_) total += t.byte_size();
+  return total;
+}
+
+std::string Object::to_string() const {
+  std::string s = id_.to_string() + " {";
+  for (const auto& t : tuples_) {
+    s += "\n  " + t.to_string();
+  }
+  s += tuples_.empty() ? "}" : "\n}";
+  return s;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,72 @@
+// Global object identity (paper Section 4, "naming of objects").
+//
+// HyperFile names objects with a variant of the R* scheme: an id carries the
+// *birth site* (where the object was created — the final arbiter of its
+// actual location) and the *presumed current site* (a hint that may be
+// stale after the object moves). Identity is (birth_site, seq): two ids with
+// the same birth site and sequence number name the same object even if their
+// presumed sites differ. This makes moving an object cheap — pointers to it
+// need not be rewritten; a dereference that misses is redirected by the
+// birth site (see naming/name_service.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace hyperfile {
+
+struct ObjectId {
+  SiteId birth_site = kNoSite;
+  LocalSeq seq = 0;
+  /// Hint only — excluded from equality, ordering, and hashing.
+  SiteId presumed_site = kNoSite;
+
+  constexpr ObjectId() = default;
+  constexpr ObjectId(SiteId birth, LocalSeq sequence)
+      : birth_site(birth), seq(sequence), presumed_site(birth) {}
+  constexpr ObjectId(SiteId birth, LocalSeq sequence, SiteId presumed)
+      : birth_site(birth), seq(sequence), presumed_site(presumed) {}
+
+  bool valid() const { return birth_site != kNoSite; }
+
+  /// Same object, regardless of the location hint.
+  friend bool operator==(const ObjectId& a, const ObjectId& b) {
+    return a.birth_site == b.birth_site && a.seq == b.seq;
+  }
+  friend bool operator!=(const ObjectId& a, const ObjectId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ObjectId& a, const ObjectId& b) {
+    if (a.birth_site != b.birth_site) return a.birth_site < b.birth_site;
+    return a.seq < b.seq;
+  }
+
+  /// Same id *and* same hint — used by wire round-trip tests.
+  bool identical(const ObjectId& other) const {
+    return *this == other && presumed_site == other.presumed_site;
+  }
+
+  std::string to_string() const;
+};
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(id.birth_site) << 48) ^ id.seq));
+  }
+};
+
+}  // namespace hyperfile
+
+namespace std {
+template <>
+struct hash<hyperfile::ObjectId> {
+  size_t operator()(const hyperfile::ObjectId& id) const {
+    return hyperfile::ObjectIdHash{}(id);
+  }
+};
+}  // namespace std

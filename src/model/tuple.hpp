@@ -1,0 +1,76 @@
+// Tuples: the unit of structure inside a HyperFile object (paper Section 2).
+//
+// A tuple has three parts:
+//   * type — tells HyperFile what the remaining fields are. Types are open:
+//     applications register new ones by convention (e.g. "Object_Code" with
+//     a target-machine string as key and opaque bits as data). Well-known
+//     type names used throughout the paper are provided as constants.
+//   * key  — application-assigned purpose of the tuple ("Author", "Title",
+//     "Called Routine", ...). Almost always a string.
+//   * data — a Value: string, number, pointer to another object, or blob.
+#pragma once
+
+#include <string>
+
+#include "model/value.hpp"
+
+namespace hyperfile {
+
+/// Well-known tuple type names. These are conventions, not an enum: the
+/// server accepts any type string (paper: "The possible entries in the type
+/// field are not fixed; applications can define new types").
+namespace tuple_types {
+inline constexpr const char* kString = "string";
+inline constexpr const char* kText = "text";
+inline constexpr const char* kKeyword = "keyword";
+inline constexpr const char* kNumber = "number";
+inline constexpr const char* kPointer = "pointer";
+inline constexpr const char* kBlob = "blob";
+}  // namespace tuple_types
+
+struct Tuple {
+  std::string type;
+  std::string key;
+  Value data;
+
+  Tuple() = default;
+  Tuple(std::string type_name, std::string key_name, Value value)
+      : type(std::move(type_name)), key(std::move(key_name)), data(std::move(value)) {}
+
+  /// Shorthand constructors for the common cases.
+  static Tuple string(std::string key, std::string value) {
+    return Tuple(tuple_types::kString, std::move(key), Value::string(std::move(value)));
+  }
+  static Tuple text(std::string key, std::string body) {
+    return Tuple(tuple_types::kText, std::move(key), Value::blob_text(body));
+  }
+  static Tuple keyword(std::string word) {
+    // Keyword tuples follow the paper's usage: (keyword, <word>, ?) — the
+    // word lives in the key, the data field is unconstrained.
+    return Tuple(tuple_types::kKeyword, std::move(word), Value());
+  }
+  static Tuple number(std::string key, std::int64_t value) {
+    return Tuple(tuple_types::kNumber, std::move(key), Value::number(value));
+  }
+  static Tuple pointer(std::string key, ObjectId target) {
+    return Tuple(tuple_types::kPointer, std::move(key), Value::pointer(target));
+  }
+  static Tuple blob(std::string key, Value::Blob bytes) {
+    return Tuple(tuple_types::kBlob, std::move(key), Value::blob(std::move(bytes)));
+  }
+
+  bool is_pointer() const { return data.is_pointer(); }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.type == b.type && a.key == b.key && a.data == b.data;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+
+  std::size_t byte_size() const {
+    return type.size() + key.size() + data.byte_size() + 3;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace hyperfile

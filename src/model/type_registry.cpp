@@ -1,0 +1,87 @@
+#include "model/type_registry.hpp"
+
+#include "model/object.hpp"
+
+namespace hyperfile {
+
+const char* to_string(DataConstraint c) {
+  switch (c) {
+    case DataConstraint::kAny:
+      return "any";
+    case DataConstraint::kNull:
+      return "null";
+    case DataConstraint::kString:
+      return "string";
+    case DataConstraint::kNumber:
+      return "number";
+    case DataConstraint::kPointer:
+      return "pointer";
+    case DataConstraint::kBlob:
+      return "blob";
+  }
+  return "?";
+}
+
+TypeRegistry TypeRegistry::with_builtins() {
+  TypeRegistry r;
+  r.register_type(tuple_types::kString, DataConstraint::kString);
+  r.register_type(tuple_types::kText, DataConstraint::kBlob);
+  r.register_type(tuple_types::kKeyword, DataConstraint::kNull);
+  r.register_type(tuple_types::kNumber, DataConstraint::kNumber);
+  r.register_type(tuple_types::kPointer, DataConstraint::kPointer);
+  r.register_type(tuple_types::kBlob, DataConstraint::kBlob);
+  return r;
+}
+
+void TypeRegistry::register_type(std::string name, DataConstraint data) {
+  specs_[std::move(name)] = data;
+}
+
+namespace {
+
+bool satisfies(const Value& v, DataConstraint c) {
+  switch (c) {
+    case DataConstraint::kAny:
+      return true;
+    case DataConstraint::kNull:
+      return v.is_null();
+    case DataConstraint::kString:
+      return v.is_string();
+    case DataConstraint::kNumber:
+      return v.is_number();
+    case DataConstraint::kPointer:
+      return v.is_pointer();
+    case DataConstraint::kBlob:
+      return v.is_blob();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<void> TypeRegistry::validate(const Tuple& t) const {
+  auto it = specs_.find(t.type);
+  if (it == specs_.end()) {
+    if (reject_unknown_) {
+      return make_error(Errc::kInvalidArgument,
+                        "unregistered tuple type '" + t.type + "'");
+    }
+    return {};
+  }
+  if (!satisfies(t.data, it->second)) {
+    return make_error(Errc::kInvalidArgument,
+                      "tuple " + t.to_string() + ": type '" + t.type +
+                          "' requires " + std::string(to_string(it->second)) +
+                          " data, got " + to_string(t.data.kind()));
+  }
+  return {};
+}
+
+Result<void> TypeRegistry::validate(const Object& obj) const {
+  for (const Tuple& t : obj.tuples()) {
+    if (auto r = validate(t); !r.ok()) return r;
+  }
+  return {};
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,67 @@
+// Application-defined tuple types (paper Section 2).
+//
+// "The possible entries in the type field are not fixed; applications can
+// define new types. For example, an application could define Object_Code to
+// be a type where the key would be the target machine. This would be a
+// convention between applications; HyperFile would only understand
+// Object_Code as a type of tuple having a string as a key, and arbitrary
+// bits as data."
+//
+// TypeRegistry captures those conventions: each registered type constrains
+// what the data field may hold. Validation is *opt-in* (SiteStore::
+// put_validated) — the plain put() keeps the schema-free file-system
+// spirit; the registry exists so cooperating applications can enforce their
+// conventions at the boundary.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "model/tuple.hpp"
+
+namespace hyperfile {
+
+class Object;  // model/object.hpp
+
+enum class DataConstraint : std::uint8_t {
+  kAny,      // no restriction
+  kNull,     // marker tuples (e.g. keywords carry no data)
+  kString,
+  kNumber,
+  kPointer,
+  kBlob,
+};
+
+const char* to_string(DataConstraint c);
+
+class TypeRegistry {
+ public:
+  /// Empty registry: nothing registered, unknown types' policy applies.
+  TypeRegistry() = default;
+
+  /// Registry pre-loaded with the built-in conventions:
+  ///   string -> string data, text -> blob, keyword -> null data,
+  ///   number -> number, pointer -> pointer, blob -> blob.
+  static TypeRegistry with_builtins();
+
+  /// Register (or redefine) a type convention.
+  void register_type(std::string name, DataConstraint data);
+
+  bool knows(const std::string& name) const { return specs_.count(name) != 0; }
+  std::size_t size() const { return specs_.size(); }
+
+  /// Reject tuples whose type is not registered (default: allow — the
+  /// server "does not understand the contents of objects").
+  void set_reject_unknown(bool reject) { reject_unknown_ = reject; }
+  bool reject_unknown() const { return reject_unknown_; }
+
+  Result<void> validate(const Tuple& t) const;
+  Result<void> validate(const Object& obj) const;
+
+ private:
+  std::map<std::string, DataConstraint> specs_;
+  bool reject_unknown_ = false;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,104 @@
+#include "model/value.hpp"
+
+#include <cstdio>
+
+namespace hyperfile {
+
+const char* to_string(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kNumber:
+      return "number";
+    case ValueKind::kPointer:
+      return "pointer";
+    case ValueKind::kBlob:
+      return "blob";
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kString:
+      return a.as_string() == b.as_string();
+    case ValueKind::kNumber:
+      return a.as_number() == b.as_number();
+    case ValueKind::kPointer:
+      return a.as_pointer() == b.as_pointer();
+    case ValueKind::kBlob:
+      return a.as_blob() == b.as_blob();
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return a.kind() < b.kind();
+  switch (a.kind()) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kString:
+      return a.as_string() < b.as_string();
+    case ValueKind::kNumber:
+      return a.as_number() < b.as_number();
+    case ValueKind::kPointer:
+      return a.as_pointer() < b.as_pointer();
+    case ValueKind::kBlob:
+      return a.as_blob() < b.as_blob();
+  }
+  return false;
+}
+
+std::size_t Value::byte_size() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 1;
+    case ValueKind::kString:
+      return 1 + as_string().size();
+    case ValueKind::kNumber:
+      return 9;
+    case ValueKind::kPointer:
+      return 17;
+    case ValueKind::kBlob:
+      return 1 + as_blob().size();
+  }
+  return 1;
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kString:
+      return "\"" + as_string() + "\"";
+    case ValueKind::kNumber:
+      return std::to_string(as_number());
+    case ValueKind::kPointer:
+      return as_pointer().to_string();
+    case ValueKind::kBlob: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "<blob %zu bytes>", as_blob().size());
+      return buf;
+    }
+  }
+  return "?";
+}
+
+std::string ObjectId::to_string() const {
+  char buf[64];
+  if (presumed_site == birth_site) {
+    std::snprintf(buf, sizeof buf, "obj(%u.%llu)", birth_site,
+                  static_cast<unsigned long long>(seq));
+  } else {
+    std::snprintf(buf, sizeof buf, "obj(%u.%llu@%u)", birth_site,
+                  static_cast<unsigned long long>(seq), presumed_site);
+  }
+  return buf;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,96 @@
+// Object naming and location (paper Section 4).
+//
+// "We use a variant of the method of R* which includes the birth site and
+// the presumed current site of an object in the name. The birth site is the
+// final arbiter of the actual location of the object."
+//
+// Resolution protocol implemented by the distributed runtime:
+//   1. A dereference is sent to the id's *presumed* site (usually right).
+//   2. A site receiving a request for an object it does not hold consults
+//      its local forwarding hints; failing that it forwards the request to
+//      the object's *birth* site.
+//   3. The birth site keeps an authoritative record for every object born
+//      there (updated on every move) and re-forwards the request.
+//   4. If even the birth site does not know the object, the work item is
+//      dropped and its termination weight returned — a dangling pointer
+//      yields partial results, not a hung query.
+//
+// Moving an object therefore costs one authoritative update at the birth
+// site plus a local hint; the (possibly millions of) pointers to the object
+// never need rewriting.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/object_id.hpp"
+
+namespace hyperfile {
+
+class NameRegistry {
+ public:
+  explicit NameRegistry(SiteId self) : self_(self) {}
+
+  SiteId self() const { return self_; }
+
+  /// An object was created here (we are its birth site and first home).
+  void register_birth(const ObjectId& id) {
+    if (id.birth_site == self_) authoritative_[id.seq] = self_;
+  }
+
+  /// Authoritative update, valid only at the birth site: the object now
+  /// lives at `site`.
+  void record_location(const ObjectId& id, SiteId site) {
+    if (id.birth_site == self_) authoritative_[id.seq] = site;
+  }
+
+  /// Local forwarding hint: the object left this site for `site`.
+  void record_departure(const ObjectId& id, SiteId site) { hints_[id] = site; }
+
+  void forget_hint(const ObjectId& id) { hints_.erase(id); }
+
+  /// Where the birth site believes the object lives (only meaningful when
+  /// this registry belongs to the birth site).
+  std::optional<SiteId> authoritative_location(const ObjectId& id) const {
+    if (id.birth_site != self_) return std::nullopt;
+    auto it = authoritative_.find(id.seq);
+    if (it == authoritative_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Local forwarding hint, if any.
+  std::optional<SiteId> hint(const ObjectId& id) const {
+    auto it = hints_.find(id);
+    if (it == hints_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Best next hop for an object not stored here, or nullopt if unknowable
+  /// (we are the birth site and have no record: the object is gone).
+  std::optional<SiteId> next_hop(const ObjectId& id) const {
+    if (auto h = hint(id); h.has_value() && *h != self_) return h;
+    if (id.birth_site == self_) {
+      auto a = authoritative_location(id);
+      if (a.has_value() && *a != self_) return a;
+      return std::nullopt;  // final arbiter says: no such object
+    }
+    return id.birth_site;  // ask the final arbiter
+  }
+
+  // --- persistence support (naming/persist.hpp) ---
+  std::vector<std::pair<LocalSeq, SiteId>> authoritative_records() const {
+    return {authoritative_.begin(), authoritative_.end()};
+  }
+  std::vector<std::pair<ObjectId, SiteId>> departure_hints() const {
+    return {hints_.begin(), hints_.end()};
+  }
+
+ private:
+  SiteId self_;
+  std::unordered_map<LocalSeq, SiteId> authoritative_;
+  std::unordered_map<ObjectId, SiteId> hints_;
+};
+
+}  // namespace hyperfile

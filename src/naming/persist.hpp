@@ -1,0 +1,20 @@
+// Persistence for the name registry.
+//
+// A site's location knowledge — the authoritative records it keeps as a
+// birth site and its departure hints — must survive restarts, or objects
+// that migrated away become unreachable the moment the deployment reloads
+// (the birth site would be the "final arbiter" with amnesia). Stored
+// alongside the store snapshot, same checksum discipline.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "naming/name_registry.hpp"
+
+namespace hyperfile {
+
+Result<void> save_registry(const NameRegistry& registry, const std::string& path);
+Result<NameRegistry> load_registry(const std::string& path);
+
+}  // namespace hyperfile

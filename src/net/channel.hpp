@@ -1,0 +1,72 @@
+// Bounded-blocking MPMC channel used as a site mailbox in the threaded
+// runtime. Unbounded by default: HyperFile message volume is bounded by the
+// termination-weight protocol (a site cannot flood another without weight).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace hyperfile {
+
+template <typename T>
+class Channel {
+ public:
+  /// Push an item; returns false if the channel is closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop with timeout. nullopt on timeout or when closed and empty.
+  std::optional<T> pop_wait(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hyperfile

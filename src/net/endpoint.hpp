@@ -1,0 +1,45 @@
+// Message endpoint abstraction: what a HyperFile site (or client) uses to
+// talk to the rest of the deployment. Two implementations:
+//   * InProcNetwork (net/inproc.hpp)    — threads in one process;
+//   * TcpNetwork    (net/tcp.hpp)       — real sockets on localhost/LAN.
+//
+// Both serialize every message through the wire format, so the in-process
+// runtime exercises exactly the bytes a TCP deployment would exchange.
+#pragma once
+
+#include <optional>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "wire/message.hpp"
+
+namespace hyperfile {
+
+class MessageEndpoint {
+ public:
+  virtual ~MessageEndpoint() = default;
+
+  virtual SiteId self() const = 0;
+
+  /// Fire-and-forget send (the paper's protocol needs no request/response
+  /// pairing: results flow back as ordinary messages).
+  virtual Result<void> send(SiteId to, wire::Message message) = 0;
+
+  /// Blocking receive with timeout; nullopt on timeout or shutdown.
+  virtual std::optional<wire::Envelope> recv(Duration timeout) = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t deref_messages = 0;
+  std::uint64_t batch_deref_messages = 0;
+  std::uint64_t result_messages = 0;
+  std::uint64_t start_messages = 0;
+  std::uint64_t done_messages = 0;
+
+  void record(const wire::Message& m, std::size_t bytes);
+  NetworkStats& operator+=(const NetworkStats& o);
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,52 @@
+// In-process message network: one mailbox per endpoint, every message fully
+// serialized and deserialized through the wire format. This is the default
+// substrate for the threaded multi-site runtime (dist/cluster.hpp) — it has
+// real concurrency and real bytes, just no sockets.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/endpoint.hpp"
+
+namespace hyperfile {
+
+class InProcNetwork {
+ public:
+  /// Creates `endpoints` mailboxes with site ids [0, endpoints).
+  explicit InProcNetwork(std::size_t endpoints);
+  ~InProcNetwork();
+
+  InProcNetwork(const InProcNetwork&) = delete;
+  InProcNetwork& operator=(const InProcNetwork&) = delete;
+
+  std::size_t size() const { return mailboxes_.size(); }
+
+  /// Endpoint handle for site `self`. The handle borrows the network; it
+  /// must not outlive it.
+  std::unique_ptr<MessageEndpoint> endpoint(SiteId self);
+
+  /// Close all mailboxes (unblocks receivers).
+  void shutdown();
+
+  /// Close one mailbox: subsequent sends to it fail with kClosed. Used for
+  /// failure injection — a crashed site's peers see send errors, exactly as
+  /// a TCP connect would fail.
+  void close_endpoint(SiteId site);
+
+  /// Aggregate traffic statistics (thread-safe snapshot).
+  NetworkStats stats() const;
+
+ private:
+  friend class InProcEndpoint;
+
+  Result<void> send(SiteId from, SiteId to, wire::Message message);
+
+  std::vector<std::unique_ptr<Channel<wire::Envelope>>> mailboxes_;
+  mutable std::mutex stats_mu_;
+  NetworkStats stats_;
+};
+
+}  // namespace hyperfile

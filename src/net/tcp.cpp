@@ -1,0 +1,285 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace hyperfile {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return make_error(Errc::kIo, what + ": " + std::strerror(errno));
+}
+
+/// Write all of `data`, handling short writes and EINTR.
+Result<void> write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+/// Read exactly `len` bytes; false on clean EOF at a frame boundary.
+Result<bool> read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF
+      return make_error(Errc::kIo, "connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpNetwork::TcpNetwork(SiteId self, std::vector<TcpPeer> peers)
+    : self_(self), peers_(std::move(peers)) {}
+
+Result<std::unique_ptr<TcpNetwork>> TcpNetwork::create(SiteId self,
+                                                       std::vector<TcpPeer> peers) {
+  std::unique_ptr<TcpNetwork> net(new TcpNetwork(self, std::move(peers)));
+  if (auto r = net->start_listener(); !r.ok()) return r.error();
+  return net;
+}
+
+TcpNetwork::~TcpNetwork() { shutdown(); }
+
+Result<void> TcpNetwork::start_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  // Endpoints outside the static table (clients) listen on an ephemeral
+  // port; peers reach them via learned routes only.
+  const TcpPeer self_peer = self_ < peers_.size()
+                                ? peers_[self_]
+                                : TcpPeer{"127.0.0.1", 0};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(self_peer.port);
+  if (::inet_pton(AF_INET, self_peer.host.c_str(), &addr.sin_addr) != 1) {
+    return make_error(Errc::kInvalidArgument,
+                      "bad listen host " + self_peer.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    return errno_error("bind " + std::to_string(self_peer.port));
+  }
+  if (::listen(listen_fd_, 64) < 0) return errno_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void TcpNetwork::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    spawn_reader(fd);
+  }
+}
+
+void TcpNetwork::spawn_reader(int fd) {
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  reader_fds_.push_back(fd);
+  readers_.emplace_back([this, fd] { reader_loop(fd); });
+}
+
+void TcpNetwork::reader_loop(int fd) {
+  for (;;) {
+    std::uint8_t lenbuf[4];
+    auto got = read_all(fd, lenbuf, 4);
+    if (!got.ok() || !got.value()) break;
+    const std::uint32_t len = (std::uint32_t{lenbuf[0]} << 24) |
+                              (std::uint32_t{lenbuf[1]} << 16) |
+                              (std::uint32_t{lenbuf[2]} << 8) |
+                              std::uint32_t{lenbuf[3]};
+    // 64 MiB sanity cap: protocol messages are tiny; a larger frame means a
+    // corrupt stream, and unchecked lengths would let a bad peer OOM us.
+    if (len > (64u << 20)) break;
+    wire::Bytes buf(len);
+    auto body = read_all(fd, buf.data(), len);
+    if (!body.ok() || !body.value()) break;
+    auto env = wire::decode_envelope(buf);
+    if (!env.ok()) {
+      HF_WARN << "tcp site " << self_
+              << ": dropping undecodable frame: " << env.error().to_string();
+      continue;
+    }
+    // Learn the return route for senders outside the static peer table.
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      learned_[env.value().src] = fd;
+    }
+    if (!inbox_.push(std::move(env).value())) break;
+  }
+  // fd is closed in shutdown(), after the thread is joined — closing here
+  // would race with shutdown() calling ::shutdown on a possibly-reused fd.
+}
+
+Result<int> TcpNetwork::peer_socket(SiteId to) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = conns_.find(to);
+  if (it != conns_.end()) return it->second;
+
+  if (to >= peers_.size()) {
+    // Not in the static table: maybe we learned a route from an inbound
+    // frame (client endpoints).
+    auto lit = learned_.find(to);
+    if (lit != learned_.end()) return lit->second;
+    return make_error(Errc::kNotFound, "no such site " + std::to_string(to));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peers_[to].port);
+  if (::inet_pton(AF_INET, peers_[to].host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return make_error(Errc::kInvalidArgument, "bad host " + peers_[to].host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return errno_error("connect to site " + std::to_string(to));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  conns_[to] = fd;
+  // Full duplex: the peer may answer over this same connection (it has no
+  // address for us if we are a client outside its static table).
+  spawn_reader(fd);
+  return fd;
+}
+
+Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
+  if (to == self_) {
+    // Local delivery without a socket round-trip (still wire-encoded).
+    const wire::Bytes bytes =
+        wire::encode_envelope(wire::Envelope{self_, to, std::move(message)});
+    auto env = wire::decode_envelope(bytes);
+    if (!env.ok()) return env.error();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.record(env.value().message, bytes.size());
+    }
+    inbox_.push(std::move(env).value());
+    return {};
+  }
+
+  const wire::Bytes body =
+      wire::encode_envelope(wire::Envelope{self_, to, std::move(message)});
+  auto fd = peer_socket(to);
+  if (!fd.ok()) return fd.error();
+
+  std::uint8_t lenbuf[4] = {
+      static_cast<std::uint8_t>(body.size() >> 24),
+      static_cast<std::uint8_t>(body.size() >> 16),
+      static_cast<std::uint8_t>(body.size() >> 8),
+      static_cast<std::uint8_t>(body.size()),
+  };
+  wire::Bytes frame;
+  frame.reserve(4 + body.size());
+  frame.insert(frame.end(), lenbuf, lenbuf + 4);
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  Result<void> w = [&] {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    return write_all(fd.value(), frame.data(), frame.size());
+  }();
+  if (!w.ok()) {
+    // Drop the cached/learned route; the next send reconnects (or fails
+    // cleanly for learned-only routes). The fd itself is only shut down —
+    // its reader thread owns it until endpoint shutdown closes it.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = conns_.find(to);
+    if (it != conns_.end()) {
+      ::shutdown(it->second, SHUT_RDWR);
+      conns_.erase(it);
+    }
+    learned_.erase(to);
+    return w.error();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  // Re-decoding just for stats would be wasteful; classify from the tag.
+  NetworkStats delta;
+  ++delta.messages_sent;
+  delta.bytes_sent = frame.size();
+  stats_ += delta;
+  return {};
+}
+
+std::optional<wire::Envelope> TcpNetwork::recv(Duration timeout) {
+  return inbox_.pop_wait(timeout);
+}
+
+void TcpNetwork::update_peer(SiteId site, TcpPeer peer) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (site >= peers_.size()) return;
+  peers_[site] = std::move(peer);
+  auto it = conns_.find(site);
+  if (it != conns_.end()) {
+    ::shutdown(it->second, SHUT_RDWR);  // reader owns the close
+    conns_.erase(it);
+  }
+}
+
+void TcpNetwork::shutdown() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.clear();    // fds are owned (and closed) via reader_fds_
+    learned_.clear();
+  }
+  inbox_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  for (int fd : reader_fds_) ::close(fd);
+  readers_.clear();
+  reader_fds_.clear();
+}
+
+NetworkStats TcpNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,101 @@
+// TCP message network.
+//
+// The 1991 prototype ran over UDP and TCP/IP on a network of IBM PC/RTs;
+// this is the modern equivalent for deployments where sites are separate
+// processes (or separate machines). Frames are length-prefixed wire
+// envelopes:
+//
+//   [u32 big-endian frame length][envelope bytes]
+//
+// Each TcpNetwork instance is one endpoint: it listens on its own port and
+// lazily opens one outbound connection per peer (reconnecting on failure).
+// Incoming frames from all accepted connections are decoded and funneled
+// into a single mailbox, giving the same MessageEndpoint semantics as the
+// in-process network.
+//
+// Learned routes: when a frame arrives from a site not in the static peer
+// table (e.g. a client on an ephemeral port), the accepted connection is
+// remembered and replies flow back over it. This is how `hfq` clients talk
+// to `hyperfiled` servers without being in anyone's configuration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/endpoint.hpp"
+
+namespace hyperfile {
+
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class TcpNetwork final : public MessageEndpoint {
+ public:
+  /// `peers[i]` is where site i listens; `self` may index into it (its port
+  /// is then the listen port) or lie outside the table (client endpoints:
+  /// an ephemeral port is used — see bound_port()). Port 0 also picks an
+  /// ephemeral port.
+  static Result<std::unique_ptr<TcpNetwork>> create(SiteId self,
+                                                    std::vector<TcpPeer> peers);
+
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  SiteId self() const override { return self_; }
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  Result<void> send(SiteId to, wire::Message message) override;
+  std::optional<wire::Envelope> recv(Duration timeout) override;
+
+  /// Update a peer's address (e.g. after it bound an ephemeral port).
+  /// Drops any cached connection to that peer.
+  void update_peer(SiteId site, TcpPeer peer);
+
+  void shutdown();
+
+  NetworkStats stats() const;
+
+ private:
+  TcpNetwork(SiteId self, std::vector<TcpPeer> peers);
+
+  Result<void> start_listener();
+  void accept_loop();
+  void reader_loop(int fd);
+  /// Start a frame reader on `fd` and register it for shutdown/close.
+  /// Connections are full-duplex: replies may arrive on outbound sockets.
+  void spawn_reader(int fd);
+  Result<int> peer_socket(SiteId to);
+
+  SiteId self_;
+  std::vector<TcpPeer> peers_;
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;  // every socket with a reader; owns closing
+
+  std::mutex conn_mu_;
+  std::map<SiteId, int> conns_;    // outbound sockets by peer
+  std::map<SiteId, int> learned_;  // inbound sockets by observed sender
+  std::mutex send_mu_;             // serializes frame writes
+
+  Channel<wire::Envelope> inbox_;
+
+  mutable std::mutex stats_mu_;
+  NetworkStats stats_;
+};
+
+}  // namespace hyperfile

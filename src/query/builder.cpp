@@ -1,0 +1,102 @@
+#include "query/builder.hpp"
+
+#include <stdexcept>
+
+#include "model/tuple.hpp"
+
+namespace hyperfile {
+
+QueryBuilder QueryBuilder::from_set(std::string name) {
+  QueryBuilder b;
+  b.q_.set_initial_set_name(std::move(name));
+  return b;
+}
+
+QueryBuilder QueryBuilder::from_ids(std::vector<ObjectId> ids) {
+  QueryBuilder b;
+  b.q_.set_initial_ids(std::move(ids));
+  return b;
+}
+
+QueryBuilder& QueryBuilder::select(Pattern type, Pattern key, Pattern data) {
+  q_.add_filter(SelectFilter{std::move(type), std::move(key), std::move(data)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::select_key(std::string type, std::string key) {
+  return select(Pattern::literal(std::move(type)), Pattern::literal(std::move(key)),
+                Pattern::any());
+}
+
+QueryBuilder& QueryBuilder::select_eq(std::string type, std::string key, Value data) {
+  return select(Pattern::literal(std::move(type)), Pattern::literal(std::move(key)),
+                Pattern::literal(std::move(data)));
+}
+
+QueryBuilder& QueryBuilder::deref_keep(std::string var) {
+  q_.add_filter(DerefFilter{std::move(var), /*keep_source=*/true});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::deref_only(std::string var) {
+  q_.add_filter(DerefFilter{std::move(var), /*keep_source=*/false});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::follow(std::string pointer_key, bool keep_source) {
+  std::string var = "__f" + std::to_string(synth_var_counter_++);
+  select(Pattern::literal(tuple_types::kPointer), Pattern::literal(std::move(pointer_key)),
+         Pattern::bind(var));
+  q_.add_filter(DerefFilter{std::move(var), keep_source});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::begin_iterate(std::uint32_t k) {
+  iterate_stack_.push_back(q_.size() + 1);
+  // Stash k by encoding it into the stack? Keep a parallel stack instead.
+  pending_counts_.push_back(k);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::end_iterate() {
+  if (iterate_stack_.empty()) {
+    throw std::logic_error("QueryBuilder::end_iterate without begin_iterate");
+  }
+  const std::uint32_t body_start = iterate_stack_.back();
+  iterate_stack_.pop_back();
+  const std::uint32_t k = pending_counts_.back();
+  pending_counts_.pop_back();
+  q_.add_filter(IterateFilter{body_start, k});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::retrieve(std::string type, std::string key,
+                                     std::string var) {
+  const std::uint32_t slot = q_.add_retrieve_slot(std::move(var));
+  return select(Pattern::literal(std::move(type)), Pattern::literal(std::move(key)),
+                Pattern::retrieve(slot));
+}
+
+QueryBuilder& QueryBuilder::count_only() {
+  q_.set_count_only(true);
+  return *this;
+}
+
+Query QueryBuilder::into(std::string name) {
+  q_.set_result_set_name(std::move(name));
+  return build();
+}
+
+Query QueryBuilder::build() {
+  if (!iterate_stack_.empty()) {
+    throw std::logic_error("QueryBuilder: unclosed begin_iterate");
+  }
+  auto v = q_.validate();
+  if (!v.ok()) {
+    throw std::invalid_argument("QueryBuilder produced invalid query: " +
+                                v.error().to_string());
+  }
+  return q_;
+}
+
+}  // namespace hyperfile

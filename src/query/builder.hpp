@@ -1,0 +1,71 @@
+// Fluent construction of queries from application code.
+//
+// Example — the paper's Section 3 query
+//   S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T
+// becomes:
+//   Query q = QueryBuilder::from_set("S")
+//       .begin_iterate(3)
+//         .select(tuple_types::kPointer, "Reference", Pattern::bind("X"))
+//         .deref_keep("X")
+//       .end_iterate()
+//       .select_key(tuple_types::kKeyword, "Distributed")
+//       .into("T");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/query.hpp"
+
+namespace hyperfile {
+
+class QueryBuilder {
+ public:
+  /// Start from a named stored set.
+  static QueryBuilder from_set(std::string name);
+  /// Start from explicit object ids.
+  static QueryBuilder from_ids(std::vector<ObjectId> ids);
+
+  /// Selection with explicit patterns. String arguments are implicitly
+  /// literal patterns via Pattern's converting factories.
+  QueryBuilder& select(Pattern type, Pattern key, Pattern data);
+  /// Common shorthand: literal type + key, any data — e.g. keyword tests.
+  QueryBuilder& select_key(std::string type, std::string key);
+  /// Common shorthand: literal type/key/string-data equality.
+  QueryBuilder& select_eq(std::string type, std::string key, Value data);
+
+  /// Follow pointers bound to `var`, keeping the pointing object (paper ⇑).
+  QueryBuilder& deref_keep(std::string var);
+  /// Follow pointers bound to `var`, dropping the pointing object (paper ↑).
+  QueryBuilder& deref_only(std::string var);
+
+  /// Convenience: select pointers with the given key into a fresh internal
+  /// variable and dereference them. `keep_source` selects ⇑ vs ↑.
+  QueryBuilder& follow(std::string pointer_key, bool keep_source = true);
+
+  /// Begin an iterator body repeated to depth k (kUnboundedIterations = *).
+  QueryBuilder& begin_iterate(std::uint32_t k = kUnboundedIterations);
+  QueryBuilder& end_iterate();
+
+  /// Retrieval: match (type, key, anything) and ship the data value back to
+  /// the application tagged with `var`. Returns the slot index via out-param
+  /// overload-free API: slots are looked up by name in QueryResult.
+  QueryBuilder& retrieve(std::string type, std::string key, std::string var);
+
+  /// Enable the distributed-set optimisation (sites report counts only).
+  QueryBuilder& count_only();
+
+  /// Finish, binding the result set to `name`. Asserts the query validates.
+  Query into(std::string name);
+  /// Finish without binding a result name.
+  Query build();
+
+ private:
+  QueryBuilder() = default;
+  Query q_;
+  std::vector<std::uint32_t> iterate_stack_;   // body_start indexes (1-based)
+  std::vector<std::uint32_t> pending_counts_;  // k for each open iterator
+  int synth_var_counter_ = 0;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,59 @@
+// Filter operations F_1 ... F_n making up a query body (paper Section 3).
+//
+// Three kinds:
+//   * Select    — (type_pattern, key_pattern, data_pattern) tuple matching;
+//   * Deref     — follow the pointers bound to a matching variable. The
+//     paper writes ⇑X (keep the pointing object *and* enqueue the targets)
+//     and ↑X (enqueue the targets, drop the pointing object). In ASCII
+//     query text these are "^^X" and "^X".
+//   * Iterate   — I_j^k at index i: loop marker closing the body [j, i).
+//     Objects that have not yet traversed the body (start > j) and whose
+//     pointer-chain depth is below k are sent back to j; others fall
+//     through. k == kUnboundedIterations ("*") computes a transitive
+//     closure, with cycle safety provided by the engine's mark table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "query/pattern.hpp"
+
+namespace hyperfile {
+
+/// k value meaning "iterate to transitive closure" (paper's `*`).
+inline constexpr std::uint32_t kUnboundedIterations = UINT32_MAX;
+
+struct SelectFilter {
+  Pattern type_pattern;
+  Pattern key_pattern;
+  Pattern data_pattern;
+
+  friend bool operator==(const SelectFilter&, const SelectFilter&) = default;
+};
+
+struct DerefFilter {
+  std::string var;
+  /// true: paper's ⇑ — the dereferencing object continues through the query.
+  /// false: paper's ↑ — only the referenced objects continue.
+  bool keep_source = true;
+
+  friend bool operator==(const DerefFilter&, const DerefFilter&) = default;
+};
+
+struct IterateFilter {
+  /// 1-based index j of the first filter in the loop body.
+  std::uint32_t body_start = 1;
+  /// Maximum pointer-chain depth k, or kUnboundedIterations for `*`.
+  std::uint32_t count = kUnboundedIterations;
+
+  bool unbounded() const { return count == kUnboundedIterations; }
+
+  friend bool operator==(const IterateFilter&, const IterateFilter&) = default;
+};
+
+using Filter = std::variant<SelectFilter, DerefFilter, IterateFilter>;
+
+std::string to_string(const Filter& f);
+
+}  // namespace hyperfile

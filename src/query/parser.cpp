@@ -1,0 +1,414 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hyperfile {
+namespace {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kInt,
+  kString,
+  kRegex,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kCaret,        // ^
+  kCaretCaret,   // ^^
+  kQuestion,     // ?
+  kDollar,       // $
+  kArrow,        // ->
+  kStar,         // *
+  kDot,          // .
+  kDotDot,       // ..
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<Token> next() {
+    skip_noise();
+    Token t;
+    t.pos = i_;
+    if (i_ >= src_.size()) return t;
+    const char c = src_[i_];
+    switch (c) {
+      case '(':
+        ++i_;
+        t.kind = Tok::kLParen;
+        return t;
+      case ')':
+        ++i_;
+        t.kind = Tok::kRParen;
+        return t;
+      case '{':
+        ++i_;
+        t.kind = Tok::kLBrace;
+        return t;
+      case '}':
+        ++i_;
+        t.kind = Tok::kRBrace;
+        return t;
+      case '[':
+        ++i_;
+        t.kind = Tok::kLBracket;
+        return t;
+      case ']':
+        ++i_;
+        t.kind = Tok::kRBracket;
+        return t;
+      case ',':
+        ++i_;
+        t.kind = Tok::kComma;
+        return t;
+      case '*':
+        ++i_;
+        t.kind = Tok::kStar;
+        return t;
+      case '?':
+        ++i_;
+        t.kind = Tok::kQuestion;
+        return t;
+      case '$':
+        ++i_;
+        t.kind = Tok::kDollar;
+        return t;
+      case '^':
+        ++i_;
+        if (i_ < src_.size() && src_[i_] == '^') {
+          ++i_;
+          t.kind = Tok::kCaretCaret;
+        } else {
+          t.kind = Tok::kCaret;
+        }
+        return t;
+      case '.':
+        ++i_;
+        if (i_ < src_.size() && src_[i_] == '.') {
+          ++i_;
+          t.kind = Tok::kDotDot;
+        } else {
+          t.kind = Tok::kDot;
+        }
+        return t;
+      case '-':
+        if (i_ + 1 < src_.size() && src_[i_ + 1] == '>') {
+          i_ += 2;
+          t.kind = Tok::kArrow;
+          return t;
+        }
+        return lex_number(t);
+      case '"':
+        return lex_string(t);
+      case '/':
+        return lex_regex(t);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(t);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident(t);
+    }
+    return err("unexpected character '" + std::string(1, c) + "'");
+  }
+
+ private:
+  void skip_noise() {
+    // '|' is a visual separator inside iterator bodies; treat as whitespace.
+    while (i_ < src_.size() &&
+           (std::isspace(static_cast<unsigned char>(src_[i_])) || src_[i_] == '|')) {
+      ++i_;
+    }
+  }
+
+  Result<Token> lex_number(Token t) {
+    t.kind = Tok::kInt;
+    std::size_t start = i_;
+    if (src_[i_] == '-') ++i_;
+    while (i_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[i_]))) {
+      ++i_;
+    }
+    if (i_ == start || (src_[start] == '-' && i_ == start + 1)) {
+      return err("malformed number");
+    }
+    t.text = std::string(src_.substr(start, i_ - start));
+    t.number = std::strtoll(t.text.c_str(), nullptr, 10);
+    return t;
+  }
+
+  Result<Token> lex_string(Token t) {
+    t.kind = Tok::kString;
+    ++i_;  // opening quote
+    std::string out;
+    while (i_ < src_.size() && src_[i_] != '"') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      out += src_[i_++];
+    }
+    if (i_ >= src_.size()) return err("unterminated string literal");
+    ++i_;  // closing quote
+    t.text = std::move(out);
+    return t;
+  }
+
+  Result<Token> lex_regex(Token t) {
+    t.kind = Tok::kRegex;
+    ++i_;  // opening slash
+    std::string out;
+    while (i_ < src_.size() && src_[i_] != '/') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) out += src_[i_++];
+      out += src_[i_++];
+    }
+    if (i_ >= src_.size()) return err("unterminated regex");
+    ++i_;  // closing slash
+    t.text = std::move(out);
+    return t;
+  }
+
+  Result<Token> lex_ident(Token t) {
+    t.kind = Tok::kIdent;
+    std::size_t start = i_;
+    while (i_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[i_])) ||
+                                src_[i_] == '_')) {
+      ++i_;
+    }
+    t.text = std::string(src_.substr(start, i_ - start));
+    return t;
+  }
+
+  Error err(std::string msg) {
+    return make_error(Errc::kInvalidArgument,
+                      msg + " at offset " + std::to_string(i_));
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Result<Query> parse() {
+    if (auto r = advance(); !r.ok()) return r.error();
+
+    // Initial set.
+    if (cur_.kind == Tok::kIdent) {
+      q_.set_initial_set_name(cur_.text);
+      if (auto r = advance(); !r.ok()) return r.error();
+    } else if (cur_.kind == Tok::kLBrace) {
+      if (auto r = parse_id_list(); !r.ok()) return r.error();
+    } else {
+      return fail("expected initial set (name or {ids})");
+    }
+
+    // Body.
+    if (auto r = parse_body(/*inside_group=*/false); !r.ok()) return r.error();
+
+    // Optional "count", then -> [name].
+    if (cur_.kind == Tok::kIdent && cur_.text == "count") {
+      q_.set_count_only(true);
+      if (auto r = advance(); !r.ok()) return r.error();
+    }
+    if (cur_.kind != Tok::kArrow) return fail("expected '->' ending the query");
+    if (auto r = advance(); !r.ok()) return r.error();
+    if (cur_.kind == Tok::kIdent) {
+      q_.set_result_set_name(cur_.text);
+      if (auto r = advance(); !r.ok()) return r.error();
+    }
+    if (cur_.kind != Tok::kEnd) return fail("trailing input after query");
+
+    if (auto v = q_.validate(); !v.ok()) return v.error();
+    return q_;
+  }
+
+ private:
+  Result<void> advance() {
+    auto t = lex_.next();
+    if (!t.ok()) return t.error();
+    cur_ = std::move(t).value();
+    return {};
+  }
+
+  Error fail(std::string msg) {
+    return make_error(Errc::kInvalidArgument,
+                      msg + " at offset " + std::to_string(cur_.pos));
+  }
+
+  Result<void> parse_id_list() {
+    // cur_ is '{'
+    if (auto r = advance(); !r.ok()) return r.error();
+    std::vector<ObjectId> ids;
+    while (cur_.kind != Tok::kRBrace) {
+      if (cur_.kind != Tok::kInt) return fail("expected object id (site.seq)");
+      const auto site = static_cast<SiteId>(cur_.number);
+      if (auto r = advance(); !r.ok()) return r.error();
+      if (cur_.kind != Tok::kDot) return fail("expected '.' in object id");
+      if (auto r = advance(); !r.ok()) return r.error();
+      if (cur_.kind != Tok::kInt) return fail("expected sequence in object id");
+      ids.emplace_back(site, static_cast<LocalSeq>(cur_.number));
+      if (auto r = advance(); !r.ok()) return r.error();
+      if (cur_.kind == Tok::kComma) {
+        if (auto r = advance(); !r.ok()) return r.error();
+      }
+    }
+    if (auto r = advance(); !r.ok()) return r.error();  // eat '}'
+    q_.set_initial_ids(std::move(ids));
+    return {};
+  }
+
+  /// Parses elements until a token that cannot start one. When
+  /// inside_group, the caller handles the closing ']'.
+  Result<void> parse_body(bool inside_group) {
+    for (;;) {
+      switch (cur_.kind) {
+        case Tok::kLParen: {
+          if (auto r = parse_select(); !r.ok()) return r;
+          break;
+        }
+        case Tok::kCaret:
+        case Tok::kCaretCaret: {
+          const bool keep = cur_.kind == Tok::kCaretCaret;
+          if (auto r = advance(); !r.ok()) return r.error();
+          if (cur_.kind != Tok::kIdent) return fail("expected variable after ^");
+          q_.add_filter(DerefFilter{cur_.text, keep});
+          if (auto r = advance(); !r.ok()) return r.error();
+          break;
+        }
+        case Tok::kLBracket: {
+          const std::uint32_t body_start = q_.size() + 1;
+          if (auto r = advance(); !r.ok()) return r.error();
+          if (auto r = parse_body(/*inside_group=*/true); !r.ok()) return r;
+          if (cur_.kind != Tok::kRBracket) return fail("expected ']'");
+          if (auto r = advance(); !r.ok()) return r.error();
+          std::uint32_t k = kUnboundedIterations;
+          if (cur_.kind == Tok::kStar) {
+            if (auto r = advance(); !r.ok()) return r.error();
+          } else if (cur_.kind == Tok::kInt) {
+            if (cur_.number <= 0) return fail("iterator count must be positive");
+            k = static_cast<std::uint32_t>(cur_.number);
+            if (auto r = advance(); !r.ok()) return r.error();
+          } else {
+            return fail("expected iteration count or '*' after ']'");
+          }
+          q_.add_filter(IterateFilter{body_start, k});
+          break;
+        }
+        default:
+          if (inside_group && cur_.kind != Tok::kRBracket) {
+            return fail("unexpected token in iterator body");
+          }
+          return {};
+      }
+    }
+  }
+
+  Result<void> parse_select() {
+    // cur_ is '('
+    if (auto r = advance(); !r.ok()) return r.error();
+    Pattern pats[3];
+    for (int i = 0; i < 3; ++i) {
+      auto p = parse_pattern();
+      if (!p.ok()) return p.error();
+      pats[i] = std::move(p).value();
+      if (i < 2) {
+        if (cur_.kind != Tok::kComma) return fail("expected ',' in selection");
+        if (auto r = advance(); !r.ok()) return r.error();
+      }
+    }
+    if (cur_.kind != Tok::kRParen) return fail("expected ')' closing selection");
+    if (auto r = advance(); !r.ok()) return r.error();
+    q_.add_filter(SelectFilter{std::move(pats[0]), std::move(pats[1]),
+                               std::move(pats[2])});
+    return {};
+  }
+
+  Result<Pattern> parse_pattern() {
+    switch (cur_.kind) {
+      case Tok::kQuestion: {
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind == Tok::kIdent) {
+          Pattern p = Pattern::bind(cur_.text);
+          if (auto r = advance(); !r.ok()) return r.error();
+          return p;
+        }
+        return Pattern::any();
+      }
+      case Tok::kDollar: {
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kIdent) return fail("expected variable after '$'");
+        Pattern p = Pattern::use(cur_.text);
+        if (auto r = advance(); !r.ok()) return r.error();
+        return p;
+      }
+      case Tok::kArrow: {
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kIdent) return fail("expected slot name after '->'");
+        const std::uint32_t slot = q_.add_retrieve_slot(cur_.text);
+        if (auto r = advance(); !r.ok()) return r.error();
+        return Pattern::retrieve(slot);
+      }
+      case Tok::kString: {
+        Pattern p = Pattern::literal(cur_.text);
+        if (auto r = advance(); !r.ok()) return r.error();
+        return p;
+      }
+      case Tok::kRegex: {
+        auto p = Pattern::regex(cur_.text);
+        if (!p.ok()) return p.error();
+        if (auto r = advance(); !r.ok()) return r.error();
+        return std::move(p).value();
+      }
+      case Tok::kInt: {
+        const std::int64_t n = cur_.number;
+        if (auto r = advance(); !r.ok()) return r.error();
+        return Pattern::literal(n);
+      }
+      case Tok::kLBracket: {
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kInt) return fail("expected range lower bound");
+        const std::int64_t lo = cur_.number;
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kDotDot) return fail("expected '..' in range");
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kInt) return fail("expected range upper bound");
+        const std::int64_t hi = cur_.number;
+        if (auto r = advance(); !r.ok()) return r.error();
+        if (cur_.kind != Tok::kRBracket) return fail("expected ']' closing range");
+        if (auto r = advance(); !r.ok()) return r.error();
+        return Pattern::range(lo, hi);
+      }
+      case Tok::kIdent: {
+        // Bare word: string literal (the paper writes tuple types unquoted).
+        Pattern p = Pattern::literal(cur_.text);
+        if (auto r = advance(); !r.ok()) return r.error();
+        return p;
+      }
+      default:
+        return fail("expected pattern");
+    }
+  }
+
+  Lexer lex_;
+  Token cur_;
+  Query q_;
+};
+
+}  // namespace
+
+Result<Query> parse_query(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace hyperfile

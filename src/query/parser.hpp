@@ -1,0 +1,39 @@
+// Parser for the ASCII rendering of the HyperFile query language.
+//
+// Grammar (whitespace and '|' separators are insignificant between elements):
+//
+//   query    := initial body ["count"] "->" [IDENT]
+//   initial  := IDENT                         named stored set
+//             | "{" [oid ("," oid)*] "}"      explicit object ids
+//   oid      := INT "." INT                   birth_site . sequence
+//   body     := element*
+//   element  := select | deref | "[" body "]" (INT | "*")
+//   select   := "(" pattern "," pattern "," pattern ")"
+//   deref    := "^^" IDENT                    paper's  ⇑X  (keep source)
+//             | "^" IDENT                     paper's  ↑X  (drop source)
+//   pattern  := "?" [IDENT]                   wildcard / bind variable
+//             | "$" IDENT                     use variable bindings
+//             | "->" IDENT                    retrieval into named slot
+//             | STRING                        string literal ("...")
+//             | "/" regex "/"                 regular expression
+//             | INT                           number literal
+//             | "[" INT ".." INT "]"          numeric range
+//             | IDENT                         bare word = string literal
+//
+// Examples from the paper:
+//   S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T
+//   S [ (pointer, "Called Routine", ?X) | ^^X ]* (string, "Author", "Joe Programmer") -> T
+//   S (string, "Author", "Chris Clifton") (string, "Title", ->title) -> T
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "query/query.hpp"
+
+namespace hyperfile {
+
+Result<Query> parse_query(std::string_view text);
+
+}  // namespace hyperfile

@@ -1,0 +1,113 @@
+#include "query/pattern.hpp"
+
+namespace hyperfile {
+
+Pattern Pattern::literal(Value v) {
+  Pattern p;
+  p.kind_ = PatternKind::kLiteral;
+  p.literal_ = std::move(v);
+  return p;
+}
+
+Result<Pattern> Pattern::regex(std::string expr) {
+  Pattern p;
+  p.kind_ = PatternKind::kRegex;
+  try {
+    p.compiled_ = std::make_shared<const std::regex>(expr, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    return make_error(Errc::kInvalidArgument,
+                      "bad regex '" + expr + "': " + e.what());
+  }
+  p.text_ = std::move(expr);
+  return p;
+}
+
+Pattern Pattern::range(std::int64_t lo, std::int64_t hi) {
+  Pattern p;
+  p.kind_ = PatternKind::kRange;
+  p.lo_ = lo;
+  p.hi_ = hi;
+  return p;
+}
+
+Pattern Pattern::bind(std::string var) {
+  Pattern p;
+  p.kind_ = PatternKind::kBind;
+  p.text_ = std::move(var);
+  return p;
+}
+
+Pattern Pattern::use(std::string var) {
+  Pattern p;
+  p.kind_ = PatternKind::kUse;
+  p.text_ = std::move(var);
+  return p;
+}
+
+Pattern Pattern::retrieve(std::uint32_t slot) {
+  Pattern p;
+  p.kind_ = PatternKind::kRetrieve;
+  p.slot_ = slot;
+  return p;
+}
+
+bool Pattern::matches_basic(const Value& v) const {
+  switch (kind_) {
+    case PatternKind::kAny:
+    case PatternKind::kBind:
+    case PatternKind::kRetrieve:
+      return true;
+    case PatternKind::kLiteral:
+      return literal_ == v;
+    case PatternKind::kRegex:
+      return v.is_string() && compiled_ != nullptr &&
+             std::regex_search(v.as_string(), *compiled_);
+    case PatternKind::kRange:
+      return v.is_number() && v.as_number() >= lo_ && v.as_number() <= hi_;
+    case PatternKind::kUse:
+      return false;  // needs binding table; resolved by the engine
+  }
+  return false;
+}
+
+bool operator==(const Pattern& a, const Pattern& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case PatternKind::kAny:
+      return true;
+    case PatternKind::kLiteral:
+      return a.literal_ == b.literal_;
+    case PatternKind::kRegex:
+      return a.text_ == b.text_;
+    case PatternKind::kRange:
+      return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+    case PatternKind::kBind:
+    case PatternKind::kUse:
+      return a.text_ == b.text_;
+    case PatternKind::kRetrieve:
+      return a.slot_ == b.slot_;
+  }
+  return false;
+}
+
+std::string Pattern::to_string() const {
+  switch (kind_) {
+    case PatternKind::kAny:
+      return "?";
+    case PatternKind::kLiteral:
+      return literal_.to_string();
+    case PatternKind::kRegex:
+      return "/" + text_ + "/";
+    case PatternKind::kRange:
+      return "[" + std::to_string(lo_) + ".." + std::to_string(hi_) + "]";
+    case PatternKind::kBind:
+      return "?" + text_;
+    case PatternKind::kUse:
+      return "$" + text_;
+    case PatternKind::kRetrieve:
+      return "->#" + std::to_string(slot_);
+  }
+  return "?";
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,179 @@
+#include "query/query.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace hyperfile {
+
+std::string to_string(const Filter& f) {
+  if (const auto* s = std::get_if<SelectFilter>(&f)) {
+    return "(" + s->type_pattern.to_string() + ", " + s->key_pattern.to_string() +
+           ", " + s->data_pattern.to_string() + ")";
+  }
+  if (const auto* d = std::get_if<DerefFilter>(&f)) {
+    return (d->keep_source ? "^^" : "^") + d->var;
+  }
+  const auto& it = std::get<IterateFilter>(f);
+  std::string s = "]@" + std::to_string(it.body_start);
+  s += it.unbounded() ? "*" : std::to_string(it.count);
+  return s;
+}
+
+std::uint32_t Query::iterator_depth(std::uint32_t index_1based) const {
+  std::uint32_t depth = 0;
+  for (std::uint32_t i = 1; i <= size(); ++i) {
+    const auto* it = std::get_if<IterateFilter>(&filters_[i - 1]);
+    if (it == nullptr) continue;
+    if (index_1based >= it->body_start && index_1based <= i) ++depth;
+  }
+  return depth;
+}
+
+Result<void> Query::validate() const {
+  const std::uint32_t n = size();
+
+  // Iterator structure: j <= i, and intervals [j, i] properly nested.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    const auto* it = std::get_if<IterateFilter>(&filters_[i - 1]);
+    if (it == nullptr) continue;
+    if (it->body_start < 1 || it->body_start > i) {
+      return make_error(Errc::kInvalidArgument,
+                        "iterator at filter " + std::to_string(i) +
+                            " has body_start " + std::to_string(it->body_start));
+    }
+    if (it->count == 0) {
+      return make_error(Errc::kInvalidArgument,
+                        "iterator at filter " + std::to_string(i) + " has k == 0");
+    }
+    intervals.emplace_back(it->body_start, i);
+  }
+  for (std::size_t a = 0; a < intervals.size(); ++a) {
+    for (std::size_t b = a + 1; b < intervals.size(); ++b) {
+      const auto [j1, i1] = intervals[a];
+      const auto [j2, i2] = intervals[b];
+      const bool disjoint = i1 < j2 || i2 < j1;
+      const bool nested = (j1 <= j2 && i2 <= i1) || (j2 <= j1 && i1 <= i2);
+      // Two iterators may not close at the same index; that would be two
+      // loops sharing an end marker, which the execution model can't express.
+      if (i1 == i2 || (!disjoint && !nested)) {
+        return make_error(Errc::kInvalidArgument,
+                          "iterators at filters " + std::to_string(i1) + " and " +
+                              std::to_string(i2) + " overlap without nesting");
+      }
+    }
+  }
+
+  // Bind-before-use for matching variables.
+  std::set<std::string> bound;
+  auto pattern_binds = [&](const Pattern& p) {
+    if (p.binds()) bound.insert(p.var());
+  };
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    const Filter& f = filters_[i - 1];
+    if (const auto* s = std::get_if<SelectFilter>(&f)) {
+      // A Use in the same filter may legally refer to a Bind in the same
+      // filter from an earlier tuple match, so record binds first.
+      pattern_binds(s->type_pattern);
+      pattern_binds(s->key_pattern);
+      pattern_binds(s->data_pattern);
+      for (const Pattern* p :
+           {&s->type_pattern, &s->key_pattern, &s->data_pattern}) {
+        if (p->uses() && bound.count(p->var()) == 0) {
+          return make_error(Errc::kInvalidArgument,
+                            "matching variable $" + p->var() +
+                                " used at filter " + std::to_string(i) +
+                                " before any binding");
+        }
+        if (p->retrieves() && p->slot() >= retrieve_slots_.size()) {
+          return make_error(Errc::kInvalidArgument,
+                            "retrieve slot #" + std::to_string(p->slot()) +
+                                " out of range at filter " + std::to_string(i));
+        }
+      }
+    } else if (const auto* d = std::get_if<DerefFilter>(&f)) {
+      if (bound.count(d->var) == 0) {
+        return make_error(Errc::kInvalidArgument,
+                          "dereference of unbound variable " + d->var +
+                              " at filter " + std::to_string(i));
+      }
+    }
+  }
+
+  if (initial_ids_.empty() && initial_set_name_.empty()) {
+    return make_error(Errc::kInvalidArgument, "query has no initial set");
+  }
+  return {};
+}
+
+std::string Query::to_string() const {
+  // Render in the parser's concrete syntax: iterator bodies in brackets,
+  // with '|' separating body filters (as in the paper's examples).
+  std::ostringstream os;
+  if (!initial_set_name_.empty()) {
+    os << initial_set_name_;
+  } else {
+    // Parser-compatible id form: birth.seq (the presumed-site hint is not
+    // part of the textual syntax).
+    os << "{";
+    for (std::size_t i = 0; i < initial_ids_.size(); ++i) {
+      if (i) os << ", ";
+      os << initial_ids_[i].birth_site << "." << initial_ids_[i].seq;
+    }
+    os << "}";
+  }
+  os << " ";
+
+  const std::uint32_t n = size();
+  // Opening positions: iterator at index i with body j opens a '[' before j.
+  std::vector<std::vector<std::uint32_t>> opens(n + 2), closes(n + 2);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    if (const auto* it = std::get_if<IterateFilter>(&filters_[i - 1])) {
+      opens[it->body_start].push_back(i);
+      closes[i].push_back(i);
+    }
+  }
+  bool first_in_group = true;
+  int open_depth = 0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    for (std::size_t k = 0; k < opens[i].size(); ++k) {
+      os << "[ ";
+      first_in_group = true;
+      ++open_depth;
+    }
+    if (std::holds_alternative<IterateFilter>(filters_[i - 1])) {
+      const auto& it = std::get<IterateFilter>(filters_[i - 1]);
+      os << "]";
+      if (it.unbounded()) {
+        os << "*";
+      } else {
+        os << it.count;
+      }
+      os << " ";
+      first_in_group = false;
+      --open_depth;
+      continue;
+    }
+    if (open_depth > 0 && !first_in_group) os << "| ";
+    // Retrieval patterns render with their slot *name* for readability.
+    if (const auto* s = std::get_if<SelectFilter>(&filters_[i - 1])) {
+      auto render = [&](const Pattern& p) {
+        if (p.retrieves() && p.slot() < retrieve_slots_.size()) {
+          return "->" + retrieve_slots_[p.slot()];
+        }
+        return p.to_string();
+      };
+      os << "(" << render(s->type_pattern) << ", " << render(s->key_pattern)
+         << ", " << render(s->data_pattern) << ") ";
+    } else {
+      os << hyperfile::to_string(filters_[i - 1]) << " ";
+    }
+    first_in_group = false;
+  }
+  if (count_only_) os << "count ";
+  os << "->";
+  if (!result_set_name_.empty()) os << " " << result_set_name_;
+  return os.str();
+}
+
+}  // namespace hyperfile

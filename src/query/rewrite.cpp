@@ -1,0 +1,168 @@
+#include "query/rewrite.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace hyperfile {
+namespace {
+
+bool is_all_any_select(const Filter& f) {
+  const auto* s = std::get_if<SelectFilter>(&f);
+  return s != nullptr && s->type_pattern.kind() == PatternKind::kAny &&
+         s->key_pattern.kind() == PatternKind::kAny &&
+         s->data_pattern.kind() == PatternKind::kAny;
+}
+
+bool is_body_start_of_any_iterator(const Query& q, std::uint32_t index) {
+  for (std::uint32_t i = 1; i <= q.size(); ++i) {
+    const auto* it = std::get_if<IterateFilter>(&q.filter(i));
+    if (it != nullptr && it->body_start == index) return true;
+  }
+  return false;
+}
+
+/// Rebuild `q` without the filter at `removed` (1-based), shifting iterator
+/// body_start references that point past it.
+Query remove_filter(const Query& q, std::uint32_t removed) {
+  Query out;
+  out.set_initial_ids(q.initial_ids());
+  out.set_initial_set_name(q.initial_set_name());
+  out.set_result_set_name(q.result_set_name());
+  out.set_retrieve_slots(q.retrieve_slots());
+  out.set_count_only(q.count_only());
+  for (std::uint32_t i = 1; i <= q.size(); ++i) {
+    if (i == removed) continue;
+    Filter f = q.filter(i);
+    if (auto* it = std::get_if<IterateFilter>(&f)) {
+      if (it->body_start > removed) --it->body_start;
+    }
+    out.add_filter(std::move(f));
+  }
+  return out;
+}
+
+/// Variables that are consumed somewhere (dereferenced or used via $X).
+std::set<std::string> live_variables(const Query& q) {
+  std::set<std::string> live;
+  for (const Filter& f : q.filters()) {
+    if (const auto* d = std::get_if<DerefFilter>(&f)) {
+      live.insert(d->var);
+    } else if (const auto* s = std::get_if<SelectFilter>(&f)) {
+      for (const Pattern* p :
+           {&s->type_pattern, &s->key_pattern, &s->data_pattern}) {
+        if (p->uses()) live.insert(p->var());
+      }
+    }
+  }
+  return live;
+}
+
+// Each pass returns true if it changed the query.
+
+bool pass_duplicate_selects(Query& q, RewriteStats& stats) {
+  for (std::uint32_t i = 2; i <= q.size(); ++i) {
+    const auto* cur = std::get_if<SelectFilter>(&q.filter(i));
+    const auto* prev = std::get_if<SelectFilter>(&q.filter(i - 1));
+    if (cur == nullptr || prev == nullptr || !(*cur == *prev)) continue;
+    // Identical consecutive selects: idempotent, and the second one cannot
+    // be an independent entry point unless it starts an iterator body or
+    // follows a dereference (prev is a select, so it doesn't). Retrieval
+    // patterns make the copies non-redundant message-wise, so skip those.
+    if (cur->type_pattern.retrieves() || cur->key_pattern.retrieves() ||
+        cur->data_pattern.retrieves()) {
+      continue;
+    }
+    if (is_body_start_of_any_iterator(q, i)) continue;
+    q = remove_filter(q, i);
+    ++stats.duplicate_selects_removed;
+    return true;
+  }
+  return false;
+}
+
+bool pass_redundant_wildcards(Query& q, RewriteStats& stats) {
+  for (std::uint32_t i = 2; i <= q.size(); ++i) {
+    if (!is_all_any_select(q.filter(i))) continue;
+    // Safe to drop only when every object reaching filter i has already
+    // passed a selection in the same processing pass: the previous filter
+    // is a select (so no deref entry lands here) and i is not a loop-back
+    // target.
+    if (!std::holds_alternative<SelectFilter>(q.filter(i - 1))) continue;
+    if (is_body_start_of_any_iterator(q, i)) continue;
+    q = remove_filter(q, i);
+    ++stats.wildcard_selects_removed;
+    return true;
+  }
+  return false;
+}
+
+bool pass_trivial_iterators(Query& q, RewriteStats& stats) {
+  for (std::uint32_t i = 1; i <= q.size(); ++i) {
+    const auto* it = std::get_if<IterateFilter>(&q.filter(i));
+    if (it == nullptr) continue;
+
+    // k == 1: every dereferenced object enters with chain depth >= 2 >= k
+    // and falls straight through; initial-entry objects exit because
+    // start <= j. Nothing ever loops back.
+    if (it->count == 1) {
+      q = remove_filter(q, i);
+      ++stats.iterators_removed;
+      return true;
+    }
+
+    // No dereference in the body: loop-back requires an object that
+    // *entered* the body via a dereference inside it (start > body_start),
+    // which cannot exist. The marker is a no-op.
+    bool has_deref = false;
+    for (std::uint32_t b = it->body_start; b < i; ++b) {
+      if (std::holds_alternative<DerefFilter>(q.filter(b))) {
+        has_deref = true;
+        break;
+      }
+    }
+    if (!has_deref) {
+      q = remove_filter(q, i);
+      ++stats.iterators_removed;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool pass_dead_bindings(Query& q, RewriteStats& stats) {
+  const std::set<std::string> live = live_variables(q);
+  bool changed = false;
+  std::vector<Filter> filters = q.filters();
+  for (Filter& f : filters) {
+    auto* s = std::get_if<SelectFilter>(&f);
+    if (s == nullptr) continue;
+    for (Pattern* p : {&s->type_pattern, &s->key_pattern, &s->data_pattern}) {
+      if (p->binds() && live.count(p->var()) == 0) {
+        *p = Pattern::any();
+        ++stats.bindings_stripped;
+        changed = true;
+      }
+    }
+  }
+  if (changed) q.set_filters(std::move(filters));
+  return changed;
+}
+
+}  // namespace
+
+Query rewrite_query(const Query& query, RewriteStats* stats) {
+  RewriteStats local;
+  Query q = query;
+  bool changed = true;
+  while (changed) {
+    changed = pass_dead_bindings(q, local);
+    changed = pass_duplicate_selects(q, local) || changed;
+    changed = pass_redundant_wildcards(q, local) || changed;
+    changed = pass_trivial_iterators(q, local) || changed;
+  }
+  assert(q.validate().ok());
+  if (stats != nullptr) *stats = local;
+  return q;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,52 @@
+// Query rewriting: soundness-preserving simplifications applied before
+// execution (and before a query is shipped to remote sites — a smaller body
+// means smaller messages for every dereference).
+//
+// The rewrites lean on two properties the paper states explicitly:
+//   * idempotence — "Operations in the query interface language are
+//     idempotent; passing an object through the same filter many times will
+//     not change the result" (Section 3.1), and
+//   * iterator semantics — an object re-enters a loop body only when it was
+//     dereferenced into the loop and its chain depth is below k.
+//
+// Passes (run to fixpoint):
+//   1. duplicate-select elimination — identical consecutive selection
+//      filters collapse to one (idempotence);
+//   2. redundant-wildcard elimination — a (?, ?, ?) select adjacent to
+//      another selection filter is implied by it (any object passing a
+//      selection has at least one tuple) and is dropped;
+//   3. single-pass iterator elimination — an iterator with k == 1 never
+//      loops anything back (every dereferenced object enters with chain
+//      depth >= 2 >= k), so the marker is dropped;
+//   4. pointerless-loop elimination — an iterator whose body contains no
+//      dereference can never receive a mid-loop entrant, so the marker is
+//      dropped (the body runs exactly once either way);
+//   5. dead-binding elimination — a ?X binding whose variable is never
+//      dereferenced or used downstream becomes a plain wildcard, saving the
+//      binding-table churn on every matching tuple.
+//
+// Every pass preserves the result set and retrieved values for all inputs;
+// tests/test_rewrite.cpp checks this on randomized graphs and queries.
+#pragma once
+
+#include "query/query.hpp"
+
+namespace hyperfile {
+
+struct RewriteStats {
+  std::uint32_t duplicate_selects_removed = 0;
+  std::uint32_t wildcard_selects_removed = 0;
+  std::uint32_t iterators_removed = 0;
+  std::uint32_t bindings_stripped = 0;
+
+  std::uint32_t total() const {
+    return duplicate_selects_removed + wildcard_selects_removed +
+           iterators_removed + bindings_stripped;
+  }
+};
+
+/// Returns the simplified query (possibly identical). The input must be
+/// valid; the output is always valid.
+Query rewrite_query(const Query& query, RewriteStats* stats = nullptr);
+
+}  // namespace hyperfile

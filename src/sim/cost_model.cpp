@@ -1,0 +1,19 @@
+#include "sim/cost_model.hpp"
+
+namespace hyperfile::sim {
+
+CostModel CostModel::free() {
+  CostModel m;
+  m.process_object = Duration(0);
+  m.suppressed_pop = Duration(0);
+  m.result_insert = Duration(0);
+  m.remote_result_id = Duration(0);
+  m.msg_send_cpu = Duration(0);
+  m.msg_recv_cpu = Duration(0);
+  m.msg_latency = Duration(0);
+  m.query_setup = Duration(0);
+  m.query_reply = Duration(0);
+  return m;
+}
+
+}  // namespace hyperfile::sim

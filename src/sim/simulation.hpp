@@ -1,0 +1,76 @@
+// Deterministic discrete-event simulation of a distributed HyperFile
+// deployment (the substitution for the paper's network of IBM PC/RTs —
+// see DESIGN.md Section 1).
+//
+// Model: each site is a sequential server with its own clock. Messages are
+// real wire::Message values carrying real termination weights; delivery
+// costs sender CPU, wire latency, and receiver CPU per the CostModel. Query
+// processing at each site runs the *actual* QueryExecution engine — the
+// simulator adds only timing, so simulated results are bit-identical to the
+// threaded runtime's, and the response-time curves depend on genuine
+// message/parallelism structure rather than a closed-form approximation.
+//
+// The client submits at t = 0 to the originating site; the response time is
+// the instant the originator has detected global termination (weighted-
+// message algorithm) plus the reply overhead — the paper's "actual response
+// time (wall clock) at the client".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "engine/query_result.hpp"
+#include "sim/cost_model.hpp"
+#include "store/site_store.hpp"
+#include "term/weighted.hpp"
+#include "wire/message.hpp"
+
+namespace hyperfile::sim {
+
+struct SimStats {
+  std::uint64_t deref_messages = 0;
+  std::uint64_t batch_messages = 0;
+  std::uint64_t result_messages = 0;
+  std::uint64_t start_messages = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t objects_processed = 0;
+  std::uint64_t suppressed_pops = 0;
+  /// Per-site CPU busy time (index = site id).
+  std::vector<Duration> busy;
+
+  Duration max_busy() const;
+};
+
+struct SimOutcome {
+  QueryResult result;
+  Duration response_time{0};
+  SimStats stats;
+};
+
+struct SimOptions {
+  /// Ship each drain's remote dereferences as one batched message per
+  /// destination instead of one message per pointer (ablation A5).
+  bool batch_derefs = false;
+};
+
+class Simulation {
+ public:
+  Simulation(CostModel costs, std::size_t sites, SimOptions options = {});
+  ~Simulation();
+
+  std::size_t sites() const;
+  SiteStore& store(SiteId site);
+
+  /// Run one query to completion, originated at `origin`. The simulation is
+  /// reusable: stores persist across runs (result sets bind at the
+  /// originator), clocks reset per run.
+  Result<SimOutcome> run(const Query& query, SiteId origin = 0);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hyperfile::sim

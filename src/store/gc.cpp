@@ -1,0 +1,44 @@
+#include "store/gc.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace hyperfile {
+
+GcReport collect_garbage(SiteStore& store, std::span<const ObjectId> extra_roots) {
+  std::unordered_set<ObjectId> live;
+  std::vector<ObjectId> stack;
+
+  auto add_root = [&](const ObjectId& id) {
+    if (live.insert(id).second) stack.push_back(id);
+  };
+  for (const auto& name : store.set_names()) {
+    if (auto id = store.find_set(name)) add_root(*id);
+  }
+  for (const ObjectId& id : extra_roots) add_root(id);
+
+  while (!stack.empty()) {
+    const ObjectId id = stack.back();
+    stack.pop_back();
+    const Object* obj = store.get(id);
+    if (obj == nullptr) continue;  // dangling pointer: nothing to mark
+    for (const ObjectId& target : obj->pointers()) add_root(target);
+  }
+
+  GcReport report;
+  std::vector<ObjectId> doomed;
+  store.for_each([&](const Object& obj) {
+    if (live.count(obj.id()) != 0) {
+      ++report.live;
+    } else {
+      doomed.push_back(obj.id());
+      report.bytes_reclaimed += obj.byte_size();
+    }
+  });
+  for (const ObjectId& id : doomed) {
+    if (store.erase(id)) ++report.collected;
+  }
+  return report;
+}
+
+}  // namespace hyperfile

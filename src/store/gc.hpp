@@ -1,0 +1,34 @@
+// Mark-and-sweep garbage collection for a site store.
+//
+// HyperFile accumulates objects with no owner — superseded result-set
+// objects, archived versions whose chain was cut, documents whose last
+// pointer was edited away. A file system would leak them forever; the
+// pointer graph gives us better: everything transitively reachable from the
+// *roots* (the named sets, plus any application-supplied anchors) is live,
+// the rest is garbage.
+//
+// Site-local by design, like everything else here: pointers from OTHER
+// sites into this one are invisible to a local sweep, so distributed
+// deployments must pass the externally-referenced ids as extra roots (or
+// simply not run GC on shared stores). collect_garbage never touches
+// foreign-born objects unless they are local and unreachable.
+#pragma once
+
+#include <span>
+
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+
+struct GcReport {
+  std::size_t live = 0;
+  std::size_t collected = 0;
+  std::size_t bytes_reclaimed = 0;
+};
+
+/// Sweep `store`: erase every object unreachable from the named sets and
+/// `extra_roots`, following all pointer tuples.
+GcReport collect_garbage(SiteStore& store,
+                         std::span<const ObjectId> extra_roots = {});
+
+}  // namespace hyperfile

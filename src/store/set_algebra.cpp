@@ -1,0 +1,70 @@
+#include "store/set_algebra.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace hyperfile {
+namespace {
+
+struct Operands {
+  std::vector<ObjectId> a;
+  std::vector<ObjectId> b;
+};
+
+Result<Operands> load(SiteStore& store, const std::string& a,
+                      const std::string& b) {
+  auto ma = store.set_members(a);
+  if (!ma.ok()) return ma.error();
+  auto mb = store.set_members(b);
+  if (!mb.ok()) return mb.error();
+  return Operands{std::move(ma).value(), std::move(mb).value()};
+}
+
+ObjectId bind_result(SiteStore& store, const std::string& result,
+              const std::vector<ObjectId>& members) {
+  return store.create_set(result, members);
+}
+
+}  // namespace
+
+Result<ObjectId> set_union(SiteStore& store, const std::string& result,
+                           const std::string& a, const std::string& b) {
+  auto ops = load(store, a, b);
+  if (!ops.ok()) return ops.error();
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> out;
+  for (const auto& ids : {ops.value().a, ops.value().b}) {
+    for (const ObjectId& id : ids) {
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  }
+  return bind_result(store, result, out);
+}
+
+Result<ObjectId> set_intersect(SiteStore& store, const std::string& result,
+                               const std::string& a, const std::string& b) {
+  auto ops = load(store, a, b);
+  if (!ops.ok()) return ops.error();
+  std::unordered_set<ObjectId> right(ops.value().b.begin(), ops.value().b.end());
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> out;
+  for (const ObjectId& id : ops.value().a) {
+    if (right.count(id) != 0 && seen.insert(id).second) out.push_back(id);
+  }
+  return bind_result(store, result, out);
+}
+
+Result<ObjectId> set_difference(SiteStore& store, const std::string& result,
+                                const std::string& a, const std::string& b) {
+  auto ops = load(store, a, b);
+  if (!ops.ok()) return ops.error();
+  std::unordered_set<ObjectId> right(ops.value().b.begin(), ops.value().b.end());
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> out;
+  for (const ObjectId& id : ops.value().a) {
+    if (right.count(id) == 0 && seen.insert(id).second) out.push_back(id);
+  }
+  return bind_result(store, result, out);
+}
+
+}  // namespace hyperfile

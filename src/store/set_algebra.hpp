@@ -1,0 +1,33 @@
+// Set algebra over named sets.
+//
+// HyperFile queries produce and consume *sets of objects* (paper Section 2:
+// "These sets are used as the starting point for queries"). Filtering
+// composes conjunctively within one query; combining result sets across
+// queries — everything by author A *or* author B, cited-by minus already-
+// read — is naturally set algebra, computed where the sets live and bound
+// like any other set, ready to seed the next query.
+//
+// Member order: union keeps left-operand order then appends new right
+// members; intersection and difference keep left-operand order. All results
+// deduplicate.
+#pragma once
+
+#include <string>
+
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+
+/// result = a ∪ b, bound under `result`. Errors if either set is missing.
+Result<ObjectId> set_union(SiteStore& store, const std::string& result,
+                           const std::string& a, const std::string& b);
+
+/// result = a ∩ b.
+Result<ObjectId> set_intersect(SiteStore& store, const std::string& result,
+                               const std::string& a, const std::string& b);
+
+/// result = a \ b.
+Result<ObjectId> set_difference(SiteStore& store, const std::string& result,
+                                const std::string& a, const std::string& b);
+
+}  // namespace hyperfile

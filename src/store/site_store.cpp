@@ -1,0 +1,141 @@
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+
+ObjectId SiteStore::put(Object obj) {
+  if (!obj.id().valid()) obj.set_id(allocate());
+  const ObjectId id = obj.id();
+  objects_[id] = std::move(obj);
+  return id;
+}
+
+Result<ObjectId> SiteStore::put_validated(Object obj,
+                                          const TypeRegistry& registry) {
+  if (auto r = registry.validate(obj); !r.ok()) return r.error();
+  return put(std::move(obj));
+}
+
+const Object* SiteStore::get(const ObjectId& id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool SiteStore::erase(const ObjectId& id) { return objects_.erase(id) != 0; }
+
+std::optional<Object> SiteStore::take(const ObjectId& id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  Object obj = std::move(it->second);
+  objects_.erase(it);
+  return obj;
+}
+
+Result<void> SiteStore::modify(const ObjectId& id,
+                               const std::function<void(Object&)>& mutator) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return make_error(Errc::kNotFound, "no object " + id.to_string());
+  }
+  mutator(it->second);
+  it->second.set_id(id);  // identity is immutable
+  return {};
+}
+
+Result<void> SiteStore::add_tuple(const ObjectId& id, Tuple t) {
+  return modify(id, [&](Object& obj) { obj.add(std::move(t)); });
+}
+
+Result<void> SiteStore::set_tuple(const ObjectId& id, const std::string& type,
+                                  const std::string& key, Value value) {
+  return modify(id, [&](Object& obj) {
+    obj.remove(type, key);
+    obj.add(Tuple(type, key, std::move(value)));
+  });
+}
+
+Result<std::size_t> SiteStore::remove_tuples(const ObjectId& id,
+                                             const std::string& type,
+                                             const std::string& key) {
+  std::size_t removed = 0;
+  auto r = modify(id, [&](Object& obj) { removed = obj.remove(type, key); });
+  if (!r.ok()) return r.error();
+  return removed;
+}
+
+StoreStats SiteStore::stats() const {
+  StoreStats s;
+  s.objects = objects_.size();
+  s.named_sets = named_sets_.size();
+  for (const auto& [id, obj] : objects_) {
+    s.tuples += obj.size();
+    s.bytes += obj.byte_size();
+  }
+  return s;
+}
+
+std::vector<ObjectId> SiteStore::all_ids() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) ids.push_back(id);
+  return ids;
+}
+
+ObjectId SiteStore::create_set(const std::string& name,
+                               std::span<const ObjectId> members) {
+  // Rebinding a name garbage-collects the previous set *object*, but only
+  // if (a) it is one we materialized for this name (application objects
+  // merely bound via bind_set are left alone) and (b) no other name is
+  // still bound to it.
+  if (auto prev = find_set(name)) {
+    bool bound_elsewhere = false;
+    for (const auto& [other_name, other_id] : named_sets_) {
+      if (other_name != name && other_id == *prev) {
+        bound_elsewhere = true;
+        break;
+      }
+    }
+    const Object* obj = get(*prev);
+    if (!bound_elsewhere && obj != nullptr) {
+      const Tuple* tag = obj->find(tuple_types::kString, "set_name");
+      if (tag != nullptr && tag->data.is_string() &&
+          tag->data.as_string() == name) {
+        erase(*prev);
+      }
+    }
+  }
+  Object set_obj(allocate());
+  set_obj.add(Tuple::string("set_name", name));
+  for (const ObjectId& m : members) {
+    set_obj.add(Tuple::pointer(kSetMemberKey, m));
+  }
+  const ObjectId id = put(std::move(set_obj));
+  named_sets_[name] = id;
+  return id;
+}
+
+std::optional<ObjectId> SiteStore::find_set(const std::string& name) const {
+  auto it = named_sets_.find(name);
+  if (it == named_sets_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::vector<ObjectId>> SiteStore::set_members(const std::string& name) const {
+  auto id = find_set(name);
+  if (!id.has_value()) {
+    return make_error(Errc::kNotFound, "no set named '" + name + "'");
+  }
+  const Object* obj = get(*id);
+  if (obj == nullptr) {
+    return make_error(Errc::kNotFound, "set object for '" + name + "' missing");
+  }
+  return obj->pointers(kSetMemberKey);
+}
+
+std::vector<std::string> SiteStore::set_names() const {
+  std::vector<std::string> names;
+  names.reserve(named_sets_.size());
+  for (const auto& [name, id] : named_sets_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,122 @@
+#include "store/snapshot.hpp"
+
+#include <cstdio>
+#include <span>
+
+#include "common/hash.hpp"
+#include "wire/serialize.hpp"
+
+namespace hyperfile {
+namespace {
+constexpr std::uint64_t kMagic = 0x48464c5348415032ULL;  // "HFLSHAP2"
+
+/// Trailer: FNV-1a of everything before it, fixed 8 bytes little-endian.
+void append_checksum(wire::Bytes& bytes) {
+  const std::uint64_t sum = fnv1a(bytes.data(), bytes.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(sum >> (8 * i)));
+  }
+}
+
+Result<std::span<const std::uint8_t>> verify_checksum(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 8) {
+    return make_error(Errc::kDecode, "snapshot too short for checksum");
+  }
+  const std::size_t body = data.size() - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(data[body + i]) << (8 * i);
+  }
+  if (fnv1a(data.data(), body) != stored) {
+    return make_error(Errc::kDecode, "snapshot checksum mismatch (corrupt?)");
+  }
+  return data.subspan(0, body);
+}
+
+}  // namespace
+
+wire::Bytes snapshot_store(const SiteStore& store) {
+  wire::Encoder e;
+  e.varint(kMagic);
+  e.varint(store.site());
+  e.varint(store.next_seq());
+  e.varint(store.size());
+  store.for_each([&](const Object& obj) { wire::encode(e, obj); });
+  const auto names = store.set_names();
+  e.varint(names.size());
+  for (const auto& name : names) {
+    e.string(name);
+    wire::encode(e, *store.find_set(name));
+  }
+  wire::Bytes bytes = e.take();
+  append_checksum(bytes);
+  return bytes;
+}
+
+Result<SiteStore> restore_store(std::span<const std::uint8_t> data) {
+  auto body = verify_checksum(data);
+  if (!body.ok()) return body.error();
+  wire::Decoder d(body.value());
+  auto magic = d.varint();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kMagic) {
+    return make_error(Errc::kDecode, "not a HyperFile snapshot");
+  }
+  auto site = d.varint();
+  if (!site.ok()) return site.error();
+  SiteStore store(static_cast<SiteId>(site.value()));
+  auto next_seq = d.varint();
+  if (!next_seq.ok()) return next_seq.error();
+  auto count = d.varint();
+  if (!count.ok()) return count.error();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto obj = wire::decode_object(d);
+    if (!obj.ok()) return obj.error();
+    store.put(std::move(obj).value());
+  }
+  auto nsets = d.varint();
+  if (!nsets.ok()) return nsets.error();
+  for (std::uint64_t i = 0; i < nsets.value(); ++i) {
+    auto name = d.string();
+    if (!name.ok()) return name.error();
+    auto id = wire::decode_object_id(d);
+    if (!id.ok()) return id.error();
+    store.bind_set(name.value(), id.value());
+  }
+  if (!d.done()) return make_error(Errc::kDecode, "trailing snapshot bytes");
+  // Restore the allocator *after* puts so reloaded ids don't bump it.
+  store.set_next_seq(next_seq.value());
+  return store;
+}
+
+Result<void> save_snapshot(const SiteStore& store, const std::string& path) {
+  const wire::Bytes bytes = snapshot_store(store);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return make_error(Errc::kIo, "cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return make_error(Errc::kIo, "short write to '" + path + "'");
+  }
+  return {};
+}
+
+Result<SiteStore> load_snapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return make_error(Errc::kIo, "cannot open '" + path + "' for reading");
+  }
+  wire::Bytes bytes;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return restore_store(bytes);
+}
+
+}  // namespace hyperfile

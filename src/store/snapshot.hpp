@@ -1,0 +1,27 @@
+// Snapshot persistence for SiteStore.
+//
+// The 1991 prototype was a main-memory database; persistence here is a
+// convenience extension (save a populated site to disk, reload it on
+// restart) and is never on a query path. The format reuses the wire
+// encoding: header, next sequence number, objects, named-set bindings.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "store/site_store.hpp"
+#include "wire/codec.hpp"
+
+namespace hyperfile {
+
+/// Serialize the whole store to bytes.
+wire::Bytes snapshot_store(const SiteStore& store);
+
+/// Rebuild a store from snapshot bytes.
+Result<SiteStore> restore_store(std::span<const std::uint8_t> data);
+
+/// File convenience wrappers.
+Result<void> save_snapshot(const SiteStore& store, const std::string& path);
+Result<SiteStore> load_snapshot(const std::string& path);
+
+}  // namespace hyperfile

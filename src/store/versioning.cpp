@@ -1,0 +1,61 @@
+#include "store/versioning.hpp"
+
+#include <unordered_set>
+
+namespace hyperfile {
+
+Result<ObjectId> checkpoint_version(SiteStore& store, const ObjectId& id,
+                                    const std::function<void(Object&)>& mutator,
+                                    const std::string& version_key) {
+  const Object* live = store.get(id);
+  if (live == nullptr) {
+    return make_error(Errc::kNotFound, "no object " + id.to_string());
+  }
+  // Archive the current state (including its own Previous Version pointer,
+  // which keeps the chain intact) under a fresh id.
+  Object archive(store.allocate(), live->tuples());
+  const ObjectId archive_id = archive.id();
+  store.put(std::move(archive));
+
+  auto r = store.modify(id, [&](Object& obj) {
+    mutator(obj);
+    obj.remove(tuple_types::kPointer, version_key);
+    obj.add(Tuple::pointer(version_key, archive_id));
+  });
+  if (!r.ok()) return r.error();
+  return archive_id;
+}
+
+std::vector<ObjectId> version_history(const SiteStore& store, const ObjectId& id,
+                                      const std::string& version_key) {
+  std::vector<ObjectId> chain;
+  std::unordered_set<ObjectId> seen;
+  ObjectId cur = id;
+  while (store.contains(cur) && seen.insert(cur).second) {
+    chain.push_back(cur);
+    const Object* obj = store.get(cur);
+    auto next = obj->pointers(version_key);
+    if (next.empty()) break;
+    cur = next.front();
+  }
+  return chain;
+}
+
+std::size_t prune_versions(SiteStore& store, const ObjectId& id,
+                           std::size_t keep, const std::string& version_key) {
+  std::vector<ObjectId> chain = version_history(store, id, version_key);
+  // chain[0] is the live object; archives are chain[1..].
+  if (chain.size() <= keep + 1) return 0;
+  // Cut the chain at the last survivor.
+  const ObjectId last_kept = chain[keep];
+  (void)store.modify(last_kept, [&](Object& obj) {
+    obj.remove(tuple_types::kPointer, version_key);
+  });
+  std::size_t erased = 0;
+  for (std::size_t i = keep + 1; i < chain.size(); ++i) {
+    if (store.erase(chain[i])) ++erased;
+  }
+  return erased;
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,43 @@
+// Object versioning on top of the tuple model.
+//
+// The paper's very first example of a pointer property is "the previous
+// version of a program (pointer to another object)". This helper implements
+// the idiom: editing an object first archives its current state under a
+// fresh id, then applies the edit to the *live* object — so its identity
+// (and every pointer to it, on every site) stays valid — and links the live
+// object to the archive with a "Previous Version" pointer. Histories are
+// then ordinary pointer chains, walkable with an ordinary closure query:
+//
+//   {0.42} [ (pointer, "Previous Version", ?X) | ^^X ]* (?, ?, ?) -> History
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+
+inline constexpr const char* kPreviousVersionKey = "Previous Version";
+
+/// Archive `id`'s current state, apply `mutator` to the live object, and
+/// link live -> archive. Returns the archive copy's id.
+Result<ObjectId> checkpoint_version(
+    SiteStore& store, const ObjectId& id,
+    const std::function<void(Object&)>& mutator,
+    const std::string& version_key = kPreviousVersionKey);
+
+/// The version chain starting at `id` (live object first, oldest last).
+/// Cycle-safe; stops at missing objects (archives may have been pruned).
+std::vector<ObjectId> version_history(
+    const SiteStore& store, const ObjectId& id,
+    const std::string& version_key = kPreviousVersionKey);
+
+/// Drop archived versions beyond the newest `keep` entries (not counting
+/// the live object). Returns how many archives were erased.
+std::size_t prune_versions(SiteStore& store, const ObjectId& id,
+                           std::size_t keep,
+                           const std::string& version_key = kPreviousVersionKey);
+
+}  // namespace hyperfile

@@ -1,0 +1,115 @@
+#include "term/weight.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hyperfile {
+
+bool Weight::is_zero() const {
+  for (bool b : bits_) {
+    if (b) return false;
+  }
+  return true;
+}
+
+bool Weight::is_one() const {
+  if (bits_.empty() || !bits_[0]) return false;
+  for (std::size_t i = 1; i < bits_.size(); ++i) {
+    if (bits_[i]) return false;
+  }
+  return true;
+}
+
+void Weight::add(const Weight& other) {
+  for (std::size_t e = 0; e < other.bits_.size(); ++e) {
+    if (!other.bits_[e]) continue;
+    if (bits_.size() <= e) bits_.resize(e + 1, false);
+    // Add the unit 2^-e, carrying upward (two units 2^-i == one 2^-(i-1)).
+    std::size_t i = e;
+    while (bits_[i]) {
+      bits_[i] = false;
+      if (i == 0) {
+        // The protocol invariant (global weights sum to exactly 1) makes a
+        // carry past the unit impossible; reaching here is a logic error.
+        throw std::logic_error("Weight::add overflow past 1");
+      }
+      --i;
+    }
+    bits_[i] = true;
+  }
+  trim();
+}
+
+Weight Weight::split() {
+  // Split the largest unit present (smallest exponent) so exponents grow as
+  // slowly as possible.
+  std::size_t e = 0;
+  while (e < bits_.size() && !bits_[e]) ++e;
+  if (e == bits_.size()) {
+    throw std::logic_error("Weight::split on zero weight");
+  }
+  bits_[e] = false;
+  Weight half;
+  half.bits_.assign(e + 2, false);
+  half.bits_[e + 1] = true;
+  add(half);  // keep one 2^-(e+1) ourselves (merges with carries if needed)
+  return half;
+}
+
+Weight Weight::take_all() {
+  Weight all;
+  all.bits_ = std::move(bits_);
+  bits_.clear();
+  return all;
+}
+
+std::vector<std::uint32_t> Weight::exponents() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t e = 0; e < bits_.size(); ++e) {
+    if (bits_[e]) out.push_back(static_cast<std::uint32_t>(e));
+  }
+  return out;
+}
+
+Weight Weight::from_exponents(const std::vector<std::uint32_t>& exps) {
+  Weight w;
+  for (std::uint32_t e : exps) {
+    Weight unit;
+    unit.bits_.assign(e + 1, false);
+    unit.bits_[e] = true;
+    w.add(unit);
+  }
+  return w;
+}
+
+double Weight::approx() const {
+  double v = 0.0;
+  double unit = 1.0;
+  for (std::size_t e = 0; e < bits_.size(); ++e) {
+    if (bits_[e]) v += unit;
+    unit *= 0.5;
+  }
+  return v;
+}
+
+bool operator==(const Weight& a, const Weight& b) {
+  const std::size_t n = std::max(a.bits_.size(), b.bits_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool ba = i < a.bits_.size() && a.bits_[i];
+    const bool bb = i < b.bits_.size() && b.bits_[i];
+    if (ba != bb) return false;
+  }
+  return true;
+}
+
+std::string Weight::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "w(%.6g)", approx());
+  return buf;
+}
+
+void Weight::trim() {
+  while (!bits_.empty() && !bits_.back()) bits_.pop_back();
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,69 @@
+// Exact binary-fraction weights for the weighted-message termination
+// detection algorithm (Huang 1989 / Mattern 1987), which the paper adopts
+// for HyperFile query termination (Section 4).
+//
+// The scheme: the query originator starts with weight 1. Every message about
+// the computation carries part of the sender's weight; a site that becomes
+// idle returns all weight it holds to the originator. The computation has
+// terminated exactly when the originator is idle and has recovered weight 1.
+//
+// Floating point is the classic implementation hazard here — repeated
+// halving underflows and the invariant "weights sum to exactly 1" silently
+// breaks. Weight is therefore an exact dyadic fraction: a set of units
+// 2^-e, stored as one bit per exponent. Splitting a unit 2^-e yields two
+// units 2^-(e+1) — precisely representable, always; recombination is binary
+// addition with carries. The originator's "have I recovered weight 1?" test
+// is exact, so termination is never falsely detected nor missed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperfile {
+
+class Weight {
+ public:
+  /// Weight zero.
+  Weight() = default;
+
+  static Weight one() {
+    Weight w;
+    w.bits_ = {true};
+    return w;
+  }
+  static Weight zero() { return Weight(); }
+
+  bool is_zero() const;
+  bool is_one() const;
+
+  /// Adds `other` into this weight (exact binary addition).
+  void add(const Weight& other);
+
+  /// Removes and returns a nonzero portion (roughly half) of this weight.
+  /// Precondition: !is_zero(). Postcondition: neither part is zero.
+  Weight split();
+
+  /// Removes and returns the entire weight, leaving zero behind.
+  Weight take_all();
+
+  /// Exponents of the constituent units: value = sum over e of 2^-e.
+  /// Canonical (each exponent appears at most once). Used by the wire codec.
+  std::vector<std::uint32_t> exponents() const;
+  static Weight from_exponents(const std::vector<std::uint32_t>& exps);
+
+  /// Approximate double value, for logging/metrics only.
+  double approx() const;
+
+  friend bool operator==(const Weight& a, const Weight& b);
+  friend bool operator!=(const Weight& a, const Weight& b) { return !(a == b); }
+
+  std::string to_string() const;
+
+ private:
+  void trim();
+  // bits_[e] == true  <=>  a unit 2^-e is present. bits_[0] is the unit 1.
+  std::vector<bool> bits_;
+};
+
+}  // namespace hyperfile

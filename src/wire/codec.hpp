@@ -1,0 +1,123 @@
+// Low-level binary encoding: LEB128 varints, zigzag signed ints,
+// length-prefixed byte strings. Hand-rolled (no serialization library),
+// matching the paper's spirit of very small messages: the Section 3 example
+// query encodes to a few dozen bytes (the paper reports ~40 bytes).
+//
+// All decoding is bounds-checked and returns Result — wire bytes are
+// untrusted input (they may come from a TCP peer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace hyperfile::wire {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Encoder {
+ public:
+  const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed integer.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void string(const std::string& s) {
+    varint(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    varint(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+ private:
+  Bytes out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  Result<std::uint8_t> u8() {
+    if (pos_ >= data_.size()) return underflow("u8");
+    return data_[pos_++];
+  }
+
+  Result<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos_ >= data_.size()) return underflow("varint");
+      if (shift >= 64) {
+        return make_error(Errc::kDecode, "varint too long");
+      }
+      const std::uint8_t byte = data_[pos_++];
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  Result<std::int64_t> svarint() {
+    auto v = varint();
+    if (!v.ok()) return v.error();
+    const std::uint64_t u = v.value();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  Result<std::string> string() {
+    auto len = varint();
+    if (!len.ok()) return len.error();
+    if (len.value() > remaining()) return underflow("string");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(len.value()));
+    pos_ += static_cast<std::size_t>(len.value());
+    return s;
+  }
+
+  Result<Bytes> bytes() {
+    auto len = varint();
+    if (!len.ok()) return len.error();
+    if (len.value() > remaining()) return underflow("bytes");
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+    pos_ += static_cast<std::size_t>(len.value());
+    return b;
+  }
+
+ private:
+  Error underflow(const char* what) const {
+    return make_error(Errc::kDecode,
+                      std::string("truncated input reading ") + what);
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hyperfile::wire

@@ -1,0 +1,464 @@
+#include "wire/message.hpp"
+
+#include "wire/serialize.hpp"
+
+namespace hyperfile::wire {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kDeref = 1,
+  kStart = 2,
+  kResult = 3,
+  kDone = 4,
+  kClientRequest = 5,
+  kClientReply = 6,
+  kBatchDeref = 7,
+  kTermAck = 8,
+  kMoveCommand = 9,
+  kMoveData = 10,
+  kLocationUpdate = 11,
+  kMoveReply = 12,
+};
+
+void encode_qid(Encoder& e, const QueryId& q) {
+  e.varint(q.originator);
+  e.varint(q.seq);
+}
+
+Result<QueryId> decode_qid(Decoder& d) {
+  auto orig = d.varint();
+  if (!orig.ok()) return orig.error();
+  auto seq = d.varint();
+  if (!seq.ok()) return seq.error();
+  return QueryId{static_cast<SiteId>(orig.value()), seq.value()};
+}
+
+void encode_u32s(Encoder& e, const std::vector<std::uint32_t>& v) {
+  e.varint(v.size());
+  for (auto x : v) e.varint(x);
+}
+
+Result<std::vector<std::uint32_t>> decode_u32s(Decoder& d) {
+  auto n = d.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() > d.remaining()) {
+    return make_error(Errc::kDecode, "u32 list length exceeds input");
+  }
+  std::vector<std::uint32_t> v;
+  v.reserve(static_cast<std::size_t>(n.value()));
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto x = d.varint();
+    if (!x.ok()) return x.error();
+    v.push_back(static_cast<std::uint32_t>(x.value()));
+  }
+  return v;
+}
+
+void encode_ids(Encoder& e, const std::vector<ObjectId>& ids) {
+  e.varint(ids.size());
+  for (const auto& id : ids) encode(e, id);
+}
+
+Result<std::vector<ObjectId>> decode_ids(Decoder& d) {
+  auto n = d.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() > d.remaining()) {
+    return make_error(Errc::kDecode, "id list length exceeds input");
+  }
+  std::vector<ObjectId> ids;
+  ids.reserve(static_cast<std::size_t>(n.value()));
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto id = decode_object_id(d);
+    if (!id.ok()) return id.error();
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+}  // namespace
+
+const char* message_type_name(const Message& m) {
+  switch (m.index()) {
+    case 0:
+      return "DerefRequest";
+    case 1:
+      return "StartQuery";
+    case 2:
+      return "ResultMessage";
+    case 3:
+      return "QueryDone";
+    case 4:
+      return "ClientRequest";
+    case 5:
+      return "ClientReply";
+    case 6:
+      return "BatchDerefRequest";
+    case 7:
+      return "TermAck";
+    case 8:
+      return "MoveCommand";
+    case 9:
+      return "MoveData";
+    case 10:
+      return "LocationUpdate";
+    case 11:
+      return "MoveReply";
+  }
+  return "?";
+}
+
+Bytes encode_message(const Message& m) {
+  Encoder e;
+  if (const auto* dr = std::get_if<DerefRequest>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kDeref));
+    encode_qid(e, dr->qid);
+    encode(e, dr->query);
+    encode(e, dr->oid);
+    e.varint(dr->start);
+    encode_u32s(e, dr->iter_stack);
+    encode_u32s(e, dr->weight);
+  } else if (const auto* sq = std::get_if<StartQuery>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kStart));
+    encode_qid(e, sq->qid);
+    encode(e, sq->query);
+    encode_ids(e, sq->ids);
+    e.string(sq->local_set_name);
+    encode_u32s(e, sq->weight);
+  } else if (const auto* rm = std::get_if<ResultMessage>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kResult));
+    encode_qid(e, rm->qid);
+    encode_ids(e, rm->ids);
+    e.varint(rm->values.size());
+    for (const auto& rv : rm->values) {
+      e.varint(rv.slot);
+      encode(e, rv.source);
+      encode(e, rv.value);
+    }
+    e.varint(rm->local_count);
+    e.u8(rm->count_only ? 1 : 0);
+    encode_u32s(e, rm->weight);
+  } else if (const auto* qd = std::get_if<QueryDone>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kDone));
+    encode_qid(e, qd->qid);
+  } else if (const auto* cr = std::get_if<ClientRequest>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kClientRequest));
+    e.varint(cr->client_seq);
+    encode(e, cr->query);
+  } else if (const auto* ta = std::get_if<TermAck>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kTermAck));
+    encode_qid(e, ta->qid);
+  } else if (const auto* mc = std::get_if<MoveCommand>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kMoveCommand));
+    e.varint(mc->client_seq);
+    encode(e, mc->id);
+    e.varint(mc->to);
+    e.varint(mc->reply_to);
+    e.u8(mc->hops_left);
+  } else if (const auto* md = std::get_if<MoveData>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kMoveData));
+    encode(e, md->object);
+    e.varint(md->reply_to);
+    e.varint(md->client_seq);
+  } else if (const auto* lu = std::get_if<LocationUpdate>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kLocationUpdate));
+    encode(e, lu->id);
+    e.varint(lu->now_at);
+  } else if (const auto* mr = std::get_if<MoveReply>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kMoveReply));
+    e.varint(mr->client_seq);
+    e.u8(mr->ok ? 1 : 0);
+    e.string(mr->error);
+    e.varint(mr->now_at);
+  } else if (const auto* bd = std::get_if<BatchDerefRequest>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kBatchDeref));
+    encode_qid(e, bd->qid);
+    encode(e, bd->query);
+    e.varint(bd->items.size());
+    for (const auto& item : bd->items) {
+      encode(e, item.oid);
+      e.varint(item.start);
+      encode_u32s(e, item.iter_stack);
+    }
+    encode_u32s(e, bd->weight);
+  } else {
+    const auto& rp = std::get<ClientReply>(m);
+    e.u8(static_cast<std::uint8_t>(Tag::kClientReply));
+    e.varint(rp.client_seq);
+    e.u8(rp.ok ? 1 : 0);
+    e.string(rp.error);
+    encode_ids(e, rp.ids);
+    e.varint(rp.values.size());
+    for (const auto& rv : rp.values) {
+      e.varint(rv.slot);
+      encode(e, rv.source);
+      encode(e, rv.value);
+    }
+    e.varint(rp.total_count);
+    e.u8(rp.count_only ? 1 : 0);
+  }
+  return e.take();
+}
+
+Result<Message> decode_message(std::span<const std::uint8_t> data) {
+  Decoder d(data);
+  auto tag = d.u8();
+  if (!tag.ok()) return tag.error();
+  switch (static_cast<Tag>(tag.value())) {
+    case Tag::kDeref: {
+      DerefRequest dr;
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      dr.qid = qid.value();
+      auto q = decode_query(d);
+      if (!q.ok()) return q.error();
+      dr.query = std::move(q).value();
+      auto oid = decode_object_id(d);
+      if (!oid.ok()) return oid.error();
+      dr.oid = oid.value();
+      auto start = d.varint();
+      if (!start.ok()) return start.error();
+      dr.start = static_cast<std::uint32_t>(start.value());
+      auto stack = decode_u32s(d);
+      if (!stack.ok()) return stack.error();
+      dr.iter_stack = std::move(stack).value();
+      auto w = decode_u32s(d);
+      if (!w.ok()) return w.error();
+      dr.weight = std::move(w).value();
+      return Message(std::move(dr));
+    }
+    case Tag::kStart: {
+      StartQuery sq;
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      sq.qid = qid.value();
+      auto q = decode_query(d);
+      if (!q.ok()) return q.error();
+      sq.query = std::move(q).value();
+      auto ids = decode_ids(d);
+      if (!ids.ok()) return ids.error();
+      sq.ids = std::move(ids).value();
+      auto name = d.string();
+      if (!name.ok()) return name.error();
+      sq.local_set_name = std::move(name).value();
+      auto w = decode_u32s(d);
+      if (!w.ok()) return w.error();
+      sq.weight = std::move(w).value();
+      return Message(std::move(sq));
+    }
+    case Tag::kResult: {
+      ResultMessage rm;
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      rm.qid = qid.value();
+      auto ids = decode_ids(d);
+      if (!ids.ok()) return ids.error();
+      rm.ids = std::move(ids).value();
+      auto nvals = d.varint();
+      if (!nvals.ok()) return nvals.error();
+      if (nvals.value() > d.remaining()) {
+        return make_error(Errc::kDecode, "value list length exceeds input");
+      }
+      for (std::uint64_t i = 0; i < nvals.value(); ++i) {
+        RetrievedValue rv;
+        auto slot = d.varint();
+        if (!slot.ok()) return slot.error();
+        rv.slot = static_cast<std::uint32_t>(slot.value());
+        auto src = decode_object_id(d);
+        if (!src.ok()) return src.error();
+        rv.source = src.value();
+        auto val = decode_value(d);
+        if (!val.ok()) return val.error();
+        rv.value = std::move(val).value();
+        rm.values.push_back(std::move(rv));
+      }
+      auto count = d.varint();
+      if (!count.ok()) return count.error();
+      rm.local_count = count.value();
+      auto co = d.u8();
+      if (!co.ok()) return co.error();
+      rm.count_only = co.value() != 0;
+      auto w = decode_u32s(d);
+      if (!w.ok()) return w.error();
+      rm.weight = std::move(w).value();
+      return Message(std::move(rm));
+    }
+    case Tag::kDone: {
+      QueryDone qd;
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      qd.qid = qid.value();
+      return Message(qd);
+    }
+    case Tag::kClientRequest: {
+      ClientRequest cr;
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      cr.client_seq = seq.value();
+      auto q = decode_query(d);
+      if (!q.ok()) return q.error();
+      cr.query = std::move(q).value();
+      return Message(std::move(cr));
+    }
+    case Tag::kClientReply: {
+      ClientReply rp;
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      rp.client_seq = seq.value();
+      auto ok = d.u8();
+      if (!ok.ok()) return ok.error();
+      rp.ok = ok.value() != 0;
+      auto err = d.string();
+      if (!err.ok()) return err.error();
+      rp.error = std::move(err).value();
+      auto ids = decode_ids(d);
+      if (!ids.ok()) return ids.error();
+      rp.ids = std::move(ids).value();
+      auto nvals = d.varint();
+      if (!nvals.ok()) return nvals.error();
+      if (nvals.value() > d.remaining()) {
+        return make_error(Errc::kDecode, "value list length exceeds input");
+      }
+      for (std::uint64_t i = 0; i < nvals.value(); ++i) {
+        RetrievedValue rv;
+        auto slot = d.varint();
+        if (!slot.ok()) return slot.error();
+        rv.slot = static_cast<std::uint32_t>(slot.value());
+        auto src = decode_object_id(d);
+        if (!src.ok()) return src.error();
+        rv.source = src.value();
+        auto val = decode_value(d);
+        if (!val.ok()) return val.error();
+        rv.value = std::move(val).value();
+        rp.values.push_back(std::move(rv));
+      }
+      auto count = d.varint();
+      if (!count.ok()) return count.error();
+      rp.total_count = count.value();
+      auto co = d.u8();
+      if (!co.ok()) return co.error();
+      rp.count_only = co.value() != 0;
+      return Message(std::move(rp));
+    }
+    case Tag::kBatchDeref: {
+      BatchDerefRequest bd;
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      bd.qid = qid.value();
+      auto q = decode_query(d);
+      if (!q.ok()) return q.error();
+      bd.query = std::move(q).value();
+      auto n = d.varint();
+      if (!n.ok()) return n.error();
+      if (n.value() > d.remaining()) {
+        return make_error(Errc::kDecode, "batch length exceeds input");
+      }
+      for (std::uint64_t i = 0; i < n.value(); ++i) {
+        DerefEntry item;
+        auto oid = decode_object_id(d);
+        if (!oid.ok()) return oid.error();
+        item.oid = oid.value();
+        auto start = d.varint();
+        if (!start.ok()) return start.error();
+        item.start = static_cast<std::uint32_t>(start.value());
+        auto stack = decode_u32s(d);
+        if (!stack.ok()) return stack.error();
+        item.iter_stack = std::move(stack).value();
+        bd.items.push_back(std::move(item));
+      }
+      auto w = decode_u32s(d);
+      if (!w.ok()) return w.error();
+      bd.weight = std::move(w).value();
+      return Message(std::move(bd));
+    }
+    case Tag::kTermAck: {
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      return Message(TermAck{qid.value()});
+    }
+    case Tag::kMoveCommand: {
+      MoveCommand mc;
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      mc.client_seq = seq.value();
+      auto id = decode_object_id(d);
+      if (!id.ok()) return id.error();
+      mc.id = id.value();
+      auto to = d.varint();
+      if (!to.ok()) return to.error();
+      mc.to = static_cast<SiteId>(to.value());
+      auto reply_to = d.varint();
+      if (!reply_to.ok()) return reply_to.error();
+      mc.reply_to = static_cast<SiteId>(reply_to.value());
+      auto hops = d.u8();
+      if (!hops.ok()) return hops.error();
+      mc.hops_left = hops.value();
+      return Message(mc);
+    }
+    case Tag::kMoveData: {
+      MoveData md;
+      auto obj = decode_object(d);
+      if (!obj.ok()) return obj.error();
+      md.object = std::move(obj).value();
+      auto reply_to = d.varint();
+      if (!reply_to.ok()) return reply_to.error();
+      md.reply_to = static_cast<SiteId>(reply_to.value());
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      md.client_seq = seq.value();
+      return Message(std::move(md));
+    }
+    case Tag::kLocationUpdate: {
+      LocationUpdate lu;
+      auto id = decode_object_id(d);
+      if (!id.ok()) return id.error();
+      lu.id = id.value();
+      auto at = d.varint();
+      if (!at.ok()) return at.error();
+      lu.now_at = static_cast<SiteId>(at.value());
+      return Message(lu);
+    }
+    case Tag::kMoveReply: {
+      MoveReply mr;
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      mr.client_seq = seq.value();
+      auto ok = d.u8();
+      if (!ok.ok()) return ok.error();
+      mr.ok = ok.value() != 0;
+      auto err = d.string();
+      if (!err.ok()) return err.error();
+      mr.error = std::move(err).value();
+      auto at = d.varint();
+      if (!at.ok()) return at.error();
+      mr.now_at = static_cast<SiteId>(at.value());
+      return Message(std::move(mr));
+    }
+  }
+  return make_error(Errc::kDecode,
+                    "unknown message tag " + std::to_string(tag.value()));
+}
+
+Bytes encode_envelope(const Envelope& env) {
+  Encoder e;
+  e.varint(env.src);
+  e.varint(env.dst);
+  Bytes payload = encode_message(env.message);
+  e.bytes(payload);
+  return e.take();
+}
+
+Result<Envelope> decode_envelope(std::span<const std::uint8_t> data) {
+  Decoder d(data);
+  auto src = d.varint();
+  if (!src.ok()) return src.error();
+  auto dst = d.varint();
+  if (!dst.ok()) return dst.error();
+  auto payload = d.bytes();
+  if (!payload.ok()) return payload.error();
+  auto m = decode_message(payload.value());
+  if (!m.ok()) return m.error();
+  return Envelope{static_cast<SiteId>(src.value()),
+                  static_cast<SiteId>(dst.value()), std::move(m).value()};
+}
+
+}  // namespace hyperfile::wire

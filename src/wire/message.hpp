@@ -1,0 +1,201 @@
+// Protocol messages of the distributed query processor (paper Section 3.2).
+//
+// The protocol is deliberately tiny:
+//   * DerefRequest — "process object O for query Q, starting at filter
+//     O.start". Carries Q.id, Q.originator, Q.body, Q.size (the query is
+//     resent whole on every message, exactly as the paper describes; the
+//     receiving site installs a context the first time and ignores the body
+//     afterwards) plus O.id, O.start, O.iter# and a termination weight.
+//   * StartQuery — originator fans a query out to sites that hold portions
+//     of a *distributed set* (the Section 5 optimisation), or seeds the
+//     initial named set at its home site.
+//   * ResultMessage — a site's drained results, sent directly to the
+//     originator: object ids that passed every filter, values captured by
+//     the -> retrieval operator, or only a count in count_only mode. Also
+//     returns all termination weight the site held.
+//   * QueryDone — originator tells involved sites to discard context Q
+//     after global termination.
+//
+// Weights travel as exponent lists of exact dyadic fractions (see
+// term/weight.hpp); this module stores them uninterpreted.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "model/object.hpp"
+#include "query/query.hpp"
+#include "wire/codec.hpp"
+
+namespace hyperfile::wire {
+
+struct QueryId {
+  SiteId originator = kNoSite;
+  QuerySeq seq = 0;
+
+  friend bool operator==(const QueryId&, const QueryId&) = default;
+  std::string to_string() const {
+    return "q" + std::to_string(seq) + "@" + std::to_string(originator);
+  }
+};
+
+struct QueryIdHash {
+  std::size_t operator()(const QueryId& q) const {
+    return static_cast<std::size_t>(
+        mix64((static_cast<std::uint64_t>(q.originator) << 40) ^ q.seq));
+  }
+};
+
+using WeightBits = std::vector<std::uint32_t>;
+
+struct DerefRequest {
+  QueryId qid;
+  Query query;
+  ObjectId oid;
+  std::uint32_t start = 1;
+  std::vector<std::uint32_t> iter_stack;  // O.iter# (stack, innermost last)
+  WeightBits weight;
+};
+
+/// One (object, entry point) pair inside a batched dereference.
+struct DerefEntry {
+  ObjectId oid;
+  std::uint32_t start = 1;
+  std::vector<std::uint32_t> iter_stack;
+
+  friend bool operator==(const DerefEntry&, const DerefEntry&) = default;
+};
+
+/// Extension (ablation A5): a drain's worth of dereferences to one site in
+/// a single message. The paper sends one message per remote pointer, which
+/// maximizes pipeline overlap; batching trades that overlap for fewer
+/// messages ("messages should be ... limited in number", Section 1).
+struct BatchDerefRequest {
+  QueryId qid;
+  Query query;
+  std::vector<DerefEntry> items;
+  WeightBits weight;
+};
+
+struct StartQuery {
+  QueryId qid;
+  Query query;
+  /// Explicit seed ids (each enters at filter 1).
+  std::vector<ObjectId> ids;
+  /// If nonempty, the receiving site additionally seeds from its local
+  /// portion of this named set (distributed-set continuation queries).
+  std::string local_set_name;
+  WeightBits weight;
+};
+
+struct RetrievedValue {
+  std::uint32_t slot = 0;
+  ObjectId source;
+  Value value;
+
+  friend bool operator==(const RetrievedValue&, const RetrievedValue&) = default;
+};
+
+struct ResultMessage {
+  QueryId qid;
+  std::vector<ObjectId> ids;
+  std::vector<RetrievedValue> values;
+  /// In count_only mode: number of results retained locally at the site.
+  std::uint64_t local_count = 0;
+  bool count_only = false;
+  WeightBits weight;
+};
+
+struct QueryDone {
+  QueryId qid;
+};
+
+/// Client -> originating server: run this query on my behalf. The paper's
+/// experimental client "read a query from a script, submitted it to
+/// HyperFile, received the result" — this is that submission.
+struct ClientRequest {
+  QuerySeq client_seq = 0;
+  Query query;
+};
+
+/// Originating server -> client: final result after global termination.
+struct ClientReply {
+  QuerySeq client_seq = 0;
+  bool ok = true;
+  std::string error;
+  std::vector<ObjectId> ids;
+  std::vector<RetrievedValue> values;
+  std::uint64_t total_count = 0;
+  bool count_only = false;
+};
+
+/// Live object migration (paper Section 4: the R*-style name makes moving
+/// cheap — only the birth site's record and a local hint change, never the
+/// pointers). Flow: client --MoveCommand--> holder --MoveData--> new home,
+/// which installs the object, notifies the birth site (LocationUpdate) and
+/// answers the client (MoveReply). Queries racing a move may drop the
+/// in-flight object (partial results), never hang or duplicate it.
+struct MoveCommand {
+  QuerySeq client_seq = 0;
+  ObjectId id;
+  SiteId to = kNoSite;
+  /// Where MoveReply must go — carried explicitly because the command may
+  /// be forwarded between sites chasing a stale hint, after which the
+  /// envelope's src is the forwarder, not the client.
+  SiteId reply_to = kNoSite;
+  /// Forwarding fuse: a stale location hint may bounce the command once or
+  /// twice; this caps the chase.
+  std::uint8_t hops_left = 3;
+};
+
+struct MoveData {
+  Object object;
+  SiteId reply_to = kNoSite;  // the client awaiting MoveReply
+  QuerySeq client_seq = 0;
+};
+
+struct LocationUpdate {
+  ObjectId id;
+  SiteId now_at = kNoSite;
+};
+
+struct MoveReply {
+  QuerySeq client_seq = 0;
+  bool ok = true;
+  std::string error;
+  SiteId now_at = kNoSite;
+};
+
+/// Dijkstra-Scholten acknowledgement (alternative termination detector,
+/// SiteServerOptions::termination): every computation message (deref,
+/// batch, start, result) is acknowledged; a node acks its engaging message
+/// last, once idle with no outstanding acks of its own.
+struct TermAck {
+  QueryId qid;
+};
+
+using Message = std::variant<DerefRequest, StartQuery, ResultMessage, QueryDone,
+                             ClientRequest, ClientReply, BatchDerefRequest,
+                             TermAck, MoveCommand, MoveData, LocationUpdate,
+                             MoveReply>;
+
+/// Transport envelope. src/dst are site ids; the client library occupies a
+/// site id of its own (the paper's client ran "at a separate machine from
+/// any of the servers").
+struct Envelope {
+  SiteId src = kNoSite;
+  SiteId dst = kNoSite;
+  Message message;
+};
+
+const char* message_type_name(const Message& m);
+
+Bytes encode_message(const Message& m);
+Result<Message> decode_message(std::span<const std::uint8_t> data);
+
+Bytes encode_envelope(const Envelope& e);
+Result<Envelope> decode_envelope(std::span<const std::uint8_t> data);
+
+}  // namespace hyperfile::wire

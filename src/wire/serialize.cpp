@@ -1,0 +1,307 @@
+#include "wire/serialize.hpp"
+
+namespace hyperfile::wire {
+
+void encode(Encoder& e, const ObjectId& id) {
+  e.varint(id.birth_site);
+  e.varint(id.seq);
+  e.varint(id.presumed_site);
+}
+
+Result<ObjectId> decode_object_id(Decoder& d) {
+  auto birth = d.varint();
+  if (!birth.ok()) return birth.error();
+  auto seq = d.varint();
+  if (!seq.ok()) return seq.error();
+  auto presumed = d.varint();
+  if (!presumed.ok()) return presumed.error();
+  return ObjectId(static_cast<SiteId>(birth.value()),
+                  static_cast<LocalSeq>(seq.value()),
+                  static_cast<SiteId>(presumed.value()));
+}
+
+void encode(Encoder& e, const Value& v) {
+  e.u8(static_cast<std::uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kString:
+      e.string(v.as_string());
+      break;
+    case ValueKind::kNumber:
+      e.svarint(v.as_number());
+      break;
+    case ValueKind::kPointer:
+      encode(e, v.as_pointer());
+      break;
+    case ValueKind::kBlob:
+      e.bytes(v.as_blob());
+      break;
+  }
+}
+
+Result<Value> decode_value(Decoder& d) {
+  auto kind = d.u8();
+  if (!kind.ok()) return kind.error();
+  switch (static_cast<ValueKind>(kind.value())) {
+    case ValueKind::kNull:
+      return Value();
+    case ValueKind::kString: {
+      auto s = d.string();
+      if (!s.ok()) return s.error();
+      return Value::string(std::move(s).value());
+    }
+    case ValueKind::kNumber: {
+      auto n = d.svarint();
+      if (!n.ok()) return n.error();
+      return Value::number(n.value());
+    }
+    case ValueKind::kPointer: {
+      auto id = decode_object_id(d);
+      if (!id.ok()) return id.error();
+      return Value::pointer(id.value());
+    }
+    case ValueKind::kBlob: {
+      auto b = d.bytes();
+      if (!b.ok()) return b.error();
+      return Value::blob(std::move(b).value());
+    }
+  }
+  return make_error(Errc::kDecode,
+                    "unknown value kind " + std::to_string(kind.value()));
+}
+
+void encode(Encoder& e, const Tuple& t) {
+  e.string(t.type);
+  e.string(t.key);
+  encode(e, t.data);
+}
+
+Result<Tuple> decode_tuple(Decoder& d) {
+  auto type = d.string();
+  if (!type.ok()) return type.error();
+  auto key = d.string();
+  if (!key.ok()) return key.error();
+  auto data = decode_value(d);
+  if (!data.ok()) return data.error();
+  return Tuple(std::move(type).value(), std::move(key).value(),
+               std::move(data).value());
+}
+
+void encode(Encoder& e, const Object& o) {
+  encode(e, o.id());
+  e.varint(o.tuples().size());
+  for (const auto& t : o.tuples()) encode(e, t);
+}
+
+Result<Object> decode_object(Decoder& d) {
+  auto id = decode_object_id(d);
+  if (!id.ok()) return id.error();
+  auto count = d.varint();
+  if (!count.ok()) return count.error();
+  Object obj(id.value());
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto t = decode_tuple(d);
+    if (!t.ok()) return t.error();
+    obj.add(std::move(t).value());
+  }
+  return obj;
+}
+
+void encode(Encoder& e, const Pattern& p) {
+  e.u8(static_cast<std::uint8_t>(p.kind()));
+  switch (p.kind()) {
+    case PatternKind::kAny:
+      break;
+    case PatternKind::kLiteral:
+      encode(e, p.literal_value());
+      break;
+    case PatternKind::kRegex:
+      e.string(p.regex_text());
+      break;
+    case PatternKind::kRange:
+      e.svarint(p.range_lo());
+      e.svarint(p.range_hi());
+      break;
+    case PatternKind::kBind:
+    case PatternKind::kUse:
+      e.string(p.var());
+      break;
+    case PatternKind::kRetrieve:
+      e.varint(p.slot());
+      break;
+  }
+}
+
+Result<Pattern> decode_pattern(Decoder& d) {
+  auto kind = d.u8();
+  if (!kind.ok()) return kind.error();
+  switch (static_cast<PatternKind>(kind.value())) {
+    case PatternKind::kAny:
+      return Pattern::any();
+    case PatternKind::kLiteral: {
+      auto v = decode_value(d);
+      if (!v.ok()) return v.error();
+      return Pattern::literal(std::move(v).value());
+    }
+    case PatternKind::kRegex: {
+      auto s = d.string();
+      if (!s.ok()) return s.error();
+      return Pattern::regex(std::move(s).value());
+    }
+    case PatternKind::kRange: {
+      auto lo = d.svarint();
+      if (!lo.ok()) return lo.error();
+      auto hi = d.svarint();
+      if (!hi.ok()) return hi.error();
+      return Pattern::range(lo.value(), hi.value());
+    }
+    case PatternKind::kBind: {
+      auto s = d.string();
+      if (!s.ok()) return s.error();
+      return Pattern::bind(std::move(s).value());
+    }
+    case PatternKind::kUse: {
+      auto s = d.string();
+      if (!s.ok()) return s.error();
+      return Pattern::use(std::move(s).value());
+    }
+    case PatternKind::kRetrieve: {
+      auto slot = d.varint();
+      if (!slot.ok()) return slot.error();
+      return Pattern::retrieve(static_cast<std::uint32_t>(slot.value()));
+    }
+  }
+  return make_error(Errc::kDecode,
+                    "unknown pattern kind " + std::to_string(kind.value()));
+}
+
+namespace {
+enum class FilterTag : std::uint8_t { kSelect = 1, kDeref = 2, kIterate = 3 };
+}  // namespace
+
+void encode(Encoder& e, const Filter& f) {
+  if (const auto* s = std::get_if<SelectFilter>(&f)) {
+    e.u8(static_cast<std::uint8_t>(FilterTag::kSelect));
+    encode(e, s->type_pattern);
+    encode(e, s->key_pattern);
+    encode(e, s->data_pattern);
+  } else if (const auto* dr = std::get_if<DerefFilter>(&f)) {
+    e.u8(static_cast<std::uint8_t>(FilterTag::kDeref));
+    e.string(dr->var);
+    e.u8(dr->keep_source ? 1 : 0);
+  } else {
+    const auto& it = std::get<IterateFilter>(f);
+    e.u8(static_cast<std::uint8_t>(FilterTag::kIterate));
+    e.varint(it.body_start);
+    e.varint(it.count);
+  }
+}
+
+Result<Filter> decode_filter(Decoder& d) {
+  auto tag = d.u8();
+  if (!tag.ok()) return tag.error();
+  switch (static_cast<FilterTag>(tag.value())) {
+    case FilterTag::kSelect: {
+      auto tp = decode_pattern(d);
+      if (!tp.ok()) return tp.error();
+      auto kp = decode_pattern(d);
+      if (!kp.ok()) return kp.error();
+      auto dp = decode_pattern(d);
+      if (!dp.ok()) return dp.error();
+      return Filter(SelectFilter{std::move(tp).value(), std::move(kp).value(),
+                                 std::move(dp).value()});
+    }
+    case FilterTag::kDeref: {
+      auto var = d.string();
+      if (!var.ok()) return var.error();
+      auto keep = d.u8();
+      if (!keep.ok()) return keep.error();
+      return Filter(DerefFilter{std::move(var).value(), keep.value() != 0});
+    }
+    case FilterTag::kIterate: {
+      auto start = d.varint();
+      if (!start.ok()) return start.error();
+      auto count = d.varint();
+      if (!count.ok()) return count.error();
+      return Filter(IterateFilter{static_cast<std::uint32_t>(start.value()),
+                                  static_cast<std::uint32_t>(count.value())});
+    }
+  }
+  return make_error(Errc::kDecode,
+                    "unknown filter tag " + std::to_string(tag.value()));
+}
+
+void encode(Encoder& e, const Query& q) {
+  e.varint(q.size());
+  for (const auto& f : q.filters()) encode(e, f);
+  e.varint(q.initial_ids().size());
+  for (const auto& id : q.initial_ids()) encode(e, id);
+  e.string(q.initial_set_name());
+  e.string(q.result_set_name());
+  e.varint(q.retrieve_slots().size());
+  for (const auto& s : q.retrieve_slots()) e.string(s);
+  e.u8(q.count_only() ? 1 : 0);
+}
+
+Result<Query> decode_query(Decoder& d) {
+  Query q;
+  auto n = d.varint();
+  if (!n.ok()) return n.error();
+  std::vector<Filter> filters;
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto f = decode_filter(d);
+    if (!f.ok()) return f.error();
+    filters.push_back(std::move(f).value());
+  }
+  q.set_filters(std::move(filters));
+  auto nids = d.varint();
+  if (!nids.ok()) return nids.error();
+  std::vector<ObjectId> ids;
+  for (std::uint64_t i = 0; i < nids.value(); ++i) {
+    auto id = decode_object_id(d);
+    if (!id.ok()) return id.error();
+    ids.push_back(id.value());
+  }
+  q.set_initial_ids(std::move(ids));
+  auto iname = d.string();
+  if (!iname.ok()) return iname.error();
+  q.set_initial_set_name(std::move(iname).value());
+  auto rname = d.string();
+  if (!rname.ok()) return rname.error();
+  q.set_result_set_name(std::move(rname).value());
+  auto nslots = d.varint();
+  if (!nslots.ok()) return nslots.error();
+  std::vector<std::string> slots;
+  for (std::uint64_t i = 0; i < nslots.value(); ++i) {
+    auto s = d.string();
+    if (!s.ok()) return s.error();
+    slots.push_back(std::move(s).value());
+  }
+  q.set_retrieve_slots(std::move(slots));
+  auto count_only = d.u8();
+  if (!count_only.ok()) return count_only.error();
+  q.set_count_only(count_only.value() != 0);
+  // Decoded queries are validated: a malformed query must not enter an
+  // engine via the network.
+  if (auto v = q.validate(); !v.ok()) return v.error();
+  return q;
+}
+
+Bytes encode_query(const Query& q) {
+  Encoder e;
+  encode(e, q);
+  return e.take();
+}
+
+Result<Query> decode_query(std::span<const std::uint8_t> data) {
+  Decoder d(data);
+  auto q = decode_query(d);
+  if (!q.ok()) return q.error();
+  if (!d.done()) {
+    return make_error(Errc::kDecode, "trailing bytes after query");
+  }
+  return q;
+}
+
+}  // namespace hyperfile::wire

@@ -1,0 +1,40 @@
+// Wire encoding of model and query types.
+//
+// Everything the distributed runtime ships — object ids, values, tuples,
+// whole objects (only the baseline comparator ships those!), patterns,
+// filters, queries — round-trips through these functions. Decoders validate
+// structure and return Result; they never trust lengths or tags.
+#pragma once
+
+#include "model/object.hpp"
+#include "query/query.hpp"
+#include "wire/codec.hpp"
+
+namespace hyperfile::wire {
+
+void encode(Encoder& e, const ObjectId& id);
+Result<ObjectId> decode_object_id(Decoder& d);
+
+void encode(Encoder& e, const Value& v);
+Result<Value> decode_value(Decoder& d);
+
+void encode(Encoder& e, const Tuple& t);
+Result<Tuple> decode_tuple(Decoder& d);
+
+void encode(Encoder& e, const Object& o);
+Result<Object> decode_object(Decoder& d);
+
+void encode(Encoder& e, const Pattern& p);
+Result<Pattern> decode_pattern(Decoder& d);
+
+void encode(Encoder& e, const Filter& f);
+Result<Filter> decode_filter(Decoder& d);
+
+void encode(Encoder& e, const Query& q);
+Result<Query> decode_query(Decoder& d);
+
+/// Convenience: one-shot encode to bytes / decode from bytes.
+Bytes encode_query(const Query& q);
+Result<Query> decode_query(std::span<const std::uint8_t> data);
+
+}  // namespace hyperfile::wire

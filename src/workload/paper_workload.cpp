@@ -1,0 +1,212 @@
+#include "workload/paper_workload.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hyperfile::workload {
+
+const char* const kRandKeys[7] = {"Rand05", "Rand20", "Rand35", "Rand50",
+                                  "Rand65", "Rand80", "Rand95"};
+const double kRandLocality[7] = {0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95};
+
+namespace {
+
+constexpr std::size_t kGroups = WorkloadConfig::kGroups;
+constexpr std::size_t kSuperGroups = 3;
+
+/// Abstract object graph: everything by object index.
+struct AbstractGraph {
+  std::size_t n = 0;
+  std::vector<std::size_t> group;               // object -> group (0..8)
+  std::vector<std::size_t> chain_order;         // position -> object index
+  std::vector<std::int64_t> rand10, rand100, rand1000;
+  std::vector<std::vector<std::size_t>> rand_targets;  // [obj][class*2 + k]
+  std::vector<std::vector<std::size_t>> tree_children;  // [obj] -> children
+  std::size_t root = 0;
+};
+
+std::size_t super_group(std::size_t g) { return g / (kGroups / kSuperGroups); }
+
+AbstractGraph build_abstract(const WorkloadConfig& cfg) {
+  AbstractGraph g;
+  g.n = cfg.num_objects;
+  if (g.n < kGroups) {
+    throw std::invalid_argument("workload needs at least 9 objects");
+  }
+  Rng rng(cfg.seed);
+
+  // Groups round-robin so every group has floor/ceil(n/9) members.
+  g.group.resize(g.n);
+  std::vector<std::vector<std::size_t>> members(kGroups);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    g.group[i] = i % kGroups;
+    members[i % kGroups].push_back(i);
+  }
+
+  // Chain: visit super-groups round-robin (0,3,6,1,4,7,2,5,8,...) so every
+  // consecutive pair lies in different super-groups — remote at 3 and at 9
+  // sites. Objects are consumed group-by-group in a fixed rotation.
+  static constexpr std::size_t kCycle[kGroups] = {0, 3, 6, 1, 4, 7, 2, 5, 8};
+  std::vector<std::size_t> cursor(kGroups, 0);
+  for (std::size_t p = 0; p < g.n; ++p) {
+    // Find the next group in the rotation that still has members.
+    for (std::size_t attempt = 0; attempt < kGroups; ++attempt) {
+      const std::size_t grp = kCycle[(p + attempt) % kGroups];
+      if (cursor[grp] < members[grp].size()) {
+        g.chain_order.push_back(members[grp][cursor[grp]++]);
+        break;
+      }
+    }
+  }
+  assert(g.chain_order.size() == g.n);
+  g.root = g.chain_order.front();
+
+  // Search keys.
+  g.rand10.resize(g.n);
+  g.rand100.resize(g.n);
+  g.rand1000.resize(g.n);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    g.rand10[i] = rng.next_range(1, 10);
+    g.rand100[i] = rng.next_range(1, 100);
+    g.rand1000[i] = rng.next_range(1, 1000);
+  }
+
+  // Random pointers: 7 classes x 2 pointers. "Local" stays in the object's
+  // own 9-group; "remote" goes to a uniformly chosen object in a different
+  // super-group, so locality is the stated probability under both the
+  // 3-site and the 9-site mapping.
+  g.rand_targets.assign(g.n, {});
+  for (std::size_t i = 0; i < g.n; ++i) {
+    g.rand_targets[i].reserve(14);
+    for (std::size_t cls = 0; cls < 7; ++cls) {
+      for (int k = 0; k < 2; ++k) {
+        std::size_t target;
+        if (rng.next_bool(kRandLocality[cls])) {
+          const auto& pool = members[g.group[i]];
+          do {
+            target = pool[rng.next_below(pool.size())];
+          } while (target == i && pool.size() > 1);
+        } else {
+          do {
+            target = rng.next_below(g.n);
+          } while (super_group(g.group[target]) == super_group(g.group[i]));
+        }
+        g.rand_targets[i].push_back(target);
+      }
+    }
+  }
+
+  // Tree: within each group, a random spanning tree rooted at the group's
+  // first member (parent chosen uniformly among earlier members); the
+  // global root additionally points at every other group's root.
+  g.tree_children.assign(g.n, {});
+  for (std::size_t grp = 0; grp < kGroups; ++grp) {
+    const auto& pool = members[grp];
+    for (std::size_t j = 1; j < pool.size(); ++j) {
+      const std::size_t parent = pool[rng.next_below(j)];
+      g.tree_children[parent].push_back(pool[j]);
+    }
+  }
+  const std::size_t global_root = members[g.group[g.root]][0];
+  assert(global_root == g.root);
+  for (std::size_t grp = 0; grp < kGroups; ++grp) {
+    if (grp == g.group[g.root]) continue;
+    g.tree_children[g.root].push_back(members[grp][0]);
+  }
+  return g;
+}
+
+}  // namespace
+
+PopulatedWorkload populate_paper_workload(std::span<SiteStore* const> stores,
+                                          const WorkloadConfig& cfg) {
+  const std::size_t sites = stores.size();
+  if (sites != 1 && sites != 3 && sites != 9) {
+    throw std::invalid_argument("paper workload supports 1, 3, or 9 sites");
+  }
+  const AbstractGraph g = build_abstract(cfg);
+
+  PopulatedWorkload out;
+  out.site_of.resize(g.n);
+  out.ids.resize(g.n);
+
+  // Map group -> site (block mapping: 9 groups fold onto 3 sites as
+  // {0,1,2} {3,4,5} {6,7,8}; onto 1 site trivially).
+  auto site_of_group = [&](std::size_t grp) -> SiteId {
+    return static_cast<SiteId>(grp * sites / kGroups);
+  };
+
+  // Allocate ids deterministically in index order.
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const SiteId site = site_of_group(g.group[i]);
+    out.site_of[i] = site;
+    out.ids[i] = stores[site]->allocate();
+  }
+  out.root = out.ids[g.root];
+
+  // Chain successor lookup.
+  std::vector<std::size_t> chain_next(g.n, g.n);
+  for (std::size_t p = 0; p + 1 < g.n; ++p) {
+    chain_next[g.chain_order[p]] = g.chain_order[p + 1];
+  }
+
+  std::string body;
+  if (cfg.blob_bytes > 0) {
+    body.assign(cfg.blob_bytes, 'x');
+  }
+
+  for (std::size_t i = 0; i < g.n; ++i) {
+    Object obj(out.ids[i]);
+    obj.add(Tuple(kSearchType, kUniqueKey, Value::number(static_cast<std::int64_t>(i))));
+    obj.add(Tuple(kSearchType, kCommonKey, Value::number(1)));
+    obj.add(Tuple(kSearchType, kRand10pKey, Value::number(g.rand10[i])));
+    obj.add(Tuple(kSearchType, kRand100pKey, Value::number(g.rand100[i])));
+    obj.add(Tuple(kSearchType, kRand1000pKey, Value::number(g.rand1000[i])));
+    // Sinks self-point: inside a closure loop the traversal selection
+    // (pointer, <key>, ?X) filters, so an object with no such tuple would
+    // die in the loop body and never reach the search-key filter. The
+    // paper's result counts (~10% of all items in the closure) imply every
+    // closure member is tested, so the chain tail and tree leaves carry a
+    // self-pointer — local, and immediately mark-suppressed on deref.
+    obj.add(Tuple::pointer(
+        kChainKey, chain_next[i] < g.n ? out.ids[chain_next[i]] : out.ids[i]));
+    for (std::size_t cls = 0; cls < 7; ++cls) {
+      for (int k = 0; k < 2; ++k) {
+        const std::size_t target = g.rand_targets[i][cls * 2 + k];
+        obj.add(Tuple::pointer(kRandKeys[cls], out.ids[target]));
+      }
+    }
+    if (g.tree_children[i].empty()) {
+      obj.add(Tuple::pointer(kTreeKey, out.ids[i]));
+    } else {
+      for (std::size_t child : g.tree_children[i]) {
+        obj.add(Tuple::pointer(kTreeKey, out.ids[child]));
+      }
+    }
+    if (!body.empty()) {
+      obj.add(Tuple::text("Body", body));
+    }
+    stores[out.site_of[i]]->put(std::move(obj));
+  }
+
+  const ObjectId root_id = out.root;
+  stores[0]->create_set(kRootSet, std::span<const ObjectId>(&root_id, 1));
+  return out;
+}
+
+Query closure_query(const std::string& pointer_key, const std::string& search_key,
+                    std::int64_t value, const std::string& result_set,
+                    bool count_only) {
+  auto b = QueryBuilder::from_set(kRootSet)
+               .begin_iterate()
+               .select(Pattern::literal(tuple_types::kPointer),
+                       Pattern::literal(pointer_key), Pattern::bind("X"))
+               .deref_keep("X")
+               .end_iterate()
+               .select(Pattern::literal(kSearchType), Pattern::literal(search_key),
+                       Pattern::literal(value));
+  if (count_only) b.count_only();
+  return b.into(result_set);
+}
+
+}  // namespace hyperfile::workload

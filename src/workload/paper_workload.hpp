@@ -1,0 +1,90 @@
+// The synthetic workload of the paper's experiments (Section 5), generated
+// faithfully to its description. Each object contains:
+//
+//   * Five search-key tuples: one *unique* to the object, one *common* to
+//     all objects, and three drawn from spaces of 10, 100 and 1000 values
+//     ("Rand10p" / "Rand100p" / "Rand1000p") — varying the searched tuple
+//     varies query selectivity.
+//   * One *chain* pointer forming a linked list of all items; with more
+//     than one machine, the successor is always on a different machine
+//     ("maximum delay time; all servers are idle while each message is in
+//     transit").
+//   * Fourteen *random* pointers in 7 locality classes (P(local) = .05,
+//     .20, .35, .50, .65, .80, .95), two pointers per class per object.
+//   * *Tree* pointers forming a spanning tree whose root has one remote
+//     pointer to a subtree root on each other machine, each of which roots
+//     a local spanning tree ("high parallelism with low message cost").
+//
+// Partition invariance: the paper stresses that "the graph formed by the
+// pointers was identical regardless of the number of machines". We generate
+// the abstract graph once (from the seed) over 9 object *groups* and map
+// groups onto 1, 3, or 9 sites; a pointer generated as "local" targets the
+// same 9-group (so it is local at 3 and 9 sites alike), and one generated
+// as "remote" targets a different *3-super-group* (so it is remote at 3 and
+// 9 sites alike). The chain visits super-groups round-robin, making every
+// hop remote in both multi-site layouts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "query/builder.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile::workload {
+
+/// Pointer-class keys as stored in the tuples.
+inline constexpr const char* kChainKey = "Chain";
+inline constexpr const char* kTreeKey = "Tree";
+/// Random classes, index 0..6 -> P(local) = .05 .20 .35 .50 .65 .80 .95.
+extern const char* const kRandKeys[7];
+extern const double kRandLocality[7];
+
+/// Search-key tuple names (type "skey", numeric data).
+inline constexpr const char* kSearchType = "skey";
+inline constexpr const char* kUniqueKey = "Unique";
+inline constexpr const char* kCommonKey = "Common";
+inline constexpr const char* kRand10pKey = "Rand10p";
+inline constexpr const char* kRand100pKey = "Rand100p";
+inline constexpr const char* kRand1000pKey = "Rand1000p";
+
+/// Name of the starting set created at site 0.
+inline constexpr const char* kRootSet = "Root";
+
+struct WorkloadConfig {
+  /// "There were 270 objects involved in the queries for which we report
+  /// results." The scaling experiment uses 135.
+  std::size_t num_objects = 270;
+  std::uint64_t seed = 1991;
+  /// Optional opaque payload per object (bytes); used by the baseline
+  /// comparator to model document bodies a file server would have to ship.
+  std::size_t blob_bytes = 0;
+
+  /// Number of abstract groups (the finest machine layout). 9 in the paper.
+  static constexpr std::size_t kGroups = 9;
+};
+
+struct PopulatedWorkload {
+  std::vector<ObjectId> ids;    // by abstract object index
+  std::vector<SiteId> site_of;  // by abstract object index
+  ObjectId root;                // chain head == tree root, in the Root set
+};
+
+/// Populate `stores` (size 1, 3, or 9) with the workload. The abstract
+/// graph depends only on `config`, never on the deployment size.
+/// The "Root" set is created at stores[0].
+PopulatedWorkload populate_paper_workload(std::span<SiteStore* const> stores,
+                                          const WorkloadConfig& config);
+
+/// The paper's test query: traverse the transitive closure of `pointer_key`
+/// pointers from the Root set, selecting objects whose `search_key` tuple
+/// holds `value`; bind the result to `result_set`.
+///
+///   Root [ (pointer, <pointer_key>, ?X) | ^^X ]* (skey, <search_key>, <value>) -> T
+Query closure_query(const std::string& pointer_key, const std::string& search_key,
+                    std::int64_t value, const std::string& result_set = "T",
+                    bool count_only = false);
+
+}  // namespace hyperfile::workload

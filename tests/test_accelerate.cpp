@@ -1,0 +1,167 @@
+// Index-accelerated closure evaluation: shape recognition, rejection of
+// non-canonical queries, and randomized equivalence with the engine —
+// including the sink-object subtlety (objects without a traversal tuple die
+// inside the loop and must not appear in accelerated results either).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "index/accelerate.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using index::accelerate_closure;
+using index::match_closure_shape;
+using index::ReachabilityIndex;
+using testing::parse_or_die;
+using testing::sorted;
+
+TEST(Accelerate, RecognizesCanonicalShape) {
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (keyword, "db", ?) (number, "Year", [1980..1990]) -> T)");
+  auto shape = match_closure_shape(q);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->tuple_type, "pointer");
+  EXPECT_EQ(shape->pointer_key, "Cites");
+  EXPECT_EQ(shape->predicate_filters, (std::vector<std::uint32_t>{4, 5}));
+}
+
+TEST(Accelerate, RejectsNonCanonicalShapes) {
+  // Bounded iterator.
+  EXPECT_FALSE(match_closure_shape(parse_or_die(
+                   R"(S [ (pointer, "C", ?X) | ^^X ]3 (?, ?, ?) -> T)"))
+                   .has_value());
+  // Drop-source dereference.
+  EXPECT_FALSE(match_closure_shape(parse_or_die(
+                   R"(S [ (pointer, "C", ?X) | ^X ]* (?, ?, ?) -> T)"))
+                   .has_value());
+  // Regex pointer key (not a literal).
+  EXPECT_FALSE(match_closure_shape(parse_or_die(
+                   R"(S [ (pointer, /C.*/, ?X) | ^^X ]* (?, ?, ?) -> T)"))
+                   .has_value());
+  // Retrieval in the predicates.
+  EXPECT_FALSE(match_closure_shape(parse_or_die(
+                   R"(S [ (pointer, "C", ?X) | ^^X ]* (string, "T", ->t) -> T)"))
+                   .has_value());
+  // Second dereference after the loop.
+  EXPECT_FALSE(match_closure_shape(parse_or_die(
+                   R"(S [ (pointer, "C", ?X) | ^^X ]* (pointer, "D", ?Y) ^^Y -> T)"))
+                   .has_value());
+  // No loop at all.
+  EXPECT_FALSE(match_closure_shape(parse_or_die(R"(S (keyword, "k", ?) -> T)"))
+                   .has_value());
+}
+
+TEST(Accelerate, RejectsMismatchedIndex) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 4);
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (?, ?, ?) -> T)");
+  ReachabilityIndex wrong_key(store, "pointer", "Other");
+  EXPECT_FALSE(accelerate_closure(store, wrong_key, q).has_value());
+  ReachabilityIndex wrong_type(store, "blob", "Reference");
+  EXPECT_FALSE(accelerate_closure(store, wrong_type, q).has_value());
+}
+
+TEST(Accelerate, MatchesEngineOnChain) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 12, {0, 4, 8});
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+  LocalEngine engine(store);
+  auto want = engine.run_readonly(q);
+  ASSERT_TRUE(want.ok());
+
+  ReachabilityIndex reach(store, "pointer", "Reference");
+  auto got = accelerate_closure(store, reach, q);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(sorted(*got), sorted(want.value().ids));
+}
+
+TEST(Accelerate, SinkObjectsExcludedLikeEngine) {
+  // B is reachable but has no Reference tuple: the engine kills it inside
+  // the loop body; acceleration must do the same.
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId b = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Reference", b));
+    obj.add(Tuple::keyword("k"));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(b);
+    obj.add(Tuple::keyword("k"));  // no Reference tuple: a sink
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "k", ?) -> T)");
+  LocalEngine engine(store);
+  auto want = engine.run_readonly(q);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(want.value().ids, std::vector<ObjectId>{a});
+
+  ReachabilityIndex reach(store, "pointer", "Reference");
+  auto got = accelerate_closure(store, reach, q);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(sorted(*got), sorted(want.value().ids));
+}
+
+class AccelerateEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccelerateEquivalence, RandomGraphsMatchEngine) {
+  Rng rng(GetParam());
+  SiteStore store(0);
+  constexpr std::size_t kN = 50;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    // ~20% sinks (no Cites tuple at all); some have a non-pointer Cites
+    // tuple (passes the body select but contributes no edge).
+    const double roll = rng.next_double();
+    if (roll < 0.6) {
+      const int deg = 1 + static_cast<int>(rng.next_below(2));
+      for (int e = 0; e < deg; ++e) {
+        obj.add(Tuple::pointer("Cites", ids[rng.next_below(kN)]));
+      }
+    } else if (roll < 0.8) {
+      obj.add(Tuple("pointer", "Cites", Value::string("unresolved ref")));
+    }
+    if (rng.next_bool(0.5)) obj.add(Tuple::keyword("db"));
+    obj.add(Tuple::number("Year", rng.next_range(1970, 1995)));
+    store.put(std::move(obj));
+  }
+  std::vector<ObjectId> members = {ids[0], ids[1], ids[2]};
+  store.create_set("S", members);
+
+  const char* kQueries[] = {
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (keyword, "db", ?) -> T)",
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (number, "Year", [1980..1989]) -> T)",
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (keyword, "db", ?) (number, "Year", [1975..1990]) -> T)",
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (?, ?, ?) -> T)",
+  };
+
+  LocalEngine engine(store);
+  ReachabilityIndex reach(store, "pointer", "Cites");
+  for (const char* text : kQueries) {
+    Query q = parse_or_die(text);
+    SCOPED_TRACE(text);
+    auto want = engine.run_readonly(q);
+    ASSERT_TRUE(want.ok());
+    auto got = accelerate_closure(store, reach, q);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(sorted(*got), sorted(want.value().ids));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccelerateEquivalence,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
+                                           707u, 808u));
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "query/builder.hpp"
+#include "query/parser.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(Builder, BuildsPaperQuery) {
+  Query q = QueryBuilder::from_set("S")
+                .begin_iterate(3)
+                .select(Pattern::literal("pointer"), Pattern::literal("Reference"),
+                        Pattern::bind("X"))
+                .deref_keep("X")
+                .end_iterate()
+                .select_key("keyword", "Distributed")
+                .into("T");
+  auto parsed = parse_query(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(q, parsed.value());
+}
+
+TEST(Builder, FollowShorthandExpandsToSelectPlusDeref) {
+  Query q = QueryBuilder::from_set("S").follow("Reference").build();
+  ASSERT_EQ(q.size(), 2u);
+  const auto& sel = std::get<SelectFilter>(q.filter(1));
+  EXPECT_EQ(sel.type_pattern, Pattern::literal("pointer"));
+  EXPECT_EQ(sel.key_pattern, Pattern::literal("Reference"));
+  ASSERT_TRUE(sel.data_pattern.binds());
+  const auto& d = std::get<DerefFilter>(q.filter(2));
+  EXPECT_EQ(d.var, sel.data_pattern.var());
+  EXPECT_TRUE(d.keep_source);
+}
+
+TEST(Builder, FollowTwiceUsesDistinctVariables) {
+  Query q = QueryBuilder::from_set("S").follow("A").follow("B", false).build();
+  const auto& d1 = std::get<DerefFilter>(q.filter(2));
+  const auto& d2 = std::get<DerefFilter>(q.filter(4));
+  EXPECT_NE(d1.var, d2.var);
+  EXPECT_FALSE(d2.keep_source);
+}
+
+TEST(Builder, RetrieveRegistersSlots) {
+  Query q = QueryBuilder::from_set("S")
+                .retrieve("string", "Title", "title")
+                .retrieve("string", "Author", "author")
+                .build();
+  ASSERT_EQ(q.retrieve_slots().size(), 2u);
+  EXPECT_EQ(q.retrieve_slots()[0], "title");
+  EXPECT_EQ(q.retrieve_slots()[1], "author");
+  EXPECT_EQ(std::get<SelectFilter>(q.filter(1)).data_pattern.slot(), 0u);
+  EXPECT_EQ(std::get<SelectFilter>(q.filter(2)).data_pattern.slot(), 1u);
+}
+
+TEST(Builder, SelectEqAndKey) {
+  Query q = QueryBuilder::from_set("S")
+                .select_eq("number", "Year", Value::number(1991))
+                .select_key("keyword", "db")
+                .build();
+  EXPECT_EQ(std::get<SelectFilter>(q.filter(1)).data_pattern,
+            Pattern::literal(std::int64_t{1991}));
+  EXPECT_EQ(std::get<SelectFilter>(q.filter(2)).data_pattern, Pattern::any());
+}
+
+TEST(Builder, FromIds) {
+  Query q = QueryBuilder::from_ids({ObjectId(1, 2)}).select_key("keyword", "k").build();
+  ASSERT_EQ(q.initial_ids().size(), 1u);
+  EXPECT_TRUE(q.initial_set_name().empty());
+}
+
+TEST(Builder, CountOnly) {
+  Query q = QueryBuilder::from_set("S").select_key("keyword", "k").count_only().into("T");
+  EXPECT_TRUE(q.count_only());
+}
+
+TEST(Builder, UnclosedIterateThrows) {
+  QueryBuilder b = QueryBuilder::from_set("S");
+  b.begin_iterate(2).select_key("keyword", "k");
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, EndIterateWithoutBeginThrows) {
+  QueryBuilder b = QueryBuilder::from_set("S");
+  EXPECT_THROW(b.end_iterate(), std::logic_error);
+}
+
+TEST(Builder, InvalidQueryThrows) {
+  QueryBuilder b = QueryBuilder::from_set("S");
+  b.deref_keep("NeverBound");
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, NestedIterateStructure) {
+  Query q = QueryBuilder::from_set("S")
+                .begin_iterate(5)
+                .begin_iterate(2)
+                .follow("A")
+                .end_iterate()
+                .follow("B")
+                .end_iterate()
+                .build();
+  // 1 select(A), 2 deref, 3 inner iter, 4 select(B), 5 deref, 6 outer iter.
+  const auto& inner = std::get<IterateFilter>(q.filter(3));
+  const auto& outer = std::get<IterateFilter>(q.filter(6));
+  EXPECT_EQ(inner.body_start, 1u);
+  EXPECT_EQ(inner.count, 2u);
+  EXPECT_EQ(outer.body_start, 1u);
+  EXPECT_EQ(outer.count, 5u);
+}
+
+}  // namespace
+}  // namespace hyperfile

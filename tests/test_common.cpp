@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err = make_error(Errc::kNotFound, "nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Errc::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+  EXPECT_EQ(err.error().to_string(), "not_found: nope");
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Result<void> err = make_error(Errc::kIo, "disk");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Errc::kIo);
+}
+
+TEST(Result, ErrcNames) {
+  EXPECT_STREQ(to_string(Errc::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(Errc::kDecode), "decode");
+  EXPECT_STREQ(to_string(Errc::kTimeout), "timeout");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 1000 draws
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng fresh(5);
+  fresh.next_u64();  // consume what split() consumed
+  EXPECT_NE(child.next_u64(), fresh.next_u64());
+}
+
+TEST(FormatDuration, Units) {
+  EXPECT_EQ(format_duration(Duration(500)), "500us");
+  EXPECT_EQ(format_duration(Duration(1'500)), "1.5ms");
+  EXPECT_EQ(format_duration(Duration(2'700'000)), "2.70s");
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,474 @@
+// Integration tests for the threaded distributed runtime: the Section 3.2
+// algorithm end-to-end over real (in-process, wire-serialized) messages,
+// with weighted-message termination detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <chrono>
+#include <thread>
+
+#include "dist/cluster.hpp"
+#include "engine/local_engine.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+using testing::sorted;
+
+/// Distribute a ring/chain of `n` objects round-robin over the cluster's
+/// sites, linked by "Reference" pointers (always crossing sites when
+/// sites > 1), each holding keyword "hit" if index % 3 == 0. Set "S" at
+/// site 0 holds the head. Returns ids in chain order.
+std::vector<ObjectId> populate_cross_site_chain(Cluster& cluster, std::size_t n) {
+  const std::size_t sites = cluster.size();
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(cluster.store(i % sites).allocate());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::string("Name", "obj" + std::to_string(i)));
+    obj.add(Tuple::pointer("Reference", i + 1 < n ? ids[i + 1] : ids[i]));
+    if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+    cluster.store(i % sites).put(std::move(obj));
+  }
+  cluster.store(0).create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  return ids;
+}
+
+/// Expected result computed on a merged single-site replica.
+QueryResult expected_on_merged(Cluster& cluster, const Query& q) {
+  SiteStore merged(0);
+  for (SiteId s = 0; s < cluster.size(); ++s) {
+    cluster.store(s).for_each([&](const Object& obj) { merged.put(obj); });
+    for (const auto& name : cluster.store(s).set_names()) {
+      merged.bind_set(name, *cluster.store(s).find_set(name));
+    }
+  }
+  LocalEngine engine(merged);
+  auto r = engine.run_readonly(q);
+  EXPECT_TRUE(r.ok());
+  return r.value_or(QueryResult{});
+}
+
+const char* kClosure =
+    R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) -> T)";
+
+TEST(Cluster, SingleSiteMatchesLocalEngine) {
+  Cluster cluster(1);
+  populate_cross_site_chain(cluster, 20);
+  Query q = parse_or_die(kClosure);
+  QueryResult expected = expected_on_merged(cluster, q);
+
+  cluster.start();
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(sorted(r.value().ids), sorted(expected.ids));
+  cluster.stop();
+}
+
+TEST(Cluster, ThreeSiteChainMatchesMergedRun) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  Query q = parse_or_die(kClosure);
+  QueryResult expected = expected_on_merged(cluster, q);
+
+  cluster.start();
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(sorted(r.value().ids), sorted(expected.ids));
+  EXPECT_EQ(r.value().ids.size(), 10u);  // indices 0,3,...,27
+
+  // Every hop crossed a site boundary: 29 forward derefs at minimum.
+  auto net = cluster.network_stats();
+  EXPECT_GE(net.deref_messages, 29u);
+  cluster.stop();
+}
+
+TEST(Cluster, RetrievalValuesFlowBackToOriginator) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 12);
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) (string, "Name", ->name) -> T)");
+
+  cluster.start();
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  auto names = r.value().values_for("name");
+  ASSERT_EQ(names.size(), 4u);  // obj0, obj3, obj6, obj9
+  std::vector<std::string> strs;
+  for (const auto& v : names) strs.push_back(v.as_string());
+  std::sort(strs.begin(), strs.end());
+  EXPECT_EQ(strs, (std::vector<std::string>{"obj0", "obj3", "obj6", "obj9"}));
+  cluster.stop();
+}
+
+TEST(Cluster, ContextsDiscardedAfterGlobalTermination) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  auto r = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(r.ok());
+
+  // QueryDone messages race with the reply; poll briefly.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    std::size_t live = 0;
+    for (SiteId s = 0; s < cluster.size(); ++s) {
+      live += cluster.server(s).context_count();
+    }
+    if (live == 0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << live << " contexts still alive";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cluster.stop();
+}
+
+TEST(Cluster, SequentialQueriesAndChainedSets) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+
+  auto r1 = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1.value().ids.size(), 10u);
+
+  // T is bound at the originator; a follow-up query can start from it.
+  auto r2 = cluster.client().run(parse_or_die(R"(T (string, "Name", /obj(3|9)$/) -> U)"));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(r2.value().ids.size(), 2u);
+  cluster.stop();
+}
+
+TEST(Cluster, CountOnlyDistributedSetAndContinuation) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+
+  Query q1 = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) count -> D)");
+  auto r1 = cluster.client().run(q1);
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  EXPECT_TRUE(r1.value().count_only);
+  EXPECT_EQ(r1.value().total_count, 10u);
+  EXPECT_TRUE(r1.value().ids.empty());  // members stayed distributed
+
+  // Continuation: restrict the distributed set; the originator fans
+  // StartQuery to the sites holding portions.
+  auto r2 = cluster.client().run(parse_or_die(R"(D (string, "Name", /obj[0-9]$/) -> U)"));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(r2.value().ids.size(), 4u);  // obj0, obj3, obj6, obj9
+  cluster.stop();
+}
+
+TEST(Cluster, SiteFailureYieldsPartialResults) {
+  Cluster cluster(3);
+  auto ids = populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  cluster.stop_site(2);  // kill one site before querying
+
+  auto r = cluster.client().run(parse_or_die(kClosure), Duration(10'000'000));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  // The chain dies at the first pointer into site 2 (index 2), so only
+  // index 0 survives the filter — a partial but correct subset.
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[0]});
+  cluster.stop();
+}
+
+TEST(Cluster, ExplicitInitialIdsAcrossSites) {
+  Cluster cluster(3);
+  auto ids = populate_cross_site_chain(cluster, 9);
+  cluster.start();
+
+  Query q = QueryBuilder::from_ids({ids[1], ids[4], ids[6]})
+                .select(Pattern::literal("keyword"), Pattern::literal("hit"),
+                        Pattern::any())
+                .into("T");
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[6]});  // only 6 % 3 == 0
+  cluster.stop();
+}
+
+TEST(Cluster, UnknownInitialSetIsReportedError) {
+  Cluster cluster(2);
+  cluster.start();
+  auto r = cluster.client().run(parse_or_die(R"(Nope (?, ?, ?) -> T)"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("Nope"), std::string::npos);
+  cluster.stop();
+}
+
+TEST(Cluster, QueryOriginatedAtNonDefaultServer) {
+  Cluster cluster(3);
+  auto ids = populate_cross_site_chain(cluster, 9);
+  // Bind a set at site 1 as well.
+  cluster.store(1).create_set("Mine", std::span<const ObjectId>(&ids[1], 1));
+  cluster.start();
+
+  auto r = cluster.client().run_at(1, parse_or_die(R"(Mine (?, ?, ?) -> T)"));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[1]});
+  cluster.stop();
+}
+
+TEST(Cluster, MovedObjectFoundViaBirthSiteForwarding) {
+  Cluster cluster(3);
+  auto ids = populate_cross_site_chain(cluster, 6);
+  // Move object 1 (site 1) to site 2. Pointers still presume site 1.
+  ASSERT_TRUE(cluster.move_object(ids[1], 1, 2).ok());
+  cluster.start();
+
+  auto r = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(sorted(r.value().ids), sorted({ids[0], ids[3]}));
+  cluster.stop();
+}
+
+TEST(Cluster, ManySequentialQueriesStayStable) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  Query q = parse_or_die(kClosure);
+  for (int i = 0; i < 25; ++i) {
+    auto r = cluster.client().run(q);
+    ASSERT_TRUE(r.ok()) << "iteration " << i << ": " << r.error().to_string();
+    EXPECT_EQ(r.value().ids.size(), 10u) << "iteration " << i;
+  }
+  cluster.stop();
+}
+
+TEST(Cluster, BatchedDerefsProduceSameResults) {
+  SiteServerOptions options;
+  options.batch_remote_derefs = true;
+  Cluster cluster(3, options);
+  populate_cross_site_chain(cluster, 30);
+  Query q = parse_or_die(kClosure);
+  QueryResult expected = expected_on_merged(cluster, q);
+
+  cluster.start();
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(sorted(r.value().ids), sorted(expected.ids));
+  cluster.stop();
+
+  auto net = cluster.network_stats();
+  // The chain forces one batch per hop (each drain produces exactly one
+  // remote pointer), so batching is exercised even if it cannot save
+  // messages here.
+  EXPECT_GE(net.batch_deref_messages, 29u);
+  EXPECT_EQ(net.deref_messages, 0u);
+}
+
+TEST(Cluster, BatchedDerefsSaveMessagesOnFanout) {
+  // A star: the root points at 10 objects per remote site. Per-pointer mode
+  // sends 20 deref messages; batched mode sends 2.
+  auto build = [](Cluster& cluster) {
+    std::vector<ObjectId> leaves;
+    for (SiteId s = 1; s <= 2; ++s) {
+      for (int i = 0; i < 10; ++i) {
+        ObjectId id = cluster.store(s).allocate();
+        cluster.store(s).put(Object(id, {Tuple::keyword("hit")}));
+        leaves.push_back(id);
+      }
+    }
+    ObjectId root = cluster.store(0).allocate();
+    Object obj(root);
+    for (const ObjectId& leaf : leaves) obj.add(Tuple::pointer("Fan", leaf));
+    obj.add(Tuple::keyword("hit"));
+    cluster.store(0).put(std::move(obj));
+    cluster.store(0).create_set("S", std::span<const ObjectId>(&root, 1));
+  };
+  Query q = parse_or_die(R"(S (pointer, "Fan", ?X) ^^X (keyword, "hit", ?) -> T)");
+
+  Cluster plain(3);
+  build(plain);
+  plain.start();
+  auto r1 = plain.client().run(q);
+  ASSERT_TRUE(r1.ok());
+  plain.stop();
+
+  SiteServerOptions options;
+  options.batch_remote_derefs = true;
+  Cluster batched(3, options);
+  build(batched);
+  batched.start();
+  auto r2 = batched.client().run(q);
+  ASSERT_TRUE(r2.ok());
+  batched.stop();
+
+  EXPECT_EQ(r1.value().ids.size(), 21u);
+  EXPECT_EQ(sorted(r1.value().ids).size(), sorted(r2.value().ids).size());
+  EXPECT_EQ(plain.network_stats().deref_messages, 20u);
+  EXPECT_EQ(batched.network_stats().batch_deref_messages, 2u);
+  EXPECT_EQ(batched.network_stats().deref_messages, 0u);
+}
+
+TEST(Cluster, RewriteOnByDefaultPreservesResults) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 18);
+  // A query with removable fluff: duplicate select + redundant wildcard.
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) (keyword, "hit", ?) (?, ?, ?) -> T)");
+  QueryResult expected = expected_on_merged(cluster, q);
+  cluster.start();
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(sorted(r.value().ids), sorted(expected.ids));
+  cluster.stop();
+}
+
+class TerminationAlgos
+    : public ::testing::TestWithParam<TerminationAlgorithm> {};
+
+TEST_P(TerminationAlgos, ClosureMatchesUnderBothDetectors) {
+  SiteServerOptions options;
+  options.termination = GetParam();
+  Cluster cluster(3, options);
+  populate_cross_site_chain(cluster, 30);
+  Query q = parse_or_die(kClosure);
+  QueryResult expected = expected_on_merged(cluster, q);
+  cluster.start();
+  for (int i = 0; i < 5; ++i) {
+    auto r = cluster.client().run(q, Duration(20'000'000));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(sorted(r.value().ids), sorted(expected.ids));
+  }
+  cluster.stop();
+}
+
+TEST_P(TerminationAlgos, PartialResultsOnFailure) {
+  SiteServerOptions options;
+  options.termination = GetParam();
+  Cluster cluster(3, options);
+  auto ids = populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  cluster.stop_site(2);
+  auto r = cluster.client().run(parse_or_die(kClosure), Duration(10'000'000));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[0]});
+  cluster.stop();
+}
+
+TEST_P(TerminationAlgos, CountOnlyContinuationWorks) {
+  SiteServerOptions options;
+  options.termination = GetParam();
+  options.batch_remote_derefs = true;  // exercise the combination too
+  Cluster cluster(3, options);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  auto r1 = cluster.client().run(parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) count -> D)"));
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  EXPECT_EQ(r1.value().total_count, 10u);
+  auto r2 = cluster.client().run(parse_or_die(R"(D (?, ?, ?) -> U)"));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(r2.value().ids.size(), 10u);
+  cluster.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, TerminationAlgos,
+                         ::testing::Values(
+                             TerminationAlgorithm::kWeightedMessages,
+                             TerminationAlgorithm::kDijkstraScholten));
+
+TEST(Cluster, DijkstraScholtenSendsAcksWeightedDoesNot) {
+  auto run_with = [](TerminationAlgorithm algo) {
+    SiteServerOptions options;
+    options.termination = algo;
+    Cluster cluster(3, options);
+    populate_cross_site_chain(cluster, 12);
+    cluster.start();
+    auto r = cluster.client().run(parse_or_die(kClosure));
+    EXPECT_TRUE(r.ok());
+    cluster.stop();
+    return cluster.network_stats();
+  };
+  auto weighted = run_with(TerminationAlgorithm::kWeightedMessages);
+  auto ds = run_with(TerminationAlgorithm::kDijkstraScholten);
+  // Same query traffic; only D-S adds acknowledgement messages.
+  EXPECT_EQ(weighted.deref_messages, ds.deref_messages);
+  EXPECT_GT(ds.messages_sent, weighted.messages_sent);
+}
+
+TEST(Cluster, ConcurrentClientsInterleaveSafely) {
+  // Two clients hammer the cluster simultaneously with different queries;
+  // per-query contexts at each site must not interfere.
+  Cluster cluster(3, SiteServerOptions{}, /*clients=*/2);
+  auto ids = populate_cross_site_chain(cluster, 30);
+  cluster.start();
+
+  Query q_hits = parse_or_die(kClosure);
+  Query q_names = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (string, "Name", /obj1/) -> N)");
+
+  std::atomic<int> failures{0};
+  auto worker = [&](Client& client, const Query& q, std::size_t expect) {
+    for (int i = 0; i < 10; ++i) {
+      auto r = client.run(q, Duration(20'000'000));
+      if (!r.ok() || r.value().ids.size() != expect) {
+        ++failures;
+        return;
+      }
+    }
+  };
+  // obj1, obj10..obj19 -> 11 matches for the name query.
+  std::thread t1([&] { worker(cluster.client(0), q_hits, 10); });
+  std::thread t2([&] { worker(cluster.client(1), q_names, 11); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+  cluster.stop();
+}
+
+TEST(Cluster, SnapshotRestartAnswersIdentically) {
+  const std::string dir = ::testing::TempDir() + "/hf_dist_snap";
+  std::filesystem::create_directories(dir);
+  Query q = parse_or_die(kClosure);
+  std::vector<ObjectId> want;
+  {
+    Cluster original(3);
+    populate_cross_site_chain(original, 24);
+    original.start();
+    auto r = original.client().run(q);
+    ASSERT_TRUE(r.ok());
+    want = sorted(r.value().ids);
+    original.stop();
+    ASSERT_TRUE(original.save_snapshots(dir).ok());
+  }
+  // A brand-new deployment restored from disk.
+  Cluster restored(3);
+  auto lr = restored.load_snapshots(dir);
+  ASSERT_TRUE(lr.ok()) << lr.error().to_string();
+  restored.start();
+  auto r2 = restored.client().run(q);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(sorted(r2.value().ids), want);
+  restored.stop();
+}
+
+TEST(Cluster, SnapshotOpsRequireStoppedCluster) {
+  Cluster cluster(2);
+  cluster.start();
+  EXPECT_FALSE(cluster.save_snapshots(::testing::TempDir()).ok());
+  EXPECT_FALSE(cluster.load_snapshots(::testing::TempDir()).ok());
+  cluster.stop();
+}
+
+TEST(Cluster, EngineStatsAggregateAcrossSites) {
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 30);
+  cluster.start();
+  ASSERT_TRUE(cluster.client().run(parse_or_die(kClosure)).ok());
+  cluster.stop();  // folds remaining stats
+  auto stats = cluster.engine_stats();
+  EXPECT_EQ(stats.processed, 30u);
+  EXPECT_EQ(stats.results, 10u);
+}
+
+}  // namespace
+}  // namespace hyperfile

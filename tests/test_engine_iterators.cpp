@@ -1,0 +1,240 @@
+// Iterator semantics: bounded counts, transitive closure, nesting, and the
+// iteration-number arithmetic from the paper's Section 3.1 trace (objects at
+// chain depth d carry iter# = d, counting from 1 at the initial set; an
+// object re-enters the loop body only while start > j and iter# < k).
+#include <gtest/gtest.h>
+
+#include "engine/parallel_engine.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::make_chain;
+using testing::parse_or_die;
+using testing::sorted;
+
+class BoundedIteratorSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BoundedIteratorSweep, KeepSourceChainDepth) {
+  // Chain of 10, every object tagged. With ^^X (keep source), the result is
+  // exactly the objects whose chain depth (1-based) is <= k: the paper's
+  // k=3 example processes A, B, C and never examines D.
+  const std::uint32_t k = GetParam();
+  SiteStore store(0);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < 10; ++i) all.push_back(i);
+  auto ids = make_chain(store, 10, all);
+  LocalEngine engine(store);
+
+  auto q = parse_or_die("S [ (pointer, \"Reference\", ?X) | ^^X ]" +
+                        std::to_string(k) +
+                        " (keyword, \"Distributed\", ?) -> T");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  // Objects at chain depth d (1-based) re-enter the body only while d < k,
+  // so depths 1..k survive. Edge case k=1: the initial object still runs
+  // the body once (the paper's unrolled reading of [body]^1), dereferencing
+  // the depth-2 object, which exits the loop and passes the final filter.
+  const std::size_t expect = std::min<std::size_t>(std::max(k, 2u), ids.size());
+  std::vector<ObjectId> want(ids.begin(), ids.begin() + expect);
+  EXPECT_EQ(sorted(r.value().ids), sorted(want)) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BoundedIteratorSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 9u, 10u, 11u,
+                                           100u));
+
+TEST(Iterators, DropSourceKeepsOnlyFrontier) {
+  // With ^X the pointing object dies each round; the survivors are the
+  // frontier objects that exit the loop via the depth bound.
+  SiteStore store(0);
+  std::vector<std::size_t> all = {0, 1, 2, 3, 4};
+  auto ids = make_chain(store, 5, all);
+  LocalEngine engine(store);
+
+  auto q3 = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) ^X ]3 (keyword, "Distributed", ?) -> T)");
+  auto r3 = engine.run(q3);
+  ASSERT_TRUE(r3.ok());
+  // Depth-3 object (iter# = 3 >= k) exits without re-entering: ids[2].
+  EXPECT_EQ(r3.value().ids, std::vector<ObjectId>{ids[2]});
+}
+
+TEST(Iterators, UnboundedDropSourceReachesChainEnd) {
+  SiteStore store(0);
+  std::vector<std::size_t> all = {0, 1, 2, 3, 4, 5, 6};
+  auto ids = make_chain(store, 7, all);
+  LocalEngine engine(store);
+
+  // Every object dies at ^X after dereferencing (drop-source), and the
+  // re-derefed duplicates are mark-suppressed, so an unbounded ^X loop
+  // keeps nothing: only bounded loops (exit by depth) or ^^X (keep source)
+  // produce results. This documents the drop-source/closure interaction.
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) ^X ]* (keyword, "Distributed", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().ids.empty());
+}
+
+TEST(Iterators, IteratorFirstEntryFromDerefRunsBody) {
+  // An object dereferenced *into* the iterator position (start == the
+  // iterator's index) must run back through the body (start > j case).
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId b = store.allocate();
+  ObjectId c = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Reference", b));
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(b);
+    obj.add(Tuple::pointer("Reference", c));
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(c);
+    obj.add(Tuple::pointer("Reference", c));  // sink self-points (see helpers)
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sorted(r.value().ids), sorted({a, b, c}));
+}
+
+TEST(Iterators, SelfLoopTerminates) {
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Reference", a));  // self-cycle
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{a});
+}
+
+TEST(Iterators, DerefAtLastFilterDeliversTargets) {
+  // A dereference as the very last filter: targets enter "past the end" and
+  // join the result unfiltered (Figure 3: the while loop is skipped, the
+  // object is non-null, it is added to S_o).
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId b = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Link", b));
+    store.put(std::move(obj));
+  }
+  store.put(Object(b, {Tuple::string("Name", "b")}));
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(R"(S (pointer, "Link", ?X) ^X -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{b});
+}
+
+TEST(Iterators, NestedIteratorsTerminateAndMatchParallelEngine) {
+  // A two-level pointer grid: "A" pointers advance within a row, "B"
+  // pointers jump to the next row. Every object carries both pointer kinds
+  // (edges wrap) plus a tag, so no object dies for lack of a tuple.
+  SiteStore store(0);
+  constexpr int kRows = 4, kCols = 4;
+  ObjectId grid[kRows][kCols];
+  for (auto& row : grid) {
+    for (auto& cell : row) cell = store.allocate();
+  }
+  for (int i = 0; i < kRows; ++i) {
+    for (int j = 0; j < kCols; ++j) {
+      Object obj(grid[i][j]);
+      obj.add(Tuple::pointer("A", grid[i][(j + 1) % kCols]));
+      obj.add(Tuple::pointer("B", grid[(i + 1) % kRows][j]));
+      obj.add(Tuple::string("tag", "t"));
+      store.put(std::move(obj));
+    }
+  }
+  store.create_set("S", std::span<const ObjectId>(&grid[0][0], 1));
+
+  auto q = parse_or_die(
+      R"(S [ [ (pointer, "A", ?X) | ^^X ]2 (pointer, "B", ?Y) | ^^Y ]3 (string, "tag", ?) -> T)");
+
+  LocalEngine serial(store);
+  auto rs = serial.run_readonly(q);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_FALSE(rs.value().ids.empty());
+
+  ParallelEngine parallel(store, 4);
+  auto rp = parallel.run(q);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(sorted(rs.value().ids), sorted(rp.value().ids));
+}
+
+TEST(Iterators, NestedInnerCounterResetsPerOuterVisit) {
+  // root -B-> m; m -A-> a1 -A-> a2. Inner loop bounds A-chains at depth 2
+  // (one A-hop per visit); the inner counter must reset when m is reached
+  // through the *outer* loop, so a1 (one A-hop from m) is reachable, while
+  // a2 (two A-hops) is not.
+  SiteStore store(0);
+  ObjectId root = store.allocate();
+  ObjectId m = store.allocate();
+  ObjectId a1 = store.allocate();
+  ObjectId a2 = store.allocate();
+  auto put = [&](ObjectId id, std::vector<Tuple> extra) {
+    Object obj(id);
+    obj.add(Tuple::string("tag", "t"));
+    for (auto& t : extra) obj.add(std::move(t));
+    store.put(std::move(obj));
+  };
+  put(root, {Tuple::pointer("B", m), Tuple::pointer("A", root)});
+  put(m, {Tuple::pointer("A", a1), Tuple::pointer("B", m)});
+  put(a1, {Tuple::pointer("A", a2), Tuple::pointer("B", a1)});
+  put(a2, {Tuple::pointer("A", a2), Tuple::pointer("B", a2)});
+  store.create_set("S", std::span<const ObjectId>(&root, 1));
+
+  LocalEngine engine(store);
+  auto q = parse_or_die(
+      R"(S [ [ (pointer, "A", ?X) | ^^X ]2 (pointer, "B", ?Y) | ^^Y ]* (string, "tag", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().contains(m)) << "B-child reachable";
+  EXPECT_TRUE(r.value().contains(a1)) << "one A-hop from a fresh inner counter";
+}
+
+TEST(Iterators, ValidationRejectsMalformedIterators) {
+  // Overlapping, non-nested iterator intervals must be rejected.
+  Query q;
+  q.set_initial_ids({ObjectId(0, 1)});
+  q.add_filter(SelectFilter{});                 // 1
+  q.add_filter(IterateFilter{1, 2});            // 2: [1,2]
+  q.add_filter(IterateFilter{2, 2});            // 3: [2,3] overlaps [1,2]
+  EXPECT_FALSE(q.validate().ok());
+
+  Query q2;
+  q2.set_initial_ids({ObjectId(0, 1)});
+  q2.add_filter(IterateFilter{5, 2});  // body_start beyond own index
+  EXPECT_FALSE(q2.validate().ok());
+
+  Query q3;
+  q3.set_initial_ids({ObjectId(0, 1)});
+  q3.add_filter(SelectFilter{});
+  q3.add_filter(IterateFilter{1, 0});  // k == 0
+  EXPECT_FALSE(q3.validate().ok());
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,347 @@
+// Local query engine: the Figure 3 algorithm, E function semantics, and the
+// paper's worked examples from Section 3.1.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::make_chain;
+using testing::parse_or_die;
+using testing::sorted;
+
+TEST(LocalEngine, PaperSection3ChainExample) {
+  // Paper: "assume that we have a set S containing an object A. A has a
+  // reference pointer to B, B has a pointer to C, and C has a pointer to D."
+  // Query: S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T
+  // "the query terminates before examining D (which is 4 levels deep)".
+  SiteStore store(0);
+  auto ids = make_chain(store, 4, {0, 1, 2, 3});  // all carry the keyword
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+
+  // A, B, C pass; D is never examined.
+  EXPECT_EQ(sorted(r.value().ids), sorted({ids[0], ids[1], ids[2]}));
+  // D was never processed at all.
+  EXPECT_EQ(r.value().stats.processed, 3u);
+}
+
+TEST(LocalEngine, TransitiveClosureCoversWholeChain) {
+  SiteStore store(0);
+  auto ids = make_chain(store, 10, {0, 3, 7});
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sorted(r.value().ids), sorted({ids[0], ids[3], ids[7]}));
+  EXPECT_EQ(r.value().stats.processed, 10u);
+}
+
+TEST(LocalEngine, CycleTerminates) {
+  // A -> B -> C -> A: the mark table must stop the closure.
+  SiteStore store(0);
+  std::vector<ObjectId> ids = {store.allocate(), store.allocate(), store.allocate()};
+  for (int i = 0; i < 3; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Reference", ids[(i + 1) % 3]));
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sorted(r.value().ids), sorted(ids));
+}
+
+TEST(LocalEngine, MarkTableSubtletyReprocessAtLaterFilter) {
+  // Paper Section 3.1: object O fails F1, but is later dereferenced into F3
+  // — it must still be processed starting at F3.
+  //
+  // Query: S (keyword, "good", ?) (pointer, "Link", ?X) ^X  -> T
+  // A (in S) has keyword "good" and a Link to O. O lacks "good".
+  // O is also in the initial set S, so it is first processed (and fails) at
+  // F1; the dereference via A must still deliver O into the result.
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId o = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::keyword("good"));
+    obj.add(Tuple::pointer("Link", o));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(o);
+    obj.add(Tuple::string("Name", "o"));  // no "good" keyword
+    store.put(std::move(obj));
+  }
+  std::vector<ObjectId> initial = {o, a};  // O first: it fails F1 before A runs
+  store.create_set("S", initial);
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(R"(S (keyword, "good", ?) (pointer, "Link", ?X) ^X -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  // ^X drops A (keep only referenced); O enters past the last filter and
+  // joins the result.
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{o});
+}
+
+TEST(LocalEngine, DerefKeepVsDrop) {
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId b = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Link", b));
+    obj.add(Tuple::keyword("k"));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(b);
+    obj.add(Tuple::keyword("k"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+
+  // ^^X keeps the pointing object: both A and B must pass.
+  auto keep = engine.run(parse_or_die(
+      R"(S (pointer, "Link", ?X) ^^X (keyword, "k", ?) -> T)"));
+  ASSERT_TRUE(keep.ok());
+  EXPECT_EQ(sorted(keep.value().ids), sorted({a, b}));
+
+  // ^X drops it: only B.
+  auto drop = engine.run(parse_or_die(
+      R"(S (pointer, "Link", ?X) ^X (keyword, "k", ?) -> T)"));
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop.value().ids, std::vector<ObjectId>{b});
+}
+
+TEST(LocalEngine, SelectionPatterns) {
+  SiteStore store(0);
+  ObjectId id = store.allocate();
+  {
+    Object obj(id);
+    obj.add(Tuple::string("Author", "Joe Programmer"));
+    obj.add(Tuple::number("Year", 1991));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&id, 1));
+  LocalEngine engine(store);
+
+  // Exact string match.
+  EXPECT_EQ(engine.run(parse_or_die(
+                           R"(S (string, "Author", "Joe Programmer") -> T)"))
+                .value()
+                .ids.size(),
+            1u);
+  // Mismatch.
+  EXPECT_TRUE(engine.run(parse_or_die(R"(S (string, "Author", "Nobody") -> T)"))
+                  .value()
+                  .ids.empty());
+  // Regex on the data field.
+  EXPECT_EQ(engine.run(parse_or_die(R"(S (string, "Author", /Joe/) -> T)"))
+                .value()
+                .ids.size(),
+            1u);
+  // Numeric range ("published between ...", the paper's Section 1 example).
+  EXPECT_EQ(engine.run(parse_or_die(R"(S (number, "Year", [1980..2000]) -> T)"))
+                .value()
+                .ids.size(),
+            1u);
+  EXPECT_TRUE(engine.run(parse_or_die(R"(S (number, "Year", [1992..2000]) -> T)"))
+                  .value()
+                  .ids.empty());
+  // Wildcards everywhere.
+  EXPECT_EQ(engine.run(parse_or_die(R"(S (?, ?, ?) -> T)")).value().ids.size(), 1u);
+}
+
+TEST(LocalEngine, MatchingVariableAcrossTuples) {
+  // Footnote 2: find objects "Maintained by" one of the "Author"s.
+  SiteStore store(0);
+  ObjectId good = store.allocate();
+  ObjectId bad = store.allocate();
+  {
+    Object obj(good);
+    obj.add(Tuple::string("Author", "alice"));
+    obj.add(Tuple::string("Author", "bob"));
+    obj.add(Tuple::string("Maintained by", "bob"));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(bad);
+    obj.add(Tuple::string("Author", "alice"));
+    obj.add(Tuple::string("Maintained by", "carol"));
+    store.put(std::move(obj));
+  }
+  std::vector<ObjectId> initial = {good, bad};
+  store.create_set("S", initial);
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(
+      R"(S (string, "Author", ?A) (string, "Maintained by", $A) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{good});
+}
+
+TEST(LocalEngine, RetrievalOperator) {
+  // Paper Section 2: retrieve all titles of documents by an author.
+  SiteStore store(0);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ObjectId id = store.allocate();
+    Object obj(id);
+    obj.add(Tuple::string("Author", i < 2 ? "Chris Clifton" : "Other"));
+    obj.add(Tuple::string("Title", "Paper " + std::to_string(i)));
+    store.put(std::move(obj));
+    ids.push_back(id);
+  }
+  store.create_set("S", ids);
+  LocalEngine engine(store);
+
+  auto q = parse_or_die(
+      R"(S (string, "Author", "Chris Clifton") (string, "Title", ->title) -> T)");
+  auto r = engine.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), 2u);
+  auto titles = r.value().values_for("title");
+  ASSERT_EQ(titles.size(), 2u);
+  std::vector<std::string> strs = {titles[0].as_string(), titles[1].as_string()};
+  std::sort(strs.begin(), strs.end());
+  EXPECT_EQ(strs[0], "Paper 0");
+  EXPECT_EQ(strs[1], "Paper 1");
+}
+
+TEST(LocalEngine, ResultSetUsableAsNextInitialSet) {
+  SiteStore store(0);
+  auto ids = make_chain(store, 5, {1, 2, 3});
+  LocalEngine engine(store);
+
+  auto q1 = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+  ASSERT_TRUE(engine.run(q1).ok());
+
+  // Chained query over T: objects whose Name is obj2.
+  auto q2 = parse_or_die(R"(T (string, "Name", "obj2") -> U)");
+  auto r2 = engine.run(q2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().ids, std::vector<ObjectId>{ids[2]});
+}
+
+TEST(LocalEngine, WildcardPointerKeyFollowsAllCategories) {
+  // "we could use a wild card (?) in place of the key ... if we wished to
+  // follow all pointers (such as the Library pointer)".
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId lib = store.allocate();
+  ObjectId called = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Called Routine", called));
+    obj.add(Tuple::pointer("Library", lib));
+    obj.add(Tuple::keyword("code"));
+    store.put(std::move(obj));
+  }
+  for (ObjectId id : {lib, called}) {
+    Object obj(id);
+    obj.add(Tuple::keyword("code"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+
+  auto narrow = engine.run(parse_or_die(
+      R"(S (pointer, "Called Routine", ?X) ^^X (keyword, "code", ?) -> T)"));
+  EXPECT_EQ(sorted(narrow.value().ids), sorted({a, called}));
+
+  auto wide = engine.run(parse_or_die(
+      R"(S (pointer, ?, ?X) ^^X (keyword, "code", ?) -> T)"));
+  EXPECT_EQ(sorted(wide.value().ids), sorted({a, lib, called}));
+}
+
+TEST(LocalEngine, DanglingPointerYieldsPartialResults) {
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId ghost(0, 424242);  // never stored
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Link", ghost));
+    obj.add(Tuple::keyword("k"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  LocalEngine engine(store);
+
+  auto r = engine.run(parse_or_die(
+      R"(S (pointer, "Link", ?X) ^^X (keyword, "k", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{a});
+  EXPECT_EQ(r.value().stats.missing, 1u);
+}
+
+TEST(LocalEngine, EmptyInitialSetIsError) {
+  SiteStore store(0);
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(R"(Missing (?, ?, ?) -> T)"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+}
+
+TEST(LocalEngine, DuplicateResultSuppressedWhenReachedTwice) {
+  // Two objects point at the same target; it must appear once.
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  ObjectId b = store.allocate();
+  ObjectId t = store.allocate();
+  for (ObjectId src : {a, b}) {
+    Object obj(src);
+    obj.add(Tuple::pointer("Link", t));
+    store.put(std::move(obj));
+  }
+  {
+    Object obj(t);
+    obj.add(Tuple::keyword("k"));
+    store.put(std::move(obj));
+  }
+  std::vector<ObjectId> initial = {a, b};
+  store.create_set("S", initial);
+  LocalEngine engine(store);
+
+  auto r = engine.run(parse_or_die(
+      R"(S (pointer, "Link", ?X) ^X (keyword, "k", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{t});
+  // The second arrival of t was suppressed by the mark table.
+  EXPECT_EQ(r.value().stats.suppressed, 1u);
+}
+
+TEST(LocalEngine, DisciplineDoesNotChangeResults) {
+  SiteStore store(0);
+  make_chain(store, 8, {0, 2, 4, 6});
+  auto q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+
+  LocalEngine bfs(store, WorkSetDiscipline::kFifo);
+  LocalEngine dfs(store, WorkSetDiscipline::kLifo);
+  auto r1 = bfs.run_readonly(q);
+  auto r2 = dfs.run_readonly(q);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(sorted(r1.value().ids), sorted(r2.value().ids));
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "index/explain.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using index::explain_query;
+using testing::parse_or_die;
+
+TEST(Explain, CountsStructure) {
+  auto e = explain_query(parse_or_die(
+      R"(S [ (pointer, "Ref", ?X) | ^^X ]* (keyword, "k", ?) -> T)"));
+  EXPECT_EQ(e.filters, 4u);
+  EXPECT_EQ(e.selections, 2u);
+  EXPECT_EQ(e.dereferences, 1u);
+  EXPECT_EQ(e.iterators, 1u);
+  EXPECT_EQ(e.max_nesting, 1u);
+  EXPECT_TRUE(e.transitive_closure);
+  EXPECT_FALSE(e.count_only);
+}
+
+TEST(Explain, DetectsAcceleration) {
+  auto e = explain_query(parse_or_die(
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]* (keyword, "db", ?) -> T)"));
+  EXPECT_EQ(e.accelerable_via, "pointer/Cites");
+
+  auto not_acc = explain_query(parse_or_die(
+      R"(S [ (pointer, "Cites", ?X) | ^^X ]3 (keyword, "db", ?) -> T)"));
+  EXPECT_TRUE(not_acc.accelerable_via.empty());
+}
+
+TEST(Explain, ReportsRewriterEffect) {
+  auto e = explain_query(parse_or_die(
+      R"(S (keyword, "k", ?) (keyword, "k", ?) (?, ?, ?) -> T)"));
+  EXPECT_GT(e.rewrite.total(), 0u);
+  EXPECT_NE(e.rewritten, e.original);
+}
+
+TEST(Explain, WarnsAboutDropSourceClosure) {
+  auto e = explain_query(parse_or_die(
+      R"(S [ (pointer, "Ref", ?X) | ^X ]* (keyword, "k", ?) -> T)"));
+  bool warned = false;
+  for (const auto& note : e.notes) {
+    if (note.find("keeps nothing") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Explain, NotesCountOnly) {
+  auto e = explain_query(parse_or_die(R"(S (keyword, "k", ?) count -> D)"));
+  EXPECT_TRUE(e.count_only);
+  bool noted = false;
+  for (const auto& note : e.notes) {
+    if (note.find("distributed set") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Explain, ToStringReadable) {
+  auto e = explain_query(parse_or_die(
+      R"(S [ (pointer, "Ref", ?X) | ^^X ]* (string, "Title", ->t) -> T)"));
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("query:"), std::string::npos);
+  EXPECT_NE(s.find("filters"), std::string::npos);
+  EXPECT_NE(s.find("retrieval slot"), std::string::npos);
+}
+
+TEST(Explain, NestedDepth) {
+  auto e = explain_query(parse_or_die(
+      R"(S [ [ (pointer, "A", ?X) | ^^X ]2 (pointer, "B", ?Y) | ^^Y ]* (?, ?, ?) -> T)"));
+  EXPECT_EQ(e.max_nesting, 2u);
+  EXPECT_EQ(e.iterators, 2u);
+}
+
+}  // namespace
+}  // namespace hyperfile

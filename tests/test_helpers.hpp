@@ -1,0 +1,58 @@
+// Shared fixtures and builders for the HyperFile test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/local_engine.hpp"
+#include "query/builder.hpp"
+#include "query/parser.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile::testing {
+
+/// Build a chain A -> B -> C -> ... of `n` objects linked by "Reference"
+/// pointers, each tagged with keyword `kw` if its index is in `kw_at`.
+/// The last object self-points: inside a closure loop a selection like
+/// (pointer, "Reference", ?X) *filters*, so a sink without the tuple would
+/// die in the body instead of reaching the filters after the loop.
+/// Returns the ids in chain order; creates set "S" = {first}.
+inline std::vector<ObjectId> make_chain(SiteStore& store, std::size_t n,
+                                        const std::vector<std::size_t>& kw_at = {},
+                                        const std::string& kw = "Distributed") {
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < n; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::string("Name", "obj" + std::to_string(i)));
+    obj.add(Tuple::pointer("Reference", i + 1 < n ? ids[i + 1] : ids[i]));
+    for (std::size_t at : kw_at) {
+      if (at == i) obj.add(Tuple::keyword(kw));
+    }
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  return ids;
+}
+
+/// Sorted copy, for order-insensitive comparison.
+inline std::vector<ObjectId> sorted(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Parse a query, aborting the test on failure.
+inline Query parse_or_die(const std::string& text) {
+  auto q = parse_query(text);
+  if (!q.ok()) {
+    ADD_FAILURE() << "parse failed: " << q.error().to_string() << " in: " << text;
+    return Query();
+  }
+  return std::move(q).value();
+}
+
+}  // namespace hyperfile::testing

@@ -1,0 +1,143 @@
+// Live object migration (paper Section 4): objects move between running
+// sites without stopping queries or rewriting pointers; stale hints chase
+// through forwarding and the birth site stays the final arbiter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dist/cluster.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+using testing::sorted;
+
+const char* kClosure =
+    R"(S [ (pointer, "Ref", ?X) | ^^X ]* (keyword, "hit", ?) -> T)";
+
+/// a(site0) -> b(site1) -> c(site2), all tagged; set S = {a} at site 0.
+std::vector<ObjectId> populate(Cluster& cluster) {
+  std::vector<ObjectId> ids;
+  for (SiteId s = 0; s < 3; ++s) ids.push_back(cluster.store(s).allocate());
+  for (std::size_t i = 0; i < 3; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Ref", ids[(i + 1) % 3]));
+    obj.add(Tuple::keyword("hit"));
+    cluster.store(i).put(std::move(obj));
+  }
+  cluster.store(0).create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  return ids;
+}
+
+TEST(Migration, LiveMoveKeepsQueriesWorking) {
+  Cluster cluster(3);
+  auto ids = populate(cluster);
+  cluster.start();
+
+  auto before = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().ids.size(), 3u);
+
+  // Move b from site 1 to site 2 while everything runs.
+  auto moved = cluster.client().move(ids[1], 2);
+  ASSERT_TRUE(moved.ok()) << moved.error().to_string();
+  EXPECT_EQ(moved.value(), 2u);
+  EXPECT_TRUE(cluster.server(1).running());  // nothing stopped
+
+  // Same query: pointers still carry the stale hint (site 1), which
+  // forwards to the new home.
+  auto after = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(after.ok()) << after.error().to_string();
+  EXPECT_EQ(sorted(after.value().ids), sorted(before.value().ids));
+}
+
+TEST(Migration, MoveToCurrentHomeIsNoop) {
+  Cluster cluster(3);
+  auto ids = populate(cluster);
+  cluster.start();
+  auto moved = cluster.client().move(ids[1], 1);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), 1u);
+}
+
+TEST(Migration, MoveUnknownObjectFails) {
+  Cluster cluster(3);
+  populate(cluster);
+  cluster.start();
+  auto moved = cluster.client().move(ObjectId(0, 4242), 1);
+  EXPECT_FALSE(moved.ok());
+}
+
+TEST(Migration, ChainedMovesResolveThroughBirthSite) {
+  Cluster cluster(3);
+  auto ids = populate(cluster);
+  cluster.start();
+
+  // b: 1 -> 2 -> 0. The original pointers still presume site 1.
+  ASSERT_TRUE(cluster.client().move(ids[1], 2).ok());
+  ASSERT_TRUE(cluster.client().move(ObjectId(ids[1].birth_site, ids[1].seq, 2), 0).ok());
+
+  auto r = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().ids.size(), 3u);
+
+  // A second client command with the ORIGINAL stale hint also chases fine.
+  auto moved = cluster.client().move(ids[1], 1);
+  ASSERT_TRUE(moved.ok()) << moved.error().to_string();
+  EXPECT_EQ(moved.value(), 1u);
+  auto r2 = cluster.client().run(parse_or_die(kClosure));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().ids.size(), 3u);
+}
+
+TEST(Migration, RepeatedQueriesUnderMoveChurn) {
+  Cluster cluster(3);
+  auto ids = populate(cluster);
+  cluster.start();
+  Query q = parse_or_die(kClosure);
+  SiteId home = 1;
+  for (int round = 0; round < 10; ++round) {
+    const SiteId next = (home + 1) % 3;
+    ASSERT_TRUE(cluster.client().move(
+        ObjectId(ids[1].birth_site, ids[1].seq, home), next).ok())
+        << "round " << round;
+    home = next;
+    auto r = cluster.client().run(q);
+    ASSERT_TRUE(r.ok()) << "round " << round;
+    EXPECT_EQ(r.value().ids.size(), 3u) << "round " << round;
+  }
+}
+
+TEST(Migration, SurvivesSnapshotRestart) {
+  // Move an object, persist the deployment, reload it fresh: the restored
+  // birth site must still know where the object went (the persisted name
+  // registry), so stale pointers keep resolving.
+  const std::string dir = ::testing::TempDir() + "/hf_migration_snap";
+  std::filesystem::create_directories(dir);
+  std::vector<ObjectId> ids;
+  {
+    Cluster original(3);
+    ids = populate(original);
+    original.start();
+    ASSERT_TRUE(original.client().move(ids[1], 2).ok());
+    // Let the LocationUpdate reach the birth site before stopping.
+    auto check = original.client().run(parse_or_die(kClosure));
+    ASSERT_TRUE(check.ok());
+    ASSERT_EQ(check.value().ids.size(), 3u);
+    original.stop();
+    ASSERT_TRUE(original.save_snapshots(dir).ok());
+  }
+  Cluster restored(3);
+  ASSERT_TRUE(restored.load_snapshots(dir).ok());
+  restored.start();
+  // Pointers still presume site 1; only the persisted registry can route.
+  auto r = restored.client().run(parse_or_die(kClosure), Duration(10'000'000));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().ids.size(), 3u);
+  restored.stop();
+}
+
+}  // namespace
+}  // namespace hyperfile

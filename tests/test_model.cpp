@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "model/object.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(ObjectId, IdentityIgnoresPresumedSite) {
+  ObjectId a(1, 42, 1);
+  ObjectId b(1, 42, 5);  // moved: different hint
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.identical(b));
+  EXPECT_TRUE(a.identical(ObjectId(1, 42, 1)));
+  EXPECT_EQ(ObjectIdHash{}(a), ObjectIdHash{}(b));
+}
+
+TEST(ObjectId, Ordering) {
+  EXPECT_LT(ObjectId(0, 5), ObjectId(1, 1));
+  EXPECT_LT(ObjectId(1, 1), ObjectId(1, 2));
+  EXPECT_FALSE(ObjectId(1, 2) < ObjectId(1, 2));
+}
+
+TEST(ObjectId, Validity) {
+  EXPECT_FALSE(ObjectId().valid());
+  EXPECT_TRUE(ObjectId(0, 1).valid());
+}
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value::string("hi").as_string(), "hi");
+  EXPECT_EQ(Value::number(-5).as_number(), -5);
+  EXPECT_EQ(Value::pointer(ObjectId(2, 3)).as_pointer(), ObjectId(2, 3));
+  EXPECT_EQ(Value::blob({1, 2, 3}).as_blob().size(), 3u);
+  EXPECT_EQ(Value::blob_text("abc").as_blob().size(), 3u);
+}
+
+TEST(Value, EqualityAcrossKinds) {
+  EXPECT_EQ(Value::string("a"), Value::string("a"));
+  EXPECT_NE(Value::string("a"), Value::string("b"));
+  EXPECT_NE(Value::string("1"), Value::number(1));
+  EXPECT_EQ(Value(), Value());
+  // Pointer equality ignores the presumed-site hint.
+  EXPECT_EQ(Value::pointer(ObjectId(1, 1, 0)), Value::pointer(ObjectId(1, 1, 7)));
+}
+
+TEST(Value, TotalOrderIsStrict) {
+  std::vector<Value> vals = {Value(), Value::string("a"), Value::string("b"),
+                             Value::number(1), Value::number(2),
+                             Value::pointer(ObjectId(0, 1)),
+                             Value::blob({1})};
+  for (const auto& a : vals) {
+    EXPECT_FALSE(a < a);
+    for (const auto& b : vals) {
+      if (a == b) continue;
+      EXPECT_TRUE((a < b) != (b < a)) << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+TEST(Value, ByteSizeAccountsForPayload) {
+  EXPECT_GT(Value::blob(std::vector<std::uint8_t>(1000)).byte_size(), 1000u);
+  EXPECT_LT(Value::number(5).byte_size(), 20u);
+}
+
+TEST(Tuple, Shorthands) {
+  EXPECT_EQ(Tuple::string("Author", "Joe").type, tuple_types::kString);
+  EXPECT_EQ(Tuple::keyword("Distributed").key, "Distributed");
+  EXPECT_EQ(Tuple::number("Year", 1991).data.as_number(), 1991);
+  EXPECT_TRUE(Tuple::pointer("Link", ObjectId(0, 1)).is_pointer());
+  EXPECT_EQ(Tuple::text("Body", "hello").data.as_blob().size(), 5u);
+}
+
+TEST(Object, FindAndFindAll) {
+  Object obj(ObjectId(0, 1));
+  obj.add(Tuple::string("Author", "alice"));
+  obj.add(Tuple::string("Author", "bob"));
+  obj.add(Tuple::string("Title", "T"));
+  ASSERT_NE(obj.find("string", "Author"), nullptr);
+  EXPECT_EQ(obj.find("string", "Author")->data.as_string(), "alice");
+  EXPECT_EQ(obj.find_all("string", "Author").size(), 2u);
+  EXPECT_EQ(obj.find("string", "Nope"), nullptr);
+}
+
+TEST(Object, PointersByCategory) {
+  Object obj(ObjectId(0, 1));
+  obj.add(Tuple::pointer("Reference", ObjectId(0, 2)));
+  obj.add(Tuple::pointer("Reference", ObjectId(0, 3)));
+  obj.add(Tuple::pointer("Library", ObjectId(0, 4)));
+  obj.add(Tuple::string("Name", "x"));
+  EXPECT_EQ(obj.pointers("Reference").size(), 2u);
+  EXPECT_EQ(obj.pointers("Library").size(), 1u);
+  EXPECT_EQ(obj.pointers().size(), 3u);  // wildcard: all categories
+}
+
+TEST(Object, Remove) {
+  Object obj(ObjectId(0, 1));
+  obj.add(Tuple::string("A", "1"));
+  obj.add(Tuple::string("A", "2"));
+  obj.add(Tuple::string("B", "3"));
+  EXPECT_EQ(obj.remove("string", "A"), 2u);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.remove("string", "Z"), 0u);
+}
+
+TEST(Object, ByteSizeIncludesBlobs) {
+  Object small(ObjectId(0, 1));
+  small.add(Tuple::string("k", "v"));
+  Object big(ObjectId(0, 2));
+  big.add(Tuple::text("Body", std::string(10'000, 'x')));
+  EXPECT_GT(big.byte_size(), small.byte_size() + 9'000);
+}
+
+TEST(Object, EqualityIsDeep) {
+  Object a(ObjectId(0, 1));
+  a.add(Tuple::string("k", "v"));
+  Object b(ObjectId(0, 1));
+  b.add(Tuple::string("k", "v"));
+  EXPECT_EQ(a, b);
+  b.add(Tuple::string("k2", "v2"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Object, ToStringIsReadable) {
+  Object obj(ObjectId(3, 7));
+  obj.add(Tuple::string("Title", "doc"));
+  const std::string s = obj.to_string();
+  EXPECT_NE(s.find("obj(3.7)"), std::string::npos);
+  EXPECT_NE(s.find("Title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperfile

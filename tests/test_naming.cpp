@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "naming/name_registry.hpp"
+#include "naming/persist.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(NameRegistry, BirthRegistrationAndAuthoritativeLookup) {
+  NameRegistry reg(2);
+  ObjectId id(2, 10);
+  reg.register_birth(id);
+  EXPECT_EQ(reg.authoritative_location(id), std::optional<SiteId>(2));
+  // Foreign-born ids are not recorded.
+  ObjectId foreign(3, 10);
+  reg.register_birth(foreign);
+  EXPECT_FALSE(reg.authoritative_location(foreign).has_value());
+}
+
+TEST(NameRegistry, RecordLocationUpdatesBirthRecord) {
+  NameRegistry reg(0);
+  ObjectId id(0, 1);
+  reg.register_birth(id);
+  reg.record_location(id, 5);
+  EXPECT_EQ(reg.authoritative_location(id), std::optional<SiteId>(5));
+}
+
+TEST(NameRegistry, DepartureHint) {
+  NameRegistry reg(1);
+  ObjectId id(0, 7);
+  EXPECT_FALSE(reg.hint(id).has_value());
+  reg.record_departure(id, 4);
+  EXPECT_EQ(reg.hint(id), std::optional<SiteId>(4));
+  reg.forget_hint(id);
+  EXPECT_FALSE(reg.hint(id).has_value());
+}
+
+TEST(NameRegistry, NextHopPrefersLocalHint) {
+  NameRegistry reg(1);
+  ObjectId id(0, 7);           // born at site 0
+  reg.record_departure(id, 4);  // we saw it leave to 4
+  EXPECT_EQ(reg.next_hop(id), std::optional<SiteId>(4));
+}
+
+TEST(NameRegistry, NextHopFallsBackToBirthSite) {
+  NameRegistry reg(1);
+  ObjectId id(0, 7);
+  EXPECT_EQ(reg.next_hop(id), std::optional<SiteId>(0));
+}
+
+TEST(NameRegistry, BirthSiteIsFinalArbiter) {
+  NameRegistry reg(0);  // we ARE the birth site
+  ObjectId id(0, 7);
+  // No record: the object does not exist anywhere — dangling pointer.
+  EXPECT_FALSE(reg.next_hop(id).has_value());
+  // With a record pointing elsewhere, forward there.
+  reg.record_location(id, 3);
+  EXPECT_EQ(reg.next_hop(id), std::optional<SiteId>(3));
+  // Record pointing at ourselves but object absent: gone.
+  reg.record_location(id, 0);
+  EXPECT_FALSE(reg.next_hop(id).has_value());
+}
+
+TEST(NameRegistry, SelfHintIgnored) {
+  NameRegistry reg(1);
+  ObjectId id(0, 7);
+  reg.record_departure(id, 1);  // stale hint pointing back at us
+  // Must not forward to ourselves; fall through to the birth site.
+  EXPECT_EQ(reg.next_hop(id), std::optional<SiteId>(0));
+}
+
+TEST(NameRegistry, MoveScenarioEndToEnd) {
+  // Object born at 0, lives at 0; moves to 2. A site holding a stale
+  // pointer (presumed site 0) chases: site 0 (birth) knows -> 2.
+  NameRegistry birth(0);
+  NameRegistry other(1);
+  ObjectId id(0, 42);
+  birth.register_birth(id);
+
+  // Move 0 -> 2: birth site updates its authoritative record and keeps a
+  // departure hint.
+  birth.record_location(id, 2);
+  birth.record_departure(id, 2);
+
+  // Site 1 dereferences a pointer whose hint says site 0; site 0 no longer
+  // holds the object, consults next_hop -> 2.
+  EXPECT_EQ(other.next_hop(id), std::optional<SiteId>(0));  // ask the arbiter
+  EXPECT_EQ(birth.next_hop(id), std::optional<SiteId>(2));  // arbiter forwards
+}
+
+TEST(NameRegistryPersist, RoundTrip) {
+  NameRegistry reg(1);
+  reg.register_birth(ObjectId(1, 5));
+  reg.record_location(ObjectId(1, 5), 2);   // born here, moved to 2
+  reg.record_location(ObjectId(1, 9), 0);   // born here, lives at 0
+  reg.record_departure(ObjectId(0, 3), 2);  // passed through, hint
+
+  const std::string path = ::testing::TempDir() + "/hf_names_test.bin";
+  ASSERT_TRUE(save_registry(reg, path).ok());
+  auto loaded = load_registry(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  const NameRegistry& back = loaded.value();
+  EXPECT_EQ(back.self(), 1u);
+  EXPECT_EQ(back.authoritative_location(ObjectId(1, 5)), std::optional<SiteId>(2));
+  EXPECT_EQ(back.authoritative_location(ObjectId(1, 9)), std::optional<SiteId>(0));
+  EXPECT_EQ(back.hint(ObjectId(0, 3)), std::optional<SiteId>(2));
+  std::remove(path.c_str());
+}
+
+TEST(NameRegistryPersist, DetectsCorruption) {
+  NameRegistry reg(0);
+  reg.record_location(ObjectId(0, 1), 2);
+  const std::string path = ::testing::TempDir() + "/hf_names_corrupt.bin";
+  ASSERT_TRUE(save_registry(reg, path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 3, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_registry(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(NameRegistryPersist, MissingFileIsIoError) {
+  auto r = load_registry("/nonexistent/names.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+}
+
+}  // namespace
+}  // namespace hyperfile

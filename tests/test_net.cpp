@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/channel.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "query/parser.hpp"
+
+namespace hyperfile {
+namespace {
+
+constexpr Duration kShort{50'000};    // 50ms
+constexpr Duration kLong{2'000'000};  // 2s
+
+TEST(Channel, PushPop) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.try_pop().value(), 1);
+  EXPECT_EQ(ch.pop_wait(kShort).value(), 2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(Channel, PopWaitTimesOut) {
+  Channel<int> ch;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.pop_wait(kShort).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+TEST(Channel, CloseUnblocksAndRejectsPush) {
+  Channel<int> ch;
+  std::thread waiter([&] { EXPECT_FALSE(ch.pop_wait(kLong).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  waiter.join();
+  EXPECT_FALSE(ch.push(1));
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, DrainAfterClose) {
+  Channel<int> ch;
+  ch.push(7);
+  ch.close();
+  // Items pushed before close remain poppable.
+  EXPECT_EQ(ch.pop_wait(kShort).value(), 7);
+  EXPECT_FALSE(ch.pop_wait(kShort).has_value());
+}
+
+TEST(Channel, ConcurrentProducersConsumers) {
+  Channel<int> ch;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto v = ch.pop_wait(kLong);
+        if (v.has_value()) sum += *v;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const int n = 4 * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+wire::Message sample_message() {
+  wire::QueryDone qd;
+  qd.qid = {1, 42};
+  return qd;
+}
+
+TEST(InProcNetwork, DeliversBetweenEndpoints) {
+  InProcNetwork net(3);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  ASSERT_TRUE(a->send(1, sample_message()).ok());
+  auto env = b->recv(kLong);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->src, 0u);
+  EXPECT_EQ(env->dst, 1u);
+  EXPECT_EQ(std::get<wire::QueryDone>(env->message).qid, (wire::QueryId{1, 42}));
+}
+
+TEST(InProcNetwork, UnknownDestinationIsError) {
+  InProcNetwork net(2);
+  auto a = net.endpoint(0);
+  auto r = a->send(9, sample_message());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+}
+
+TEST(InProcNetwork, ShutdownUnblocksReceivers) {
+  InProcNetwork net(1);
+  auto ep = net.endpoint(0);
+  std::thread waiter([&] { EXPECT_FALSE(ep->recv(kLong).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net.shutdown();
+  waiter.join();
+  // Sends to a closed mailbox fail.
+  auto other = net.endpoint(0);
+  EXPECT_FALSE(other->send(0, sample_message()).ok());
+}
+
+TEST(InProcNetwork, CountsMessagesAndBytes) {
+  InProcNetwork net(2);
+  auto a = net.endpoint(0);
+  ASSERT_TRUE(a->send(1, sample_message()).ok());
+  ASSERT_TRUE(a->send(1, sample_message()).ok());
+  auto stats = net.stats();
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.done_messages, 2u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+}
+
+TEST(InProcNetwork, MessagesSurviveWireRoundTrip) {
+  // A full DerefRequest with a real query must arrive intact.
+  InProcNetwork net(2);
+  auto a = net.endpoint(0);
+  auto b = net.endpoint(1);
+  wire::DerefRequest dr;
+  dr.qid = {0, 7};
+  dr.query = parse_query(R"(S [ (pointer, "R", ?X) | ^^X ]* (?, ?, ?) -> T)").value();
+  dr.oid = ObjectId(1, 5, 1);
+  dr.start = 3;
+  dr.iter_stack = {1, 2};
+  dr.weight = {1};
+  ASSERT_TRUE(a->send(1, dr).ok());
+  auto env = b->recv(kLong);
+  ASSERT_TRUE(env.has_value());
+  const auto& got = std::get<wire::DerefRequest>(env->message);
+  EXPECT_EQ(got.query, dr.query);
+  EXPECT_EQ(got.start, 3u);
+  EXPECT_EQ(got.iter_stack, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(TcpNetwork, LoopbackDelivery) {
+  // Two endpoints on ephemeral localhost ports; addresses exchanged after
+  // binding via update_peer (the ephemeral-port bootstrap dance).
+  std::vector<TcpPeer> peers = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  auto a = TcpNetwork::create(0, peers);
+  if (!a.ok()) GTEST_SKIP() << "no localhost sockets: " << a.error().to_string();
+  auto b = TcpNetwork::create(1, peers);
+  ASSERT_TRUE(b.ok()) << b.error().to_string();
+  a.value()->update_peer(1, {"127.0.0.1", b.value()->bound_port()});
+  b.value()->update_peer(0, {"127.0.0.1", a.value()->bound_port()});
+
+  ASSERT_TRUE(a.value()->send(1, sample_message()).ok());
+  auto env = b.value()->recv(kLong);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->src, 0u);
+  EXPECT_EQ(std::get<wire::QueryDone>(env->message).qid, (wire::QueryId{1, 42}));
+
+  // And the reverse direction.
+  ASSERT_TRUE(b.value()->send(0, sample_message()).ok());
+  auto env2 = a.value()->recv(kLong);
+  ASSERT_TRUE(env2.has_value());
+  EXPECT_EQ(env2->src, 1u);
+
+  a.value()->shutdown();
+  b.value()->shutdown();
+}
+
+TEST(TcpNetwork, SelfSendBypassesSocket) {
+  std::vector<TcpPeer> peers = {{"127.0.0.1", 0}};
+  auto a = TcpNetwork::create(0, peers);
+  if (!a.ok()) GTEST_SKIP() << "no localhost sockets";
+  ASSERT_TRUE(a.value()->send(0, sample_message()).ok());
+  auto env = a.value()->recv(kLong);
+  ASSERT_TRUE(env.has_value());
+  a.value()->shutdown();
+}
+
+TEST(TcpNetwork, SendToDownPeerFails) {
+  std::vector<TcpPeer> peers = {{"127.0.0.1", 0}, {"127.0.0.1", 1}};  // port 1: closed
+  auto a = TcpNetwork::create(0, peers);
+  if (!a.ok()) GTEST_SKIP() << "no localhost sockets";
+  auto r = a.value()->send(1, sample_message());
+  EXPECT_FALSE(r.ok());
+  a.value()->shutdown();
+}
+
+}  // namespace
+}  // namespace hyperfile

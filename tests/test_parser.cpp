@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+#include "common/rng.hpp"
+
+#include "query/builder.hpp"
+#include "query/parser.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(Parser, PaperSection3Example) {
+  auto q = parse_query(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]3 (keyword, "Distributed", ?) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().initial_set_name(), "S");
+  EXPECT_EQ(q.value().result_set_name(), "T");
+  ASSERT_EQ(q.value().size(), 4u);
+  const auto& it = std::get<IterateFilter>(q.value().filter(3));
+  EXPECT_EQ(it.body_start, 1u);
+  EXPECT_EQ(it.count, 3u);
+  const auto& sel = std::get<SelectFilter>(q.value().filter(1));
+  EXPECT_EQ(sel.type_pattern, Pattern::literal("pointer"));
+  EXPECT_EQ(sel.key_pattern, Pattern::literal("Reference"));
+  EXPECT_EQ(sel.data_pattern, Pattern::bind("X"));
+}
+
+TEST(Parser, TransitiveClosureStar) {
+  auto q = parse_query(
+      R"(S [ (pointer, "Called Routine", ?X) | ^^X ]* (string, "Author", "Joe Programmer") -> T)");
+  ASSERT_TRUE(q.ok());
+  const auto& it = std::get<IterateFilter>(q.value().filter(3));
+  EXPECT_TRUE(it.unbounded());
+}
+
+TEST(Parser, SingleDerefDropsSource) {
+  auto q = parse_query(R"(S (pointer, "Link", ?X) ^X -> T)");
+  ASSERT_TRUE(q.ok());
+  const auto& d = std::get<DerefFilter>(q.value().filter(2));
+  EXPECT_EQ(d.var, "X");
+  EXPECT_FALSE(d.keep_source);
+}
+
+TEST(Parser, RetrievalSlot) {
+  auto q = parse_query(
+      R"(S (string, "Author", "Chris Clifton") (string, "Title", ->title) -> T)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().retrieve_slots().size(), 1u);
+  EXPECT_EQ(q.value().retrieve_slots()[0], "title");
+  const auto& sel = std::get<SelectFilter>(q.value().filter(2));
+  EXPECT_TRUE(sel.data_pattern.retrieves());
+  EXPECT_EQ(sel.data_pattern.slot(), 0u);
+}
+
+TEST(Parser, PatternForms) {
+  auto q = parse_query(
+      R"(S (number, "Year", [1901..1902]) (/ab.c/, ?, ?V) (string, "x", $V) (?, bare_word, 42) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const auto& f1 = std::get<SelectFilter>(q.value().filter(1));
+  EXPECT_EQ(f1.data_pattern, Pattern::range(1901, 1902));
+  const auto& f2 = std::get<SelectFilter>(q.value().filter(2));
+  EXPECT_EQ(f2.type_pattern, Pattern::regex("ab.c").value());
+  EXPECT_EQ(f2.key_pattern, Pattern::any());
+  EXPECT_EQ(f2.data_pattern, Pattern::bind("V"));
+  const auto& f3 = std::get<SelectFilter>(q.value().filter(3));
+  EXPECT_EQ(f3.data_pattern, Pattern::use("V"));
+  const auto& f4 = std::get<SelectFilter>(q.value().filter(4));
+  EXPECT_EQ(f4.key_pattern, Pattern::literal("bare_word"));
+  EXPECT_EQ(f4.data_pattern, Pattern::literal(std::int64_t{42}));
+}
+
+TEST(Parser, NegativeNumbersAndRanges) {
+  auto q = parse_query(R"(S (number, "t", [-10..-5]) (number, "u", -3) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const auto& f1 = std::get<SelectFilter>(q.value().filter(1));
+  EXPECT_EQ(f1.data_pattern, Pattern::range(-10, -5));
+  const auto& f2 = std::get<SelectFilter>(q.value().filter(2));
+  EXPECT_EQ(f2.data_pattern, Pattern::literal(std::int64_t{-3}));
+}
+
+TEST(Parser, ExplicitIdList) {
+  auto q = parse_query(R"({0.1, 2.7} (?, ?, ?) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().initial_ids().size(), 2u);
+  EXPECT_EQ(q.value().initial_ids()[0], ObjectId(0, 1));
+  EXPECT_EQ(q.value().initial_ids()[1], ObjectId(2, 7));
+}
+
+TEST(Parser, NestedIterators) {
+  auto q = parse_query(
+      R"(S [ [ (pointer, "A", ?X) | ^^X ]2 (pointer, "B", ?Y) | ^^Y ]* (?, ?, ?) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().size(), 7u);
+  const auto& inner = std::get<IterateFilter>(q.value().filter(3));
+  EXPECT_EQ(inner.body_start, 1u);
+  EXPECT_EQ(inner.count, 2u);
+  const auto& outer = std::get<IterateFilter>(q.value().filter(6));
+  EXPECT_EQ(outer.body_start, 1u);
+  EXPECT_TRUE(outer.unbounded());
+}
+
+TEST(Parser, CountOnly) {
+  auto q = parse_query(R"(S (keyword, "k", ?) count -> T)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().count_only());
+}
+
+TEST(Parser, NoResultName) {
+  auto q = parse_query(R"(S (keyword, "k", ?) ->)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().result_set_name().empty());
+}
+
+TEST(Parser, EscapedQuoteInString) {
+  auto q = parse_query(R"(S (string, "said \"hi\"", ?) -> T)");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  const auto& f = std::get<SelectFilter>(q.value().filter(1));
+  EXPECT_EQ(f.key_pattern, Pattern::literal("said \"hi\""));
+}
+
+TEST(Parser, Errors) {
+  // Missing arrow.
+  EXPECT_FALSE(parse_query(R"(S (keyword, "k", ?))").ok());
+  // Unclosed iterator.
+  EXPECT_FALSE(parse_query(R"(S [ (keyword, "k", ?) -> T)").ok());
+  // Iterator without count.
+  EXPECT_FALSE(parse_query(R"(S [ (keyword, "k", ?) ] -> T)").ok());
+  // Zero iterations.
+  EXPECT_FALSE(parse_query(R"(S [ (keyword, "k", ?) ]0 -> T)").ok());
+  // Deref of never-bound variable (semantic validation).
+  EXPECT_FALSE(parse_query(R"(S ^^X -> T)").ok());
+  // Bad selection arity.
+  EXPECT_FALSE(parse_query(R"(S (keyword, "k") -> T)").ok());
+  // Unterminated string.
+  EXPECT_FALSE(parse_query(R"(S (keyword, "k, ?) -> T)").ok());
+  // Garbage after the query.
+  EXPECT_FALSE(parse_query(R"(S (?, ?, ?) -> T extra)").ok());
+  // No initial set.
+  EXPECT_FALSE(parse_query(R"((?, ?, ?) -> T)").ok());
+  // Empty input.
+  EXPECT_FALSE(parse_query("").ok());
+  // Bad regex.
+  EXPECT_FALSE(parse_query(R"(S (/[/, ?, ?) -> T)").ok());
+}
+
+TEST(Parser, RandomQueriesRoundTripThroughToString) {
+  // Generate random (valid) queries with the builder, print, re-parse, and
+  // compare — the printer and parser must agree on the whole language.
+  Rng rng(0xC0FFEE);
+  const char* types[] = {"pointer", "keyword", "string", "number"};
+  const char* keys[] = {"Ref", "Author", "Year", "k"};
+  for (int trial = 0; trial < 200; ++trial) {
+    QueryBuilder b = QueryBuilder::from_set("S");
+    int bound_vars = 0;
+    const int elements = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < elements; ++e) {
+      const bool loop = rng.next_bool(0.3);
+      if (loop) {
+        b.begin_iterate(rng.next_bool(0.5)
+                            ? kUnboundedIterations
+                            : 1 + static_cast<std::uint32_t>(rng.next_below(5)));
+      }
+      // One select, with a random pattern shape.
+      Pattern data;
+      switch (rng.next_below(5)) {
+        case 0:
+          data = Pattern::any();
+          break;
+        case 1:
+          data = Pattern::literal(rng.next_range(0, 100));
+          break;
+        case 2:
+          data = Pattern::range(1, 10);
+          break;
+        case 3:
+          data = Pattern::literal("lit");
+          break;
+        default:
+          data = Pattern::bind("V" + std::to_string(bound_vars++));
+          break;
+      }
+      const bool binds = data.binds();
+      b.select(Pattern::literal(types[rng.next_below(4)]),
+               Pattern::literal(keys[rng.next_below(4)]), data);
+      if (binds && rng.next_bool(0.8)) {
+        const std::string var = "V" + std::to_string(bound_vars - 1);
+        if (rng.next_bool(0.5)) {
+          b.deref_keep(var);
+        } else {
+          b.deref_only(var);
+        }
+      }
+      if (loop) b.end_iterate();
+    }
+    if (rng.next_bool(0.3)) b.retrieve("string", "Title", "t");
+    if (rng.next_bool(0.2)) b.count_only();
+    Query q = b.into("T");
+
+    auto round = parse_query(q.to_string());
+    ASSERT_TRUE(round.ok()) << "trial " << trial << ": " << q.to_string()
+                            << " -> " << round.error().to_string();
+    EXPECT_EQ(round.value(), q) << q.to_string();
+  }
+}
+
+TEST(Parser, SeparatorsAreInsignificant) {
+  auto a = parse_query(R"(S [ (pointer,"R",?X) | ^^X ]2 (?,?,?) -> T)");
+  auto b = parse_query(R"(S [(pointer , "R" , ?X) ^^X]2 (? , ? , ?) ->T)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace hyperfile

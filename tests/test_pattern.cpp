@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "query/pattern.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(Pattern, AnyMatchesEverything) {
+  Pattern p = Pattern::any();
+  EXPECT_TRUE(p.matches_basic(Value::string("x")));
+  EXPECT_TRUE(p.matches_basic(Value::number(1)));
+  EXPECT_TRUE(p.matches_basic(Value()));
+  EXPECT_TRUE(p.matches_basic(Value::pointer(ObjectId(0, 1))));
+}
+
+TEST(Pattern, LiteralStringEquality) {
+  Pattern p = Pattern::literal("abc");
+  EXPECT_TRUE(p.matches_basic(Value::string("abc")));
+  EXPECT_FALSE(p.matches_basic(Value::string("abd")));
+  EXPECT_FALSE(p.matches_basic(Value::number(1)));
+}
+
+TEST(Pattern, LiteralNumberEquality) {
+  Pattern p = Pattern::literal(std::int64_t{42});
+  EXPECT_TRUE(p.matches_basic(Value::number(42)));
+  EXPECT_FALSE(p.matches_basic(Value::number(43)));
+  EXPECT_FALSE(p.matches_basic(Value::string("42")));
+}
+
+TEST(Pattern, LiteralPointer) {
+  Pattern p = Pattern::literal(Value::pointer(ObjectId(1, 2)));
+  EXPECT_TRUE(p.matches_basic(Value::pointer(ObjectId(1, 2, 9))));  // hint ignored
+  EXPECT_FALSE(p.matches_basic(Value::pointer(ObjectId(1, 3))));
+}
+
+TEST(Pattern, RegexSearchesSubstring) {
+  auto p = Pattern::regex("Jo+e");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().matches_basic(Value::string("Joe Programmer")));
+  EXPECT_TRUE(p.value().matches_basic(Value::string("xxJoooexx")));
+  EXPECT_FALSE(p.value().matches_basic(Value::string("J0e")));
+  EXPECT_FALSE(p.value().matches_basic(Value::number(1)));  // strings only
+}
+
+TEST(Pattern, RegexAnchors) {
+  auto p = Pattern::regex("^abc$");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().matches_basic(Value::string("abc")));
+  EXPECT_FALSE(p.value().matches_basic(Value::string("xabc")));
+}
+
+TEST(Pattern, BadRegexIsError) {
+  auto p = Pattern::regex("([");
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.error().code, Errc::kInvalidArgument);
+}
+
+TEST(Pattern, RangeInclusiveBounds) {
+  Pattern p = Pattern::range(10, 20);
+  EXPECT_TRUE(p.matches_basic(Value::number(10)));
+  EXPECT_TRUE(p.matches_basic(Value::number(20)));
+  EXPECT_FALSE(p.matches_basic(Value::number(9)));
+  EXPECT_FALSE(p.matches_basic(Value::number(21)));
+  EXPECT_FALSE(p.matches_basic(Value::string("15")));  // numbers only
+}
+
+TEST(Pattern, BindMatchesAnythingAndRecordsVar) {
+  Pattern p = Pattern::bind("X");
+  EXPECT_TRUE(p.binds());
+  EXPECT_EQ(p.var(), "X");
+  EXPECT_TRUE(p.matches_basic(Value::number(5)));
+  EXPECT_TRUE(p.matches_basic(Value()));
+}
+
+TEST(Pattern, UseNeedsBindings) {
+  Pattern p = Pattern::use("X");
+  EXPECT_TRUE(p.uses());
+  // Field-level match is false: the engine resolves $X against O.mvars.
+  EXPECT_FALSE(p.matches_basic(Value::number(5)));
+}
+
+TEST(Pattern, RetrieveMatchesAnything) {
+  Pattern p = Pattern::retrieve(3);
+  EXPECT_TRUE(p.retrieves());
+  EXPECT_EQ(p.slot(), 3u);
+  EXPECT_TRUE(p.matches_basic(Value::string("payload")));
+}
+
+TEST(Pattern, EqualityByKindAndPayload) {
+  EXPECT_EQ(Pattern::any(), Pattern::any());
+  EXPECT_EQ(Pattern::literal("a"), Pattern::literal("a"));
+  EXPECT_NE(Pattern::literal("a"), Pattern::literal("b"));
+  EXPECT_NE(Pattern::literal("a"), Pattern::any());
+  EXPECT_EQ(Pattern::bind("X"), Pattern::bind("X"));
+  EXPECT_NE(Pattern::bind("X"), Pattern::use("X"));
+  EXPECT_EQ(Pattern::range(1, 2), Pattern::range(1, 2));
+  EXPECT_NE(Pattern::range(1, 2), Pattern::range(1, 3));
+  EXPECT_EQ(Pattern::regex("a+").value(), Pattern::regex("a+").value());
+  EXPECT_EQ(Pattern::retrieve(1), Pattern::retrieve(1));
+  EXPECT_NE(Pattern::retrieve(1), Pattern::retrieve(2));
+}
+
+TEST(Pattern, ToStringRoundTripForms) {
+  EXPECT_EQ(Pattern::any().to_string(), "?");
+  EXPECT_EQ(Pattern::bind("X").to_string(), "?X");
+  EXPECT_EQ(Pattern::use("Y").to_string(), "$Y");
+  EXPECT_EQ(Pattern::range(1, 5).to_string(), "[1..5]");
+  EXPECT_EQ(Pattern::regex("ab").value().to_string(), "/ab/");
+  EXPECT_EQ(Pattern::literal("s").to_string(), "\"s\"");
+}
+
+TEST(Pattern, MatchesStringOverload) {
+  EXPECT_TRUE(Pattern::literal("pointer").matches_basic(std::string("pointer")));
+  EXPECT_FALSE(Pattern::literal("pointer").matches_basic(std::string("string")));
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "query/builder.hpp"
+#include "query/parser.hpp"
+
+namespace hyperfile {
+namespace {
+
+Query sample_closure() {
+  return QueryBuilder::from_set("S")
+      .begin_iterate(3)
+      .select(Pattern::literal("pointer"), Pattern::literal("Reference"),
+              Pattern::bind("X"))
+      .deref_keep("X")
+      .end_iterate()
+      .select(Pattern::literal("keyword"), Pattern::literal("Distributed"),
+              Pattern::any())
+      .into("T");
+}
+
+TEST(Query, SizeAndOneBasedAccess) {
+  Query q = sample_closure();
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<SelectFilter>(q.filter(1)));
+  EXPECT_TRUE(std::holds_alternative<DerefFilter>(q.filter(2)));
+  EXPECT_TRUE(std::holds_alternative<IterateFilter>(q.filter(3)));
+  EXPECT_TRUE(std::holds_alternative<SelectFilter>(q.filter(4)));
+}
+
+TEST(Query, IteratorDepth) {
+  Query q = sample_closure();
+  EXPECT_EQ(q.iterator_depth(1), 1u);
+  EXPECT_EQ(q.iterator_depth(2), 1u);
+  EXPECT_EQ(q.iterator_depth(3), 1u);  // iterator counts as inside its loop
+  EXPECT_EQ(q.iterator_depth(4), 0u);
+  EXPECT_EQ(q.iterator_depth(5), 0u);  // "past the end" position
+}
+
+TEST(Query, NestedIteratorDepth) {
+  Query q = QueryBuilder::from_set("S")
+                .begin_iterate(2)
+                .begin_iterate(2)
+                .select(Pattern::literal("pointer"), Pattern::literal("A"),
+                        Pattern::bind("X"))
+                .deref_keep("X")
+                .end_iterate()
+                .select(Pattern::literal("pointer"), Pattern::literal("B"),
+                        Pattern::bind("Y"))
+                .deref_keep("Y")
+                .end_iterate()
+                .build();
+  // Filters: 1 select(A), 2 deref, 3 inner-iter, 4 select(B), 5 deref, 6 outer-iter.
+  EXPECT_EQ(q.iterator_depth(1), 2u);
+  EXPECT_EQ(q.iterator_depth(3), 2u);
+  EXPECT_EQ(q.iterator_depth(4), 1u);
+  EXPECT_EQ(q.iterator_depth(6), 1u);
+  EXPECT_EQ(q.iterator_depth(7), 0u);
+}
+
+TEST(Query, ValidateRejectsUnboundDeref) {
+  Query q;
+  q.set_initial_set_name("S");
+  q.add_filter(DerefFilter{"X", true});
+  auto v = q.validate();
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.error().message.find("X"), std::string::npos);
+}
+
+TEST(Query, ValidateRejectsUseBeforeBind) {
+  Query q;
+  q.set_initial_set_name("S");
+  q.add_filter(SelectFilter{Pattern::any(), Pattern::any(), Pattern::use("Z")});
+  EXPECT_FALSE(q.validate().ok());
+}
+
+TEST(Query, ValidateAcceptsBindAndUseInSameFilter) {
+  Query q;
+  q.set_initial_set_name("S");
+  q.add_filter(SelectFilter{Pattern::any(), Pattern::bind("A"), Pattern::use("A")});
+  EXPECT_TRUE(q.validate().ok());
+}
+
+TEST(Query, ValidateRejectsOutOfRangeRetrieveSlot) {
+  Query q;
+  q.set_initial_set_name("S");
+  q.add_filter(SelectFilter{Pattern::any(), Pattern::any(), Pattern::retrieve(0)});
+  EXPECT_FALSE(q.validate().ok());  // no slot registered
+  q.add_retrieve_slot("title");
+  EXPECT_TRUE(q.validate().ok());
+}
+
+TEST(Query, ValidateRequiresInitialSet) {
+  Query q;
+  q.add_filter(SelectFilter{});
+  EXPECT_FALSE(q.validate().ok());
+  q.set_initial_ids({ObjectId(0, 1)});
+  EXPECT_TRUE(q.validate().ok());
+}
+
+TEST(Query, ToStringParsesBack) {
+  Query q = sample_closure();
+  auto round = parse_query(q.to_string());
+  ASSERT_TRUE(round.ok()) << q.to_string();
+  EXPECT_EQ(round.value(), q) << q.to_string();
+}
+
+TEST(Query, ToStringParsesBackWithRetrievalAndCount) {
+  Query q = QueryBuilder::from_set("S")
+                .select_eq("string", "Author", Value::string("Chris Clifton"))
+                .retrieve("string", "Title", "title")
+                .into("T");
+  auto round = parse_query(q.to_string());
+  ASSERT_TRUE(round.ok()) << q.to_string();
+  EXPECT_EQ(round.value(), q);
+
+  Query qc = QueryBuilder::from_set("S")
+                 .select_key("keyword", "k")
+                 .count_only()
+                 .into("T");
+  auto round2 = parse_query(qc.to_string());
+  ASSERT_TRUE(round2.ok()) << qc.to_string();
+  EXPECT_EQ(round2.value(), qc);
+  EXPECT_TRUE(round2.value().count_only());
+}
+
+TEST(Query, ToStringParsesBackWithExplicitIds) {
+  Query q = QueryBuilder::from_ids({ObjectId(0, 1), ObjectId(2, 7)})
+                .select_key("keyword", "k")
+                .build();
+  auto round = parse_query(q.to_string());
+  ASSERT_TRUE(round.ok()) << q.to_string();
+  EXPECT_EQ(round.value().initial_ids(), q.initial_ids());
+}
+
+TEST(Query, EqualityCoversAllFields) {
+  Query a = sample_closure();
+  Query b = sample_closure();
+  EXPECT_EQ(a, b);
+  b.set_count_only(true);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Filter, ToStringForms) {
+  EXPECT_EQ(to_string(Filter(DerefFilter{"X", true})), "^^X");
+  EXPECT_EQ(to_string(Filter(DerefFilter{"X", false})), "^X");
+  EXPECT_EQ(to_string(Filter(IterateFilter{1, 3})), "]@13");
+  EXPECT_EQ(to_string(Filter(IterateFilter{2, kUnboundedIterations})), "]@2*");
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,192 @@
+// Query rewriter: each pass fires where intended, never fires where it
+// would be unsound, and — the property that matters — rewritten queries
+// produce identical results on randomized object graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "query/rewrite.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+using testing::sorted;
+
+TEST(Rewrite, DuplicateSelectsCollapse) {
+  Query q = parse_or_die(
+      R"(S (keyword, "k", ?) (keyword, "k", ?) (keyword, "k", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(stats.duplicate_selects_removed, 2u);
+}
+
+TEST(Rewrite, DifferentSelectsKept) {
+  Query q = parse_or_die(R"(S (keyword, "a", ?) (keyword, "b", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(Rewrite, RedundantWildcardDropped) {
+  Query q = parse_or_die(R"(S (keyword, "k", ?) (?, ?, ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(stats.wildcard_selects_removed, 1u);
+}
+
+TEST(Rewrite, LeadingWildcardKept) {
+  // (?, ?, ?) as the first filter rejects empty objects; nothing implies it.
+  Query q = parse_or_die(R"(S (?, ?, ?) (keyword, "k", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Rewrite, WildcardAfterDerefKept) {
+  // Objects dereferenced into the wildcard have passed no select in their
+  // own pass; dropping it would leak empty objects.
+  Query q = parse_or_die(R"(S (pointer, "L", ?X) ^^X (?, ?, ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(stats.wildcard_selects_removed, 0u);
+}
+
+TEST(Rewrite, SinglePassIteratorRemoved) {
+  Query q = parse_or_die(R"(S [ (pointer, "L", ?X) | ^^X ]1 (keyword, "k", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(stats.iterators_removed, 1u);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<SelectFilter>(r.filter(3)));
+}
+
+TEST(Rewrite, PointerlessIteratorRemoved) {
+  Query q = parse_or_die(R"(S [ (keyword, "a", ?) ]* (keyword, "b", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(stats.iterators_removed, 1u);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Rewrite, RealClosureLoopKept) {
+  Query q = parse_or_die(
+      R"(S [ (pointer, "L", ?X) | ^^X ]* (keyword, "k", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(r, q);
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(Rewrite, DeadBindingStripped) {
+  Query q = parse_or_die(R"(S (string, "Author", ?A) (keyword, "k", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(stats.bindings_stripped, 1u);
+  const auto& s = std::get<SelectFilter>(r.filter(1));
+  EXPECT_EQ(s.data_pattern, Pattern::any());
+}
+
+TEST(Rewrite, LiveBindingKept) {
+  Query q = parse_or_die(
+      R"(S (string, "Author", ?A) (string, "Maint", $A) (pointer, "L", ?X) ^X -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  EXPECT_EQ(stats.bindings_stripped, 0u);
+  EXPECT_EQ(r, q);
+}
+
+TEST(Rewrite, IteratorBodyStartRemappedAfterRemoval) {
+  // A removable duplicate select *before* a loop must shift the loop's
+  // body_start.
+  Query q = parse_or_die(
+      R"(S (keyword, "k", ?) (keyword, "k", ?) [ (pointer, "L", ?X) | ^^X ]* (keyword, "z", ?) -> T)");
+  RewriteStats stats;
+  Query r = rewrite_query(q, &stats);
+  ASSERT_TRUE(r.validate().ok());
+  EXPECT_EQ(stats.duplicate_selects_removed, 1u);
+  const auto* it = std::get_if<IterateFilter>(&r.filter(4));
+  ASSERT_NE(it, nullptr);
+  EXPECT_EQ(it->body_start, 2u);
+}
+
+TEST(Rewrite, CountOnlyAndNamesPreserved) {
+  Query q = parse_or_die(R"(S (keyword, "k", ?) (keyword, "k", ?) count -> T)");
+  Query r = rewrite_query(q);
+  EXPECT_TRUE(r.count_only());
+  EXPECT_EQ(r.result_set_name(), "T");
+  EXPECT_EQ(r.initial_set_name(), "S");
+}
+
+TEST(Rewrite, Idempotent) {
+  const char* kQueries[] = {
+      R"(S (keyword, "k", ?) (keyword, "k", ?) (?, ?, ?) -> T)",
+      R"(S [ (pointer, "L", ?X) | ^^X ]1 (keyword, "k", ?) -> T)",
+      R"(S [ (pointer, "L", ?X) | ^^X ]* (keyword, "k", ?) -> T)",
+      R"(S (string, "Author", ?Dead) (keyword, "k", ?) -> T)",
+  };
+  for (const char* text : kQueries) {
+    Query once = rewrite_query(parse_or_die(text));
+    RewriteStats again_stats;
+    Query twice = rewrite_query(once, &again_stats);
+    EXPECT_EQ(twice, once) << text;
+    EXPECT_EQ(again_stats.total(), 0u) << text;
+  }
+}
+
+// ---- randomized equivalence ---------------------------------------------
+
+class RewriteEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RewriteEquivalence, SameResultsAfterRewrite) {
+  Rng rng(GetParam());
+  SiteStore store(0);
+  constexpr std::size_t kN = 40;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    if (rng.next_bool(0.9)) obj.add(Tuple::keyword("k"));  // some empty-ish
+    if (rng.next_bool(0.5)) obj.add(Tuple::string("Author", "a"));
+    const int deg = static_cast<int>(rng.next_below(3));
+    for (int e = 0; e < deg; ++e) {
+      obj.add(Tuple::pointer("L", ids[rng.next_below(kN)]));
+    }
+    store.put(std::move(obj));
+  }
+  std::vector<ObjectId> members = {ids[0], ids[1]};
+  store.create_set("S", members);
+
+  const char* kQueries[] = {
+      R"(S (keyword, "k", ?) (keyword, "k", ?) (?, ?, ?) -> T)",
+      R"(S [ (pointer, "L", ?X) | ^^X ]1 (keyword, "k", ?) -> T)",
+      R"(S [ (keyword, "k", ?) ]* (string, "Author", ?A) -> T)",
+      R"(S (pointer, "L", ?X) ^^X (?, ?, ?) -> T)",
+      R"(S [ (pointer, "L", ?X) | ^^X ]* (keyword, "k", ?) (keyword, "k", ?) -> T)",
+      R"(S (string, "Author", ?Dead) (keyword, "k", ?) -> T)",
+      R"(S [ (pointer, "L", ?X) | ^^X ]2 (?, ?, ?) (keyword, "k", ?) -> T)",
+  };
+
+  LocalEngine engine(store);
+  for (const char* text : kQueries) {
+    Query q = parse_or_die(text);
+    Query r = rewrite_query(q);
+    SCOPED_TRACE(std::string(text) + "  =>  " + r.to_string());
+    auto before = engine.run_readonly(q);
+    auto after = engine.run_readonly(r);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(sorted(after.value().ids), sorted(before.value().ids));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalence,
+                         ::testing::Values(3u, 7u, 13u, 17u, 23u, 29u, 31u,
+                                           37u, 41u, 43u));
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "engine/local_engine.hpp"
+#include "store/set_algebra.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+
+struct Fixture : ::testing::Test {
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      ids.push_back(store.put(Object(store.allocate(), {Tuple::number("n", i)})));
+    }
+    store.create_set("A", std::vector<ObjectId>{ids[0], ids[1], ids[2], ids[3]});
+    store.create_set("B", std::vector<ObjectId>{ids[2], ids[3], ids[4]});
+  }
+
+  SiteStore store{0};
+  std::vector<ObjectId> ids;
+};
+
+TEST_F(Fixture, Union) {
+  ASSERT_TRUE(set_union(store, "U", "A", "B").ok());
+  EXPECT_EQ(store.set_members("U").value(),
+            (std::vector<ObjectId>{ids[0], ids[1], ids[2], ids[3], ids[4]}));
+}
+
+TEST_F(Fixture, Intersect) {
+  ASSERT_TRUE(set_intersect(store, "I", "A", "B").ok());
+  EXPECT_EQ(store.set_members("I").value(),
+            (std::vector<ObjectId>{ids[2], ids[3]}));
+}
+
+TEST_F(Fixture, Difference) {
+  ASSERT_TRUE(set_difference(store, "D", "A", "B").ok());
+  EXPECT_EQ(store.set_members("D").value(),
+            (std::vector<ObjectId>{ids[0], ids[1]}));
+  // Non-commutative.
+  ASSERT_TRUE(set_difference(store, "D2", "B", "A").ok());
+  EXPECT_EQ(store.set_members("D2").value(), (std::vector<ObjectId>{ids[4]}));
+}
+
+TEST_F(Fixture, MissingOperandIsError) {
+  EXPECT_FALSE(set_union(store, "U", "A", "Nope").ok());
+  EXPECT_FALSE(set_intersect(store, "I", "Nope", "B").ok());
+}
+
+TEST_F(Fixture, DuplicatesInOperandsCollapse) {
+  store.create_set("Dup", std::vector<ObjectId>{ids[0], ids[0], ids[1]});
+  ASSERT_TRUE(set_union(store, "U", "Dup", "Dup").ok());
+  EXPECT_EQ(store.set_members("U").value(),
+            (std::vector<ObjectId>{ids[0], ids[1]}));
+}
+
+TEST_F(Fixture, ResultsSeedFurtherQueries) {
+  // The whole point: combine query results, query again.
+  LocalEngine engine(store);
+  ASSERT_TRUE(engine.run(parse_or_die(R"(A (number, "n", [0..1]) -> Small)")).ok());
+  ASSERT_TRUE(engine.run(parse_or_die(R"(B (number, "n", [3..9]) -> Big)")).ok());
+  ASSERT_TRUE(set_union(store, "Either", "Small", "Big").ok());
+  auto r = engine.run(parse_or_die(R"(Either (number, "n", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), 4u);  // n in {0,1,3,4}
+}
+
+TEST_F(Fixture, SelfOperations) {
+  ASSERT_TRUE(set_intersect(store, "I", "A", "A").ok());
+  EXPECT_EQ(store.set_members("I").value().size(), 4u);
+  ASSERT_TRUE(set_difference(store, "Empty", "A", "A").ok());
+  EXPECT_TRUE(store.set_members("Empty").value().empty());
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,237 @@
+// Discrete-event simulator: determinism, result equivalence with the real
+// engines, and cost-model arithmetic against the paper's measured constants.
+#include <gtest/gtest.h>
+
+#include "engine/local_engine.hpp"
+#include "sim/simulation.hpp"
+#include "test_helpers.hpp"
+#include "workload/paper_workload.hpp"
+
+namespace hyperfile {
+namespace {
+
+using sim::CostModel;
+using sim::Simulation;
+using testing::parse_or_die;
+using testing::sorted;
+
+/// Paper workload loaded into a simulation of `sites` sites.
+struct SimFixture {
+  Simulation sim;
+  workload::PopulatedWorkload pop;
+
+  explicit SimFixture(std::size_t sites, workload::WorkloadConfig cfg = {},
+                      CostModel costs = CostModel::paper_1991())
+      : sim(costs, sites) {
+    std::vector<SiteStore*> stores;
+    for (SiteId s = 0; s < sites; ++s) stores.push_back(&sim.store(s));
+    pop = workload::populate_paper_workload(stores, cfg);
+  }
+};
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  SimFixture f(9);
+  Query q = workload::closure_query(workload::kTreeKey, workload::kRand10pKey, 5);
+  auto a = f.sim.run(q);
+  auto b = f.sim.run(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().response_time, b.value().response_time);
+  EXPECT_EQ(sorted(a.value().result.ids), sorted(b.value().result.ids));
+  EXPECT_EQ(a.value().stats.deref_messages, b.value().stats.deref_messages);
+}
+
+TEST(Simulation, ResultsMatchSingleSiteEngine) {
+  // The same workload on 1 / 3 / 9 simulated sites yields identical result
+  // sets *as index sets* (ids differ across deployments by construction).
+  workload::WorkloadConfig cfg;
+  SimFixture f1(1, cfg), f3(3, cfg), f9(9, cfg);
+
+  for (const char* key :
+       {workload::kChainKey, workload::kTreeKey, workload::kRandKeys[6]}) {
+    Query q = workload::closure_query(key, workload::kRand10pKey, 5);
+    auto r1 = f1.sim.run(q);
+    auto r3 = f3.sim.run(q);
+    auto r9 = f9.sim.run(q);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r3.ok());
+    ASSERT_TRUE(r9.ok());
+
+    auto to_indices = [](const SimFixture& f, const std::vector<ObjectId>& ids) {
+      std::vector<std::size_t> idx;
+      for (const ObjectId& id : ids) {
+        auto it = std::find(f.pop.ids.begin(), f.pop.ids.end(), id);
+        EXPECT_NE(it, f.pop.ids.end());
+        idx.push_back(static_cast<std::size_t>(it - f.pop.ids.begin()));
+      }
+      std::sort(idx.begin(), idx.end());
+      return idx;
+    };
+    EXPECT_EQ(to_indices(f1, r1.value().result.ids),
+              to_indices(f3, r3.value().result.ids))
+        << key;
+    EXPECT_EQ(to_indices(f1, r1.value().result.ids),
+              to_indices(f9, r9.value().result.ids))
+        << key;
+  }
+}
+
+TEST(Simulation, SingleSiteCostArithmetic) {
+  // Paper: 270 objects x 8 ms + ~27 results x 20 ms + fixed overhead ≈ 2.7 s.
+  SimFixture f(1);
+  Query q = workload::closure_query(workload::kChainKey, workload::kRand10pKey, 5);
+  auto r = f.sim.run(q);
+  ASSERT_TRUE(r.ok());
+  const auto& out = r.value();
+  EXPECT_EQ(out.stats.objects_processed, 270u);
+  EXPECT_EQ(out.stats.deref_messages, 0u);
+
+  const CostModel costs;
+  const auto expected =
+      costs.query_setup + costs.query_reply +
+      Duration(270 * costs.process_object.count()) +
+      Duration(static_cast<std::int64_t>(out.result.ids.size()) *
+               costs.result_insert.count()) +
+      Duration(static_cast<std::int64_t>(out.stats.suppressed_pops) *
+               costs.suppressed_pop.count());
+  EXPECT_EQ(out.response_time, expected);
+  // In the right ballpark of the paper's 2.7 s.
+  EXPECT_GT(out.response_time, Duration(2'000'000));
+  EXPECT_LT(out.response_time, Duration(3'500'000));
+}
+
+TEST(Simulation, ChainSerializesMessageCost) {
+  // Paper: the all-remote chain takes ~15 s on 3 or 9 machines — every hop
+  // pays the full message cost on the critical path.
+  workload::WorkloadConfig cfg;
+  SimFixture f3(3, cfg), f9(9, cfg);
+  Query q = workload::closure_query(workload::kChainKey, workload::kRand10pKey, 5);
+  auto r3 = f3.sim.run(q);
+  auto r9 = f9.sim.run(q);
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r9.ok());
+  // 269 remote hops x (8 + 50) ms ≈ 15.6 s, plus result traffic.
+  for (const auto* r : {&r3.value(), &r9.value()}) {
+    EXPECT_GT(r->response_time, Duration(14'000'000));
+    EXPECT_LT(r->response_time, Duration(19'000'000));
+    EXPECT_GE(r->stats.deref_messages, 269u);
+  }
+}
+
+TEST(Simulation, TreeParallelismBeatsSingleSite) {
+  // Paper: 1.5 s on 3 machines, 1.0 s on 9, vs 2.7 s on one.
+  workload::WorkloadConfig cfg;
+  SimFixture f1(1, cfg), f3(3, cfg), f9(9, cfg);
+  Query q = workload::closure_query(workload::kTreeKey, workload::kRand10pKey, 5);
+  auto r1 = f1.sim.run(q);
+  auto r3 = f3.sim.run(q);
+  auto r9 = f9.sim.run(q);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r9.ok());
+  EXPECT_LT(r3.value().response_time, r1.value().response_time);
+  EXPECT_LT(r9.value().response_time, r3.value().response_time);
+}
+
+TEST(Simulation, FreeCostModelCountsOnly) {
+  SimFixture f(3, {}, CostModel::free());
+  Query q = workload::closure_query(workload::kTreeKey, workload::kCommonKey, 1);
+  auto r = f.sim.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().response_time, Duration(0));
+  EXPECT_EQ(r.value().result.ids.size(), 270u);  // Common key selects all
+}
+
+TEST(Simulation, CountOnlyAndContinuation) {
+  SimFixture f(3);
+  Query q1 = workload::closure_query(workload::kTreeKey, workload::kCommonKey, 1,
+                                     "D", /*count_only=*/true);
+  auto r1 = f.sim.run(q1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1.value().result.count_only);
+  EXPECT_EQ(r1.value().result.total_count, 270u);
+  EXPECT_TRUE(r1.value().result.ids.empty());
+
+  // Continuation over the distributed set.
+  Query q2 = QueryBuilder::from_set("D")
+                 .select(Pattern::literal(workload::kSearchType),
+                         Pattern::literal(workload::kRand10pKey),
+                         Pattern::literal(std::int64_t{5}))
+                 .into("U");
+  auto r2 = f.sim.run(q2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2.value().result.ids.size(), 10u);
+  EXPECT_LT(r2.value().result.ids.size(), 50u);
+  // Counts arrived by StartQuery fanout, not by re-traversing pointers.
+  EXPECT_EQ(r2.value().stats.deref_messages, 0u);
+  EXPECT_EQ(r2.value().stats.start_messages, 2u);
+}
+
+TEST(Simulation, CountOnlySkipsResultShipping) {
+  // The Section 5 optimisation: for low-selectivity queries, count_only
+  // must be significantly faster than shipping all ids.
+  workload::WorkloadConfig cfg;
+  SimFixture a(3, cfg), b(3, cfg);
+  Query ship = workload::closure_query(workload::kTreeKey, workload::kCommonKey, 1);
+  Query count = workload::closure_query(workload::kTreeKey, workload::kCommonKey, 1,
+                                        "D", /*count_only=*/true);
+  auto rs = a.sim.run(ship);
+  auto rc = b.sim.run(count);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_LT(rc.value().response_time, rs.value().response_time);
+}
+
+TEST(Simulation, BatchedDerefsSameResultsFewerMessages) {
+  workload::WorkloadConfig cfg;
+  sim::SimOptions batch_opts;
+  batch_opts.batch_derefs = true;
+
+  Simulation plain(CostModel::paper_1991(), 3);
+  Simulation batched(CostModel::paper_1991(), 3, batch_opts);
+  for (Simulation* s : {&plain, &batched}) {
+    std::vector<SiteStore*> stores;
+    for (SiteId i = 0; i < 3; ++i) stores.push_back(&s->store(i));
+    workload::populate_paper_workload(stores, cfg);
+  }
+
+  // Low locality: many remote pointers per drain -> batching collapses them.
+  Query q = workload::closure_query(workload::kRandKeys[0],
+                                    workload::kRand10pKey, 5);
+  auto rp = plain.run(q);
+  auto rb = batched.run(q);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(sorted(rp.value().result.ids), sorted(rb.value().result.ids));
+  EXPECT_EQ(rb.value().stats.deref_messages, 0u);
+  EXPECT_GT(rb.value().stats.batch_messages, 0u);
+  EXPECT_LT(rb.value().stats.batch_messages, rp.value().stats.deref_messages);
+}
+
+TEST(Simulation, InvalidQueryAndSiteErrors) {
+  SimFixture f(3);
+  Query bad;  // no initial set
+  EXPECT_FALSE(f.sim.run(bad).ok());
+  Query q = workload::closure_query(workload::kTreeKey, workload::kRand10pKey, 5);
+  EXPECT_FALSE(f.sim.run(q, /*origin=*/99).ok());
+  // Unknown named set.
+  auto missing = f.sim.run(parse_or_die(R"(Nope (?, ?, ?) -> T)"));
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(Simulation, BusyTimesAndBytesTracked) {
+  SimFixture f(9);
+  Query q = workload::closure_query(workload::kTreeKey, workload::kRand10pKey, 5);
+  auto r = f.sim.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.busy.size(), 9u);
+  EXPECT_GT(r.value().stats.max_busy(), Duration(0));
+  EXPECT_GT(r.value().stats.bytes_on_wire, 0u);
+  // Messages are small: average well under 200 bytes (paper: ~40 bytes).
+  EXPECT_LT(r.value().stats.bytes_on_wire /
+                (r.value().stats.deref_messages + r.value().stats.result_messages),
+            200u);
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "store/site_store.hpp"
+#include "store/snapshot.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(SiteStore, AllocatePutGet) {
+  SiteStore store(3);
+  ObjectId id = store.allocate();
+  EXPECT_EQ(id.birth_site, 3u);
+  EXPECT_EQ(id.presumed_site, 3u);
+
+  Object obj(id);
+  obj.add(Tuple::string("k", "v"));
+  store.put(obj);
+  ASSERT_TRUE(store.contains(id));
+  EXPECT_EQ(*store.get(id), obj);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SiteStore, PutAssignsIdWhenInvalid) {
+  SiteStore store(0);
+  Object obj;
+  obj.add(Tuple::string("k", "v"));
+  ObjectId id = store.put(std::move(obj));
+  EXPECT_TRUE(id.valid());
+  EXPECT_TRUE(store.contains(id));
+}
+
+TEST(SiteStore, PutOverwrites) {
+  SiteStore store(0);
+  ObjectId id = store.allocate();
+  store.put(Object(id, {Tuple::string("v", "1")}));
+  store.put(Object(id, {Tuple::string("v", "2")}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get(id)->find("string", "v")->data.as_string(), "2");
+}
+
+TEST(SiteStore, EraseAndTake) {
+  SiteStore store(0);
+  ObjectId id = store.put(Object(store.allocate(), {Tuple::string("k", "v")}));
+  auto taken = store.take(id);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_FALSE(store.contains(id));
+  EXPECT_FALSE(store.take(id).has_value());
+  EXPECT_FALSE(store.erase(id));
+}
+
+TEST(SiteStore, ForeignBornObjectsAccepted) {
+  // After a move, a site stores an object born elsewhere.
+  SiteStore store(1);
+  Object obj(ObjectId(0, 99));
+  obj.add(Tuple::string("k", "v"));
+  store.put(obj);
+  EXPECT_TRUE(store.contains(ObjectId(0, 99)));
+}
+
+TEST(SiteStore, NamedSetsAreObjects) {
+  SiteStore store(0);
+  std::vector<ObjectId> members = {store.allocate(), store.allocate()};
+  for (auto id : members) store.put(Object(id, {Tuple::keyword("x")}));
+
+  ObjectId set_id = store.create_set("S", members);
+  ASSERT_TRUE(store.contains(set_id));  // the set is itself an object
+  auto got = store.set_members("S");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), members);
+
+  // The set object follows the paper's representation: pointer tuples.
+  EXPECT_EQ(store.get(set_id)->pointers(kSetMemberKey).size(), 2u);
+}
+
+TEST(SiteStore, UnknownSetIsError) {
+  SiteStore store(0);
+  auto got = store.set_members("missing");
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::kNotFound);
+}
+
+TEST(SiteStore, RebindingSetReplaces) {
+  SiteStore store(0);
+  std::vector<ObjectId> a = {store.put(Object(store.allocate(), {}))};
+  std::vector<ObjectId> b = {store.put(Object(store.allocate(), {}))};
+  store.create_set("S", a);
+  store.create_set("S", b);
+  EXPECT_EQ(store.set_members("S").value(), b);
+}
+
+TEST(SiteStore, RebindingSetCollectsOldSetObject) {
+  SiteStore store(0);
+  std::vector<ObjectId> members = {store.put(Object(store.allocate(), {}))};
+  ObjectId first = store.create_set("S", members);
+  const std::size_t size_after_first = store.size();
+  ObjectId second = store.create_set("S", members);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(store.contains(first));  // materialized set object collected
+  EXPECT_EQ(store.size(), size_after_first);
+}
+
+TEST(SiteStore, RebindingDoesNotCollectApplicationObjects) {
+  // An application object bound as a set via bind_set must survive rebinds.
+  SiteStore store(0);
+  ObjectId member = store.put(Object(store.allocate(), {}));
+  ObjectId app_obj = store.put(Object(
+      store.allocate(), {Tuple::pointer(kSetMemberKey, member),
+                         Tuple::string("Title", "my reading list")}));
+  store.bind_set("S", app_obj);
+  std::vector<ObjectId> members = {member};
+  store.create_set("S", members);
+  EXPECT_TRUE(store.contains(app_obj));
+}
+
+TEST(SiteStore, StatsCountObjectsTuplesBytes) {
+  SiteStore store(0);
+  store.put(Object(store.allocate(),
+                   {Tuple::string("a", "1"), Tuple::string("b", "2")}));
+  store.put(Object(store.allocate(), {Tuple::text("Body", std::string(100, 'x'))}));
+  auto stats = store.stats();
+  EXPECT_EQ(stats.objects, 2u);
+  EXPECT_EQ(stats.tuples, 3u);
+  EXPECT_GT(stats.bytes, 100u);
+}
+
+TEST(SiteStore, ModifyEditsInPlace) {
+  SiteStore store(0);
+  ObjectId id = store.put(Object(store.allocate(), {Tuple::string("v", "1")}));
+  ASSERT_TRUE(store.modify(id, [](Object& obj) {
+    obj.add(Tuple::keyword("edited"));
+  }).ok());
+  EXPECT_EQ(store.get(id)->size(), 2u);
+  // Identity is immutable even if the mutator tries to change it.
+  ASSERT_TRUE(store.modify(id, [](Object& obj) {
+    obj.set_id(ObjectId(9, 9));
+  }).ok());
+  EXPECT_TRUE(store.contains(id));
+  EXPECT_EQ(store.get(id)->id(), id);
+}
+
+TEST(SiteStore, ModifyMissingIsNotFound) {
+  SiteStore store(0);
+  auto r = store.modify(ObjectId(0, 99), [](Object&) {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+}
+
+TEST(SiteStore, TupleLevelEdits) {
+  SiteStore store(0);
+  ObjectId id = store.put(Object(store.allocate(), {Tuple::string("Title", "v1")}));
+
+  ASSERT_TRUE(store.add_tuple(id, Tuple::keyword("draft")).ok());
+  EXPECT_EQ(store.get(id)->size(), 2u);
+
+  // set_tuple replaces all (type, key) occurrences.
+  ASSERT_TRUE(store.add_tuple(id, Tuple::string("Title", "v1-dup")).ok());
+  ASSERT_TRUE(store.set_tuple(id, "string", "Title", Value::string("v2")).ok());
+  auto titles = store.get(id)->find_all("string", "Title");
+  ASSERT_EQ(titles.size(), 1u);
+  EXPECT_EQ(titles[0]->data.as_string(), "v2");
+
+  auto removed = store.remove_tuples(id, "keyword", "draft");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 1u);
+  EXPECT_EQ(store.get(id)->find("keyword", "draft"), nullptr);
+
+  // set_tuple on a fresh key appends.
+  ASSERT_TRUE(store.set_tuple(id, "number", "Year", Value::number(1991)).ok());
+  EXPECT_EQ(store.get(id)->find("number", "Year")->data.as_number(), 1991);
+}
+
+TEST(Snapshot, RoundTripsObjectsSetsAndAllocator) {
+  SiteStore store(2);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(store.put(Object(
+        store.allocate(),
+        {Tuple::string("n", std::to_string(i)), Tuple::pointer("Link", ObjectId(1, 7))})));
+  }
+  store.create_set("S", ids);
+
+  auto bytes = snapshot_store(store);
+  auto restored = restore_store(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  const SiteStore& r = restored.value();
+  EXPECT_EQ(r.site(), store.site());
+  EXPECT_EQ(r.size(), store.size());
+  for (auto id : ids) {
+    ASSERT_TRUE(r.contains(id));
+    EXPECT_EQ(*r.get(id), *store.get(id));
+  }
+  EXPECT_EQ(r.set_members("S").value(), ids);
+  // Allocator continues where it left off: new ids don't collide.
+  SiteStore r2 = std::move(restored).value();
+  ObjectId fresh = r2.allocate();
+  EXPECT_FALSE(r2.contains(fresh));
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4};
+  EXPECT_FALSE(restore_store(garbage).ok());
+}
+
+TEST(Snapshot, DetectsCorruption) {
+  SiteStore store(0);
+  store.put(Object(store.allocate(), {Tuple::string("k", "v")}));
+  auto bytes = snapshot_store(store);
+  ASSERT_TRUE(restore_store(bytes).ok());
+  // Flip one bit anywhere: the checksum must catch it.
+  for (std::size_t pos : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x01;
+    auto r = restore_store(corrupted);
+    EXPECT_FALSE(r.ok()) << "flip at " << pos;
+  }
+  // Truncation is caught too.
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(restore_store(truncated).ok());
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  SiteStore store(0);
+  store.put(Object(store.allocate(), {Tuple::string("k", "v")}));
+  const std::string path = ::testing::TempDir() + "/hf_snapshot_test.bin";
+  ASSERT_TRUE(save_snapshot(store, path).ok());
+  auto loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadMissingFileIsIoError) {
+  auto r = load_snapshot("/nonexistent/path/snap.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kIo);
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,164 @@
+// Scale and robustness stress tests: the engine is iterative (no recursion
+// in object chains), the mark table stays O(objects), and the distributed
+// runtime survives sustained load. Each test is budgeted to stay fast.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/cluster.hpp"
+#include "engine/parallel_engine.hpp"
+#include "store/snapshot.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+
+TEST(Stress, FiftyThousandObjectChainClosure) {
+  // A 50k-deep pointer chain: recursion would overflow; the working-set
+  // loop must handle it in one pass per object.
+  SiteStore store(0);
+  constexpr std::size_t kN = 50'000;
+  std::vector<ObjectId> ids;
+  ids.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Next", i + 1 < kN ? ids[i + 1] : ids[i]));
+    if (i % 1000 == 0) obj.add(Tuple::keyword("milestone"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(), 1));
+
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(
+      R"(S [ (pointer, "Next", ?X) | ^^X ]* (keyword, "milestone", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), 50u);
+  EXPECT_EQ(r.value().stats.processed, kN);
+}
+
+TEST(Stress, WideFanoutSingleObject) {
+  // One object pointing at 20k targets: the binding table and working set
+  // must absorb the burst.
+  SiteStore store(0);
+  constexpr std::size_t kFan = 20'000;
+  std::vector<ObjectId> leaves;
+  leaves.reserve(kFan);
+  for (std::size_t i = 0; i < kFan; ++i) {
+    leaves.push_back(store.put(Object(store.allocate(), {Tuple::keyword("leaf")})));
+  }
+  ObjectId root = store.allocate();
+  Object obj(root);
+  for (const auto& leaf : leaves) obj.add(Tuple::pointer("Fan", leaf));
+  store.put(std::move(obj));
+  store.create_set("S", std::span<const ObjectId>(&root, 1));
+
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(
+      R"(S (pointer, "Fan", ?X) ^X (keyword, "leaf", ?) -> T)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), kFan);
+  EXPECT_GE(r.value().stats.max_working_set, kFan);
+}
+
+TEST(Stress, DeeplyNestedIteratorsTerminate) {
+  // Five nested unbounded loops over a dense little graph: termination via
+  // the mark table, not luck.
+  SiteStore store(0);
+  constexpr std::size_t kN = 12;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("E", ids[(i + 1) % kN]));
+    obj.add(Tuple::pointer("E", ids[(i + 5) % kN]));
+    obj.add(Tuple::string("tag", "t"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(), 1));
+
+  std::string text = "S ";
+  for (int d = 0; d < 5; ++d) text += "[ ";
+  text += R"((pointer, "E", ?X) | ^^X )";
+  for (int d = 0; d < 5; ++d) text += "]* ";
+  text += R"((string, "tag", ?) -> T)";
+
+  LocalEngine engine(store);
+  auto r = engine.run(parse_or_die(text));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids.size(), kN);
+}
+
+TEST(Stress, ParallelEngineLargeGraph) {
+  SiteStore store(0);
+  Rng rng(77);
+  constexpr std::size_t kN = 20'000;
+  std::vector<ObjectId> ids;
+  ids.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("E", ids[rng.next_below(kN)]));
+    obj.add(Tuple::pointer("E", ids[rng.next_below(kN)]));
+    if (rng.next_bool(0.1)) obj.add(Tuple::keyword("hit"));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  Query q = parse_or_die(
+      R"(S [ (pointer, "E", ?X) | ^^X ]* (keyword, "hit", ?) -> T)");
+
+  LocalEngine serial(store);
+  auto rs = serial.run_readonly(q);
+  ASSERT_TRUE(rs.ok());
+  ParallelEngine par(store, 4);
+  auto rp = par.run(q);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(testing::sorted(rp.value().ids), testing::sorted(rs.value().ids));
+}
+
+TEST(Stress, ClusterSustainedQueryLoad) {
+  Cluster cluster(3);
+  const std::size_t n = 60;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(cluster.store(i % 3).allocate());
+  for (std::size_t i = 0; i < n; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Next", ids[(i + 1) % n]));  // ring across sites
+    if (i % 4 == 0) obj.add(Tuple::keyword("hit"));
+    cluster.store(i % 3).put(std::move(obj));
+  }
+  cluster.store(0).create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  cluster.start();
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Next", ?X) | ^^X ]* (keyword, "hit", ?) -> T)");
+  for (int i = 0; i < 60; ++i) {
+    auto r = cluster.client().run(q, Duration(20'000'000));
+    ASSERT_TRUE(r.ok()) << "iteration " << i;
+    ASSERT_EQ(r.value().ids.size(), 15u) << "iteration " << i;
+  }
+  cluster.stop();
+  // Context table fully drained (all QueryDones processed or pending stop).
+  auto stats = cluster.engine_stats();
+  EXPECT_EQ(stats.processed, 60u * 60u);
+}
+
+TEST(Stress, HugeBlobsRoundTripEverywhere) {
+  // 4 MiB blob: storage, snapshot, and wire must all cope.
+  SiteStore store(0);
+  Value::Blob big(4u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ObjectId id = store.put(Object(store.allocate(), {Tuple::blob("Payload", big)}));
+
+  auto bytes = snapshot_store(store);
+  auto restored = restore_store(bytes);
+  ASSERT_TRUE(restored.ok());
+  const Object* obj = restored.value().get(id);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->find("blob", "Payload")->data.as_blob(), big);
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "model/type_registry.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile {
+namespace {
+
+TEST(TypeRegistry, BuiltinsValidateStandardTuples) {
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  EXPECT_TRUE(reg.validate(Tuple::string("Author", "Joe")).ok());
+  EXPECT_TRUE(reg.validate(Tuple::number("Year", 1991)).ok());
+  EXPECT_TRUE(reg.validate(Tuple::keyword("db")).ok());
+  EXPECT_TRUE(reg.validate(Tuple::pointer("Ref", ObjectId(0, 1))).ok());
+  EXPECT_TRUE(reg.validate(Tuple::text("Body", "abc")).ok());
+  EXPECT_TRUE(reg.validate(Tuple::blob("Bits", {1, 2})).ok());
+}
+
+TEST(TypeRegistry, BuiltinsRejectKindMismatches) {
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  // A "number" tuple holding a string, a "pointer" tuple holding a number.
+  EXPECT_FALSE(reg.validate(Tuple("number", "Year", Value::string("1991"))).ok());
+  EXPECT_FALSE(reg.validate(Tuple("pointer", "Ref", Value::number(5))).ok());
+  // A keyword smuggling data.
+  EXPECT_FALSE(reg.validate(Tuple("keyword", "db", Value::string("x"))).ok());
+}
+
+TEST(TypeRegistry, ApplicationDefinedType) {
+  // The paper's example: Object_Code — string key (structural in our
+  // model), arbitrary bits as data.
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  reg.register_type("Object_Code", DataConstraint::kBlob);
+  EXPECT_TRUE(reg.validate(Tuple("Object_Code", "vax", Value::blob({0xDE, 0xAD}))).ok());
+  EXPECT_FALSE(reg.validate(Tuple("Object_Code", "vax", Value::string("src"))).ok());
+}
+
+TEST(TypeRegistry, UnknownTypesAllowedByDefault) {
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  EXPECT_TRUE(reg.validate(Tuple("Exotic", "k", Value::number(1))).ok());
+  reg.set_reject_unknown(true);
+  EXPECT_FALSE(reg.validate(Tuple("Exotic", "k", Value::number(1))).ok());
+  reg.register_type("Exotic", DataConstraint::kAny);
+  EXPECT_TRUE(reg.validate(Tuple("Exotic", "k", Value::number(1))).ok());
+}
+
+TEST(TypeRegistry, ObjectValidationFindsBadTuple) {
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  Object obj(ObjectId(0, 1));
+  obj.add(Tuple::string("Title", "ok"));
+  obj.add(Tuple("number", "Year", Value::string("not a number")));
+  auto r = reg.validate(obj);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("Year"), std::string::npos);
+}
+
+TEST(TypeRegistry, PutValidatedGatesTheStore) {
+  SiteStore store(0);
+  TypeRegistry reg = TypeRegistry::with_builtins();
+  Object good(store.allocate(), {Tuple::string("Title", "t")});
+  auto ok = store.put_validated(std::move(good), reg);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(store.contains(ok.value()));
+
+  Object bad(store.allocate(), {Tuple("pointer", "Ref", Value::number(1))});
+  const ObjectId bad_id = bad.id();
+  auto rejected = store.put_validated(std::move(bad), reg);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_FALSE(store.contains(bad_id));  // nothing stored on failure
+}
+
+TEST(TypeRegistry, RedefinitionWins) {
+  TypeRegistry reg;
+  reg.register_type("X", DataConstraint::kString);
+  EXPECT_FALSE(reg.validate(Tuple("X", "k", Value::number(1))).ok());
+  reg.register_type("X", DataConstraint::kNumber);
+  EXPECT_TRUE(reg.validate(Tuple("X", "k", Value::number(1))).ok());
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,25 @@
+// The umbrella header compiles standalone and exposes the whole public API.
+#include "hyperfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperfile {
+namespace {
+
+TEST(Umbrella, EndToEndThroughPublicApi) {
+  SiteStore store(0);
+  ObjectId doc = store.put(Object(store.allocate(), {
+                                      Tuple::string("Title", "doc"),
+                                      Tuple::keyword("hit"),
+                                  }));
+  store.create_set("S", std::vector<ObjectId>{doc});
+  LocalEngine engine(store);
+  auto q = parse_query(R"(S (keyword, "hit", ?) -> T)");
+  ASSERT_TRUE(q.ok());
+  auto r = engine.run(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{doc});
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -1,0 +1,295 @@
+// Workload-generator invariants: the Section 5 spec, and the paper's
+// partition-invariance requirement ("the graph formed by the pointers in
+// these objects was identical regardless of the number of machines").
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "workload/paper_workload.hpp"
+
+namespace hyperfile::workload {
+namespace {
+
+struct Deployment {
+  std::vector<std::unique_ptr<SiteStore>> stores;
+  PopulatedWorkload pop;
+
+  explicit Deployment(std::size_t sites, const WorkloadConfig& cfg = {}) {
+    std::vector<SiteStore*> ptrs;
+    for (std::size_t i = 0; i < sites; ++i) {
+      stores.push_back(std::make_unique<SiteStore>(static_cast<SiteId>(i)));
+      ptrs.push_back(stores.back().get());
+    }
+    pop = populate_paper_workload(ptrs, cfg);
+  }
+};
+
+TEST(Workload, ObjectCountsAndPlacement) {
+  for (std::size_t sites : {1u, 3u, 9u}) {
+    Deployment d(sites);
+    std::size_t total = 0;
+    for (auto& s : d.stores) total += s->size();
+    // 270 objects + the Root set object at site 0.
+    EXPECT_EQ(total, 271u) << sites << " sites";
+    if (sites > 1) {
+      // Even split: 270/sites objects per site (+1 set object at site 0).
+      EXPECT_EQ(d.stores[0]->size(), 270 / sites + 1);
+      for (std::size_t s = 1; s < sites; ++s) {
+        EXPECT_EQ(d.stores[s]->size(), 270 / sites);
+      }
+    }
+  }
+}
+
+TEST(Workload, EveryObjectHasTheFiveSearchKeysAndAllPointerClasses) {
+  Deployment d(9);
+  for (auto& store : d.stores) {
+    store->for_each([&](const Object& obj) {
+      if (obj.find("string", "set_name") != nullptr) return;  // the Root set
+      EXPECT_NE(obj.find(kSearchType, kUniqueKey), nullptr);
+      EXPECT_NE(obj.find(kSearchType, kCommonKey), nullptr);
+      EXPECT_NE(obj.find(kSearchType, kRand10pKey), nullptr);
+      EXPECT_NE(obj.find(kSearchType, kRand100pKey), nullptr);
+      EXPECT_NE(obj.find(kSearchType, kRand1000pKey), nullptr);
+      EXPECT_EQ(obj.pointers(kChainKey).size(), 1u);
+      EXPECT_GE(obj.pointers(kTreeKey).size(), 1u);
+      for (const char* key : kRandKeys) {
+        EXPECT_EQ(obj.pointers(key).size(), 2u) << key;
+      }
+    });
+  }
+}
+
+TEST(Workload, SearchKeyRanges) {
+  Deployment d(1);
+  std::map<std::int64_t, int> hist10;
+  d.stores[0]->for_each([&](const Object& obj) {
+    const Tuple* t = obj.find(kSearchType, kRand10pKey);
+    if (t == nullptr) return;
+    const auto v = t->data.as_number();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+    ++hist10[v];
+  });
+  // All ten values occur among 270 draws (overwhelmingly likely).
+  EXPECT_EQ(hist10.size(), 10u);
+}
+
+TEST(Workload, UniqueKeysAreUnique) {
+  Deployment d(1);
+  std::map<std::int64_t, int> seen;
+  d.stores[0]->for_each([&](const Object& obj) {
+    const Tuple* t = obj.find(kSearchType, kUniqueKey);
+    if (t != nullptr) ++seen[t->data.as_number()];
+  });
+  EXPECT_EQ(seen.size(), 270u);
+  for (const auto& [value, count] : seen) EXPECT_EQ(count, 1) << value;
+}
+
+TEST(Workload, ChainAlwaysCrossesSites) {
+  for (std::size_t sites : {3u, 9u}) {
+    Deployment d(sites);
+    std::map<ObjectId, SiteId> site_of;
+    for (std::size_t i = 0; i < d.pop.ids.size(); ++i) {
+      site_of[d.pop.ids[i]] = d.pop.site_of[i];
+    }
+    std::size_t hops = 0;
+    for (auto& store : d.stores) {
+      store->for_each([&](const Object& obj) {
+        auto it = site_of.find(obj.id());
+        if (it == site_of.end()) return;  // the set object
+        for (const ObjectId& next : obj.pointers(kChainKey)) {
+          if (next == obj.id()) continue;  // tail self-pointer
+          EXPECT_NE(site_of.at(next), it->second)
+              << "chain hop stayed on site " << it->second;
+          ++hops;
+        }
+      });
+    }
+    EXPECT_EQ(hops, 269u) << sites << " sites";
+  }
+}
+
+TEST(Workload, RandomPointerLocalityMatchesClassProbability) {
+  Deployment d(9);
+  std::map<ObjectId, SiteId> site_of;
+  for (std::size_t i = 0; i < d.pop.ids.size(); ++i) {
+    site_of[d.pop.ids[i]] = d.pop.site_of[i];
+  }
+  for (std::size_t cls = 0; cls < 7; ++cls) {
+    std::size_t local = 0, total = 0;
+    for (auto& store : d.stores) {
+      store->for_each([&](const Object& obj) {
+        auto it = site_of.find(obj.id());
+        if (it == site_of.end()) return;
+        for (const ObjectId& tgt : obj.pointers(kRandKeys[cls])) {
+          ++total;
+          if (site_of.at(tgt) == it->second) ++local;
+        }
+      });
+    }
+    ASSERT_EQ(total, 540u);  // 2 per object
+    const double p = static_cast<double>(local) / static_cast<double>(total);
+    EXPECT_NEAR(p, kRandLocality[cls], 0.06)
+        << kRandKeys[cls] << ": " << local << "/" << total;
+  }
+}
+
+TEST(Workload, GraphIdenticalAcrossDeployments) {
+  // The paper's key invariant: ids differ (they embed sites), but the
+  // *abstract* pointer graph — expressed in object indices — must be
+  // identical for 1, 3 and 9 sites.
+  WorkloadConfig cfg;
+  Deployment d1(1, cfg), d3(3, cfg), d9(9, cfg);
+
+  auto index_of = [](const Deployment& d) {
+    std::map<ObjectId, std::size_t> m;
+    for (std::size_t i = 0; i < d.pop.ids.size(); ++i) m[d.pop.ids[i]] = i;
+    return m;
+  };
+  auto edges = [&](const Deployment& d, const char* key) {
+    auto idx = index_of(d);
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (auto& store : d.stores) {
+      store->for_each([&](const Object& obj) {
+        auto it = idx.find(obj.id());
+        if (it == idx.end()) return;
+        for (const ObjectId& tgt : obj.pointers(key)) {
+          out.emplace_back(it->second, idx.at(tgt));
+        }
+      });
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (const char* key : {kChainKey, kTreeKey, kRandKeys[0], kRandKeys[3],
+                          kRandKeys[6]}) {
+    auto e1 = edges(d1, key);
+    auto e3 = edges(d3, key);
+    auto e9 = edges(d9, key);
+    EXPECT_EQ(e1, e3) << key;
+    EXPECT_EQ(e1, e9) << key;
+  }
+}
+
+TEST(Workload, TreeSpansAllObjectsFromRoot) {
+  Deployment d(9);
+  std::map<ObjectId, std::vector<ObjectId>> children;
+  for (auto& store : d.stores) {
+    store->for_each([&](const Object& obj) {
+      for (const ObjectId& c : obj.pointers(kTreeKey)) {
+        if (c != obj.id()) children[obj.id()].push_back(c);
+      }
+    });
+  }
+  std::vector<ObjectId> stack = {d.pop.root};
+  std::set<ObjectId> visited;
+  while (!stack.empty()) {
+    ObjectId cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    for (const ObjectId& c : children[cur]) stack.push_back(c);
+  }
+  EXPECT_EQ(visited.size(), 270u);
+}
+
+TEST(Workload, RootTreePointersReachEveryGroupRemotely) {
+  Deployment d(9);
+  std::map<ObjectId, SiteId> site_of;
+  for (std::size_t i = 0; i < d.pop.ids.size(); ++i) {
+    site_of[d.pop.ids[i]] = d.pop.site_of[i];
+  }
+  const SiteStore& s0 = *d.stores[0];
+  const Object* root = s0.get(d.pop.root);
+  ASSERT_NE(root, nullptr);
+  std::set<SiteId> targets;
+  for (const ObjectId& c : root->pointers(kTreeKey)) targets.insert(site_of.at(c));
+  // Root points into every one of the 9 sites (its own via the local tree).
+  EXPECT_EQ(targets.size(), 9u);
+}
+
+TEST(Workload, RootSetAtSiteZero) {
+  Deployment d(3);
+  auto members = d.stores[0]->set_members(kRootSet);
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members.value().size(), 1u);
+  EXPECT_EQ(members.value()[0], d.pop.root);
+  EXPECT_EQ(d.pop.site_of[0], 0u);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  Deployment a(3, cfg), b(3, cfg);
+  EXPECT_EQ(a.pop.ids, b.pop.ids);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.stores[s]->size(), b.stores[s]->size());
+    a.stores[s]->for_each([&](const Object& obj) {
+      const Object* other = b.stores[s]->get(obj.id());
+      ASSERT_NE(other, nullptr);
+      EXPECT_EQ(*other, obj);
+    });
+  }
+  WorkloadConfig cfg2;
+  cfg2.seed = 7;
+  Deployment c(3, cfg2);
+  // Different seed: the random pointers differ somewhere.
+  bool any_difference = false;
+  for (std::size_t s = 0; s < 3 && !any_difference; ++s) {
+    a.stores[s]->for_each([&](const Object& obj) {
+      const Object* other = c.stores[s]->get(obj.id());
+      if (other == nullptr || !(*other == obj)) any_difference = true;
+    });
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, HalfSizeVariant) {
+  WorkloadConfig cfg;
+  cfg.num_objects = 135;
+  Deployment d(9, cfg);
+  std::size_t total = 0;
+  for (auto& s : d.stores) total += s->size();
+  EXPECT_EQ(total, 136u);
+}
+
+TEST(Workload, BlobPayloadAttached) {
+  WorkloadConfig cfg;
+  cfg.blob_bytes = 4096;
+  Deployment d(1, cfg);
+  std::size_t with_body = 0;
+  d.stores[0]->for_each([&](const Object& obj) {
+    const Tuple* body = obj.find("text", "Body");
+    if (body != nullptr) {
+      EXPECT_EQ(body->data.as_blob().size(), 4096u);
+      ++with_body;
+    }
+  });
+  EXPECT_EQ(with_body, 270u);
+}
+
+TEST(Workload, ClosureQueryShape) {
+  Query q = closure_query(kTreeKey, kRand10pKey, 5);
+  EXPECT_EQ(q.initial_set_name(), kRootSet);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_TRUE(q.validate().ok());
+  EXPECT_FALSE(q.count_only());
+  Query qc = closure_query(kChainKey, kCommonKey, 1, "D", /*count_only=*/true);
+  EXPECT_TRUE(qc.count_only());
+}
+
+TEST(Workload, RejectsUnsupportedSiteCounts) {
+  std::vector<std::unique_ptr<SiteStore>> stores;
+  std::vector<SiteStore*> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    stores.push_back(std::make_unique<SiteStore>(i));
+    ptrs.push_back(stores.back().get());
+  }
+  EXPECT_THROW(populate_paper_workload(ptrs, WorkloadConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hyperfile::workload
