@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_basic_costs.dir/bench_basic_costs.cpp.o"
+  "CMakeFiles/bench_basic_costs.dir/bench_basic_costs.cpp.o.d"
+  "bench_basic_costs"
+  "bench_basic_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

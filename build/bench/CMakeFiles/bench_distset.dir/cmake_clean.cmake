@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distset.dir/bench_distset.cpp.o"
+  "CMakeFiles/bench_distset.dir/bench_distset.cpp.o.d"
+  "bench_distset"
+  "bench_distset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

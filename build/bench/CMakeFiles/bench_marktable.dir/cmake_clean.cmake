@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_marktable.dir/bench_marktable.cpp.o"
+  "CMakeFiles/bench_marktable.dir/bench_marktable.cpp.o.d"
+  "bench_marktable"
+  "bench_marktable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marktable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naming.dir/bench_naming.cpp.o"
+  "CMakeFiles/bench_naming.dir/bench_naming.cpp.o.d"
+  "bench_naming"
+  "bench_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

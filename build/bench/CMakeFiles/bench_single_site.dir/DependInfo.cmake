@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_single_site.cpp" "bench/CMakeFiles/bench_single_site.dir/bench_single_site.cpp.o" "gcc" "bench/CMakeFiles/bench_single_site.dir/bench_single_site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/hf_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/hf_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/hf_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hf_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/hf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/hf_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

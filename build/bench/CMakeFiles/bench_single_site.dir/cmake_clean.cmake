@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_site.dir/bench_single_site.cpp.o"
+  "CMakeFiles/bench_single_site.dir/bench_single_site.cpp.o.d"
+  "bench_single_site"
+  "bench_single_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfq.dir/hfq.cpp.o"
+  "CMakeFiles/hfq.dir/hfq.cpp.o.d"
+  "hfq"
+  "hfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

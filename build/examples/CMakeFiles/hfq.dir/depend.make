@@ -1,0 +1,2 @@
+# Empty dependencies file for hfq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfsh.dir/hfsh.cpp.o"
+  "CMakeFiles/hfsh.dir/hfsh.cpp.o.d"
+  "hfsh"
+  "hfsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

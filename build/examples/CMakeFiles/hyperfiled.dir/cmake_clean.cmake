@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperfiled.dir/hyperfiled.cpp.o"
+  "CMakeFiles/hyperfiled.dir/hyperfiled.cpp.o.d"
+  "hyperfiled"
+  "hyperfiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperfiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_server.dir/shared_memory_server.cpp.o"
+  "CMakeFiles/shared_memory_server.dir/shared_memory_server.cpp.o.d"
+  "shared_memory_server"
+  "shared_memory_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_repo.dir/software_repo.cpp.o"
+  "CMakeFiles/software_repo.dir/software_repo.cpp.o.d"
+  "software_repo"
+  "software_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_wiki.dir/versioned_wiki.cpp.o"
+  "CMakeFiles/versioned_wiki.dir/versioned_wiki.cpp.o.d"
+  "versioned_wiki"
+  "versioned_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

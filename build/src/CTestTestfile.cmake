@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("query")
+subdirs("term")
+subdirs("wire")
+subdirs("store")
+subdirs("index")
+subdirs("engine")
+subdirs("net")
+subdirs("naming")
+subdirs("dist")
+subdirs("sim")
+subdirs("workload")
+subdirs("baseline")

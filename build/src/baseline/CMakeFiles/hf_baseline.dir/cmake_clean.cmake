@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_baseline.dir/file_server.cpp.o"
+  "CMakeFiles/hf_baseline.dir/file_server.cpp.o.d"
+  "libhf_baseline.a"
+  "libhf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

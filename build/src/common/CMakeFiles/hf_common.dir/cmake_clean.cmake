@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_common.dir/logging.cpp.o"
+  "CMakeFiles/hf_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hf_common.dir/result.cpp.o"
+  "CMakeFiles/hf_common.dir/result.cpp.o.d"
+  "CMakeFiles/hf_common.dir/rng.cpp.o"
+  "CMakeFiles/hf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hf_common.dir/types.cpp.o"
+  "CMakeFiles/hf_common.dir/types.cpp.o.d"
+  "libhf_common.a"
+  "libhf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_dist.dir/client.cpp.o"
+  "CMakeFiles/hf_dist.dir/client.cpp.o.d"
+  "CMakeFiles/hf_dist.dir/cluster.cpp.o"
+  "CMakeFiles/hf_dist.dir/cluster.cpp.o.d"
+  "CMakeFiles/hf_dist.dir/site_server.cpp.o"
+  "CMakeFiles/hf_dist.dir/site_server.cpp.o.d"
+  "libhf_dist.a"
+  "libhf_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/efunction.cpp" "src/engine/CMakeFiles/hf_engine.dir/efunction.cpp.o" "gcc" "src/engine/CMakeFiles/hf_engine.dir/efunction.cpp.o.d"
+  "/root/repo/src/engine/execution.cpp" "src/engine/CMakeFiles/hf_engine.dir/execution.cpp.o" "gcc" "src/engine/CMakeFiles/hf_engine.dir/execution.cpp.o.d"
+  "/root/repo/src/engine/local_engine.cpp" "src/engine/CMakeFiles/hf_engine.dir/local_engine.cpp.o" "gcc" "src/engine/CMakeFiles/hf_engine.dir/local_engine.cpp.o.d"
+  "/root/repo/src/engine/parallel_engine.cpp" "src/engine/CMakeFiles/hf_engine.dir/parallel_engine.cpp.o" "gcc" "src/engine/CMakeFiles/hf_engine.dir/parallel_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/hf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/hf_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hf_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_engine.dir/efunction.cpp.o"
+  "CMakeFiles/hf_engine.dir/efunction.cpp.o.d"
+  "CMakeFiles/hf_engine.dir/execution.cpp.o"
+  "CMakeFiles/hf_engine.dir/execution.cpp.o.d"
+  "CMakeFiles/hf_engine.dir/local_engine.cpp.o"
+  "CMakeFiles/hf_engine.dir/local_engine.cpp.o.d"
+  "CMakeFiles/hf_engine.dir/parallel_engine.cpp.o"
+  "CMakeFiles/hf_engine.dir/parallel_engine.cpp.o.d"
+  "libhf_engine.a"
+  "libhf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

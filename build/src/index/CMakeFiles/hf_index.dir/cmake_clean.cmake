@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_index.dir/accelerate.cpp.o"
+  "CMakeFiles/hf_index.dir/accelerate.cpp.o.d"
+  "CMakeFiles/hf_index.dir/attribute_index.cpp.o"
+  "CMakeFiles/hf_index.dir/attribute_index.cpp.o.d"
+  "CMakeFiles/hf_index.dir/explain.cpp.o"
+  "CMakeFiles/hf_index.dir/explain.cpp.o.d"
+  "CMakeFiles/hf_index.dir/reachability_index.cpp.o"
+  "CMakeFiles/hf_index.dir/reachability_index.cpp.o.d"
+  "libhf_index.a"
+  "libhf_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

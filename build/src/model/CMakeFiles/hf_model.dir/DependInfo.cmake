@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/object.cpp" "src/model/CMakeFiles/hf_model.dir/object.cpp.o" "gcc" "src/model/CMakeFiles/hf_model.dir/object.cpp.o.d"
+  "/root/repo/src/model/type_registry.cpp" "src/model/CMakeFiles/hf_model.dir/type_registry.cpp.o" "gcc" "src/model/CMakeFiles/hf_model.dir/type_registry.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/model/CMakeFiles/hf_model.dir/value.cpp.o" "gcc" "src/model/CMakeFiles/hf_model.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

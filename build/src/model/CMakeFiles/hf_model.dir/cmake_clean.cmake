@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_model.dir/object.cpp.o"
+  "CMakeFiles/hf_model.dir/object.cpp.o.d"
+  "CMakeFiles/hf_model.dir/type_registry.cpp.o"
+  "CMakeFiles/hf_model.dir/type_registry.cpp.o.d"
+  "CMakeFiles/hf_model.dir/value.cpp.o"
+  "CMakeFiles/hf_model.dir/value.cpp.o.d"
+  "libhf_model.a"
+  "libhf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_naming.dir/persist.cpp.o"
+  "CMakeFiles/hf_naming.dir/persist.cpp.o.d"
+  "libhf_naming.a"
+  "libhf_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_net.dir/inproc.cpp.o"
+  "CMakeFiles/hf_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/hf_net.dir/tcp.cpp.o"
+  "CMakeFiles/hf_net.dir/tcp.cpp.o.d"
+  "libhf_net.a"
+  "libhf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

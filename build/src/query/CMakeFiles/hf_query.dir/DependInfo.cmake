@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/builder.cpp" "src/query/CMakeFiles/hf_query.dir/builder.cpp.o" "gcc" "src/query/CMakeFiles/hf_query.dir/builder.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/query/CMakeFiles/hf_query.dir/parser.cpp.o" "gcc" "src/query/CMakeFiles/hf_query.dir/parser.cpp.o.d"
+  "/root/repo/src/query/pattern.cpp" "src/query/CMakeFiles/hf_query.dir/pattern.cpp.o" "gcc" "src/query/CMakeFiles/hf_query.dir/pattern.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/query/CMakeFiles/hf_query.dir/query.cpp.o" "gcc" "src/query/CMakeFiles/hf_query.dir/query.cpp.o.d"
+  "/root/repo/src/query/rewrite.cpp" "src/query/CMakeFiles/hf_query.dir/rewrite.cpp.o" "gcc" "src/query/CMakeFiles/hf_query.dir/rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

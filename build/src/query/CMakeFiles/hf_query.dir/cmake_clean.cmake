@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_query.dir/builder.cpp.o"
+  "CMakeFiles/hf_query.dir/builder.cpp.o.d"
+  "CMakeFiles/hf_query.dir/parser.cpp.o"
+  "CMakeFiles/hf_query.dir/parser.cpp.o.d"
+  "CMakeFiles/hf_query.dir/pattern.cpp.o"
+  "CMakeFiles/hf_query.dir/pattern.cpp.o.d"
+  "CMakeFiles/hf_query.dir/query.cpp.o"
+  "CMakeFiles/hf_query.dir/query.cpp.o.d"
+  "CMakeFiles/hf_query.dir/rewrite.cpp.o"
+  "CMakeFiles/hf_query.dir/rewrite.cpp.o.d"
+  "libhf_query.a"
+  "libhf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

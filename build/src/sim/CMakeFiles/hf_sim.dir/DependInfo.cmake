@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/hf_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/hf_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/hf_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hf_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/hf_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/hf_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/hf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

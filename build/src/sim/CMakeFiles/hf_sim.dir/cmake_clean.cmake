@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/hf_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hf_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hf_sim.dir/simulation.cpp.o.d"
+  "libhf_sim.a"
+  "libhf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

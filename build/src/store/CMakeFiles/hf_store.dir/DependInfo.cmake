@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/gc.cpp" "src/store/CMakeFiles/hf_store.dir/gc.cpp.o" "gcc" "src/store/CMakeFiles/hf_store.dir/gc.cpp.o.d"
+  "/root/repo/src/store/set_algebra.cpp" "src/store/CMakeFiles/hf_store.dir/set_algebra.cpp.o" "gcc" "src/store/CMakeFiles/hf_store.dir/set_algebra.cpp.o.d"
+  "/root/repo/src/store/site_store.cpp" "src/store/CMakeFiles/hf_store.dir/site_store.cpp.o" "gcc" "src/store/CMakeFiles/hf_store.dir/site_store.cpp.o.d"
+  "/root/repo/src/store/snapshot.cpp" "src/store/CMakeFiles/hf_store.dir/snapshot.cpp.o" "gcc" "src/store/CMakeFiles/hf_store.dir/snapshot.cpp.o.d"
+  "/root/repo/src/store/versioning.cpp" "src/store/CMakeFiles/hf_store.dir/versioning.cpp.o" "gcc" "src/store/CMakeFiles/hf_store.dir/versioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hf_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/hf_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_store.dir/gc.cpp.o"
+  "CMakeFiles/hf_store.dir/gc.cpp.o.d"
+  "CMakeFiles/hf_store.dir/set_algebra.cpp.o"
+  "CMakeFiles/hf_store.dir/set_algebra.cpp.o.d"
+  "CMakeFiles/hf_store.dir/site_store.cpp.o"
+  "CMakeFiles/hf_store.dir/site_store.cpp.o.d"
+  "CMakeFiles/hf_store.dir/snapshot.cpp.o"
+  "CMakeFiles/hf_store.dir/snapshot.cpp.o.d"
+  "CMakeFiles/hf_store.dir/versioning.cpp.o"
+  "CMakeFiles/hf_store.dir/versioning.cpp.o.d"
+  "libhf_store.a"
+  "libhf_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

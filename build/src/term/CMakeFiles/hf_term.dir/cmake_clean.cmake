@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_term.dir/weight.cpp.o"
+  "CMakeFiles/hf_term.dir/weight.cpp.o.d"
+  "libhf_term.a"
+  "libhf_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_wire.dir/message.cpp.o"
+  "CMakeFiles/hf_wire.dir/message.cpp.o.d"
+  "CMakeFiles/hf_wire.dir/serialize.cpp.o"
+  "CMakeFiles/hf_wire.dir/serialize.cpp.o.d"
+  "libhf_wire.a"
+  "libhf_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

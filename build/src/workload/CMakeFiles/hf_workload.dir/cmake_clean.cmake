@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_workload.dir/paper_workload.cpp.o"
+  "CMakeFiles/hf_workload.dir/paper_workload.cpp.o.d"
+  "libhf_workload.a"
+  "libhf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerate.dir/test_accelerate.cpp.o"
+  "CMakeFiles/test_accelerate.dir/test_accelerate.cpp.o.d"
+  "test_accelerate"
+  "test_accelerate.pdb"
+  "test_accelerate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

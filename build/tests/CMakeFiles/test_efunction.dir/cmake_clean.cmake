@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efunction.dir/test_efunction.cpp.o"
+  "CMakeFiles/test_efunction.dir/test_efunction.cpp.o.d"
+  "test_efunction"
+  "test_efunction.pdb"
+  "test_efunction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_iterators.dir/test_engine_iterators.cpp.o"
+  "CMakeFiles/test_engine_iterators.dir/test_engine_iterators.cpp.o.d"
+  "test_engine_iterators"
+  "test_engine_iterators.pdb"
+  "test_engine_iterators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_iterators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

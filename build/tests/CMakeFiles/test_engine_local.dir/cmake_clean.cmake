@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_local.dir/test_engine_local.cpp.o"
+  "CMakeFiles/test_engine_local.dir/test_engine_local.cpp.o.d"
+  "test_engine_local"
+  "test_engine_local.pdb"
+  "test_engine_local[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

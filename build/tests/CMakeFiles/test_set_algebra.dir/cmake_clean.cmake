@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_algebra.dir/test_set_algebra.cpp.o"
+  "CMakeFiles/test_set_algebra.dir/test_set_algebra.cpp.o.d"
+  "test_set_algebra"
+  "test_set_algebra.pdb"
+  "test_set_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_registry.dir/test_type_registry.cpp.o"
+  "CMakeFiles/test_type_registry.dir/test_type_registry.cpp.o.d"
+  "test_type_registry"
+  "test_type_registry.pdb"
+  "test_type_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
