@@ -6,58 +6,66 @@
 //
 // Host wall-time speedup of the ParallelEngine over worker counts on the
 // paper workload (scaled up 20x so there is enough work to parallelize —
-// the 1991 data set fits in a modern L2).
-#include <benchmark/benchmark.h>
-
+// the 1991 data set fits in a modern L2). Emits BENCH_parallel.json
+// (override with --json <path>).
 #include <thread>
 
+#include "bench_util.hpp"
 #include "engine/parallel_engine.hpp"
-#include "workload/paper_workload.hpp"
-
-namespace {
 
 using namespace hyperfile;
+using namespace hyperfile::bench;
 
-SiteStore& big_store() {
-  static SiteStore* store = [] {
-    auto* s = new SiteStore(0);
-    SiteStore* ptr[] = {s};
+int main(int argc, char** argv) {
+  JsonSink json("parallel", &argc, argv);
+
+  SiteStore store(0);
+  {
+    SiteStore* ptr[] = {&store};
     workload::WorkloadConfig cfg;
     cfg.num_objects = 5400;  // 20x the paper's data set
     workload::populate_paper_workload(ptr, cfg);
-    return s;
-  }();
-  return *store;
-}
-
-void BM_ParallelClosure(benchmark::State& state) {
-  SiteStore& store = big_store();
-  const auto workers = static_cast<std::size_t>(state.range(0));
+  }
   Query q = workload::closure_query(workload::kRandKeys[6],
                                     workload::kRand10pKey, 5);
-  ParallelEngine engine(store, workers);
-  std::size_t results = 0;
-  for (auto _ : state) {
-    auto r = engine.run(q);
-    if (!r.ok()) state.SkipWithError("run failed");
-    results = r.value().ids.size();
-    benchmark::DoNotOptimize(r);
+
+  header("A3: shared-memory parallel engine (paper Section 6)",
+         "all processors share the query context, mark table, and working "
+         "set; duplicate processing is benign");
+  std::printf("5400-object closure; host hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "workers", "mean(ms)",
+              "min(ms)", "max(ms)", "results", "speedup");
+
+  double serial_mean = 0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ParallelEngine engine(store, workers);
+    std::size_t results = 0;
+    WallStats w = time_wall(
+        [&] {
+          auto r = engine.run(q);
+          if (!r.ok()) {
+            std::fprintf(stderr, "run failed: %s\n",
+                         r.error().to_string().c_str());
+            std::abort();
+          }
+          results = r.value().ids.size();
+        },
+        /*runs=*/5);
+    if (workers == 1) serial_mean = w.mean_ms;
+    const double speedup = serial_mean / w.mean_ms;
+    std::printf("%-10zu %12.2f %12.2f %12.2f %10zu %9.2fx\n", workers,
+                w.mean_ms, w.min_ms, w.max_ms, results, speedup);
+
+    BenchRecord rec;
+    rec.config = "workers=" + std::to_string(workers);
+    rec.mean = w.mean_ms;
+    rec.min = w.min_ms;
+    rec.max = w.max_ms;
+    rec.counters = {{"workers", static_cast<double>(workers)},
+                    {"results", static_cast<double>(results)},
+                    {"speedup_vs_1", speedup}};
+    json.add(std::move(rec));
   }
-  state.counters["results"] = static_cast<double>(results);
-  state.counters["workers"] = static_cast<double>(workers);
-}
-BENCHMARK(BM_ParallelClosure)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::printf(
-      "A3: shared-memory parallel engine (paper Section 6), 5400-object\n"
-      "closure. Result sets are identical across worker counts (tested);\n"
-      "this measures the wall-time scaling of the shared work set.\n"
-      "Host hardware threads: %u (scaling is only visible with >1).\n\n",
-      std::thread::hardware_concurrency());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json.write() ? 0 : 1;
 }

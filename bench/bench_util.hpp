@@ -9,9 +9,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -85,5 +88,133 @@ inline void header(const char* title, const char* paper_claim) {
   std::printf("paper: %s\n", paper_claim);
   std::printf("================================================================\n");
 }
+
+// ---------------------------------------------------------------------------
+// Host wall-clock timing + machine-readable output. The simulated-seconds
+// series above reproduce the paper's 1991 numbers; the helpers below measure
+// *this* machine (parallel drains, index lookups, ...) and emit BENCH_*.json
+// so the perf trajectory of the repo can be tracked across commits.
+
+struct WallStats {
+  double mean_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  int runs = 0;
+};
+
+/// Time `fn` `runs` times (after `warmup` untimed runs) and report wall
+/// milliseconds.
+template <typename Fn>
+WallStats time_wall(Fn&& fn, int runs, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  WallStats out;
+  out.runs = runs;
+  out.min_ms = 1e300;
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.mean_ms += ms;
+    out.min_ms = std::min(out.min_ms, ms);
+    out.max_ms = std::max(out.max_ms, ms);
+  }
+  out.mean_ms /= runs;
+  return out;
+}
+
+/// One measured configuration of a bench: a config label, mean/min/max in
+/// the stated unit, and free-form numeric counters (message counts, result
+/// sizes, worker counts, ...).
+struct BenchRecord {
+  std::string config;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  std::string unit = "ms";
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Collects BenchRecords and writes `BENCH_<name>.json` (override the path
+/// with `--json <path>`; the flag is stripped from argv so benches can keep
+/// their own argument handling).
+class JsonSink {
+ public:
+  JsonSink(std::string bench_name, int* argc = nullptr, char** argv = nullptr)
+      : bench_(std::move(bench_name)), path_("BENCH_" + bench_ + ".json") {
+    if (argc == nullptr || argv == nullptr) return;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+        *argc -= 2;
+        return;
+      }
+    }
+  }
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Write the collected records; returns false (with a stderr note) on IO
+  /// failure so benches can exit nonzero.
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << json_escape(bench_) << "\",\n"
+        << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      out << "    {\"config\": \"" << json_escape(r.config) << "\", "
+          << "\"mean\": " << r.mean << ", \"min\": " << r.min
+          << ", \"max\": " << r.max << ", \"unit\": \""
+          << json_escape(r.unit) << "\"";
+      if (!r.counters.empty()) {
+        out << ", \"counters\": {";
+        for (std::size_t c = 0; c < r.counters.size(); ++c) {
+          out << (c != 0 ? ", " : "") << "\"" << json_escape(r.counters[c].first)
+              << "\": " << r.counters[c].second;
+        }
+        out << "}";
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "write to %s failed\n", path_.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu records)\n", path_.c_str(), records_.size());
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace hyperfile::bench

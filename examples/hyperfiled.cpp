@@ -23,6 +23,7 @@
 //     $ hfq cluster.conf 'Root [ (pointer, "Tree", ?X) | ^^X ]* (skey, "Rand10p", 5) -> T'
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -86,7 +87,7 @@ int cmd_init(const std::string& config_path, const std::string& dir,
 }
 
 int cmd_serve(SiteId site, const std::string& config_path,
-              const std::string& snapshot_path) {
+              const std::string& snapshot_path, std::size_t workers) {
   auto peers = read_config(config_path);
   if (!peers.ok()) {
     std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
@@ -124,7 +125,10 @@ int cmd_serve(SiteId site, const std::string& config_path,
   for (const auto& name : store.set_names()) std::printf(" %s", name.c_str());
   std::printf("\n");
 
-  SiteServer server(std::move(net).value(), std::move(store));
+  SiteServerOptions options;
+  options.drain_workers = workers;
+  if (workers > 0) std::printf("parallel drain: %zu workers\n", workers);
+  SiteServer server(std::move(net).value(), std::move(store), options);
   server.start();
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -149,13 +153,31 @@ int main(int argc, char** argv) {
     return cmd_init(argv[2], argv[3], objects);
   }
   if (argc >= 4 && std::string(argv[1]) == "serve") {
+    // Trailing options: --workers N enables the parallel site drain.
+    std::size_t workers = 0;
+    std::string snapshot;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
+        char* end = nullptr;
+        const char* value = argv[++i];
+        workers = static_cast<std::size_t>(std::strtoul(value, &end, 10));
+        if (end == value || *end != '\0') {
+          std::fprintf(stderr, "--workers expects a number, got '%s'\n", value);
+          return 1;
+        }
+      } else if (snapshot.empty()) {
+        snapshot = argv[i];
+      }
+    }
     return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
-                     argc >= 5 ? argv[4] : "");
+                     snapshot, workers);
   }
   std::printf(
       "hyperfiled — standalone HyperFile TCP site server\n"
       "  hyperfiled init CONFIG DIR [objects]     generate workload snapshots\n"
-      "  hyperfiled serve SITE_ID CONFIG [SNAP]   run one site\n"
+      "  hyperfiled serve SITE_ID CONFIG [SNAP] [--workers N]\n"
+      "                                           run one site; --workers N\n"
+      "                                           drains queries on N threads\n"
       "CONFIG: one \"host port\" line per site. Query with hfq.\n");
   return 0;
 }

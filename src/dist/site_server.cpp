@@ -13,6 +13,9 @@ SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore stor
       options_(options) {
   // Everything currently stored here was (as far as we know) born here.
   for (const ObjectId& id : store_.all_ids()) names_.register_birth(id);
+  if (options_.drain_workers > 0) {
+    drain_pool_ = std::make_unique<WorkerPool>(options_.drain_workers);
+  }
 }
 
 SiteServer::~SiteServer() { stop(); }
@@ -103,8 +106,13 @@ SiteServer::Participation& SiteServer::participation(const wire::QueryId& qid,
 
   auto [nit, inserted] = contexts_.emplace(qid, Participation{});
   (void)inserted;
-  nit->second.exec =
-      std::make_unique<QueryExecution>(query, store_, std::move(opts));
+  if (drain_pool_ != nullptr) {
+    nit->second.exec = std::make_unique<ParallelExecution>(
+        query, store_, *drain_pool_, std::move(opts));
+  } else {
+    nit->second.exec =
+        std::make_unique<QueryExecution>(query, store_, std::move(opts));
+  }
   return nit->second;
 }
 

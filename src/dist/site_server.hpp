@@ -39,6 +39,7 @@
 #include <utility>
 
 #include "engine/execution.hpp"
+#include "engine/parallel_execution.hpp"
 #include "naming/name_registry.hpp"
 #include "net/endpoint.hpp"
 #include "store/site_store.hpp"
@@ -68,6 +69,14 @@ struct SiteServerOptions {
   /// Run rewrite_query() on client queries before originating them — the
   /// simplified body is what every subsequent message carries.
   bool rewrite_queries = true;
+  /// Shared-memory parallelism inside the site (paper Section 6 applied to
+  /// the distributed runtime). 0 = serial: every drain runs on the event-
+  /// loop thread. N > 0: a pool of N long-lived workers per site, created
+  /// once and shared across query contexts; drains fan object processing
+  /// out to the pool and join before any result or weight is flushed. The
+  /// event loop keeps exclusive ownership of message handling, store
+  /// writes, and termination accounting either way.
+  std::size_t drain_workers = 0;
 };
 
 class SiteServer {
@@ -98,7 +107,8 @@ class SiteServer {
 
  private:
   struct Participation {
-    std::unique_ptr<QueryExecution> exec;
+    /// Serial QueryExecution, or ParallelExecution when drain_workers > 0.
+    std::unique_ptr<SiteExecution> exec;
     WeightedTerminationParticipant weight;
     /// count_only: ids retained locally instead of shipped.
     std::vector<ObjectId> retained;
@@ -182,6 +192,10 @@ class SiteServer {
   SiteStore store_;
   NameRegistry names_;
   SiteServerOptions options_;
+  /// Long-lived drain workers (drain_workers > 0), shared by every query
+  /// context this site ever processes. Declared before contexts_ so any
+  /// execution still alive at destruction outlives its pool references.
+  std::unique_ptr<WorkerPool> drain_pool_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -63,6 +63,46 @@ struct ExecutionOptions {
   std::function<void(const ObjectId&)> missing_sink;
 };
 
+/// The per-(query, site) execution contract the distributed runtime programs
+/// against. Two implementations: QueryExecution (serial, the event-loop
+/// thread does everything) and ParallelExecution (engine/parallel_execution
+/// .hpp — drains fan out to a shared worker pool, paper Section 6).
+///
+/// Threading contract: every method is called from the owning site's
+/// event-loop thread only. drain() may use worker threads internally but
+/// must not return until they are provably idle again, and must invoke the
+/// remote/missing sinks on the calling thread only — the distributed layer's
+/// termination accounting (weight borrows, message sends) depends on both.
+class SiteExecution {
+ public:
+  virtual ~SiteExecution() = default;
+
+  virtual const Query& query() const = 0;
+
+  /// Originator-side seeding from the query's initial set.
+  virtual Result<void> seed_initial() = 0;
+
+  /// Seed from this site's local portion of a named set (distributed-set
+  /// continuation, paper Section 5). Unknown names are a no-op.
+  virtual void seed_local_set(const std::string& name) = 0;
+
+  /// Inject one work item (remote dereference arrival, or local routing).
+  virtual void add_item(WorkItem item) = 0;
+
+  /// Process until the working set is empty and no processing is in flight.
+  virtual void drain() = 0;
+
+  virtual bool idle() const = 0;
+  virtual std::size_t pending() const = 0;
+
+  /// Hand over results accumulated since the last take (dedup state is
+  /// retained, so later batches never repeat an id / value).
+  virtual std::vector<ObjectId> take_result_ids() = 0;
+  virtual std::vector<Retrieved> take_retrieved() = 0;
+
+  virtual EngineStats stats() const = 0;
+};
+
 /// What one step() did — the simulator charges costs from this.
 enum class StepKind : std::uint8_t {
   kIdle,        // working set empty, nothing done
@@ -79,34 +119,34 @@ struct StepReport {
   std::uint32_t local_enqueues = 0;
 };
 
-class QueryExecution {
+class QueryExecution : public SiteExecution {
  public:
   QueryExecution(const Query& query, const SiteStore& store,
                  ExecutionOptions options = {});
 
-  const Query& query() const { return query_; }
+  const Query& query() const override { return query_; }
 
   /// Originator-side seeding from the query's initial set (explicit ids or
   /// a named set looked up in the local store). Non-local members are routed
   /// through the remote sink like any dereference.
-  Result<void> seed_initial();
+  Result<void> seed_initial() override;
 
   /// Seed from this site's local portion of a named set (distributed-set
   /// continuation, paper Section 5). Unknown names are a no-op: a site
   /// holding no portion simply contributes nothing.
-  void seed_local_set(const std::string& name);
+  void seed_local_set(const std::string& name) override;
 
   /// Inject one work item (remote dereference arrival, or local routing).
-  void add_item(WorkItem item);
+  void add_item(WorkItem item) override;
 
   /// Process one item from W. Returns kIdle when W is empty.
   StepReport step();
 
   /// Process until W is empty.
-  void drain();
+  void drain() override;
 
-  bool idle() const { return work_.empty(); }
-  std::size_t pending() const { return work_.size(); }
+  bool idle() const override { return work_.empty(); }
+  std::size_t pending() const override { return work_.size(); }
 
   /// Results accumulated so far (already deduplicated).
   const std::vector<ObjectId>& result_ids() const { return result_ids_; }
@@ -115,10 +155,10 @@ class QueryExecution {
   /// Hand over results accumulated since the last take (for batching into a
   /// result message when W drains; the context keeps dedup state so later
   /// batches never repeat an id).
-  std::vector<ObjectId> take_result_ids();
-  std::vector<Retrieved> take_retrieved();
+  std::vector<ObjectId> take_result_ids() override;
+  std::vector<Retrieved> take_retrieved() override;
 
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const override { return stats_; }
 
  private:
   void route(WorkItem&& item, StepReport* report);

@@ -185,7 +185,13 @@ Result<QueryResult> ParallelEngine::run(const Query& query) const {
     const auto& m = members.value();
     ids.insert(ids.end(), m.begin(), m.end());
   }
+  // Dedup at seed time: duplicate ids in the initial set (or a named set
+  // whose members repeat) must not become duplicate work items — the
+  // pop-time mark guard cannot suppress them once two workers hold both
+  // copies concurrently.
+  std::unordered_set<ObjectId> seeded;
   for (const ObjectId& id : ids) {
+    if (!seeded.insert(id).second) continue;
     WorkItem item = WorkItem::initial(id);
     normalize_iter_stack(query, item);
     sh.work.push_back(std::move(item));

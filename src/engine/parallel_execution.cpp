@@ -1,0 +1,290 @@
+#include "engine/parallel_execution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperfile {
+namespace {
+
+/// Mark-table shards; per-shard mutexes keep the table itself race-free
+/// while licensing the paper's benign duplicate-processing window.
+constexpr std::size_t kMarkShards = 32;
+
+/// Upper bound on items a worker claims per queue-lock acquisition.
+/// Claims are additionally capped by the queue depth divided over the
+/// workers, so a burst of heavy objects still load-balances.
+constexpr std::size_t kClaimBatch = 64;
+
+}  // namespace
+
+ParallelExecution::ParallelExecution(const Query& query, const SiteStore& store,
+                                     WorkerPool& pool, ExecutionOptions options)
+    : query_(query),
+      store_(store),
+      options_(std::move(options)),
+      pool_(pool) {
+  shards_.reserve(kMarkShards);
+  for (std::size_t i = 0; i < kMarkShards; ++i) {
+    shards_.push_back(std::make_unique<MarkShard>(query_.size()));
+  }
+}
+
+bool ParallelExecution::marked(const ObjectId& id, std::uint32_t index) {
+  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.table.test(id, index);
+}
+
+void ParallelExecution::set_mark(const ObjectId& id, std::uint32_t index) {
+  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.table.set(id, index);
+}
+
+void ParallelExecution::route_seed(WorkItem&& item,
+                                   std::unordered_set<ObjectId>& seen) {
+  if (!seen.insert(item.id).second) return;
+  const bool local = !options_.is_local || options_.is_local(item.id);
+  if (local) {
+    std::lock_guard<std::mutex> lock(mu_work_);
+    work_.push_back(std::move(item));
+    std::lock_guard<std::mutex> slock(mu_stats_);
+    stats_.max_working_set =
+        std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+  } else {
+    {
+      std::lock_guard<std::mutex> slock(mu_stats_);
+      ++stats_.remote_handoffs;
+    }
+    assert(options_.remote_sink);
+    options_.remote_sink(std::move(item));
+  }
+}
+
+Result<void> ParallelExecution::seed_initial() {
+  std::vector<ObjectId> ids = query_.initial_ids();
+  if (!query_.initial_set_name().empty()) {
+    auto members = store_.set_members(query_.initial_set_name());
+    if (!members.ok()) return members.error();
+    const auto& m = members.value();
+    ids.insert(ids.end(), m.begin(), m.end());
+  }
+  std::unordered_set<ObjectId> seen;
+  for (const ObjectId& id : ids) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route_seed(std::move(item), seen);
+  }
+  return {};
+}
+
+void ParallelExecution::seed_local_set(const std::string& name) {
+  auto members = store_.set_members(name);
+  if (!members.ok()) return;  // no local portion: contribute nothing
+  std::unordered_set<ObjectId> seen;
+  for (const ObjectId& id : members.value()) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route_seed(std::move(item), seen);
+  }
+}
+
+void ParallelExecution::add_item(WorkItem item) {
+  // Arrivals carry (id, start, iter#) only; next and bindings are reset
+  // locally (paper Section 3.2), exactly as in the serial execution.
+  item.next = item.start;
+  item.mvars.clear();
+  normalize_iter_stack(query_, item);
+  std::lock_guard<std::mutex> lock(mu_work_);
+  work_.push_back(std::move(item));
+  std::lock_guard<std::mutex> slock(mu_stats_);
+  stats_.max_working_set =
+      std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+}
+
+bool ParallelExecution::idle() const {
+  std::lock_guard<std::mutex> lock(mu_work_);
+  return work_.empty() && active_workers_ == 0;
+}
+
+std::size_t ParallelExecution::pending() const {
+  std::lock_guard<std::mutex> lock(mu_work_);
+  return work_.size();
+}
+
+void ParallelExecution::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_work_);
+    if (work_.empty()) return;
+    pass_done_ = false;
+  }
+  pool_.run([this] { worker_pass(); });
+  // Workers have joined: W is empty and nothing is in flight. Flush the
+  // side-effects they could not perform themselves, on this (event-loop)
+  // thread, *before* returning — the caller sends results and releases
+  // termination weight right after drain(), and every remote dereference
+  // must borrow its share first.
+  std::vector<WorkItem> remote;
+  std::vector<ObjectId> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_side_);
+    remote.swap(remote_buffer_);
+    missing.swap(missing_buffer_);
+  }
+  if (options_.missing_sink) {
+    for (const ObjectId& id : missing) options_.missing_sink(id);
+  }
+  if (!remote.empty()) {
+    assert(options_.remote_sink);
+    for (WorkItem& item : remote) options_.remote_sink(std::move(item));
+  }
+}
+
+void ParallelExecution::worker_pass() {
+  const std::uint32_t n = query_.size();
+  const std::size_t workers = pool_.size();
+  EngineStats local;
+  std::vector<WorkItem> batch;
+  batch.reserve(kClaimBatch);
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_work_);
+      work_cv_.wait(lock, [this] { return !work_.empty() || pass_done_; });
+      if (pass_done_ && work_.empty()) break;
+      // Claim a slice proportional to the backlog so heavy objects spread
+      // across workers instead of clumping into one 64-item batch.
+      const std::size_t claim = std::clamp<std::size_t>(
+          work_.size() / workers, 1, kClaimBatch);
+      while (!work_.empty() && batch.size() < claim) {
+        if (options_.discipline == WorkSetDiscipline::kFifo) {
+          batch.push_back(std::move(work_.front()));
+          work_.pop_front();
+        } else {
+          batch.push_back(std::move(work_.back()));
+          work_.pop_back();
+        }
+      }
+      local.pops += batch.size();
+      ++active_workers_;
+    }
+
+    // --- object processing, outside every shared lock ---
+    std::vector<WorkItem> local_children;
+    std::vector<WorkItem> remote_children;
+    std::vector<ObjectId> missing_here;
+    std::vector<ObjectId> survivors;
+    std::vector<Retrieved> captured;
+    EStats estats;
+    for (WorkItem& item : batch) {
+      // Pop-time guard (the naive whole-object ablation is serial-only).
+      if (marked(item.id, item.start)) {
+        ++local.suppressed;
+        continue;
+      }
+      const Object* obj = store_.get(item.id);
+      if (obj == nullptr) {
+        ++local.missing;
+        missing_here.push_back(item.id);
+        continue;
+      }
+      ++local.processed;
+      bool alive = true;
+      while (alive && item.next <= n) {
+        set_mark(item.id, item.next);
+        ++local.filters_applied;
+        EOutcome out = apply_filter(query_, item, obj, &estats);
+        for (WorkItem& child : out.derefs) {
+          const bool child_local =
+              !options_.is_local || options_.is_local(child.id);
+          if (child_local) {
+            local_children.push_back(std::move(child));
+          } else {
+            ++local.remote_handoffs;
+            remote_children.push_back(std::move(child));
+          }
+        }
+        for (Retrieved& r : out.retrieved) captured.push_back(std::move(r));
+        alive = out.alive;
+      }
+      if (alive) {
+        set_mark(item.id, n + 1);
+        survivors.push_back(item.id);
+      }
+    }
+    local.tuples_scanned += estats.tuples_scanned;
+    local.derefs_followed += estats.derefs_followed;
+
+    if (!survivors.empty() || !captured.empty()) {
+      std::lock_guard<std::mutex> lock(mu_results_);
+      for (ObjectId& id : survivors) {
+        if (result_members_.insert(id).second) {
+          result_ids_.push_back(id);
+          ++local.results;
+        } else {
+          ++local.duplicate_results;
+        }
+      }
+      for (Retrieved& r : captured) {
+        if (retrieved_seen_.emplace(r.slot, r.source, r.value).second) {
+          retrieved_.push_back(std::move(r));
+          ++local.retrieved_values;
+        }
+      }
+    }
+
+    if (!remote_children.empty() || !missing_here.empty()) {
+      std::lock_guard<std::mutex> lock(mu_side_);
+      for (WorkItem& item : remote_children) {
+        remote_buffer_.push_back(std::move(item));
+      }
+      missing_buffer_.insert(missing_buffer_.end(), missing_here.begin(),
+                             missing_here.end());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_work_);
+      for (WorkItem& child : local_children) {
+        work_.push_back(std::move(child));
+      }
+      local.max_working_set =
+          std::max<std::uint64_t>(local.max_working_set, work_.size());
+      --active_workers_;
+      if (work_.empty() && active_workers_ == 0) {
+        pass_done_ = true;
+        work_cv_.notify_all();
+      } else if (!work_.empty()) {
+        work_cv_.notify_all();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_stats_);
+  stats_ += local;
+}
+
+std::vector<ObjectId> ParallelExecution::take_result_ids() {
+  std::lock_guard<std::mutex> lock(mu_results_);
+  std::vector<ObjectId> batch(
+      result_ids_.begin() + static_cast<std::ptrdiff_t>(result_take_cursor_),
+      result_ids_.end());
+  result_take_cursor_ = result_ids_.size();
+  return batch;
+}
+
+std::vector<Retrieved> ParallelExecution::take_retrieved() {
+  std::lock_guard<std::mutex> lock(mu_results_);
+  std::vector<Retrieved> batch(
+      retrieved_.begin() + static_cast<std::ptrdiff_t>(retrieved_take_cursor_),
+      retrieved_.end());
+  retrieved_take_cursor_ = retrieved_.size();
+  return batch;
+}
+
+EngineStats ParallelExecution::stats() const {
+  std::lock_guard<std::mutex> lock(mu_stats_);
+  return stats_;
+}
+
+}  // namespace hyperfile

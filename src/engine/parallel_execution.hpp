@@ -1,0 +1,128 @@
+// ParallelExecution: the shared-memory multiprocessor algorithm (paper
+// Section 6) generalized to the full distributed contract of SiteExecution,
+// so one site of a deployment can drain its working set on every core.
+//
+// "Our algorithms are also applicable to a shared memory multi-processor
+// server. In this case all available processors can share the same general
+// query information, mark table, and working set. ... it is not necessary to
+// have a strict locking mechanism to prevent two processors from working on
+// the same document. Duplicate processing may create some duplicate answers,
+// but not incorrect ones."
+//
+// Division of labour (see DESIGN.md "Parallel site drain"):
+//   * The site event-loop thread owns messaging, store writes, and
+//     termination accounting. It calls seed_*/add_item/drain/take_* exactly
+//     as it would on the serial QueryExecution.
+//   * drain() fans object processing out to a long-lived WorkerPool shared
+//     by every query context of the site. Workers share the working set,
+//     a sharded mark table, and the deduplicating result set; they only
+//     *read* the store.
+//   * Non-local dereferences and missing ids discovered by workers are
+//     buffered, and the remote/missing sinks run on the event-loop thread
+//     after the pool has joined — so weight is borrowed and messages are
+//     sent only while workers are provably idle, keeping both the
+//     weighted-message and Dijkstra-Scholten termination arguments intact
+//     (quiescence == working set empty, established at the join).
+//
+// Duplicate processing between the pop-time mark guard and the post-set is
+// the paper's benign race: the result set deduplicates, remote duplicates
+// are suppressed by the destination's own mark table on arrival.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/execution.hpp"
+#include "engine/worker_pool.hpp"
+
+namespace hyperfile {
+
+class ParallelExecution : public SiteExecution {
+ public:
+  /// `pool` must outlive this execution; it may be shared with other
+  /// executions (drains never overlap — the event loop serializes them).
+  ParallelExecution(const Query& query, const SiteStore& store,
+                    WorkerPool& pool, ExecutionOptions options = {});
+
+  const Query& query() const override { return query_; }
+
+  Result<void> seed_initial() override;
+  void seed_local_set(const std::string& name) override;
+  void add_item(WorkItem item) override;
+
+  void drain() override;
+
+  bool idle() const override;
+  std::size_t pending() const override;
+
+  std::vector<ObjectId> take_result_ids() override;
+  std::vector<Retrieved> take_retrieved() override;
+
+  EngineStats stats() const override;
+
+ private:
+  struct MarkShard {
+    std::mutex mu;
+    MarkTable table;
+    explicit MarkShard(std::uint32_t filters) : table(filters) {}
+  };
+
+  bool marked(const ObjectId& id, std::uint32_t index);
+  void set_mark(const ObjectId& id, std::uint32_t index);
+
+  /// Seed-side routing on the calling (event-loop) thread: local ids enter
+  /// W, non-local ones go straight to the remote sink. Seeds are
+  /// deduplicated — a duplicate id in the initial set must not become two
+  /// work items.
+  void route_seed(WorkItem&& item, std::unordered_set<ObjectId>& seen);
+
+  /// One worker's share of a drain pass: claim batches until the pass is
+  /// globally done (W empty and no worker mid-batch).
+  void worker_pass();
+
+  const Query query_;  // by value: executions outlive transient messages
+  const SiteStore& store_;
+  ExecutionOptions options_;
+  WorkerPool& pool_;
+
+  // Working set + pass-termination accounting (mu_work_).
+  mutable std::mutex mu_work_;
+  std::deque<WorkItem> work_;
+  std::size_t active_workers_ = 0;
+  bool pass_done_ = false;
+  std::condition_variable work_cv_;
+
+  // Sharded mark table: per-shard locks, benign window between the
+  // pop-time test and the in-processing set.
+  std::vector<std::unique_ptr<MarkShard>> shards_;
+
+  // Result set + retrieval dedup, with take cursors for incremental
+  // flushing (mu_results_).
+  mutable std::mutex mu_results_;
+  std::unordered_set<ObjectId> result_members_;
+  std::vector<ObjectId> result_ids_;
+  std::size_t result_take_cursor_ = 0;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_;
+  std::vector<Retrieved> retrieved_;
+  std::size_t retrieved_take_cursor_ = 0;
+
+  // Side-effects workers may not perform themselves: buffered during the
+  // pass, flushed by drain() on the event-loop thread after the join
+  // (mu_side_).
+  std::mutex mu_side_;
+  std::vector<WorkItem> remote_buffer_;
+  std::vector<ObjectId> missing_buffer_;
+
+  // Stats: workers merge their local counters at the end of each pass
+  // (mu_stats_); reads happen on the event-loop thread between drains.
+  mutable std::mutex mu_stats_;
+  EngineStats stats_;
+};
+
+}  // namespace hyperfile

@@ -1,0 +1,55 @@
+#include "engine/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace hyperfile {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void()>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  remaining_ = threads_.size();
+  ++generation_;
+  wake_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void()>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hyperfile

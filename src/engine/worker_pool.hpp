@@ -1,0 +1,50 @@
+// A pool of long-lived worker threads for parallel site drains (paper
+// Section 6 applied inside the distributed runtime).
+//
+// One pool exists per site, created once and shared across every query
+// context the site processes — spawning threads per drain would dwarf the
+// few-microsecond object costs the pool is meant to parallelize. The pool
+// runs one "pass" at a time: run() executes the given function on every
+// worker concurrently and returns only after all of them finished, which is
+// the quiescence point the distributed termination algorithms need (no
+// worker can hold or produce work once run() has returned).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyperfile {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Run `fn` on every worker; blocks until all of them returned. `fn` must
+  /// be safe to execute concurrently with itself. Only one run() may be in
+  /// flight at a time (the site event loop is the sole caller).
+  void run(const std::function<void()>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait for a new pass
+  std::condition_variable done_cv_;   // run() waits for pass completion
+  const std::function<void()>* task_ = nullptr;
+  std::uint64_t generation_ = 0;      // bumped per pass
+  std::size_t remaining_ = 0;         // workers still inside the current pass
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hyperfile

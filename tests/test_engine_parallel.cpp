@@ -94,6 +94,40 @@ TEST_P(ParallelRandomGraph, MatchesSerial) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomGraph,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
+TEST(ParallelEngine, DuplicateSeedsPoppedOnce) {
+  // Regression: duplicate ids in the initial set used to become duplicate
+  // work items; the pop-time mark guard cannot suppress copies that two
+  // workers claim concurrently. Seeds must be deduplicated before the pool
+  // starts. workers=1 makes the pop count deterministic.
+  SiteStore store(0);
+  auto ids = make_chain(store, 1, {0});
+  Query q = parse_or_die(R"(S (keyword, "Distributed", ?) -> T)");
+  q.set_initial_ids({ids[0], ids[0], ids[0]});
+  q.set_initial_set_name("");  // explicit ids only
+
+  ParallelEngine par(store, 1);
+  auto r = par.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[0]});
+  EXPECT_EQ(r.value().stats.pops, 1u);
+  EXPECT_EQ(r.value().stats.processed, 1u);
+}
+
+TEST(ParallelEngine, SeedsDedupedAcrossExplicitIdsAndNamedSet) {
+  // The same object arriving both as an explicit id and as a named-set
+  // member is still one seed.
+  SiteStore store(0);
+  auto ids = make_chain(store, 2, {0, 1});  // creates set "S" = {ids[0]}
+  Query q = parse_or_die(R"(S (keyword, "Distributed", ?) -> T)");
+  q.set_initial_ids({ids[0]});  // duplicates the set member
+
+  ParallelEngine par(store, 1);
+  auto r = par.run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ids, std::vector<ObjectId>{ids[0]});
+  EXPECT_EQ(r.value().stats.pops, 1u);
+}
+
 TEST(ParallelEngine, InvalidQueryRejected) {
   SiteStore store(0);
   ParallelEngine par(store, 2);
