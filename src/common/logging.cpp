@@ -11,7 +11,7 @@ void Logger::write(LogLevel level, const std::string& message) {
   static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[hf %s] %s\n", kNames[idx], message.c_str());
 }
 

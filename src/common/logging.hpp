@@ -8,9 +8,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/sync.hpp"
 
 namespace hyperfile {
 
@@ -20,11 +21,20 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
-  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  /// Level reads sit on every HF_LOG call site — hot paths in the drain
+  /// workers and network threads. The level is a standalone flag carrying no
+  /// dependent data (writers publish nothing the readers consume), so
+  /// relaxed ordering is sufficient: a racing set_level() makes a message
+  /// appear or not, never tears state.
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
 
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= level_.load();
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
   }
 
   void write(LogLevel level, const std::string& message);
@@ -32,7 +42,7 @@ class Logger {
  private:
   Logger() = default;
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
-  std::mutex mu_;
+  Mutex mu_;  // serializes stderr lines across threads
 };
 
 namespace log_detail {

@@ -1,0 +1,173 @@
+// Thread-safety-annotated synchronization primitives.
+//
+// Every mutex, lock, and condition variable in HyperFile goes through this
+// header — `tools/check_sync_discipline.py` fails the build if any other
+// file names std::mutex / std::condition_variable / std::lock_guard /
+// std::unique_lock directly. The payoff: under Clang, `-Wthread-safety`
+// statically checks the locking discipline DESIGN.md §10 documents — every
+// `HF_GUARDED_BY` field access must hold the named capability, every
+// `HF_REQUIRES` helper must be called with it held, on every build, not
+// just on the schedules TSan happens to see.
+//
+// Under GCC (which has no thread safety analysis) the annotations compile
+// to nothing and the primitives are zero-cost forwards to the standard
+// ones.
+//
+// Usage:
+//   class Account {
+//     Mutex mu_;
+//     std::int64_t balance_ HF_GUARDED_BY(mu_);
+//     void credit(std::int64_t amount) {
+//       MutexLock lock(mu_);
+//       balance_ += amount;           // OK: lock held
+//     }
+//   };
+//
+// Condition-variable waits are written as explicit predicate loops in the
+// *enclosing* function rather than with lambda predicates:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(lock);
+//
+// Clang's analysis treats a lambda body as a separate function that holds
+// no capabilities, so a `cv.wait(lock, [&]{ return ready_; })` predicate
+// reading a guarded field would (rightly) fail the build. The explicit loop
+// keeps the guarded reads in the scope that visibly holds the lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros (Clang Thread Safety Analysis; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define HF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HF_THREAD_ANNOTATION(x)  // GCC / MSVC: no thread safety analysis
+#endif
+
+/// Marks a class as a lockable capability (e.g. `HF_CAPABILITY("mutex")`).
+#define HF_CAPABILITY(x) HF_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define HF_SCOPED_CAPABILITY HF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define HF_GUARDED_BY(x) HF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding the
+/// given capability (the pointer itself is unguarded).
+#define HF_PT_GUARDED_BY(x) HF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define HF_REQUIRES(...) \
+  HF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define HF_ACQUIRE(...) \
+  HF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller holds.
+#define HF_RELEASE(...) \
+  HF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define HF_TRY_ACQUIRE(...) \
+  HF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for
+/// self-locking public entry points).
+#define HF_EXCLUDES(...) HF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-ordering: this capability is acquired before the listed
+/// ones. Checked by `-Wthread-safety-analysis` where supported.
+#define HF_ACQUIRED_BEFORE(...) \
+  HF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HF_ACQUIRED_AFTER(...) \
+  HF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define HF_RETURN_CAPABILITY(x) HF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch. Every use outside this header must carry a comment naming
+/// the invariant the analysis cannot see.
+#define HF_NO_THREAD_SAFETY_ANALYSIS \
+  HF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hyperfile {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated wrapper over std::mutex. Prefer MutexLock over manual
+/// lock()/unlock() pairs; the manual methods exist for the rare case where
+/// RAII scoping cannot express the protocol.
+class HF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HF_ACQUIRE() { mu_.lock(); }
+  void unlock() HF_RELEASE() { mu_.unlock(); }
+  bool try_lock() HF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock on a Mutex (the annotated std::unique_lock/std::lock_guard).
+/// Also the handle CondVar waits release/reacquire.
+class HF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() HF_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock.
+///
+/// Deliberately predicate-free: callers write `while (!cond) cv.wait(lock);`
+/// so the guarded predicate reads stay inside the scope that holds the lock
+/// (see the header comment). From the analysis' point of view the capability
+/// stays held across wait(); that is sound because wait() reacquires the
+/// mutex before returning and callers re-test the predicate under it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Dur>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Dur>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hyperfile

@@ -3,6 +3,11 @@
 // script, submitted it to HyperFile, received the result, and then went on
 // to the next query"; it "ran at a separate machine from any of the servers"
 // — here, on its own endpoint id.
+//
+// Thread ownership (DESIGN.md §10): one Client = one caller thread. The
+// request/reply protocol on the single endpoint (and next_seq_) is not
+// locked; concurrent querying is done with multiple Clients (Cluster's
+// `clients` parameter), never by sharing one.
 #pragma once
 
 #include <memory>

@@ -10,6 +10,12 @@
 //   cluster.store(0).create_set("S", ids);
 //   cluster.start();
 //   auto result = cluster.client().run(query);   // originates at site 0
+//
+// Thread ownership (DESIGN.md §10): the Cluster object itself is confined
+// to the constructing thread — start()/stop()/store()/move_object() are not
+// mutually thread-safe. Concurrency lives *inside* the parts: each
+// SiteServer runs its own event loop, and the clients may run queries from
+// different threads because each Client owns a distinct endpoint.
 #pragma once
 
 #include <memory>

@@ -33,19 +33,19 @@ void SiteServer::stop() {
   running_.store(false);
   // Fold stats of any still-live contexts (e.g. queries interrupted by
   // shutdown) into the totals; safe now that the loop thread is gone.
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   for (auto& [qid, p] : contexts_) total_stats_ += p.exec->stats();
   contexts_.clear();
   context_count_cache_ = 0;
 }
 
 EngineStats SiteServer::engine_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return total_stats_;
 }
 
 std::size_t SiteServer::context_count() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return context_count_cache_;
 }
 
@@ -54,7 +54,7 @@ void SiteServer::run_loop() {
     auto env = endpoint_->recv(options_.poll_interval);
     if (!env.has_value()) continue;
     handle(std::move(*env));
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     context_count_cache_ = contexts_.size();
   }
 }
@@ -575,7 +575,7 @@ void SiteServer::discard_context(const wire::QueryId& qid) {
   auto it = contexts_.find(qid);
   if (it == contexts_.end()) return;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     total_stats_ += it->second.exec->stats();
   }
   contexts_.erase(it);

@@ -38,6 +38,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/sync.hpp"
 #include "engine/execution.hpp"
 #include "engine/parallel_execution.hpp"
 #include "naming/name_registry.hpp"
@@ -201,15 +202,22 @@ class SiteServer {
   std::atomic<bool> stopping_{false};
   std::thread thread_;
 
+  // Event-loop-thread-confined state (DESIGN.md §9/§10): only run_loop()'s
+  // thread touches these while the server runs; start()/stop() join the
+  // thread before any other access. Deliberately *not* mutex-guarded — the
+  // confinement is the discipline, and stats_mu_ below is the only state
+  // crossing threads.
   QuerySeq next_query_seq_ = 1;
   std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash> contexts_;
   std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash> originated_;
   /// Result sets of count_only queries: name -> sites holding portions.
   std::unordered_map<std::string, std::vector<SiteId>> distributed_sets_;
 
-  mutable std::mutex stats_mu_;
-  EngineStats total_stats_;
-  std::size_t context_count_cache_ = 0;
+  /// Guards the cross-thread observer snapshots (engine_stats(),
+  /// context_count() — callable from any thread while the loop runs).
+  mutable Mutex stats_mu_;
+  EngineStats total_stats_ HF_GUARDED_BY(stats_mu_);
+  std::size_t context_count_cache_ HF_GUARDED_BY(stats_mu_) = 0;
 };
 
 }  // namespace hyperfile

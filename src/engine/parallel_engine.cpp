@@ -1,12 +1,10 @@
 #include "engine/parallel_engine.hpp"
 
 #include <array>
-#include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "engine/mark_table.hpp"
 
 namespace hyperfile {
@@ -25,8 +23,8 @@ constexpr std::size_t kClaimBatch = 64;
 constexpr std::size_t kMarkShards = 32;
 
 struct MarkShard {
-  std::mutex mu;
-  MarkTable table;
+  Mutex mu;
+  MarkTable table HF_GUARDED_BY(mu);
 
   explicit MarkShard(std::uint32_t filters) : table(filters) {}
 };
@@ -45,35 +43,36 @@ struct Shared {
 
   bool marked(const ObjectId& id, std::uint32_t index) {
     MarkShard& s = shard_for(id);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     return s.table.test(id, index);
   }
 
   void set_mark(const ObjectId& id, std::uint32_t index) {
     MarkShard& s = shard_for(id);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.table.set(id, index);
   }
 
   // Work queue + termination accounting.
-  std::mutex mu_q;
-  std::condition_variable cv;
-  std::deque<WorkItem> work;
-  std::size_t active = 0;
-  bool done = false;
+  Mutex mu_q;
+  CondVar cv;
+  std::deque<WorkItem> work HF_GUARDED_BY(mu_q);
+  std::size_t active HF_GUARDED_BY(mu_q) = 0;
+  bool done HF_GUARDED_BY(mu_q) = false;
 
-  std::vector<std::unique_ptr<MarkShard>> shards;
+  std::vector<std::unique_ptr<MarkShard>> shards;  // ctor-only
 
   // Result set.
-  std::mutex mu_r;
-  std::unordered_set<ObjectId> result_members;
-  std::vector<ObjectId> result_ids;
-  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen;
-  std::vector<Retrieved> retrieved;
+  Mutex mu_r;
+  std::unordered_set<ObjectId> result_members HF_GUARDED_BY(mu_r);
+  std::vector<ObjectId> result_ids HF_GUARDED_BY(mu_r);
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen
+      HF_GUARDED_BY(mu_r);
+  std::vector<Retrieved> retrieved HF_GUARDED_BY(mu_r);
 
   // Stats merged from workers at the end.
-  std::mutex mu_s;
-  EngineStats stats;
+  Mutex mu_s;
+  EngineStats stats HF_GUARDED_BY(mu_s);
 };
 
 void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
@@ -85,8 +84,8 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(sh.mu_q);
-      sh.cv.wait(lock, [&] { return !sh.work.empty() || sh.done; });
+      MutexLock lock(sh.mu_q);
+      while (sh.work.empty() && !sh.done) sh.cv.wait(lock);
       if (sh.done && sh.work.empty()) break;
       while (!sh.work.empty() && batch.size() < kClaimBatch) {
         batch.push_back(std::move(sh.work.front()));
@@ -131,7 +130,7 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
     local.derefs_followed += estats.derefs_followed;
 
     if (!survivors.empty() || !captured.empty()) {
-      std::lock_guard<std::mutex> lock(sh.mu_r);
+      MutexLock lock(sh.mu_r);
       for (const ObjectId& id : survivors) {
         if (sh.result_members.insert(id).second) {
           sh.result_ids.push_back(id);
@@ -149,7 +148,7 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(sh.mu_q);
+      MutexLock lock(sh.mu_q);
       for (auto& c : children) sh.work.push_back(std::move(c));
       --sh.active;
       if (sh.work.empty() && sh.active == 0) {
@@ -161,7 +160,7 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(sh.mu_s);
+  MutexLock lock(sh.mu_s);
   sh.stats += local;
 }
 
@@ -188,15 +187,20 @@ Result<QueryResult> ParallelEngine::run(const Query& query) const {
   // Dedup at seed time: duplicate ids in the initial set (or a named set
   // whose members repeat) must not become duplicate work items — the
   // pop-time mark guard cannot suppress them once two workers hold both
-  // copies concurrently.
-  std::unordered_set<ObjectId> seeded;
-  for (const ObjectId& id : ids) {
-    if (!seeded.insert(id).second) continue;
-    WorkItem item = WorkItem::initial(id);
-    normalize_iter_stack(query, item);
-    sh.work.push_back(std::move(item));
+  // copies concurrently. The locks here and below are uncontended (no
+  // worker threads exist yet / all have joined); they are taken so the
+  // thread-safety analysis can verify the guarded accesses.
+  {
+    MutexLock lock(sh.mu_q);
+    std::unordered_set<ObjectId> seeded;
+    for (const ObjectId& id : ids) {
+      if (!seeded.insert(id).second) continue;
+      WorkItem item = WorkItem::initial(id);
+      normalize_iter_stack(query, item);
+      sh.work.push_back(std::move(item));
+    }
+    if (sh.work.empty()) sh.done = true;
   }
-  if (sh.work.empty()) sh.done = true;
 
   std::vector<std::thread> threads;
   threads.reserve(workers_);
@@ -206,12 +210,18 @@ Result<QueryResult> ParallelEngine::run(const Query& query) const {
   for (auto& t : threads) t.join();
 
   QueryResult result;
-  result.ids = std::move(sh.result_ids);
-  result.values = std::move(sh.retrieved);
+  {
+    MutexLock lock(sh.mu_r);
+    result.ids = std::move(sh.result_ids);
+    result.values = std::move(sh.retrieved);
+  }
   result.slot_names = query.retrieve_slots();
   result.count_only = query.count_only();
   result.total_count = result.ids.size();
-  result.stats = sh.stats;
+  {
+    MutexLock lock(sh.mu_s);
+    result.stats = sh.stats;
+  }
   return result;
 }
 

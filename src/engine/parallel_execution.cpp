@@ -31,13 +31,13 @@ ParallelExecution::ParallelExecution(const Query& query, const SiteStore& store,
 
 bool ParallelExecution::marked(const ObjectId& id, std::uint32_t index) {
   MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   return s.table.test(id, index);
 }
 
 void ParallelExecution::set_mark(const ObjectId& id, std::uint32_t index) {
   MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.table.set(id, index);
 }
 
@@ -46,14 +46,21 @@ void ParallelExecution::route_seed(WorkItem&& item,
   if (!seen.insert(item.id).second) return;
   const bool local = !options_.is_local || options_.is_local(item.id);
   if (local) {
-    std::lock_guard<std::mutex> lock(mu_work_);
-    work_.push_back(std::move(item));
-    std::lock_guard<std::mutex> slock(mu_stats_);
+    // Read the depth under mu_work_, update the high-water mark after
+    // releasing it: mu_work_ stays a leaf lock (never held across another
+    // acquisition).
+    std::size_t depth = 0;
+    {
+      MutexLock lock(mu_work_);
+      work_.push_back(std::move(item));
+      depth = work_.size();
+    }
+    MutexLock slock(mu_stats_);
     stats_.max_working_set =
-        std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+        std::max<std::uint64_t>(stats_.max_working_set, depth);
   } else {
     {
-      std::lock_guard<std::mutex> slock(mu_stats_);
+      MutexLock slock(mu_stats_);
       ++stats_.remote_handoffs;
     }
     assert(options_.remote_sink);
@@ -95,26 +102,30 @@ void ParallelExecution::add_item(WorkItem item) {
   item.next = item.start;
   item.mvars.clear();
   normalize_iter_stack(query_, item);
-  std::lock_guard<std::mutex> lock(mu_work_);
-  work_.push_back(std::move(item));
-  std::lock_guard<std::mutex> slock(mu_stats_);
+  std::size_t depth = 0;
+  {
+    MutexLock lock(mu_work_);
+    work_.push_back(std::move(item));
+    depth = work_.size();
+  }
+  MutexLock slock(mu_stats_);
   stats_.max_working_set =
-      std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+      std::max<std::uint64_t>(stats_.max_working_set, depth);
 }
 
 bool ParallelExecution::idle() const {
-  std::lock_guard<std::mutex> lock(mu_work_);
+  MutexLock lock(mu_work_);
   return work_.empty() && active_workers_ == 0;
 }
 
 std::size_t ParallelExecution::pending() const {
-  std::lock_guard<std::mutex> lock(mu_work_);
+  MutexLock lock(mu_work_);
   return work_.size();
 }
 
 void ParallelExecution::drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_work_);
+    MutexLock lock(mu_work_);
     if (work_.empty()) return;
     pass_done_ = false;
   }
@@ -127,7 +138,7 @@ void ParallelExecution::drain() {
   std::vector<WorkItem> remote;
   std::vector<ObjectId> missing;
   {
-    std::lock_guard<std::mutex> lock(mu_side_);
+    MutexLock lock(mu_side_);
     remote.swap(remote_buffer_);
     missing.swap(missing_buffer_);
   }
@@ -150,8 +161,8 @@ void ParallelExecution::worker_pass() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mu_work_);
-      work_cv_.wait(lock, [this] { return !work_.empty() || pass_done_; });
+      MutexLock lock(mu_work_);
+      while (work_.empty() && !pass_done_) work_cv_.wait(lock);
       if (pass_done_ && work_.empty()) break;
       // Claim a slice proportional to the backlog so heavy objects spread
       // across workers instead of clumping into one 64-item batch.
@@ -217,7 +228,7 @@ void ParallelExecution::worker_pass() {
     local.derefs_followed += estats.derefs_followed;
 
     if (!survivors.empty() || !captured.empty()) {
-      std::lock_guard<std::mutex> lock(mu_results_);
+      MutexLock lock(mu_results_);
       for (ObjectId& id : survivors) {
         if (result_members_.insert(id).second) {
           result_ids_.push_back(id);
@@ -235,7 +246,7 @@ void ParallelExecution::worker_pass() {
     }
 
     if (!remote_children.empty() || !missing_here.empty()) {
-      std::lock_guard<std::mutex> lock(mu_side_);
+      MutexLock lock(mu_side_);
       for (WorkItem& item : remote_children) {
         remote_buffer_.push_back(std::move(item));
       }
@@ -244,7 +255,7 @@ void ParallelExecution::worker_pass() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_work_);
+      MutexLock lock(mu_work_);
       for (WorkItem& child : local_children) {
         work_.push_back(std::move(child));
       }
@@ -260,12 +271,12 @@ void ParallelExecution::worker_pass() {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_stats_);
+  MutexLock lock(mu_stats_);
   stats_ += local;
 }
 
 std::vector<ObjectId> ParallelExecution::take_result_ids() {
-  std::lock_guard<std::mutex> lock(mu_results_);
+  MutexLock lock(mu_results_);
   std::vector<ObjectId> batch(
       result_ids_.begin() + static_cast<std::ptrdiff_t>(result_take_cursor_),
       result_ids_.end());
@@ -274,7 +285,7 @@ std::vector<ObjectId> ParallelExecution::take_result_ids() {
 }
 
 std::vector<Retrieved> ParallelExecution::take_retrieved() {
-  std::lock_guard<std::mutex> lock(mu_results_);
+  MutexLock lock(mu_results_);
   std::vector<Retrieved> batch(
       retrieved_.begin() + static_cast<std::ptrdiff_t>(retrieved_take_cursor_),
       retrieved_.end());
@@ -283,7 +294,7 @@ std::vector<Retrieved> ParallelExecution::take_retrieved() {
 }
 
 EngineStats ParallelExecution::stats() const {
-  std::lock_guard<std::mutex> lock(mu_stats_);
+  MutexLock lock(mu_stats_);
   return stats_;
 }
 

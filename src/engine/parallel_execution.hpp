@@ -29,15 +29,14 @@
 // are suppressed by the destination's own mark table on arrival.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <tuple>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "engine/execution.hpp"
 #include "engine/worker_pool.hpp"
 
@@ -68,8 +67,8 @@ class ParallelExecution : public SiteExecution {
 
  private:
   struct MarkShard {
-    std::mutex mu;
-    MarkTable table;
+    Mutex mu;
+    MarkTable table HF_GUARDED_BY(mu);
     explicit MarkShard(std::uint32_t filters) : table(filters) {}
   };
 
@@ -91,38 +90,40 @@ class ParallelExecution : public SiteExecution {
   ExecutionOptions options_;
   WorkerPool& pool_;
 
-  // Working set + pass-termination accounting (mu_work_).
-  mutable std::mutex mu_work_;
-  std::deque<WorkItem> work_;
-  std::size_t active_workers_ = 0;
-  bool pass_done_ = false;
-  std::condition_variable work_cv_;
+  // Working set + pass-termination accounting. Leaf lock: nothing else is
+  // acquired while it is held (stats updates that once nested under it now
+  // read the queue depth first and lock mu_stats_ after release).
+  mutable Mutex mu_work_;
+  std::deque<WorkItem> work_ HF_GUARDED_BY(mu_work_);
+  std::size_t active_workers_ HF_GUARDED_BY(mu_work_) = 0;
+  bool pass_done_ HF_GUARDED_BY(mu_work_) = false;
+  CondVar work_cv_;
 
   // Sharded mark table: per-shard locks, benign window between the
   // pop-time test and the in-processing set.
-  std::vector<std::unique_ptr<MarkShard>> shards_;
+  std::vector<std::unique_ptr<MarkShard>> shards_;  // ctor-only
 
   // Result set + retrieval dedup, with take cursors for incremental
-  // flushing (mu_results_).
-  mutable std::mutex mu_results_;
-  std::unordered_set<ObjectId> result_members_;
-  std::vector<ObjectId> result_ids_;
-  std::size_t result_take_cursor_ = 0;
-  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_;
-  std::vector<Retrieved> retrieved_;
-  std::size_t retrieved_take_cursor_ = 0;
+  // flushing.
+  mutable Mutex mu_results_;
+  std::unordered_set<ObjectId> result_members_ HF_GUARDED_BY(mu_results_);
+  std::vector<ObjectId> result_ids_ HF_GUARDED_BY(mu_results_);
+  std::size_t result_take_cursor_ HF_GUARDED_BY(mu_results_) = 0;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_
+      HF_GUARDED_BY(mu_results_);
+  std::vector<Retrieved> retrieved_ HF_GUARDED_BY(mu_results_);
+  std::size_t retrieved_take_cursor_ HF_GUARDED_BY(mu_results_) = 0;
 
   // Side-effects workers may not perform themselves: buffered during the
-  // pass, flushed by drain() on the event-loop thread after the join
-  // (mu_side_).
-  std::mutex mu_side_;
-  std::vector<WorkItem> remote_buffer_;
-  std::vector<ObjectId> missing_buffer_;
+  // pass, flushed by drain() on the event-loop thread after the join.
+  Mutex mu_side_;
+  std::vector<WorkItem> remote_buffer_ HF_GUARDED_BY(mu_side_);
+  std::vector<ObjectId> missing_buffer_ HF_GUARDED_BY(mu_side_);
 
-  // Stats: workers merge their local counters at the end of each pass
-  // (mu_stats_); reads happen on the event-loop thread between drains.
-  mutable std::mutex mu_stats_;
-  EngineStats stats_;
+  // Stats: workers merge their local counters at the end of each pass;
+  // reads happen on the event-loop thread between drains.
+  mutable Mutex mu_stats_;
+  EngineStats stats_ HF_GUARDED_BY(mu_stats_);
 };
 
 }  // namespace hyperfile

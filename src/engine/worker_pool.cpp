@@ -1,6 +1,7 @@
 #include "engine/worker_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace hyperfile {
 
@@ -14,7 +15,7 @@ WorkerPool::WorkerPool(std::size_t workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   wake_cv_.notify_all();
@@ -22,13 +23,19 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run(const std::function<void()>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  task_ = &fn;
-  remaining_ = threads_.size();
-  ++generation_;
-  wake_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  task_ = nullptr;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    task_ = &fn;
+    remaining_ = threads_.size();
+    first_error_ = nullptr;
+    ++generation_;
+    wake_cv_.notify_all();
+    while (remaining_ != 0) done_cv_.wait(lock);
+    task_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void WorkerPool::worker_loop() {
@@ -36,17 +43,20 @@ void WorkerPool::worker_loop() {
   for (;;) {
     const std::function<void()>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) wake_cv_.wait(lock);
       if (shutdown_) return;
       seen_generation = generation_;
       task = task_;
     }
-    (*task)();
+    try {
+      (*task)();
+    } catch (...) {
+      MutexLock lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }

@@ -10,12 +10,13 @@
 // worker can hold or produce work once run() has returned).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace hyperfile {
 
@@ -32,19 +33,24 @@ class WorkerPool {
   /// Run `fn` on every worker; blocks until all of them returned. `fn` must
   /// be safe to execute concurrently with itself. Only one run() may be in
   /// flight at a time (the site event loop is the sole caller).
+  ///
+  /// If `fn` throws on any worker, the pass still completes on every worker
+  /// (the pool stays usable) and the first captured exception is rethrown
+  /// here, on the calling thread.
   void run(const std::function<void()>& fn);
 
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;   // workers wait for a new pass
-  std::condition_variable done_cv_;   // run() waits for pass completion
-  const std::function<void()>* task_ = nullptr;
-  std::uint64_t generation_ = 0;      // bumped per pass
-  std::size_t remaining_ = 0;         // workers still inside the current pass
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar wake_cv_;   // workers wait for a new pass
+  CondVar done_cv_;   // run() waits for pass completion
+  const std::function<void()>* task_ HF_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ HF_GUARDED_BY(mu_) = 0;  // bumped per pass
+  std::size_t remaining_ HF_GUARDED_BY(mu_) = 0;  // workers still in the pass
+  bool shutdown_ HF_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ HF_GUARDED_BY(mu_);  // first throw of a pass
+  std::vector<std::thread> threads_;  // written only by the constructor
 };
 
 }  // namespace hyperfile

@@ -3,11 +3,11 @@
 // termination-weight protocol (a site cannot flood another without weight).
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace hyperfile {
@@ -18,7 +18,7 @@ class Channel {
   /// Push an item; returns false if the channel is closed.
   bool push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -28,8 +28,11 @@ class Channel {
 
   /// Blocking pop with timeout. nullopt on timeout or when closed and empty.
   std::optional<T> pop_wait(Duration timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -37,7 +40,7 @@ class Channel {
   }
 
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -46,27 +49,27 @@ class Channel {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ HF_GUARDED_BY(mu_);
+  bool closed_ HF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyperfile

@@ -76,7 +76,7 @@ void InProcNetwork::close_endpoint(SiteId site) {
 }
 
 NetworkStats InProcNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -94,7 +94,7 @@ Result<void> InProcNetwork::send(SiteId from, SiteId to, wire::Message message) 
                       "wire round-trip failed: " + env.error().to_string());
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.record(env.value().message, bytes.size());
   }
   if (!mailboxes_[to]->push(std::move(env).value())) {

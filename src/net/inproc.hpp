@@ -4,10 +4,10 @@
 // real concurrency and real bytes, just no sockets.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/channel.hpp"
 #include "net/endpoint.hpp"
 
@@ -44,9 +44,9 @@ class InProcNetwork {
 
   Result<void> send(SiteId from, SiteId to, wire::Message message);
 
-  std::vector<std::unique_ptr<Channel<wire::Envelope>>> mailboxes_;
-  mutable std::mutex stats_mu_;
-  NetworkStats stats_;
+  std::vector<std::unique_ptr<Channel<wire::Envelope>>> mailboxes_;  // ctor-only
+  mutable Mutex stats_mu_;
+  NetworkStats stats_ HF_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace hyperfile

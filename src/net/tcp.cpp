@@ -72,9 +72,10 @@ Result<void> TcpNetwork::start_listener() {
 
   // Endpoints outside the static table (clients) listen on an ephemeral
   // port; peers reach them via learned routes only.
-  const TcpPeer self_peer = self_ < peers_.size()
-                                ? peers_[self_]
-                                : TcpPeer{"127.0.0.1", 0};
+  const TcpPeer self_peer = [&] {
+    MutexLock lock(conn_mu_);
+    return self_ < peers_.size() ? peers_[self_] : TcpPeer{"127.0.0.1", 0};
+  }();
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(self_peer.port);
@@ -111,7 +112,7 @@ void TcpNetwork::accept_loop() {
 }
 
 void TcpNetwork::spawn_reader(int fd) {
-  std::lock_guard<std::mutex> lock(readers_mu_);
+  MutexLock lock(readers_mu_);
   reader_fds_.push_back(fd);
   readers_.emplace_back([this, fd] { reader_loop(fd); });
 }
@@ -139,7 +140,7 @@ void TcpNetwork::reader_loop(int fd) {
     }
     // Learn the return route for senders outside the static peer table.
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       learned_[env.value().src] = fd;
     }
     if (!inbox_.push(std::move(env).value())) break;
@@ -149,7 +150,7 @@ void TcpNetwork::reader_loop(int fd) {
 }
 
 Result<int> TcpNetwork::peer_socket(SiteId to) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   auto it = conns_.find(to);
   if (it != conns_.end()) return it->second;
 
@@ -190,7 +191,7 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
     auto env = wire::decode_envelope(bytes);
     if (!env.ok()) return env.error();
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.record(env.value().message, bytes.size());
     }
     inbox_.push(std::move(env).value());
@@ -214,14 +215,14 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
   frame.insert(frame.end(), body.begin(), body.end());
 
   Result<void> w = [&] {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    MutexLock lock(send_mu_);
     return write_all(fd.value(), frame.data(), frame.size());
   }();
   if (!w.ok()) {
     // Drop the cached/learned route; the next send reconnects (or fails
     // cleanly for learned-only routes). The fd itself is only shut down —
     // its reader thread owns it until endpoint shutdown closes it.
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     auto it = conns_.find(to);
     if (it != conns_.end()) {
       ::shutdown(it->second, SHUT_RDWR);
@@ -230,7 +231,7 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
     learned_.erase(to);
     return w.error();
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   // Re-decoding just for stats would be wasteful; classify from the tag.
   NetworkStats delta;
   ++delta.messages_sent;
@@ -244,7 +245,7 @@ std::optional<wire::Envelope> TcpNetwork::recv(Duration timeout) {
 }
 
 void TcpNetwork::update_peer(SiteId site, TcpPeer peer) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   if (site >= peers_.size()) return;
   peers_[site] = std::move(peer);
   auto it = conns_.find(site);
@@ -261,13 +262,13 @@ void TcpNetwork::shutdown() {
     ::close(listen_fd_);
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conns_.clear();    // fds are owned (and closed) via reader_fds_
     learned_.clear();
   }
   inbox_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(readers_mu_);
+  MutexLock lock(readers_mu_);
   for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
   for (auto& t : readers_) {
     if (t.joinable()) t.join();
@@ -278,7 +279,7 @@ void TcpNetwork::shutdown() {
 }
 
 NetworkStats TcpNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/channel.hpp"
 #include "net/endpoint.hpp"
 
@@ -77,25 +78,28 @@ class TcpNetwork final : public MessageEndpoint {
   Result<int> peer_socket(SiteId to);
 
   SiteId self_;
-  std::vector<TcpPeer> peers_;
-  std::uint16_t bound_port_ = 0;
-  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;   // written once by start_listener()
+  int listen_fd_ = -1;             // written once by start_listener()
   std::atomic<bool> stopping_{false};
 
   std::thread accept_thread_;
-  std::mutex readers_mu_;
-  std::vector<std::thread> readers_;
-  std::vector<int> reader_fds_;  // every socket with a reader; owns closing
+  Mutex readers_mu_;
+  std::vector<std::thread> readers_ HF_GUARDED_BY(readers_mu_);
+  /// Every socket with a reader; owns closing.
+  std::vector<int> reader_fds_ HF_GUARDED_BY(readers_mu_);
 
-  std::mutex conn_mu_;
-  std::map<SiteId, int> conns_;    // outbound sockets by peer
-  std::map<SiteId, int> learned_;  // inbound sockets by observed sender
-  std::mutex send_mu_;             // serializes frame writes
+  /// Guards the routing tables. Ordering: conn_mu_ may be held while
+  /// acquiring readers_mu_ (peer_socket -> spawn_reader); never the reverse.
+  Mutex conn_mu_ HF_ACQUIRED_BEFORE(readers_mu_);
+  std::vector<TcpPeer> peers_ HF_GUARDED_BY(conn_mu_);
+  std::map<SiteId, int> conns_ HF_GUARDED_BY(conn_mu_);    // outbound by peer
+  std::map<SiteId, int> learned_ HF_GUARDED_BY(conn_mu_);  // inbound by sender
+  Mutex send_mu_;  // serializes frame writes (guards the socket streams)
 
   Channel<wire::Envelope> inbox_;
 
-  mutable std::mutex stats_mu_;
-  NetworkStats stats_;
+  mutable Mutex stats_mu_;
+  NetworkStats stats_ HF_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace hyperfile

@@ -12,6 +12,12 @@
 // made it active) only once it is idle and has itself been acknowledged for
 // every message it sent. Termination = the root is idle with no outstanding
 // acknowledgements.
+//
+// Thread ownership (DESIGN.md §10): deliberately lock-free. A node's state
+// is confined to its site's event-loop thread — drain workers never touch
+// termination accounting (ParallelExecution buffers their side effects
+// until the pool joins), so adding a mutex here would annotate a race that
+// cannot occur while hiding the confinement that prevents it.
 #pragma once
 
 #include <cassert>

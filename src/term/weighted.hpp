@@ -17,6 +17,12 @@
 // no message is in flight and no participant holds work. Liveness: every
 // drain returns weight, and weights are exact dyadic fractions (term/weight
 // .hpp), so the sum reaches exactly 1.
+//
+// Thread ownership (DESIGN.md §10): deliberately lock-free. Originator and
+// participant state is confined to the owning site's event-loop thread;
+// weight is borrowed for outgoing messages only after ParallelExecution's
+// pool join (workers provably idle), so no cross-thread access exists to
+// synchronize. The TSan CI job dynamically checks this confinement.
 #pragma once
 
 #include "term/weight.hpp"

@@ -1,0 +1,85 @@
+// Behavioral coverage for the annotated sync layer (common/sync.hpp): the
+// wrappers must forward faithfully to the standard primitives — lock
+// exclusion, try_lock semantics, condition signalling, and timeout waits.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+
+using namespace hyperfile;
+
+TEST(Sync, MutexLockExcludes) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 8 * 10'000);
+}
+
+TEST(Sync, TryLockReflectsHeldState) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Sync, CondVarSignalsWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+}
+
+TEST(Sync, CondVarWaitUntilTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // Nobody notifies: the wait must come back with a timeout status.
+  EXPECT_EQ(cv.wait_until(lock, deadline), std::cv_status::timeout);
+}
+
+TEST(Sync, CondVarWaitForWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  notifier.join();
+}

@@ -1,0 +1,104 @@
+// WorkerPool lifecycle edges (ISSUE 2 satellite): construction/destruction
+// orderings, pass reuse, degenerate sizes, and exception propagation. Runs
+// in the TSan CI job — several tests exist purely to give the sanitizer
+// schedules to chew on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "engine/worker_pool.hpp"
+
+using namespace hyperfile;
+
+TEST(WorkerPool, DestructionWithoutEverRunning) {
+  // Workers park on the wake condition immediately; the destructor must
+  // wake and join them without a pass ever existing.
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(WorkerPool, DestructionWithQueuedWork) {
+  // A pass that fans out plenty of increments, destroyed immediately after
+  // run() returns: the join inside run() is the quiescence point, so
+  // destruction must find every worker idle and no count lost.
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(4);
+    pool.run([&] {
+      for (int i = 0; i < 1000; ++i) done.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(done.load(), 4 * 1000);
+}
+
+TEST(WorkerPool, ZeroWorkerPoolClampsToOne) {
+  // workers == 0 still yields a functioning single-worker pool: run() must
+  // execute the task exactly once and return.
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> runs{0};
+  pool.run([&] { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(WorkerPool, ResubmitAfterJoin) {
+  // Back-to-back passes on one pool: generation counting must isolate the
+  // passes (a worker that saw pass N may not re-enter it as pass N+1).
+  WorkerPool pool(3);
+  for (int pass = 0; pass < 50; ++pass) {
+    std::atomic<int> runs{0};
+    pool.run([&] { runs.fetch_add(1); });
+    ASSERT_EQ(runs.load(), 3) << "pass " << pass;
+  }
+}
+
+TEST(WorkerPool, TaskThrowPropagatesToRun) {
+  WorkerPool pool(4);
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(
+      pool.run([&] {
+        attempts.fetch_add(1);
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Every worker ran the task (the pass completes despite the throws).
+  EXPECT_EQ(attempts.load(), 4);
+}
+
+TEST(WorkerPool, PoolSurvivesThrowingPass) {
+  // The first_error_ slot must reset between passes: after a throwing pass
+  // the pool keeps working and a clean pass does not rethrow stale errors.
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.run([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> runs{0};
+  pool.run([&] { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(WorkerPool, FirstExceptionWins) {
+  // Multiple workers throw; exactly one exception surfaces and the rest are
+  // swallowed after the pass completes.
+  WorkerPool pool(8);
+  try {
+    pool.run([] { throw std::runtime_error("boom"); });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(WorkerPool, ManySmallPassesUnderContention) {
+  // Stress the wake/done handshake: tiny tasks make generation bumps and
+  // completion notifications race as hard as they can.
+  WorkerPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  for (int pass = 0; pass < 200; ++pass) {
+    pool.run([&] { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 8u * 200u);
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint: raw standard sync primitives are banned outside
+src/common/sync.hpp.
+
+Every mutex / lock / condition variable in HyperFile must go through the
+thread-safety-annotated wrappers in src/common/sync.hpp (Mutex, MutexLock,
+CondVar) so Clang's -Wthread-safety can check the locking protocol. This
+script fails if any other C++ file names the raw primitives or includes
+their headers directly. Comments are stripped before matching, so prose
+mentions ("this used to be a std::mutex") stay legal.
+
+Usage: tools/check_sync_discipline.py [repo-root]
+Exit status: 0 clean, 1 violations found.
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+ALLOWED = {os.path.join("src", "common", "sync.hpp")}
+CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
+
+BANNED_TOKENS = [
+    r"std\s*::\s*mutex\b",
+    r"std\s*::\s*timed_mutex\b",
+    r"std\s*::\s*recursive_mutex\b",
+    r"std\s*::\s*recursive_timed_mutex\b",
+    r"std\s*::\s*shared_mutex\b",
+    r"std\s*::\s*shared_timed_mutex\b",
+    r"std\s*::\s*condition_variable\b",
+    r"std\s*::\s*condition_variable_any\b",
+    r"std\s*::\s*lock_guard\b",
+    r"std\s*::\s*unique_lock\b",
+    r"std\s*::\s*scoped_lock\b",
+    r"std\s*::\s*shared_lock\b",
+    r"#\s*include\s*<mutex>",
+    r"#\s*include\s*<condition_variable>",
+    r"#\s*include\s*<shared_mutex>",
+]
+BANNED = [re.compile(p) for p in BANNED_TOKENS]
+
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Remove comments, preserving line structure for line numbers."""
+    def blank_lines(match: "re.Match[str]") -> str:
+        return "\n" * match.group(0).count("\n")
+
+    text = BLOCK_COMMENT.sub(blank_lines, text)
+    return "\n".join(LINE_COMMENT.sub("", line) for line in text.splitlines())
+
+
+def check_file(root: str, rel: str) -> list:
+    with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+        code = strip_comments(f.read())
+    violations = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for pattern in BANNED:
+            match = pattern.search(line)
+            if match:
+                violations.append((rel, lineno, match.group(0)))
+    return violations
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if not name.endswith(CPP_EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                if rel in ALLOWED:
+                    continue
+                violations.extend(check_file(root, rel))
+
+    if violations:
+        print("sync discipline violations (use common/sync.hpp primitives):")
+        for rel, lineno, token in violations:
+            print(f"  {rel}:{lineno}: raw `{token.strip()}`")
+        print(f"{len(violations)} violation(s). Only src/common/sync.hpp may "
+              "name raw standard sync primitives.")
+        return 1
+    print("sync discipline: clean (raw primitives only in src/common/sync.hpp)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
