@@ -1,0 +1,170 @@
+// Chaos bench: client-visible response time and answer quality of the
+// distributed runtime as the network degrades. Server endpoints are wrapped
+// in FaultInjectingEndpoint (net/faulty.hpp) at increasing drop rates; the
+// client link stays reliable, so the numbers isolate the query protocol's
+// behaviour — bounded retries, duplicate suppression, and the context-TTL
+// self-healing path that turns lost termination weight into a flagged
+// partial answer instead of a hang (DESIGN.md §11).
+//
+// At drop=0 the latency is the protocol's native cost; at higher drop rates
+// the mean is dominated by queries that had to wait out the context TTL, so
+// the TTL (here 300ms, deliberately small) is visible as a latency plateau
+// rather than a timeout.
+//
+// Emits BENCH_chaos.json (override with --json <path>).
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "dist/cluster.hpp"
+#include "net/faulty.hpp"
+#include "query/parser.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+namespace {
+
+constexpr SiteId kSites = 3;
+constexpr std::size_t kChain = 30;
+
+Query bench_query() {
+  auto q = parse_query(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) -> T)");
+  if (!q.ok()) {
+    std::fprintf(stderr, "query parse failed: %s\n",
+                 q.error().to_string().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+void populate(Cluster& cluster) {
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < kChain; ++i) {
+    ids.push_back(cluster.store(i % kSites).allocate());
+  }
+  for (std::size_t i = 0; i < kChain; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Reference", i + 1 < kChain ? ids[i + 1] : ids[i]));
+    if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+    cluster.store(i % kSites).put(std::move(obj));
+  }
+  cluster.store(0).create_set("S", std::span<const ObjectId>(ids.data(), 1));
+}
+
+struct ChaosOutcome {
+  WallStats wall;
+  std::size_t full_results = 0;   // queries answering the complete set
+  std::size_t partial_flagged = 0;  // queries flagged partial
+  std::size_t failures = 0;       // errors/timeouts (should stay 0)
+  std::size_t mean_ids = 0;
+  FaultStats faults;              // summed over the site endpoints
+};
+
+ChaosOutcome run_drop_rate(double drop_p, const Query& q, int runs) {
+  SiteServerOptions options;
+  options.context_ttl = Duration(300'000);
+  options.retry_backoff = Duration(100);
+
+  std::vector<FaultInjectingEndpoint*> injectors(kSites, nullptr);
+  Cluster cluster(
+      kSites, options, /*clients=*/1,
+      [&injectors, drop_p](SiteId site, std::unique_ptr<MessageEndpoint> inner)
+          -> std::unique_ptr<MessageEndpoint> {
+        FaultOptions o;
+        o.drop_p = drop_p;
+        o.seed = 7000 + site;
+        o.exempt.push_back(kSites);  // client link stays reliable
+        auto ep = std::make_unique<FaultInjectingEndpoint>(std::move(inner), o);
+        injectors[site] = ep.get();
+        return ep;
+      });
+  populate(cluster);
+  cluster.start();
+
+  ChaosOutcome out;
+  std::size_t calls = 0;  // includes the warmup run, unlike `runs`
+  std::size_t total_ids = 0;
+  out.wall = time_wall(
+      [&] {
+        ++calls;
+        auto r = cluster.client().run(q, Duration(30'000'000));
+        if (!r.ok()) {
+          ++out.failures;
+          return;
+        }
+        total_ids += r.value().ids.size();
+        if (r.value().partial) {
+          ++out.partial_flagged;
+        } else {
+          ++out.full_results;
+        }
+      },
+      runs, /*warmup=*/1);
+  out.mean_ids = calls > 0 ? total_ids / calls : 0;
+  cluster.stop();
+  for (auto* inj : injectors) {
+    if (inj == nullptr) continue;
+    const FaultStats s = inj->fault_stats();
+    out.faults.forwarded += s.forwarded;
+    out.faults.dropped += s.dropped;
+    out.faults.duplicated += s.duplicated;
+    out.faults.held += s.held;
+    out.faults.partitioned += s.partitioned;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonSink json("chaos", &argc, argv);
+
+  int runs = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) runs = std::atoi(argv[++i]);
+  }
+
+  header("Chaos: response time and answer quality vs message drop rate",
+         "partial results are better than none at all (Section 1) — and the "
+         "degradation should be visible, bounded, and hang-free");
+  std::printf(
+      "%zu sites, %zu-object cross-site chain, context TTL 300ms, %d runs "
+      "per rate\n\n",
+      static_cast<std::size_t>(kSites), kChain, runs);
+  std::printf("%-8s %12s %12s %12s %8s %9s %9s %9s\n", "drop", "mean(ms)",
+              "min(ms)", "max(ms)", "full", "partial", "failed", "dropped");
+
+  const Query q = bench_query();
+  bool all_ok = true;
+  for (double drop_p : {0.0, 0.05, 0.10, 0.20}) {
+    ChaosOutcome out = run_drop_rate(drop_p, q, runs);
+    std::printf("%-8.2f %12.2f %12.2f %12.2f %8zu %9zu %9zu %9llu\n", drop_p,
+                out.wall.mean_ms, out.wall.min_ms, out.wall.max_ms,
+                out.full_results, out.partial_flagged, out.failures,
+                static_cast<unsigned long long>(out.faults.dropped));
+
+    BenchRecord rec;
+    rec.config = "drop=" + std::to_string(drop_p);
+    rec.mean = out.wall.mean_ms;
+    rec.min = out.wall.min_ms;
+    rec.max = out.wall.max_ms;
+    rec.counters = {
+        {"drop_p", drop_p},
+        {"full_results", static_cast<double>(out.full_results)},
+        {"partial_flagged", static_cast<double>(out.partial_flagged)},
+        {"failures", static_cast<double>(out.failures)},
+        {"mean_ids", static_cast<double>(out.mean_ids)},
+        {"frames_forwarded", static_cast<double>(out.faults.forwarded)},
+        {"frames_dropped", static_cast<double>(out.faults.dropped)},
+    };
+    json.add(std::move(rec));
+    // A failure here means a hang or an error reply — the one thing the
+    // self-healing protocol must never produce.
+    all_ok = all_ok && out.failures == 0;
+  }
+
+  return json.write() && all_ok ? 0 : 1;
+}

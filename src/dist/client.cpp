@@ -42,6 +42,8 @@ Result<QueryResult> Client::run_at(SiteId server, const Query& query,
     result.slot_names = query.retrieve_slots();
     result.total_count = reply->total_count;
     result.count_only = reply->count_only;
+    result.partial = reply->partial;
+    result.dropped_items = reply->dropped_items;
     return result;
   }
 }

@@ -17,13 +17,15 @@ std::string site_names_path(const std::string& dir, SiteId site) {
 }  // namespace
 
 Cluster::Cluster(std::size_t sites, SiteServerOptions options,
-                 std::size_t clients)
+                 std::size_t clients, EndpointDecorator decorate)
     : net_(sites + clients) {
   servers_.reserve(sites);
   for (std::size_t i = 0; i < sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);
+    std::unique_ptr<MessageEndpoint> ep = net_.endpoint(site);
+    if (decorate) ep = decorate(site, std::move(ep));
     servers_.push_back(std::make_unique<SiteServer>(
-        net_.endpoint(site), SiteStore(site), options));
+        std::move(ep), SiteStore(site), options));
   }
   clients_.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {

@@ -18,6 +18,7 @@
 // different threads because each Client owns a distinct endpoint.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -29,11 +30,19 @@ namespace hyperfile {
 
 class Cluster {
  public:
+  /// Wraps a server's endpoint before the SiteServer takes it — the chaos
+  /// hook (net/faulty.hpp's FaultInjectingEndpoint is the intended
+  /// decorator). Applied to server endpoints only; client endpoints stay
+  /// reliable so tests observe the protocol's behaviour, not a flaky
+  /// request channel.
+  using EndpointDecorator = std::function<std::unique_ptr<MessageEndpoint>(
+      SiteId, std::unique_ptr<MessageEndpoint>)>;
+
   /// `clients` independent client endpoints are created (ids N .. N+C-1);
   /// they may issue queries concurrently from different threads — each
   /// SiteServer multiplexes per-query contexts.
   explicit Cluster(std::size_t sites, SiteServerOptions options = {},
-                   std::size_t clients = 1);
+                   std::size_t clients = 1, EndpointDecorator decorate = {});
   ~Cluster();
 
   Cluster(const Cluster&) = delete;

@@ -4,6 +4,23 @@
 #include "query/rewrite.hpp"
 
 namespace hyperfile {
+namespace {
+
+/// Record (src, seq) in the per-context dedup map; true iff the message was
+/// already processed. seq 0 marks an unsequenced message and is never
+/// suppressed.
+bool already_seen(
+    std::unordered_map<SiteId, std::unordered_set<std::uint64_t>>& seen,
+    SiteId src, std::uint64_t seq) {
+  if (seq == 0) return false;
+  return !seen[src].insert(seq).second;
+}
+
+std::chrono::steady_clock::time_point now_tick() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
 
 SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore store,
                        SiteServerOptions options)
@@ -50,12 +67,85 @@ std::size_t SiteServer::context_count() const {
 }
 
 void SiteServer::run_loop() {
+  last_sweep_ = now_tick();
   while (!stopping_.load()) {
     auto env = endpoint_->recv(options_.poll_interval);
-    if (!env.has_value()) continue;
-    handle(std::move(*env));
+    if (env.has_value()) handle(std::move(*env));
+    sweep_contexts();
     MutexLock lock(stats_mu_);
     context_count_cache_ = contexts_.size();
+  }
+}
+
+Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m) {
+  auto r = endpoint_->send(to, m);
+  Duration backoff = options_.retry_backoff;
+  for (int attempt = 0; !r.ok() && attempt < options_.send_retries;
+       ++attempt) {
+    const Errc c = r.error().code;
+    if (c == Errc::kNotFound || c == Errc::kInvalidArgument) break;
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+    r = endpoint_->send(to, m);
+  }
+  return r;
+}
+
+bool SiteServer::stale_own_query(const wire::QueryId& qid, SiteId src) {
+  if (qid.originator != store_.site()) return false;
+  if (find_origination(qid) != nullptr) return false;
+  // A retried or wire-duplicated message outlived the query it belongs to.
+  // Re-announce completion (the sender's QueryDone may have been the lost
+  // message) instead of recreating a context that nothing would ever close.
+  if (src != store_.site() && src != kNoSite) {
+    (void)endpoint_->send(src, wire::QueryDone{qid});
+  }
+  return true;
+}
+
+void SiteServer::sweep_contexts() {
+  const auto now = now_tick();
+  if (now - last_sweep_ < options_.context_ttl / 4) return;
+  last_sweep_ = now;
+
+  // Expired originations: termination can no longer be detected (weight or
+  // acks were lost in flight) — answer with everything that did arrive,
+  // flagged partial. "Partial results are better than none at all."
+  std::vector<wire::QueryId> expired;
+  for (auto& [qid, o] : originated_) {
+    if (!o.replied && now - o.last_activity >= options_.context_ttl) {
+      expired.push_back(qid);
+    }
+  }
+  for (const auto& qid : expired) {
+    auto it = originated_.find(qid);
+    if (it == originated_.end()) continue;
+    HF_DEBUG << "site " << store_.site() << ": query " << qid.to_string()
+             << " idle past TTL; forcing partial reply";
+    maybe_finish(qid, it->second, /*force=*/true);
+  }
+
+  // Participant contexts: re-flush stashed results while fresh; once idle
+  // past the TTL (our QueryDone was lost, or the originator expired), one
+  // final flush attempt and then discard.
+  std::vector<wire::QueryId> flush;
+  std::vector<wire::QueryId> dead;
+  for (auto& [qid, p] : contexts_) {
+    if (find_origination(qid) != nullptr) continue;  // dies with origination
+    const bool pending = !p.pending_ids.empty() || !p.pending_values.empty() ||
+                         p.pending_count > 0 ||
+                         (p.exec->idle() && p.weight.holding());
+    const bool stale = now - p.last_activity >= options_.context_ttl;
+    if (stale) {
+      dead.push_back(qid);
+    } else if (pending) {
+      flush.push_back(qid);
+    }
+  }
+  for (const auto& qid : flush) drain_and_flush(qid);
+  for (const auto& qid : dead) {
+    drain_and_flush(qid);  // last chance for results + weight to get home
+    discard_context(qid);
   }
 }
 
@@ -72,7 +162,7 @@ void SiteServer::handle(wire::Envelope env) {
   } else if (auto* cr = std::get_if<wire::ClientRequest>(&env.message)) {
     handle_client_request(src, std::move(*cr));
   } else if (auto* ta = std::get_if<wire::TermAck>(&env.message)) {
-    handle_term_ack(*ta);
+    handle_term_ack(src, *ta);
   } else if (auto* mc = std::get_if<wire::MoveCommand>(&env.message)) {
     handle_move_command(src, *mc);
   } else if (auto* md = std::get_if<wire::MoveData>(&env.message)) {
@@ -106,6 +196,7 @@ SiteServer::Participation& SiteServer::participation(const wire::QueryId& qid,
 
   auto [nit, inserted] = contexts_.emplace(qid, Participation{});
   (void)inserted;
+  nit->second.last_activity = now_tick();
   if (drain_pool_ != nullptr) {
     nit->second.exec = std::make_unique<ParallelExecution>(
         query, store_, *drain_pool_, std::move(opts));
@@ -138,7 +229,7 @@ void SiteServer::ds_on_computation_message(const wire::QueryId& qid,
   if (find_origination(qid) != nullptr) {
     // The root is permanently engaged: every incoming message is acked at
     // once (its completion is subsumed by the root's own idle/deficit test).
-    (void)endpoint_->send(src, wire::TermAck{qid});
+    (void)send_with_retry(src, wire::TermAck{qid, next_msg_seq_++});
     return;
   }
   if (!p.ds_engaged) {
@@ -146,13 +237,18 @@ void SiteServer::ds_on_computation_message(const wire::QueryId& qid,
     p.ds_parent = src;
     return;
   }
-  (void)endpoint_->send(src, wire::TermAck{qid});
+  (void)send_with_retry(src, wire::TermAck{qid, next_msg_seq_++});
 }
 
-void SiteServer::handle_term_ack(const wire::TermAck& ta) {
+void SiteServer::handle_term_ack(SiteId src, const wire::TermAck& ta) {
   auto it = contexts_.find(ta.qid);
   if (it == contexts_.end()) return;
   Participation& p = it->second;
+  // A wire-duplicated ack must not decrement the deficit twice: the second
+  // decrement would consume the ack of a message still outstanding and
+  // declare termination early.
+  if (already_seen(p.seen, src, ta.msg_seq)) return;
+  p.last_activity = now_tick();
   if (p.ds_deficit > 0) --p.ds_deficit;
   ds_try_settle(ta.qid, p);
 }
@@ -167,7 +263,7 @@ void SiteServer::ds_try_settle(const wire::QueryId& qid, Participation& p) {
     const SiteId parent = p.ds_parent;
     p.ds_engaged = false;
     p.ds_parent = kNoSite;
-    (void)endpoint_->send(parent, wire::TermAck{qid});
+    (void)send_with_retry(parent, wire::TermAck{qid, next_msg_seq_++});
   }
 }
 
@@ -206,13 +302,20 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
   dr.start = item.start;
   dr.iter_stack = item.iter_stack;
   dr.weight = w.exponents();
-  if (auto r = endpoint_->send(dest, std::move(dr)); !r.ok()) {
-    // Site unreachable: drop the item but keep its weight, so the query
-    // terminates with partial results instead of hanging (paper Section 1:
-    // "Partial results are better than none at all").
+  dr.msg_seq = next_msg_seq_++;
+  if (auto r = send_with_retry(dest, wire::Message(std::move(dr))); !r.ok()) {
+    // Site unreachable even after retries: drop the item but keep its
+    // weight, so the query terminates with partial results instead of
+    // hanging (paper Section 1: "Partial results are better than none at
+    // all") — and record the loss so the reply is flagged partial.
     HF_DEBUG << "site " << self << ": deref to site " << dest
              << " failed (" << r.error().to_string() << "); dropping item";
     repay_weight(qid, p, std::move(w));
+    if (Origination* o = find_origination(qid)) {
+      ++o->dropped_items;
+    } else {
+      ++p.dropped;
+    }
     return;
   }
   ds_on_send(p);
@@ -222,16 +325,23 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
 void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
   for (auto& [dest, items] : p.pending_batches) {
     if (items.empty()) continue;
+    const std::uint64_t batch_size = items.size();
     Weight w = borrow_weight(qid, p);
     wire::BatchDerefRequest bd;
     bd.qid = qid;
     bd.query = p.exec->query();
     bd.items = std::move(items);
     bd.weight = w.exponents();
-    if (auto r = endpoint_->send(dest, std::move(bd)); !r.ok()) {
+    bd.msg_seq = next_msg_seq_++;
+    if (auto r = send_with_retry(dest, wire::Message(std::move(bd))); !r.ok()) {
       HF_DEBUG << "site " << store_.site() << ": batch deref to site " << dest
                << " failed (" << r.error().to_string() << "); dropping batch";
       repay_weight(qid, p, std::move(w));
+      if (Origination* o = find_origination(qid)) {
+        o->dropped_items += batch_size;
+      } else {
+        p.dropped += batch_size;
+      }
       continue;
     }
     ds_on_send(p);
@@ -241,7 +351,13 @@ void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
 }
 
 void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
+  if (stale_own_query(dr.qid, src)) return;
   Participation& p = participation(dr.qid, dr.query);
+  // Dedup before any bookkeeping: repaying a replayed message's weight a
+  // second time would push held weight past one, and acking it under D-S
+  // would cancel an ack the sender is still owed.
+  if (already_seen(p.seen, src, dr.msg_seq)) return;
+  p.last_activity = now_tick();
   ds_on_computation_message(dr.qid, p, src);
   repay_weight(dr.qid, p, Weight::from_exponents(dr.weight));
 
@@ -260,7 +376,10 @@ void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
 }
 
 void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
+  if (stale_own_query(bd.qid, src)) return;
   Participation& p = participation(bd.qid, bd.query);
+  if (already_seen(p.seen, src, bd.msg_seq)) return;  // see handle_deref
+  p.last_activity = now_tick();
   ds_on_computation_message(bd.qid, p, src);
   repay_weight(bd.qid, p, Weight::from_exponents(bd.weight));
   for (wire::DerefEntry& entry : bd.items) {
@@ -280,7 +399,10 @@ void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
 }
 
 void SiteServer::handle_start(SiteId src, wire::StartQuery sq) {
+  if (stale_own_query(sq.qid, src)) return;
   Participation& p = participation(sq.qid, sq.query);
+  if (already_seen(p.seen, src, sq.msg_seq)) return;  // see handle_deref
+  p.last_activity = now_tick();
   ds_on_computation_message(sq.qid, p, src);
   repay_weight(sq.qid, p, Weight::from_exponents(sq.weight));
 
@@ -332,38 +454,76 @@ void SiteServer::drain_and_flush(const wire::QueryId& qid) {
         o->values.push_back({r.slot, r.source, std::move(r.value)});
       }
     }
+    o->last_activity = now_tick();
     maybe_finish(qid, *o);
     return;
   }
 
   // Participant: results + every bit of held weight go straight to the
-  // originating site ("no intermediate site need be involved").
+  // originating site ("no intermediate site need be involved"). Results
+  // stashed by an earlier failed send ride along.
   wire::ResultMessage rm;
   rm.qid = qid;
   rm.count_only = query.count_only();
-  rm.local_count = local_count;
+  rm.local_count = local_count + p.pending_count;
+  rm.ids = std::move(p.pending_ids);
   for (const ObjectId& id : ids) rm.ids.push_back(id);
+  rm.values = std::move(p.pending_values);
   for (Retrieved& r : vals) {
     rm.values.push_back({r.slot, r.source, std::move(r.value)});
   }
-  rm.weight = p.weight.release_all().exponents();
-  if (auto r = endpoint_->send(qid.originator, std::move(rm)); !r.ok()) {
+  rm.dropped_items = p.dropped;
+  rm.msg_seq = next_msg_seq_++;
+  Weight held = p.weight.release_all();
+  rm.weight = held.exponents();
+  p.pending_ids.clear();
+  p.pending_values.clear();
+  p.pending_count = 0;
+  const wire::Message msg(std::move(rm));
+  if (auto r = send_with_retry(qid.originator, msg); !r.ok()) {
+    // Keep everything: weight back in the participant's purse, results in
+    // the pending stash. The TTL sweep re-attempts delivery, so a transient
+    // outage loses nothing and a permanent one still terminates (the
+    // originator's own TTL answers partial).
     HF_DEBUG << "site " << store_.site() << ": result to originator "
              << qid.originator << " failed: " << r.error().to_string();
+    const auto& failed = std::get<wire::ResultMessage>(msg);
+    p.weight.receive(std::move(held));
+    p.pending_ids = failed.ids;
+    p.pending_values = failed.values;
+    p.pending_count = failed.local_count;
   } else {
     // D-S: result messages are tree messages too — the originator acks
     // them, which is what keeps termination from racing ahead of results.
     ds_on_send(p);
+    p.dropped = 0;  // reported
   }
   ds_try_settle(qid, p);
 }
 
 void SiteServer::handle_result(SiteId src, wire::ResultMessage rm) {
   Origination* o = find_origination(rm.qid);
-  if (o == nullptr) return;  // stale result for a finished query
-  if (using_ds()) (void)endpoint_->send(src, wire::TermAck{rm.qid});
+  if (o == nullptr) {
+    // Stale result for a finished (or expired) query: the sender evidently
+    // missed QueryDone — re-announce it so the participant context closes,
+    // but merge nothing.
+    if (src != store_.site()) {
+      (void)endpoint_->send(src, wire::QueryDone{rm.qid});
+    }
+    return;
+  }
+  // Dedup BEFORE weight/count/ack bookkeeping: a replayed ResultMessage
+  // would double-count local_count, re-insert values, over-repay weight
+  // (Weight::add past one throws), and under D-S cancel an ack the sender
+  // is still owed.
+  if (already_seen(o->seen, src, rm.msg_seq)) return;
+  o->last_activity = now_tick();
+  if (using_ds()) {
+    (void)send_with_retry(src, wire::TermAck{rm.qid, next_msg_seq_++});
+  }
   o->involved.insert(src);
   o->term.repay(Weight::from_exponents(rm.weight));
+  o->dropped_items += rm.dropped_items;
   if (rm.count_only) {
     o->total_count += rm.local_count;
     o->site_counts[src] += rm.local_count;
@@ -398,6 +558,7 @@ void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
   o.query = cr.query;
   o.client = src;
   o.client_seq = cr.client_seq;
+  o.last_activity = now_tick();
   originated_.emplace(qid, std::move(o));
   Origination& origin = originated_.at(qid);
   Participation& p = participation(qid, cr.query);
@@ -422,8 +583,11 @@ void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
         sq.query = cr.query;
         sq.local_set_name = set_name;
         sq.weight = w.exponents();
-        if (auto r = endpoint_->send(s, std::move(sq)); !r.ok()) {
+        sq.msg_seq = next_msg_seq_++;
+        if (auto r = send_with_retry(s, wire::Message(std::move(sq)));
+            !r.ok()) {
           repay_weight(qid, p, std::move(w));
+          ++origin.dropped_items;  // that site's whole portion is lost
           continue;
         }
         ds_on_send(p);
@@ -443,14 +607,17 @@ void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
   drain_and_flush(qid);
 }
 
-void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o) {
-  auto cit = contexts_.find(qid);
-  if (cit == contexts_.end()) return;
-  if (!cit->second.exec->idle()) return;
-  const bool quiescent = using_ds() ? cit->second.ds_deficit == 0
-                                    : o.term.all_weight_home();
-  if (!quiescent) return;
+void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o,
+                              bool force) {
   if (o.replied) return;
+  if (!force) {
+    auto cit = contexts_.find(qid);
+    if (cit == contexts_.end()) return;
+    if (!cit->second.exec->idle()) return;
+    const bool quiescent = using_ds() ? cit->second.ds_deficit == 0
+                                      : o.term.all_weight_home();
+    if (!quiescent) return;
+  }
   o.replied = true;
 
   const Query& query = o.query;
@@ -473,14 +640,21 @@ void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o) {
   reply.values = o.values;
   reply.count_only = query.count_only();
   reply.total_count = query.count_only() ? o.total_count : o.ids.size();
+  // A forced finish means termination never arrived — some site may still
+  // hold unreported results, so the answer is partial even when no loss
+  // was positively observed.
+  reply.partial = force || o.dropped_items > 0;
+  reply.dropped_items = o.dropped_items;
   if (o.client != kNoSite) {
-    (void)endpoint_->send(o.client, std::move(reply));
+    (void)send_with_retry(o.client, wire::Message(std::move(reply)));
   }
 
   // Global termination: tell every involved site to discard its context.
+  // QueryDone is idempotent (it only ever discards), so retries are safe
+  // and a site that misses it falls back to its context TTL.
   for (SiteId s : o.involved) {
     if (s == store_.site()) continue;
-    (void)endpoint_->send(s, wire::QueryDone{qid});
+    (void)send_with_retry(s, wire::QueryDone{qid});
   }
   discard_context(qid);
   originated_.erase(qid);

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <thread>
@@ -78,6 +79,22 @@ struct SiteServerOptions {
   /// event loop keeps exclusive ownership of message handling, store
   /// writes, and termination accounting either way.
   std::size_t drain_workers = 0;
+  /// Extra attempts after a failed send of a protocol message (derefs,
+  /// results, acks, replies). Retries target *detected* transient failures
+  /// — a dead connection the transport can re-establish; silent loss is
+  /// invisible to the sender and is covered by context_ttl instead.
+  /// Receivers suppress duplicates by msg_seq, so a retry that raced a
+  /// slow-but-successful delivery is harmless.
+  int send_retries = 2;
+  /// Sleep before the first retry; doubles per attempt.
+  Duration retry_backoff = Duration(200);
+  /// Self-healing: a query context (participant or origination) idle longer
+  /// than this is presumed orphaned — its QueryDone was lost, its weight
+  /// was dropped, or the client went away. Originations force-finish with a
+  /// `partial` reply; participant contexts re-flush anything pending and
+  /// are then discarded. Keeps "partial results, never a hang" true under
+  /// message loss.
+  Duration context_ttl = Duration(10'000'000);
 };
 
 class SiteServer {
@@ -119,6 +136,19 @@ class SiteServer {
     /// With batch_remote_derefs: dereferences buffered per destination
     /// during the current drain, flushed as one message each.
     std::unordered_map<SiteId, std::vector<wire::DerefEntry>> pending_batches;
+    /// Duplicate suppression: msg_seq values already processed, per sender.
+    /// A replayed message must not repay weight / add items a second time.
+    std::unordered_map<SiteId, std::unordered_set<std::uint64_t>> seen;
+    /// Results whose send to the originator failed even after retries;
+    /// stashed (with their weight back in `weight`) and re-flushed by the
+    /// TTL sweep or the next drain.
+    std::vector<ObjectId> pending_ids;
+    std::vector<wire::RetrievedValue> pending_values;
+    std::uint64_t pending_count = 0;
+    /// Work items this site knows it lost (undeliverable derefs); reported
+    /// to the originator as ResultMessage::dropped_items.
+    std::uint64_t dropped = 0;
+    std::chrono::steady_clock::time_point last_activity;
 
     // --- Dijkstra-Scholten state (termination == kDijkstraScholten) ---
     bool ds_engaged = false;      // on the engagement tree?
@@ -137,6 +167,14 @@ class SiteServer {
     std::uint64_t total_count = 0;
     std::unordered_map<SiteId, std::uint64_t> site_counts;  // count_only mode
     std::unordered_set<SiteId> involved;  // sites we heard from / sent to
+    /// Duplicate suppression for ResultMessages, per sender (see
+    /// Participation::seen).
+    std::unordered_map<SiteId, std::unordered_set<std::uint64_t>> seen;
+    /// Known losses: items this originator dropped plus every
+    /// ResultMessage::dropped_items reported by participants. Nonzero =>
+    /// the reply is flagged partial.
+    std::uint64_t dropped_items = 0;
+    std::chrono::steady_clock::time_point last_activity;
     bool replied = false;
   };
 
@@ -148,6 +186,10 @@ class SiteServer {
   void handle_result(SiteId src, wire::ResultMessage rm);
   void handle_client_request(SiteId src, wire::ClientRequest cr);
   void handle_done(const wire::QueryDone& qd);
+  /// The qid names a query *we* originated that is no longer live: a
+  /// duplicated or retried message outlived its query. Heal the sender by
+  /// (re)telling it the query is done; never recreate a context.
+  bool stale_own_query(const wire::QueryId& qid, SiteId src);
   void handle_move_command(SiteId src, const wire::MoveCommand& mc);
   void handle_move_data(wire::MoveData md);
   void handle_location_update(const wire::LocationUpdate& lu);
@@ -157,8 +199,18 @@ class SiteServer {
   /// Drain the context's working set, then flush: results+weight to the
   /// originator (participants) or merged into the origination (originator).
   void drain_and_flush(const wire::QueryId& qid);
-  void maybe_finish(const wire::QueryId& qid, Origination& o);
+  /// `force` (TTL expiry): reply now with whatever arrived, flagged partial,
+  /// instead of waiting for termination that can no longer happen.
+  void maybe_finish(const wire::QueryId& qid, Origination& o,
+                    bool force = false);
   void discard_context(const wire::QueryId& qid);
+  /// Periodic self-healing pass (run_loop): force-finish expired
+  /// originations, re-flush participants with stashed results, discard
+  /// idle-expired participant contexts.
+  void sweep_contexts();
+  /// Send with bounded retry + exponential backoff on transient failures
+  /// (kNotFound/kInvalidArgument are permanent and not retried).
+  Result<void> send_with_retry(SiteId to, const wire::Message& m);
 
   /// Route `item` to a remote site as a DerefRequest: destination is the
   /// id's presumed site, or the name registry's next hop when the hint
@@ -184,7 +236,7 @@ class SiteServer {
   void ds_on_send(Participation& p) {
     if (using_ds()) ++p.ds_deficit;
   }
-  void handle_term_ack(const wire::TermAck& ta);
+  void handle_term_ack(SiteId src, const wire::TermAck& ta);
   /// D-S: idle + zero deficit -> ack our engaging message (participants) or
   /// finish the query (originator).
   void ds_try_settle(const wire::QueryId& qid, Participation& p);
@@ -208,6 +260,11 @@ class SiteServer {
   // confinement is the discipline, and stats_mu_ below is the only state
   // crossing threads.
   QuerySeq next_query_seq_ = 1;
+  /// One outgoing sequence stream for all sequenced messages this site
+  /// sends; receivers dedup by (qid, src, msg_seq). Starts at 1 — seq 0
+  /// marks unsequenced messages, which are never suppressed.
+  std::uint64_t next_msg_seq_ = 1;
+  std::chrono::steady_clock::time_point last_sweep_;
   std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash> contexts_;
   std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash> originated_;
   /// Result sets of count_only queries: name -> sites holding portions.

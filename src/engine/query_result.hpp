@@ -20,6 +20,14 @@ struct QueryResult {
   /// members stay distributed at the sites under the result set name.
   std::uint64_t total_count = 0;
   bool count_only = false;
+  /// Degraded answer (distributed runtime only): the originating site
+  /// force-finished on its context TTL or some site reported lost work.
+  /// The ids/values present are all correct — possibly just not all of
+  /// them (paper Section 1: "partial results are better than none at
+  /// all").
+  bool partial = false;
+  /// Work items known to have been lost producing this result.
+  std::uint64_t dropped_items = 0;
   EngineStats stats;
 
   bool contains(const ObjectId& id) const {

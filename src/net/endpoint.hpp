@@ -39,6 +39,10 @@ struct NetworkStats {
   std::uint64_t done_messages = 0;
 
   void record(const wire::Message& m, std::size_t bytes);
+  /// Same classification from a Message::index() captured before the
+  /// message was consumed by encoding — lets transports count per-type
+  /// without re-decoding the frame.
+  void record_tag(std::size_t variant_index, std::size_t bytes);
   NetworkStats& operator+=(const NetworkStats& o);
 };
 

@@ -1,0 +1,150 @@
+#include "net/faulty.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hyperfile {
+
+FaultInjectingEndpoint::FaultInjectingEndpoint(
+    std::unique_ptr<MessageEndpoint> inner, FaultOptions options)
+    : inner_(std::move(inner)),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+bool FaultInjectingEndpoint::link_exempt(SiteId to) const {
+  if (to == inner_->self()) return true;
+  return std::find(options_.exempt.begin(), options_.exempt.end(), to) !=
+         options_.exempt.end();
+}
+
+std::vector<FaultInjectingEndpoint::Held>
+FaultInjectingEndpoint::advance_tick() {
+  ++ticks_;
+  std::vector<Held> due;
+  auto it = held_.begin();
+  while (it != held_.end()) {
+    if (it->release_at <= ticks_) {
+      due.push_back(std::move(*it));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+void FaultInjectingEndpoint::deliver(std::vector<Held> due) {
+  // Late delivery of a frame whose link has died is just another drop; the
+  // protocol's retry/TTL machinery owns recovery, so errors are swallowed.
+  for (auto& h : due) (void)inner_->send(h.to, std::move(h.message));
+}
+
+Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
+  std::vector<Held> due;
+  enum class Verdict { kForward, kDuplicate, kDrop, kHold, kPartitioned };
+  Verdict verdict = Verdict::kForward;
+  {
+    MutexLock lock(mu_);
+    due = advance_tick();
+    if (link_exempt(to)) {
+      ++stats_.forwarded;
+    } else if (all_partitioned_ || partitioned_.count(to) != 0) {
+      ++stats_.partitioned;
+      verdict = Verdict::kPartitioned;
+    } else if (rng_.next_bool(options_.drop_p)) {
+      ++stats_.dropped;
+      verdict = Verdict::kDrop;
+    } else if (rng_.next_bool(options_.reorder_p) ||
+               rng_.next_bool(options_.delay_p)) {
+      // Reorder holds for exactly one tick (swap with the next frame);
+      // delay holds for 2..max_hold_ticks. Held frames are released on
+      // later sends *and* recv polls, so nothing is held forever while the
+      // event loop keeps turning.
+      std::uint32_t span = options_.max_hold_ticks > 2
+                               ? static_cast<std::uint32_t>(
+                                     2 + rng_.next_below(
+                                             options_.max_hold_ticks - 1))
+                               : 2;
+      std::uint64_t hold = rng_.next_bool(options_.reorder_p /
+                                          (options_.reorder_p +
+                                           options_.delay_p + 1e-12))
+                               ? 1
+                               : span;
+      ++stats_.held;
+      held_.push_back(Held{to, std::move(message), ticks_ + hold});
+      verdict = Verdict::kHold;
+    } else {
+      ++stats_.forwarded;
+      if (rng_.next_bool(options_.dup_p)) {
+        ++stats_.duplicated;
+        verdict = Verdict::kDuplicate;
+      }
+    }
+  }
+  deliver(std::move(due));
+  switch (verdict) {
+    case Verdict::kPartitioned:
+    case Verdict::kDrop:
+    case Verdict::kHold:
+      // Silent loss/latency: the wire accepted the frame as far as the
+      // sender can tell. Detected failures stay loud — they come from the
+      // inner endpoint below.
+      return {};
+    case Verdict::kDuplicate: {
+      wire::Message copy = message;
+      auto r = inner_->send(to, std::move(message));
+      (void)inner_->send(to, std::move(copy));
+      return r;
+    }
+    case Verdict::kForward:
+      return inner_->send(to, std::move(message));
+  }
+  return {};
+}
+
+std::optional<wire::Envelope> FaultInjectingEndpoint::recv(Duration timeout) {
+  std::vector<Held> due;
+  {
+    MutexLock lock(mu_);
+    due = advance_tick();
+  }
+  deliver(std::move(due));
+  return inner_->recv(timeout);
+}
+
+void FaultInjectingEndpoint::partition(SiteId peer) {
+  MutexLock lock(mu_);
+  partitioned_.insert(peer);
+}
+
+void FaultInjectingEndpoint::heal(SiteId peer) {
+  MutexLock lock(mu_);
+  partitioned_.erase(peer);
+}
+
+void FaultInjectingEndpoint::partition_all() {
+  MutexLock lock(mu_);
+  all_partitioned_ = true;
+}
+
+void FaultInjectingEndpoint::heal_all() {
+  MutexLock lock(mu_);
+  all_partitioned_ = false;
+  partitioned_.clear();
+}
+
+void FaultInjectingEndpoint::flush_held() {
+  std::vector<Held> due;
+  {
+    MutexLock lock(mu_);
+    due.swap(held_);
+  }
+  deliver(std::move(due));
+}
+
+FaultStats FaultInjectingEndpoint::fault_stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace hyperfile

@@ -3,9 +3,13 @@
 namespace hyperfile {
 
 void NetworkStats::record(const wire::Message& m, std::size_t bytes) {
+  record_tag(m.index(), bytes);
+}
+
+void NetworkStats::record_tag(std::size_t variant_index, std::size_t bytes) {
   ++messages_sent;
   bytes_sent += bytes;
-  switch (m.index()) {
+  switch (variant_index) {
     case 0:
       ++deref_messages;
       break;

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 
 #include "common/logging.hpp"
 
@@ -145,6 +146,19 @@ void TcpNetwork::reader_loop(int fd) {
     }
     if (!inbox_.push(std::move(env).value())) break;
   }
+  // The connection is dead (EOF, mid-frame close, oversized frame, or
+  // shutdown). Purge every route cached on this fd: a stale entry would
+  // make the next send() write into a known-dead socket and fail, when
+  // reconnecting would have succeeded.
+  if (!stopping_.load()) {
+    MutexLock lock(conn_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it = it->second == fd ? conns_.erase(it) : std::next(it);
+    }
+    for (auto it = learned_.begin(); it != learned_.end();) {
+      it = it->second == fd ? learned_.erase(it) : std::next(it);
+    }
+  }
   // fd is closed in shutdown(), after the thread is joined — closing here
   // would race with shutdown() calling ::shutdown on a possibly-reused fd.
 }
@@ -184,17 +198,23 @@ Result<int> TcpNetwork::peer_socket(SiteId to) {
 }
 
 Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
+  // The variant index survives the encode (which consumes the message);
+  // both delivery paths classify stats from it.
+  const std::size_t tag = message.index();
   if (to == self_) {
     // Local delivery without a socket round-trip (still wire-encoded).
     const wire::Bytes bytes =
         wire::encode_envelope(wire::Envelope{self_, to, std::move(message)});
     auto env = wire::decode_envelope(bytes);
     if (!env.ok()) return env.error();
-    {
-      MutexLock lock(stats_mu_);
-      stats_.record(env.value().message, bytes.size());
+    if (!inbox_.push(std::move(env).value())) {
+      // After shutdown() the inbox is closed; claiming success would make
+      // the caller believe a silently-discarded message was delivered.
+      return make_error(Errc::kClosed,
+                        "endpoint " + std::to_string(self_) + " shut down");
     }
-    inbox_.push(std::move(env).value());
+    MutexLock lock(stats_mu_);
+    stats_.record_tag(tag, bytes.size());
     return {};
   }
 
@@ -232,12 +252,15 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
     return w.error();
   }
   MutexLock lock(stats_mu_);
-  // Re-decoding just for stats would be wasteful; classify from the tag.
-  NetworkStats delta;
-  ++delta.messages_sent;
-  delta.bytes_sent = frame.size();
-  stats_ += delta;
+  // Re-decoding just for stats would be wasteful; classify from the tag
+  // captured before encoding, same as the self-delivery path.
+  stats_.record_tag(tag, frame.size());
   return {};
+}
+
+bool TcpNetwork::has_route(SiteId to) const {
+  MutexLock lock(conn_mu_);
+  return conns_.count(to) != 0 || learned_.count(to) != 0;
 }
 
 std::optional<wire::Envelope> TcpNetwork::recv(Duration timeout) {

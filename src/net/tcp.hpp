@@ -66,6 +66,11 @@ class TcpNetwork final : public MessageEndpoint {
 
   NetworkStats stats() const;
 
+  /// True if a cached outbound connection or learned route to `to` exists.
+  /// Observability hook for tests: a dead fd must disappear from here once
+  /// its reader exits, so the next send reconnects instead of failing.
+  bool has_route(SiteId to) const;
+
  private:
   TcpNetwork(SiteId self, std::vector<TcpPeer> peers);
 
@@ -90,7 +95,7 @@ class TcpNetwork final : public MessageEndpoint {
 
   /// Guards the routing tables. Ordering: conn_mu_ may be held while
   /// acquiring readers_mu_ (peer_socket -> spawn_reader); never the reverse.
-  Mutex conn_mu_ HF_ACQUIRED_BEFORE(readers_mu_);
+  mutable Mutex conn_mu_ HF_ACQUIRED_BEFORE(readers_mu_);
   std::vector<TcpPeer> peers_ HF_GUARDED_BY(conn_mu_);
   std::map<SiteId, int> conns_ HF_GUARDED_BY(conn_mu_);    // outbound by peer
   std::map<SiteId, int> learned_ HF_GUARDED_BY(conn_mu_);  // inbound by sender

@@ -37,6 +37,16 @@ void Weight::add(const Weight& other) {
     }
     bits_[i] = true;
   }
+  // The carry loop only detects a chain running past the unit; a sum like
+  // 1 + 1/2 lands in an empty slot and slips through as {1, 1/2}. Any state
+  // with the unit plus a fraction exceeds 1 (distinct fractions alone sum to
+  // < 1), which the protocol invariant makes impossible — e.g. a replayed
+  // weight-carrying message credited twice.
+  if (!bits_.empty() && bits_[0]) {
+    for (std::size_t i = 1; i < bits_.size(); ++i) {
+      if (bits_[i]) throw std::logic_error("Weight::add overflow past 1");
+    }
+  }
   trim();
 }
 

@@ -117,6 +117,7 @@ Bytes encode_message(const Message& m) {
     e.varint(dr->start);
     encode_u32s(e, dr->iter_stack);
     encode_u32s(e, dr->weight);
+    e.varint(dr->msg_seq);
   } else if (const auto* sq = std::get_if<StartQuery>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kStart));
     encode_qid(e, sq->qid);
@@ -124,6 +125,7 @@ Bytes encode_message(const Message& m) {
     encode_ids(e, sq->ids);
     e.string(sq->local_set_name);
     encode_u32s(e, sq->weight);
+    e.varint(sq->msg_seq);
   } else if (const auto* rm = std::get_if<ResultMessage>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kResult));
     encode_qid(e, rm->qid);
@@ -137,6 +139,8 @@ Bytes encode_message(const Message& m) {
     e.varint(rm->local_count);
     e.u8(rm->count_only ? 1 : 0);
     encode_u32s(e, rm->weight);
+    e.varint(rm->msg_seq);
+    e.varint(rm->dropped_items);
   } else if (const auto* qd = std::get_if<QueryDone>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kDone));
     encode_qid(e, qd->qid);
@@ -147,6 +151,7 @@ Bytes encode_message(const Message& m) {
   } else if (const auto* ta = std::get_if<TermAck>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kTermAck));
     encode_qid(e, ta->qid);
+    e.varint(ta->msg_seq);
   } else if (const auto* mc = std::get_if<MoveCommand>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kMoveCommand));
     e.varint(mc->client_seq);
@@ -180,6 +185,7 @@ Bytes encode_message(const Message& m) {
       encode_u32s(e, item.iter_stack);
     }
     encode_u32s(e, bd->weight);
+    e.varint(bd->msg_seq);
   } else {
     const auto& rp = std::get<ClientReply>(m);
     e.u8(static_cast<std::uint8_t>(Tag::kClientReply));
@@ -195,6 +201,8 @@ Bytes encode_message(const Message& m) {
     }
     e.varint(rp.total_count);
     e.u8(rp.count_only ? 1 : 0);
+    e.u8(rp.partial ? 1 : 0);
+    e.varint(rp.dropped_items);
   }
   return e.take();
 }
@@ -224,6 +232,9 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto w = decode_u32s(d);
       if (!w.ok()) return w.error();
       dr.weight = std::move(w).value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      dr.msg_seq = seq.value();
       return Message(std::move(dr));
     }
     case Tag::kStart: {
@@ -243,6 +254,9 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto w = decode_u32s(d);
       if (!w.ok()) return w.error();
       sq.weight = std::move(w).value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      sq.msg_seq = seq.value();
       return Message(std::move(sq));
     }
     case Tag::kResult: {
@@ -280,6 +294,12 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto w = decode_u32s(d);
       if (!w.ok()) return w.error();
       rm.weight = std::move(w).value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      rm.msg_seq = seq.value();
+      auto dropped = d.varint();
+      if (!dropped.ok()) return dropped.error();
+      rm.dropped_items = dropped.value();
       return Message(std::move(rm));
     }
     case Tag::kDone: {
@@ -337,6 +357,12 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto co = d.u8();
       if (!co.ok()) return co.error();
       rp.count_only = co.value() != 0;
+      auto partial = d.u8();
+      if (!partial.ok()) return partial.error();
+      rp.partial = partial.value() != 0;
+      auto dropped = d.varint();
+      if (!dropped.ok()) return dropped.error();
+      rp.dropped_items = dropped.value();
       return Message(std::move(rp));
     }
     case Tag::kBatchDeref: {
@@ -368,12 +394,17 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto w = decode_u32s(d);
       if (!w.ok()) return w.error();
       bd.weight = std::move(w).value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      bd.msg_seq = seq.value();
       return Message(std::move(bd));
     }
     case Tag::kTermAck: {
       auto qid = decode_qid(d);
       if (!qid.ok()) return qid.error();
-      return Message(TermAck{qid.value()});
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      return Message(TermAck{qid.value(), seq.value()});
     }
     case Tag::kMoveCommand: {
       MoveCommand mc;

@@ -57,6 +57,11 @@ struct DerefRequest {
   std::uint32_t start = 1;
   std::vector<std::uint32_t> iter_stack;  // O.iter# (stack, innermost last)
   WeightBits weight;
+  /// Sender-unique sequence number for duplicate suppression (0 = legacy /
+  /// unsequenced: never suppressed). A retried or wire-duplicated message
+  /// must be processed at most once — its weight in particular, since a
+  /// second repay pushes held weight past one (term/weight.hpp).
+  std::uint64_t msg_seq = 0;
 };
 
 /// One (object, entry point) pair inside a batched dereference.
@@ -77,6 +82,7 @@ struct BatchDerefRequest {
   Query query;
   std::vector<DerefEntry> items;
   WeightBits weight;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
 };
 
 struct StartQuery {
@@ -88,6 +94,7 @@ struct StartQuery {
   /// portion of this named set (distributed-set continuation queries).
   std::string local_set_name;
   WeightBits weight;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
 };
 
 struct RetrievedValue {
@@ -106,6 +113,10 @@ struct ResultMessage {
   std::uint64_t local_count = 0;
   bool count_only = false;
   WeightBits weight;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+  /// Work the sending site knows it lost (derefs it could not deliver after
+  /// retries); folded into ClientReply::dropped_items at the originator.
+  std::uint64_t dropped_items = 0;
 };
 
 struct QueryDone {
@@ -129,6 +140,13 @@ struct ClientReply {
   std::vector<RetrievedValue> values;
   std::uint64_t total_count = 0;
   bool count_only = false;
+  /// Degraded-answer markers (paper Section 1: "partial results are better
+  /// than none at all" — but they must be *visibly* partial). `partial` is
+  /// set when the originator force-finished the query (context TTL expiry)
+  /// or any site reported lost work; `dropped_items` counts the known
+  /// losses.
+  bool partial = false;
+  std::uint64_t dropped_items = 0;
 };
 
 /// Live object migration (paper Section 4: the R*-style name makes moving
@@ -174,6 +192,7 @@ struct MoveReply {
 /// last, once idle with no outstanding acks of its own.
 struct TermAck {
   QueryId qid;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
 };
 
 using Message = std::variant<DerefRequest, StartQuery, ResultMessage, QueryDone,

@@ -1,0 +1,315 @@
+// Chaos suite: the paper's cross-site closure workload under injected
+// message faults (net/faulty.hpp), across both termination detectors and
+// both transports. The contract under faults (DESIGN.md §11):
+//   * with a lossless schedule (none / duplicate / reorder+delay) the
+//     answer is exact and unflagged — duplicate suppression and the
+//     held-frame release make those faults invisible;
+//   * with a lossy schedule (drops, partitions) the answer is a subset of
+//     the true result, free of duplicates, and any shortfall is flagged
+//     `partial` — never wrong, and never a hang (the client's timeout is
+//     the assertion);
+//   * every site's query contexts drain to zero afterwards (QueryDone or,
+//     when that was lost, the context TTL).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "dist/client.hpp"
+#include "dist/cluster.hpp"
+#include "dist/site_server.hpp"
+#include "engine/local_engine.hpp"
+#include "net/faulty.hpp"
+#include "net/tcp.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using testing::parse_or_die;
+using testing::sorted;
+
+const char* kClosure =
+    R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) -> T)";
+
+struct FaultCase {
+  const char* name;
+  FaultOptions faults;
+  bool lossless;  // schedule cannot lose frames -> exact results required
+};
+
+std::vector<FaultCase> fault_cases() {
+  std::vector<FaultCase> cases;
+  cases.push_back({"none", FaultOptions{}, true});
+  FaultOptions drop5;
+  drop5.drop_p = 0.05;
+  drop5.seed = 11;
+  cases.push_back({"drop5", drop5, false});
+  FaultOptions drop20;
+  drop20.drop_p = 0.20;
+  drop20.seed = 12;
+  cases.push_back({"drop20", drop20, false});
+  FaultOptions dup;
+  dup.dup_p = 0.35;
+  dup.seed = 13;
+  cases.push_back({"dup", dup, true});
+  FaultOptions reorder;
+  reorder.reorder_p = 0.4;
+  reorder.delay_p = 0.25;
+  reorder.seed = 14;
+  cases.push_back({"reorder", reorder, true});
+  return cases;
+}
+
+/// Chain of `n` objects round-robin over the sites, "hit" on every third —
+/// every hop is a cross-site message, so each frame is exposed to faults.
+std::vector<ObjectId> populate_chain(Cluster& cluster, std::size_t n) {
+  const std::size_t sites = cluster.size();
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(cluster.store(i % sites).allocate());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Object obj(ids[i]);
+    obj.add(Tuple::pointer("Reference", i + 1 < n ? ids[i + 1] : ids[i]));
+    if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+    cluster.store(i % sites).put(std::move(obj));
+  }
+  cluster.store(0).create_set("S", std::span<const ObjectId>(ids.data(), 1));
+  return ids;
+}
+
+SiteServerOptions chaos_options(TerminationAlgorithm algo) {
+  SiteServerOptions options;
+  options.termination = algo;
+  // Fast self-healing so lossy schedules resolve within test budgets.
+  options.context_ttl = Duration(400'000);
+  options.retry_backoff = Duration(100);
+  return options;
+}
+
+/// In-process cluster whose server endpoints are wrapped in fault
+/// injectors (client links exempt, so the request/reply channel is
+/// reliable and the assertions observe the query protocol alone).
+struct ChaosCluster {
+  std::unique_ptr<Cluster> cluster;
+  std::vector<FaultInjectingEndpoint*> injectors;  // owned by the servers
+
+  ChaosCluster(TerminationAlgorithm algo, const FaultOptions& faults,
+               std::size_t sites = 3) {
+    injectors.resize(sites, nullptr);
+    cluster = std::make_unique<Cluster>(
+        sites, chaos_options(algo), /*clients=*/1,
+        [this, faults, sites](SiteId site,
+                              std::unique_ptr<MessageEndpoint> inner)
+            -> std::unique_ptr<MessageEndpoint> {
+          FaultOptions o = faults;
+          o.seed = faults.seed * 1000 + site + 1;  // distinct per-site streams
+          o.exempt.push_back(static_cast<SiteId>(sites));
+          auto ep =
+              std::make_unique<FaultInjectingEndpoint>(std::move(inner), o);
+          injectors[site] = ep.get();
+          return ep;
+        });
+  }
+};
+
+/// Poll until every site's context table empties (QueryDone or TTL).
+void expect_contexts_drain(Cluster& cluster) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    std::size_t live = 0;
+    for (SiteId s = 0; s < cluster.size(); ++s) {
+      live += cluster.server(s).context_count();
+    }
+    if (live == 0) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << live << " contexts never drained";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// Invariants every chaos answer must satisfy; returns the sorted ids.
+std::vector<ObjectId> check_result(const QueryResult& result,
+                                   const std::vector<ObjectId>& want_sorted,
+                                   bool lossless) {
+  std::vector<ObjectId> got = sorted(result.ids);
+  EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+      << "duplicate ids in the answer";
+  EXPECT_TRUE(std::includes(want_sorted.begin(), want_sorted.end(),
+                            got.begin(), got.end()))
+      << "answer contains ids outside the true result";
+  if (lossless) {
+    EXPECT_EQ(got, want_sorted) << "lossless schedule must be exact";
+  }
+  if (got != want_sorted) {
+    EXPECT_TRUE(result.partial)
+        << "shortfall without the partial flag: silently wrong answer";
+  }
+  return got;
+}
+
+class ChaosAlgos : public ::testing::TestWithParam<TerminationAlgorithm> {};
+
+TEST_P(ChaosAlgos, InProcWorkloadSurvivesFaultSchedules) {
+  for (const FaultCase& fc : fault_cases()) {
+    SCOPED_TRACE(fc.name);
+    ChaosCluster chaos(GetParam(), fc.faults);
+    Cluster& cluster = *chaos.cluster;
+    populate_chain(cluster, 30);
+    Query q = parse_or_die(kClosure);
+
+    // True answer, computed on a merged single-site replica.
+    SiteStore merged(0);
+    for (SiteId s = 0; s < cluster.size(); ++s) {
+      cluster.store(s).for_each([&](const Object& obj) { merged.put(obj); });
+      for (const auto& name : cluster.store(s).set_names()) {
+        merged.bind_set(name, *cluster.store(s).find_set(name));
+      }
+    }
+    LocalEngine engine(merged);
+    auto truth = engine.run_readonly(q);
+    ASSERT_TRUE(truth.ok());
+    const std::vector<ObjectId> want = sorted(truth.value().ids);
+
+    cluster.start();
+    for (int round = 0; round < 3; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      auto r = cluster.client().run(q, Duration(30'000'000));
+      ASSERT_TRUE(r.ok()) << r.error().to_string();  // "never a hang"
+      check_result(r.value(), want, fc.lossless);
+      if (std::string(fc.name) == "none") {
+        EXPECT_FALSE(r.value().partial);
+        EXPECT_EQ(r.value().dropped_items, 0u);
+      }
+    }
+    expect_contexts_drain(cluster);
+    cluster.stop();
+  }
+}
+
+TEST_P(ChaosAlgos, PartitionedSiteHealsIntoExactAnswers) {
+  ChaosCluster chaos(GetParam(), FaultOptions{});
+  Cluster& cluster = *chaos.cluster;
+  auto ids = populate_chain(cluster, 12);
+  Query q = parse_or_die(kClosure);
+  const std::vector<ObjectId> want = sorted({ids[0], ids[3], ids[6], ids[9]});
+  cluster.start();
+
+  // Isolate site 1: its outgoing links die, and its peers' links to it die.
+  chaos.injectors[0]->partition(1);
+  chaos.injectors[2]->partition(1);
+  chaos.injectors[1]->partition_all();
+
+  auto r1 = cluster.client().run(q, Duration(30'000'000));
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), want, /*lossless=*/false);
+  // The chain dies at the first pointer into site 1, so the answer is a
+  // strict subset — and must say so.
+  EXPECT_LT(got1.size(), want.size());
+  EXPECT_TRUE(r1.value().partial);
+
+  // Heal and ask again: the same deployment recovers full answers.
+  chaos.injectors[0]->heal(1);
+  chaos.injectors[2]->heal(1);
+  chaos.injectors[1]->heal_all();
+
+  auto r2 = cluster.client().run(q, Duration(30'000'000));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(sorted(r2.value().ids), want);
+  expect_contexts_drain(cluster);
+  cluster.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ChaosAlgos,
+                         ::testing::Values(
+                             TerminationAlgorithm::kWeightedMessages,
+                             TerminationAlgorithm::kDijkstraScholten));
+
+// --- TCP transport ------------------------------------------------------
+
+struct TcpChaosDeployment {
+  std::vector<std::unique_ptr<SiteServer>> servers;
+  std::unique_ptr<Client> client;
+  std::vector<ObjectId> want;  // sorted true answer
+  bool ok = false;
+
+  TcpChaosDeployment(TerminationAlgorithm algo, const FaultOptions& faults,
+                     SiteId sites = 3) {
+    std::vector<TcpPeer> zeros(sites + 1, TcpPeer{"127.0.0.1", 0});
+    std::vector<std::unique_ptr<TcpNetwork>> nets;
+    for (SiteId s = 0; s <= sites; ++s) {
+      auto net = TcpNetwork::create(s, zeros);
+      if (!net.ok()) return;  // no sockets in this environment
+      nets.push_back(std::move(net).value());
+    }
+    for (auto& net : nets) {
+      for (SiteId peer = 0; peer <= sites; ++peer) {
+        net->update_peer(peer, {"127.0.0.1", nets[peer]->bound_port()});
+      }
+    }
+
+    std::vector<SiteStore> stores;
+    for (SiteId s = 0; s < sites; ++s) stores.emplace_back(s);
+    std::vector<ObjectId> ids;
+    for (std::size_t i = 0; i < 12; ++i) {
+      ids.push_back(stores[i % sites].allocate());
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Object obj(ids[i]);
+      obj.add(
+          Tuple::pointer("Reference", i + 1 < ids.size() ? ids[i + 1] : ids[i]));
+      if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+      stores[i % sites].put(std::move(obj));
+    }
+    stores[0].create_set("S", std::span<const ObjectId>(ids.data(), 1));
+    want = sorted({ids[0], ids[3], ids[6], ids[9]});
+
+    for (SiteId s = 0; s < sites; ++s) {
+      FaultOptions o = faults;
+      o.seed = faults.seed * 977 + s + 1;
+      o.exempt.push_back(sites);  // the client link stays reliable
+      auto ep = std::make_unique<FaultInjectingEndpoint>(std::move(nets[s]), o);
+      servers.push_back(std::make_unique<SiteServer>(
+          std::move(ep), std::move(stores[s]), chaos_options(algo)));
+      servers.back()->start();
+    }
+    client = std::make_unique<Client>(std::move(nets[sites]), 0);
+    ok = true;
+  }
+
+  ~TcpChaosDeployment() {
+    for (auto& s : servers) s->stop();
+  }
+};
+
+TEST_P(ChaosAlgos, TcpWorkloadSurvivesFaultSchedules) {
+  for (const FaultCase& fc : fault_cases()) {
+    SCOPED_TRACE(fc.name);
+    TcpChaosDeployment d(GetParam(), fc.faults);
+    if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+    Query q = parse_or_die(kClosure);
+    for (int round = 0; round < 2; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      auto r = d.client->run(q, Duration(30'000'000));
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      check_result(r.value(), d.want, fc.lossless);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (;;) {
+      std::size_t live = 0;
+      for (auto& s : d.servers) live += s->context_count();
+      if (live == 0) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << live << " contexts never drained";
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperfile

@@ -9,8 +9,11 @@
 #include <thread>
 
 #include "dist/cluster.hpp"
+#include "dist/site_server.hpp"
 #include "engine/local_engine.hpp"
+#include "net/inproc.hpp"
 #include "test_helpers.hpp"
+#include "wire/message.hpp"
 
 namespace hyperfile {
 namespace {
@@ -457,6 +460,115 @@ TEST(Cluster, SnapshotOpsRequireStoppedCluster) {
   EXPECT_FALSE(cluster.save_snapshots(::testing::TempDir()).ok());
   EXPECT_FALSE(cluster.load_snapshots(::testing::TempDir()).ok());
   cluster.stop();
+}
+
+// --- Protocol-driver regressions: a raw endpoint plays client and remote
+// participant against a single SiteServer, so malformed/duplicated traffic
+// can be injected byte-for-byte. ---------------------------------------
+
+TEST(SiteServerProtocol, DuplicateResultMessagesCountedOnce) {
+  // Regression: a wire-duplicated ResultMessage must be suppressed by
+  // (src, msg_seq), not merged twice. Without suppression the duplicate
+  // double-counts local_count (count_only hides the ids_seen dedup that
+  // masks the bug for id results).
+  InProcNetwork net(2);
+  SiteStore store(0);
+  const ObjectId local = store.allocate();
+  const ObjectId remote(1, 1);  // presumed at site 1 — the driver below
+  Object obj(local);
+  obj.add(Tuple::pointer("Reference", remote));
+  obj.add(Tuple::keyword("hit"));
+  store.put(std::move(obj));
+  store.create_set("S", std::span<const ObjectId>(&local, 1));
+
+  SiteServer server(net.endpoint(0), std::move(store));
+  server.start();
+  auto driver = net.endpoint(1);
+
+  wire::ClientRequest cr;
+  cr.client_seq = 1;
+  cr.query = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "hit", ?) count -> D)");
+  ASSERT_TRUE(driver->send(0, cr).ok());
+
+  // The server counts its local hit and chases the remote pointer to us.
+  auto env = driver->recv(Duration(5'000'000));
+  ASSERT_TRUE(env.has_value());
+  auto* dr = std::get_if<wire::DerefRequest>(&env->message);
+  ASSERT_NE(dr, nullptr);
+
+  // Our site's count, delivered twice (the network duplicated the frame).
+  wire::ResultMessage rm;
+  rm.qid = dr->qid;
+  rm.count_only = true;
+  rm.local_count = 5;
+  rm.msg_seq = 7;
+  ASSERT_TRUE(driver->send(0, wire::Message(rm)).ok());
+  ASSERT_TRUE(driver->send(0, wire::Message(rm)).ok());
+
+  // A later drain returns the borrowed weight: the query can now terminate.
+  wire::ResultMessage fin;
+  fin.qid = dr->qid;
+  fin.count_only = true;
+  fin.weight = dr->weight;
+  fin.msg_seq = 8;
+  ASSERT_TRUE(driver->send(0, wire::Message(fin)).ok());
+
+  bool got_reply = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto e = driver->recv(Duration(500'000));
+    if (!e.has_value()) continue;
+    if (auto* reply = std::get_if<wire::ClientReply>(&e->message)) {
+      EXPECT_TRUE(reply->ok) << reply->error;
+      EXPECT_EQ(reply->total_count, 6u);  // 1 local + 5 ours, NOT 11
+      EXPECT_FALSE(reply->partial);
+      EXPECT_EQ(reply->dropped_items, 0u);
+      got_reply = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(got_reply) << "no ClientReply within deadline";
+  server.stop();
+}
+
+TEST(SiteServerProtocol, StrandedParticipantContextExpiresViaTtl) {
+  // Regression: a participant context whose QueryDone is lost must not live
+  // forever — the TTL sweep discards it ("self-healing", DESIGN.md §11).
+  InProcNetwork net(2);
+  SiteStore store(0);
+  const ObjectId id = store.allocate();
+  store.put(Object(id, {Tuple::keyword("hit")}));
+
+  SiteServerOptions options;
+  options.context_ttl = Duration(200'000);  // 200ms: fast expiry for the test
+  SiteServer server(net.endpoint(0), std::move(store), options);
+  server.start();
+  auto driver = net.endpoint(1);
+
+  // A deref from a pretend originator at site 1 installs a context.
+  wire::DerefRequest dr;
+  dr.qid = {1, 1};
+  dr.query = parse_or_die(R"(S (keyword, "hit", ?) -> T)");
+  dr.oid = id;
+  dr.weight = {1};  // half the originator's weight
+  dr.msg_seq = 1;
+  ASSERT_TRUE(driver->send(0, dr).ok());
+
+  // The drain answers with results + weight...
+  auto env = driver->recv(Duration(5'000'000));
+  ASSERT_TRUE(env.has_value());
+  ASSERT_NE(std::get_if<wire::ResultMessage>(&env->message), nullptr);
+  EXPECT_EQ(server.context_count(), 1u);
+
+  // ...but we never send QueryDone. The sweep must reap the context anyway.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.context_count() != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stranded context never expired";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.stop();
 }
 
 TEST(Cluster, EngineStatsAggregateAcrossSites) {

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "net/channel.hpp"
+#include "net/faulty.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "query/parser.hpp"
@@ -188,6 +190,188 @@ TEST(TcpNetwork, SendToDownPeerFails) {
   auto r = a.value()->send(1, sample_message());
   EXPECT_FALSE(r.ok());
   a.value()->shutdown();
+}
+
+TEST(TcpNetwork, SelfSendAfterShutdownFails) {
+  // Regression: the self-delivery path ignored the inbox push result, so a
+  // send after shutdown() claimed success for a silently-discarded message.
+  std::vector<TcpPeer> peers = {{"127.0.0.1", 0}};
+  auto a = TcpNetwork::create(0, peers);
+  if (!a.ok()) GTEST_SKIP() << "no localhost sockets";
+  a.value()->shutdown();
+  auto r = a.value()->send(0, sample_message());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kClosed);
+}
+
+TEST(TcpNetwork, DeadPeerRoutePurgedAndFirstResendDelivered) {
+  // Regression: when a peer dies, its cached connection must vanish from the
+  // routing tables as soon as the reader thread sees EOF. A stale entry made
+  // the FIRST send after the peer restarted fail (writing into a dead fd)
+  // when reconnecting would have succeeded.
+  std::vector<TcpPeer> boot = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  auto b1 = TcpNetwork::create(1, boot);
+  if (!b1.ok()) GTEST_SKIP() << "no localhost sockets";
+  const std::uint16_t port = b1.value()->bound_port();
+  // `a` knows site 1 by a fixed address, so it can reconnect unaided.
+  std::vector<TcpPeer> peers = {{"127.0.0.1", 0}, {"127.0.0.1", port}};
+  auto a = TcpNetwork::create(0, peers);
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+
+  ASSERT_TRUE(a.value()->send(1, sample_message()).ok());
+  ASSERT_TRUE(b1.value()->recv(kLong).has_value());
+  EXPECT_TRUE(a.value()->has_route(1));
+
+  b1.value()->shutdown();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.value()->has_route(1)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "dead route never purged";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // The peer comes back on the same port; kernel TIME_WAIT can delay the
+  // rebind briefly.
+  Result<std::unique_ptr<TcpNetwork>> b2 = make_error(Errc::kIo, "unbound");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    b2 = TcpNetwork::create(1, peers);
+    if (b2.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!b2.ok()) GTEST_SKIP() << "could not rebind port " << port;
+
+  ASSERT_TRUE(a.value()->send(1, sample_message()).ok())
+      << "first send after peer restart must reconnect, not hit the dead fd";
+  EXPECT_TRUE(b2.value()->recv(kLong).has_value());
+  a.value()->shutdown();
+  b2.value()->shutdown();
+}
+
+// --- FaultInjectingEndpoint -------------------------------------------
+
+TEST(FaultInjection, DropSwallowsFramesSilently) {
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.drop_p = 1.0;
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ep.send(1, sample_message()).ok());  // loss is silent
+  }
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_EQ(ep.fault_stats().dropped, 5u);
+  EXPECT_EQ(ep.fault_stats().forwarded, 0u);
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(FaultInjection, DuplicateDeliversTwice) {
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.dup_p = 1.0;
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  ASSERT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(b->recv(kLong).has_value());
+  EXPECT_TRUE(b->recv(kLong).has_value());  // the extra copy
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_EQ(ep.fault_stats().duplicated, 1u);
+}
+
+TEST(FaultInjection, PartitionSwallowsUntilHealed) {
+  InProcNetwork net(2);
+  FaultInjectingEndpoint ep(net.endpoint(0), FaultOptions{});
+  auto b = net.endpoint(1);
+  ep.partition(1);
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_EQ(ep.fault_stats().partitioned, 1u);
+  ep.heal(1);
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(b->recv(kLong).has_value());
+}
+
+TEST(FaultInjection, PartitionAllRespectsExemptLinks) {
+  InProcNetwork net(3);
+  FaultOptions opts;
+  opts.exempt = {2};
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  auto c = net.endpoint(2);
+  ep.partition_all();
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(ep.send(2, sample_message()).ok());
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_TRUE(c->recv(kLong).has_value());  // exempt link stays up
+  ep.heal_all();
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(b->recv(kLong).has_value());
+}
+
+TEST(FaultInjection, ExemptAndSelfLinksUndisturbed) {
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.drop_p = 1.0;
+  opts.exempt = {1};
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  ASSERT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(b->recv(kLong).has_value());
+  // Self-sends are always exempt: the fault model is links, not local
+  // delivery.
+  ASSERT_TRUE(ep.send(0, sample_message()).ok());
+  EXPECT_TRUE(ep.recv(kLong).has_value());
+  EXPECT_EQ(ep.fault_stats().dropped, 0u);
+}
+
+TEST(FaultInjection, HeldFramesReleasedByFlush) {
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.delay_p = 1.0;
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  ASSERT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_EQ(ep.fault_stats().held, 1u);
+  EXPECT_FALSE(b->recv(kShort).has_value());  // still held
+  ep.flush_held();
+  EXPECT_TRUE(b->recv(kLong).has_value());
+}
+
+TEST(FaultInjection, HeldFramesReleasedByRecvTicks) {
+  // Delay/reorder never lose messages: endpoint activity (here recv calls,
+  // as a polling event loop makes) ticks the clock and releases held frames.
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.delay_p = 1.0;
+  opts.max_hold_ticks = 3;
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  ASSERT_TRUE(ep.send(1, sample_message()).ok());
+  bool delivered = false;
+  for (int tick = 0; tick < 10 && !delivered; ++tick) {
+    (void)ep.recv(Duration(1'000));
+    delivered = b->recv(kShort).has_value();
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    InProcNetwork net(2);
+    FaultOptions opts;
+    opts.drop_p = 0.5;
+    opts.seed = seed;
+    FaultInjectingEndpoint ep(net.endpoint(0), opts);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(ep.send(1, sample_message()).ok());
+    }
+    return ep.fault_stats();
+  };
+  const FaultStats x = run(42);
+  const FaultStats y = run(42);
+  EXPECT_EQ(x.dropped, y.dropped);
+  EXPECT_EQ(x.forwarded, y.forwarded);
+  EXPECT_GT(x.dropped, 0u);
+  EXPECT_GT(x.forwarded, 0u);
 }
 
 }  // namespace

@@ -224,6 +224,96 @@ TEST(WeightedProtocol, RandomizedNeverFalseNeverMissed) {
   }
 }
 
+TEST(WeightedProtocol, ReplayedRepayViolatesConservation) {
+  WeightedTerminationOriginator origin;
+  Weight w = origin.borrow();
+  const auto bits = w.exponents();
+  origin.repay(Weight::from_exponents(bits));
+  EXPECT_TRUE(origin.all_weight_home());
+  // The same weight bits arriving again (a wire-duplicated ResultMessage)
+  // must be suppressed *before* the repay: crediting them is not merely
+  // wrong, it is detectably impossible — the exact dyadic representation
+  // overflows past one. This is why SiteServer dedups by msg_seq first.
+  EXPECT_THROW(origin.repay(Weight::from_exponents(bits)), std::logic_error);
+}
+
+// Conservation ledger under loss and replay: at every step of a randomized
+// computation, originator weight + participant weight + in-flight weight +
+// weight lost to the network sums to exactly one; and while anything is
+// lost, the originator must never see all weight home (a partial answer can
+// only come from the TTL path, never from false termination).
+TEST(WeightedProtocol, ConservationHoldsUnderLossAndReplay) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed);
+    constexpr int kParts = 4;
+    WeightedTerminationOriginator origin;
+    std::vector<WeightedTerminationParticipant> parts(kParts);
+    std::deque<std::pair<int, Weight>> in_flight;  // (dest, carried weight)
+    Weight lost;
+
+    auto check = [&] {
+      Weight total;
+      total.add(origin.held());
+      for (const auto& p : parts) total.add(p.held());
+      for (const auto& f : in_flight) total.add(f.second);
+      total.add(lost);
+      ASSERT_TRUE(total.is_one()) << "seed " << seed;
+      if (!lost.is_zero()) {
+        EXPECT_FALSE(origin.all_weight_home()) << "seed " << seed;
+      }
+    };
+
+    const int burst = 2 + static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < burst; ++i) {
+      in_flight.emplace_back(static_cast<int>(rng.next_below(kParts)),
+                             origin.borrow());
+    }
+    check();
+
+    int budget = 150;
+    while (!in_flight.empty()) {
+      const std::size_t pick = rng.next_below(in_flight.size());
+      auto [to, w] = std::move(in_flight[pick]);
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+
+      if (rng.next_bool(0.15)) {
+        // The network ate the frame; its weight is gone for good.
+        lost.add(w.take_all());
+      } else {
+        parts[to].receive(w.take_all());
+        if (rng.next_bool(0.25)) {
+          // Replayed delivery: the receiver's msg_seq dedup discards the
+          // copy, so the duplicate credits nothing — the ledger is
+          // untouched (crediting it would push the total past one).
+        }
+        const int fanout =
+            budget > 0 ? static_cast<int>(rng.next_below(3)) : 0;
+        for (int i = 0; i < fanout && budget > 0; --budget, ++i) {
+          in_flight.emplace_back(static_cast<int>(rng.next_below(kParts)),
+                                 parts[to].borrow());
+        }
+        if (parts[to].holding() && rng.next_bool(0.8)) {
+          // Drain: the result message carries all held weight home — and it
+          // too can be lost in flight.
+          Weight back = parts[to].release_all();
+          if (rng.next_bool(0.1)) {
+            lost.add(back.take_all());
+          } else {
+            origin.repay(back.take_all());
+          }
+        }
+      }
+      check();
+    }
+    for (auto& p : parts) {
+      if (p.holding()) origin.repay(p.release_all());
+    }
+    check();
+    // Settled: weight is home iff the network lost nothing.
+    EXPECT_EQ(origin.all_weight_home(), lost.is_zero()) << "seed " << seed;
+  }
+}
+
 TEST(DijkstraScholten, BasicTree) {
   DijkstraScholtenNode root(0, true);
   DijkstraScholtenNode child(1);

@@ -140,6 +140,7 @@ TEST(Messages, DerefRequestRoundTrip) {
   dr.start = 3;
   dr.iter_stack = {1, 4, 2};
   dr.weight = {0, 5, 9};
+  dr.msg_seq = 0xDEADBEEFull;
   auto got = decode_message(encode_message(dr));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<DerefRequest>(got.value());
@@ -149,6 +150,7 @@ TEST(Messages, DerefRequestRoundTrip) {
   EXPECT_EQ(back.start, dr.start);
   EXPECT_EQ(back.iter_stack, dr.iter_stack);
   EXPECT_EQ(back.weight, dr.weight);
+  EXPECT_EQ(back.msg_seq, dr.msg_seq);
 }
 
 TEST(Messages, StartQueryRoundTrip) {
@@ -158,11 +160,13 @@ TEST(Messages, StartQueryRoundTrip) {
   sq.ids = {ObjectId(0, 1), ObjectId(2, 3)};
   sq.local_set_name = "T";
   sq.weight = {2};
+  sq.msg_seq = 41;
   auto got = decode_message(encode_message(sq));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<StartQuery>(got.value());
   EXPECT_EQ(back.ids, sq.ids);
   EXPECT_EQ(back.local_set_name, "T");
+  EXPECT_EQ(back.msg_seq, 41u);
 }
 
 TEST(Messages, ResultMessageRoundTrip) {
@@ -174,6 +178,8 @@ TEST(Messages, ResultMessageRoundTrip) {
   rm.local_count = 12;
   rm.count_only = true;
   rm.weight = {1, 3};
+  rm.msg_seq = 99;
+  rm.dropped_items = 4;
   auto got = decode_message(encode_message(rm));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<ResultMessage>(got.value());
@@ -182,6 +188,8 @@ TEST(Messages, ResultMessageRoundTrip) {
   EXPECT_EQ(back.local_count, 12u);
   EXPECT_TRUE(back.count_only);
   EXPECT_EQ(back.weight, rm.weight);
+  EXPECT_EQ(back.msg_seq, 99u);
+  EXPECT_EQ(back.dropped_items, 4u);
 }
 
 TEST(Messages, BatchDerefRoundTrip) {
@@ -190,13 +198,24 @@ TEST(Messages, BatchDerefRoundTrip) {
   bd.query = parse_query(R"(S (?, ?, ?) -> T)").value();
   bd.items = {{ObjectId(0, 1), 3, {1, 2}}, {ObjectId(1, 7, 2), 1, {4}}};
   bd.weight = {3, 5};
+  bd.msg_seq = 17;
   auto got = decode_message(encode_message(bd));
   ASSERT_TRUE(got.ok()) << got.error().to_string();
   const auto& back = std::get<BatchDerefRequest>(got.value());
   EXPECT_EQ(back.qid, bd.qid);
   EXPECT_EQ(back.items, bd.items);
   EXPECT_EQ(back.weight, bd.weight);
+  EXPECT_EQ(back.msg_seq, 17u);
   EXPECT_TRUE(back.items[1].oid.identical(bd.items[1].oid));
+}
+
+TEST(Messages, TermAckRoundTrip) {
+  TermAck ta{{3, 8}, 512};
+  auto got = decode_message(encode_message(ta));
+  ASSERT_TRUE(got.ok());
+  const auto& back = std::get<TermAck>(got.value());
+  EXPECT_EQ(back.qid, (QueryId{3, 8}));
+  EXPECT_EQ(back.msg_seq, 512u);
 }
 
 TEST(Messages, ClientMessagesRoundTrip) {
@@ -212,12 +231,16 @@ TEST(Messages, ClientMessagesRoundTrip) {
   rp.ok = false;
   rp.error = "not_found: no set named 'S'";
   rp.total_count = 3;
+  rp.partial = true;
+  rp.dropped_items = 2;
   auto got2 = decode_message(encode_message(rp));
   ASSERT_TRUE(got2.ok());
   const auto& back = std::get<ClientReply>(got2.value());
   EXPECT_FALSE(back.ok);
   EXPECT_EQ(back.error, rp.error);
   EXPECT_EQ(back.total_count, 3u);
+  EXPECT_TRUE(back.partial);
+  EXPECT_EQ(back.dropped_items, 2u);
 }
 
 TEST(Messages, QueryDoneAndEnvelopeRoundTrip) {
