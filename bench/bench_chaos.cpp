@@ -107,11 +107,14 @@ ChaosOutcome run_drop_rate(double drop_p, const Query& q, int runs) {
   for (auto* inj : injectors) {
     if (inj == nullptr) continue;
     const FaultStats s = inj->fault_stats();
+    out.faults.attempts += s.attempts;
     out.faults.forwarded += s.forwarded;
     out.faults.dropped += s.dropped;
     out.faults.duplicated += s.duplicated;
     out.faults.held += s.held;
+    out.faults.released += s.released;
     out.faults.partitioned += s.partitioned;
+    out.faults.delivered += s.delivered;
   }
   return out;
 }
@@ -157,8 +160,10 @@ int main(int argc, char** argv) {
         {"partial_flagged", static_cast<double>(out.partial_flagged)},
         {"failures", static_cast<double>(out.failures)},
         {"mean_ids", static_cast<double>(out.mean_ids)},
+        {"frames_attempted", static_cast<double>(out.faults.attempts)},
         {"frames_forwarded", static_cast<double>(out.faults.forwarded)},
         {"frames_dropped", static_cast<double>(out.faults.dropped)},
+        {"frames_delivered", static_cast<double>(out.faults.delivered)},
     };
     json.add(std::move(rec));
     // A failure here means a hang or an error reply — the one thing the

@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "sim/simulation.hpp"
 #include "workload/paper_workload.hpp"
@@ -56,6 +59,9 @@ inline SeriesStats run_series(PaperSim& ps, const std::string& pointer_key,
                               std::uint64_t seed = 42) {
   Rng rng(seed);
   SeriesStats out;
+  // Degenerate series: report zeroed stats instead of leaving the 1e300
+  // min sentinel (and a 0/0 mean) to leak into BENCH JSON.
+  if (runs <= 0) return out;
   out.min_sec = 1e300;
   for (int i = 0; i < runs; ++i) {
     const std::int64_t key = rng.next_range(1, key_space);
@@ -108,6 +114,7 @@ template <typename Fn>
 WallStats time_wall(Fn&& fn, int runs, int warmup = 1) {
   for (int i = 0; i < warmup; ++i) fn();
   WallStats out;
+  if (runs <= 0) return out;  // see run_series: no 1e300 sentinel, no 0/0
   out.runs = runs;
   out.min_ms = 1e300;
   for (int i = 0; i < runs; ++i) {
@@ -182,6 +189,10 @@ class JsonSink {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
+    // max_digits10: the default 6 significant digits quantized every
+    // mean/min/max, so small commit-to-commit perf shifts rounded away.
+    // At this precision a parse of the JSON recovers the exact double.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
     out << "{\n  \"bench\": \"" << json_escape(bench_) << "\",\n"
         << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
@@ -200,7 +211,11 @@ class JsonSink {
       }
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n";
+    // Snapshot of the process-wide metrics registry: drain latencies, fault
+    // injections, retries — the observability counters behind the numbers
+    // above ride along in every bench artifact.
+    out << "  \"metrics\": " << metrics().to_json() << "\n}\n";
     if (!out.good()) {
       std::fprintf(stderr, "write to %s failed\n", path_.c_str());
       return false;

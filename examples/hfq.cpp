@@ -1,6 +1,6 @@
 // hfq — query a hyperfiled deployment from the command line.
 //
-//   usage: hfq CONFIG [--at SITE] QUERY
+//   usage: hfq CONFIG [--at SITE] [--trace[=FILE]] QUERY
 //
 //   $ hfq cluster.conf 'Root [ (pointer, "Tree", ?X) | ^^X ]* (skey, "Rand10p", 5) -> T'
 //
@@ -47,10 +47,17 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string query_text;
   SiteId at = 0;
+  bool want_trace = false;
+  std::string trace_json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--at" && i + 1 < argc) {
       at = static_cast<SiteId>(std::stoul(argv[++i]));
+    } else if (arg == "--trace") {
+      want_trace = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      want_trace = true;
+      trace_json_path = arg.substr(8);
     } else if (config_path.empty()) {
       config_path = arg;
     } else {
@@ -60,7 +67,9 @@ int main(int argc, char** argv) {
   }
   if (config_path.empty() || query_text.empty()) {
     std::printf("hfq — HyperFile query client\n"
-                "  hfq CONFIG [--at SITE] QUERY\n"
+                "  hfq CONFIG [--at SITE] [--trace[=FILE]] QUERY\n"
+                "  --trace        print the per-site query trace\n"
+                "  --trace=FILE   also write it to FILE as JSON\n"
                 "example:\n"
                 "  hfq cluster.conf 'Root [ (pointer, \"Tree\", ?X) | ^^X ]* "
                 "(skey, \"Rand10p\", 5) -> T'\n");
@@ -104,15 +113,27 @@ int main(int argc, char** argv) {
     std::printf("%llu matching objects (result set left distributed as '%s')\n",
                 static_cast<unsigned long long>(res.total_count),
                 q.value().result_set_name().c_str());
-    return 0;
+  } else {
+    std::printf("%zu result(s)\n", res.ids.size());
+    for (const ObjectId& id : res.ids) {
+      std::printf("  %s\n", id.to_string().c_str());
+    }
+    for (const auto& v : res.values) {
+      std::printf("  %s = %s\n", res.slot_names[v.slot].c_str(),
+                  v.value.to_string().c_str());
+    }
   }
-  std::printf("%zu result(s)\n", res.ids.size());
-  for (const ObjectId& id : res.ids) {
-    std::printf("  %s\n", id.to_string().c_str());
-  }
-  for (const auto& v : res.values) {
-    std::printf("  %s = %s\n", res.slot_names[v.slot].c_str(),
-                v.value.to_string().c_str());
+  if (want_trace) {
+    std::printf("%s", res.trace.to_text().c_str());
+    if (!trace_json_path.empty()) {
+      std::ofstream tout(trace_json_path);
+      if (!tout) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+        return 1;
+      }
+      tout << res.trace.to_json() << "\n";
+      std::printf("wrote trace to %s\n", trace_json_path.c_str());
+    }
   }
   return 0;
 }

@@ -28,6 +28,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "dist/site_server.hpp"
 #include "net/tcp.hpp"
 #include "store/snapshot.hpp"
@@ -87,7 +88,8 @@ int cmd_init(const std::string& config_path, const std::string& dir,
 }
 
 int cmd_serve(SiteId site, const std::string& config_path,
-              const std::string& snapshot_path, std::size_t workers) {
+              const std::string& snapshot_path, std::size_t workers,
+              const std::string& metrics_json_path) {
   auto peers = read_config(config_path);
   if (!peers.ok()) {
     std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
@@ -141,6 +143,18 @@ int cmd_serve(SiteId site, const std::string& config_path,
   std::printf("served: %llu objects processed, %llu results\n",
               static_cast<unsigned long long>(stats.processed),
               static_cast<unsigned long long>(stats.results));
+  // Observability dump (DESIGN.md §12): every registry instrument this
+  // process touched — drain latencies, retries, TTL events, net counters.
+  std::printf("--- metrics ---\n%s", metrics().to_text().c_str());
+  if (!metrics_json_path.empty()) {
+    std::ofstream mout(metrics_json_path);
+    if (mout) {
+      mout << metrics().to_json() << "\n";
+      std::printf("wrote metrics to %s\n", metrics_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -153,9 +167,11 @@ int main(int argc, char** argv) {
     return cmd_init(argv[2], argv[3], objects);
   }
   if (argc >= 4 && std::string(argv[1]) == "serve") {
-    // Trailing options: --workers N enables the parallel site drain.
+    // Trailing options: --workers N enables the parallel site drain;
+    // --metrics-json PATH writes the registry dump as JSON at shutdown.
     std::size_t workers = 0;
     std::string snapshot;
+    std::string metrics_json;
     for (int i = 4; i < argc; ++i) {
       if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
         char* end = nullptr;
@@ -165,19 +181,24 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "--workers expects a number, got '%s'\n", value);
           return 1;
         }
+      } else if (std::string(argv[i]) == "--metrics-json" && i + 1 < argc) {
+        metrics_json = argv[++i];
       } else if (snapshot.empty()) {
         snapshot = argv[i];
       }
     }
     return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
-                     snapshot, workers);
+                     snapshot, workers, metrics_json);
   }
   std::printf(
       "hyperfiled — standalone HyperFile TCP site server\n"
       "  hyperfiled init CONFIG DIR [objects]     generate workload snapshots\n"
       "  hyperfiled serve SITE_ID CONFIG [SNAP] [--workers N]\n"
+      "                  [--metrics-json PATH]\n"
       "                                           run one site; --workers N\n"
-      "                                           drains queries on N threads\n"
+      "                                           drains queries on N threads;\n"
+      "                                           --metrics-json dumps the\n"
+      "                                           metrics registry at shutdown\n"
       "CONFIG: one \"host port\" line per site. Query with hfq.\n");
   return 0;
 }

@@ -1,0 +1,173 @@
+// Unified metrics registry: the one home for cross-thread counters.
+//
+// Every perf argument this repo makes — queue depth, drain latency, dedup
+// hits, retry counts, injected-fault tallies — flows through a
+// MetricsRegistry instead of ad-hoc per-class `std::atomic` fields.
+// `tools/check_sync_discipline.py` enforces this the same way it enforces
+// the sync.hpp lock discipline: non-bool `std::atomic` is banned in src/
+// outside this header and sync.hpp, so a new counter *must* be a registry
+// metric (and therefore shows up in every dump, bench JSON, and CI
+// artifact) or it does not compile the lint.
+//
+// Three instrument kinds, all safe for concurrent use:
+//   * Counter   — monotonic u64, relaxed atomic increments. Hot-path cost is
+//     one uncontended RMW; there is no lock anywhere near inc().
+//   * Gauge     — i64 that can go up and down (live contexts, queue depth).
+//     add()/sub() keep concurrent owners correct where set() would fight.
+//   * Histogram — log2-bucketed u64 samples (1µs..~36min when fed
+//     microseconds), plus exact count/sum. observe() is a handful of relaxed
+//     RMWs; percentiles come out of the dump, not the hot path.
+//
+// The registry itself is a name -> instrument map behind a Mutex
+// (common/sync.hpp, HF_GUARDED_BY-annotated). Lookup interns the instrument
+// on first use and returns a stable reference — callers are expected to
+// cache it (`static Counter& c = metrics().counter("...")` or a member),
+// after which updates never touch the registry lock again.
+//
+// Naming: dotted paths, lowercase (`dist.drain_us`, `net.fault.dropped`).
+// A per-link / per-site breakdown goes in a `{key=value}` suffix:
+// `net.fault.dropped{link=2->0}`. Export is deterministic (sorted by name)
+// in both text ("name value" lines) and JSON.
+//
+// `MetricsRegistry::global()` is the process-wide instance everything
+// defaults to; tests that need isolation construct their own registry or
+// diff snapshots (values are monotonic).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace hyperfile {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  /// Raise to `v` if below (high-water marks: peak queue depth).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed latency/size histogram. Sample v lands in bucket
+/// floor(log2(v)) (v == 0 in bucket 0), so bucket b covers [2^b, 2^(b+1)).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void observe(std::uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  /// Upper bound (exclusive) of the bucket holding the q-quantile,
+  /// q in [0, 1]. Coarse by construction (log2 buckets) but race-free.
+  std::uint64_t quantile_bound(double q) const;
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v > 1 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (every runtime component's default).
+  static MetricsRegistry& global();
+
+  /// Find-or-create; the returned reference is stable for the registry's
+  /// lifetime, so callers cache it and skip the lock on the hot path.
+  Counter& counter(const std::string& name) HF_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) HF_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) HF_EXCLUDES(mu_);
+
+  /// Convenience for `{key=value}`-labelled families:
+  /// counter("net.fault.dropped", "link=2->0").
+  Counter& counter(const std::string& name, const std::string& label) {
+    return counter(name + "{" + label + "}");
+  }
+  Gauge& gauge(const std::string& name, const std::string& label) {
+    return gauge(name + "{" + label + "}");
+  }
+  Histogram& histogram(const std::string& name, const std::string& label) {
+    return histogram(name + "{" + label + "}");
+  }
+
+  /// Snapshot value of a counter/gauge (0 / nullopt-like 0 when absent) —
+  /// the test-friendly read path.
+  std::uint64_t counter_value(const std::string& name) const HF_EXCLUDES(mu_);
+  std::int64_t gauge_value(const std::string& name) const HF_EXCLUDES(mu_);
+
+  /// "name value" lines, sorted by name; histograms expand to
+  /// `name.count`, `name.sum`, `name.mean`, `name.p50`, `name.p99`.
+  std::string to_text() const HF_EXCLUDES(mu_);
+  /// One flat JSON object, sorted keys, same expansion as to_text().
+  std::string to_json() const HF_EXCLUDES(mu_);
+  /// The body of to_json() without the surrounding braces, for embedding
+  /// into a larger object (bench_util's BENCH JSON records).
+  std::string to_json_fields() const HF_EXCLUDES(mu_);
+
+  /// All registered names (sorted), for introspection/tests.
+  std::vector<std::string> names() const HF_EXCLUDES(mu_);
+
+ private:
+  // Instruments are interned behind unique_ptr so references stay stable
+  // across rehashes; the maps are only touched on first use / export.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ HF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HF_GUARDED_BY(mu_);
+};
+
+/// Shorthand for MetricsRegistry::global().
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace hyperfile

@@ -1,0 +1,83 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hyperfile {
+
+void merge_into(TraceSpan& into, const TraceSpan& from) {
+  if (into.site == kNoSite) into.site = from.site;
+  if (from.first_hop < into.first_hop || into.path.empty()) {
+    into.first_hop = from.first_hop;
+    if (!from.path.empty()) into.path = from.path;
+  }
+  into.messages = std::max(into.messages, from.messages);
+  into.duplicates = std::max(into.duplicates, from.duplicates);
+  into.items = std::max(into.items, from.items);
+  into.forwarded = std::max(into.forwarded, from.forwarded);
+  into.results = std::max(into.results, from.results);
+  into.drains = std::max(into.drains, from.drains);
+  into.drain_us = std::max(into.drain_us, from.drain_us);
+  into.retries = std::max(into.retries, from.retries);
+}
+
+namespace {
+
+std::string path_string(const std::vector<SiteId>& path, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += sep;
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryTrace::to_text() const {
+  std::string out = "trace " + query_id + " elapsed " +
+                    std::to_string(elapsed_us) + "us\n";
+  for (const TraceSpan& s : spans) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  site %u hop %u path [%s] msgs %llu dup %llu items %llu "
+                  "fwd %llu results %llu drains %llu drain_us %llu "
+                  "retries %llu\n",
+                  s.site, s.first_hop, path_string(s.path, "->").c_str(),
+                  static_cast<unsigned long long>(s.messages),
+                  static_cast<unsigned long long>(s.duplicates),
+                  static_cast<unsigned long long>(s.items),
+                  static_cast<unsigned long long>(s.forwarded),
+                  static_cast<unsigned long long>(s.results),
+                  static_cast<unsigned long long>(s.drains),
+                  static_cast<unsigned long long>(s.drain_us),
+                  static_cast<unsigned long long>(s.retries));
+    out += line;
+  }
+  return out;
+}
+
+std::string QueryTrace::to_json() const {
+  std::string out = "{\"query_id\": \"" + query_id +
+                    "\", \"elapsed_us\": " + std::to_string(elapsed_us) +
+                    ", \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i != 0) out += ", ";
+    out += "{\"site\": " + std::to_string(s.site) +
+           ", \"first_hop\": " + std::to_string(s.first_hop) +
+           ", \"path\": [" + path_string(s.path, ", ") + "]" +
+           ", \"messages\": " + std::to_string(s.messages) +
+           ", \"duplicates\": " + std::to_string(s.duplicates) +
+           ", \"items\": " + std::to_string(s.items) +
+           ", \"forwarded\": " + std::to_string(s.forwarded) +
+           ", \"results\": " + std::to_string(s.results) +
+           ", \"drains\": " + std::to_string(s.drains) +
+           ", \"drain_us\": " + std::to_string(s.drain_us) +
+           ", \"retries\": " + std::to_string(s.retries) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hyperfile

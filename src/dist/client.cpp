@@ -44,6 +44,9 @@ Result<QueryResult> Client::run_at(SiteId server, const Query& query,
     result.count_only = reply->count_only;
     result.partial = reply->partial;
     result.dropped_items = reply->dropped_items;
+    result.trace.query_id = reply->qid.to_string();
+    result.trace.elapsed_us = reply->elapsed_us;
+    result.trace.spans = std::move(reply->spans);
     return result;
   }
 }

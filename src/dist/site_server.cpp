@@ -1,6 +1,9 @@
 #include "dist/site_server.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "query/rewrite.hpp"
 
 namespace hyperfile {
@@ -18,6 +21,12 @@ bool already_seen(
 
 std::chrono::steady_clock::time_point now_tick() {
   return std::chrono::steady_clock::now();
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now_tick() - t0)
+          .count());
 }
 
 }  // namespace
@@ -67,17 +76,22 @@ std::size_t SiteServer::context_count() const {
 }
 
 void SiteServer::run_loop() {
+  Gauge& contexts_gauge =
+      metrics().gauge("dist.contexts", "site=" + std::to_string(store_.site()));
   last_sweep_ = now_tick();
   while (!stopping_.load()) {
     auto env = endpoint_->recv(options_.poll_interval);
     if (env.has_value()) handle(std::move(*env));
     sweep_contexts();
+    contexts_gauge.set(static_cast<std::int64_t>(contexts_.size()));
     MutexLock lock(stats_mu_);
     context_count_cache_ = contexts_.size();
   }
 }
 
-Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m) {
+Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m,
+                                         TraceSpan* span) {
+  static Counter& retries = metrics().counter("dist.send_retries");
   auto r = endpoint_->send(to, m);
   Duration backoff = options_.retry_backoff;
   for (int attempt = 0; !r.ok() && attempt < options_.send_retries;
@@ -86,9 +100,26 @@ Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m) {
     if (c == Errc::kNotFound || c == Errc::kInvalidArgument) break;
     std::this_thread::sleep_for(backoff);
     backoff *= 2;
+    retries.inc();
+    if (span != nullptr) ++span->retries;
     r = endpoint_->send(to, m);
   }
   return r;
+}
+
+void SiteServer::note_engagement(Participation& p, std::uint32_t hop,
+                                 const std::vector<SiteId>& path) {
+  std::vector<SiteId> with_self = path;
+  if (with_self.size() < TraceSpan::kMaxPath) {
+    with_self.push_back(store_.site());
+  }
+  if (p.span.messages == 0 || hop < p.span.first_hop) {
+    p.span.first_hop = hop;
+    p.span.path = with_self;
+  }
+  ++p.span.messages;
+  p.current_hop = hop;
+  p.out_path = std::move(with_self);
 }
 
 bool SiteServer::stale_own_query(const wire::QueryId& qid, SiteId src) {
@@ -143,6 +174,9 @@ void SiteServer::sweep_contexts() {
     }
   }
   for (const auto& qid : flush) drain_and_flush(qid);
+  if (!dead.empty()) {
+    metrics().counter("dist.ttl_context_discards").inc(dead.size());
+  }
   for (const auto& qid : dead) {
     drain_and_flush(qid);  // last chance for results + weight to get home
     discard_context(qid);
@@ -197,6 +231,7 @@ SiteServer::Participation& SiteServer::participation(const wire::QueryId& qid,
   auto [nit, inserted] = contexts_.emplace(qid, Participation{});
   (void)inserted;
   nit->second.last_activity = now_tick();
+  nit->second.span.site = store_.site();
   if (drain_pool_ != nullptr) {
     nit->second.exec = std::make_unique<ParallelExecution>(
         query, store_, *drain_pool_, std::move(opts));
@@ -303,7 +338,10 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
   dr.iter_stack = item.iter_stack;
   dr.weight = w.exponents();
   dr.msg_seq = next_msg_seq_++;
-  if (auto r = send_with_retry(dest, wire::Message(std::move(dr))); !r.ok()) {
+  dr.hop = p.current_hop + 1;
+  dr.path = p.out_path;
+  if (auto r = send_with_retry(dest, wire::Message(std::move(dr)), &p.span);
+      !r.ok()) {
     // Site unreachable even after retries: drop the item but keep its
     // weight, so the query terminates with partial results instead of
     // hanging (paper Section 1: "Partial results are better than none at
@@ -319,6 +357,7 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
     return;
   }
   ds_on_send(p);
+  ++p.span.forwarded;
   if (Origination* o = find_origination(qid)) o->involved.insert(dest);
 }
 
@@ -333,7 +372,10 @@ void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
     bd.items = std::move(items);
     bd.weight = w.exponents();
     bd.msg_seq = next_msg_seq_++;
-    if (auto r = send_with_retry(dest, wire::Message(std::move(bd))); !r.ok()) {
+    bd.hop = p.current_hop + 1;
+    bd.path = p.out_path;
+    if (auto r = send_with_retry(dest, wire::Message(std::move(bd)), &p.span);
+        !r.ok()) {
       HF_DEBUG << "site " << store_.site() << ": batch deref to site " << dest
                << " failed (" << r.error().to_string() << "); dropping batch";
       repay_weight(qid, p, std::move(w));
@@ -345,6 +387,7 @@ void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
       continue;
     }
     ds_on_send(p);
+    p.span.forwarded += batch_size;
     if (Origination* o = find_origination(qid)) o->involved.insert(dest);
   }
   p.pending_batches.clear();
@@ -356,8 +399,13 @@ void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
   // Dedup before any bookkeeping: repaying a replayed message's weight a
   // second time would push held weight past one, and acking it under D-S
   // would cancel an ack the sender is still owed.
-  if (already_seen(p.seen, src, dr.msg_seq)) return;
+  if (already_seen(p.seen, src, dr.msg_seq)) {
+    ++p.span.duplicates;
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
   p.last_activity = now_tick();
+  note_engagement(p, dr.hop, dr.path);
   ds_on_computation_message(dr.qid, p, src);
   repay_weight(dr.qid, p, Weight::from_exponents(dr.weight));
 
@@ -368,6 +416,7 @@ void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
   item.iter_stack = dr.iter_stack.empty() ? std::vector<std::uint32_t>{1}
                                           : dr.iter_stack;
   if (store_.contains(item.id)) {
+    ++p.span.items;
     p.exec->add_item(std::move(item));
   } else {
     route_remote(dr.qid, p, std::move(item));
@@ -378,8 +427,13 @@ void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
 void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
   if (stale_own_query(bd.qid, src)) return;
   Participation& p = participation(bd.qid, bd.query);
-  if (already_seen(p.seen, src, bd.msg_seq)) return;  // see handle_deref
+  if (already_seen(p.seen, src, bd.msg_seq)) {  // see handle_deref
+    ++p.span.duplicates;
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
   p.last_activity = now_tick();
+  note_engagement(p, bd.hop, bd.path);
   ds_on_computation_message(bd.qid, p, src);
   repay_weight(bd.qid, p, Weight::from_exponents(bd.weight));
   for (wire::DerefEntry& entry : bd.items) {
@@ -390,6 +444,7 @@ void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
     item.iter_stack = entry.iter_stack.empty() ? std::vector<std::uint32_t>{1}
                                                : std::move(entry.iter_stack);
     if (store_.contains(item.id)) {
+      ++p.span.items;
       p.exec->add_item(std::move(item));
     } else {
       route_remote(bd.qid, p, std::move(item));
@@ -401,14 +456,20 @@ void SiteServer::handle_batch_deref(SiteId src, wire::BatchDerefRequest bd) {
 void SiteServer::handle_start(SiteId src, wire::StartQuery sq) {
   if (stale_own_query(sq.qid, src)) return;
   Participation& p = participation(sq.qid, sq.query);
-  if (already_seen(p.seen, src, sq.msg_seq)) return;  // see handle_deref
+  if (already_seen(p.seen, src, sq.msg_seq)) {  // see handle_deref
+    ++p.span.duplicates;
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
   p.last_activity = now_tick();
+  note_engagement(p, sq.hop, sq.path);
   ds_on_computation_message(sq.qid, p, src);
   repay_weight(sq.qid, p, Weight::from_exponents(sq.weight));
 
   for (const ObjectId& id : sq.ids) {
     WorkItem item = WorkItem::initial(id);
     if (store_.contains(id)) {
+      ++p.span.items;
       p.exec->add_item(std::move(item));
     } else {
       route_remote(sq.qid, p, std::move(item));
@@ -422,12 +483,18 @@ void SiteServer::drain_and_flush(const wire::QueryId& qid) {
   auto it = contexts_.find(qid);
   if (it == contexts_.end()) return;
   Participation& p = it->second;
+  const auto drain_t0 = now_tick();
   p.exec->drain();
+  const std::uint64_t drain_us = us_since(drain_t0);
+  ++p.span.drains;
+  p.span.drain_us += drain_us;
+  metrics().histogram("dist.drain_us").observe(drain_us);
   flush_batches(qid, p);
 
   const Query& query = p.exec->query();
   std::vector<ObjectId> ids = p.exec->take_result_ids();
   std::vector<Retrieved> vals = p.exec->take_retrieved();
+  p.span.results += ids.size() + vals.size();
 
   // count_only: results stay here, bound under the result set name; only
   // the count travels (paper Section 5's distributed-set optimisation).
@@ -474,13 +541,14 @@ void SiteServer::drain_and_flush(const wire::QueryId& qid) {
   }
   rm.dropped_items = p.dropped;
   rm.msg_seq = next_msg_seq_++;
+  rm.spans = {p.span};
   Weight held = p.weight.release_all();
   rm.weight = held.exponents();
   p.pending_ids.clear();
   p.pending_values.clear();
   p.pending_count = 0;
   const wire::Message msg(std::move(rm));
-  if (auto r = send_with_retry(qid.originator, msg); !r.ok()) {
+  if (auto r = send_with_retry(qid.originator, msg, &p.span); !r.ok()) {
     // Keep everything: weight back in the participant's purse, results in
     // the pending stash. The TTL sweep re-attempts delivery, so a transient
     // outage loses nothing and a permanent one still terminates (the
@@ -516,8 +584,15 @@ void SiteServer::handle_result(SiteId src, wire::ResultMessage rm) {
   // would double-count local_count, re-insert values, over-repay weight
   // (Weight::add past one throws), and under D-S cancel an ack the sender
   // is still owed.
-  if (already_seen(o->seen, src, rm.msg_seq)) return;
+  if (already_seen(o->seen, src, rm.msg_seq)) {
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
   o->last_activity = now_tick();
+  // Merge piggybacked span snapshots. Field-wise max keeps this idempotent,
+  // so even a duplicate that slipped past msg_seq dedup (e.g. a retry with
+  // a fresh seq) cannot inflate the trace.
+  for (const TraceSpan& s : rm.spans) merge_into(o->spans[s.site], s);
   if (using_ds()) {
     (void)send_with_retry(src, wire::TermAck{rm.qid, next_msg_seq_++});
   }
@@ -553,15 +628,20 @@ void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
   // pointer!) carries the rewritten, smaller body.
   if (options_.rewrite_queries) cr.query = rewrite_query(cr.query);
 
+  metrics().counter("dist.queries_originated").inc();
   const wire::QueryId qid{store_.site(), next_query_seq_++};
   Origination o;
   o.query = cr.query;
   o.client = src;
   o.client_seq = cr.client_seq;
   o.last_activity = now_tick();
+  o.started = o.last_activity;
   originated_.emplace(qid, std::move(o));
   Origination& origin = originated_.at(qid);
   Participation& p = participation(qid, cr.query);
+  // The client request engages the originator at hop 0; every computation
+  // message fanned out from here starts the path at this site.
+  note_engagement(p, 0, {});
 
   // Seed the initial set. A named set that a previous count_only query left
   // *distributed* is seeded by fanning StartQuery to the sites holding
@@ -584,13 +664,16 @@ void SiteServer::handle_client_request(SiteId src, wire::ClientRequest cr) {
         sq.local_set_name = set_name;
         sq.weight = w.exponents();
         sq.msg_seq = next_msg_seq_++;
-        if (auto r = send_with_retry(s, wire::Message(std::move(sq)));
+        sq.hop = 1;
+        sq.path = p.out_path;
+        if (auto r = send_with_retry(s, wire::Message(std::move(sq)), &p.span);
             !r.ok()) {
           repay_weight(qid, p, std::move(w));
           ++origin.dropped_items;  // that site's whole portion is lost
           continue;
         }
         ds_on_send(p);
+        ++p.span.forwarded;
         origin.involved.insert(s);
       }
       seeded = true;
@@ -645,6 +728,20 @@ void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o,
   // was positively observed.
   reply.partial = force || o.dropped_items > 0;
   reply.dropped_items = o.dropped_items;
+  if (force) metrics().counter("dist.ttl_force_finish").inc();
+  if (reply.partial) metrics().counter("dist.queries_partial").inc();
+
+  // Assemble the trace: participant snapshots merged so far, plus the
+  // originator's own (still-live) span, sorted by site for the client.
+  reply.qid = qid;
+  reply.elapsed_us = us_since(o.started);
+  if (auto cit = contexts_.find(qid); cit != contexts_.end()) {
+    merge_into(o.spans[store_.site()], cit->second.span);
+  }
+  for (const auto& [site, span] : o.spans) reply.spans.push_back(span);
+  std::sort(reply.spans.begin(), reply.spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.site < b.site; });
+
   if (o.client != kNoSite) {
     (void)send_with_retry(o.client, wire::Message(std::move(reply)));
   }

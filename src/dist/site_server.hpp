@@ -40,6 +40,7 @@
 #include <utility>
 
 #include "common/sync.hpp"
+#include "common/trace.hpp"
 #include "engine/execution.hpp"
 #include "engine/parallel_execution.hpp"
 #include "naming/name_registry.hpp"
@@ -150,6 +151,17 @@ class SiteServer {
     std::uint64_t dropped = 0;
     std::chrono::steady_clock::time_point last_activity;
 
+    /// This site's cumulative trace span for the query (common/trace.hpp);
+    /// piggybacked on every ResultMessage to the originator.
+    TraceSpan span;
+    /// Hop number of the most recent engaging message; dereferences
+    /// forwarded from here carry current_hop + 1.
+    std::uint32_t current_hop = 0;
+    /// Path stamped on outgoing computation messages: the engaging
+    /// message's path extended with this site (capped at
+    /// TraceSpan::kMaxPath).
+    std::vector<SiteId> out_path;
+
     // --- Dijkstra-Scholten state (termination == kDijkstraScholten) ---
     bool ds_engaged = false;      // on the engagement tree?
     SiteId ds_parent = kNoSite;   // whose message engaged us
@@ -176,6 +188,12 @@ class SiteServer {
     std::uint64_t dropped_items = 0;
     std::chrono::steady_clock::time_point last_activity;
     bool replied = false;
+    /// Participant span snapshots, merged field-wise by max so a
+    /// duplicate-suppressed redelivery cannot double-record
+    /// (common/trace.hpp). The originator's own span joins at reply time.
+    std::unordered_map<SiteId, TraceSpan> spans;
+    /// Request arrival on this site's clock; the reply's elapsed_us.
+    std::chrono::steady_clock::time_point started;
   };
 
   void run_loop();
@@ -209,8 +227,16 @@ class SiteServer {
   /// idle-expired participant contexts.
   void sweep_contexts();
   /// Send with bounded retry + exponential backoff on transient failures
-  /// (kNotFound/kInvalidArgument are permanent and not retried).
-  Result<void> send_with_retry(SiteId to, const wire::Message& m);
+  /// (kNotFound/kInvalidArgument are permanent and not retried). Retries are
+  /// attributed to `span` when the send belongs to a traced query.
+  Result<void> send_with_retry(SiteId to, const wire::Message& m,
+                               TraceSpan* span = nullptr);
+
+  /// Trace bookkeeping for an accepted computation message: count it,
+  /// adopt (hop, path) as the span's engagement if it is the earliest seen,
+  /// and refresh the hop/path stamped on outgoing messages.
+  void note_engagement(Participation& p, std::uint32_t hop,
+                       const std::vector<SiteId>& path);
 
   /// Route `item` to a remote site as a DerefRequest: destination is the
   /// id's presumed site, or the name registry's next hop when the hint

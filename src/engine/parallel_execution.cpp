@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.hpp"
+
 namespace hyperfile {
 namespace {
 
@@ -55,6 +57,8 @@ void ParallelExecution::route_seed(WorkItem&& item,
       work_.push_back(std::move(item));
       depth = work_.size();
     }
+    metrics().gauge("engine.queue_depth_peak").max_of(
+        static_cast<std::int64_t>(depth));
     MutexLock slock(mu_stats_);
     stats_.max_working_set =
         std::max<std::uint64_t>(stats_.max_working_set, depth);
@@ -108,6 +112,8 @@ void ParallelExecution::add_item(WorkItem item) {
     work_.push_back(std::move(item));
     depth = work_.size();
   }
+  metrics().gauge("engine.queue_depth_peak").max_of(
+      static_cast<std::int64_t>(depth));
   MutexLock slock(mu_stats_);
   stats_.max_working_set =
       std::max<std::uint64_t>(stats_.max_working_set, depth);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "engine/execution.hpp"
 
 namespace hyperfile {
@@ -29,6 +30,9 @@ struct QueryResult {
   /// Work items known to have been lost producing this result.
   std::uint64_t dropped_items = 0;
   EngineStats stats;
+  /// Per-site execution trace (distributed runtime only; empty for local
+  /// execution). See common/trace.hpp for the span semantics.
+  QueryTrace trace;
 
   bool contains(const ObjectId& id) const {
     return std::find(ids.begin(), ids.end(), id) != ids.end();

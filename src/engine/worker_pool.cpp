@@ -1,7 +1,10 @@
 #include "engine/worker_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "common/metrics.hpp"
 
 namespace hyperfile {
 
@@ -23,6 +26,10 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run(const std::function<void()>& fn) {
+  static Counter& passes = metrics().counter("engine.pool.passes");
+  static Histogram& pass_us = metrics().histogram("engine.pool.pass_us");
+  passes.inc();
+  const auto t0 = std::chrono::steady_clock::now();
   std::exception_ptr error;
   {
     MutexLock lock(mu_);
@@ -35,6 +42,10 @@ void WorkerPool::run(const std::function<void()>& fn) {
     task_ = nullptr;
     error = std::exchange(first_error_, nullptr);
   }
+  pass_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   if (error) std::rethrow_exception(error);
 }
 

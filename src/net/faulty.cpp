@@ -1,9 +1,20 @@
 #include "net/faulty.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/metrics.hpp"
+
 namespace hyperfile {
+namespace {
+
+/// Per-link registry label, e.g. "link=2->0".
+std::string link_label(SiteId from, SiteId to) {
+  return "link=" + std::to_string(from) + "->" + std::to_string(to);
+}
+
+}  // namespace
 
 FaultInjectingEndpoint::FaultInjectingEndpoint(
     std::unique_ptr<MessageEndpoint> inner, FaultOptions options)
@@ -34,18 +45,32 @@ FaultInjectingEndpoint::advance_tick() {
 }
 
 void FaultInjectingEndpoint::deliver(std::vector<Held> due) {
+  if (due.empty()) return;
   // Late delivery of a frame whose link has died is just another drop; the
-  // protocol's retry/TTL machinery owns recovery, so errors are swallowed.
-  for (auto& h : due) (void)inner_->send(h.to, std::move(h.message));
+  // protocol's retry/TTL machinery owns recovery, so errors are swallowed —
+  // but every release and every accepted frame is counted, so the chaos
+  // tests can reconcile frames offered against frames that reached the
+  // inner endpoint (the conservation laws in faulty.hpp).
+  std::uint64_t released = 0;
+  std::uint64_t delivered = 0;
+  for (auto& h : due) {
+    ++released;
+    if (inner_->send(h.to, std::move(h.message)).ok()) ++delivered;
+  }
+  MutexLock lock(mu_);
+  stats_.released += released;
+  stats_.delivered += delivered;
 }
 
 Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
   std::vector<Held> due;
   enum class Verdict { kForward, kDuplicate, kDrop, kHold, kPartitioned };
   Verdict verdict = Verdict::kForward;
+  std::uint64_t hold = 0;
   {
     MutexLock lock(mu_);
     due = advance_tick();
+    ++stats_.attempts;
     if (link_exempt(to)) {
       ++stats_.forwarded;
     } else if (all_partitioned_ || partitioned_.count(to) != 0) {
@@ -65,11 +90,10 @@ Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
                                      2 + rng_.next_below(
                                              options_.max_hold_ticks - 1))
                                : 2;
-      std::uint64_t hold = rng_.next_bool(options_.reorder_p /
-                                          (options_.reorder_p +
-                                           options_.delay_p + 1e-12))
-                               ? 1
-                               : span;
+      hold = rng_.next_bool(options_.reorder_p /
+                            (options_.reorder_p + options_.delay_p + 1e-12))
+                 ? 1
+                 : span;
       ++stats_.held;
       held_.push_back(Held{to, std::move(message), ticks_ + hold});
       verdict = Verdict::kHold;
@@ -80,6 +104,28 @@ Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
         verdict = Verdict::kDuplicate;
       }
     }
+  }
+  // Injected events become registry ground truth, per link, so benches and
+  // chaos tests can reconcile loss without peeking inside the injector.
+  const std::string link = link_label(inner_->self(), to);
+  switch (verdict) {
+    case Verdict::kDrop:
+      metrics().counter("net.fault.dropped", link).inc();
+      break;
+    case Verdict::kDuplicate:
+      metrics().counter("net.fault.duplicated", link).inc();
+      break;
+    case Verdict::kHold:
+      metrics()
+          .counter(hold == 1 ? "net.fault.reordered" : "net.fault.delayed",
+                   link)
+          .inc();
+      break;
+    case Verdict::kPartitioned:
+      metrics().counter("net.fault.partitioned", link).inc();
+      break;
+    case Verdict::kForward:
+      break;
   }
   deliver(std::move(due));
   switch (verdict) {
@@ -93,11 +139,20 @@ Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
     case Verdict::kDuplicate: {
       wire::Message copy = message;
       auto r = inner_->send(to, std::move(message));
-      (void)inner_->send(to, std::move(copy));
+      auto r2 = inner_->send(to, std::move(copy));
+      MutexLock lock(mu_);
+      if (r.ok()) ++stats_.delivered;
+      if (r2.ok()) ++stats_.delivered;
       return r;
     }
-    case Verdict::kForward:
-      return inner_->send(to, std::move(message));
+    case Verdict::kForward: {
+      auto r = inner_->send(to, std::move(message));
+      if (r.ok()) {
+        MutexLock lock(mu_);
+        ++stats_.delivered;
+      }
+      return r;
+    }
   }
   return {};
 }

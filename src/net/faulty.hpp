@@ -50,12 +50,22 @@ struct FaultOptions {
   std::vector<SiteId> exempt;
 };
 
+/// Ground truth for every frame the injector touched. Two conservation laws
+/// hold at all times (asserted by tests/test_chaos.cpp):
+///   attempts == forwarded + dropped + held + partitioned
+///   held     == released + frames still waiting for their tick
+/// and once every held frame has been flushed,
+///   delivered == successful inner sends (forwarded + duplicated + released
+///                minus any the inner endpoint rejected).
 struct FaultStats {
-  std::uint64_t forwarded = 0;    // frames passed to the inner endpoint
+  std::uint64_t attempts = 0;     // send() calls observed
+  std::uint64_t forwarded = 0;    // frames passed straight to the inner endpoint
   std::uint64_t dropped = 0;      // silently discarded by drop_p
-  std::uint64_t duplicated = 0;   // extra copies delivered
-  std::uint64_t held = 0;         // frames delayed/reordered (later released)
+  std::uint64_t duplicated = 0;   // extra copies injected by dup_p
+  std::uint64_t held = 0;         // frames delayed/reordered
+  std::uint64_t released = 0;     // held frames later shipped
   std::uint64_t partitioned = 0;  // swallowed by an active partition
+  std::uint64_t delivered = 0;    // frames the inner endpoint accepted
 };
 
 class FaultInjectingEndpoint final : public MessageEndpoint {

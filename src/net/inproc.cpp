@@ -1,5 +1,7 @@
 #include "net/inproc.hpp"
 
+#include "common/metrics.hpp"
+
 namespace hyperfile {
 
 void NetworkStats::record(const wire::Message& m, std::size_t bytes) {
@@ -7,6 +9,12 @@ void NetworkStats::record(const wire::Message& m, std::size_t bytes) {
 }
 
 void NetworkStats::record_tag(std::size_t variant_index, std::size_t bytes) {
+  // Mirror into the process-wide registry: every transport that records a
+  // delivered frame here shows up in metrics dumps and bench JSON.
+  static Counter& msgs = metrics().counter("net.messages_sent");
+  static Counter& nbytes = metrics().counter("net.bytes_sent");
+  msgs.inc();
+  nbytes.inc(bytes);
   ++messages_sent;
   bytes_sent += bytes;
   switch (variant_index) {
@@ -97,13 +105,16 @@ Result<void> InProcNetwork::send(SiteId from, SiteId to, wire::Message message) 
     return make_error(Errc::kInternal,
                       "wire round-trip failed: " + env.error().to_string());
   }
-  {
-    MutexLock lock(stats_mu_);
-    stats_.record(env.value().message, bytes.size());
-  }
+  // Record stats only after the mailbox accepts the frame: counting before
+  // the push meant a send to a closed (stopped) site still bumped
+  // messages_sent, so "messages sent" drifted above "frames delivered" and
+  // the chaos tests' conservation law could never balance.
+  const std::size_t variant_index = env.value().message.index();
   if (!mailboxes_[to]->push(std::move(env).value())) {
     return make_error(Errc::kClosed, "site " + std::to_string(to) + " shut down");
   }
+  MutexLock lock(stats_mu_);
+  stats_.record_tag(variant_index, bytes.size());
   return {};
 }
 

@@ -11,6 +11,7 @@
 #include <iterator>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 
 namespace hyperfile {
 namespace {
@@ -108,6 +109,7 @@ void TcpNetwork::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    metrics().counter("net.tcp.accepts").inc();
     spawn_reader(fd);
   }
 }
@@ -190,6 +192,7 @@ Result<int> TcpNetwork::peer_socket(SiteId to) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  metrics().counter("net.tcp.connects").inc();
   conns_[to] = fd;
   // Full duplex: the peer may answer over this same connection (it has no
   // address for us if we are a client outside its static table).
@@ -239,6 +242,7 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
     return write_all(fd.value(), frame.data(), frame.size());
   }();
   if (!w.ok()) {
+    metrics().counter("net.tcp.send_failures").inc();
     // Drop the cached/learned route; the next send reconnects (or fails
     // cleanly for learned-only routes). The fd itself is only shut down —
     // its reader thread owns it until endpoint shutdown closes it.

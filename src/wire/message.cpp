@@ -54,6 +54,63 @@ Result<std::vector<std::uint32_t>> decode_u32s(Decoder& d) {
   return v;
 }
 
+void encode_span(Encoder& e, const TraceSpan& s) {
+  e.varint(s.site);
+  e.varint(s.first_hop);
+  encode_u32s(e, s.path);
+  e.varint(s.messages);
+  e.varint(s.duplicates);
+  e.varint(s.items);
+  e.varint(s.forwarded);
+  e.varint(s.results);
+  e.varint(s.drains);
+  e.varint(s.drain_us);
+  e.varint(s.retries);
+}
+
+Result<TraceSpan> decode_span(Decoder& d) {
+  TraceSpan s;
+  auto site = d.varint();
+  if (!site.ok()) return site.error();
+  s.site = static_cast<SiteId>(site.value());
+  auto hop = d.varint();
+  if (!hop.ok()) return hop.error();
+  s.first_hop = static_cast<std::uint32_t>(hop.value());
+  auto path = decode_u32s(d);
+  if (!path.ok()) return path.error();
+  s.path = std::move(path).value();
+  std::uint64_t* fields[] = {&s.messages, &s.duplicates, &s.items,
+                             &s.forwarded, &s.results,    &s.drains,
+                             &s.drain_us,  &s.retries};
+  for (std::uint64_t* f : fields) {
+    auto v = d.varint();
+    if (!v.ok()) return v.error();
+    *f = v.value();
+  }
+  return s;
+}
+
+void encode_spans(Encoder& e, const std::vector<TraceSpan>& spans) {
+  e.varint(spans.size());
+  for (const auto& s : spans) encode_span(e, s);
+}
+
+Result<std::vector<TraceSpan>> decode_spans(Decoder& d) {
+  auto n = d.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() > d.remaining()) {
+    return make_error(Errc::kDecode, "span list length exceeds input");
+  }
+  std::vector<TraceSpan> spans;
+  spans.reserve(static_cast<std::size_t>(n.value()));
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto s = decode_span(d);
+    if (!s.ok()) return s.error();
+    spans.push_back(std::move(s).value());
+  }
+  return spans;
+}
+
 void encode_ids(Encoder& e, const std::vector<ObjectId>& ids) {
   e.varint(ids.size());
   for (const auto& id : ids) encode(e, id);
@@ -118,6 +175,8 @@ Bytes encode_message(const Message& m) {
     encode_u32s(e, dr->iter_stack);
     encode_u32s(e, dr->weight);
     e.varint(dr->msg_seq);
+    e.varint(dr->hop);
+    encode_u32s(e, dr->path);
   } else if (const auto* sq = std::get_if<StartQuery>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kStart));
     encode_qid(e, sq->qid);
@@ -126,6 +185,8 @@ Bytes encode_message(const Message& m) {
     e.string(sq->local_set_name);
     encode_u32s(e, sq->weight);
     e.varint(sq->msg_seq);
+    e.varint(sq->hop);
+    encode_u32s(e, sq->path);
   } else if (const auto* rm = std::get_if<ResultMessage>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kResult));
     encode_qid(e, rm->qid);
@@ -141,6 +202,7 @@ Bytes encode_message(const Message& m) {
     encode_u32s(e, rm->weight);
     e.varint(rm->msg_seq);
     e.varint(rm->dropped_items);
+    encode_spans(e, rm->spans);
   } else if (const auto* qd = std::get_if<QueryDone>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kDone));
     encode_qid(e, qd->qid);
@@ -186,6 +248,8 @@ Bytes encode_message(const Message& m) {
     }
     encode_u32s(e, bd->weight);
     e.varint(bd->msg_seq);
+    e.varint(bd->hop);
+    encode_u32s(e, bd->path);
   } else {
     const auto& rp = std::get<ClientReply>(m);
     e.u8(static_cast<std::uint8_t>(Tag::kClientReply));
@@ -203,6 +267,9 @@ Bytes encode_message(const Message& m) {
     e.u8(rp.count_only ? 1 : 0);
     e.u8(rp.partial ? 1 : 0);
     e.varint(rp.dropped_items);
+    encode_qid(e, rp.qid);
+    e.varint(rp.elapsed_us);
+    encode_spans(e, rp.spans);
   }
   return e.take();
 }
@@ -235,6 +302,12 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto seq = d.varint();
       if (!seq.ok()) return seq.error();
       dr.msg_seq = seq.value();
+      auto hop = d.varint();
+      if (!hop.ok()) return hop.error();
+      dr.hop = static_cast<std::uint32_t>(hop.value());
+      auto path = decode_u32s(d);
+      if (!path.ok()) return path.error();
+      dr.path = std::move(path).value();
       return Message(std::move(dr));
     }
     case Tag::kStart: {
@@ -257,6 +330,12 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto seq = d.varint();
       if (!seq.ok()) return seq.error();
       sq.msg_seq = seq.value();
+      auto hop = d.varint();
+      if (!hop.ok()) return hop.error();
+      sq.hop = static_cast<std::uint32_t>(hop.value());
+      auto path = decode_u32s(d);
+      if (!path.ok()) return path.error();
+      sq.path = std::move(path).value();
       return Message(std::move(sq));
     }
     case Tag::kResult: {
@@ -300,6 +379,9 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto dropped = d.varint();
       if (!dropped.ok()) return dropped.error();
       rm.dropped_items = dropped.value();
+      auto spans = decode_spans(d);
+      if (!spans.ok()) return spans.error();
+      rm.spans = std::move(spans).value();
       return Message(std::move(rm));
     }
     case Tag::kDone: {
@@ -363,6 +445,15 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto dropped = d.varint();
       if (!dropped.ok()) return dropped.error();
       rp.dropped_items = dropped.value();
+      auto qid = decode_qid(d);
+      if (!qid.ok()) return qid.error();
+      rp.qid = qid.value();
+      auto elapsed = d.varint();
+      if (!elapsed.ok()) return elapsed.error();
+      rp.elapsed_us = elapsed.value();
+      auto spans = decode_spans(d);
+      if (!spans.ok()) return spans.error();
+      rp.spans = std::move(spans).value();
       return Message(std::move(rp));
     }
     case Tag::kBatchDeref: {
@@ -397,6 +488,12 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto seq = d.varint();
       if (!seq.ok()) return seq.error();
       bd.msg_seq = seq.value();
+      auto hop = d.varint();
+      if (!hop.ok()) return hop.error();
+      bd.hop = static_cast<std::uint32_t>(hop.value());
+      auto path = decode_u32s(d);
+      if (!path.ok()) return path.error();
+      bd.path = std::move(path).value();
       return Message(std::move(bd));
     }
     case Tag::kTermAck: {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/trace.hpp"
 #include "model/object.hpp"
 #include "query/query.hpp"
 #include "wire/codec.hpp"
@@ -62,6 +63,11 @@ struct DerefRequest {
   /// must be processed at most once — its weight in particular, since a
   /// second repay pushes held weight past one (term/weight.hpp).
   std::uint64_t msg_seq = 0;
+  /// Trace context (common/trace.hpp): distance from the originator in
+  /// computation-message hops, and the site path that produced this message
+  /// (originator first, capped at TraceSpan::kMaxPath).
+  std::uint32_t hop = 0;
+  std::vector<SiteId> path;
 };
 
 /// One (object, entry point) pair inside a batched dereference.
@@ -83,6 +89,8 @@ struct BatchDerefRequest {
   std::vector<DerefEntry> items;
   WeightBits weight;
   std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+  std::uint32_t hop = 0;      // see DerefRequest::hop
+  std::vector<SiteId> path;
 };
 
 struct StartQuery {
@@ -95,6 +103,8 @@ struct StartQuery {
   std::string local_set_name;
   WeightBits weight;
   std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+  std::uint32_t hop = 0;      // see DerefRequest::hop
+  std::vector<SiteId> path;
 };
 
 struct RetrievedValue {
@@ -117,6 +127,10 @@ struct ResultMessage {
   /// Work the sending site knows it lost (derefs it could not deliver after
   /// retries); folded into ClientReply::dropped_items at the originator.
   std::uint64_t dropped_items = 0;
+  /// Piggybacked trace: the sending site's cumulative span snapshot(s) for
+  /// this query. Merged at the originator by field-wise max, so a
+  /// duplicate-suppressed redelivery cannot double-record (common/trace.hpp).
+  std::vector<TraceSpan> spans;
 };
 
 struct QueryDone {
@@ -147,6 +161,12 @@ struct ClientReply {
   /// losses.
   bool partial = false;
   std::uint64_t dropped_items = 0;
+  /// Trace of the finished query: protocol-level id, request->reply time on
+  /// the originator's clock, and the merged per-site spans (originator's own
+  /// span included). Assembled into QueryResult::trace by the client.
+  QueryId qid;
+  std::uint64_t elapsed_us = 0;
+  std::vector<TraceSpan> spans;
 };
 
 /// Live object migration (paper Section 4: the R*-style name makes moving

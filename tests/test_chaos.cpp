@@ -116,6 +116,30 @@ struct ChaosCluster {
   }
 };
 
+/// Frame conservation (net/faulty.hpp): every send() attempt is accounted
+/// for by exactly one fate, and once held frames are flushed nothing stays
+/// in flight. Call while the cluster is still alive, after the workload.
+void expect_frame_conservation(FaultInjectingEndpoint* inj, bool lossless,
+                               bool strict_delivery) {
+  ASSERT_NE(inj, nullptr);
+  inj->flush_held();
+  const FaultStats s = inj->fault_stats();
+  EXPECT_EQ(s.attempts, s.forwarded + s.dropped + s.held + s.partitioned)
+      << "a frame left the injector without a recorded fate";
+  EXPECT_EQ(s.held, s.released) << "held frames remain after flush_held()";
+  EXPECT_LE(s.delivered, s.forwarded + s.duplicated + s.released);
+  if (lossless) {
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(s.partitioned, 0u);
+  }
+  // In-proc lossless only: a live mailbox accepts every inner send. Over
+  // TCP a send may fail transiently mid-connect (the protocol's retry is a
+  // fresh injector attempt), so equality is not transport-independent.
+  if (lossless && strict_delivery) {
+    EXPECT_EQ(s.delivered, s.forwarded + s.duplicated + s.released);
+  }
+}
+
 /// Poll until every site's context table empties (QueryDone or TTL).
 void expect_contexts_drain(Cluster& cluster) {
   const auto deadline =
@@ -187,6 +211,9 @@ TEST_P(ChaosAlgos, InProcWorkloadSurvivesFaultSchedules) {
       }
     }
     expect_contexts_drain(cluster);
+    for (auto* inj : chaos.injectors) {
+      expect_frame_conservation(inj, fc.lossless, /*strict_delivery=*/true);
+    }
     cluster.stop();
   }
 }
@@ -221,6 +248,15 @@ TEST_P(ChaosAlgos, PartitionedSiteHealsIntoExactAnswers) {
   ASSERT_TRUE(r2.ok()) << r2.error().to_string();
   EXPECT_EQ(sorted(r2.value().ids), want);
   expect_contexts_drain(cluster);
+  // Not lossless (the partition swallowed frames), but still conserved:
+  // partitioned frames have a fate of their own.
+  for (auto* inj : chaos.injectors) {
+    expect_frame_conservation(inj, /*lossless=*/false,
+                              /*strict_delivery=*/true);
+    EXPECT_GT(inj->fault_stats().attempts, 0u);
+  }
+  EXPECT_GT(chaos.injectors[0]->fault_stats().partitioned, 0u)
+      << "no frame ever hit the cut 0->1 link";
   cluster.stop();
 }
 
@@ -233,6 +269,7 @@ INSTANTIATE_TEST_SUITE_P(Algos, ChaosAlgos,
 
 struct TcpChaosDeployment {
   std::vector<std::unique_ptr<SiteServer>> servers;
+  std::vector<FaultInjectingEndpoint*> injectors;  // owned by the servers
   std::unique_ptr<Client> client;
   std::vector<ObjectId> want;  // sorted true answer
   bool ok = false;
@@ -273,6 +310,7 @@ struct TcpChaosDeployment {
       o.seed = faults.seed * 977 + s + 1;
       o.exempt.push_back(sites);  // the client link stays reliable
       auto ep = std::make_unique<FaultInjectingEndpoint>(std::move(nets[s]), o);
+      injectors.push_back(ep.get());
       servers.push_back(std::make_unique<SiteServer>(
           std::move(ep), std::move(stores[s]), chaos_options(algo)));
       servers.back()->start();
@@ -307,6 +345,10 @@ TEST_P(ChaosAlgos, TcpWorkloadSurvivesFaultSchedules) {
       ASSERT_LT(std::chrono::steady_clock::now(), deadline)
           << live << " contexts never drained";
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // The attempt/held conservation laws are transport-independent.
+    for (auto* inj : d.injectors) {
+      expect_frame_conservation(inj, fc.lossless, /*strict_delivery=*/false);
     }
   }
 }

@@ -141,6 +141,8 @@ TEST(Messages, DerefRequestRoundTrip) {
   dr.iter_stack = {1, 4, 2};
   dr.weight = {0, 5, 9};
   dr.msg_seq = 0xDEADBEEFull;
+  dr.hop = 3;
+  dr.path = {0, 4, 1};
   auto got = decode_message(encode_message(dr));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<DerefRequest>(got.value());
@@ -151,6 +153,8 @@ TEST(Messages, DerefRequestRoundTrip) {
   EXPECT_EQ(back.iter_stack, dr.iter_stack);
   EXPECT_EQ(back.weight, dr.weight);
   EXPECT_EQ(back.msg_seq, dr.msg_seq);
+  EXPECT_EQ(back.hop, 3u);
+  EXPECT_EQ(back.path, dr.path);
 }
 
 TEST(Messages, StartQueryRoundTrip) {
@@ -161,12 +165,32 @@ TEST(Messages, StartQueryRoundTrip) {
   sq.local_set_name = "T";
   sq.weight = {2};
   sq.msg_seq = 41;
+  sq.hop = 1;
+  sq.path = {6};
   auto got = decode_message(encode_message(sq));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<StartQuery>(got.value());
   EXPECT_EQ(back.ids, sq.ids);
   EXPECT_EQ(back.local_set_name, "T");
   EXPECT_EQ(back.msg_seq, 41u);
+  EXPECT_EQ(back.hop, 1u);
+  EXPECT_EQ(back.path, sq.path);
+}
+
+TraceSpan wire_test_span() {
+  TraceSpan s;
+  s.site = 1;
+  s.first_hop = 2;
+  s.path = {0, 2, 1};
+  s.messages = 11;
+  s.duplicates = 3;
+  s.items = 40;
+  s.forwarded = 9;
+  s.results = 6;
+  s.drains = 4;
+  s.drain_us = 12345;
+  s.retries = 2;
+  return s;
 }
 
 TEST(Messages, ResultMessageRoundTrip) {
@@ -180,6 +204,7 @@ TEST(Messages, ResultMessageRoundTrip) {
   rm.weight = {1, 3};
   rm.msg_seq = 99;
   rm.dropped_items = 4;
+  rm.spans = {wire_test_span()};
   auto got = decode_message(encode_message(rm));
   ASSERT_TRUE(got.ok());
   const auto& back = std::get<ResultMessage>(got.value());
@@ -190,6 +215,7 @@ TEST(Messages, ResultMessageRoundTrip) {
   EXPECT_EQ(back.weight, rm.weight);
   EXPECT_EQ(back.msg_seq, 99u);
   EXPECT_EQ(back.dropped_items, 4u);
+  EXPECT_EQ(back.spans, rm.spans);
 }
 
 TEST(Messages, BatchDerefRoundTrip) {
@@ -199,11 +225,15 @@ TEST(Messages, BatchDerefRoundTrip) {
   bd.items = {{ObjectId(0, 1), 3, {1, 2}}, {ObjectId(1, 7, 2), 1, {4}}};
   bd.weight = {3, 5};
   bd.msg_seq = 17;
+  bd.hop = 2;
+  bd.path = {0, 1};
   auto got = decode_message(encode_message(bd));
   ASSERT_TRUE(got.ok()) << got.error().to_string();
   const auto& back = std::get<BatchDerefRequest>(got.value());
   EXPECT_EQ(back.qid, bd.qid);
   EXPECT_EQ(back.items, bd.items);
+  EXPECT_EQ(back.hop, 2u);
+  EXPECT_EQ(back.path, bd.path);
   EXPECT_EQ(back.weight, bd.weight);
   EXPECT_EQ(back.msg_seq, 17u);
   EXPECT_TRUE(back.items[1].oid.identical(bd.items[1].oid));
@@ -233,11 +263,19 @@ TEST(Messages, ClientMessagesRoundTrip) {
   rp.total_count = 3;
   rp.partial = true;
   rp.dropped_items = 2;
+  rp.qid = {5, 44};
+  rp.elapsed_us = 987654;
+  rp.spans = {wire_test_span(), wire_test_span()};
+  rp.spans[1].site = 0;
+  rp.spans[1].path.clear();  // empty paths must survive the wire too
   auto got2 = decode_message(encode_message(rp));
   ASSERT_TRUE(got2.ok());
   const auto& back = std::get<ClientReply>(got2.value());
   EXPECT_FALSE(back.ok);
   EXPECT_EQ(back.error, rp.error);
+  EXPECT_EQ(back.qid, rp.qid);
+  EXPECT_EQ(back.elapsed_us, 987654u);
+  EXPECT_EQ(back.spans, rp.spans);
   EXPECT_EQ(back.total_count, 3u);
   EXPECT_TRUE(back.partial);
   EXPECT_EQ(back.dropped_items, 2u);

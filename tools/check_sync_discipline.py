@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Lock-discipline lint: raw standard sync primitives are banned outside
-src/common/sync.hpp.
+src/common/sync.hpp, and ad-hoc atomic counters outside src/common/metrics.hpp.
 
 Every mutex / lock / condition variable in HyperFile must go through the
 thread-safety-annotated wrappers in src/common/sync.hpp (Mutex, MutexLock,
@@ -8,6 +8,14 @@ CondVar) so Clang's -Wthread-safety can check the locking protocol. This
 script fails if any other C++ file names the raw primitives or includes
 their headers directly. Comments are stripped before matching, so prose
 mentions ("this used to be a std::mutex") stay legal.
+
+Additionally, non-bool `std::atomic` in src/ must live in the metrics
+registry (src/common/metrics.hpp): a new cross-thread counter belongs in a
+Counter/Gauge/Histogram, where it shows up in every dump, BENCH JSON, and
+CI artifact — not in a private field nobody can read out. `std::atomic<bool>`
+lifecycle flags (stop/running) stay legal everywhere, as does the
+log-level threshold in src/common/logging.hpp (configuration, not a metric;
+logging sits below the registry in the include order).
 
 Usage: tools/check_sync_discipline.py [repo-root]
 Exit status: 0 clean, 1 violations found.
@@ -40,6 +48,22 @@ BANNED_TOKENS = [
 ]
 BANNED = [re.compile(p) for p in BANNED_TOKENS]
 
+# Non-bool std::atomic: only the metrics instruments (and sync.hpp, should
+# it ever need one) may declare them; see src/common/metrics.hpp. The
+# negative lookahead keeps std::atomic<bool> stop-flags legal.
+ATOMIC_SCAN_DIR = "src"
+ATOMIC_ALLOWED = {
+    os.path.join("src", "common", "sync.hpp"),
+    os.path.join("src", "common", "metrics.hpp"),
+    # Log-level threshold: configuration read on every HF_DEBUG, not a
+    # metric, and logging must not depend on the registry.
+    os.path.join("src", "common", "logging.hpp"),
+}
+ATOMIC_BANNED = [
+    re.compile(r"std\s*::\s*atomic\b(?!\s*<\s*bool\s*>)"),
+    re.compile(r"std\s*::\s*atomic_flag\b"),
+]
+
 LINE_COMMENT = re.compile(r"//.*$")
 BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
 
@@ -53,15 +77,21 @@ def strip_comments(text: str) -> str:
     return "\n".join(LINE_COMMENT.sub("", line) for line in text.splitlines())
 
 
-def check_file(root: str, rel: str) -> list:
+def check_file(root: str, rel: str, sync_banned: bool, atomics_banned: bool) -> list:
     with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
         code = strip_comments(f.read())
+    patterns = []
+    if sync_banned:
+        patterns += [(p, "use common/sync.hpp primitives") for p in BANNED]
+    if atomics_banned:
+        patterns += [(p, "counters belong in common/metrics.hpp")
+                     for p in ATOMIC_BANNED]
     violations = []
     for lineno, line in enumerate(code.splitlines(), start=1):
-        for pattern in BANNED:
+        for pattern, why in patterns:
             match = pattern.search(line)
             if match:
-                violations.append((rel, lineno, match.group(0)))
+                violations.append((rel, lineno, match.group(0), why))
     return violations
 
 
@@ -78,18 +108,24 @@ def main() -> int:
                 if not name.endswith(CPP_EXTENSIONS):
                     continue
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
-                if rel in ALLOWED:
+                sync_banned = rel not in ALLOWED
+                atomics_banned = (scan_dir == ATOMIC_SCAN_DIR
+                                  and rel not in ATOMIC_ALLOWED)
+                if not sync_banned and not atomics_banned:
                     continue
-                violations.extend(check_file(root, rel))
+                violations.extend(
+                    check_file(root, rel, sync_banned, atomics_banned))
 
     if violations:
-        print("sync discipline violations (use common/sync.hpp primitives):")
-        for rel, lineno, token in violations:
-            print(f"  {rel}:{lineno}: raw `{token.strip()}`")
-        print(f"{len(violations)} violation(s). Only src/common/sync.hpp may "
-              "name raw standard sync primitives.")
+        print("sync discipline violations:")
+        for rel, lineno, token, why in violations:
+            print(f"  {rel}:{lineno}: raw `{token.strip()}` ({why})")
+        print(f"{len(violations)} violation(s). Raw sync primitives live in "
+              "src/common/sync.hpp only; non-bool std::atomic in src/ lives "
+              "in src/common/metrics.hpp only.")
         return 1
-    print("sync discipline: clean (raw primitives only in src/common/sync.hpp)")
+    print("sync discipline: clean (raw primitives only in src/common/sync.hpp; "
+          "non-bool atomics only in src/common/metrics.hpp)")
     return 0
 
 

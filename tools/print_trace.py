@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Pretty-print a HyperFile query trace JSON (hfq --trace=FILE).
+
+Usage:
+    tools/print_trace.py trace.json            # tree view
+    hfq cluster.conf --trace=/dev/stdout ... | tools/print_trace.py -
+
+The trace records one span per engaged site. Each span's `path` is the
+pointer-chase route that first engaged the site (originator first), and
+`first_hop` its distance from the originator, so sorting spans by
+(first_hop, path) reconstructs the fan-out tree of the distributed query.
+
+Per-span durations (drain_us) are measured on each site's own monotonic
+clock: they are comparable as durations but carry no global timeline, so
+this tool never tries to align spans on a shared time axis (DESIGN.md §12).
+"""
+import json
+import sys
+
+
+def fmt_us(us):
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us}us"
+
+
+def print_trace(trace, out=sys.stdout):
+    spans = sorted(trace.get("spans", []),
+                   key=lambda s: (s.get("first_hop", 0), s.get("path", [])))
+    qid = trace.get("query_id", "?")
+    out.write(f"query {qid}: {len(spans)} site(s), "
+              f"{fmt_us(trace.get('elapsed_us', 0))} client-observed\n")
+    for s in spans:
+        hop = s.get("first_hop", 0)
+        indent = "  " * (hop + 1)
+        path = "->".join(str(p) for p in s.get("path", [])) or "(origin)"
+        out.write(f"{indent}site {s.get('site')}  [{path}]\n")
+        out.write(f"{indent}  messages {s.get('messages', 0)}"
+                  f"  duplicates {s.get('duplicates', 0)}"
+                  f"  items {s.get('items', 0)}"
+                  f"  forwarded {s.get('forwarded', 0)}"
+                  f"  results {s.get('results', 0)}\n")
+        out.write(f"{indent}  drains {s.get('drains', 0)}"
+                  f" ({fmt_us(s.get('drain_us', 0))} local clock)"
+                  f"  retries {s.get('retries', 0)}\n")
+    total_dup = sum(s.get("duplicates", 0) for s in spans)
+    total_retry = sum(s.get("retries", 0) for s in spans)
+    if total_dup or total_retry:
+        out.write(f"  network friction: {total_dup} duplicate deliveries "
+                  f"suppressed, {total_retry} send retries\n")
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        sys.stderr.write(__doc__)
+        return 2
+    source = sys.stdin if argv[1] == "-" else open(argv[1])
+    with source:
+        trace = json.load(source)
+    print_trace(trace)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
