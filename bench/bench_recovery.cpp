@@ -1,0 +1,173 @@
+// Recovery bench: time for a crashed site to rebuild its store, as a
+// function of WAL length (DESIGN.md §13).
+//
+// Two recovery shapes per log size:
+//   * replay      — no checkpoint: load nothing, re-apply every WAL record;
+//   * checkpoint  — an online checkpoint subsumed the log: load the
+//                   snapshot, replay an empty WAL.
+// The gap between them is what periodic checkpointing (hyperfiled
+// --checkpoint-interval) buys: recovery cost stops growing with uptime and
+// becomes proportional to store size.
+//
+// Emits BENCH_recovery.json (override with --json <path>).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "store/site_store.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+using namespace hyperfile;
+using namespace hyperfile::bench;
+
+namespace {
+
+std::string bench_dir() {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/hf_bench_recovery";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Drive `records` mutations through a WAL-attached store, the way a
+/// serving site would: mostly puts, a sprinkling of erases, one named set.
+SiteStore build_history(const std::string& wal_path, std::size_t records) {
+  std::filesystem::remove(wal_path);
+  auto replay = replay_wal(wal_path);
+  auto wal = WriteAheadLog::open(wal_path, replay.value());
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 wal.error().to_string().c_str());
+    std::abort();
+  }
+  WriteAheadLog log = std::move(wal).value();
+  SiteStore store(0);
+  store.attach_wal(&log);
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < records; ++i) {
+    if (i % 10 == 9 && !ids.empty()) {
+      store.erase(ids[ids.size() / 2]);  // every 10th record is a delete
+      continue;
+    }
+    const ObjectId id = store.allocate();
+    Object obj(id);
+    obj.add(Tuple::string("Title", "object " + std::to_string(i)));
+    obj.add(Tuple::pointer("Reference", ObjectId(0, (i % 97) + 1)));
+    if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+    store.put(std::move(obj));
+    ids.push_back(id);
+  }
+  store.create_set("S", std::span<const ObjectId>(ids.data(),
+                                                  std::min<std::size_t>(
+                                                      ids.size(), 8)));
+  store.attach_wal(nullptr);
+  return store;
+}
+
+/// WAL-only recovery: what a site that never checkpointed does on restart.
+SiteStore recover_from_wal(const std::string& wal_path) {
+  SiteStore store(0);
+  auto replay = replay_wal(wal_path);
+  if (!replay.ok()) std::abort();
+  for (const auto& rec : replay.value().records) {
+    store.apply_wal_record(rec);
+  }
+  return store;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonSink json("recovery", &argc, argv);
+
+  int runs = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) runs = std::atoi(argv[++i]);
+  }
+
+  header("Recovery: time to rebuild a crashed site vs WAL length",
+         "checkpoints bound recovery by store size; raw replay grows with "
+         "uptime (DESIGN.md §13)");
+  std::printf("%d runs per point\n\n", runs);
+  std::printf("%-12s %10s %12s %12s %12s %12s\n", "mode", "records",
+              "wal(KiB)", "mean(ms)", "min(ms)", "max(ms)");
+
+  const std::string dir = bench_dir();
+  bool all_ok = true;
+  for (std::size_t records : {std::size_t{1000}, std::size_t{4000},
+                              std::size_t{16000}}) {
+    const std::string wal_path =
+        dir + "/site_" + std::to_string(records) + ".wal";
+    const std::string ckpt_path =
+        dir + "/site_" + std::to_string(records) + ".ckpt";
+    SiteStore truth = build_history(wal_path, records);
+    const double wal_kib =
+        static_cast<double>(std::filesystem::file_size(wal_path)) / 1024.0;
+
+    // Correctness gate: recovery must reproduce the store exactly.
+    {
+      SiteStore recovered = recover_from_wal(wal_path);
+      if (recovered.size() != truth.size() ||
+          recovered.next_seq() != truth.next_seq()) {
+        std::fprintf(stderr, "recovery mismatch at %zu records\n", records);
+        all_ok = false;
+      }
+    }
+
+    WallStats replay_wall = time_wall(
+        [&] {
+          SiteStore recovered = recover_from_wal(wal_path);
+          if (recovered.size() == 0) std::abort();
+        },
+        runs, /*warmup=*/1);
+    std::printf("%-12s %10zu %12.1f %12.2f %12.2f %12.2f\n", "replay",
+                records, wal_kib, replay_wall.mean_ms, replay_wall.min_ms,
+                replay_wall.max_ms);
+    BenchRecord rec;
+    rec.config = "replay/records=" + std::to_string(records);
+    rec.mean = replay_wall.mean_ms;
+    rec.min = replay_wall.min_ms;
+    rec.max = replay_wall.max_ms;
+    rec.counters = {
+        {"records", static_cast<double>(records)},
+        {"wal_kib", wal_kib},
+        {"objects", static_cast<double>(truth.size())},
+    };
+    json.add(std::move(rec));
+
+    // The checkpointed path: snapshot once, then recovery = snapshot load.
+    if (auto r = save_snapshot(truth, ckpt_path); !r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error().to_string().c_str());
+      return 1;
+    }
+    WallStats ckpt_wall = time_wall(
+        [&] {
+          auto loaded = load_snapshot(ckpt_path);
+          if (!loaded.ok() || loaded.value().size() != truth.size()) {
+            std::abort();
+          }
+        },
+        runs, /*warmup=*/1);
+    std::printf("%-12s %10zu %12.1f %12.2f %12.2f %12.2f\n", "checkpoint",
+                records, wal_kib, ckpt_wall.mean_ms, ckpt_wall.min_ms,
+                ckpt_wall.max_ms);
+    BenchRecord crec;
+    crec.config = "checkpoint/records=" + std::to_string(records);
+    crec.mean = ckpt_wall.mean_ms;
+    crec.min = ckpt_wall.min_ms;
+    crec.max = ckpt_wall.max_ms;
+    crec.counters = {
+        {"records", static_cast<double>(records)},
+        {"objects", static_cast<double>(truth.size())},
+    };
+    json.add(std::move(crec));
+  }
+
+  return json.write() && all_ok ? 0 : 1;
+}

@@ -89,7 +89,8 @@ int cmd_init(const std::string& config_path, const std::string& dir,
 
 int cmd_serve(SiteId site, const std::string& config_path,
               const std::string& snapshot_path, std::size_t workers,
-              const std::string& metrics_json_path) {
+              const std::string& metrics_json_path, const std::string& wal_dir,
+              long checkpoint_secs) {
   auto peers = read_config(config_path);
   if (!peers.ok()) {
     std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
@@ -130,6 +131,18 @@ int cmd_serve(SiteId site, const std::string& config_path,
   SiteServerOptions options;
   options.drain_workers = workers;
   if (workers > 0) std::printf("parallel drain: %zu workers\n", workers);
+  // Durability (DESIGN.md §13): with --wal-dir every acknowledged mutation
+  // is logged before the site answers for it, and the server recovers
+  // checkpoint + WAL on startup — the snapshot argument only seeds a brand
+  // new site.
+  options.wal_dir = wal_dir;
+  if (checkpoint_secs > 0) {
+    options.checkpoint_interval = Duration(checkpoint_secs * 1'000'000);
+  }
+  if (!wal_dir.empty()) {
+    std::printf("durable: wal-dir %s, checkpoint every %lds\n",
+                wal_dir.c_str(), checkpoint_secs > 0 ? checkpoint_secs : 0);
+  }
   SiteServer server(std::move(net).value(), std::move(store), options);
   server.start();
   std::signal(SIGINT, on_signal);
@@ -172,6 +185,8 @@ int main(int argc, char** argv) {
     std::size_t workers = 0;
     std::string snapshot;
     std::string metrics_json;
+    std::string wal_dir;
+    long checkpoint_secs = 0;
     for (int i = 4; i < argc; ++i) {
       if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
         char* end = nullptr;
@@ -183,22 +198,41 @@ int main(int argc, char** argv) {
         }
       } else if (std::string(argv[i]) == "--metrics-json" && i + 1 < argc) {
         metrics_json = argv[++i];
+      } else if (std::string(argv[i]) == "--wal-dir" && i + 1 < argc) {
+        wal_dir = argv[++i];
+      } else if (std::string(argv[i]) == "--checkpoint-interval" &&
+                 i + 1 < argc) {
+        char* end = nullptr;
+        const char* value = argv[++i];
+        checkpoint_secs = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || checkpoint_secs < 0) {
+          std::fprintf(stderr,
+                       "--checkpoint-interval expects seconds, got '%s'\n",
+                       value);
+          return 1;
+        }
       } else if (snapshot.empty()) {
         snapshot = argv[i];
       }
     }
     return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
-                     snapshot, workers, metrics_json);
+                     snapshot, workers, metrics_json, wal_dir,
+                     checkpoint_secs);
   }
   std::printf(
       "hyperfiled — standalone HyperFile TCP site server\n"
       "  hyperfiled init CONFIG DIR [objects]     generate workload snapshots\n"
       "  hyperfiled serve SITE_ID CONFIG [SNAP] [--workers N]\n"
-      "                  [--metrics-json PATH]\n"
+      "                  [--metrics-json PATH] [--wal-dir DIR]\n"
+      "                  [--checkpoint-interval SECS]\n"
       "                                           run one site; --workers N\n"
       "                                           drains queries on N threads;\n"
       "                                           --metrics-json dumps the\n"
-      "                                           metrics registry at shutdown\n"
+      "                                           metrics registry at shutdown;\n"
+      "                                           --wal-dir makes the site\n"
+      "                                           durable (WAL + recovery);\n"
+      "                                           --checkpoint-interval takes\n"
+      "                                           online checkpoints\n"
       "CONFIG: one \"host port\" line per site. Query with hfq.\n");
   return 0;
 }

@@ -19,6 +19,7 @@ void merge_into(TraceSpan& into, const TraceSpan& from) {
   into.drains = std::max(into.drains, from.drains);
   into.drain_us = std::max(into.drain_us, from.drain_us);
   into.retries = std::max(into.retries, from.retries);
+  into.suspicions = std::max(into.suspicions, from.suspicions);
 }
 
 namespace {
@@ -38,11 +39,11 @@ std::string QueryTrace::to_text() const {
   std::string out = "trace " + query_id + " elapsed " +
                     std::to_string(elapsed_us) + "us\n";
   for (const TraceSpan& s : spans) {
-    char line[256];
+    char line[288];
     std::snprintf(line, sizeof line,
                   "  site %u hop %u path [%s] msgs %llu dup %llu items %llu "
                   "fwd %llu results %llu drains %llu drain_us %llu "
-                  "retries %llu\n",
+                  "retries %llu suspicions %llu\n",
                   s.site, s.first_hop, path_string(s.path, "->").c_str(),
                   static_cast<unsigned long long>(s.messages),
                   static_cast<unsigned long long>(s.duplicates),
@@ -51,7 +52,8 @@ std::string QueryTrace::to_text() const {
                   static_cast<unsigned long long>(s.results),
                   static_cast<unsigned long long>(s.drains),
                   static_cast<unsigned long long>(s.drain_us),
-                  static_cast<unsigned long long>(s.retries));
+                  static_cast<unsigned long long>(s.retries),
+                  static_cast<unsigned long long>(s.suspicions));
     out += line;
   }
   return out;
@@ -74,7 +76,8 @@ std::string QueryTrace::to_json() const {
            ", \"results\": " + std::to_string(s.results) +
            ", \"drains\": " + std::to_string(s.drains) +
            ", \"drain_us\": " + std::to_string(s.drain_us) +
-           ", \"retries\": " + std::to_string(s.retries) + "}";
+           ", \"retries\": " + std::to_string(s.retries) +
+           ", \"suspicions\": " + std::to_string(s.suspicions) + "}";
   }
   out += "]}";
   return out;

@@ -50,6 +50,8 @@ struct TraceSpan {
   std::uint64_t drains = 0;      // drain passes over the local queue
   std::uint64_t drain_us = 0;    // local monotonic time inside drains
   std::uint64_t retries = 0;     // send retries attributed to this query
+  std::uint64_t suspicions = 0;  // peers this site suspected dead during
+                                 // the query (liveness, DESIGN.md §13)
 
   static constexpr std::size_t kMaxPath = 32;
 

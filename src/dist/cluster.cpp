@@ -18,14 +18,16 @@ std::string site_names_path(const std::string& dir, SiteId site) {
 
 Cluster::Cluster(std::size_t sites, SiteServerOptions options,
                  std::size_t clients, EndpointDecorator decorate)
-    : net_(sites + clients) {
+    : net_(sites + clients),
+      options_(std::move(options)),
+      decorate_(std::move(decorate)) {
   servers_.reserve(sites);
   for (std::size_t i = 0; i < sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);
     std::unique_ptr<MessageEndpoint> ep = net_.endpoint(site);
-    if (decorate) ep = decorate(site, std::move(ep));
+    if (decorate_) ep = decorate_(site, std::move(ep));
     servers_.push_back(std::make_unique<SiteServer>(
-        std::move(ep), SiteStore(site), options));
+        std::move(ep), SiteStore(site), options_));
   }
   clients_.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -66,18 +68,40 @@ Result<void> Cluster::move_object(const ObjectId& id, SiteId from, SiteId to) {
   return {};
 }
 
-Result<void> Cluster::save_snapshots(const std::string& dir) const {
-  for (const auto& server : servers_) {
-    if (server->running()) {
-      return make_error(Errc::kInvalidArgument,
-                        "save_snapshots requires a stopped cluster");
-    }
+Result<void> Cluster::restart_site(SiteId site) {
+  if (site >= servers_.size()) {
+    return make_error(Errc::kNotFound, "no such site");
   }
+  if (servers_[site]->running()) {
+    return make_error(Errc::kInvalidArgument,
+                      "restart_site: site " + std::to_string(site) +
+                          " is still running (kill_site it first)");
+  }
+  // Fresh incarnation: reopen the mailbox (pre-crash traffic is gone — a
+  // rebooted process has an empty socket buffer), rebuild the endpoint with
+  // the original decorator, and hand the server an *empty* store so that
+  // whatever it serves afterwards was recovered from checkpoint + WAL.
+  net_.reopen_endpoint(site);
+  std::unique_ptr<MessageEndpoint> ep = net_.endpoint(site);
+  if (decorate_) ep = decorate_(site, std::move(ep));
+  servers_[site] = std::make_unique<SiteServer>(std::move(ep),
+                                                SiteStore(site), options_);
+  servers_[site]->start();
+  return {};
+}
+
+Result<void> Cluster::save_snapshots(const std::string& dir) {
   for (SiteId s = 0; s < static_cast<SiteId>(servers_.size()); ++s) {
-    auto r = save_snapshot(servers_[s]->store(), site_snapshot_path(dir, s));
+    SiteServer& server = *servers_[s];
+    // run_exclusive executes inline when the site is stopped and between
+    // messages on the event loop when it is running — either way the store
+    // is quiescent while we serialize it.
+    auto r = server.run_exclusive([&]() -> Result<void> {
+      auto sr = save_snapshot(server.store(), site_snapshot_path(dir, s));
+      if (!sr.ok()) return sr;
+      return save_registry(server.names(), site_names_path(dir, s));
+    });
     if (!r.ok()) return r;
-    auto nr = save_registry(servers_[s]->names(), site_names_path(dir, s));
-    if (!nr.ok()) return nr;
   }
   return {};
 }

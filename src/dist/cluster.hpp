@@ -40,7 +40,8 @@ class Cluster {
 
   /// `clients` independent client endpoints are created (ids N .. N+C-1);
   /// they may issue queries concurrently from different threads — each
-  /// SiteServer multiplexes per-query contexts.
+  /// SiteServer multiplexes per-query contexts. Options and decorator are
+  /// kept so restart_site() can rebuild a crashed site identically.
   explicit Cluster(std::size_t sites, SiteServerOptions options = {},
                    std::size_t clients = 1, EndpointDecorator decorate = {});
   ~Cluster();
@@ -66,6 +67,22 @@ class Cluster {
     servers_[site]->stop();
   }
 
+  /// Crash-stop a site on a *running* cluster (DESIGN.md §13): its mailbox
+  /// closes (peers get loud kClosed errors, like a dead TCP fd) and its
+  /// event loop stops. Whatever the site had not checkpointed or WAL-logged
+  /// is gone — which is the point of the fault model.
+  void kill_site(SiteId site) { stop_site(site); }
+
+  /// Bring a killed site back on the running cluster. The server is rebuilt
+  /// from an *empty* store with the original options and endpoint decorator:
+  /// with SiteServerOptions::wal_dir set it recovers checkpoint + WAL and
+  /// loses no acknowledged mutation; without durability it rejoins empty.
+  /// Its mailbox reopens discarding pre-crash traffic, and births re-register
+  /// from the recovered store. Known limitation: authoritative location
+  /// records for objects born here that migrated away die with the crash —
+  /// queries chasing them degrade to partial, never hang.
+  Result<void> restart_site(SiteId site);
+
   Client& client(std::size_t index = 0) { return *clients_[index]; }
   std::size_t client_count() const { return clients_.size(); }
   /// The first client's endpoint id (== number of sites).
@@ -75,10 +92,16 @@ class Cluster {
   /// authoritative record + departure hint). Only valid while stopped.
   Result<void> move_object(const ObjectId& id, SiteId from, SiteId to);
 
-  /// Persist every site's store as `<dir>/site_<i>.hfs` (cluster stopped).
-  Result<void> save_snapshots(const std::string& dir) const;
-  /// Reload every site's store from `<dir>/site_<i>.hfs` (cluster stopped).
-  /// A new deployment restored this way answers queries identically.
+  /// Persist every site's store as `<dir>/site_<i>.hfs`. Works on a *live*
+  /// cluster: each running site snapshots inside its own event loop (via
+  /// SiteServer::run_exclusive), so the image is consistent without stopping
+  /// anything; stopped sites snapshot directly. The historical stopped-only
+  /// restriction is gone.
+  Result<void> save_snapshots(const std::string& dir);
+  /// Reload every site's store from `<dir>/site_<i>.hfs`. Still requires a
+  /// stopped cluster — swapping a store under in-flight queries would tear
+  /// results; restart_site() is the supported way to change a live site's
+  /// state. A new deployment restored this way answers queries identically.
   Result<void> load_snapshots(const std::string& dir);
 
   NetworkStats network_stats() const { return net_.stats(); }
@@ -86,6 +109,8 @@ class Cluster {
 
  private:
   InProcNetwork net_;
+  SiteServerOptions options_;      // kept for restart_site rebuilds
+  EndpointDecorator decorate_;     // re-applied to restarted endpoints
   std::vector<std::unique_ptr<SiteServer>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
 };

@@ -1,10 +1,12 @@
 #include "dist/site_server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "query/rewrite.hpp"
+#include "store/snapshot.hpp"
 
 namespace hyperfile {
 namespace {
@@ -36,11 +38,124 @@ SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore stor
     : endpoint_(std::move(endpoint)),
       store_(std::move(store)),
       names_(store_.site()),
-      options_(options) {
+      options_(std::move(options)) {
+  // Recovery first: a durable site's checkpoint + WAL are the authoritative
+  // store state, superseding whatever the caller passed in. Births are then
+  // registered from the *recovered* store.
+  if (!options_.wal_dir.empty()) recover_durable_state();
   // Everything currently stored here was (as far as we know) born here.
   for (const ObjectId& id : store_.all_ids()) names_.register_birth(id);
   if (options_.drain_workers > 0) {
     drain_pool_ = std::make_unique<WorkerPool>(options_.drain_workers);
+  }
+}
+
+void SiteServer::recover_durable_state() {
+  const std::string base =
+      options_.wal_dir + "/site_" + std::to_string(store_.site());
+  const std::string ckpt_path = base + ".ckpt";
+  const std::string wal_path = base + ".wal";
+
+  bool had_checkpoint = false;
+  if (auto restored = load_snapshot(ckpt_path); restored.ok()) {
+    store_ = std::move(restored).value();
+    had_checkpoint = true;
+  }
+  auto replayed = replay_wal(wal_path);
+  if (!replayed.ok()) {
+    // An unreadable log is a durability problem, not an availability one:
+    // serve from what we have (checkpoint or caller store) and start fresh.
+    HF_ERROR << "site " << store_.site() << ": WAL replay failed: "
+             << replayed.error().message;
+    replayed = WalReplay{};
+  }
+  for (const WalRecord& rec : replayed.value().records) {
+    store_.apply_wal_record(rec);
+  }
+  if (replayed.value().torn) {
+    HF_WARN << "site " << store_.site() << ": WAL tail torn after "
+            << replayed.value().records.size()
+            << " records; truncating to last good record";
+  }
+  auto wal = WriteAheadLog::open(wal_path, replayed.value());
+  if (!wal.ok()) {
+    HF_ERROR << "site " << store_.site() << ": cannot open WAL: "
+             << wal.error().message << " — running without durability";
+    return;
+  }
+  wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  store_.attach_wal(wal_.get());
+  if (!had_checkpoint && replayed.value().records.empty() &&
+      store_.size() > 0) {
+    // A seeded store with no durable history yet (first boot from a
+    // snapshot argument): checkpoint it immediately, or a crash before the
+    // first periodic checkpoint would lose the seed on a no-snapshot
+    // restart.
+    if (auto r = do_checkpoint(); !r.ok()) {
+      HF_WARN << "site " << store_.site() << ": initial checkpoint failed: "
+              << r.error().message;
+    }
+  }
+  if (had_checkpoint || !replayed.value().records.empty()) {
+    metrics().counter("dist.crash_recoveries").inc();
+    HF_INFO << "site " << store_.site() << ": recovered "
+            << store_.size() << " objects (checkpoint: "
+            << (had_checkpoint ? "yes" : "no") << ", WAL records: "
+            << replayed.value().records.size() << ")";
+  }
+}
+
+Result<void> SiteServer::do_checkpoint() {
+  if (wal_ == nullptr) {
+    return make_error(Errc::kInvalidArgument,
+                      "site has no wal_dir; nothing to checkpoint");
+  }
+  const std::string base =
+      options_.wal_dir + "/site_" + std::to_string(store_.site());
+  const std::string ckpt_path = base + ".ckpt";
+  const std::string tmp_path = ckpt_path + ".tmp";
+  // Write-then-rename so a crash mid-checkpoint leaves the previous
+  // checkpoint intact; the WAL is only truncated once the new one is the
+  // durable state.
+  if (auto r = save_snapshot(store_, tmp_path); !r.ok()) return r.error();
+  if (std::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+    return make_error(Errc::kIo, "cannot install checkpoint " + ckpt_path);
+  }
+  metrics().counter("dist.checkpoints").inc();
+  return wal_->truncate();
+}
+
+Result<void> SiteServer::checkpoint() {
+  return run_exclusive([this] { return do_checkpoint(); });
+}
+
+Result<void> SiteServer::run_exclusive(
+    const std::function<Result<void>()>& fn) {
+  if (!running_.load()) return fn();  // stopped: the caller owns the state
+  auto waiter = std::make_shared<CtlWaiter>();
+  {
+    MutexLock lock(ctl_mu_);
+    ctl_.push_back(CtlTask{fn, waiter});
+  }
+  MutexLock lock(waiter->mu);
+  while (!waiter->done) waiter->cv.wait(lock);
+  return waiter->result;
+}
+
+void SiteServer::drain_ctl() {
+  std::vector<CtlTask> tasks;
+  {
+    MutexLock lock(ctl_mu_);
+    tasks.swap(ctl_);
+  }
+  for (CtlTask& task : tasks) {
+    Result<void> r = task.fn();
+    {
+      MutexLock lock(task.waiter->mu);
+      task.waiter->result = std::move(r);
+      task.waiter->done = true;
+    }
+    task.waiter->cv.notify_all();
   }
 }
 
@@ -57,6 +172,10 @@ void SiteServer::stop() {
   stopping_.store(true);
   if (thread_.joinable()) thread_.join();
   running_.store(false);
+  // Serve any run_exclusive calls that raced the shutdown — their callers
+  // are blocked waiting; with the loop thread gone this thread owns the
+  // loop-confined state.
+  drain_ctl();
   // Fold stats of any still-live contexts (e.g. queries interrupted by
   // shutdown) into the totals; safe now that the loop thread is gone.
   MutexLock lock(stats_mu_);
@@ -79,10 +198,23 @@ void SiteServer::run_loop() {
   Gauge& contexts_gauge =
       metrics().gauge("dist.contexts", "site=" + std::to_string(store_.site()));
   last_sweep_ = now_tick();
+  last_checkpoint_ = last_sweep_;
+  last_liveness_check_ = last_sweep_;
   while (!stopping_.load()) {
     auto env = endpoint_->recv(options_.poll_interval);
     if (env.has_value()) handle(std::move(*env));
+    drain_ctl();
     sweep_contexts();
+    check_liveness();
+    if (options_.checkpoint_interval > Duration(0) && wal_ != nullptr &&
+        wal_->record_count() > 0 &&
+        now_tick() - last_checkpoint_ >= options_.checkpoint_interval) {
+      last_checkpoint_ = now_tick();
+      if (auto r = do_checkpoint(); !r.ok()) {
+        HF_WARN << "site " << store_.site()
+                << ": periodic checkpoint failed: " << r.error().message;
+      }
+    }
     contexts_gauge.set(static_cast<std::int64_t>(contexts_.size()));
     MutexLock lock(stats_mu_);
     context_count_cache_ = contexts_.size();
@@ -183,8 +315,127 @@ void SiteServer::sweep_contexts() {
   }
 }
 
+void SiteServer::check_liveness() {
+  if (options_.suspect_after <= Duration(0)) return;
+  const auto now = now_tick();
+  if (now - last_liveness_check_ < options_.suspect_after / 4) return;
+  last_liveness_check_ = now;
+
+  // Peers of interest: anyone a live query of ours is waiting on. For an
+  // origination that is every involved site; for a participation it is the
+  // originator (whose QueryDone we are waiting for).
+  std::unordered_set<SiteId> interest;
+  for (const auto& [qid, o] : originated_) {
+    if (o.replied) continue;
+    for (SiteId s : o.involved) interest.insert(s);
+  }
+  for (const auto& [qid, p] : contexts_) {
+    if (qid.originator != store_.site()) interest.insert(qid.originator);
+  }
+  interest.erase(store_.site());
+
+  const Duration probe_after = options_.suspect_after / 3;
+  std::vector<SiteId> newly_suspect;
+  for (SiteId peer : interest) {
+    auto [it, fresh] = liveness_.try_emplace(peer);
+    PeerLiveness& pl = it->second;
+    if (fresh) {
+      // First interest in this peer: give it a full window from now rather
+      // than suspecting it for silence predating our interest.
+      pl.last_seen = now;
+      continue;
+    }
+    if (pl.suspected) continue;
+    const auto silent = now - pl.last_seen;
+    if (silent >= options_.suspect_after) {
+      newly_suspect.push_back(peer);
+    } else if (silent >= probe_after && now - pl.last_ping >= probe_after) {
+      pl.last_ping = now;
+      // Fire-and-forget probe. A *loud* failure (kClosed: dead fd, closed
+      // mailbox) is already a verdict — no need to wait out the window.
+      if (auto r = endpoint_->send(peer, wire::PingMessage{true}); !r.ok()) {
+        newly_suspect.push_back(peer);
+      }
+    }
+  }
+  for (SiteId peer : newly_suspect) suspect_peer(peer);
+
+  // Suspicion must heal: a crashed site that restarts (or a partition that
+  // mends) never sends us anything unsolicited, so keep pinging suspects —
+  // independent of query interest — and let the reply's arrival in handle()
+  // revive them. Failures just mean the suspect is still dead.
+  for (auto& [peer, pl] : liveness_) {
+    if (!pl.suspected || now - pl.last_ping < probe_after) continue;
+    pl.last_ping = now;
+    (void)endpoint_->send(peer, wire::PingMessage{true});
+  }
+}
+
+void SiteServer::suspect_peer(SiteId peer) {
+  auto it = liveness_.find(peer);
+  if (it == liveness_.end() || it->second.suspected) return;
+  it->second.suspected = true;
+  metrics().counter("dist.suspicions").inc();
+  HF_WARN << "site " << store_.site() << ": suspecting site " << peer
+          << " (silent past suspicion window)";
+
+  // Originations waiting on the suspect: force-finish as partial *now* —
+  // the whole point of suspicion is answering within this window instead of
+  // the much larger context_ttl. The suspicion is annotated on the
+  // originator's own span before the reply assembles the trace.
+  std::vector<wire::QueryId> to_finish;
+  for (auto& [qid, o] : originated_) {
+    if (!o.replied && o.involved.count(peer) != 0) to_finish.push_back(qid);
+  }
+  for (const auto& qid : to_finish) {
+    auto oit = originated_.find(qid);
+    if (oit == originated_.end()) continue;
+    if (auto cit = contexts_.find(qid); cit != contexts_.end()) {
+      ++cit->second.span.suspicions;
+    }
+    HF_INFO << "site " << store_.site() << ": query " << qid.to_string()
+            << " involves suspected site " << peer
+            << "; forcing partial reply";
+    maybe_finish(qid, oit->second, /*force=*/true);
+  }
+
+  // Participations whose originator is the suspect: nobody is left to send
+  // QueryDone. One final flush (results + weight head home the moment the
+  // originator revives and its mailbox drains) and discard.
+  std::vector<wire::QueryId> orphaned;
+  for (const auto& [qid, p] : contexts_) {
+    if (qid.originator == peer) orphaned.push_back(qid);
+  }
+  for (const auto& qid : orphaned) {
+    drain_and_flush(qid);
+    discard_context(qid);
+  }
+}
+
 void SiteServer::handle(wire::Envelope env) {
   const SiteId src = env.src;
+  // Piggybacked heartbeat: any frame from a peer proves it alive. Seeing a
+  // *suspected* peer again clears the suspicion — new work routes to it
+  // once more (its durable store recovered whatever it acknowledged).
+  if (options_.suspect_after > Duration(0) && src != store_.site() &&
+      src != kNoSite) {
+    auto [it, fresh] = liveness_.try_emplace(src);
+    it->second.last_seen = now_tick();
+    if (!fresh && it->second.suspected) {
+      it->second.suspected = false;
+      metrics().counter("dist.peer_revivals").inc();
+      HF_INFO << "site " << store_.site() << ": site " << src
+              << " seen alive again";
+    }
+  }
+  if (auto* pg = std::get_if<wire::PingMessage>(&env.message)) {
+    // Answer probes immediately; replies (want_reply=false) were only ever
+    // for the last-seen refresh above.
+    if (pg->want_reply && src != store_.site() && src != kNoSite) {
+      (void)endpoint_->send(src, wire::PingMessage{false});
+    }
+    return;
+  }
   if (auto* dr = std::get_if<wire::DerefRequest>(&env.message)) {
     handle_deref(src, std::move(*dr));
   } else if (auto* bd = std::get_if<wire::BatchDerefRequest>(&env.message)) {
@@ -316,6 +567,19 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
     auto hop = names_.next_hop(item.id);
     if (!hop.has_value()) return;  // final arbiter says gone: partial result
     dest = *hop;
+  }
+
+  // Route around a suspected peer: sending would either fail loudly (true
+  // crash) or silently strand weight (partitioned), so drop the item as a
+  // *known* loss instead — the reply comes back flagged partial instead of
+  // waiting out retries against a dead site.
+  if (peer_suspected(dest)) {
+    if (Origination* o = find_origination(qid)) {
+      ++o->dropped_items;
+    } else {
+      ++p.dropped;
+    }
+    return;
   }
 
   if (options_.batch_remote_derefs) {

@@ -32,12 +32,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/sync.hpp"
 #include "common/trace.hpp"
@@ -46,6 +49,7 @@
 #include "naming/name_registry.hpp"
 #include "net/endpoint.hpp"
 #include "store/site_store.hpp"
+#include "store/wal.hpp"
 #include "term/weighted.hpp"
 
 namespace hyperfile {
@@ -96,6 +100,29 @@ struct SiteServerOptions {
   /// are then discarded. Keeps "partial results, never a hang" true under
   /// message loss.
   Duration context_ttl = Duration(10'000'000);
+  /// Durability (DESIGN.md §13). Empty = volatile site (the default). When
+  /// set, the server keeps `<wal_dir>/site_<id>.wal` (every store mutation,
+  /// redo-logged before it is acknowledged) and `<wal_dir>/site_<id>.ckpt`
+  /// (the latest checkpoint). Construction *recovers*: if either file
+  /// exists, the checkpoint + replayed WAL supersede the store passed to
+  /// the constructor — which is what lets a crashed site restart with its
+  /// data intact (Cluster::restart_site hands in an empty store on purpose).
+  std::string wal_dir;
+  /// With wal_dir set and an interval > 0, the event loop periodically
+  /// snapshots the store to the checkpoint file and truncates the WAL,
+  /// bounding recovery time. 0 = only explicit checkpoint() calls.
+  Duration checkpoint_interval = Duration(0);
+  /// Failure detection (DESIGN.md §13). 0 = disabled. When set, the server
+  /// tracks per-peer last-seen times (every received envelope is an implicit
+  /// heartbeat), probes quiet peers of interest with PingMessage after a
+  /// third of the window, and *suspects* a peer silent for the full window.
+  /// Suspecting a participant force-finishes the originator's query as
+  /// `partial` right away — within this window instead of the much larger
+  /// context_ttl — and new work routes around the suspect until it is seen
+  /// alive again. Keep this comfortably above the longest expected drain:
+  /// the event loop cannot answer pings mid-drain, so an aggressive window
+  /// turns a slow site into a falsely suspected one.
+  Duration suspect_after = Duration(0);
 };
 
 class SiteServer {
@@ -116,6 +143,18 @@ class SiteServer {
   void start();
   void stop();
   bool running() const { return running_.load(); }
+
+  /// Run `fn` with exclusive ownership of the loop-confined state (store_,
+  /// contexts_, names_): inline when the server is stopped, otherwise
+  /// enqueued onto the event loop and waited for. This is how online
+  /// snapshots and checkpoints happen "under the store lock" — the lock
+  /// being the loop confinement itself (DESIGN.md §9/§13).
+  Result<void> run_exclusive(const std::function<Result<void>()>& fn);
+
+  /// Snapshot the store to the checkpoint file and truncate the WAL. Safe
+  /// on a live server (routed through run_exclusive). Error if the server
+  /// has no wal_dir.
+  Result<void> checkpoint();
 
   /// Aggregated engine statistics across all queries this site processed.
   EngineStats engine_stats() const;
@@ -196,7 +235,30 @@ class SiteServer {
     std::chrono::steady_clock::time_point started;
   };
 
+  /// Last-seen bookkeeping for one peer (liveness, DESIGN.md §13).
+  struct PeerLiveness {
+    std::chrono::steady_clock::time_point last_seen;
+    std::chrono::steady_clock::time_point last_ping;
+    bool suspected = false;
+  };
+
   void run_loop();
+  /// Crash recovery + WAL attach (constructor, when wal_dir is set).
+  void recover_durable_state();
+  /// Checkpoint on the loop thread (or pre-start): snapshot to a temp file,
+  /// atomically rename over the checkpoint, truncate the WAL.
+  Result<void> do_checkpoint();
+  /// Execute queued run_exclusive closures (loop thread, or stop() after
+  /// the join so no caller is left blocked).
+  void drain_ctl();
+  /// Periodic failure detection: ping quiet peers of interest, suspect the
+  /// silent ones, force-finish their queries as partial.
+  void check_liveness();
+  void suspect_peer(SiteId peer);
+  bool peer_suspected(SiteId peer) const {
+    auto it = liveness_.find(peer);
+    return it != liveness_.end() && it->second.suspected;
+  }
   void handle(wire::Envelope env);
   void handle_deref(SiteId src, wire::DerefRequest dr);
   void handle_batch_deref(SiteId src, wire::BatchDerefRequest bd);
@@ -271,6 +333,9 @@ class SiteServer {
   SiteStore store_;
   NameRegistry names_;
   SiteServerOptions options_;
+  /// The site's redo log (wal_dir set). unique_ptr so the address the store
+  /// shadows into stays stable. Loop-confined like the store it mirrors.
+  std::unique_ptr<WriteAheadLog> wal_;
   /// Long-lived drain workers (drain_workers > 0), shared by every query
   /// context this site ever processes. Declared before contexts_ so any
   /// execution still alive at destruction outlives its pool references.
@@ -291,16 +356,37 @@ class SiteServer {
   /// marks unsequenced messages, which are never suppressed.
   std::uint64_t next_msg_seq_ = 1;
   std::chrono::steady_clock::time_point last_sweep_;
+  std::chrono::steady_clock::time_point last_checkpoint_;
+  std::chrono::steady_clock::time_point last_liveness_check_;
   std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash> contexts_;
   std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash> originated_;
   /// Result sets of count_only queries: name -> sites holding portions.
   std::unordered_map<std::string, std::vector<SiteId>> distributed_sets_;
+  /// Per-peer liveness clocks (suspect_after > 0). Loop-confined; entries
+  /// are created lazily when a peer first becomes of interest.
+  std::unordered_map<SiteId, PeerLiveness> liveness_;
 
   /// Guards the cross-thread observer snapshots (engine_stats(),
   /// context_count() — callable from any thread while the loop runs).
   mutable Mutex stats_mu_;
   EngineStats total_stats_ HF_GUARDED_BY(stats_mu_);
   std::size_t context_count_cache_ HF_GUARDED_BY(stats_mu_) = 0;
+
+  /// run_exclusive handoff: closures queued by other threads, drained by
+  /// the event loop between messages (the only cross-thread channel into
+  /// the loop-confined state).
+  struct CtlWaiter {
+    Mutex mu;
+    CondVar cv;
+    bool done HF_GUARDED_BY(mu) = false;
+    Result<void> result HF_GUARDED_BY(mu);
+  };
+  struct CtlTask {
+    std::function<Result<void>()> fn;
+    std::shared_ptr<CtlWaiter> waiter;
+  };
+  mutable Mutex ctl_mu_;
+  std::vector<CtlTask> ctl_ HF_GUARDED_BY(ctl_mu_);
 };
 
 }  // namespace hyperfile

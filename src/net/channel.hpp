@@ -55,6 +55,15 @@ class Channel {
     cv_.notify_all();
   }
 
+  /// Undo close() and discard anything queued — a restarted site must start
+  /// from an empty mailbox, not replay traffic addressed to its previous
+  /// incarnation (crash-stop semantics, DESIGN.md §13).
+  void reopen() {
+    MutexLock lock(mu_);
+    items_.clear();
+    closed_ = false;
+  }
+
   bool closed() const {
     MutexLock lock(mu_);
     return closed_;

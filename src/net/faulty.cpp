@@ -44,6 +44,32 @@ FaultInjectingEndpoint::advance_tick() {
   return due;
 }
 
+std::vector<SiteId> FaultInjectingEndpoint::drop_crashed(
+    std::vector<Held>& frames) {
+  std::vector<SiteId> dropped_links;
+  if (crashed_.empty()) return dropped_links;
+  auto it = frames.begin();
+  while (it != frames.end()) {
+    if (crashed_.count(it->to) != 0) {
+      ++stats_.crash_dropped;
+      dropped_links.push_back(it->to);
+      it = frames.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped_links;
+}
+
+void FaultInjectingEndpoint::count_crash_dropped(
+    const std::vector<SiteId>& links) {
+  for (SiteId to : links) {
+    metrics()
+        .counter("net.fault.crash_dropped", link_label(inner_->self(), to))
+        .inc();
+  }
+}
+
 void FaultInjectingEndpoint::deliver(std::vector<Held> due) {
   if (due.empty()) return;
   // Late delivery of a frame whose link has died is just another drop; the
@@ -64,14 +90,24 @@ void FaultInjectingEndpoint::deliver(std::vector<Held> due) {
 
 Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
   std::vector<Held> due;
-  enum class Verdict { kForward, kDuplicate, kDrop, kHold, kPartitioned };
+  std::vector<SiteId> dead_links;
+  enum class Verdict {
+    kForward, kDuplicate, kDrop, kHold, kPartitioned, kCrashed
+  };
   Verdict verdict = Verdict::kForward;
   std::uint64_t hold = 0;
   {
     MutexLock lock(mu_);
     due = advance_tick();
+    dead_links = drop_crashed(due);
     ++stats_.attempts;
-    if (link_exempt(to)) {
+    // Crash outranks every other treatment, exemptions included: a dead
+    // process is equally dead on an exempt link, and the failure must be
+    // *detected* (kClosed), never silently injected away.
+    if (crashed_.count(to) != 0) {
+      ++stats_.crashed;
+      verdict = Verdict::kCrashed;
+    } else if (link_exempt(to)) {
       ++stats_.forwarded;
     } else if (all_partitioned_ || partitioned_.count(to) != 0) {
       ++stats_.partitioned;
@@ -124,11 +160,20 @@ Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
     case Verdict::kPartitioned:
       metrics().counter("net.fault.partitioned", link).inc();
       break;
+    case Verdict::kCrashed:
+      metrics().counter("net.fault.crashed", link).inc();
+      break;
     case Verdict::kForward:
       break;
   }
+  count_crash_dropped(dead_links);
   deliver(std::move(due));
   switch (verdict) {
+    case Verdict::kCrashed:
+      // Loud, immediate, detected — exactly what TcpNetwork reports once
+      // the peer's fd dies. The caller's repay-and-drop path owns recovery.
+      return make_error(Errc::kClosed,
+                        "peer " + std::to_string(to) + " crashed");
     case Verdict::kPartitioned:
     case Verdict::kDrop:
     case Verdict::kHold:
@@ -159,10 +204,13 @@ Result<void> FaultInjectingEndpoint::send(SiteId to, wire::Message message) {
 
 std::optional<wire::Envelope> FaultInjectingEndpoint::recv(Duration timeout) {
   std::vector<Held> due;
+  std::vector<SiteId> dead_links;
   {
     MutexLock lock(mu_);
     due = advance_tick();
+    dead_links = drop_crashed(due);
   }
+  count_crash_dropped(dead_links);
   deliver(std::move(due));
   return inner_->recv(timeout);
 }
@@ -188,12 +236,35 @@ void FaultInjectingEndpoint::heal_all() {
   partitioned_.clear();
 }
 
+void FaultInjectingEndpoint::crash(SiteId peer) {
+  std::vector<Held> held;
+  std::vector<SiteId> dead_links;
+  {
+    MutexLock lock(mu_);
+    crashed_.insert(peer);
+    // Discard in-flight held frames to the peer right away rather than at
+    // the next tick: once crashed, nothing may reach it.
+    held.swap(held_);
+    dead_links = drop_crashed(held);
+    held_.swap(held);
+  }
+  count_crash_dropped(dead_links);
+}
+
+void FaultInjectingEndpoint::revive(SiteId peer) {
+  MutexLock lock(mu_);
+  crashed_.erase(peer);
+}
+
 void FaultInjectingEndpoint::flush_held() {
   std::vector<Held> due;
+  std::vector<SiteId> dead_links;
   {
     MutexLock lock(mu_);
     due.swap(held_);
+    dead_links = drop_crashed(due);
   }
+  count_crash_dropped(dead_links);
   deliver(std::move(due));
 }
 

@@ -18,7 +18,15 @@
 //
 // Runtime partition/heal toggles cut individual links (or the whole
 // endpoint) mid-run: partitioned sends are silently swallowed, modelling a
-// network partition rather than a crashed peer.
+// network partition. A *crashed* peer is the other fault class and is
+// modelled separately by crash()/revive(): sends to a crashed peer fail
+// loudly with kClosed — the same detected error TcpNetwork reports for a
+// dead fd and InProcNetwork for a closed mailbox — so the sender's
+// repay-and-drop path fires immediately instead of waiting out a TTL.
+// Partition = the wire lies (silent loss); crash = the OS tells the truth
+// (connection refused). Held frames already in flight to a peer that then
+// crashes are discarded at release time and counted as crash_dropped, so
+// the conservation laws below stay exact.
 #pragma once
 
 #include <memory>
@@ -52,8 +60,8 @@ struct FaultOptions {
 
 /// Ground truth for every frame the injector touched. Two conservation laws
 /// hold at all times (asserted by tests/test_chaos.cpp):
-///   attempts == forwarded + dropped + held + partitioned
-///   held     == released + frames still waiting for their tick
+///   attempts == forwarded + dropped + held + partitioned + crashed
+///   held     == released + crash_dropped + frames still waiting their tick
 /// and once every held frame has been flushed,
 ///   delivered == successful inner sends (forwarded + duplicated + released
 ///                minus any the inner endpoint rejected).
@@ -65,6 +73,8 @@ struct FaultStats {
   std::uint64_t held = 0;         // frames delayed/reordered
   std::uint64_t released = 0;     // held frames later shipped
   std::uint64_t partitioned = 0;  // swallowed by an active partition
+  std::uint64_t crashed = 0;      // refused loudly: destination crashed
+  std::uint64_t crash_dropped = 0;  // held frames discarded at release
   std::uint64_t delivered = 0;    // frames the inner endpoint accepted
 };
 
@@ -86,6 +96,13 @@ class FaultInjectingEndpoint final : public MessageEndpoint {
   void partition_all();
   void heal_all();
 
+  /// Mark `peer` crashed: sends fail loudly with kClosed (a detected error,
+  /// unlike partition's silent swallow) and held frames destined to it are
+  /// discarded as crash_dropped. Applies even to exempt links — a dead
+  /// process is dead on every link. revive() restores normal treatment.
+  void crash(SiteId peer);
+  void revive(SiteId peer);
+
   /// Release every held frame immediately (e.g. before shutdown assertions).
   void flush_held();
 
@@ -103,7 +120,13 @@ class FaultInjectingEndpoint final : public MessageEndpoint {
   /// caller ships them after dropping the lock (inner sends are not made
   /// under mu_).
   std::vector<Held> advance_tick() HF_REQUIRES(mu_);
+  /// Remove frames destined to a crashed peer from `frames`, counting them
+  /// as crash_dropped; returns their destinations so the caller can emit
+  /// per-link metrics outside the lock.
+  std::vector<SiteId> drop_crashed(std::vector<Held>& frames)
+      HF_REQUIRES(mu_);
   void deliver(std::vector<Held> due);
+  void count_crash_dropped(const std::vector<SiteId>& links);
 
   std::unique_ptr<MessageEndpoint> inner_;
   const FaultOptions options_;
@@ -114,6 +137,7 @@ class FaultInjectingEndpoint final : public MessageEndpoint {
   std::vector<Held> held_ HF_GUARDED_BY(mu_);
   std::unordered_set<SiteId> partitioned_ HF_GUARDED_BY(mu_);
   bool all_partitioned_ HF_GUARDED_BY(mu_) = false;
+  std::unordered_set<SiteId> crashed_ HF_GUARDED_BY(mu_);
   FaultStats stats_ HF_GUARDED_BY(mu_);
 };
 

@@ -87,6 +87,10 @@ void InProcNetwork::close_endpoint(SiteId site) {
   if (site < mailboxes_.size()) mailboxes_[site]->close();
 }
 
+void InProcNetwork::reopen_endpoint(SiteId site) {
+  if (site < mailboxes_.size()) mailboxes_[site]->reopen();
+}
+
 NetworkStats InProcNetwork::stats() const {
   MutexLock lock(stats_mu_);
   return stats_;

@@ -36,6 +36,11 @@ class InProcNetwork {
   /// a TCP connect would fail.
   void close_endpoint(SiteId site);
 
+  /// Re-open a mailbox closed by close_endpoint, discarding any frames that
+  /// were queued before the crash: a restarted site rejoins with an empty
+  /// mailbox (Cluster::restart_site).
+  void reopen_endpoint(SiteId site);
+
   /// Aggregate traffic statistics (thread-safe snapshot).
   NetworkStats stats() const;
 

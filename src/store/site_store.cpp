@@ -1,11 +1,53 @@
 #include "store/site_store.hpp"
 
+#include "common/logging.hpp"
+#include "store/wal.hpp"
+
 namespace hyperfile {
+
+// WAL shadowing: every mutator funnels its post-state through log_put /
+// log_erase / bind_set so an attached log sees exactly the acknowledged
+// mutations, in order. Append failures are surfaced as warnings rather than
+// failing the mutation — the store stays authoritative in memory; a sick
+// disk degrades durability, not availability (DESIGN.md §13).
+void SiteStore::log_put(const Object& obj) {
+  if (wal_ == nullptr) return;
+  if (auto r = wal_->append(WalRecord::put(obj, next_seq_)); !r.ok()) {
+    HF_WARN << "site " << site_ << ": WAL append failed: "
+            << r.error().message;
+  }
+}
+
+void SiteStore::log_erase(const ObjectId& id) {
+  if (wal_ == nullptr) return;
+  if (auto r = wal_->append(WalRecord::erase(id, next_seq_)); !r.ok()) {
+    HF_WARN << "site " << site_ << ": WAL append failed: "
+            << r.error().message;
+  }
+}
+
+void SiteStore::apply_wal_record(const WalRecord& rec) {
+  switch (rec.op) {
+    case WalRecord::Op::kPut:
+      objects_[rec.object.id()] = rec.object;
+      break;
+    case WalRecord::Op::kErase:
+      objects_.erase(rec.id);
+      break;
+    case WalRecord::Op::kBindSet:
+      named_sets_[rec.name] = rec.id;
+      break;
+  }
+  // next_seq only ever moves forward: a record's snapshot of the allocator
+  // never un-allocates ids handed out later.
+  if (rec.next_seq > next_seq_) next_seq_ = rec.next_seq;
+}
 
 ObjectId SiteStore::put(Object obj) {
   if (!obj.id().valid()) obj.set_id(allocate());
   const ObjectId id = obj.id();
   objects_[id] = std::move(obj);
+  log_put(objects_[id]);
   return id;
 }
 
@@ -20,13 +62,18 @@ const Object* SiteStore::get(const ObjectId& id) const {
   return it == objects_.end() ? nullptr : &it->second;
 }
 
-bool SiteStore::erase(const ObjectId& id) { return objects_.erase(id) != 0; }
+bool SiteStore::erase(const ObjectId& id) {
+  if (objects_.erase(id) == 0) return false;
+  log_erase(id);
+  return true;
+}
 
 std::optional<Object> SiteStore::take(const ObjectId& id) {
   auto it = objects_.find(id);
   if (it == objects_.end()) return std::nullopt;
   Object obj = std::move(it->second);
   objects_.erase(it);
+  log_erase(id);
   return obj;
 }
 
@@ -38,6 +85,7 @@ Result<void> SiteStore::modify(const ObjectId& id,
   }
   mutator(it->second);
   it->second.set_id(id);  // identity is immutable
+  log_put(it->second);
   return {};
 }
 
@@ -109,8 +157,18 @@ ObjectId SiteStore::create_set(const std::string& name,
     set_obj.add(Tuple::pointer(kSetMemberKey, m));
   }
   const ObjectId id = put(std::move(set_obj));
-  named_sets_[name] = id;
+  bind_set(name, id);
   return id;
+}
+
+void SiteStore::bind_set(const std::string& name, const ObjectId& id) {
+  named_sets_[name] = id;
+  if (wal_ == nullptr) return;
+  if (auto r = wal_->append(WalRecord::bind_set(name, id, next_seq_));
+      !r.ok()) {
+    HF_WARN << "site " << site_ << ": WAL append failed: "
+            << r.error().message;
+  }
 }
 
 std::optional<ObjectId> SiteStore::find_set(const std::string& name) const {

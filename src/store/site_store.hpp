@@ -30,6 +30,9 @@
 
 namespace hyperfile {
 
+class WriteAheadLog;
+struct WalRecord;
+
 /// Tuple key used for set-membership pointers inside set objects.
 inline constexpr const char* kSetMemberKey = "member";
 
@@ -101,9 +104,7 @@ class SiteStore {
   ObjectId create_set(const std::string& name, std::span<const ObjectId> members);
 
   /// Bind `name` to an existing object that acts as a set.
-  void bind_set(const std::string& name, const ObjectId& id) {
-    named_sets_[name] = id;
-  }
+  void bind_set(const std::string& name, const ObjectId& id);
 
   std::optional<ObjectId> find_set(const std::string& name) const;
 
@@ -112,11 +113,25 @@ class SiteStore {
 
   std::vector<std::string> set_names() const;
 
+  // --- durability (store/wal.hpp, DESIGN.md §13) ------------------------
+  /// Shadow every mutation into `wal` (non-owning; pass nullptr to detach).
+  /// Detached by default — and during recovery, so replayed mutations are
+  /// not re-logged. The WAL shares this store's external synchronization.
+  void attach_wal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() const { return wal_; }
+
+  /// Re-apply one replayed record. Used by recovery (detach the WAL first).
+  void apply_wal_record(const WalRecord& rec);
+
  private:
+  void log_put(const Object& obj);
+  void log_erase(const ObjectId& id);
+
   SiteId site_;
   LocalSeq next_seq_ = 1;
   std::unordered_map<ObjectId, Object> objects_;
   std::unordered_map<std::string, ObjectId> named_sets_;
+  WriteAheadLog* wal_ = nullptr;
 };
 
 }  // namespace hyperfile

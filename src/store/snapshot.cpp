@@ -1,5 +1,6 @@
 #include "store/snapshot.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 
@@ -70,9 +71,18 @@ Result<SiteStore> restore_store(std::span<const std::uint8_t> data) {
   if (!next_seq.ok()) return next_seq.error();
   auto count = d.varint();
   if (!count.ok()) return count.error();
+  // Every object costs at least one byte on the wire, so a count beyond the
+  // remaining bytes is corrupt framing — reject it up front instead of
+  // looping until the decoder underflows.
+  if (count.value() > d.remaining()) {
+    return make_error(Errc::kDecode, "snapshot object count exceeds payload");
+  }
+  LocalSeq max_seq = 0;
   for (std::uint64_t i = 0; i < count.value(); ++i) {
     auto obj = wire::decode_object(d);
     if (!obj.ok()) return obj.error();
+    const ObjectId id = obj.value().id();
+    if (id.birth_site == store.site() && id.seq > max_seq) max_seq = id.seq;
     store.put(std::move(obj).value());
   }
   auto nsets = d.varint();
@@ -85,8 +95,10 @@ Result<SiteStore> restore_store(std::span<const std::uint8_t> data) {
     store.bind_set(name.value(), id.value());
   }
   if (!d.done()) return make_error(Errc::kDecode, "trailing snapshot bytes");
-  // Restore the allocator *after* puts so reloaded ids don't bump it.
-  store.set_next_seq(next_seq.value());
+  // Restore the allocator *after* puts so reloaded ids don't bump it. Guard
+  // against a (corrupt or hand-edited) counter that lags the objects it
+  // ships: allocate() must never re-issue the id of a restored object.
+  store.set_next_seq(std::max<LocalSeq>(next_seq.value(), max_seq + 1));
   return store;
 }
 

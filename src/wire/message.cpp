@@ -18,6 +18,7 @@ enum class Tag : std::uint8_t {
   kMoveData = 10,
   kLocationUpdate = 11,
   kMoveReply = 12,
+  kPing = 13,
 };
 
 void encode_qid(Encoder& e, const QueryId& q) {
@@ -66,6 +67,7 @@ void encode_span(Encoder& e, const TraceSpan& s) {
   e.varint(s.drains);
   e.varint(s.drain_us);
   e.varint(s.retries);
+  e.varint(s.suspicions);
 }
 
 Result<TraceSpan> decode_span(Decoder& d) {
@@ -81,7 +83,7 @@ Result<TraceSpan> decode_span(Decoder& d) {
   s.path = std::move(path).value();
   std::uint64_t* fields[] = {&s.messages, &s.duplicates, &s.items,
                              &s.forwarded, &s.results,    &s.drains,
-                             &s.drain_us,  &s.retries};
+                             &s.drain_us,  &s.retries,    &s.suspicions};
   for (std::uint64_t* f : fields) {
     auto v = d.varint();
     if (!v.ok()) return v.error();
@@ -160,6 +162,8 @@ const char* message_type_name(const Message& m) {
       return "LocationUpdate";
     case 11:
       return "MoveReply";
+    case 12:
+      return "PingMessage";
   }
   return "?";
 }
@@ -236,6 +240,9 @@ Bytes encode_message(const Message& m) {
     e.u8(mr->ok ? 1 : 0);
     e.string(mr->error);
     e.varint(mr->now_at);
+  } else if (const auto* pg = std::get_if<PingMessage>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kPing));
+    e.u8(pg->want_reply ? 1 : 0);
   } else if (const auto* bd = std::get_if<BatchDerefRequest>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kBatchDeref));
     encode_qid(e, bd->qid);
@@ -560,6 +567,11 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       if (!at.ok()) return at.error();
       mr.now_at = static_cast<SiteId>(at.value());
       return Message(std::move(mr));
+    }
+    case Tag::kPing: {
+      auto want = d.u8();
+      if (!want.ok()) return want.error();
+      return Message(PingMessage{want.value() != 0});
     }
   }
   return make_error(Errc::kDecode,

@@ -215,10 +215,20 @@ struct TermAck {
   std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
 };
 
+/// Liveness probe (DESIGN.md §13). Heartbeats are normally piggybacked —
+/// any received envelope proves its sender alive — so Ping only travels on
+/// links that have gone quiet: `want_reply=true` asks the peer to answer
+/// with a `want_reply=false` Ping, refreshing the prober's last-seen clock.
+/// Pings are fire-and-forget: never retried, never sequenced, and a loud
+/// send failure is itself a liveness verdict.
+struct PingMessage {
+  bool want_reply = false;
+};
+
 using Message = std::variant<DerefRequest, StartQuery, ResultMessage, QueryDone,
                              ClientRequest, ClientReply, BatchDerefRequest,
                              TermAck, MoveCommand, MoveData, LocationUpdate,
-                             MoveReply>;
+                             MoveReply, PingMessage>;
 
 /// Transport envelope. src/dst are site ids; the client library occupies a
 /// site id of its own (the paper's client ran "at a separate machine from

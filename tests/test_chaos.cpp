@@ -14,9 +14,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "dist/client.hpp"
 #include "dist/cluster.hpp"
 #include "dist/site_server.hpp"
@@ -98,10 +101,13 @@ struct ChaosCluster {
   std::vector<FaultInjectingEndpoint*> injectors;  // owned by the servers
 
   ChaosCluster(TerminationAlgorithm algo, const FaultOptions& faults,
-               std::size_t sites = 3) {
+               std::size_t sites = 3,
+               std::function<void(SiteServerOptions&)> tweak = {}) {
+    SiteServerOptions options = chaos_options(algo);
+    if (tweak) tweak(options);
     injectors.resize(sites, nullptr);
     cluster = std::make_unique<Cluster>(
-        sites, chaos_options(algo), /*clients=*/1,
+        sites, options, /*clients=*/1,
         [this, faults, sites](SiteId site,
                               std::unique_ptr<MessageEndpoint> inner)
             -> std::unique_ptr<MessageEndpoint> {
@@ -124,13 +130,16 @@ void expect_frame_conservation(FaultInjectingEndpoint* inj, bool lossless,
   ASSERT_NE(inj, nullptr);
   inj->flush_held();
   const FaultStats s = inj->fault_stats();
-  EXPECT_EQ(s.attempts, s.forwarded + s.dropped + s.held + s.partitioned)
+  EXPECT_EQ(s.attempts,
+            s.forwarded + s.dropped + s.held + s.partitioned + s.crashed)
       << "a frame left the injector without a recorded fate";
-  EXPECT_EQ(s.held, s.released) << "held frames remain after flush_held()";
+  EXPECT_EQ(s.held, s.released + s.crash_dropped)
+      << "held frames remain after flush_held()";
   EXPECT_LE(s.delivered, s.forwarded + s.duplicated + s.released);
   if (lossless) {
     EXPECT_EQ(s.dropped, 0u);
     EXPECT_EQ(s.partitioned, 0u);
+    EXPECT_EQ(s.crashed, 0u);
   }
   // In-proc lossless only: a live mailbox accepts every inner send. Over
   // TCP a send may fail transiently mid-connect (the protocol's retry is a
@@ -260,6 +269,147 @@ TEST_P(ChaosAlgos, PartitionedSiteHealsIntoExactAnswers) {
   cluster.stop();
 }
 
+// --- Crash-stop faults (DESIGN.md §13) ----------------------------------
+
+TEST_P(ChaosAlgos, KilledSiteAnswersPartialThenRestartRecoversExact) {
+  // Durable sites: every acknowledged mutation is WAL-logged, so a killed
+  // site restarted from an *empty* store serves exactly what it served
+  // before the crash.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_chaos_wal_" +
+      std::to_string(static_cast<int>(GetParam()));
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  ChaosCluster chaos(GetParam(), FaultOptions{}, 3,
+                     [&](SiteServerOptions& o) { o.wal_dir = wal_dir; });
+  Cluster& cluster = *chaos.cluster;
+  auto ids = populate_chain(cluster, 12);
+  Query q = parse_or_die(kClosure);
+  const std::vector<ObjectId> want = sorted({ids[0], ids[3], ids[6], ids[9]});
+  const std::size_t site1_objects = cluster.store(1).size();
+  cluster.start();
+
+  // Healthy baseline.
+  auto r0 = cluster.client().run(q, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), want);
+  EXPECT_FALSE(r0.value().partial);
+
+  // Kill site 1 while a query is in flight: the result must be a flagged
+  // subset or exact — never wrong, never hung.
+  std::thread racer([&] {
+    auto r = cluster.client().run(q, Duration(30'000'000));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    check_result(r.value(), want, /*lossless=*/false);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cluster.kill_site(1);
+  racer.join();
+
+  // With the site dead, peers' sends fail *loudly* (closed mailbox = dead
+  // fd), so the protocol repays the weight at once: partial answer fast,
+  // not after waiting anything out.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r1 = cluster.client().run(q, Duration(30'000'000));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), want, /*lossless=*/false);
+  EXPECT_LT(got1.size(), want.size());
+  EXPECT_TRUE(r1.value().partial);
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  // Restart: WAL replay rebuilds the store, births re-register, and the
+  // same deployment answers exactly again.
+  auto rr = cluster.restart_site(1);
+  ASSERT_TRUE(rr.ok()) << rr.error().to_string();
+  auto recovered_size = [&]() {
+    std::size_t n = 0;
+    EXPECT_TRUE(cluster.server(1)
+                    .run_exclusive([&]() -> Result<void> {
+                      n = cluster.server(1).store().size();
+                      return {};
+                    })
+                    .ok());
+    return n;
+  };
+  EXPECT_EQ(recovered_size(), site1_objects)
+      << "WAL recovery lost acknowledged mutations";
+  auto r2 = cluster.client().run(q, Duration(30'000'000));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(sorted(r2.value().ids), want);
+
+  // Same crash again, but now recovery goes through an online checkpoint
+  // (snapshot taken inside the live event loop) instead of raw replay.
+  ASSERT_TRUE(cluster.server(1).checkpoint().ok());
+  cluster.kill_site(1);
+  ASSERT_TRUE(cluster.restart_site(1).ok());
+  EXPECT_EQ(recovered_size(), site1_objects)
+      << "checkpoint recovery lost acknowledged mutations";
+  auto r3 = cluster.client().run(q, Duration(30'000'000));
+  ASSERT_TRUE(r3.ok()) << r3.error().to_string();
+  EXPECT_EQ(sorted(r3.value().ids), want);
+
+  expect_contexts_drain(cluster);
+  for (auto* inj : chaos.injectors) {
+    expect_frame_conservation(inj, /*lossless=*/false,
+                              /*strict_delivery=*/false);
+  }
+  cluster.stop();
+}
+
+TEST_P(ChaosAlgos, SuspicionAnswersWithinWindowNotTtl) {
+  // A *silent* failure (partition swallows frames — no loud error ever
+  // reaches the originator) is the case only liveness can rescue: with an
+  // hour-scale context_ttl the query must still answer within a few
+  // suspicion windows, flagged partial.
+  const std::uint64_t suspicions_before =
+      metrics().counter("dist.suspicions").value();
+  ChaosCluster chaos(GetParam(), FaultOptions{}, 3, [](SiteServerOptions& o) {
+    o.context_ttl = Duration(60'000'000);  // TTL may not be the rescuer
+    o.suspect_after = Duration(300'000);   // 300ms suspicion window
+  });
+  Cluster& cluster = *chaos.cluster;
+  auto ids = populate_chain(cluster, 12);
+  Query q = parse_or_die(kClosure);
+  const std::vector<ObjectId> want = sorted({ids[0], ids[3], ids[6], ids[9]});
+  cluster.start();
+
+  chaos.injectors[0]->partition(1);
+  chaos.injectors[2]->partition(1);
+  chaos.injectors[1]->partition_all();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r1 = cluster.client().run(q, Duration(30'000'000));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), want, /*lossless=*/false);
+  EXPECT_LT(got1.size(), want.size());
+  EXPECT_TRUE(r1.value().partial);
+  EXPECT_LT(elapsed, std::chrono::seconds(15))
+      << "the 60s TTL, not suspicion, must not be what resolved the query";
+  EXPECT_GT(metrics().counter("dist.suspicions").value(), suspicions_before);
+
+  // Suspicion must heal: the originator keeps probing its suspect, so once
+  // the partition mends a ping reply revives the peer and the same
+  // deployment answers exactly again.
+  chaos.injectors[0]->heal(1);
+  chaos.injectors[2]->heal(1);
+  chaos.injectors[1]->heal_all();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    auto r2 = cluster.client().run(q, Duration(30'000'000));
+    ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+    auto got2 = check_result(r2.value(), want, /*lossless=*/false);
+    if (got2 == want) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "suspicion never healed after the partition mended";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  expect_contexts_drain(cluster);
+  cluster.stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(Algos, ChaosAlgos,
                          ::testing::Values(
                              TerminationAlgorithm::kWeightedMessages,
@@ -273,9 +423,15 @@ struct TcpChaosDeployment {
   std::unique_ptr<Client> client;
   std::vector<ObjectId> want;  // sorted true answer
   bool ok = false;
+  std::vector<TcpPeer> peers;    // resolved addresses, for restarts
+  FaultOptions faults;           // re-applied to restarted endpoints
+  SiteServerOptions options;     // re-applied to restarted servers
 
-  TcpChaosDeployment(TerminationAlgorithm algo, const FaultOptions& faults,
-                     SiteId sites = 3) {
+  TcpChaosDeployment(TerminationAlgorithm algo, const FaultOptions& faults_in,
+                     SiteId sites = 3,
+                     std::function<void(SiteServerOptions&)> tweak = {})
+      : faults(faults_in), options(chaos_options(algo)) {
+    if (tweak) tweak(options);
     std::vector<TcpPeer> zeros(sites + 1, TcpPeer{"127.0.0.1", 0});
     std::vector<std::unique_ptr<TcpNetwork>> nets;
     for (SiteId s = 0; s <= sites; ++s) {
@@ -283,44 +439,78 @@ struct TcpChaosDeployment {
       if (!net.ok()) return;  // no sockets in this environment
       nets.push_back(std::move(net).value());
     }
+    for (SiteId peer = 0; peer <= sites; ++peer) {
+      peers.push_back({"127.0.0.1", nets[peer]->bound_port()});
+    }
     for (auto& net : nets) {
       for (SiteId peer = 0; peer <= sites; ++peer) {
-        net->update_peer(peer, {"127.0.0.1", nets[peer]->bound_port()});
+        net->update_peer(peer, peers[peer]);
       }
     }
 
-    std::vector<SiteStore> stores;
-    for (SiteId s = 0; s < sites; ++s) stores.emplace_back(s);
+    for (SiteId s = 0; s < sites; ++s) {
+      auto ep = decorated_endpoint(std::move(nets[s]), s);
+      servers.push_back(std::make_unique<SiteServer>(std::move(ep),
+                                                     SiteStore(s), options));
+    }
+    // Populate through the servers' stores (safe: not started yet) so that
+    // when options.wal_dir is set every object lands in the log — recovery
+    // from it is exactly what the crash tests exercise.
     std::vector<ObjectId> ids;
     for (std::size_t i = 0; i < 12; ++i) {
-      ids.push_back(stores[i % sites].allocate());
+      ids.push_back(servers[i % sites]->store().allocate());
     }
     for (std::size_t i = 0; i < ids.size(); ++i) {
       Object obj(ids[i]);
       obj.add(
           Tuple::pointer("Reference", i + 1 < ids.size() ? ids[i + 1] : ids[i]));
       if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
-      stores[i % sites].put(std::move(obj));
+      servers[i % sites]->store().put(std::move(obj));
     }
-    stores[0].create_set("S", std::span<const ObjectId>(ids.data(), 1));
+    servers[0]->store().create_set("S",
+                                   std::span<const ObjectId>(ids.data(), 1));
     want = sorted({ids[0], ids[3], ids[6], ids[9]});
 
-    for (SiteId s = 0; s < sites; ++s) {
-      FaultOptions o = faults;
-      o.seed = faults.seed * 977 + s + 1;
-      o.exempt.push_back(sites);  // the client link stays reliable
-      auto ep = std::make_unique<FaultInjectingEndpoint>(std::move(nets[s]), o);
-      injectors.push_back(ep.get());
-      servers.push_back(std::make_unique<SiteServer>(
-          std::move(ep), std::move(stores[s]), chaos_options(algo)));
-      servers.back()->start();
-    }
+    for (auto& s : servers) s->start();
     client = std::make_unique<Client>(std::move(nets[sites]), 0);
     ok = true;
   }
 
+  std::unique_ptr<FaultInjectingEndpoint> decorated_endpoint(
+      std::unique_ptr<MessageEndpoint> inner, SiteId site) {
+    FaultOptions o = faults;
+    o.seed = faults.seed * 977 + site + 1;
+    o.exempt.push_back(static_cast<SiteId>(peers.size() - 1));  // client link
+    auto ep = std::make_unique<FaultInjectingEndpoint>(std::move(inner), o);
+    if (injectors.size() <= site) injectors.resize(site + 1, nullptr);
+    injectors[site] = ep.get();
+    return ep;
+  }
+
+  /// Crash-stop: destroying the server closes its sockets, so peers see
+  /// dead fds (loud failures) — exactly like a killed process.
+  void kill(SiteId site) {
+    servers[site]->stop();
+    servers[site].reset();
+    injectors[site] = nullptr;
+  }
+
+  /// Rebind the site's original port and bring up a fresh server from an
+  /// *empty* store: whatever it serves afterwards came from checkpoint+WAL.
+  Result<void> restart(SiteId site) {
+    auto net = TcpNetwork::create(site, peers);
+    if (!net.ok()) return net.error();
+    auto ep = decorated_endpoint(std::move(net).value(), site);
+    servers[site] = std::make_unique<SiteServer>(std::move(ep),
+                                                 SiteStore(site), options);
+    servers[site]->start();
+    return {};
+  }
+
   ~TcpChaosDeployment() {
-    for (auto& s : servers) s->stop();
+    for (auto& s : servers) {
+      if (s) s->stop();
+    }
   }
 };
 
@@ -350,6 +540,52 @@ TEST_P(ChaosAlgos, TcpWorkloadSurvivesFaultSchedules) {
     for (auto* inj : d.injectors) {
       expect_frame_conservation(inj, fc.lossless, /*strict_delivery=*/false);
     }
+  }
+}
+
+TEST_P(ChaosAlgos, TcpKilledSiteAnswersPartialThenRestartRecoversExact) {
+  // Same crash/recover contract as in-proc, over real sockets: the killed
+  // process's fds die loudly, the restarted one rebinds its port and
+  // recovers from the WAL, and peers reconnect lazily on their next send.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_tcp_chaos_wal_" +
+      std::to_string(static_cast<int>(GetParam()));
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  TcpChaosDeployment d(GetParam(), FaultOptions{}, 3,
+                       [&](SiteServerOptions& o) { o.wal_dir = wal_dir; });
+  if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+  Query q = parse_or_die(kClosure);
+
+  auto r0 = d.client->run(q, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), d.want);
+  EXPECT_FALSE(r0.value().partial);
+
+  d.kill(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r1 = d.client->run(q, Duration(30'000'000));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), d.want, /*lossless=*/false);
+  EXPECT_LT(got1.size(), d.want.size());
+  EXPECT_TRUE(r1.value().partial);
+  EXPECT_LT(elapsed, std::chrono::seconds(20))
+      << "a dead fd is a loud failure; the reply must not wait out a TTL";
+
+  ASSERT_TRUE(d.restart(1).ok());
+  // Reconnection is lazy (dead fds are purged on the next failed send), so
+  // poll until the answer is exact again — and never wrong meanwhile.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    auto r2 = d.client->run(q, Duration(30'000'000));
+    ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+    auto got2 = check_result(r2.value(), d.want, /*lossless=*/false);
+    if (got2 == d.want) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "restarted site never served exact answers again";
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 }
 

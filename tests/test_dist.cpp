@@ -454,12 +454,33 @@ TEST(Cluster, SnapshotRestartAnswersIdentically) {
   restored.stop();
 }
 
-TEST(Cluster, SnapshotOpsRequireStoppedCluster) {
-  Cluster cluster(2);
+TEST(Cluster, OnlineSnapshotWhileServing) {
+  // save_snapshots no longer demands a stopped cluster: each running site
+  // serializes its store from inside its own event loop (run_exclusive), so
+  // the image is consistent even while queries are in flight. load_snapshots
+  // stays stopped-only — swapping a store under a live loop would tear.
+  const std::string dir = ::testing::TempDir() + "/hf_dist_online_snap";
+  std::filesystem::create_directories(dir);
+  Query q = parse_or_die(kClosure);
+  std::vector<ObjectId> want;
+  Cluster cluster(3);
+  populate_cross_site_chain(cluster, 24);
   cluster.start();
-  EXPECT_FALSE(cluster.save_snapshots(::testing::TempDir()).ok());
-  EXPECT_FALSE(cluster.load_snapshots(::testing::TempDir()).ok());
+  auto r = cluster.client().run(q);
+  ASSERT_TRUE(r.ok());
+  want = sorted(r.value().ids);
+  ASSERT_TRUE(cluster.save_snapshots(dir).ok());  // still running
+  EXPECT_FALSE(cluster.load_snapshots(dir).ok());  // load stays stopped-only
   cluster.stop();
+
+  Cluster restored(3);
+  auto lr = restored.load_snapshots(dir);
+  ASSERT_TRUE(lr.ok()) << lr.error().to_string();
+  restored.start();
+  auto r2 = restored.client().run(q);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_EQ(sorted(r2.value().ids), want);
+  restored.stop();
 }
 
 // --- Protocol-driver regressions: a raw endpoint plays client and remote
@@ -541,7 +562,7 @@ TEST(SiteServerProtocol, StrandedParticipantContextExpiresViaTtl) {
   store.put(Object(id, {Tuple::keyword("hit")}));
 
   SiteServerOptions options;
-  options.context_ttl = Duration(200'000);  // 200ms: fast expiry for the test
+  options.context_ttl = Duration(500'000);  // 500ms: fast expiry for the test
   SiteServer server(net.endpoint(0), std::move(store), options);
   server.start();
   auto driver = net.endpoint(1);
@@ -559,7 +580,15 @@ TEST(SiteServerProtocol, StrandedParticipantContextExpiresViaTtl) {
   auto env = driver->recv(Duration(5'000'000));
   ASSERT_TRUE(env.has_value());
   ASSERT_NE(std::get_if<wire::ResultMessage>(&env->message), nullptr);
-  EXPECT_EQ(server.context_count(), 1u);
+  // The reply is observable before the loop tick that refreshes the
+  // context_count() cache finishes, so poll for the context to appear.
+  const auto seen =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.context_count() != 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), seen)
+        << "participant context never installed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   // ...but we never send QueryDone. The sweep must reap the context anyway.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);

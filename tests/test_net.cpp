@@ -53,6 +53,21 @@ TEST(Channel, DrainAfterClose) {
   EXPECT_FALSE(ch.pop_wait(kShort).has_value());
 }
 
+TEST(Channel, ReopenAfterCloseDiscardsBacklog) {
+  // Crash-stop semantics (Cluster::restart_site): a rebooted process has an
+  // empty socket buffer, so reopen() must both accept new pushes and forget
+  // anything queued before the crash.
+  Channel<int> ch;
+  ch.push(7);
+  ch.close();
+  EXPECT_FALSE(ch.push(8));
+  ch.reopen();
+  EXPECT_FALSE(ch.closed());
+  EXPECT_FALSE(ch.try_pop().has_value()) << "pre-crash backlog survived";
+  EXPECT_TRUE(ch.push(9));
+  EXPECT_EQ(ch.pop_wait(kShort).value(), 9);
+}
+
 TEST(Channel, ConcurrentProducersConsumers) {
   Channel<int> ch;
   constexpr int kPerProducer = 500;
@@ -352,6 +367,81 @@ TEST(FaultInjection, HeldFramesReleasedByRecvTicks) {
     delivered = b->recv(kShort).has_value();
   }
   EXPECT_TRUE(delivered);
+}
+
+TEST(FaultInjection, CrashFailsLoudlyWherePartitionStaysSilent) {
+  // The semantic gap the two primitives model (net/faulty.hpp): a partition
+  // makes the wire lie — send() succeeds and the frame vanishes. A crash
+  // makes the OS tell the truth — send() fails with kClosed immediately,
+  // the way a dead TCP fd does. Protocol code reacts differently (retry vs
+  // repay), so the injector must keep them distinct.
+  InProcNetwork net(3);
+  FaultInjectingEndpoint ep(net.endpoint(0), FaultOptions{});
+  auto b = net.endpoint(1);
+  auto c = net.endpoint(2);
+
+  ep.partition(1);
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());  // the lie
+  EXPECT_EQ(ep.fault_stats().partitioned, 1u);
+
+  ep.crash(2);
+  auto r = ep.send(2, sample_message());
+  ASSERT_FALSE(r.ok());  // the truth
+  EXPECT_EQ(r.error().code, Errc::kClosed);
+  EXPECT_EQ(ep.fault_stats().crashed, 1u);
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_FALSE(c->recv(kShort).has_value());
+
+  ep.heal(1);
+  ep.revive(2);
+  EXPECT_TRUE(ep.send(1, sample_message()).ok());
+  EXPECT_TRUE(ep.send(2, sample_message()).ok());
+  EXPECT_TRUE(b->recv(kLong).has_value());
+  EXPECT_TRUE(c->recv(kLong).has_value());
+}
+
+TEST(FaultInjection, CrashOutranksExemption) {
+  // exempt links skip drops/partitions (they model a reliable channel), but
+  // a dead process is dead on every link — crash wins.
+  InProcNetwork net(2);
+  FaultOptions opts;
+  opts.drop_p = 1.0;
+  opts.exempt = {1};
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  ep.crash(1);
+  auto r = ep.send(1, sample_message());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kClosed);
+}
+
+TEST(FaultInjection, CrashDropsHeldFramesExactly) {
+  // Frames already held for delay/reorder when the peer crashes would have
+  // arrived *after* the crash — they must be dropped (and counted, so the
+  // conservation law `held == released + crash_dropped` stays exact).
+  InProcNetwork net(3);
+  FaultOptions opts;
+  opts.delay_p = 1.0;
+  FaultInjectingEndpoint ep(net.endpoint(0), opts);
+  auto b = net.endpoint(1);
+  auto c = net.endpoint(2);
+  ASSERT_TRUE(ep.send(1, sample_message()).ok());
+  ASSERT_TRUE(ep.send(2, sample_message()).ok());
+  EXPECT_EQ(ep.fault_stats().held, 2u);
+
+  ep.crash(1);
+  ep.flush_held();
+  const FaultStats s = ep.fault_stats();
+  EXPECT_EQ(s.crash_dropped, 1u);  // the frame bound for the dead peer
+  EXPECT_EQ(s.released, 1u);       // the other one still arrives
+  EXPECT_EQ(s.held, s.released + s.crash_dropped);
+  EXPECT_FALSE(b->recv(kShort).has_value());
+  EXPECT_TRUE(c->recv(kLong).has_value());
+
+  // Revival does not resurrect them: a rebooted process has an empty
+  // socket buffer.
+  ep.revive(1);
+  ep.flush_held();
+  EXPECT_FALSE(b->recv(kShort).has_value());
 }
 
 TEST(FaultInjection, SameSeedSameSchedule) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "store/site_store.hpp"
 #include "store/snapshot.hpp"
@@ -219,6 +222,63 @@ TEST(Snapshot, DetectsCorruption) {
   auto truncated = bytes;
   truncated.pop_back();
   EXPECT_FALSE(restore_store(truncated).ok());
+}
+
+// --- Systematic corruption: restore_store must reject damage, never crash
+// or partially populate (it is the recovery path a crashed site trusts). ---
+
+std::vector<std::uint8_t> corruption_sample() {
+  SiteStore store(1);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(store.put(Object(
+        store.allocate(), {Tuple::string("n", std::to_string(i)),
+                           Tuple::pointer("Link", ObjectId(0, 3))})));
+  }
+  store.create_set("S", ids);
+  return snapshot_store(store);
+}
+
+TEST(Snapshot, EveryTruncationPointIsRejected) {
+  const auto bytes = corruption_sample();
+  ASSERT_TRUE(restore_store(bytes).ok());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto r = restore_store(std::span(bytes.data(), len));
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes restored";
+  }
+}
+
+TEST(Snapshot, EveryBitFlipIsRejected) {
+  const auto bytes = corruption_sample();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto corrupted = bytes;
+      corrupted[pos] ^= bit;
+      EXPECT_FALSE(restore_store(corrupted).ok())
+          << "flip of bit " << int(bit) << " at " << pos << " restored";
+    }
+  }
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected) {
+  auto bytes = corruption_sample();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(restore_store(bytes).ok());
+}
+
+TEST(Snapshot, RestoredAllocatorNeverReusesALocalId) {
+  // Objects stored under explicit local ids (never allocate()d) leave the
+  // recorded next_seq behind the highest local sequence; a restored store
+  // must still never hand such an id out again.
+  SiteStore store(0);
+  store.put(Object(ObjectId(0, 100), {Tuple::string("k", "v")}));
+  ASSERT_EQ(store.next_seq(), 1u);
+  auto restored = restore_store(snapshot_store(store));
+  ASSERT_TRUE(restored.ok());
+  SiteStore r = std::move(restored).value();
+  const ObjectId fresh = r.allocate();
+  EXPECT_FALSE(r.contains(fresh)) << "allocator reused a restored id";
+  EXPECT_GT(fresh.seq, 100u);
 }
 
 TEST(Snapshot, FileRoundTrip) {

@@ -190,6 +190,7 @@ TraceSpan wire_test_span() {
   s.drains = 4;
   s.drain_us = 12345;
   s.retries = 2;
+  s.suspicions = 1;
   return s;
 }
 
@@ -237,6 +238,16 @@ TEST(Messages, BatchDerefRoundTrip) {
   EXPECT_EQ(back.weight, bd.weight);
   EXPECT_EQ(back.msg_seq, 17u);
   EXPECT_TRUE(back.items[1].oid.identical(bd.items[1].oid));
+}
+
+TEST(Messages, PingRoundTrip) {
+  for (bool want_reply : {true, false}) {
+    PingMessage ping{want_reply};
+    auto got = decode_message(encode_message(ping));
+    ASSERT_TRUE(got.ok()) << got.error().to_string();
+    const auto& back = std::get<PingMessage>(got.value());
+    EXPECT_EQ(back.want_reply, want_reply);
+  }
 }
 
 TEST(Messages, TermAckRoundTrip) {

@@ -42,14 +42,22 @@ def print_trace(trace, out=sys.stdout):
                   f"  items {s.get('items', 0)}"
                   f"  forwarded {s.get('forwarded', 0)}"
                   f"  results {s.get('results', 0)}\n")
-        out.write(f"{indent}  drains {s.get('drains', 0)}"
-                  f" ({fmt_us(s.get('drain_us', 0))} local clock)"
-                  f"  retries {s.get('retries', 0)}\n")
+        line = (f"{indent}  drains {s.get('drains', 0)}"
+                f" ({fmt_us(s.get('drain_us', 0))} local clock)"
+                f"  retries {s.get('retries', 0)}")
+        if s.get("suspicions", 0):
+            line += f"  suspicions {s['suspicions']}"
+        out.write(line + "\n")
     total_dup = sum(s.get("duplicates", 0) for s in spans)
     total_retry = sum(s.get("retries", 0) for s in spans)
-    if total_dup or total_retry:
+    total_suspect = sum(s.get("suspicions", 0) for s in spans)
+    if total_dup or total_retry or total_suspect:
         out.write(f"  network friction: {total_dup} duplicate deliveries "
-                  f"suppressed, {total_retry} send retries\n")
+                  f"suppressed, {total_retry} send retries")
+        if total_suspect:
+            out.write(f", {total_suspect} peer suspicion(s) — the answer "
+                      f"was cut short by failure detection")
+        out.write("\n")
 
 
 def main(argv):
