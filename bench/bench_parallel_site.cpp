@@ -7,11 +7,25 @@
 // fans out to that site's local population of text-heavy objects (regex
 // selection over many long string tuples), so one incoming dereference seeds
 // a large, CPU-bound local drain — the shape the pool is built for. Both the
-// in-process and the TCP transport run the same stores and query.
+// in-process and the TCP transport run the same stores and query; `--heavy`
+// multiplies the per-object text so filter CPU dominates messaging even on
+// slow hosts.
 //
-// Speedups are relative to workers=0 (the serial drain) per transport; they
-// depend on host cores — with 3 sites draining concurrently, the serial
-// configuration already uses up to 3 cores.
+// Two engines run in the same binary (DESIGN.md §14):
+//   * legacy  — the frozen pre-overhaul drain (engine/legacy_drain.hpp):
+//     mutex-sharded marks, one shared deque, allocating hot loop, generic
+//     std::regex matching.
+//   * current — lock-free marks, per-worker work-stealing queues,
+//     allocation-free steady state, literal/prefix regex fast path.
+//
+// Every row's `speedup_vs_serial` is measured against the SAME baseline: the
+// legacy engine at workers=0 on that transport. The legacy rows are the
+// pre-change curve; the current rows show what the overhaul buys, and
+// tools/check_bench_speedup.py gates CI on the workers=4 in-proc row.
+// Thread-scaling depends on host cores (see the hardware_threads counter):
+// with 3 sites draining concurrently the serial configuration already uses
+// up to 3 cores, and on a single-core host all speedup comes from the
+// single-thread wins.
 //
 // Emits BENCH_parallel_site.json (override with --json <path>).
 #include <memory>
@@ -61,7 +75,7 @@ std::size_t populate(std::vector<SiteStore*>& stores, const WorkloadShape& shape
           text.push_back(static_cast<char>('a' + rng.next_below(26)));
         }
         // The needle lands in exactly one tuple of matching objects; the
-        // regex still has to scan the other tuples to reject them.
+        // matcher still has to scan the other tuples to reject them.
         if (hit && t == 0) text.replace(text.size() / 2, 8, "needle42");
         obj.add(Tuple::string("Text", text));
       }
@@ -92,18 +106,44 @@ Query bench_query() {
   return std::move(q).value();
 }
 
+/// Snapshot of the process-wide drain counters; per-config deltas ride along
+/// in each JSON row so steal/park behaviour is visible next to the timings.
+struct DrainCounters {
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_items = 0;
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t suppressed = 0;
+
+  static DrainCounters snapshot() {
+    DrainCounters c;
+    c.steals = metrics().counter("engine.steals").value();
+    c.stolen_items = metrics().counter("engine.stolen_items").value();
+    c.queue_wait_us = metrics().counter("engine.queue_wait_us").value();
+    c.suppressed = metrics().counter("engine.suppressed").value();
+    return c;
+  }
+
+  DrainCounters delta_since(const DrainCounters& before) const {
+    return {steals - before.steals, stolen_items - before.stolen_items,
+            queue_wait_us - before.queue_wait_us,
+            suppressed - before.suppressed};
+  }
+};
+
 struct RunOutcome {
   WallStats wall;
   std::size_t results = 0;
   NetworkStats net;
   bool has_net = false;
   bool ok = true;
+  DrainCounters drain;
 };
 
 RunOutcome run_inproc(const WorkloadShape& shape, std::size_t workers,
-                      const Query& q, int runs) {
+                      bool legacy, const Query& q, int runs) {
   SiteServerOptions options;
   options.drain_workers = workers;
+  options.legacy_drain = legacy;
   Cluster cluster(kSites, options);
   std::vector<SiteStore*> stores;
   for (SiteId s = 0; s < kSites; ++s) stores.push_back(&cluster.store(s));
@@ -111,6 +151,7 @@ RunOutcome run_inproc(const WorkloadShape& shape, std::size_t workers,
   cluster.start();
 
   RunOutcome out;
+  const DrainCounters before = DrainCounters::snapshot();
   out.wall = time_wall(
       [&] {
         auto r = cluster.client().run(q, Duration(120'000'000));
@@ -123,6 +164,7 @@ RunOutcome run_inproc(const WorkloadShape& shape, std::size_t workers,
         out.results = r.value().ids.size();
       },
       runs);
+  out.drain = DrainCounters::snapshot().delta_since(before);
   cluster.stop();
   out.net = cluster.network_stats();
   out.has_net = true;
@@ -130,7 +172,7 @@ RunOutcome run_inproc(const WorkloadShape& shape, std::size_t workers,
 }
 
 RunOutcome run_tcp(const WorkloadShape& shape, std::size_t workers,
-                   const Query& q, int runs) {
+                   bool legacy, const Query& q, int runs) {
   RunOutcome out;
 
   std::vector<TcpPeer> zeros(kSites + 1, TcpPeer{"127.0.0.1", 0});
@@ -157,6 +199,7 @@ RunOutcome run_tcp(const WorkloadShape& shape, std::size_t workers,
 
   SiteServerOptions options;
   options.drain_workers = workers;
+  options.legacy_drain = legacy;
   std::vector<std::unique_ptr<SiteServer>> servers;
   for (SiteId s = 0; s < kSites; ++s) {
     servers.push_back(std::make_unique<SiteServer>(std::move(nets[s]),
@@ -166,6 +209,7 @@ RunOutcome run_tcp(const WorkloadShape& shape, std::size_t workers,
   }
   Client client(std::move(nets[kSites]), /*default_server=*/0);
 
+  const DrainCounters before = DrainCounters::snapshot();
   out.wall = time_wall(
       [&] {
         auto r = client.run(q, Duration(120'000'000));
@@ -178,6 +222,7 @@ RunOutcome run_tcp(const WorkloadShape& shape, std::size_t workers,
         out.results = r.value().ids.size();
       },
       runs);
+  out.drain = DrainCounters::snapshot().delta_since(before);
   for (auto& server : servers) server->stop();
   return out;
 }
@@ -195,59 +240,88 @@ int main(int argc, char** argv) {
       shape.nodes_per_site = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--runs" && i + 1 < argc) {
       runs = std::atoi(argv[++i]);
+    } else if (arg == "--heavy") {
+      // CPU-bound tier: ~4x the matcher work per object, so filter CPU
+      // dwarfs transport cost and worker scaling is measurable even with
+      // fast messaging.
+      shape.nodes_per_site = 400;
+      shape.tuples_per_node = 32;
+      shape.chars_per_tuple = 384;
     }
   }
 
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   header("Parallel site drain: multi-worker SiteServer (paper Section 6)",
          "all processors share the query context, mark table, and working "
          "set; one site need not mean one core");
   std::printf(
-      "%zu sites x %zu text-heavy objects, regex closure; host hardware "
-      "threads: %u\nworkers=0 is the serial event-loop drain.\n\n",
+      "%zu sites x %zu text-heavy objects (%zu tuples x %zu chars), closure "
+      "query; host hardware threads: %u\nworkers=0 is the serial event-loop "
+      "drain; every speedup is vs the LEGACY serial drain per transport.\n\n",
       static_cast<std::size_t>(kSites), shape.nodes_per_site,
-      std::thread::hardware_concurrency());
-  std::printf("%-8s %-8s %12s %12s %12s %10s %10s\n", "net", "workers",
-              "mean(ms)", "min(ms)", "max(ms)", "results", "speedup");
+      shape.tuples_per_node, shape.chars_per_tuple, hw_threads);
+  std::printf("%-8s %-8s %-8s %12s %12s %10s %8s %8s %12s %10s\n", "net",
+              "engine", "workers", "mean(ms)", "min(ms)", "results", "steals",
+              "stolen", "wait(ms)", "speedup");
 
   const Query q = bench_query();
   const std::size_t worker_counts[] = {0, 1, 2, 4, 8};
   bool all_ok = true;
 
   for (const char* transport : {"inproc", "tcp"}) {
-    double serial_mean = 0;
-    for (std::size_t workers : worker_counts) {
-      RunOutcome out = std::string(transport) == "inproc"
-                           ? run_inproc(shape, workers, q, runs)
-                           : run_tcp(shape, workers, q, runs);
-      if (!out.ok) {
-        std::printf("%-8s %-8zu %12s\n", transport, workers, "(skipped)");
-        continue;
-      }
-      if (workers == 0) serial_mean = out.wall.mean_ms;
-      const double speedup =
-          serial_mean > 0 ? serial_mean / out.wall.mean_ms : 0;
-      std::printf("%-8s %-8zu %12.2f %12.2f %12.2f %10zu %9.2fx\n", transport,
-                  workers, out.wall.mean_ms, out.wall.min_ms, out.wall.max_ms,
-                  out.results, speedup);
+    // The shared baseline for this transport: legacy engine, serial drain.
+    double legacy_serial_mean = 0;
+    for (const bool legacy : {true, false}) {
+      for (std::size_t workers : worker_counts) {
+        const bool inproc = std::string(transport) == "inproc";
+        RunOutcome out = inproc ? run_inproc(shape, workers, legacy, q, runs)
+                                : run_tcp(shape, workers, legacy, q, runs);
+        const char* engine = legacy ? "legacy" : "current";
+        if (!out.ok) {
+          std::printf("%-8s %-8s %-8zu %12s\n", transport, engine, workers,
+                      "(skipped)");
+          continue;
+        }
+        if (legacy && workers == 0) legacy_serial_mean = out.wall.mean_ms;
+        const double speedup = legacy_serial_mean > 0
+                                   ? legacy_serial_mean / out.wall.mean_ms
+                                   : 0;
+        std::printf(
+            "%-8s %-8s %-8zu %12.2f %12.2f %10zu %8llu %8llu %12.2f %9.2fx\n",
+            transport, engine, workers, out.wall.mean_ms, out.wall.min_ms,
+            out.results, static_cast<unsigned long long>(out.drain.steals),
+            static_cast<unsigned long long>(out.drain.stolen_items),
+            static_cast<double>(out.drain.queue_wait_us) / 1000.0, speedup);
 
-      BenchRecord rec;
-      rec.config = std::string(transport) + ",workers=" + std::to_string(workers);
-      rec.mean = out.wall.mean_ms;
-      rec.min = out.wall.min_ms;
-      rec.max = out.wall.max_ms;
-      rec.counters = {{"workers", static_cast<double>(workers)},
-                      {"results", static_cast<double>(out.results)},
-                      {"speedup_vs_serial", speedup}};
-      if (out.has_net) {
-        rec.counters.push_back(
-            {"deref_messages", static_cast<double>(out.net.deref_messages)});
-        rec.counters.push_back(
-            {"result_messages", static_cast<double>(out.net.result_messages)});
-        rec.counters.push_back(
-            {"messages_sent", static_cast<double>(out.net.messages_sent)});
+        BenchRecord rec;
+        rec.config = std::string(transport) + ",engine=" + engine +
+                     ",workers=" + std::to_string(workers);
+        rec.mean = out.wall.mean_ms;
+        rec.min = out.wall.min_ms;
+        rec.max = out.wall.max_ms;
+        rec.counters = {
+            {"workers", static_cast<double>(workers)},
+            {"legacy_engine", legacy ? 1.0 : 0.0},
+            {"results", static_cast<double>(out.results)},
+            {"speedup_vs_serial", speedup},
+            {"hardware_threads", static_cast<double>(hw_threads)},
+            {"steals", static_cast<double>(out.drain.steals)},
+            {"stolen_items", static_cast<double>(out.drain.stolen_items)},
+            {"queue_wait_us", static_cast<double>(out.drain.queue_wait_us)},
+            {"suppressed", static_cast<double>(out.drain.suppressed)},
+        };
+        if (out.has_net) {
+          rec.counters.push_back(
+              {"deref_messages", static_cast<double>(out.net.deref_messages)});
+          rec.counters.push_back(
+              {"result_messages",
+               static_cast<double>(out.net.result_messages)});
+          rec.counters.push_back(
+              {"messages_sent", static_cast<double>(out.net.messages_sent)});
+        }
+        json.add(std::move(rec));
+        all_ok = all_ok && out.ok;
       }
-      json.add(std::move(rec));
-      all_ok = all_ok && out.ok;
     }
   }
 

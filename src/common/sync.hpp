@@ -35,8 +35,12 @@
 // keeps the guarded reads in the scope that visibly holds the lock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 
 // ---------------------------------------------------------------------------
@@ -168,6 +172,204 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------------
+// AtomicMarkMap — a lock-free concurrent (key -> bitset) map.
+// ---------------------------------------------------------------------------
+//
+// The sanctioned lock-free primitive behind the parallel drain's mark table
+// (DESIGN.md §14): every operation is wait-free apart from slot claiming and
+// segment growth, and no operation ever blocks. The sync-discipline lint
+// (tools/check_sync_discipline.py) confines std::atomic and std::memory_order
+// to this header; engine code must use this class rather than rolling its
+// own atomics.
+//
+// Intended use is *monotone* marking under a benign-duplicate license: bits
+// are only ever set, never cleared, and a reader that misses a concurrent
+// set() must tolerate acting as if the bit were unset (in HyperFile terms:
+// the object is processed twice, which the paper's Section 6 argument
+// explicitly allows — duplicate marks change no answers). Under that license
+// the mark words need no ordering at all, so they use relaxed fetch_or /
+// relaxed loads; the structural words (slot keys, segment links) use
+// acquire/release so a found slot's mark words are always safe to touch.
+//
+// Layout: open-addressed segments of atomic words. Each slot is one key
+// word (0 = empty; claimed once, by CAS, to key+1 and never rewritten)
+// followed by `words_per_key` mark words. An inserter probes a fixed window
+// of slots from the key's hash and claims the *first* empty slot it meets;
+// because key words are write-once, at most one slot per chain ever holds a
+// given key, and every prober (set and test alike) deterministically
+// converges on it. A window with no empty slot and no matching key is a
+// permanent condition, so the prober moves to the next segment (created on
+// demand with a CAS-installed link, twice the size) — growth never moves
+// existing slots, which is what keeps readers lock-free.
+class AtomicMarkMap {
+ public:
+  /// A map whose per-key bitset holds bits [0, bits_per_key). Sized for
+  /// `expected_keys` without growth; growing past that is correct, just
+  /// slower (extra segment hops).
+  explicit AtomicMarkMap(std::uint32_t bits_per_key,
+                         std::size_t expected_keys = 1024)
+      : words_per_key_((static_cast<std::size_t>(bits_per_key) + 63) / 64),
+        stride_(1 + words_per_key_) {
+    std::size_t slots = 64;
+    while (slots < expected_keys * 2) slots <<= 1;
+    head_.store(new Segment(slots, stride_), std::memory_order_release);
+  }
+
+  ~AtomicMarkMap() {
+    Segment* s = head_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      delete s;
+      s = next;
+    }
+  }
+
+  AtomicMarkMap(const AtomicMarkMap&) = delete;
+  AtomicMarkMap& operator=(const AtomicMarkMap&) = delete;
+
+  /// Set `bit` for `key` (inserting the key if new). Lock-free; relaxed on
+  /// the mark word — concurrent testers may briefly miss it (benign
+  /// duplicate), never unsee it.
+  void set(std::uint64_t key, std::uint32_t bit) {
+    std::atomic<std::uint64_t>* marks = find_or_insert(key);
+    marks[bit / 64].fetch_or(std::uint64_t{1} << (bit % 64),
+                             std::memory_order_relaxed);
+  }
+
+  /// Test `bit` for `key`. Never inserts.
+  bool test(std::uint64_t key, std::uint32_t bit) const {
+    const std::atomic<std::uint64_t>* marks = find(key);
+    if (marks == nullptr) return false;
+    return (marks[bit / 64].load(std::memory_order_relaxed) &
+            (std::uint64_t{1} << (bit % 64))) != 0;
+  }
+
+  /// True if any bit is set for `key`.
+  bool test_any(std::uint64_t key) const {
+    const std::atomic<std::uint64_t>* marks = find(key);
+    if (marks == nullptr) return false;
+    for (std::size_t w = 0; w < words_per_key_; ++w) {
+      if (marks[w].load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Atomically set `bit` and report whether it was already set. One
+  /// fetch_or instead of a test()+set() pair.
+  bool test_and_set(std::uint64_t key, std::uint32_t bit) {
+    std::atomic<std::uint64_t>* marks = find_or_insert(key);
+    const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+    return (marks[bit / 64].fetch_or(mask, std::memory_order_relaxed) &
+            mask) != 0;
+  }
+
+  /// Keys ever inserted (exact once concurrent inserters have joined).
+  std::size_t key_count() const {
+    return key_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Segments in the chain (1 until the initial sizing overflows).
+  std::size_t segment_count() const {
+    std::size_t n = 0;
+    for (const Segment* s = head_.load(std::memory_order_acquire);
+         s != nullptr; s = s->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Segment {
+    Segment(std::size_t slot_count, std::size_t stride)
+        : slots(slot_count),
+          mask(slot_count - 1),
+          words(new std::atomic<std::uint64_t>[slot_count * stride]()) {}
+
+    const std::size_t slots;
+    const std::size_t mask;  // slots is a power of two
+    /// Value-initialized: all key words empty, all mark words zero.
+    const std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  /// Probes per segment before spilling to the next one. Bounds the cost of
+  /// a probe through a crowded segment; correctness does not depend on the
+  /// value (see the claim-determinism argument in the class comment).
+  static constexpr std::size_t kProbeWindow = 32;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// The slot's mark words if `key` is present, else nullptr.
+  const std::atomic<std::uint64_t>* find(std::uint64_t key) const {
+    const std::uint64_t stored = key + 1;
+    const std::uint64_t h = mix(key);
+    for (const Segment* seg = head_.load(std::memory_order_acquire);
+         seg != nullptr; seg = seg->next.load(std::memory_order_acquire)) {
+      const std::size_t window = seg->slots < kProbeWindow ? seg->slots
+                                                           : kProbeWindow;
+      for (std::size_t i = 0; i < window; ++i) {
+        const std::size_t slot = (h + i) & seg->mask;
+        const std::uint64_t kw =
+            seg->words[slot * stride_].load(std::memory_order_acquire);
+        if (kw == stored) return &seg->words[slot * stride_ + 1];
+        if (kw == 0) return nullptr;  // inserters never skip an empty slot
+      }
+    }
+    return nullptr;
+  }
+
+  /// The slot's mark words for `key`, claiming a slot if the key is new.
+  std::atomic<std::uint64_t>* find_or_insert(std::uint64_t key) {
+    const std::uint64_t stored = key + 1;
+    const std::uint64_t h = mix(key);
+    Segment* seg = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::size_t window = seg->slots < kProbeWindow ? seg->slots
+                                                           : kProbeWindow;
+      for (std::size_t i = 0; i < window; ++i) {
+        const std::size_t slot = (h + i) & seg->mask;
+        std::atomic<std::uint64_t>& kw = seg->words[slot * stride_];
+        std::uint64_t cur = kw.load(std::memory_order_acquire);
+        if (cur == 0) {
+          if (kw.compare_exchange_strong(cur, stored,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            key_count_.fetch_add(1, std::memory_order_relaxed);
+            return &seg->words[slot * stride_ + 1];
+          }
+          // Lost the claim; `cur` now holds the winner's key.
+        }
+        if (cur == stored) return &seg->words[slot * stride_ + 1];
+      }
+      // Window permanently full of other keys: spill to the next segment,
+      // installing it first if we are the first to overflow.
+      Segment* next = seg->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        auto* fresh = new Segment(seg->slots * 2, stride_);
+        if (seg->next.compare_exchange_strong(next, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+          next = fresh;
+        } else {
+          delete fresh;  // somebody else installed one; use theirs
+        }
+      }
+      seg = next;
+    }
+  }
+
+  const std::size_t words_per_key_;
+  const std::size_t stride_;
+  std::atomic<Segment*> head_{nullptr};
+  std::atomic<std::size_t> key_count_{0};
 };
 
 }  // namespace hyperfile

@@ -1,6 +1,7 @@
 #include "engine/efunction.hpp"
 
 #include <cassert>
+#include <string_view>
 
 namespace hyperfile {
 namespace {
@@ -11,50 +12,60 @@ bool match_field(const Pattern& p, const Value& v, const MatchBindings& mvars) {
   return p.matches_basic(v);
 }
 
-struct PendingBind {
-  const std::string* var;
-  const Value* value;
-};
+/// Same, for the tuple's type/key name fields, which are plain strings. The
+/// allocation-free form: no Value is materialized unless the pattern is $X
+/// (rare — needs Value equality against the binding table).
+bool match_name_field(const Pattern& p, std::string_view s,
+                      const MatchBindings& mvars) {
+  if (p.uses()) return mvars.contains(p.var(), Value::string(std::string(s)));
+  return p.matches_basic(s);
+}
 
-EOutcome apply_select(const SelectFilter& f, WorkItem& item, const Object* obj,
-                      EStats* stats) {
-  EOutcome out;
-  if (obj == nullptr) return out;  // missing data: object cannot pass
+/// Post-match capture for one field: ?X bindings and -> retrievals. Only
+/// called for patterns that actually capture, so the caller can defer Value
+/// materialization of name fields to this point.
+void capture_field(const Pattern& p, const ObjectId& source, const Value& v,
+                   WorkItem& item, EOutcome& out) {
+  if (p.binds()) item.mvars.bind(p.var(), v);
+  if (p.retrieves()) out.retrieved.push_back({p.slot(), source, v});
+}
+
+void apply_select(const SelectFilter& f, WorkItem& item, const Object* obj,
+                  EOutcome& out, EStats* stats) {
+  if (obj == nullptr) return;  // missing data: object cannot pass
+  const bool type_captures = f.type_pattern.binds() || f.type_pattern.retrieves();
+  const bool key_captures = f.key_pattern.binds() || f.key_pattern.retrieves();
+  const bool data_captures = f.data_pattern.binds() || f.data_pattern.retrieves();
   bool any_match = false;
   for (const auto& t : obj->tuples()) {
     if (stats != nullptr) ++stats->tuples_scanned;
-    const Value type_value = Value::string(t.type);
-    const Value key_value = Value::string(t.key);
-    if (!match_field(f.type_pattern, type_value, item.mvars)) continue;
-    if (!match_field(f.key_pattern, key_value, item.mvars)) continue;
+    if (!match_name_field(f.type_pattern, t.type, item.mvars)) continue;
+    if (!match_name_field(f.key_pattern, t.key, item.mvars)) continue;
     if (!match_field(f.data_pattern, t.data, item.mvars)) continue;
 
     any_match = true;
     // The tuple matched as a whole: apply bindings and retrievals now, so
     // they are visible to later tuples in this same filter (the paper's
-    // pseudocode mutates O.mvars tuple-by-tuple).
-    struct FieldRef {
-      const Pattern* p;
-      const Value* v;
-    };
-    const FieldRef fields[3] = {{&f.type_pattern, &type_value},
-                                {&f.key_pattern, &key_value},
-                                {&f.data_pattern, &t.data}};
-    for (const auto& [p, v] : fields) {
-      if (p->binds()) item.mvars.bind(p->var(), *v);
-      if (p->retrieves()) out.retrieved.push_back({p->slot(), obj->id(), *v});
+    // pseudocode mutates O.mvars tuple-by-tuple). Values for the name
+    // fields are materialized only here, never in the scan above.
+    if (type_captures) {
+      capture_field(f.type_pattern, obj->id(), Value::string(t.type), item, out);
+    }
+    if (key_captures) {
+      capture_field(f.key_pattern, obj->id(), Value::string(t.key), item, out);
+    }
+    if (data_captures) {
+      capture_field(f.data_pattern, obj->id(), t.data, item, out);
     }
   }
   if (any_match) {
     ++item.next;
     out.alive = true;
   }
-  return out;
 }
 
-EOutcome apply_deref(const Query& q, const DerefFilter& f, WorkItem& item,
-                     EStats* stats) {
-  EOutcome out;
+void apply_deref(const Query& q, const DerefFilter& f, WorkItem& item,
+                 EOutcome& out, EStats* stats) {
   if (const auto* values = item.mvars.lookup(f.var)) {
     for (const Value& v : *values) {
       if (!v.is_pointer()) continue;  // "if x is an object id"
@@ -74,11 +85,10 @@ EOutcome apply_deref(const Query& q, const DerefFilter& f, WorkItem& item,
     ++item.next;
     out.alive = true;
   }
-  return out;
 }
 
-EOutcome apply_iterate(const Query& q, const IterateFilter& f, WorkItem& item) {
-  EOutcome out;
+void apply_iterate(const Query& q, const IterateFilter& f, WorkItem& item,
+                   EOutcome& out) {
   out.alive = true;
   const bool through_body = item.start <= f.body_start;
   const bool chain_long_enough = !f.unbounded() && item.iter_top() >= f.count;
@@ -89,7 +99,6 @@ EOutcome apply_iterate(const Query& q, const IterateFilter& f, WorkItem& item) {
     item.next = f.body_start;
   }
   normalize_iter_stack(q, item);
-  return out;
 }
 
 }  // namespace
@@ -102,21 +111,20 @@ void normalize_iter_stack(const Query& q, WorkItem& item) {
   while (item.iter_stack.size() < want) item.iter_stack.push_back(1);
 }
 
-EOutcome apply_filter(const Query& q, WorkItem& item, const Object* obj,
-                      EStats* stats) {
+void apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                  EOutcome& out, EStats* stats) {
   assert(item.next >= 1 && item.next <= q.size());
+  out.clear();
   const Filter& f = q.filter(item.next);
-  EOutcome out;
   if (const auto* s = std::get_if<SelectFilter>(&f)) {
-    out = apply_select(*s, item, obj, stats);
+    apply_select(*s, item, obj, out, stats);
     if (out.alive) normalize_iter_stack(q, item);
   } else if (const auto* d = std::get_if<DerefFilter>(&f)) {
-    out = apply_deref(q, *d, item, stats);
+    apply_deref(q, *d, item, out, stats);
     if (out.alive) normalize_iter_stack(q, item);
   } else {
-    out = apply_iterate(q, std::get<IterateFilter>(f), item);
+    apply_iterate(q, std::get<IterateFilter>(f), item, out);
   }
-  return out;
 }
 
 }  // namespace hyperfile

@@ -40,6 +40,15 @@ struct EOutcome {
   std::vector<Retrieved> retrieved;
   /// True if O itself survives the filter.
   bool alive = false;
+
+  /// Reset for reuse, keeping vector capacity — the drains call apply_filter
+  /// with one long-lived EOutcome per worker so the hot loop never allocates
+  /// once the high-water capacity is reached.
+  void clear() {
+    derefs.clear();
+    retrieved.clear();
+    alive = false;
+  }
 };
 
 struct EStats {
@@ -57,8 +66,19 @@ struct EStats {
 /// On return `item.next` / `item.start` / bindings are updated per the
 /// paper's pseudocode. The caller owns routing of `outcome.derefs` and the
 /// decision to keep processing (`outcome.alive` and item.next <= n).
-EOutcome apply_filter(const Query& q, WorkItem& item, const Object* obj,
-                      EStats* stats = nullptr);
+///
+/// `out` is cleared on entry and refilled — pass the same object every call
+/// so its vectors' capacity is reused (allocation-free steady state).
+void apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                  EOutcome& out, EStats* stats = nullptr);
+
+/// Convenience value-returning form (tests, cold paths).
+inline EOutcome apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                             EStats* stats = nullptr) {
+  EOutcome out;
+  apply_filter(q, item, obj, out, stats);
+  return out;
+}
 
 /// Make the iteration stack consistent with the static nesting depth of the
 /// item's next position: entering an iterator body pushes a fresh counter

@@ -18,6 +18,9 @@ EngineStats& EngineStats::operator+=(const EngineStats& o) {
   duplicate_results += o.duplicate_results;
   retrieved_values += o.retrieved_values;
   max_working_set = std::max(max_working_set, o.max_working_set);
+  steals += o.steals;
+  stolen_items += o.stolen_items;
+  queue_wait_us += o.queue_wait_us;
   return *this;
 }
 
@@ -114,10 +117,11 @@ StepReport QueryExecution::step() {
   EStats estats;
   const std::uint32_t n = query_.size();
   bool alive = true;
+  EOutcome& out = scratch_;  // reused across items: steady-state alloc-free
   while (alive && item.next <= n) {
     marks_.set(item.id, item.next);
     ++stats_.filters_applied;
-    EOutcome out = apply_filter(query_, item, obj, &estats);
+    apply_filter(query_, item, obj, out, &estats);
     for (WorkItem& child : out.derefs) {
       route(std::move(child), &report);
     }

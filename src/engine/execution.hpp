@@ -41,6 +41,10 @@ struct EngineStats {
   std::uint64_t duplicate_results = 0;   // result-set dedup hits
   std::uint64_t retrieved_values = 0;
   std::uint64_t max_working_set = 0;     // peak |W| (search-order dependent)
+  // Parallel-drain counters (zero for serial engines; DESIGN.md §14).
+  std::uint64_t steals = 0;              // successful steal operations
+  std::uint64_t stolen_items = 0;        // items moved by those steals
+  std::uint64_t queue_wait_us = 0;       // worker time parked waiting for work
 
   EngineStats& operator+=(const EngineStats& o);
 };
@@ -175,6 +179,7 @@ class QueryExecution : public SiteExecution {
   std::size_t retrieved_take_cursor_ = 0;
   std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_;
   EngineStats stats_;
+  EOutcome scratch_;  // apply_filter out-param, reused across step() calls
 };
 
 }  // namespace hyperfile

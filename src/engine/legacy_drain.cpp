@@ -1,0 +1,531 @@
+#include "engine/legacy_drain.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/metrics.hpp"
+
+namespace hyperfile {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen copy of the pre-overhaul E-function: a fresh EOutcome per call,
+// Value materialization for the type/key fields of every tuple scanned, and
+// reference (always std::regex_search) pattern matching. This is the cost
+// model the old bench curves were measured under.
+// ---------------------------------------------------------------------------
+
+bool legacy_match_field(const Pattern& p, const Value& v,
+                        const MatchBindings& mvars) {
+  if (p.uses()) return mvars.contains(p.var(), v);
+  return p.matches_reference(v);
+}
+
+EOutcome legacy_apply_select(const SelectFilter& f, WorkItem& item,
+                             const Object* obj, EStats* stats) {
+  EOutcome out;
+  if (obj == nullptr) return out;  // missing data: object cannot pass
+  bool any_match = false;
+  for (const auto& t : obj->tuples()) {
+    if (stats != nullptr) ++stats->tuples_scanned;
+    const Value type_value = Value::string(t.type);
+    const Value key_value = Value::string(t.key);
+    if (!legacy_match_field(f.type_pattern, type_value, item.mvars)) continue;
+    if (!legacy_match_field(f.key_pattern, key_value, item.mvars)) continue;
+    if (!legacy_match_field(f.data_pattern, t.data, item.mvars)) continue;
+
+    any_match = true;
+    struct FieldRef {
+      const Pattern* p;
+      const Value* v;
+    };
+    const FieldRef fields[3] = {{&f.type_pattern, &type_value},
+                                {&f.key_pattern, &key_value},
+                                {&f.data_pattern, &t.data}};
+    for (const auto& [p, v] : fields) {
+      if (p->binds()) item.mvars.bind(p->var(), *v);
+      if (p->retrieves()) out.retrieved.push_back({p->slot(), obj->id(), *v});
+    }
+  }
+  if (any_match) {
+    ++item.next;
+    out.alive = true;
+  }
+  return out;
+}
+
+EOutcome legacy_apply_deref(const Query& q, const DerefFilter& f,
+                            WorkItem& item, EStats* stats) {
+  EOutcome out;
+  if (const auto* values = item.mvars.lookup(f.var)) {
+    for (const Value& v : *values) {
+      if (!v.is_pointer()) continue;
+      WorkItem child;
+      child.id = v.as_pointer();
+      child.start = item.next + 1;
+      child.next = item.next + 1;
+      child.iter_stack = item.iter_stack;
+      if (child.iter_stack.empty()) child.iter_stack.push_back(1);
+      ++child.iter_stack.back();
+      normalize_iter_stack(q, child);
+      out.derefs.push_back(std::move(child));
+      if (stats != nullptr) ++stats->derefs_followed;
+    }
+  }
+  if (f.keep_source) {
+    ++item.next;
+    out.alive = true;
+  }
+  return out;
+}
+
+EOutcome legacy_apply_iterate(const Query& q, const IterateFilter& f,
+                              WorkItem& item) {
+  EOutcome out;
+  out.alive = true;
+  const bool through_body = item.start <= f.body_start;
+  const bool chain_long_enough = !f.unbounded() && item.iter_top() >= f.count;
+  if (through_body || chain_long_enough) {
+    ++item.next;
+  } else {
+    item.start = f.body_start;
+    item.next = f.body_start;
+  }
+  normalize_iter_stack(q, item);
+  return out;
+}
+
+EOutcome legacy_apply_filter(const Query& q, WorkItem& item, const Object* obj,
+                             EStats* stats) {
+  assert(item.next >= 1 && item.next <= q.size());
+  const Filter& f = q.filter(item.next);
+  EOutcome out;
+  if (const auto* s = std::get_if<SelectFilter>(&f)) {
+    out = legacy_apply_select(*s, item, obj, stats);
+    if (out.alive) normalize_iter_stack(q, item);
+  } else if (const auto* d = std::get_if<DerefFilter>(&f)) {
+    out = legacy_apply_deref(q, *d, item, stats);
+    if (out.alive) normalize_iter_stack(q, item);
+  } else {
+    out = legacy_apply_iterate(q, std::get<IterateFilter>(f), item);
+  }
+  return out;
+}
+
+/// Mark-table shards of the old pooled drain.
+constexpr std::size_t kMarkShards = 32;
+
+/// Per-claim batch cap of the old pooled drain.
+constexpr std::size_t kClaimBatch = 64;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LegacySerialExecution — the old QueryExecution drain.
+// ---------------------------------------------------------------------------
+
+LegacySerialExecution::LegacySerialExecution(const Query& query,
+                                             const SiteStore& store,
+                                             ExecutionOptions options)
+    : query_(query),
+      store_(store),
+      options_(std::move(options)),
+      work_(options_.discipline),
+      marks_(query_.size()) {}
+
+Result<void> LegacySerialExecution::seed_initial() {
+  std::vector<ObjectId> ids = query_.initial_ids();
+  if (!query_.initial_set_name().empty()) {
+    auto members = store_.set_members(query_.initial_set_name());
+    if (!members.ok()) return members.error();
+    const auto& m = members.value();
+    ids.insert(ids.end(), m.begin(), m.end());
+  }
+  for (const ObjectId& id : ids) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route(std::move(item));
+  }
+  return {};
+}
+
+void LegacySerialExecution::seed_local_set(const std::string& name) {
+  auto members = store_.set_members(name);
+  if (!members.ok()) return;
+  for (const ObjectId& id : members.value()) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route(std::move(item));
+  }
+}
+
+void LegacySerialExecution::add_item(WorkItem item) {
+  item.next = item.start;
+  item.mvars.clear();
+  normalize_iter_stack(query_, item);
+  work_.push(std::move(item));
+  stats_.max_working_set =
+      std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+}
+
+void LegacySerialExecution::route(WorkItem&& item) {
+  const bool local = !options_.is_local || options_.is_local(item.id);
+  if (local) {
+    work_.push(std::move(item));
+    stats_.max_working_set =
+        std::max<std::uint64_t>(stats_.max_working_set, work_.size());
+  } else {
+    ++stats_.remote_handoffs;
+    assert(options_.remote_sink);
+    options_.remote_sink(std::move(item));
+  }
+}
+
+void LegacySerialExecution::step() {
+  WorkItem item = work_.pop();
+  ++stats_.pops;
+
+  const bool is_marked = options_.naive_whole_object_marking
+                             ? marks_.test_any(item.id)
+                             : marks_.test(item.id, item.start);
+  if (is_marked) {
+    ++stats_.suppressed;
+    return;
+  }
+  const Object* obj = store_.get(item.id);
+  if (obj == nullptr) {
+    ++stats_.missing;
+    if (options_.missing_sink) options_.missing_sink(item.id);
+    return;
+  }
+
+  ++stats_.processed;
+  EStats estats;
+  const std::uint32_t n = query_.size();
+  bool alive = true;
+  while (alive && item.next <= n) {
+    marks_.set(item.id, item.next);
+    ++stats_.filters_applied;
+    EOutcome out = legacy_apply_filter(query_, item, obj, &estats);
+    for (WorkItem& child : out.derefs) route(std::move(child));
+    for (Retrieved& r : out.retrieved) {
+      if (retrieved_seen_.emplace(r.slot, r.source, r.value).second) {
+        retrieved_.push_back(std::move(r));
+        ++stats_.retrieved_values;
+      }
+    }
+    alive = out.alive;
+  }
+  stats_.tuples_scanned += estats.tuples_scanned;
+  stats_.derefs_followed += estats.derefs_followed;
+
+  if (alive) {
+    marks_.set(item.id, n + 1);
+    if (result_members_.insert(item.id).second) {
+      result_ids_.push_back(item.id);
+      ++stats_.results;
+    } else {
+      ++stats_.duplicate_results;
+    }
+  }
+}
+
+void LegacySerialExecution::drain() {
+  while (!work_.empty()) step();
+}
+
+std::vector<ObjectId> LegacySerialExecution::take_result_ids() {
+  std::vector<ObjectId> batch(
+      result_ids_.begin() + static_cast<std::ptrdiff_t>(result_take_cursor_),
+      result_ids_.end());
+  result_take_cursor_ = result_ids_.size();
+  return batch;
+}
+
+std::vector<Retrieved> LegacySerialExecution::take_retrieved() {
+  std::vector<Retrieved> batch(
+      retrieved_.begin() + static_cast<std::ptrdiff_t>(retrieved_take_cursor_),
+      retrieved_.end());
+  retrieved_take_cursor_ = retrieved_.size();
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// LegacyParallelExecution — the old ParallelExecution drain.
+// ---------------------------------------------------------------------------
+
+LegacyParallelExecution::LegacyParallelExecution(const Query& query,
+                                                 const SiteStore& store,
+                                                 WorkerPool& pool,
+                                                 ExecutionOptions options)
+    : query_(query),
+      store_(store),
+      options_(std::move(options)),
+      pool_(pool) {
+  shards_.reserve(kMarkShards);
+  for (std::size_t i = 0; i < kMarkShards; ++i) {
+    shards_.push_back(std::make_unique<MarkShard>(query_.size()));
+  }
+}
+
+bool LegacyParallelExecution::marked(const ObjectId& id, std::uint32_t index) {
+  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
+  MutexLock lock(s.mu);
+  return s.table.test(id, index);
+}
+
+void LegacyParallelExecution::set_mark(const ObjectId& id,
+                                       std::uint32_t index) {
+  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
+  MutexLock lock(s.mu);
+  s.table.set(id, index);
+}
+
+void LegacyParallelExecution::route_seed(WorkItem&& item,
+                                         std::unordered_set<ObjectId>& seen) {
+  if (!seen.insert(item.id).second) return;
+  const bool local = !options_.is_local || options_.is_local(item.id);
+  if (local) {
+    std::size_t depth = 0;
+    {
+      MutexLock lock(mu_work_);
+      work_.push_back(std::move(item));
+      depth = work_.size();
+    }
+    metrics().gauge("engine.queue_depth_peak").max_of(
+        static_cast<std::int64_t>(depth));
+    MutexLock slock(mu_stats_);
+    stats_.max_working_set =
+        std::max<std::uint64_t>(stats_.max_working_set, depth);
+  } else {
+    {
+      MutexLock slock(mu_stats_);
+      ++stats_.remote_handoffs;
+    }
+    assert(options_.remote_sink);
+    options_.remote_sink(std::move(item));
+  }
+}
+
+Result<void> LegacyParallelExecution::seed_initial() {
+  std::vector<ObjectId> ids = query_.initial_ids();
+  if (!query_.initial_set_name().empty()) {
+    auto members = store_.set_members(query_.initial_set_name());
+    if (!members.ok()) return members.error();
+    const auto& m = members.value();
+    ids.insert(ids.end(), m.begin(), m.end());
+  }
+  std::unordered_set<ObjectId> seen;
+  for (const ObjectId& id : ids) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route_seed(std::move(item), seen);
+  }
+  return {};
+}
+
+void LegacyParallelExecution::seed_local_set(const std::string& name) {
+  auto members = store_.set_members(name);
+  if (!members.ok()) return;
+  std::unordered_set<ObjectId> seen;
+  for (const ObjectId& id : members.value()) {
+    WorkItem item = WorkItem::initial(id);
+    normalize_iter_stack(query_, item);
+    route_seed(std::move(item), seen);
+  }
+}
+
+void LegacyParallelExecution::add_item(WorkItem item) {
+  item.next = item.start;
+  item.mvars.clear();
+  normalize_iter_stack(query_, item);
+  std::size_t depth = 0;
+  {
+    MutexLock lock(mu_work_);
+    work_.push_back(std::move(item));
+    depth = work_.size();
+  }
+  metrics().gauge("engine.queue_depth_peak").max_of(
+      static_cast<std::int64_t>(depth));
+  MutexLock slock(mu_stats_);
+  stats_.max_working_set =
+      std::max<std::uint64_t>(stats_.max_working_set, depth);
+}
+
+bool LegacyParallelExecution::idle() const {
+  MutexLock lock(mu_work_);
+  return work_.empty() && active_workers_ == 0;
+}
+
+std::size_t LegacyParallelExecution::pending() const {
+  MutexLock lock(mu_work_);
+  return work_.size();
+}
+
+void LegacyParallelExecution::drain() {
+  {
+    MutexLock lock(mu_work_);
+    if (work_.empty()) return;
+    pass_done_ = false;
+  }
+  pool_.run([this](std::size_t) { worker_pass(); });
+  std::vector<WorkItem> remote;
+  std::vector<ObjectId> missing;
+  {
+    MutexLock lock(mu_side_);
+    remote.swap(remote_buffer_);
+    missing.swap(missing_buffer_);
+  }
+  if (options_.missing_sink) {
+    for (const ObjectId& id : missing) options_.missing_sink(id);
+  }
+  if (!remote.empty()) {
+    assert(options_.remote_sink);
+    for (WorkItem& item : remote) options_.remote_sink(std::move(item));
+  }
+}
+
+void LegacyParallelExecution::worker_pass() {
+  const std::uint32_t n = query_.size();
+  const std::size_t workers = pool_.size();
+  EngineStats local;
+  std::vector<WorkItem> batch;
+  batch.reserve(kClaimBatch);
+
+  for (;;) {
+    batch.clear();
+    {
+      MutexLock lock(mu_work_);
+      while (work_.empty() && !pass_done_) work_cv_.wait(lock);
+      if (pass_done_ && work_.empty()) break;
+      const std::size_t claim = std::clamp<std::size_t>(
+          work_.size() / workers, 1, kClaimBatch);
+      while (!work_.empty() && batch.size() < claim) {
+        if (options_.discipline == WorkSetDiscipline::kFifo) {
+          batch.push_back(std::move(work_.front()));
+          work_.pop_front();
+        } else {
+          batch.push_back(std::move(work_.back()));
+          work_.pop_back();
+        }
+      }
+      local.pops += batch.size();
+      ++active_workers_;
+    }
+
+    std::vector<WorkItem> local_children;
+    std::vector<WorkItem> remote_children;
+    std::vector<ObjectId> missing_here;
+    std::vector<ObjectId> survivors;
+    std::vector<Retrieved> captured;
+    EStats estats;
+    for (WorkItem& item : batch) {
+      if (marked(item.id, item.start)) {
+        ++local.suppressed;
+        continue;
+      }
+      const Object* obj = store_.get(item.id);
+      if (obj == nullptr) {
+        ++local.missing;
+        missing_here.push_back(item.id);
+        continue;
+      }
+      ++local.processed;
+      bool alive = true;
+      while (alive && item.next <= n) {
+        set_mark(item.id, item.next);
+        ++local.filters_applied;
+        EOutcome out = legacy_apply_filter(query_, item, obj, &estats);
+        for (WorkItem& child : out.derefs) {
+          const bool child_local =
+              !options_.is_local || options_.is_local(child.id);
+          if (child_local) {
+            local_children.push_back(std::move(child));
+          } else {
+            ++local.remote_handoffs;
+            remote_children.push_back(std::move(child));
+          }
+        }
+        for (Retrieved& r : out.retrieved) captured.push_back(std::move(r));
+        alive = out.alive;
+      }
+      if (alive) {
+        set_mark(item.id, n + 1);
+        survivors.push_back(item.id);
+      }
+    }
+    local.tuples_scanned += estats.tuples_scanned;
+    local.derefs_followed += estats.derefs_followed;
+
+    if (!survivors.empty() || !captured.empty()) {
+      MutexLock lock(mu_results_);
+      for (ObjectId& id : survivors) {
+        if (result_members_.insert(id).second) {
+          result_ids_.push_back(id);
+          ++local.results;
+        } else {
+          ++local.duplicate_results;
+        }
+      }
+      for (Retrieved& r : captured) {
+        if (retrieved_seen_.emplace(r.slot, r.source, r.value).second) {
+          retrieved_.push_back(std::move(r));
+          ++local.retrieved_values;
+        }
+      }
+    }
+
+    if (!remote_children.empty() || !missing_here.empty()) {
+      MutexLock lock(mu_side_);
+      for (WorkItem& item : remote_children) {
+        remote_buffer_.push_back(std::move(item));
+      }
+      missing_buffer_.insert(missing_buffer_.end(), missing_here.begin(),
+                             missing_here.end());
+    }
+
+    {
+      MutexLock lock(mu_work_);
+      for (WorkItem& child : local_children) {
+        work_.push_back(std::move(child));
+      }
+      local.max_working_set =
+          std::max<std::uint64_t>(local.max_working_set, work_.size());
+      --active_workers_;
+      if (work_.empty() && active_workers_ == 0) {
+        pass_done_ = true;
+        work_cv_.notify_all();
+      } else if (!work_.empty()) {
+        work_cv_.notify_all();
+      }
+    }
+  }
+
+  MutexLock lock(mu_stats_);
+  stats_ += local;
+}
+
+std::vector<ObjectId> LegacyParallelExecution::take_result_ids() {
+  MutexLock lock(mu_results_);
+  std::vector<ObjectId> batch(
+      result_ids_.begin() + static_cast<std::ptrdiff_t>(result_take_cursor_),
+      result_ids_.end());
+  result_take_cursor_ = result_ids_.size();
+  return batch;
+}
+
+std::vector<Retrieved> LegacyParallelExecution::take_retrieved() {
+  MutexLock lock(mu_results_);
+  std::vector<Retrieved> batch(
+      retrieved_.begin() + static_cast<std::ptrdiff_t>(retrieved_take_cursor_),
+      retrieved_.end());
+  retrieved_take_cursor_ = retrieved_.size();
+  return batch;
+}
+
+EngineStats LegacyParallelExecution::stats() const {
+  MutexLock lock(mu_stats_);
+  return stats_;
+}
+
+}  // namespace hyperfile

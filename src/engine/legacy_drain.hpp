@@ -1,0 +1,141 @@
+// The pre-optimization site drain, frozen as a measurable baseline.
+//
+// This file is a faithful copy of the engine as it stood before the
+// parallel-drain overhaul (lock-free marks, work-stealing queues,
+// allocation-free E-function, pattern fast path — DESIGN.md §14):
+//
+//   * LegacySerialExecution  — the old QueryExecution drain: one item at a
+//     time on the calling thread, per-call EOutcome allocation, per-field
+//     Value materialization, std::regex_search for every regex pattern.
+//   * LegacyParallelExecution — the old ParallelExecution: 32 mutex-guarded
+//     mark-table shards, a single shared work deque with notify_all
+//     wakeups, and per-push mutex-guarded stats accounting.
+//
+// Why keep dead weight in the tree: bench_parallel_site measures both
+// engines in the same binary, so the committed old-vs-new curves come from
+// one host and one build, and tests/test_parallel_drain.cpp uses the legacy
+// engine as a differential oracle (both engines must produce the same
+// result set on the same store). Do not "fix" or optimize this code — its
+// job is to stay slow the old way.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "engine/execution.hpp"
+#include "engine/worker_pool.hpp"
+
+namespace hyperfile {
+
+/// The old serial drain (QueryExecution as of PR 5), with the old
+/// allocating E-function and reference (always-regex) pattern matching.
+class LegacySerialExecution : public SiteExecution {
+ public:
+  LegacySerialExecution(const Query& query, const SiteStore& store,
+                        ExecutionOptions options = {});
+
+  const Query& query() const override { return query_; }
+
+  Result<void> seed_initial() override;
+  void seed_local_set(const std::string& name) override;
+  void add_item(WorkItem item) override;
+
+  void drain() override;
+
+  bool idle() const override { return work_.empty(); }
+  std::size_t pending() const override { return work_.size(); }
+
+  std::vector<ObjectId> take_result_ids() override;
+  std::vector<Retrieved> take_retrieved() override;
+
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  void route(WorkItem&& item);
+  void step();
+
+  const Query query_;
+  const SiteStore& store_;
+  ExecutionOptions options_;
+  WorkSet work_;
+  MarkTable marks_;
+  std::unordered_set<ObjectId> result_members_;
+  std::vector<ObjectId> result_ids_;
+  std::size_t result_take_cursor_ = 0;
+  std::vector<Retrieved> retrieved_;
+  std::size_t retrieved_take_cursor_ = 0;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_;
+  EngineStats stats_;
+};
+
+/// The old pooled drain (ParallelExecution as of PR 5): sharded mutex mark
+/// table, one shared deque, notify_all on every push.
+class LegacyParallelExecution : public SiteExecution {
+ public:
+  LegacyParallelExecution(const Query& query, const SiteStore& store,
+                          WorkerPool& pool, ExecutionOptions options = {});
+
+  const Query& query() const override { return query_; }
+
+  Result<void> seed_initial() override;
+  void seed_local_set(const std::string& name) override;
+  void add_item(WorkItem item) override;
+
+  void drain() override;
+
+  bool idle() const override;
+  std::size_t pending() const override;
+
+  std::vector<ObjectId> take_result_ids() override;
+  std::vector<Retrieved> take_retrieved() override;
+
+  EngineStats stats() const override;
+
+ private:
+  struct MarkShard {
+    Mutex mu;
+    MarkTable table HF_GUARDED_BY(mu);
+    explicit MarkShard(std::uint32_t filters) : table(filters) {}
+  };
+
+  bool marked(const ObjectId& id, std::uint32_t index);
+  void set_mark(const ObjectId& id, std::uint32_t index);
+  void route_seed(WorkItem&& item, std::unordered_set<ObjectId>& seen);
+  void worker_pass();
+
+  const Query query_;
+  const SiteStore& store_;
+  ExecutionOptions options_;
+  WorkerPool& pool_;
+
+  mutable Mutex mu_work_;
+  std::deque<WorkItem> work_ HF_GUARDED_BY(mu_work_);
+  std::size_t active_workers_ HF_GUARDED_BY(mu_work_) = 0;
+  bool pass_done_ HF_GUARDED_BY(mu_work_) = false;
+  CondVar work_cv_;
+
+  std::vector<std::unique_ptr<MarkShard>> shards_;  // ctor-only
+
+  mutable Mutex mu_results_;
+  std::unordered_set<ObjectId> result_members_ HF_GUARDED_BY(mu_results_);
+  std::vector<ObjectId> result_ids_ HF_GUARDED_BY(mu_results_);
+  std::size_t result_take_cursor_ HF_GUARDED_BY(mu_results_) = 0;
+  std::set<std::tuple<std::uint32_t, ObjectId, Value>> retrieved_seen_
+      HF_GUARDED_BY(mu_results_);
+  std::vector<Retrieved> retrieved_ HF_GUARDED_BY(mu_results_);
+  std::size_t retrieved_take_cursor_ HF_GUARDED_BY(mu_results_) = 0;
+
+  Mutex mu_side_;
+  std::vector<WorkItem> remote_buffer_ HF_GUARDED_BY(mu_side_);
+  std::vector<ObjectId> missing_buffer_ HF_GUARDED_BY(mu_side_);
+
+  mutable Mutex mu_stats_;
+  EngineStats stats_ HF_GUARDED_BY(mu_stats_);
+};
+
+}  // namespace hyperfile

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "model/object_id.hpp"
 
 namespace hyperfile {
@@ -51,6 +52,49 @@ class MarkTable {
  private:
   std::size_t words_per_entry_;
   std::unordered_map<ObjectId, std::vector<std::uint64_t>> marks_;
+};
+
+/// Lock-free mark table for the parallel drain (DESIGN.md §14): the same
+/// (object, filter-index) contract as MarkTable, backed by the sanctioned
+/// AtomicMarkMap in common/sync.hpp. set/test are called twice per filter
+/// application by every worker concurrently; relaxed mark atomics are sound
+/// because a missed concurrent mark only causes benign duplicate processing
+/// (paper Section 6), never a wrong answer.
+class AtomicMarkTable {
+ public:
+  /// `filter_count` is n; valid indices are 1..n+1, exactly as MarkTable.
+  explicit AtomicMarkTable(std::uint32_t filter_count,
+                           std::size_t expected_objects = 1024)
+      : map_(filter_count + 2, expected_objects) {}
+
+  bool test(const ObjectId& id, std::uint32_t filter_index) const {
+    return map_.test(pack(id), filter_index);
+  }
+
+  void set(const ObjectId& id, std::uint32_t filter_index) {
+    map_.set(pack(id), filter_index);
+  }
+
+  /// Set and report the previous state in one atomic op.
+  bool test_and_set(const ObjectId& id, std::uint32_t filter_index) {
+    return map_.test_and_set(pack(id), filter_index);
+  }
+
+  /// Any mark at all for this object (naive-marking ablation).
+  bool test_any(const ObjectId& id) const { return map_.test_any(pack(id)); }
+
+  std::size_t marked_objects() const { return map_.key_count(); }
+
+ private:
+  /// Identity is (birth_site, seq) — presumed_site is routing state and must
+  /// not split marks. Packing matches ObjectIdHash: sites fit in 16 bits and
+  /// local sequences in 48 for any deployment this codebase targets (the
+  /// stores allocate seq densely from 1).
+  static std::uint64_t pack(const ObjectId& id) {
+    return (static_cast<std::uint64_t>(id.birth_site) << 48) ^ id.seq;
+  }
+
+  AtomicMarkMap map_;
 };
 
 }  // namespace hyperfile

@@ -15,42 +15,15 @@ namespace {
 /// batching amortizes the lock while keeping load balance fine-grained.
 constexpr std::size_t kClaimBatch = 64;
 
-/// Mark-table shards. The paper's observation that "it is not necessary to
-/// have a strict locking mechanism" licenses per-shard locking with a
-/// benign window between the pop-time guard and the post-processing set:
-/// two workers may process the same object concurrently, producing only
-/// duplicate (deduplicated) answers.
-constexpr std::size_t kMarkShards = 32;
-
-struct MarkShard {
-  Mutex mu;
-  MarkTable table HF_GUARDED_BY(mu);
-
-  explicit MarkShard(std::uint32_t filters) : table(filters) {}
-};
-
 struct Shared {
-  explicit Shared(const Query& q) {
-    shards.reserve(kMarkShards);
-    for (std::size_t i = 0; i < kMarkShards; ++i) {
-      shards.push_back(std::make_unique<MarkShard>(q.size()));
-    }
-  }
+  explicit Shared(const Query& q) : marks(q.size()) {}
 
-  MarkShard& shard_for(const ObjectId& id) {
-    return *shards[ObjectIdHash{}(id) % kMarkShards];
-  }
-
-  bool marked(const ObjectId& id, std::uint32_t index) {
-    MarkShard& s = shard_for(id);
-    MutexLock lock(s.mu);
-    return s.table.test(id, index);
+  bool marked(const ObjectId& id, std::uint32_t index) const {
+    return marks.test(id, index);
   }
 
   void set_mark(const ObjectId& id, std::uint32_t index) {
-    MarkShard& s = shard_for(id);
-    MutexLock lock(s.mu);
-    s.table.set(id, index);
+    marks.set(id, index);
   }
 
   // Work queue + termination accounting.
@@ -60,7 +33,12 @@ struct Shared {
   std::size_t active HF_GUARDED_BY(mu_q) = 0;
   bool done HF_GUARDED_BY(mu_q) = false;
 
-  std::vector<std::unique_ptr<MarkShard>> shards;  // ctor-only
+  /// Lock-free marks (common/sync.hpp AtomicMarkMap): the paper's
+  /// observation that "it is not necessary to have a strict locking
+  /// mechanism" licenses the relaxed window between the pop-time guard and
+  /// the post-processing set — two workers may process the same object
+  /// concurrently, producing only duplicate (deduplicated) answers.
+  AtomicMarkTable marks;
 
   // Result set.
   Mutex mu_r;
@@ -80,6 +58,11 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
   EngineStats local;
   std::vector<WorkItem> batch;
   batch.reserve(kClaimBatch);
+  // Batch-lifetime scratch, reused so the hot loop stays allocation-free.
+  std::vector<ObjectId> survivors;
+  std::vector<WorkItem> children;
+  std::vector<Retrieved> captured;
+  EOutcome out;
 
   for (;;) {
     batch.clear();
@@ -96,9 +79,9 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
     }
 
     // --- outside the queue lock ---
-    std::vector<ObjectId> survivors;
-    std::vector<WorkItem> children;
-    std::vector<Retrieved> captured;
+    survivors.clear();
+    children.clear();
+    captured.clear();
     EStats estats;
     for (WorkItem& item : batch) {
       // Pop-time guard (sharded lock; benign race with the post-set below).
@@ -116,7 +99,7 @@ void worker_loop(const Query& query, const SiteStore& store, Shared& sh) {
       while (alive && item.next <= n) {
         sh.set_mark(item.id, item.next);
         ++local.filters_applied;
-        EOutcome out = apply_filter(query, item, obj, &estats);
+        apply_filter(query, item, obj, out, &estats);
         for (auto& c : out.derefs) children.push_back(std::move(c));
         for (auto& r : out.retrieved) captured.push_back(std::move(r));
         alive = out.alive;

@@ -2,20 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/metrics.hpp"
 
 namespace hyperfile {
 namespace {
 
-/// Mark-table shards; per-shard mutexes keep the table itself race-free
-/// while licensing the paper's benign duplicate-processing window.
-constexpr std::size_t kMarkShards = 32;
-
-/// Upper bound on items a worker claims per queue-lock acquisition.
-/// Claims are additionally capped by the queue depth divided over the
-/// workers, so a burst of heavy objects still load-balances.
+/// Upper bound on items a worker claims per queue-lock acquisition, own or
+/// stolen. Claims leave the remainder in place, so a burst of heavy objects
+/// stays stealable instead of clumping into one worker's batch.
 constexpr std::size_t kClaimBatch = 64;
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 
 }  // namespace
 
@@ -24,23 +28,29 @@ ParallelExecution::ParallelExecution(const Query& query, const SiteStore& store,
     : query_(query),
       store_(store),
       options_(std::move(options)),
-      pool_(pool) {
-  shards_.reserve(kMarkShards);
-  for (std::size_t i = 0; i < kMarkShards; ++i) {
-    shards_.push_back(std::make_unique<MarkShard>(query_.size()));
+      pool_(pool),
+      amarks_(query_.size()) {
+  queues_.reserve(pool_.size());
+  scratch_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+    auto s = std::make_unique<WorkerScratch>();
+    s->batch.reserve(kClaimBatch);
+    scratch_.push_back(std::move(s));
   }
 }
 
-bool ParallelExecution::marked(const ObjectId& id, std::uint32_t index) {
-  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
-  MutexLock lock(s.mu);
-  return s.table.test(id, index);
-}
-
-void ParallelExecution::set_mark(const ObjectId& id, std::uint32_t index) {
-  MarkShard& s = *shards_[ObjectIdHash{}(id) % kMarkShards];
-  MutexLock lock(s.mu);
-  s.table.set(id, index);
+void ParallelExecution::push_from_loop(WorkItem&& item) {
+  WorkerQueue& q = *queues_[seed_cursor_];
+  seed_cursor_ = (seed_cursor_ + 1) % queues_.size();
+  {
+    MutexLock lock(q.mu);
+    q.dq.push_back(std::move(item));
+  }
+  ++loop_pending_;
+  seed_peak_ = std::max<std::uint64_t>(seed_peak_, loop_pending_);
+  metrics().gauge("engine.queue_depth_peak").max_of(
+      static_cast<std::int64_t>(loop_pending_));
 }
 
 void ParallelExecution::route_seed(WorkItem&& item,
@@ -48,20 +58,7 @@ void ParallelExecution::route_seed(WorkItem&& item,
   if (!seen.insert(item.id).second) return;
   const bool local = !options_.is_local || options_.is_local(item.id);
   if (local) {
-    // Read the depth under mu_work_, update the high-water mark after
-    // releasing it: mu_work_ stays a leaf lock (never held across another
-    // acquisition).
-    std::size_t depth = 0;
-    {
-      MutexLock lock(mu_work_);
-      work_.push_back(std::move(item));
-      depth = work_.size();
-    }
-    metrics().gauge("engine.queue_depth_peak").max_of(
-        static_cast<std::int64_t>(depth));
-    MutexLock slock(mu_stats_);
-    stats_.max_working_set =
-        std::max<std::uint64_t>(stats_.max_working_set, depth);
+    push_from_loop(std::move(item));
   } else {
     {
       MutexLock slock(mu_stats_);
@@ -106,36 +103,30 @@ void ParallelExecution::add_item(WorkItem item) {
   item.next = item.start;
   item.mvars.clear();
   normalize_iter_stack(query_, item);
-  std::size_t depth = 0;
-  {
-    MutexLock lock(mu_work_);
-    work_.push_back(std::move(item));
-    depth = work_.size();
-  }
-  metrics().gauge("engine.queue_depth_peak").max_of(
-      static_cast<std::int64_t>(depth));
-  MutexLock slock(mu_stats_);
-  stats_.max_working_set =
-      std::max<std::uint64_t>(stats_.max_working_set, depth);
+  push_from_loop(std::move(item));
 }
 
-bool ParallelExecution::idle() const {
-  MutexLock lock(mu_work_);
-  return work_.empty() && active_workers_ == 0;
-}
+bool ParallelExecution::idle() const { return pending() == 0; }
 
 std::size_t ParallelExecution::pending() const {
-  MutexLock lock(mu_work_);
-  return work_.size();
+  // Event-loop thread, between passes: workers are parked, queues stable.
+  std::size_t total = 0;
+  for (const auto& q : queues_) {
+    MutexLock lock(q->mu);
+    total += q->dq.size();
+  }
+  return total;
 }
 
 void ParallelExecution::drain() {
+  if (pending() == 0) return;
   {
-    MutexLock lock(mu_work_);
-    if (work_.empty()) return;
+    MutexLock lock(mu_pass_);
     pass_done_ = false;
+    idle_workers_ = 0;
   }
-  pool_.run([this] { worker_pass(); });
+  pool_.run([this](std::size_t w) { worker_pass(w); });
+  loop_pending_ = 0;  // the join guarantees every queue drained
   // Workers have joined: W is empty and nothing is in flight. Flush the
   // side-effects they could not perform themselves, on this (event-loop)
   // thread, *before* returning — the caller sends results and releases
@@ -157,85 +148,156 @@ void ParallelExecution::drain() {
   }
 }
 
-void ParallelExecution::worker_pass() {
+std::size_t ParallelExecution::claim_own(std::size_t w,
+                                         std::vector<WorkItem>& batch) {
+  WorkerQueue& q = *queues_[w];
+  // Serial-observable path: with one worker, LIFO must interleave children
+  // ahead of older items exactly as the serial WorkSet does, which batch
+  // claiming would break (batch[1] would run before batch[0]'s children).
+  // Claim one item at a time there — the queue lock is uncontended with no
+  // thieves around. FIFO order is batch-insensitive, and with multiple
+  // workers no inter-item order is promised at all.
+  const std::size_t limit =
+      (options_.discipline == WorkSetDiscipline::kLifo && queues_.size() == 1)
+          ? 1
+          : kClaimBatch;
+  MutexLock lock(q.mu);
+  const std::size_t take = std::min(q.dq.size(), limit);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (options_.discipline == WorkSetDiscipline::kFifo) {
+      batch.push_back(std::move(q.dq.front()));
+      q.dq.pop_front();
+    } else {
+      batch.push_back(std::move(q.dq.back()));
+      q.dq.pop_back();
+    }
+  }
+  return take;
+}
+
+std::size_t ParallelExecution::steal(std::size_t w,
+                                     std::vector<WorkItem>& batch,
+                                     EngineStats& local) {
+  const std::size_t nq = queues_.size();
+  for (std::size_t off = 1; off < nq; ++off) {
+    WorkerQueue& victim = *queues_[(w + off) % nq];
+    bool leftovers = false;
+    std::size_t took = 0;
+    {
+      MutexLock lock(victim.mu);
+      if (victim.dq.empty()) continue;
+      // Take the front half: for kLifo that is the end opposite the owner
+      // (oldest, shallowest items — the classic steal order); for kFifo the
+      // owner claims the same end, but claims are batched so the overlap
+      // window is one lock acquisition either way.
+      took = std::min((victim.dq.size() + 1) / 2, kClaimBatch);
+      for (std::size_t i = 0; i < took; ++i) {
+        batch.push_back(std::move(victim.dq.front()));
+        victim.dq.pop_front();
+      }
+      leftovers = !victim.dq.empty();
+    }
+    ++local.steals;
+    local.stolen_items += took;
+    if (leftovers) {
+      // Chain the wakeup: the victim's queue still has work another parked
+      // thief could take.
+      MutexLock lock(mu_pass_);
+      if (idle_workers_ > 0) {
+        ++work_epoch_;
+        pass_cv_.notify_one();
+      }
+    }
+    return took;
+  }
+  return 0;
+}
+
+void ParallelExecution::worker_pass(std::size_t w) {
   const std::uint32_t n = query_.size();
-  const std::size_t workers = pool_.size();
+  const std::size_t nq = queues_.size();
   EngineStats local;
-  std::vector<WorkItem> batch;
-  batch.reserve(kClaimBatch);
+  WorkerScratch& s = *scratch_[w];
 
   for (;;) {
-    batch.clear();
-    {
-      MutexLock lock(mu_work_);
-      while (work_.empty() && !pass_done_) work_cv_.wait(lock);
-      if (pass_done_ && work_.empty()) break;
-      // Claim a slice proportional to the backlog so heavy objects spread
-      // across workers instead of clumping into one 64-item batch.
-      const std::size_t claim = std::clamp<std::size_t>(
-          work_.size() / workers, 1, kClaimBatch);
-      while (!work_.empty() && batch.size() < claim) {
-        if (options_.discipline == WorkSetDiscipline::kFifo) {
-          batch.push_back(std::move(work_.front()));
-          work_.pop_front();
+    s.batch.clear();
+    if (claim_own(w, s.batch) == 0) steal(w, s.batch, local);
+    if (s.batch.empty()) {
+      // Own queue and every victim's queue were empty: park. Only owners
+      // push to a queue, so once all workers are parked no queue can refill
+      // — the last one to park ends the pass.
+      const auto t0 = std::chrono::steady_clock::now();
+      bool done = false;
+      {
+        MutexLock lock(mu_pass_);
+        ++idle_workers_;
+        if (idle_workers_ == nq) {
+          pass_done_ = true;
+          pass_cv_.notify_all();
         } else {
-          batch.push_back(std::move(work_.back()));
-          work_.pop_back();
+          const std::uint64_t seen = work_epoch_;
+          while (!pass_done_ && work_epoch_ == seen) pass_cv_.wait(lock);
         }
+        done = pass_done_;
+        if (!done) --idle_workers_;
       }
-      local.pops += batch.size();
-      ++active_workers_;
+      local.queue_wait_us += elapsed_us(t0);
+      if (done) break;
+      continue;  // woken: rescan for work
     }
+    local.pops += s.batch.size();
 
-    // --- object processing, outside every shared lock ---
-    std::vector<WorkItem> local_children;
-    std::vector<WorkItem> remote_children;
-    std::vector<ObjectId> missing_here;
-    std::vector<ObjectId> survivors;
-    std::vector<Retrieved> captured;
+    // --- object processing: no locks, no allocation in steady state ---
+    s.local_children.clear();
+    s.remote_children.clear();
+    s.missing_here.clear();
+    s.survivors.clear();
+    s.captured.clear();
     EStats estats;
-    for (WorkItem& item : batch) {
+    for (WorkItem& item : s.batch) {
       // Pop-time guard (the naive whole-object ablation is serial-only).
-      if (marked(item.id, item.start)) {
+      if (amarks_.test(item.id, item.start)) {
         ++local.suppressed;
         continue;
       }
       const Object* obj = store_.get(item.id);
       if (obj == nullptr) {
         ++local.missing;
-        missing_here.push_back(item.id);
+        s.missing_here.push_back(item.id);
         continue;
       }
       ++local.processed;
       bool alive = true;
       while (alive && item.next <= n) {
-        set_mark(item.id, item.next);
+        amarks_.set(item.id, item.next);
         ++local.filters_applied;
-        EOutcome out = apply_filter(query_, item, obj, &estats);
-        for (WorkItem& child : out.derefs) {
+        apply_filter(query_, item, obj, s.out, &estats);
+        for (WorkItem& child : s.out.derefs) {
           const bool child_local =
               !options_.is_local || options_.is_local(child.id);
           if (child_local) {
-            local_children.push_back(std::move(child));
+            s.local_children.push_back(std::move(child));
           } else {
             ++local.remote_handoffs;
-            remote_children.push_back(std::move(child));
+            s.remote_children.push_back(std::move(child));
           }
         }
-        for (Retrieved& r : out.retrieved) captured.push_back(std::move(r));
-        alive = out.alive;
+        for (Retrieved& r : s.out.retrieved) {
+          s.captured.push_back(std::move(r));
+        }
+        alive = s.out.alive;
       }
       if (alive) {
-        set_mark(item.id, n + 1);
-        survivors.push_back(item.id);
+        amarks_.set(item.id, n + 1);
+        s.survivors.push_back(item.id);
       }
     }
     local.tuples_scanned += estats.tuples_scanned;
     local.derefs_followed += estats.derefs_followed;
 
-    if (!survivors.empty() || !captured.empty()) {
+    if (!s.survivors.empty() || !s.captured.empty()) {
       MutexLock lock(mu_results_);
-      for (ObjectId& id : survivors) {
+      for (ObjectId& id : s.survivors) {
         if (result_members_.insert(id).second) {
           result_ids_.push_back(id);
           ++local.results;
@@ -243,7 +305,7 @@ void ParallelExecution::worker_pass() {
           ++local.duplicate_results;
         }
       }
-      for (Retrieved& r : captured) {
+      for (Retrieved& r : s.captured) {
         if (retrieved_seen_.emplace(r.slot, r.source, r.value).second) {
           retrieved_.push_back(std::move(r));
           ++local.retrieved_values;
@@ -251,32 +313,41 @@ void ParallelExecution::worker_pass() {
       }
     }
 
-    if (!remote_children.empty() || !missing_here.empty()) {
+    if (!s.remote_children.empty() || !s.missing_here.empty()) {
       MutexLock lock(mu_side_);
-      for (WorkItem& item : remote_children) {
+      for (WorkItem& item : s.remote_children) {
         remote_buffer_.push_back(std::move(item));
       }
-      missing_buffer_.insert(missing_buffer_.end(), missing_here.begin(),
-                             missing_here.end());
+      missing_buffer_.insert(missing_buffer_.end(), s.missing_here.begin(),
+                             s.missing_here.end());
     }
 
-    {
-      MutexLock lock(mu_work_);
-      for (WorkItem& child : local_children) {
-        work_.push_back(std::move(child));
+    if (!s.local_children.empty()) {
+      std::size_t depth = 0;
+      {
+        WorkerQueue& q = *queues_[w];
+        MutexLock lock(q.mu);
+        for (WorkItem& child : s.local_children) {
+          q.dq.push_back(std::move(child));
+        }
+        depth = q.dq.size();
       }
       local.max_working_set =
-          std::max<std::uint64_t>(local.max_working_set, work_.size());
-      --active_workers_;
-      if (work_.empty() && active_workers_ == 0) {
-        pass_done_ = true;
-        work_cv_.notify_all();
-      } else if (!work_.empty()) {
-        work_cv_.notify_all();
+          std::max<std::uint64_t>(local.max_working_set, depth);
+      // Wake at most one parked thief, and only if somebody is parked — a
+      // push with every worker busy costs one uncontended lock per batch.
+      MutexLock lock(mu_pass_);
+      if (idle_workers_ > 0) {
+        ++work_epoch_;
+        pass_cv_.notify_one();
       }
     }
   }
 
+  metrics().counter("engine.steals").inc(local.steals);
+  metrics().counter("engine.stolen_items").inc(local.stolen_items);
+  metrics().counter("engine.queue_wait_us").inc(local.queue_wait_us);
+  metrics().counter("engine.suppressed").inc(local.suppressed);
   MutexLock lock(mu_stats_);
   stats_ += local;
 }
@@ -300,8 +371,15 @@ std::vector<Retrieved> ParallelExecution::take_retrieved() {
 }
 
 EngineStats ParallelExecution::stats() const {
-  MutexLock lock(mu_stats_);
-  return stats_;
+  EngineStats s;
+  {
+    MutexLock lock(mu_stats_);
+    s = stats_;
+  }
+  // Fold in the event-loop-side seeding high-water mark (loop-confined, so
+  // reading it here — on the same thread — needs no lock).
+  s.max_working_set = std::max(s.max_working_set, seed_peak_);
+  return s;
 }
 
 }  // namespace hyperfile

@@ -9,24 +9,43 @@
 // the same document. Duplicate processing may create some duplicate answers,
 // but not incorrect ones."
 //
-// Division of labour (see DESIGN.md "Parallel site drain"):
+// This is the scalable drain (DESIGN.md §14); the pre-overhaul engine it
+// replaced survives as engine/legacy_drain.hpp for old-vs-new measurement.
+// What makes it scale:
+//   * Lock-free marks — one AtomicMarkTable (common/sync.hpp) instead of
+//     mutex-guarded shards; marked/set_mark are a relaxed atomic load /
+//     fetch_or, licensed by the paper's benign-duplicate argument above.
+//   * Per-worker work queues with stealing — each worker owns a deque; it
+//     pushes dereferenced children to its own queue and claims batches from
+//     it locklessly w.r.t. other queues, stealing the front half of a
+//     victim's queue only when its own runs dry. No thundering herd: a
+//     worker that pushes work wakes at most one parked thief (notify_one),
+//     and only when somebody is actually parked.
+//   * Allocation-free steady state — per-worker scratch (EOutcome, batch,
+//     child/survivor buffers) reused across batches; apply_filter fills an
+//     out-param instead of returning fresh vectors.
+//
+// Division of labour (unchanged from the old engine):
 //   * The site event-loop thread owns messaging, store writes, and
 //     termination accounting. It calls seed_*/add_item/drain/take_* exactly
-//     as it would on the serial QueryExecution.
+//     as it would on the serial QueryExecution; seeds are dealt round-robin
+//     across the worker queues.
 //   * drain() fans object processing out to a long-lived WorkerPool shared
-//     by every query context of the site. Workers share the working set,
-//     a sharded mark table, and the deduplicating result set; they only
-//     *read* the store.
+//     by every query context of the site; workers only *read* the store.
 //   * Non-local dereferences and missing ids discovered by workers are
 //     buffered, and the remote/missing sinks run on the event-loop thread
 //     after the pool has joined — so weight is borrowed and messages are
 //     sent only while workers are provably idle, keeping both the
-//     weighted-message and Dijkstra-Scholten termination arguments intact
-//     (quiescence == working set empty, established at the join).
+//     weighted-message and Dijkstra-Scholten termination arguments intact.
 //
-// Duplicate processing between the pop-time mark guard and the post-set is
-// the paper's benign race: the result set deduplicates, remote duplicates
-// are suppressed by the destination's own mark table on arrival.
+// Pass termination: a worker parks only after finding its own queue and
+// every victim's queue empty; the pass ends when all workers are parked.
+// Only a queue's owner ever pushes to it, so "owner parked" means "queue
+// permanently empty" — all parked therefore implies no work anywhere.
+//
+// With one worker the engine is serial-observable: a single queue, owner
+// pops front (kFifo) or back (kLifo), children append in dereference order —
+// the same visit order as the serial WorkSet.
 #pragma once
 
 #include <deque>
@@ -38,6 +57,7 @@
 
 #include "common/sync.hpp"
 #include "engine/execution.hpp"
+#include "engine/mark_table.hpp"
 #include "engine/worker_pool.hpp"
 
 namespace hyperfile {
@@ -66,45 +86,80 @@ class ParallelExecution : public SiteExecution {
   EngineStats stats() const override;
 
  private:
-  struct MarkShard {
-    Mutex mu;
-    MarkTable table HF_GUARDED_BY(mu);
-    explicit MarkShard(std::uint32_t filters) : table(filters) {}
+  /// One worker's deque. Owner pushes/claims at the back half of the
+  /// protocol, thieves take from the front; the mutex is per-queue, so the
+  /// only contention is an actual steal.
+  struct WorkerQueue {
+    mutable Mutex mu;
+    std::deque<WorkItem> dq HF_GUARDED_BY(mu);
   };
 
-  bool marked(const ObjectId& id, std::uint32_t index);
-  void set_mark(const ObjectId& id, std::uint32_t index);
+  /// Per-worker scratch, allocated once and reused every batch of every
+  /// pass — the drain's steady state performs no heap allocation beyond
+  /// what WorkItems themselves carry.
+  struct WorkerScratch {
+    std::vector<WorkItem> batch;
+    std::vector<WorkItem> local_children;
+    std::vector<WorkItem> remote_children;
+    std::vector<ObjectId> missing_here;
+    std::vector<ObjectId> survivors;
+    std::vector<Retrieved> captured;
+    EOutcome out;
+  };
 
-  /// Seed-side routing on the calling (event-loop) thread: local ids enter
-  /// W, non-local ones go straight to the remote sink. Seeds are
-  /// deduplicated — a duplicate id in the initial set must not become two
-  /// work items.
+  /// Seed-side routing on the calling (event-loop) thread: local ids are
+  /// dealt round-robin across worker queues, non-local ones go straight to
+  /// the remote sink. Seeds are deduplicated — a duplicate id in the
+  /// initial set must not become two work items.
   void route_seed(WorkItem&& item, std::unordered_set<ObjectId>& seen);
+  /// Push one item onto a worker queue from the event-loop thread (between
+  /// passes: uncontended) and keep the depth gauges fresh.
+  void push_from_loop(WorkItem&& item);
 
-  /// One worker's share of a drain pass: claim batches until the pass is
-  /// globally done (W empty and no worker mid-batch).
-  void worker_pass();
+  /// Claim up to kClaimBatch items from worker `w`'s own queue, honoring
+  /// the discipline order. Returns the number claimed.
+  std::size_t claim_own(std::size_t w, std::vector<WorkItem>& batch);
+  /// Scan the other queues and steal the front half of the first non-empty
+  /// one. Returns the number stolen (into `batch`).
+  std::size_t steal(std::size_t w, std::vector<WorkItem>& batch,
+                    EngineStats& local);
+
+  /// One worker's share of a drain pass: claim/steal batches until every
+  /// queue is empty and all workers are parked.
+  void worker_pass(std::size_t w);
 
   const Query query_;  // by value: executions outlive transient messages
   const SiteStore& store_;
   ExecutionOptions options_;
   WorkerPool& pool_;
 
-  // Working set + pass-termination accounting. Leaf lock: nothing else is
-  // acquired while it is held (stats updates that once nested under it now
-  // read the queue depth first and lock mu_stats_ after release).
-  mutable Mutex mu_work_;
-  std::deque<WorkItem> work_ HF_GUARDED_BY(mu_work_);
-  std::size_t active_workers_ HF_GUARDED_BY(mu_work_) = 0;
-  bool pass_done_ HF_GUARDED_BY(mu_work_) = false;
-  CondVar work_cv_;
+  /// One queue per pool worker, created once in the constructor.
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // ctor-only
+  /// Per-worker scratch buffers, index-aligned with queues_. Touched only
+  /// by the owning worker during a pass.
+  std::vector<std::unique_ptr<WorkerScratch>> scratch_;  // ctor-only
 
-  // Sharded mark table: per-shard locks, benign window between the
-  // pop-time test and the in-processing set.
-  std::vector<std::unique_ptr<MarkShard>> shards_;  // ctor-only
+  // Pass-termination accounting. Touched once per batch (pushers checking
+  // for parked thieves) and when a worker runs dry — never per item.
+  mutable Mutex mu_pass_;
+  std::size_t idle_workers_ HF_GUARDED_BY(mu_pass_) = 0;
+  bool pass_done_ HF_GUARDED_BY(mu_pass_) = false;
+  std::uint64_t work_epoch_ HF_GUARDED_BY(mu_pass_) = 0;
+  CondVar pass_cv_;
+
+  /// Lock-free mark table (common/sync.hpp AtomicMarkMap): relaxed
+  /// fetch_or / loads, the paper's benign-duplicate window.
+  AtomicMarkTable amarks_;
+
+  // Event-loop-confined seeding state (workers are idle whenever these are
+  // touched): round-robin cursor, items pushed since the last drain, and
+  // the high-water mark folded into stats() on demand.
+  std::size_t seed_cursor_ = 0;
+  std::size_t loop_pending_ = 0;
+  std::uint64_t seed_peak_ = 0;
 
   // Result set + retrieval dedup, with take cursors for incremental
-  // flushing.
+  // flushing. Locked once per claimed batch, never per item.
   mutable Mutex mu_results_;
   std::unordered_set<ObjectId> result_members_ HF_GUARDED_BY(mu_results_);
   std::vector<ObjectId> result_ids_ HF_GUARDED_BY(mu_results_);
@@ -120,7 +175,7 @@ class ParallelExecution : public SiteExecution {
   std::vector<WorkItem> remote_buffer_ HF_GUARDED_BY(mu_side_);
   std::vector<ObjectId> missing_buffer_ HF_GUARDED_BY(mu_side_);
 
-  // Stats: workers merge their local counters at the end of each pass;
+  // Stats: workers merge their local counters once at the end of each pass;
   // reads happen on the event-loop thread between drains.
   mutable Mutex mu_stats_;
   EngineStats stats_ HF_GUARDED_BY(mu_stats_);

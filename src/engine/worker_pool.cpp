@@ -12,7 +12,7 @@ WorkerPool::WorkerPool(std::size_t workers) {
   const std::size_t n = std::max<std::size_t>(1, workers);
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,7 +25,7 @@ WorkerPool::~WorkerPool() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::run(const std::function<void()>& fn) {
+void WorkerPool::run(const std::function<void(std::size_t)>& fn) {
   static Counter& passes = metrics().counter("engine.pool.passes");
   static Histogram& pass_us = metrics().histogram("engine.pool.pass_us");
   passes.inc();
@@ -49,10 +49,10 @@ void WorkerPool::run(const std::function<void()>& fn) {
   if (error) std::rethrow_exception(error);
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(std::size_t index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void()>* task = nullptr;
+    const std::function<void(std::size_t)>* task = nullptr;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && generation_ == seen_generation) wake_cv_.wait(lock);
@@ -61,7 +61,7 @@ void WorkerPool::worker_loop() {
       task = task_;
     }
     try {
-      (*task)();
+      (*task)(index);
     } catch (...) {
       MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -30,22 +30,25 @@ class WorkerPool {
 
   std::size_t size() const { return threads_.size(); }
 
-  /// Run `fn` on every worker; blocks until all of them returned. `fn` must
-  /// be safe to execute concurrently with itself. Only one run() may be in
-  /// flight at a time (the site event loop is the sole caller).
+  /// Run `fn(worker_index)` on every worker; blocks until all of them
+  /// returned. Indices are 0..size()-1, one per worker, stable across
+  /// passes — they let a drain keep per-worker state (steal queues, scratch
+  /// buffers) without thread-local lookups. `fn` must be safe to execute
+  /// concurrently with itself. Only one run() may be in flight at a time
+  /// (the site event loop is the sole caller).
   ///
   /// If `fn` throws on any worker, the pass still completes on every worker
   /// (the pool stays usable) and the first captured exception is rethrown
   /// here, on the calling thread.
-  void run(const std::function<void()>& fn);
+  void run(const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   Mutex mu_;
   CondVar wake_cv_;   // workers wait for a new pass
   CondVar done_cv_;   // run() waits for pass completion
-  const std::function<void()>* task_ HF_GUARDED_BY(mu_) = nullptr;
+  const std::function<void(std::size_t)>* task_ HF_GUARDED_BY(mu_) = nullptr;
   std::uint64_t generation_ HF_GUARDED_BY(mu_) = 0;  // bumped per pass
   std::size_t remaining_ HF_GUARDED_BY(mu_) = 0;  // workers still in the pass
   bool shutdown_ HF_GUARDED_BY(mu_) = false;

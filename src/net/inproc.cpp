@@ -101,10 +101,12 @@ Result<void> InProcNetwork::send(SiteId from, SiteId to, wire::Message message) 
     return make_error(Errc::kNotFound, "no such site " + std::to_string(to));
   }
   // Round-trip through the wire format: the receiver sees exactly what a
-  // socket peer would, and encoding bugs surface in every test run.
-  const wire::Bytes bytes =
-      wire::encode_envelope(wire::Envelope{from, to, std::move(message)});
-  auto env = wire::decode_envelope(bytes);
+  // socket peer would, and encoding bugs surface in every test run. The
+  // scratch encoder is reused across sends on this thread — the bytes are
+  // consumed by decode_envelope before returning.
+  static thread_local wire::Encoder enc;
+  wire::encode_envelope(wire::Envelope{from, to, std::move(message)}, enc);
+  auto env = wire::decode_envelope(enc.bytes());
   if (!env.ok()) {
     return make_error(Errc::kInternal,
                       "wire round-trip failed: " + env.error().to_string());
@@ -118,7 +120,7 @@ Result<void> InProcNetwork::send(SiteId from, SiteId to, wire::Message message) 
     return make_error(Errc::kClosed, "site " + std::to_string(to) + " shut down");
   }
   MutexLock lock(stats_mu_);
-  stats_.record_tag(variant_index, bytes.size());
+  stats_.record_tag(variant_index, enc.size());
   return {};
 }
 

@@ -121,6 +121,10 @@ void TcpNetwork::spawn_reader(int fd) {
 }
 
 void TcpNetwork::reader_loop(int fd) {
+  // One frame buffer for the connection's lifetime: decode_envelope copies
+  // what it keeps, so the buffer can be reused and steady-state receiving
+  // does not allocate per frame.
+  wire::Bytes buf;
   for (;;) {
     std::uint8_t lenbuf[4];
     auto got = read_all(fd, lenbuf, 4);
@@ -132,7 +136,7 @@ void TcpNetwork::reader_loop(int fd) {
     // 64 MiB sanity cap: protocol messages are tiny; a larger frame means a
     // corrupt stream, and unchecked lengths would let a bad peer OOM us.
     if (len > (64u << 20)) break;
-    wire::Bytes buf(len);
+    buf.resize(len);
     auto body = read_all(fd, buf.data(), len);
     if (!body.ok() || !body.value()) break;
     auto env = wire::decode_envelope(buf);
@@ -204,11 +208,14 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
   // The variant index survives the encode (which consumes the message);
   // both delivery paths classify stats from it.
   const std::size_t tag = message.index();
+  // Scratch buffers reused across sends on this thread: the encoded bytes
+  // are consumed before returning, so the steady state allocates nothing.
+  static thread_local wire::Encoder enc;
+  static thread_local wire::Bytes frame;
   if (to == self_) {
     // Local delivery without a socket round-trip (still wire-encoded).
-    const wire::Bytes bytes =
-        wire::encode_envelope(wire::Envelope{self_, to, std::move(message)});
-    auto env = wire::decode_envelope(bytes);
+    wire::encode_envelope(wire::Envelope{self_, to, std::move(message)}, enc);
+    auto env = wire::decode_envelope(enc.bytes());
     if (!env.ok()) return env.error();
     if (!inbox_.push(std::move(env).value())) {
       // After shutdown() the inbox is closed; claiming success would make
@@ -217,12 +224,12 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
                         "endpoint " + std::to_string(self_) + " shut down");
     }
     MutexLock lock(stats_mu_);
-    stats_.record_tag(tag, bytes.size());
+    stats_.record_tag(tag, enc.size());
     return {};
   }
 
-  const wire::Bytes body =
-      wire::encode_envelope(wire::Envelope{self_, to, std::move(message)});
+  wire::encode_envelope(wire::Envelope{self_, to, std::move(message)}, enc);
+  const wire::Bytes& body = enc.bytes();
   auto fd = peer_socket(to);
   if (!fd.ok()) return fd.error();
 
@@ -232,7 +239,7 @@ Result<void> TcpNetwork::send(SiteId to, wire::Message message) {
       static_cast<std::uint8_t>(body.size() >> 8),
       static_cast<std::uint8_t>(body.size()),
   };
-  wire::Bytes frame;
+  frame.clear();
   frame.reserve(4 + body.size());
   frame.insert(frame.end(), lenbuf, lenbuf + 4);
   frame.insert(frame.end(), body.begin(), body.end());

@@ -20,6 +20,7 @@
 #include <optional>
 #include <regex>
 #include <string>
+#include <string_view>
 
 #include "common/result.hpp"
 #include "model/value.hpp"
@@ -34,6 +35,20 @@ enum class PatternKind : std::uint8_t {
   kBind = 4,       // ?X
   kUse = 5,        // $X
   kRetrieve = 6,   // ->slot
+};
+
+/// Fast-path classification of a kRegex pattern whose source contains no
+/// regex metacharacters: the innermost tuple scan then runs a plain
+/// substring / prefix / suffix comparison instead of std::regex_search
+/// (which dominates CPU-bound drains — see DESIGN.md §14). Detected once at
+/// compile time; `matches_reference` keeps the generic engine available as
+/// the equivalence oracle.
+enum class RegexFastPath : std::uint8_t {
+  kNone = 0,      // general regex: std::regex_search
+  kContains = 1,  // "lit"    — unanchored substring
+  kPrefix = 2,    // "^lit"   — anchored at the start
+  kSuffix = 3,    // "lit$"   — anchored at the end
+  kExact = 4,     // "^lit$"  — whole-string equality
 };
 
 class Pattern {
@@ -75,10 +90,22 @@ class Pattern {
   ///   kUse                      -> false (engine resolves against bindings)
   bool matches_basic(const Value& v) const;
 
-  /// Match a plain string field (tuple type / key names).
+  /// Match a plain string field (tuple type / key names) without
+  /// materializing a Value — the allocation-free form the hot tuple scan
+  /// uses. Identical semantics to matches_basic(Value::string(s)).
+  bool matches_basic(std::string_view s) const;
   bool matches_basic(const std::string& s) const {
-    return matches_basic(Value::string(s));
+    return matches_basic(std::string_view(s));
   }
+
+  /// The pre-fast-path generic matcher: literal patterns compare Values,
+  /// regex patterns always run std::regex_search. Semantically identical to
+  /// matches_basic — kept callable so the legacy drain baseline
+  /// (engine/legacy_drain.hpp) measures the old cost and so tests can assert
+  /// fast path == reference on arbitrary inputs.
+  bool matches_reference(const Value& v) const;
+
+  RegexFastPath fast_path() const { return fast_; }
 
   friend bool operator==(const Pattern& a, const Pattern& b);
   friend bool operator!=(const Pattern& a, const Pattern& b) { return !(a == b); }
@@ -94,6 +121,8 @@ class Pattern {
   std::int64_t hi_ = 0;
   std::uint32_t slot_ = 0;
   std::shared_ptr<const std::regex> compiled_;  // shared: patterns are copied a lot
+  RegexFastPath fast_ = RegexFastPath::kNone;
+  std::string fast_text_;  // the literal the fast path compares against
 };
 
 }  // namespace hyperfile

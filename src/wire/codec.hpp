@@ -25,6 +25,12 @@ class Encoder {
   Bytes take() { return std::move(out_); }
   std::size_t size() const { return out_.size(); }
 
+  /// Reset for reuse, keeping the buffer's capacity. Send paths whose bytes
+  /// are consumed before returning keep one scratch encoder per thread so
+  /// steady-state encoding never allocates (DESIGN.md §14).
+  void clear() { out_.clear(); }
+  void reserve(std::size_t n) { out_.reserve(n); }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
 
   /// Unsigned LEB128.

@@ -578,12 +578,17 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
                     "unknown message tag " + std::to_string(tag.value()));
 }
 
-Bytes encode_envelope(const Envelope& env) {
-  Encoder e;
+void encode_envelope(const Envelope& env, Encoder& e) {
+  e.clear();
   e.varint(env.src);
   e.varint(env.dst);
   Bytes payload = encode_message(env.message);
   e.bytes(payload);
+}
+
+Bytes encode_envelope(const Envelope& env) {
+  Encoder e;
+  encode_envelope(env, e);
   return e.take();
 }
 

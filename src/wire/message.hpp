@@ -245,6 +245,9 @@ Bytes encode_message(const Message& m);
 Result<Message> decode_message(std::span<const std::uint8_t> data);
 
 Bytes encode_envelope(const Envelope& e);
+/// Encode into `out` (cleared first), reusing its buffer capacity — the
+/// allocation-free form for senders that consume the bytes immediately.
+void encode_envelope(const Envelope& e, Encoder& out);
 Result<Envelope> decode_envelope(std::span<const std::uint8_t> data);
 
 }  // namespace hyperfile::wire

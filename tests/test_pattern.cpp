@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "query/pattern.hpp"
 
 namespace hyperfile {
@@ -112,6 +116,85 @@ TEST(Pattern, ToStringRoundTripForms) {
 TEST(Pattern, MatchesStringOverload) {
   EXPECT_TRUE(Pattern::literal("pointer").matches_basic(std::string("pointer")));
   EXPECT_FALSE(Pattern::literal("pointer").matches_basic(std::string("string")));
+}
+
+
+// ---------------------------------------------------------------------------
+// Regex fast path (DESIGN.md §14): metacharacter-free regexes run as plain
+// substring / prefix / suffix / equality scans; matches_reference keeps the
+// generic std::regex engine as the oracle.
+
+TEST(PatternFastPath, ClassificationAtCompileTime) {
+  EXPECT_EQ(Pattern::regex("needle").value().fast_path(),
+            RegexFastPath::kContains);
+  EXPECT_EQ(Pattern::regex("^head").value().fast_path(),
+            RegexFastPath::kPrefix);
+  EXPECT_EQ(Pattern::regex("tail$").value().fast_path(),
+            RegexFastPath::kSuffix);
+  EXPECT_EQ(Pattern::regex("^whole$").value().fast_path(),
+            RegexFastPath::kExact);
+  // Any metacharacter falls back to the generic engine.
+  for (const char* expr : {"a+", "a.b", "a|b", "[ab]", "a(b)", "a?", "a*",
+                           "a{2}", "a\\d", "^a+$"}) {
+    EXPECT_EQ(Pattern::regex(expr).value().fast_path(), RegexFastPath::kNone)
+        << expr;
+  }
+}
+
+TEST(PatternFastPath, AgreesWithReferenceOnEdgeCases) {
+  const std::vector<std::string> exprs = {"needle", "^needle", "needle$",
+                                          "^needle$", "", "^", "$", "^$"};
+  const std::vector<std::string> inputs = {
+      "",       "needle",       "xneedle",      "needlex", "xneedlex",
+      "needl",  "eedle",        "needleneedle", "NEEDLE",  "x",
+      "needle needle again"};
+  for (const auto& expr : exprs) {
+    auto p = Pattern::regex(expr);
+    ASSERT_TRUE(p.ok()) << expr;
+    for (const auto& in : inputs) {
+      const Value v = Value::string(in);
+      EXPECT_EQ(p.value().matches_basic(v), p.value().matches_reference(v))
+          << "/" << expr << "/ on \"" << in << "\"";
+      EXPECT_EQ(p.value().matches_basic(std::string_view(in)),
+                p.value().matches_reference(v))
+          << "/" << expr << "/ on \"" << in << "\" (string_view)";
+    }
+  }
+}
+
+TEST(PatternFastPath, AgreesWithReferenceOnRandomInputs) {
+  // Property: for random anchor combinations over random ascii needles and
+  // haystacks, the fast path and the generic engine never disagree.
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string needle;
+    const std::size_t nlen = rng.next_below(6);
+    for (std::size_t i = 0; i < nlen; ++i) {
+      needle.push_back(static_cast<char>('a' + rng.next_below(3)));
+    }
+    std::string expr = needle;
+    if (rng.next_bool(0.5)) expr = "^" + expr;
+    if (rng.next_bool(0.5)) expr += "$";
+    auto p = Pattern::regex(expr);
+    ASSERT_TRUE(p.ok()) << expr;
+
+    std::string hay;
+    const std::size_t hlen = rng.next_below(12);
+    for (std::size_t i = 0; i < hlen; ++i) {
+      hay.push_back(static_cast<char>('a' + rng.next_below(3)));
+    }
+    const Value v = Value::string(hay);
+    ASSERT_EQ(p.value().matches_basic(v), p.value().matches_reference(v))
+        << "/" << expr << "/ on \"" << hay << "\"";
+  }
+}
+
+TEST(PatternFastPath, NonStringValuesNeverMatch) {
+  Pattern p = Pattern::regex("needle").value();
+  EXPECT_FALSE(p.matches_basic(Value::number(42)));
+  EXPECT_FALSE(p.matches_basic(Value()));
+  EXPECT_EQ(p.matches_basic(Value::number(42)),
+            p.matches_reference(Value::number(42)));
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(WorkerPool, DestructionWithQueuedWork) {
   std::atomic<int> done{0};
   {
     WorkerPool pool(4);
-    pool.run([&] {
+    pool.run([&](std::size_t) {
       for (int i = 0; i < 1000; ++i) done.fetch_add(1);
     });
   }
@@ -41,7 +41,7 @@ TEST(WorkerPool, ZeroWorkerPoolClampsToOne) {
   WorkerPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
   std::atomic<int> runs{0};
-  pool.run([&] { runs.fetch_add(1); });
+  pool.run([&](std::size_t) { runs.fetch_add(1); });
   EXPECT_EQ(runs.load(), 1);
 }
 
@@ -51,7 +51,7 @@ TEST(WorkerPool, ResubmitAfterJoin) {
   WorkerPool pool(3);
   for (int pass = 0; pass < 50; ++pass) {
     std::atomic<int> runs{0};
-    pool.run([&] { runs.fetch_add(1); });
+    pool.run([&](std::size_t) { runs.fetch_add(1); });
     ASSERT_EQ(runs.load(), 3) << "pass " << pass;
   }
 }
@@ -60,7 +60,7 @@ TEST(WorkerPool, TaskThrowPropagatesToRun) {
   WorkerPool pool(4);
   std::atomic<int> attempts{0};
   EXPECT_THROW(
-      pool.run([&] {
+      pool.run([&](std::size_t) {
         attempts.fetch_add(1);
         throw std::runtime_error("boom");
       }),
@@ -73,10 +73,10 @@ TEST(WorkerPool, PoolSurvivesThrowingPass) {
   // The first_error_ slot must reset between passes: after a throwing pass
   // the pool keeps working and a clean pass does not rethrow stale errors.
   WorkerPool pool(2);
-  EXPECT_THROW(pool.run([] { throw std::runtime_error("boom"); }),
+  EXPECT_THROW(pool.run([](std::size_t) { throw std::runtime_error("boom"); }),
                std::runtime_error);
   std::atomic<int> runs{0};
-  pool.run([&] { runs.fetch_add(1); });
+  pool.run([&](std::size_t) { runs.fetch_add(1); });
   EXPECT_EQ(runs.load(), 2);
 }
 
@@ -85,10 +85,27 @@ TEST(WorkerPool, FirstExceptionWins) {
   // swallowed after the pass completes.
   WorkerPool pool(8);
   try {
-    pool.run([] { throw std::runtime_error("boom"); });
+    pool.run([](std::size_t) { throw std::runtime_error("boom"); });
     FAIL() << "expected a rethrow";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(WorkerPool, WorkersReceiveStableDistinctIndices) {
+  // Per-worker state (work-stealing queues, scratch buffers) keys off the
+  // index run() passes: every pass must hand out exactly 0..size-1, once
+  // each.
+  WorkerPool pool(4);
+  for (int pass = 0; pass < 20; ++pass) {
+    std::vector<std::atomic<int>> seen(4);
+    pool.run([&](std::size_t w) {
+      ASSERT_LT(w, 4u);
+      seen[w].fetch_add(1);
+    });
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "worker " << i;
+    }
   }
 }
 
@@ -98,7 +115,7 @@ TEST(WorkerPool, ManySmallPassesUnderContention) {
   WorkerPool pool(8);
   std::atomic<std::uint64_t> total{0};
   for (int pass = 0; pass < 200; ++pass) {
-    pool.run([&] { total.fetch_add(1); });
+    pool.run([&](std::size_t) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 8u * 200u);
 }

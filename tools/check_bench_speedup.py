@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI perf smoke for the parallel site drain (DESIGN.md §14).
+
+Reads a BENCH_parallel_site.json produced by bench/bench_parallel_site and
+fails if the current engine's in-process drain at the gated worker count does
+not clear the speedup floor over the legacy serial baseline (the frozen
+pre-overhaul engine measured live in the same binary, so the comparison
+survives hardware changes between CI runners).
+
+Usage:
+    check_bench_speedup.py BENCH_parallel_site.json [--min-speedup 2.0]
+                           [--workers 4] [--transport inproc]
+
+Exit codes: 0 pass, 1 floor missed or row absent, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BENCH_parallel_site.json to check")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="floor for speedup_vs_serial (default 2.0)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="gated worker count (default 4)")
+    parser.add_argument("--transport", default="inproc",
+                        help="gated transport (default inproc)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.json_path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.json_path}: {e}", file=sys.stderr)
+        return 2
+
+    want = f"{args.transport},engine=current,workers={args.workers}"
+    rows = {r.get("config"): r for r in data.get("records", [])}
+    row = rows.get(want)
+    if row is None:
+        print(f"error: no record '{want}' in {args.json_path} "
+              f"(have: {sorted(rows)})", file=sys.stderr)
+        return 1
+
+    counters = row.get("counters", {})
+    speedup = counters.get("speedup_vs_serial")
+    if speedup is None:
+        print(f"error: record '{want}' has no speedup_vs_serial counter",
+              file=sys.stderr)
+        return 1
+
+    hw = counters.get("hardware_threads", 0)
+    print(f"{want}: speedup_vs_serial={speedup:.2f} "
+          f"(floor {args.min_speedup:.2f}, hardware_threads={hw:.0f})")
+    if speedup < args.min_speedup:
+        print(f"FAIL: {speedup:.2f} < {args.min_speedup:.2f} — the parallel "
+              "drain regressed against the legacy serial baseline",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,16 +9,26 @@ script fails if any other C++ file names the raw primitives or includes
 their headers directly. Comments are stripped before matching, so prose
 mentions ("this used to be a std::mutex") stay legal.
 
-Additionally, non-bool `std::atomic` in src/ must live in the metrics
-registry (src/common/metrics.hpp): a new cross-thread counter belongs in a
-Counter/Gauge/Histogram, where it shows up in every dump, BENCH JSON, and
-CI artifact — not in a private field nobody can read out. `std::atomic<bool>`
-lifecycle flags (stop/running) stay legal everywhere, as does the
-log-level threshold in src/common/logging.hpp (configuration, not a metric;
-logging sits below the registry in the include order).
+Additionally, non-bool `std::atomic` in src/ must live in one of the
+sanctioned homes:
+  * src/common/sync.hpp — the annotated wrappers plus the lock-free
+    primitives built on raw atomics (AtomicMarkMap, the parallel drain's
+    mark table). Engine code wanting lock-free state uses those classes, it
+    does not roll its own atomics.
+  * src/common/metrics.hpp — a new cross-thread counter belongs in a
+    Counter/Gauge/Histogram, where it shows up in every dump, BENCH JSON,
+    and CI artifact — not in a private field nobody can read out.
+  * src/common/logging.hpp — the log-level threshold (configuration, not a
+    metric; logging sits below the registry in the include order).
+`std::atomic<bool>` lifecycle flags (stop/running) stay legal everywhere.
+Explicit `std::memory_order` arguments are confined to the same sanctioned
+files: relaxed/acquire/release reasoning lives next to the primitive whose
+invariants justify it (see the AtomicMarkMap comment block), never inline in
+engine code.
 
 Usage: tools/check_sync_discipline.py [repo-root]
-Exit status: 0 clean, 1 violations found.
+       tools/check_sync_discipline.py --self-test
+Exit status: 0 clean, 1 violations found (or self-test failure).
 """
 
 import os
@@ -48,9 +58,9 @@ BANNED_TOKENS = [
 ]
 BANNED = [re.compile(p) for p in BANNED_TOKENS]
 
-# Non-bool std::atomic: only the metrics instruments (and sync.hpp, should
-# it ever need one) may declare them; see src/common/metrics.hpp. The
-# negative lookahead keeps std::atomic<bool> stop-flags legal.
+# Non-bool std::atomic and explicit memory orders: only the sanctioned files
+# below may use them (see the module docstring). The negative lookahead keeps
+# std::atomic<bool> stop-flags legal.
 ATOMIC_SCAN_DIR = "src"
 ATOMIC_ALLOWED = {
     os.path.join("src", "common", "sync.hpp"),
@@ -62,6 +72,9 @@ ATOMIC_ALLOWED = {
 ATOMIC_BANNED = [
     re.compile(r"std\s*::\s*atomic\b(?!\s*<\s*bool\s*>)"),
     re.compile(r"std\s*::\s*atomic_flag\b"),
+]
+ORDER_BANNED = [
+    re.compile(r"std\s*::\s*memory_order\w*"),
 ]
 
 LINE_COMMENT = re.compile(r"//.*$")
@@ -77,15 +90,18 @@ def strip_comments(text: str) -> str:
     return "\n".join(LINE_COMMENT.sub("", line) for line in text.splitlines())
 
 
-def check_file(root: str, rel: str, sync_banned: bool, atomics_banned: bool) -> list:
-    with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
-        code = strip_comments(f.read())
+def check_code(rel: str, text: str, sync_banned: bool,
+               atomics_banned: bool) -> list:
+    """Lint one file's contents; returns (rel, line, token, why) tuples."""
+    code = strip_comments(text)
     patterns = []
     if sync_banned:
         patterns += [(p, "use common/sync.hpp primitives") for p in BANNED]
     if atomics_banned:
-        patterns += [(p, "counters belong in common/metrics.hpp")
-                     for p in ATOMIC_BANNED]
+        patterns += [(p, "counters belong in common/metrics.hpp, lock-free "
+                         "state in common/sync.hpp") for p in ATOMIC_BANNED]
+        patterns += [(p, "memory-order reasoning lives with the sanctioned "
+                         "primitives in common/sync.hpp") for p in ORDER_BANNED]
     violations = []
     for lineno, line in enumerate(code.splitlines(), start=1):
         for pattern, why in patterns:
@@ -95,7 +111,69 @@ def check_file(root: str, rel: str, sync_banned: bool, atomics_banned: bool) -> 
     return violations
 
 
+def check_file(root: str, rel: str, sync_banned: bool, atomics_banned: bool) -> list:
+    with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+        return check_code(rel, f.read(), sync_banned, atomics_banned)
+
+
+def rules_for(rel: str, scan_dir: str):
+    """(sync_banned, atomics_banned) for a path relative to the repo root."""
+    sync_banned = rel not in ALLOWED
+    atomics_banned = scan_dir == ATOMIC_SCAN_DIR and rel not in ATOMIC_ALLOWED
+    return sync_banned, atomics_banned
+
+
+# Each case: (relative path, code, tokens expected to be flagged). The lint
+# lints itself before it lints the tree — a rule that silently stopped
+# matching would otherwise fail open.
+SELF_TEST_CASES = [
+    ("src/engine/x.cpp", "std::mutex mu;", ["std::mutex"]),
+    ("src/engine/x.cpp", "#include <mutex>\n", ["#include <mutex>"]),
+    ("src/engine/x.cpp", "// std::mutex in prose\n/* std::lock_guard */\n", []),
+    ("src/engine/x.cpp", "std::atomic<int> n;", ["std::atomic"]),
+    ("src/engine/x.cpp", "std::atomic<bool> stop{false};", []),
+    ("src/engine/x.cpp", "std::atomic_flag f;", ["std::atomic_flag"]),
+    ("src/engine/x.cpp",
+     "x.load(std::memory_order_relaxed);", ["std::memory_order_relaxed"]),
+    ("src/engine/x.cpp",
+     "y.store(1, std::memory_order::release);", ["std::memory_order"]),
+    # The sanctioned homes keep their exemptions (but never for mutexes
+    # outside sync.hpp).
+    ("src/common/sync.hpp",
+     "std::mutex mu;\nstd::atomic<std::uint64_t> w;\n"
+     "w.load(std::memory_order_acquire);", []),
+    ("src/common/metrics.hpp", "std::atomic<std::uint64_t> v_{0};", []),
+    ("src/common/metrics.hpp", "std::mutex mu;", ["std::mutex"]),
+    # Atomics rules apply to src/ only; the mutex family is banned everywhere.
+    ("tests/x.cpp", "std::atomic<int> hits{0};", []),
+    ("tests/x.cpp", "std::lock_guard<std::mutex> l(mu);",
+     ["std::lock_guard", "std::mutex"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rel, code, expected_tokens in SELF_TEST_CASES:
+        rel = rel.replace("/", os.sep)
+        scan_dir = rel.split(os.sep, 1)[0]
+        sync_banned, atomics_banned = rules_for(rel, scan_dir)
+        got = sorted(tok.strip() for _, _, tok, _ in
+                     check_code(rel, code, sync_banned, atomics_banned))
+        want = sorted(expected_tokens)
+        if got != want:
+            failures += 1
+            print(f"self-test FAIL: {rel!r} {code!r}\n"
+                  f"  expected {want}\n  got      {got}")
+    if failures:
+        print(f"{failures} self-test case(s) failed")
+        return 1
+    print(f"sync discipline self-test: {len(SELF_TEST_CASES)} cases pass")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
     root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     violations = []
@@ -108,9 +186,7 @@ def main() -> int:
                 if not name.endswith(CPP_EXTENSIONS):
                     continue
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
-                sync_banned = rel not in ALLOWED
-                atomics_banned = (scan_dir == ATOMIC_SCAN_DIR
-                                  and rel not in ATOMIC_ALLOWED)
+                sync_banned, atomics_banned = rules_for(rel, scan_dir)
                 if not sync_banned and not atomics_banned:
                     continue
                 violations.extend(
@@ -121,11 +197,13 @@ def main() -> int:
         for rel, lineno, token, why in violations:
             print(f"  {rel}:{lineno}: raw `{token.strip()}` ({why})")
         print(f"{len(violations)} violation(s). Raw sync primitives live in "
-              "src/common/sync.hpp only; non-bool std::atomic in src/ lives "
-              "in src/common/metrics.hpp only.")
+              "src/common/sync.hpp only; non-bool std::atomic and explicit "
+              "memory orders in src/ live in the sanctioned common/ headers "
+              "only (see this script's docstring).")
         return 1
     print("sync discipline: clean (raw primitives only in src/common/sync.hpp; "
-          "non-bool atomics only in src/common/metrics.hpp)")
+          "non-bool atomics and memory orders only in the sanctioned "
+          "common/ headers)")
     return 0
 
 
