@@ -102,6 +102,43 @@
 #define HF_NO_THREAD_SAFETY_ANALYSIS \
   HF_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Thread-role annotations (checked by tools/hfverify; DESIGN.md §15).
+// ---------------------------------------------------------------------------
+//
+// HyperFile's concurrency story is confinement-first: each site server owns
+// an event-loop thread, the parallel drain owns a worker pool, and most
+// state is touched by exactly one of them. Clang Thread Safety Analysis
+// (above) checks the few shared, mutex-guarded islands; the role macros
+// below declare which thread owns everything else, and `tools/hfverify`
+// checks the declarations whole-program:
+//
+//   HF_EVENT_LOOP_ONLY  — callable (or touchable, for fields) only from the
+//                         owning site server's event-loop thread.
+//   HF_WORKER_ONLY      — only from a WorkerPool worker during a drain.
+//   HF_ANY_THREAD       — explicitly thread-safe public entry point; must
+//                         not reach role-confined functions or state.
+//   HF_BLOCKING         — may sleep, wait on a condition variable, or do
+//                         file I/O. hfverify fails the build if any
+//                         HF_EVENT_LOOP_ONLY path reaches one of these
+//                         without an explicit `// hfverify: allow-blocking`
+//                         waiver naming the bound (DESIGN.md §15).
+//
+// Under Clang the macros emit `annotate` attributes so AST-based tooling can
+// see them; under GCC they compile to nothing. Either way hfverify's text
+// frontend reads them straight from the source, so the checks do not depend
+// on the compiler in use.
+#if defined(__clang__)
+#define HF_ROLE_ANNOTATION(x) __attribute__((annotate(x)))
+#else
+#define HF_ROLE_ANNOTATION(x)  // annotations read textually by hfverify
+#endif
+
+#define HF_EVENT_LOOP_ONLY HF_ROLE_ANNOTATION("hf_event_loop_only")
+#define HF_WORKER_ONLY HF_ROLE_ANNOTATION("hf_worker_only")
+#define HF_ANY_THREAD HF_ROLE_ANNOTATION("hf_any_thread")
+#define HF_BLOCKING HF_ROLE_ANNOTATION("hf_blocking")
+
 namespace hyperfile {
 
 class CondVar;
@@ -153,16 +190,16 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  HF_BLOCKING void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
 
   template <typename Clock, typename Dur>
-  std::cv_status wait_until(MutexLock& lock,
+  HF_BLOCKING std::cv_status wait_until(MutexLock& lock,
                             const std::chrono::time_point<Clock, Dur>& tp) {
     return cv_.wait_until(lock.lock_, tp);
   }
 
   template <typename Rep, typename Period>
-  std::cv_status wait_for(MutexLock& lock,
+  HF_BLOCKING std::cv_status wait_for(MutexLock& lock,
                           const std::chrono::duration<Rep, Period>& d) {
     return cv_.wait_for(lock.lock_, d);
   }

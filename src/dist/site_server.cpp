@@ -118,11 +118,15 @@ Result<void> SiteServer::do_checkpoint() {
   // Write-then-rename so a crash mid-checkpoint leaves the previous
   // checkpoint intact; the WAL is only truncated once the new one is the
   // durable state.
+  // hfverify: allow-blocking(checkpoint): checkpoints run on the loop by
+  // design — the snapshot must see a quiescent store (DESIGN.md §13).
   if (auto r = save_snapshot(store_, tmp_path); !r.ok()) return r.error();
+  // hfverify: allow-blocking(checkpoint): atomic install, same pause.
   if (std::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
     return make_error(Errc::kIo, "cannot install checkpoint " + ckpt_path);
   }
   metrics().counter("dist.checkpoints").inc();
+  // hfverify: allow-blocking(checkpoint): WAL reset is part of the pause.
   return wal_->truncate();
 }
 
@@ -165,6 +169,8 @@ SiteServer::~SiteServer() { stop(); }
 void SiteServer::start() {
   if (running_.exchange(true)) return;
   stopping_.store(false);
+  // hfverify: allow-role(thread-entry): the lambda body IS the event-loop
+  // thread; start() only launches it.
   thread_ = std::thread([this] { run_loop(); });
 }
 
@@ -176,13 +182,23 @@ void SiteServer::stop() {
   // Serve any run_exclusive calls that raced the shutdown — their callers
   // are blocked waiting; with the loop thread gone this thread owns the
   // loop-confined state.
+  // hfverify: allow-role(loop-joined): the loop thread is joined above;
+  // this thread is the sole owner of the loop-confined state now.
   drain_ctl();
   // Fold stats of any still-live contexts (e.g. queries interrupted by
   // shutdown) into the totals; safe now that the loop thread is gone.
-  MutexLock lock(stats_mu_);
-  for (auto& [qid, p] : contexts_) total_stats_ += p.exec->stats();
+  // Snapshot before taking stats_mu_: exec->stats() acquires the engine's
+  // own stats lock, and stats_mu_ is a leaf (DESIGN.md §10 rule 2).
+  EngineStats interrupted;
+  // hfverify: allow-role(loop-joined): same — loop thread is gone.
+  for (auto& [qid, p] : contexts_) interrupted += p.exec->stats();
+  // hfverify: allow-role(loop-joined): same — loop thread is gone.
   contexts_.clear();
-  context_count_cache_ = 0;
+  {
+    MutexLock lock(stats_mu_);
+    total_stats_ += interrupted;
+    context_count_cache_ = 0;
+  }
 }
 
 EngineStats SiteServer::engine_stats() const {
@@ -202,6 +218,8 @@ void SiteServer::run_loop() {
   last_checkpoint_ = last_sweep_;
   last_liveness_check_ = last_sweep_;
   while (!stopping_.load()) {
+    // hfverify: allow-blocking(poll): bounded by poll_interval; replacing
+    // the poll with epoll-style readiness is a ROADMAP item.
     auto env = endpoint_->recv(options_.poll_interval);
     if (env.has_value()) handle(std::move(*env));
     drain_ctl();
@@ -231,6 +249,8 @@ Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m,
        ++attempt) {
     const Errc c = r.error().code;
     if (c == Errc::kNotFound || c == Errc::kInvalidArgument) break;
+    // hfverify: allow-blocking(retry-backoff): bounded exponential backoff
+    // (send_retries * max backoff), accepted loop stall on a sick peer.
     std::this_thread::sleep_for(backoff);
     backoff *= 2;
     retries.inc();
@@ -1118,9 +1138,12 @@ void SiteServer::handle_location_update(const wire::LocationUpdate& lu) {
 void SiteServer::discard_context(const wire::QueryId& qid) {
   auto it = contexts_.find(qid);
   if (it == contexts_.end()) return;
+  // Snapshot before taking stats_mu_: exec->stats() acquires the engine's
+  // own stats lock, and stats_mu_ is a leaf (DESIGN.md §10 rule 2).
+  const EngineStats finished = it->second.exec->stats();
   {
     MutexLock lock(stats_mu_);
-    total_stats_ += it->second.exec->stats();
+    total_stats_ += finished;
   }
   contexts_.erase(it);
 }

@@ -145,8 +145,8 @@ class SiteServer {
   SiteStore& store() { return store_; }
   NameRegistry& names() { return names_; }
 
-  void start();
-  void stop();
+  HF_ANY_THREAD void start();
+  HF_ANY_THREAD void stop();
   bool running() const { return running_.load(); }
 
   /// Run `fn` with exclusive ownership of the loop-confined state (store_,
@@ -154,19 +154,20 @@ class SiteServer {
   /// enqueued onto the event loop and waited for. This is how online
   /// snapshots and checkpoints happen "under the store lock" — the lock
   /// being the loop confinement itself (DESIGN.md §9/§13).
-  Result<void> run_exclusive(const std::function<Result<void>()>& fn);
+  HF_ANY_THREAD HF_BLOCKING Result<void> run_exclusive(
+      const std::function<Result<void>()>& fn);
 
   /// Snapshot the store to the checkpoint file and truncate the WAL. Safe
   /// on a live server (routed through run_exclusive). Error if the server
   /// has no wal_dir.
-  Result<void> checkpoint();
+  HF_ANY_THREAD HF_BLOCKING Result<void> checkpoint();
 
   /// Aggregated engine statistics across all queries this site processed.
-  EngineStats engine_stats() const;
+  HF_ANY_THREAD EngineStats engine_stats() const;
 
   /// Number of live query contexts (for tests: must drop to 0 after
   /// QueryDone).
-  std::size_t context_count() const;
+  HF_ANY_THREAD std::size_t context_count() const;
 
  private:
   struct Participation {
@@ -247,92 +248,105 @@ class SiteServer {
     bool suspected = false;
   };
 
-  void run_loop();
+  HF_EVENT_LOOP_ONLY void run_loop();
   /// Crash recovery + WAL attach (constructor, when wal_dir is set).
   void recover_durable_state();
   /// Checkpoint on the loop thread (or pre-start): snapshot to a temp file,
   /// atomically rename over the checkpoint, truncate the WAL.
-  Result<void> do_checkpoint();
+  HF_EVENT_LOOP_ONLY Result<void> do_checkpoint();
   /// Execute queued run_exclusive closures (loop thread, or stop() after
   /// the join so no caller is left blocked).
-  void drain_ctl();
+  HF_EVENT_LOOP_ONLY void drain_ctl();
   /// Periodic failure detection: ping quiet peers of interest, suspect the
   /// silent ones, force-finish their queries as partial.
-  void check_liveness();
-  void suspect_peer(SiteId peer);
+  HF_EVENT_LOOP_ONLY void check_liveness();
+  HF_EVENT_LOOP_ONLY void suspect_peer(SiteId peer);
   bool peer_suspected(SiteId peer) const {
     auto it = liveness_.find(peer);
     return it != liveness_.end() && it->second.suspected;
   }
-  void handle(wire::Envelope env);
-  void handle_deref(SiteId src, wire::DerefRequest dr);
-  void handle_batch_deref(SiteId src, wire::BatchDerefRequest bd);
-  void handle_start(SiteId src, wire::StartQuery sq);
-  void handle_result(SiteId src, wire::ResultMessage rm);
-  void handle_client_request(SiteId src, wire::ClientRequest cr);
-  void handle_done(const wire::QueryDone& qd);
+  HF_EVENT_LOOP_ONLY void handle(wire::Envelope env);
+  HF_EVENT_LOOP_ONLY void handle_deref(SiteId src, wire::DerefRequest dr);
+  HF_EVENT_LOOP_ONLY void handle_batch_deref(SiteId src,
+                                              wire::BatchDerefRequest bd);
+  HF_EVENT_LOOP_ONLY void handle_start(SiteId src, wire::StartQuery sq);
+  HF_EVENT_LOOP_ONLY void handle_result(SiteId src, wire::ResultMessage rm);
+  HF_EVENT_LOOP_ONLY void handle_client_request(SiteId src,
+                                                wire::ClientRequest cr);
+  HF_EVENT_LOOP_ONLY void handle_done(const wire::QueryDone& qd);
   /// The qid names a query *we* originated that is no longer live: a
   /// duplicated or retried message outlived its query. Heal the sender by
   /// (re)telling it the query is done; never recreate a context.
-  bool stale_own_query(const wire::QueryId& qid, SiteId src);
-  void handle_move_command(SiteId src, const wire::MoveCommand& mc);
-  void handle_move_data(wire::MoveData md);
-  void handle_location_update(const wire::LocationUpdate& lu);
+  HF_EVENT_LOOP_ONLY bool stale_own_query(const wire::QueryId& qid,
+                                           SiteId src);
+  HF_EVENT_LOOP_ONLY void handle_move_command(SiteId src,
+                                               const wire::MoveCommand& mc);
+  HF_EVENT_LOOP_ONLY void handle_move_data(wire::MoveData md);
+  HF_EVENT_LOOP_ONLY void handle_location_update(
+      const wire::LocationUpdate& lu);
 
   Participation& participation(const wire::QueryId& qid, const Query& query);
   Origination* find_origination(const wire::QueryId& qid);
   /// Drain the context's working set, then flush: results+weight to the
   /// originator (participants) or merged into the origination (originator).
-  void drain_and_flush(const wire::QueryId& qid);
+  HF_EVENT_LOOP_ONLY void drain_and_flush(const wire::QueryId& qid);
   /// `force` (TTL expiry): reply now with whatever arrived, flagged partial,
   /// instead of waiting for termination that can no longer happen.
-  void maybe_finish(const wire::QueryId& qid, Origination& o,
-                    bool force = false);
-  void discard_context(const wire::QueryId& qid);
+  HF_EVENT_LOOP_ONLY void maybe_finish(const wire::QueryId& qid,
+                                        Origination& o, bool force = false);
+  HF_EVENT_LOOP_ONLY void discard_context(const wire::QueryId& qid);
   /// Periodic self-healing pass (run_loop): force-finish expired
   /// originations, re-flush participants with stashed results, discard
   /// idle-expired participant contexts.
-  void sweep_contexts();
+  HF_EVENT_LOOP_ONLY void sweep_contexts();
   /// Send with bounded retry + exponential backoff on transient failures
   /// (kNotFound/kInvalidArgument are permanent and not retried). Retries are
   /// attributed to `span` when the send belongs to a traced query.
-  Result<void> send_with_retry(SiteId to, const wire::Message& m,
+  HF_EVENT_LOOP_ONLY Result<void> send_with_retry(
+      SiteId to, const wire::Message& m,
                                TraceSpan* span = nullptr);
 
   /// Trace bookkeeping for an accepted computation message: count it,
   /// adopt (hop, path) as the span's engagement if it is the earliest seen,
   /// and refresh the hop/path stamped on outgoing messages.
-  void note_engagement(Participation& p, std::uint32_t hop,
-                       const std::vector<SiteId>& path);
+  HF_EVENT_LOOP_ONLY void note_engagement(Participation& p,
+                                           std::uint32_t hop,
+                                           const std::vector<SiteId>& path);
 
   /// Route `item` to a remote site as a DerefRequest: destination is the
   /// id's presumed site, or the name registry's next hop when the hint
   /// points here. Borrows termination weight for the message; repays and
   /// drops the item if no destination exists or the send fails. With
   /// batching enabled the item is buffered instead (see flush_batches).
-  void route_remote(const wire::QueryId& qid, Participation& p, WorkItem item);
-  void flush_batches(const wire::QueryId& qid, Participation& p);
+  HF_EVENT_LOOP_ONLY void route_remote(const wire::QueryId& qid,
+                                        Participation& p, WorkItem item);
+  HF_EVENT_LOOP_ONLY void flush_batches(const wire::QueryId& qid,
+                                         Participation& p);
 
   /// Borrow / repay weight for qid: from the master weight if we originated
   /// it, else from the participant's held weight. No-ops under D-S.
-  Weight borrow_weight(const wire::QueryId& qid, Participation& p);
-  void repay_weight(const wire::QueryId& qid, Participation& p, Weight w);
+  HF_EVENT_LOOP_ONLY Weight borrow_weight(const wire::QueryId& qid,
+                                           Participation& p);
+  HF_EVENT_LOOP_ONLY void repay_weight(const wire::QueryId& qid,
+                                        Participation& p, Weight w);
 
   bool using_ds() const {
     return options_.termination == TerminationAlgorithm::kDijkstraScholten;
   }
   /// D-S bookkeeping: a computation message (deref/batch/start/result)
   /// arrived from `src` — engage or ack immediately.
-  void ds_on_computation_message(const wire::QueryId& qid, Participation& p,
-                                 SiteId src);
+  HF_EVENT_LOOP_ONLY void ds_on_computation_message(
+      const wire::QueryId& qid, Participation& p, SiteId src);
   /// D-S: we successfully sent a computation message.
   void ds_on_send(Participation& p) {
     if (using_ds()) ++p.ds_deficit;
   }
-  void handle_term_ack(SiteId src, const wire::TermAck& ta);
+  HF_EVENT_LOOP_ONLY void handle_term_ack(SiteId src,
+                                           const wire::TermAck& ta);
   /// D-S: idle + zero deficit -> ack our engaging message (participants) or
   /// finish the query (originator).
-  void ds_try_settle(const wire::QueryId& qid, Participation& p);
+  HF_EVENT_LOOP_ONLY void ds_try_settle(const wire::QueryId& qid,
+                                         Participation& p);
 
   std::unique_ptr<MessageEndpoint> endpoint_;
   SiteStore store_;
@@ -355,21 +369,24 @@ class SiteServer {
   // thread before any other access. Deliberately *not* mutex-guarded — the
   // confinement is the discipline, and stats_mu_ below is the only state
   // crossing threads.
-  QuerySeq next_query_seq_ = 1;
+  QuerySeq next_query_seq_ HF_EVENT_LOOP_ONLY = 1;
   /// One outgoing sequence stream for all sequenced messages this site
   /// sends; receivers dedup by (qid, src, msg_seq). Starts at 1 — seq 0
   /// marks unsequenced messages, which are never suppressed.
-  std::uint64_t next_msg_seq_ = 1;
+  std::uint64_t next_msg_seq_ HF_EVENT_LOOP_ONLY = 1;
   std::chrono::steady_clock::time_point last_sweep_;
   std::chrono::steady_clock::time_point last_checkpoint_;
   std::chrono::steady_clock::time_point last_liveness_check_;
-  std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash> contexts_;
-  std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash> originated_;
+  std::unordered_map<wire::QueryId, Participation, wire::QueryIdHash>
+      contexts_ HF_EVENT_LOOP_ONLY;
+  std::unordered_map<wire::QueryId, Origination, wire::QueryIdHash>
+      originated_ HF_EVENT_LOOP_ONLY;
   /// Result sets of count_only queries: name -> sites holding portions.
-  std::unordered_map<std::string, std::vector<SiteId>> distributed_sets_;
+  std::unordered_map<std::string, std::vector<SiteId>>
+      distributed_sets_ HF_EVENT_LOOP_ONLY;
   /// Per-peer liveness clocks (suspect_after > 0). Loop-confined; entries
   /// are created lazily when a peer first becomes of interest.
-  std::unordered_map<SiteId, PeerLiveness> liveness_;
+  std::unordered_map<SiteId, PeerLiveness> liveness_ HF_EVENT_LOOP_ONLY;
 
   /// Guards the cross-thread observer snapshots (engine_stats(),
   /// context_count() — callable from any thread while the loop runs).

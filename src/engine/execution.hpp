@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "engine/efunction.hpp"
 #include "engine/mark_table.hpp"
 #include "engine/work_set.hpp"
@@ -84,27 +85,27 @@ class SiteExecution {
   virtual const Query& query() const = 0;
 
   /// Originator-side seeding from the query's initial set.
-  virtual Result<void> seed_initial() = 0;
+  HF_EVENT_LOOP_ONLY virtual Result<void> seed_initial() = 0;
 
   /// Seed from this site's local portion of a named set (distributed-set
   /// continuation, paper Section 5). Unknown names are a no-op.
-  virtual void seed_local_set(const std::string& name) = 0;
+  HF_EVENT_LOOP_ONLY virtual void seed_local_set(const std::string& name) = 0;
 
   /// Inject one work item (remote dereference arrival, or local routing).
-  virtual void add_item(WorkItem item) = 0;
+  HF_EVENT_LOOP_ONLY virtual void add_item(WorkItem item) = 0;
 
   /// Process until the working set is empty and no processing is in flight.
-  virtual void drain() = 0;
+  HF_EVENT_LOOP_ONLY virtual void drain() = 0;
 
   virtual bool idle() const = 0;
   virtual std::size_t pending() const = 0;
 
   /// Hand over results accumulated since the last take (dedup state is
   /// retained, so later batches never repeat an id / value).
-  virtual std::vector<ObjectId> take_result_ids() = 0;
-  virtual std::vector<Retrieved> take_retrieved() = 0;
+  HF_EVENT_LOOP_ONLY virtual std::vector<ObjectId> take_result_ids() = 0;
+  HF_EVENT_LOOP_ONLY virtual std::vector<Retrieved> take_retrieved() = 0;
 
-  virtual EngineStats stats() const = 0;
+  HF_ANY_THREAD virtual EngineStats stats() const = 0;
 };
 
 /// What one step() did — the simulator charges costs from this.

@@ -368,6 +368,9 @@ void LegacyParallelExecution::drain() {
     if (work_.empty()) return;
     pass_done_ = false;
   }
+  // hfverify: allow-role(worker-dispatch): the lambda runs on pool threads.
+  // hfverify: allow-blocking(pool-join): same sanctioned blocking point as
+  // the current engine's drain().
   pool_.run([this](std::size_t) { worker_pass(); });
   std::vector<WorkItem> remote;
   std::vector<ObjectId> missing;

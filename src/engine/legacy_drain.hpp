@@ -41,19 +41,19 @@ class LegacySerialExecution : public SiteExecution {
 
   const Query& query() const override { return query_; }
 
-  Result<void> seed_initial() override;
-  void seed_local_set(const std::string& name) override;
-  void add_item(WorkItem item) override;
+  HF_EVENT_LOOP_ONLY Result<void> seed_initial() override;
+  HF_EVENT_LOOP_ONLY void seed_local_set(const std::string& name) override;
+  HF_EVENT_LOOP_ONLY void add_item(WorkItem item) override;
 
-  void drain() override;
+  HF_EVENT_LOOP_ONLY void drain() override;
 
   bool idle() const override { return work_.empty(); }
   std::size_t pending() const override { return work_.size(); }
 
-  std::vector<ObjectId> take_result_ids() override;
-  std::vector<Retrieved> take_retrieved() override;
+  HF_EVENT_LOOP_ONLY std::vector<ObjectId> take_result_ids() override;
+  HF_EVENT_LOOP_ONLY std::vector<Retrieved> take_retrieved() override;
 
-  EngineStats stats() const override { return stats_; }
+  HF_ANY_THREAD EngineStats stats() const override { return stats_; }
 
  private:
   void route(WorkItem&& item);
@@ -82,19 +82,19 @@ class LegacyParallelExecution : public SiteExecution {
 
   const Query& query() const override { return query_; }
 
-  Result<void> seed_initial() override;
-  void seed_local_set(const std::string& name) override;
-  void add_item(WorkItem item) override;
+  HF_EVENT_LOOP_ONLY Result<void> seed_initial() override;
+  HF_EVENT_LOOP_ONLY void seed_local_set(const std::string& name) override;
+  HF_EVENT_LOOP_ONLY void add_item(WorkItem item) override;
 
-  void drain() override;
+  HF_EVENT_LOOP_ONLY void drain() override;
 
   bool idle() const override;
   std::size_t pending() const override;
 
-  std::vector<ObjectId> take_result_ids() override;
-  std::vector<Retrieved> take_retrieved() override;
+  HF_EVENT_LOOP_ONLY std::vector<ObjectId> take_result_ids() override;
+  HF_EVENT_LOOP_ONLY std::vector<Retrieved> take_retrieved() override;
 
-  EngineStats stats() const override;
+  HF_ANY_THREAD EngineStats stats() const override;
 
  private:
   struct MarkShard {
@@ -106,7 +106,7 @@ class LegacyParallelExecution : public SiteExecution {
   bool marked(const ObjectId& id, std::uint32_t index);
   void set_mark(const ObjectId& id, std::uint32_t index);
   void route_seed(WorkItem&& item, std::unordered_set<ObjectId>& seen);
-  void worker_pass();
+  HF_WORKER_ONLY void worker_pass();
 
   const Query query_;
   const SiteStore& store_;

@@ -125,6 +125,10 @@ void ParallelExecution::drain() {
     pass_done_ = false;
     idle_workers_ = 0;
   }
+  // hfverify: allow-role(worker-dispatch): the lambda runs on pool
+  // threads; drain() only launches the pass.
+  // hfverify: allow-blocking(pool-join): drain() is the one sanctioned
+  // blocking point of the loop — it must not return before W is empty.
   pool_.run([this](std::size_t w) { worker_pass(w); });
   loop_pending_ = 0;  // the join guarantees every queue drained
   // Workers have joined: W is empty and nothing is in flight. Flush the
@@ -378,6 +382,8 @@ EngineStats ParallelExecution::stats() const {
   }
   // Fold in the event-loop-side seeding high-water mark (loop-confined, so
   // reading it here — on the same thread — needs no lock).
+  // hfverify: allow-role(stats-fold): benign racy read of a monotonic
+  // high-water mark when called off-loop (stop() after join).
   s.max_working_set = std::max(s.max_working_set, seed_peak_);
   return s;
 }

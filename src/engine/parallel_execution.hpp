@@ -71,19 +71,19 @@ class ParallelExecution : public SiteExecution {
 
   const Query& query() const override { return query_; }
 
-  Result<void> seed_initial() override;
-  void seed_local_set(const std::string& name) override;
-  void add_item(WorkItem item) override;
+  HF_EVENT_LOOP_ONLY Result<void> seed_initial() override;
+  HF_EVENT_LOOP_ONLY void seed_local_set(const std::string& name) override;
+  HF_EVENT_LOOP_ONLY void add_item(WorkItem item) override;
 
-  void drain() override;
+  HF_EVENT_LOOP_ONLY void drain() override;
 
-  bool idle() const override;
-  std::size_t pending() const override;
+  HF_ANY_THREAD bool idle() const override;
+  HF_ANY_THREAD std::size_t pending() const override;
 
-  std::vector<ObjectId> take_result_ids() override;
-  std::vector<Retrieved> take_retrieved() override;
+  HF_EVENT_LOOP_ONLY std::vector<ObjectId> take_result_ids() override;
+  HF_EVENT_LOOP_ONLY std::vector<Retrieved> take_retrieved() override;
 
-  EngineStats stats() const override;
+  HF_ANY_THREAD EngineStats stats() const override;
 
  private:
   /// One worker's deque. Owner pushes/claims at the back half of the
@@ -111,22 +111,24 @@ class ParallelExecution : public SiteExecution {
   /// dealt round-robin across worker queues, non-local ones go straight to
   /// the remote sink. Seeds are deduplicated — a duplicate id in the
   /// initial set must not become two work items.
-  void route_seed(WorkItem&& item, std::unordered_set<ObjectId>& seen);
+  HF_EVENT_LOOP_ONLY void route_seed(WorkItem&& item,
+                                     std::unordered_set<ObjectId>& seen);
   /// Push one item onto a worker queue from the event-loop thread (between
   /// passes: uncontended) and keep the depth gauges fresh.
-  void push_from_loop(WorkItem&& item);
+  HF_EVENT_LOOP_ONLY void push_from_loop(WorkItem&& item);
 
   /// Claim up to kClaimBatch items from worker `w`'s own queue, honoring
   /// the discipline order. Returns the number claimed.
-  std::size_t claim_own(std::size_t w, std::vector<WorkItem>& batch);
+  HF_WORKER_ONLY std::size_t claim_own(std::size_t w,
+                                       std::vector<WorkItem>& batch);
   /// Scan the other queues and steal the front half of the first non-empty
   /// one. Returns the number stolen (into `batch`).
-  std::size_t steal(std::size_t w, std::vector<WorkItem>& batch,
+  HF_WORKER_ONLY std::size_t steal(std::size_t w, std::vector<WorkItem>& batch,
                     EngineStats& local);
 
   /// One worker's share of a drain pass: claim/steal batches until every
   /// queue is empty and all workers are parked.
-  void worker_pass(std::size_t w);
+  HF_WORKER_ONLY void worker_pass(std::size_t w);
 
   const Query query_;  // by value: executions outlive transient messages
   const SiteStore& store_;
@@ -154,9 +156,9 @@ class ParallelExecution : public SiteExecution {
   // Event-loop-confined seeding state (workers are idle whenever these are
   // touched): round-robin cursor, items pushed since the last drain, and
   // the high-water mark folded into stats() on demand.
-  std::size_t seed_cursor_ = 0;
-  std::size_t loop_pending_ = 0;
-  std::uint64_t seed_peak_ = 0;
+  std::size_t seed_cursor_ HF_EVENT_LOOP_ONLY = 0;
+  std::size_t loop_pending_ HF_EVENT_LOOP_ONLY = 0;
+  std::uint64_t seed_peak_ HF_EVENT_LOOP_ONLY = 0;
 
   // Result set + retrieval dedup, with take cursors for incremental
   // flushing. Locked once per claimed batch, never per item.

@@ -40,10 +40,10 @@ class WorkerPool {
   /// If `fn` throws on any worker, the pass still completes on every worker
   /// (the pool stays usable) and the first captured exception is rethrown
   /// here, on the calling thread.
-  void run(const std::function<void(std::size_t)>& fn);
+  HF_BLOCKING void run(const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop(std::size_t index);
+  HF_WORKER_ONLY void worker_loop(std::size_t index);
 
   Mutex mu_;
   CondVar wake_cv_;   // workers wait for a new pass

@@ -27,7 +27,7 @@ class Channel {
   }
 
   /// Blocking pop with timeout. nullopt on timeout or when closed and empty.
-  std::optional<T> pop_wait(Duration timeout) {
+  HF_BLOCKING std::optional<T> pop_wait(Duration timeout) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     MutexLock lock(mu_);
     while (items_.empty() && !closed_) {

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "wire/message.hpp"
 
@@ -26,7 +27,7 @@ class MessageEndpoint {
   virtual Result<void> send(SiteId to, wire::Message message) = 0;
 
   /// Blocking receive with timeout; nullopt on timeout or shutdown.
-  virtual std::optional<wire::Envelope> recv(Duration timeout) = 0;
+  HF_BLOCKING virtual std::optional<wire::Envelope> recv(Duration timeout) = 0;
 };
 
 struct NetworkStats {

@@ -117,6 +117,8 @@ void TcpNetwork::accept_loop() {
 void TcpNetwork::spawn_reader(int fd) {
   MutexLock lock(readers_mu_);
   reader_fds_.push_back(fd);
+  // hfverify: allow-lockorder(thread-entry): the lambda body runs on the
+  // spawned reader thread, never under readers_mu_.
   readers_.emplace_back([this, fd] { reader_loop(fd); });
 }
 

@@ -56,7 +56,7 @@ class TcpNetwork final : public MessageEndpoint {
   std::uint16_t bound_port() const { return bound_port_; }
 
   Result<void> send(SiteId to, wire::Message message) override;
-  std::optional<wire::Envelope> recv(Duration timeout) override;
+  HF_BLOCKING std::optional<wire::Envelope> recv(Duration timeout) override;
 
   /// Update a peer's address (e.g. after it bound an ephemeral port).
   /// Drops any cached connection to that peer.

@@ -12,6 +12,8 @@ namespace hyperfile {
 // disk degrades durability, not availability (DESIGN.md §13).
 void SiteStore::log_put(const Object& obj) {
   if (wal_ == nullptr) return;
+  // hfverify: allow-blocking(wal-append): redo-before-ack — the mutation
+  // must be durable before the loop acknowledges it (DESIGN.md §13).
   if (auto r = wal_->append(WalRecord::put(obj, next_seq_)); !r.ok()) {
     HF_WARN << "site " << site_ << ": WAL append failed: "
             << r.error().message;
@@ -20,6 +22,7 @@ void SiteStore::log_put(const Object& obj) {
 
 void SiteStore::log_erase(const ObjectId& id) {
   if (wal_ == nullptr) return;
+  // hfverify: allow-blocking(wal-append): redo-before-ack (DESIGN.md §13).
   if (auto r = wal_->append(WalRecord::erase(id, next_seq_)); !r.ok()) {
     HF_WARN << "site " << site_ << ": WAL append failed: "
             << r.error().message;
@@ -164,6 +167,7 @@ ObjectId SiteStore::create_set(const std::string& name,
 void SiteStore::bind_set(const std::string& name, const ObjectId& id) {
   named_sets_[name] = id;
   if (wal_ == nullptr) return;
+  // hfverify: allow-blocking(wal-append): redo-before-ack (DESIGN.md §13).
   if (auto r = wal_->append(WalRecord::bind_set(name, id, next_seq_));
       !r.ok()) {
     HF_WARN << "site " << site_ << ": WAL append failed: "

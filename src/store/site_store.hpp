@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "model/object.hpp"
 #include "model/type_registry.hpp"
 
@@ -60,24 +61,26 @@ class SiteStore {
   /// Store `obj`. If its id is invalid a fresh local id is assigned.
   /// Returns the id under which the object is stored. Overwrites any
   /// existing object with the same id (HyperFile edits replace tuples).
-  ObjectId put(Object obj);
+  HF_EVENT_LOOP_ONLY ObjectId put(Object obj);
 
   /// As put(), but first checks the object against the registered type
   /// conventions (model/type_registry.hpp). Nothing is stored on failure.
-  Result<ObjectId> put_validated(Object obj, const TypeRegistry& registry);
+  HF_EVENT_LOOP_ONLY Result<ObjectId> put_validated(
+      Object obj, const TypeRegistry& registry);
 
   bool contains(const ObjectId& id) const { return objects_.count(id) != 0; }
   const Object* get(const ObjectId& id) const;
-  bool erase(const ObjectId& id);
+  HF_EVENT_LOOP_ONLY bool erase(const ObjectId& id);
 
   /// Remove an object and hand it to the caller (used by object migration).
-  std::optional<Object> take(const ObjectId& id);
+  HF_EVENT_LOOP_ONLY std::optional<Object> take(const ObjectId& id);
 
   /// In-place edit: apply `mutator` to the stored object. This is the
   /// "limited editing" a back-end data server wants to support without a
   /// full read-modify-write round trip (paper Section 1). The object id is
   /// immutable; mutator changes to it are discarded.
-  Result<void> modify(const ObjectId& id, const std::function<void(Object&)>& mutator);
+  HF_EVENT_LOOP_ONLY Result<void> modify(
+      const ObjectId& id, const std::function<void(Object&)>& mutator);
 
   /// Tuple-level conveniences built on modify().
   Result<void> add_tuple(const ObjectId& id, Tuple t);
@@ -101,10 +104,12 @@ class SiteStore {
   // --- named sets -------------------------------------------------------
   /// Materialize a set object with pointer tuples to `members` and bind it
   /// under `name` (replacing any previous binding).
-  ObjectId create_set(const std::string& name, std::span<const ObjectId> members);
+  HF_EVENT_LOOP_ONLY ObjectId create_set(const std::string& name,
+                                         std::span<const ObjectId> members);
 
   /// Bind `name` to an existing object that acts as a set.
-  void bind_set(const std::string& name, const ObjectId& id);
+  HF_EVENT_LOOP_ONLY void bind_set(const std::string& name,
+                                   const ObjectId& id);
 
   std::optional<ObjectId> find_set(const std::string& name) const;
 
@@ -121,7 +126,7 @@ class SiteStore {
   WriteAheadLog* wal() const { return wal_; }
 
   /// Re-apply one replayed record. Used by recovery (detach the WAL first).
-  void apply_wal_record(const WalRecord& rec);
+  HF_EVENT_LOOP_ONLY void apply_wal_record(const WalRecord& rec);
 
  private:
   void log_put(const Object& obj);

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "store/site_store.hpp"
 #include "wire/codec.hpp"
 
@@ -21,7 +22,8 @@ wire::Bytes snapshot_store(const SiteStore& store);
 Result<SiteStore> restore_store(std::span<const std::uint8_t> data);
 
 /// File convenience wrappers.
-Result<void> save_snapshot(const SiteStore& store, const std::string& path);
-Result<SiteStore> load_snapshot(const std::string& path);
+HF_BLOCKING Result<void> save_snapshot(const SiteStore& store,
+                                       const std::string& path);
+HF_BLOCKING Result<SiteStore> load_snapshot(const std::string& path);
 
 }  // namespace hyperfile

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/sync.hpp"
 #include "model/object.hpp"
 #include "wire/codec.hpp"
 
@@ -91,10 +92,10 @@ class WriteAheadLog {
 
   /// Append one record and flush it. The mutation it describes counts as
   /// acknowledged only once this returns ok.
-  Result<void> append(const WalRecord& rec);
+  HF_BLOCKING Result<void> append(const WalRecord& rec);
 
   /// Drop every record (the checkpoint that subsumes them is on disk).
-  Result<void> truncate();
+  HF_BLOCKING Result<void> truncate();
 
   const std::string& path() const { return path_; }
   /// Records currently in the file (replayed + appended − truncated).

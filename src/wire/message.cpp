@@ -81,14 +81,35 @@ Result<TraceSpan> decode_span(Decoder& d) {
   auto path = decode_u32s(d);
   if (!path.ok()) return path.error();
   s.path = std::move(path).value();
-  std::uint64_t* fields[] = {&s.messages, &s.duplicates, &s.items,
-                             &s.forwarded, &s.results,    &s.drains,
-                             &s.drain_us,  &s.retries,    &s.suspicions};
-  for (std::uint64_t* f : fields) {
-    auto v = d.varint();
-    if (!v.ok()) return v.error();
-    *f = v.value();
-  }
+  // One explicit read per encoded field, in encode_span's order, so the
+  // codec-symmetry check (tools/hfverify) can diff the two mechanically.
+  auto messages = d.varint();
+  if (!messages.ok()) return messages.error();
+  s.messages = messages.value();
+  auto duplicates = d.varint();
+  if (!duplicates.ok()) return duplicates.error();
+  s.duplicates = duplicates.value();
+  auto items = d.varint();
+  if (!items.ok()) return items.error();
+  s.items = items.value();
+  auto forwarded = d.varint();
+  if (!forwarded.ok()) return forwarded.error();
+  s.forwarded = forwarded.value();
+  auto results = d.varint();
+  if (!results.ok()) return results.error();
+  s.results = results.value();
+  auto drains = d.varint();
+  if (!drains.ok()) return drains.error();
+  s.drains = drains.value();
+  auto drain_us = d.varint();
+  if (!drain_us.ok()) return drain_us.error();
+  s.drain_us = drain_us.value();
+  auto retries = d.varint();
+  if (!retries.ok()) return retries.error();
+  s.retries = retries.value();
+  auto suspicions = d.varint();
+  if (!suspicions.ok()) return suspicions.error();
+  s.suspicions = suspicions.value();
   return s;
 }
 

@@ -1,0 +1,37 @@
+// Known-good: symmetric pair with a repeated field; must come back clean.
+// HFVERIFY-RULE: codec
+
+void encode_list(const List& l, Encoder& e) {
+  e.varint(l.items.size());
+  for (const auto& it : l.items) {
+    e.string(it);
+  }
+}
+
+List decode_list(Decoder& d) {
+  List l;
+  const auto n = d.varint().value();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    l.items.push_back(d.string().value());
+  }
+  return l;
+}
+
+void encode_message(const Message& m, Encoder& e) {
+  if (std::get_if<Ping>(&m) != nullptr) {
+    e.u8(static_cast<std::uint8_t>(Tag::kPing));
+    e.varint(std::get<Ping>(m).seq);
+  }
+}
+
+Message decode_message(Decoder& d) {
+  const auto tag = static_cast<Tag>(d.u8().value());
+  switch (tag) {
+    case Tag::kPing: {
+      Ping p;
+      p.seq = d.varint().value();
+      return p;
+    }
+  }
+  return Message{};
+}

@@ -1,0 +1,25 @@
+// Seeded violation: encode_message emits a tag decode_message never handles.
+// HFVERIFY-RULE: codec
+// HFVERIFY-EXPECT: encode_message emits kPong but decode_message has no case
+
+void encode_message(const Message& m, Encoder& e) {
+  if (std::get_if<Ping>(&m) != nullptr) {
+    e.u8(static_cast<std::uint8_t>(Tag::kPing));
+    e.varint(std::get<Ping>(m).seq);
+  } else {
+    e.u8(static_cast<std::uint8_t>(Tag::kPong));
+    e.varint(std::get<Pong>(m).seq);
+  }
+}
+
+Message decode_message(Decoder& d) {
+  const auto tag = static_cast<Tag>(d.u8().value());
+  switch (tag) {
+    case Tag::kPing: {
+      Ping p;
+      p.seq = d.varint().value();
+      return p;
+    }
+  }
+  return Message{};
+}

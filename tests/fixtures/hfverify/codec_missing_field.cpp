@@ -1,0 +1,33 @@
+// Seeded violation: the encoder writes two fields, the decoder reads one.
+// HFVERIFY-RULE: codec
+// HFVERIFY-EXPECT: encode_thing/decode_thing: encode/decode diverge at field 2
+
+void encode_thing(const Thing& t, Encoder& e) {
+  e.varint(t.x);
+  e.string(t.y);
+}
+
+Thing decode_thing(Decoder& d) {
+  Thing t;
+  t.x = d.varint().value();
+  return t;
+}
+
+void encode_message(const Message& m, Encoder& e) {
+  if (std::get_if<Ping>(&m) != nullptr) {
+    e.u8(static_cast<std::uint8_t>(Tag::kPing));
+    e.varint(std::get<Ping>(m).seq);
+  }
+}
+
+Message decode_message(Decoder& d) {
+  const auto tag = static_cast<Tag>(d.u8().value());
+  switch (tag) {
+    case Tag::kPing: {
+      Ping p;
+      p.seq = d.varint().value();
+      return p;
+    }
+  }
+  return Message{};
+}

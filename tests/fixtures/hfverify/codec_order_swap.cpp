@@ -1,0 +1,35 @@
+// Seeded violation: decoder reads the two fields in the opposite order —
+// the classic silent-corruption bug the rule exists for.
+// HFVERIFY-RULE: codec
+// HFVERIFY-EXPECT: encode_pair/decode_pair: encode/decode diverge at field 1
+
+void encode_pair(const Pair& p, Encoder& e) {
+  e.varint(p.first);
+  e.string(p.second);
+}
+
+Pair decode_pair(Decoder& d) {
+  Pair p;
+  p.second = d.string().value();
+  p.first = d.varint().value();
+  return p;
+}
+
+void encode_message(const Message& m, Encoder& e) {
+  if (std::get_if<Ping>(&m) != nullptr) {
+    e.u8(static_cast<std::uint8_t>(Tag::kPing));
+    e.varint(std::get<Ping>(m).seq);
+  }
+}
+
+Message decode_message(Decoder& d) {
+  const auto tag = static_cast<Tag>(d.u8().value());
+  switch (tag) {
+    case Tag::kPing: {
+      Ping p;
+      p.seq = d.varint().value();
+      return p;
+    }
+  }
+  return Message{};
+}

@@ -1,0 +1,16 @@
+// Seeded violation: an event-loop handler calls a blocking WAL append.
+// HFVERIFY-RULE: confinement
+// HFVERIFY-EXPECT: event-loop path calls HF_BLOCKING Log::append
+
+class Log {
+ public:
+  HF_BLOCKING void append(int rec);
+};
+
+class Server {
+ public:
+  HF_EVENT_LOOP_ONLY void handle_put(int rec) { log_.append(rec); }
+
+ private:
+  Log log_;
+};

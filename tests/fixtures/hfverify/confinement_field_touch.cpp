@@ -1,0 +1,12 @@
+// Seeded violation: a worker routine mutates event-loop-confined seeding
+// state.
+// HFVERIFY-RULE: confinement
+// HFVERIFY-EXPECT: touches event_loop-confined field Engine::seed_cursor_
+
+class Engine {
+ public:
+  HF_WORKER_ONLY void worker_pass() { seed_cursor_ += 1; }
+
+ private:
+  std::size_t seed_cursor_ HF_EVENT_LOOP_ONLY = 0;
+};

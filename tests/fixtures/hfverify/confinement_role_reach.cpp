@@ -1,0 +1,10 @@
+// Seeded violation: the event-loop drain calls straight into a
+// worker-confined routine instead of dispatching it to the pool.
+// HFVERIFY-RULE: confinement
+// HFVERIFY-EXPECT: event_loop-role root Engine::drain reaches worker-only Engine::steal
+
+class Engine {
+ public:
+  HF_EVENT_LOOP_ONLY void drain() { steal(); }
+  HF_WORKER_ONLY void steal();
+};

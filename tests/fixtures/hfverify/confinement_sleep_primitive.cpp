@@ -1,0 +1,13 @@
+// Seeded violation: a helper reached from the event loop sleeps inline.
+// HFVERIFY-RULE: confinement
+// HFVERIFY-EXPECT: reaches sleep primitive in Server::poll
+
+class Server {
+ public:
+  HF_EVENT_LOOP_ONLY void handle_tick() { poll(); }
+
+ private:
+  void poll() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};

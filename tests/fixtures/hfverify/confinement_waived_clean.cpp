@@ -1,0 +1,18 @@
+// Known-good: the blocking call carries a waiver, so the rule stays quiet.
+// HFVERIFY-RULE: confinement
+
+class Log {
+ public:
+  HF_BLOCKING void append(int rec);
+};
+
+class Server {
+ public:
+  HF_EVENT_LOOP_ONLY void handle_put(int rec) {
+    // hfverify: allow-blocking(redo-before-ack): durability before ack.
+    log_.append(rec);
+  }
+
+ private:
+  Log log_;
+};

@@ -1,0 +1,23 @@
+// Seeded violation: both orders are individually sanctioned, but together
+// they form a deadlock cycle.
+// HFVERIFY-RULE: lockorder
+// HFVERIFY-ALLOW-EDGE: Pool::mu_a_ -> Pool::mu_b_
+// HFVERIFY-ALLOW-EDGE: Pool::mu_b_ -> Pool::mu_a_
+// HFVERIFY-EXPECT: lock-order cycle
+
+class Pool {
+ public:
+  void f() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+  }
+
+  void g() {
+    MutexLock b(mu_b_);
+    MutexLock a(mu_a_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};

@@ -1,0 +1,15 @@
+// Seeded violation: the same (non-recursive) mutex identity acquired while
+// already held.
+// HFVERIFY-RULE: lockorder
+// HFVERIFY-EXPECT: same mutex identity Pool::mu_ acquired while held
+
+class Pool {
+ public:
+  void f() {
+    MutexLock a(mu_);
+    MutexLock b(mu_);
+  }
+
+ private:
+  Mutex mu_;
+};

@@ -1,0 +1,18 @@
+// Seeded violation: the nesting happens through a call made while the
+// first lock is held.
+// HFVERIFY-RULE: lockorder
+// HFVERIFY-EXPECT: unsanctioned lock nesting Pool::mu_a_ -> Pool::mu_b_
+
+class Pool {
+ public:
+  void outer() {
+    MutexLock a(mu_a_);
+    inner();
+  }
+
+  void inner() { MutexLock b(mu_b_); }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};

@@ -1,0 +1,15 @@
+// Seeded violation: direct nesting outside the sanctioned table.
+// HFVERIFY-RULE: lockorder
+// HFVERIFY-EXPECT: unsanctioned lock nesting Pool::mu_a_ -> Pool::mu_b_
+
+class Pool {
+ public:
+  void f() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};

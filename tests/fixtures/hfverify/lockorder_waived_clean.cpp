@@ -1,0 +1,17 @@
+// Known-good: the nesting carries an inline waiver (e.g. provably-distinct
+// instances), so the rule stays quiet.
+// HFVERIFY-RULE: lockorder
+
+class Pool {
+ public:
+  void f() {
+    MutexLock a(mu_a_);
+    // hfverify: allow-lockorder(init): both locks guard freshly constructed
+    // state no other thread can reach yet.
+    MutexLock b(mu_b_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};

@@ -1,0 +1,21 @@
+// Known-good: early-return dedup guard (accounting only inside) dominating
+// every side effect.
+// HFVERIFY-RULE: ordering
+
+struct ResultMessage {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_result(int src, const ResultMessage& rm) {
+    if (already_seen(src, rm.msg_seq)) {
+      metrics().counter("dist.duplicates").inc();
+      return;
+    }
+    repay_weight(rm.msg_seq);
+  }
+
+  void repay_weight(std::uint64_t w);
+  bool already_seen(int src, std::uint64_t seq);
+};

@@ -1,0 +1,16 @@
+// Seeded violation: a sequenced-message handler with no dedup check at all.
+// HFVERIFY-RULE: ordering
+// HFVERIFY-EXPECT: never calls already_seen
+
+struct ResultMessage {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_result(int src, const ResultMessage& rm) {
+    repay_weight(rm.msg_seq);
+  }
+
+  void repay_weight(std::uint64_t w);
+};

@@ -1,0 +1,20 @@
+// Seeded violation: the dedup predicate is negated instead of the
+// early-return shape, so fall-through duplicates still run side effects.
+// HFVERIFY-RULE: ordering
+// HFVERIFY-EXPECT: is negated
+
+struct StartQuery {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_start(int src, const StartQuery& sq) {
+    if (!already_seen(src, sq.msg_seq)) {
+      repay_weight(sq.msg_seq);
+    }
+  }
+
+  void repay_weight(std::uint64_t w);
+  bool already_seen(int src, std::uint64_t seq);
+};

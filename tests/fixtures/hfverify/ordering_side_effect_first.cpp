@@ -1,0 +1,21 @@
+// Seeded violation: weight is repaid before the duplicate check — a
+// duplicated frame would repay twice and break conservation.
+// HFVERIFY-RULE: ordering
+// HFVERIFY-EXPECT: calls side effect repay_weight() before the already_seen() dedup check
+
+struct TermAck {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_term_ack(int src, const TermAck& ta) {
+    repay_weight(ta.msg_seq);
+    if (already_seen(src, ta.msg_seq)) return;
+    note(ta.msg_seq);
+  }
+
+  void repay_weight(std::uint64_t w);
+  bool already_seen(int src, std::uint64_t seq);
+  void note(std::uint64_t w);
+};

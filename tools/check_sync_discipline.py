@@ -26,6 +26,10 @@ files: relaxed/acquire/release reasoning lives next to the primitive whose
 invariants justify it (see the AtomicMarkMap comment block), never inline in
 engine code.
 
+The policy data (banned tokens, sanctioned files, scan roots) is shared
+with the hfverify whole-program analyzer: both import it from
+tools/hfverify/allowlist.py, so the two checkers cannot drift apart.
+
 Usage: tools/check_sync_discipline.py [repo-root]
        tools/check_sync_discipline.py --self-test
 Exit status: 0 clean, 1 violations found (or self-test failure).
@@ -35,47 +39,16 @@ import os
 import re
 import sys
 
-SCAN_DIRS = ("src", "tests", "bench", "examples")
-ALLOWED = {os.path.join("src", "common", "sync.hpp")}
-CPP_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from hfverify.allowlist import (  # noqa: E402
+    ATOMIC_ALLOWED, ATOMIC_BANNED_TOKENS, ATOMIC_SCAN_DIR, CPP_EXTENSIONS,
+    EXCLUDE_DIRS, ORDER_BANNED_TOKENS, SCAN_DIRS, SYNC_ALLOWED,
+    SYNC_BANNED_TOKENS)
 
-BANNED_TOKENS = [
-    r"std\s*::\s*mutex\b",
-    r"std\s*::\s*timed_mutex\b",
-    r"std\s*::\s*recursive_mutex\b",
-    r"std\s*::\s*recursive_timed_mutex\b",
-    r"std\s*::\s*shared_mutex\b",
-    r"std\s*::\s*shared_timed_mutex\b",
-    r"std\s*::\s*condition_variable\b",
-    r"std\s*::\s*condition_variable_any\b",
-    r"std\s*::\s*lock_guard\b",
-    r"std\s*::\s*unique_lock\b",
-    r"std\s*::\s*scoped_lock\b",
-    r"std\s*::\s*shared_lock\b",
-    r"#\s*include\s*<mutex>",
-    r"#\s*include\s*<condition_variable>",
-    r"#\s*include\s*<shared_mutex>",
-]
-BANNED = [re.compile(p) for p in BANNED_TOKENS]
-
-# Non-bool std::atomic and explicit memory orders: only the sanctioned files
-# below may use them (see the module docstring). The negative lookahead keeps
-# std::atomic<bool> stop-flags legal.
-ATOMIC_SCAN_DIR = "src"
-ATOMIC_ALLOWED = {
-    os.path.join("src", "common", "sync.hpp"),
-    os.path.join("src", "common", "metrics.hpp"),
-    # Log-level threshold: configuration read on every HF_DEBUG, not a
-    # metric, and logging must not depend on the registry.
-    os.path.join("src", "common", "logging.hpp"),
-}
-ATOMIC_BANNED = [
-    re.compile(r"std\s*::\s*atomic\b(?!\s*<\s*bool\s*>)"),
-    re.compile(r"std\s*::\s*atomic_flag\b"),
-]
-ORDER_BANNED = [
-    re.compile(r"std\s*::\s*memory_order\w*"),
-]
+ALLOWED = SYNC_ALLOWED
+BANNED = [re.compile(p) for p in SYNC_BANNED_TOKENS]
+ATOMIC_BANNED = [re.compile(p) for p in ATOMIC_BANNED_TOKENS]
+ORDER_BANNED = [re.compile(p) for p in ORDER_BANNED_TOKENS]
 
 LINE_COMMENT = re.compile(r"//.*$")
 BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
@@ -114,6 +87,11 @@ def check_code(rel: str, text: str, sync_banned: bool,
 def check_file(root: str, rel: str, sync_banned: bool, atomics_banned: bool) -> list:
     with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
         return check_code(rel, f.read(), sync_banned, atomics_banned)
+
+
+def excluded(rel: str) -> bool:
+    """Fixture corpora carry seeded violations; no tree lint scans them."""
+    return any(rel == d or rel.startswith(d + os.sep) for d in EXCLUDE_DIRS)
 
 
 def rules_for(rel: str, scan_dir: str):
@@ -164,10 +142,18 @@ def self_test() -> int:
             failures += 1
             print(f"self-test FAIL: {rel!r} {code!r}\n"
                   f"  expected {want}\n  got      {got}")
+    # The hfverify fixture corpus (seeded violations) must stay out of scope.
+    fixture_rel = os.path.join("tests", "fixtures", "hfverify", "x.cpp")
+    if not excluded(fixture_rel):
+        failures += 1
+        print(f"self-test FAIL: {fixture_rel!r} should be excluded")
+    if excluded(os.path.join("tests", "test_wire.cpp")):
+        failures += 1
+        print("self-test FAIL: tests/test_wire.cpp should not be excluded")
     if failures:
         print(f"{failures} self-test case(s) failed")
         return 1
-    print(f"sync discipline self-test: {len(SELF_TEST_CASES)} cases pass")
+    print(f"sync discipline self-test: {len(SELF_TEST_CASES) + 2} cases pass")
     return 0
 
 
@@ -186,6 +172,8 @@ def main() -> int:
                 if not name.endswith(CPP_EXTENSIONS):
                     continue
                 rel = os.path.relpath(os.path.join(dirpath, name), root)
+                if excluded(rel):
+                    continue
                 sync_banned, atomics_banned = rules_for(rel, scan_dir)
                 if not sync_banned and not atomics_banned:
                     continue

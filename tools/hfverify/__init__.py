@@ -1,0 +1,5 @@
+"""hfverify: HyperFile's whole-program confinement / protocol analyzer.
+
+Run as `python3 tools/hfverify`; see __main__.py for the CLI and
+tools/hfverify/README.md for the rule reference.
+"""

@@ -1,0 +1,120 @@
+"""Call-graph construction over the parsed `Program`.
+
+Resolution is name-based with receiver-type refinement:
+
+  * `Cls::name(...)`        → exact, plus overrides in derived classes.
+  * `obj.name(...)` /
+    `obj->name(...)`        → `obj` is looked up as a field of the calling
+                              function's class (then of any class); the
+                              field's type tokens pick the candidate classes,
+                              widened to derived classes for virtual dispatch.
+  * bare `name(...)`        → a method of the calling class (or its bases)
+                              if one exists, else free functions of that
+                              name, else every function named `name`
+                              (low-confidence fallback — callers can ask to
+                              exclude those).
+
+Unresolvable calls (std::, externals, opaque std::function invocations) drop
+out of the graph; the confinement rule separately accounts for the blocking
+primitives the parser records directly (sleep, file I/O).
+"""
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .model import Call, Function, Program
+
+
+class Edge:
+    __slots__ = ("caller", "callee", "call", "confident")
+
+    def __init__(self, caller: Function, callee: Function, call: Call,
+                 confident: bool) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.call = call
+        self.confident = confident
+
+
+class CallGraph:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edges: Dict[str, List[Edge]] = {}
+        self._build()
+
+    def out_edges(self, fn: Function) -> List[Edge]:
+        return self.edges.get(fn.qname, [])
+
+    def _build(self) -> None:
+        for fn in list(self.program.functions.values()):
+            if not fn.has_definition:
+                continue
+            out: List[Edge] = []
+            for call in fn.calls:
+                for callee, confident in self._resolve(fn, call):
+                    if callee.qname == fn.qname:
+                        continue
+                    out.append(Edge(fn, callee, call, confident))
+            self.edges[fn.qname] = out
+
+    # -- resolution ---------------------------------------------------------
+    def _methods_named(self, classes: Iterable[str],
+                       name: str) -> List[Function]:
+        out = []
+        for cls in classes:
+            fn = self.program.functions.get(f"{cls}::{name}")
+            if fn is not None:
+                out.append(fn)
+        return out
+
+    def _with_derived(self, cls: str) -> Set[str]:
+        return {cls} | self.program.derived_of(cls)
+
+    def _field_type_classes(self, cls: Optional[str],
+                            field_name: str) -> Set[str]:
+        """Classes named by the type of `field_name`, looked up first in
+        `cls` and its bases, then in any class having such a field."""
+        candidates: Set[str] = set()
+        scopes: List[str] = self.program.base_chain(cls) if cls else []
+        for scope in scopes:
+            info = self.program.classes.get(scope)
+            if info and field_name in info.fields:
+                candidates |= info.fields[field_name].type_ids
+                break
+        if not candidates:
+            for info in self.program.classes.values():
+                if field_name in info.fields:
+                    candidates |= info.fields[field_name].type_ids
+        return {c for c in candidates if c in self.program.classes}
+
+    def _resolve(self, fn: Function,
+                 call: Call) -> List[Tuple[Function, bool]]:
+        name = call.name
+        prog = self.program
+        if call.qualifier is not None:
+            if call.qualifier in ("std", "this_thread", "chrono", "::"):
+                return []
+            targets = self._methods_named(
+                self._with_derived(call.qualifier), name)
+            return [(t, True) for t in targets]
+        if call.receiver is not None:
+            classes: Set[str] = set()
+            if call.receiver != "<expr>":
+                for c in self._field_type_classes(fn.cls, call.receiver):
+                    classes |= self._with_derived(c)
+            if classes:
+                targets = self._methods_named(classes, name)
+                if targets:
+                    return [(t, True) for t in targets]
+            # Unknown receiver type: any method of this name, low confidence.
+            targets = [f for f in prog.by_name.get(name, ())
+                       if f.cls is not None]
+            return [(t, False) for t in targets]
+        # Bare call: own class (and bases) first.
+        if fn.cls is not None:
+            targets = self._methods_named(prog.base_chain(fn.cls), name)
+            if targets:
+                return [(targets[0], True)]
+        frees = [f for f in prog.by_name.get(name, ()) if f.cls is None]
+        if frees:
+            return [(f, True) for f in frees]
+        return [(f, False) for f in prog.by_name.get(name, ())]

@@ -1,0 +1,150 @@
+"""A small C++ tokenizer for hfverify's text frontend.
+
+Produces identifier / number / string / punctuation tokens with line numbers,
+and collects comments separately (waiver comments and fixture directives live
+in comments, so they must survive lexing). This is not a conforming C++ lexer
+— it only needs to be right for the constructs the rules look at: names,
+parens, braces, and call syntax. Preprocessor lines other than the HF_* role
+macros are skipped.
+"""
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+ID = "id"
+NUM = "num"
+STR = "str"
+CHR = "chr"
+PUNCT = "punct"
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'xXbBuUlLeE.+-]*)")
+# Longest-first multi-char operators the parser cares about.
+_PUNCTS = ("->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+           "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+           "^=", "++", "--")
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact in rule debug output
+        return f"{self.text!r}@{self.line}"
+
+
+def lex(text: str) -> Tuple[List[Token], List[Tuple[int, str]]]:
+    """Tokenize `text`; returns (tokens, comments) where comments is a list
+    of (line, comment-text) with the // or /* */ delimiters stripped."""
+    tokens: List[Token] = []
+    comments: List[Tuple[int, str]] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                end = text.find("\n", i)
+                if end == -1:
+                    end = n
+                comments.append((line, text[i + 2:end].strip()))
+                i = end
+                continue
+            if text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                if end == -1:
+                    end = n
+                body = text[i + 2:end]
+                comments.append((line, body.strip()))
+                line += body.count("\n")
+                i = end + 2
+                continue
+        if c == "#":
+            # Preprocessor directive: skip to end of (possibly continued) line.
+            while i < n:
+                end = text.find("\n", i)
+                if end == -1:
+                    i = n
+                    break
+                if text[end - 1] == "\\":
+                    line += 1
+                    i = end + 1
+                    continue
+                i = end
+                break
+            continue
+        if c == "R" and text.startswith('R"', i):
+            # Raw string literal R"delim(...)delim".
+            m = re.match(r'R"([^()\s\\]*)\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, i + m.end())
+                if end == -1:
+                    end = n
+                lit = text[i:end + len(closer)]
+                tokens.append(Token(STR, lit, line))
+                line += lit.count("\n")
+                i = end + len(closer)
+                continue
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token(STR, text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token(CHR, text[i:j + 1], line))
+            i = j + 1
+            continue
+        m = _ID_RE.match(text, i)
+        if m:
+            tokens.append(Token(ID, m.group(0), line))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = _NUM_RE.match(text, i)
+            tokens.append(Token(NUM, m.group(0), line))
+            i = m.end()
+            continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return tokens, comments
+
+
+def match_forward(tokens: List[Token], start: int, open_text: str,
+                  close_text: str) -> int:
+    """Index of the token closing the bracket opened at `start` (which must
+    be `open_text`), or len(tokens) if unbalanced."""
+    depth = 0
+    for i in range(start, len(tokens)):
+        t = tokens[i].text
+        if t == open_text:
+            depth += 1
+        elif t == close_text:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)

@@ -1,0 +1,166 @@
+"""Data model shared by hfverify's frontends and rules.
+
+A frontend (text or libclang) parses the tree into a `Program`; the rules in
+`hfverify.rules` only ever see this model, so they are frontend-agnostic.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+# Role annotation macro names (see src/common/sync.hpp and DESIGN.md §15).
+ROLE_EVENT_LOOP = "event_loop"
+ROLE_WORKER = "worker"
+ROLE_ANY = "any"
+
+ROLE_MACROS = {
+    "HF_EVENT_LOOP_ONLY": ROLE_EVENT_LOOP,
+    "HF_WORKER_ONLY": ROLE_WORKER,
+    "HF_ANY_THREAD": ROLE_ANY,
+}
+BLOCKING_MACRO = "HF_BLOCKING"
+
+
+@dataclass
+class Call:
+    """One call site inside a function body."""
+    name: str                      # callee token, e.g. "stats" or "put"
+    qualifier: Optional[str]       # "Class" for Class::name(...) calls
+    receiver: Optional[str]        # "obj" for obj.name(...) / obj->name(...)
+    line: int
+    token_index: int               # position in the owning body's token list
+
+
+@dataclass
+class LockAcquisition:
+    """A `MutexLock lock(expr);` site inside a function body."""
+    expr_tokens: Tuple[str, ...]   # e.g. ("stats_mu_",) or ("q", ".", "mu")
+    line: int
+    depth: int                     # brace depth inside the body at the site
+    token_index: int
+
+
+@dataclass
+class Function:
+    qname: str                     # "SiteServer::handle_deref" or "free_fn"
+    name: str                      # unqualified
+    cls: Optional[str]             # enclosing/owning class, if any
+    file: str
+    line: int
+    role: Optional[str] = None     # ROLE_* or None
+    blocking: bool = False         # carries HF_BLOCKING
+    params: List[Tuple[str, str]] = field(default_factory=list)  # (type, name)
+    body_tokens: List = field(default_factory=list)              # lexer Tokens
+    calls: List[Call] = field(default_factory=list)
+    locks: List[LockAcquisition] = field(default_factory=list)
+    # Blocking primitives used directly in the body: (kind, line) where kind
+    # is "condvar-wait", "sleep", or "file-io".
+    blocking_ops: List[Tuple[str, int]] = field(default_factory=list)
+    has_definition: bool = False
+
+
+@dataclass
+class Field:
+    name: str
+    cls: str
+    type_ids: Set[str] = field(default_factory=set)
+    role: Optional[str] = None
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: List[str] = field(default_factory=list)
+    fields: Dict[str, Field] = field(default_factory=dict)
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class Waiver:
+    """A `// hfverify: allow-<kind>(tag): reason` comment.
+
+    Applies to the code on its own line, or — when the comment stands alone
+    on a line — to the next line that has code.
+    """
+    kind: str                      # "blocking" | "role" | "ordering" | "lockorder"
+    tag: str
+    reason: str
+    file: str
+    line: int                      # the code line the waiver applies to
+    comment_line: int
+
+
+@dataclass
+class Violation:
+    rule: str
+    file: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Program:
+    """Whole-program view handed to the rules."""
+    functions: Dict[str, Function] = field(default_factory=dict)   # by qname
+    by_name: Dict[str, List[Function]] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    waivers: List[Waiver] = field(default_factory=list)
+    files: Dict[str, str] = field(default_factory=dict)            # rel -> text
+
+    def add_function(self, fn: Function) -> None:
+        existing = self.functions.get(fn.qname)
+        if existing is not None:
+            # Merge a declaration and a definition (annotations can sit on
+            # either); the definition's body wins.
+            if fn.has_definition and not existing.has_definition:
+                fn.role = fn.role or existing.role
+                fn.blocking = fn.blocking or existing.blocking
+                self._replace(existing, fn)
+            else:
+                existing.role = existing.role or fn.role
+                existing.blocking = existing.blocking or fn.blocking
+            return
+        self.functions[fn.qname] = fn
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+    def _replace(self, old: Function, new: Function) -> None:
+        self.functions[new.qname] = new
+        lst = self.by_name.setdefault(new.name, [])
+        self.by_name[new.name] = [new if f is old else f for f in lst]
+
+    def derived_of(self, cls: str) -> Set[str]:
+        """Transitive subclasses of `cls`."""
+        out: Set[str] = set()
+        frontier = [cls]
+        while frontier:
+            cur = frontier.pop()
+            for name, info in self.classes.items():
+                if cur in info.bases and name not in out:
+                    out.add(name)
+                    frontier.append(name)
+        return out
+
+    def base_chain(self, cls: str) -> List[str]:
+        """`cls` followed by its transitive base classes."""
+        out: List[str] = []
+        frontier = [cls]
+        while frontier:
+            cur = frontier.pop()
+            if cur in out:
+                continue
+            out.append(cur)
+            info = self.classes.get(cur)
+            if info is not None:
+                frontier.extend(info.bases)
+        return out
+
+    def waiver_for(self, kind: str, file: str, line: int) -> Optional[Waiver]:
+        for w in self.waivers:
+            if w.kind == kind and w.file == file and w.line == line:
+                return w
+        return None

@@ -1,0 +1,17 @@
+"""hfverify rule families: confinement, codec, ordering, lockorder."""
+
+from . import codec, confinement, lockorder, ordering  # noqa: F401
+
+ALL_RULES = ("confinement", "codec", "ordering", "lockorder")
+
+
+def run_rule(rule: str, program, **kwargs):
+    if rule == "confinement":
+        return confinement.check(program)
+    if rule == "codec":
+        return codec.check(program, **kwargs)
+    if rule == "ordering":
+        return ordering.check(program, **kwargs)
+    if rule == "lockorder":
+        return lockorder.check(program, **kwargs)
+    raise ValueError(f"unknown rule {rule!r}")

@@ -1,0 +1,256 @@
+"""Wire-codec symmetry rule.
+
+Diffs the encode/decode pairs in `wire/message.cpp` structurally: both sides
+of a pair are reduced to a normalized op sequence (`u8`, `varint`, `string`,
+`bytes`, helper names with their `encode_`/`decode_` prefix stripped, and
+`Loop[...]` nodes for repeated fields), and the sequences must be identical.
+A field that is encoded but never decoded, decoded twice, or read in a
+different order is a mismatch — the class of bug that silently corrupts
+every message behind it on the wire.
+
+What counts as a codec op: a call where the branch's Encoder/Decoder
+variable is the receiver (`e.varint(x)`) or appears among the arguments
+(`encode_qid(e, x)`). Calls that don't mention the coder variable (error
+plumbing like `x.ok()`, nested `encode_message(env.message)` that runs on
+its own buffer) are invisible, which is what keeps the envelope pair and
+the Result-unwrapping idiom out of the diff.
+
+Pairs checked: every `encode_X`/`decode_X` function pair in the file, plus
+the per-tag branches of `encode_message` against the matching `case Tag::k…`
+blocks of `decode_message`.
+"""
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import cpp_lexer as lx
+from ..model import Function, Program, Violation
+
+# Normalized op: ("op", name, line) or ("loop", [children], line)
+Op = Union[Tuple[str, str, int], Tuple[str, list, int]]
+
+_GENERIC_OBJ = {"", "query", "value", "object", "object_id"}
+_COSMETIC_METHODS = {"clear", "take", "remaining", "ok", "error", "value",
+                     "size", "reserve", "push_back", "empty", "data"}
+
+
+def _normalize(callee: str) -> Optional[str]:
+    for prefix in ("encode_", "decode_"):
+        if callee.startswith(prefix):
+            rest = callee[len(prefix):]
+            return "obj" if rest in _GENERIC_OBJ else rest
+    if callee in ("encode", "decode"):
+        return "obj"
+    return None
+
+
+def _coder_vars(fn: Function) -> set:
+    out = set()
+    for ptype, pname in fn.params:
+        if pname and ("Encoder" in ptype or "Decoder" in ptype):
+            out.add(pname)
+    toks = fn.body_tokens
+    for i, t in enumerate(toks):
+        if t.text in ("Encoder", "Decoder") and i + 1 < len(toks) and \
+                toks[i + 1].kind == lx.ID:
+            out.add(toks[i + 1].text)
+    return out
+
+
+def _extract_ops(toks: Sequence, coders: set) -> List[Op]:
+    """Normalized op sequence for a token slice, with Loop nodes."""
+    ops: List[Op] = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.text in ("for", "while") and i + 1 < n and \
+                toks[i + 1].text == "(":
+            close = lx.match_forward(toks, i + 1, "(", ")")
+            # Header ops (e.g. `while (d.remaining())`) count before the body.
+            ops.extend(_extract_ops(toks[i + 2:close], coders))
+            j = close + 1
+            if j < n and toks[j].text == "{":
+                body_close = lx.match_forward(toks, j, "{", "}")
+                children = _extract_ops(toks[j + 1:body_close], coders)
+                if children:
+                    ops.append(("loop", children, toks[i].line))
+                i = body_close + 1
+            else:
+                # Single-statement loop body: to the next `;`.
+                k = j
+                while k < n and toks[k].text != ";":
+                    if toks[k].text == "(":
+                        k = lx.match_forward(toks, k, "(", ")")
+                    k += 1
+                children = _extract_ops(toks[j:k], coders)
+                if children:
+                    ops.append(("loop", children, toks[i].line))
+                i = k + 1
+            continue
+        if t.kind == lx.ID and i + 1 < n and toks[i + 1].text == "(" and \
+                t.text not in ("if", "switch", "return", "sizeof",
+                               "static_cast"):
+            close = lx.match_forward(toks, i + 1, "(", ")")
+            prev = toks[i - 1] if i > 0 else None
+            receiver = None
+            if prev is not None and prev.text in (".", "->") and i >= 2 and \
+                    toks[i - 2].kind == lx.ID:
+                receiver = toks[i - 2].text
+            if receiver in coders:
+                if t.text not in _COSMETIC_METHODS:
+                    ops.append(("op", t.text, t.line))
+                i = close + 1
+                continue
+            arg_ids = {x.text for x in toks[i + 2:close] if x.kind == lx.ID}
+            if arg_ids & coders:
+                norm = _normalize(t.text)
+                if norm is not None:
+                    ops.append(("op", norm, t.line))
+                    i = close + 1
+                    continue
+                # An unrecognized helper taking the coder (push_back of a
+                # decoded value, logging, …) is transparent: fall through to
+                # the recursion so nested `d.string()` ops still count.
+            # Not a codec op; still recurse into args for nested codec calls.
+            ops.extend(_extract_ops(toks[i + 2:close], coders))
+            i = close + 1
+            continue
+        i += 1
+    return ops
+
+
+def _op_str(op: Op) -> str:
+    if op[0] == "loop":
+        return "loop[" + " ".join(_op_str(c) for c in op[1]) + "]"
+    return op[1]
+
+
+def _seq_str(ops: List[Op]) -> str:
+    return " ".join(_op_str(o) for o in ops) or "(none)"
+
+
+def _diff(tag: str, enc: List[Op], dec: List[Op], file: str, enc_line: int,
+          violations: List[Violation]) -> None:
+    for k in range(max(len(enc), len(dec))):
+        a = enc[k] if k < len(enc) else None
+        b = dec[k] if k < len(dec) else None
+        if a is not None and b is not None and a[0] == b[0] == "loop":
+            _diff(f"{tag} loop", a[1], b[1], file, a[2], violations)
+            continue
+        a_str = _op_str(a) if a is not None else "(end)"
+        b_str = _op_str(b) if b is not None else "(end)"
+        if a_str != b_str:
+            line = a[2] if a is not None else (b[2] if b else enc_line)
+            violations.append(Violation(
+                "codec", file, line,
+                f"{tag}: encode/decode diverge at field {k + 1}: "
+                f"encoder writes `{a_str}` but decoder reads `{b_str}` "
+                f"(encoded: {_seq_str(enc)}; decoded: {_seq_str(dec)})"))
+            return
+
+
+def _encode_branches(fn: Function) -> Dict[str, Tuple[List[Op], int]]:
+    """Tag -> (ops, line) for each `if (get_if<T>)` branch of encode_message."""
+    coders = _coder_vars(fn)
+    toks = fn.body_tokens
+    out: Dict[str, Tuple[List[Op], int]] = {}
+    i = 0
+    while i < len(toks):
+        # A branch is `if (get_if<T>...) { ... }` or the trailing `else {}`.
+        j = None
+        if toks[i].text == "if" and i + 1 < len(toks) and \
+                toks[i + 1].text == "(":
+            j = lx.match_forward(toks, i + 1, "(", ")") + 1
+        elif toks[i].text == "else" and i + 1 < len(toks) and \
+                toks[i + 1].text == "{":
+            j = i + 1
+        if j is not None:
+            if j < len(toks) and toks[j].text == "{":
+                body_close = lx.match_forward(toks, j, "{", "}")
+                ops = _extract_ops(toks[j + 1:body_close], coders)
+                tag = None
+                if ops and ops[0][0] == "op" and ops[0][1] == "u8":
+                    # Tag byte: the branch's first codec op is
+                    # `e.u8(...Tag::kX...)`; drop it from the field diff.
+                    for k in range(j + 1, body_close - 1):
+                        if toks[k].text == "Tag" and \
+                                toks[k + 1].text == "::":
+                            tag = toks[k + 2].text
+                            break
+                    if tag is not None:
+                        ops = ops[1:]
+                if tag is not None:
+                    out[tag] = (ops, toks[i].line)
+                i = body_close + 1
+                continue
+        i += 1
+    return out
+
+
+def _decode_cases(fn: Function) -> Dict[str, Tuple[List[Op], int]]:
+    """Tag -> (ops, line) for each `case Tag::kX:` block of decode_message."""
+    coders = _coder_vars(fn)
+    toks = fn.body_tokens
+    # Case boundaries: `case Tag :: kX :` at any depth inside the switch.
+    marks: List[Tuple[int, str, int]] = []
+    for i, t in enumerate(toks):
+        if t.text == "case" and i + 3 < len(toks) and \
+                toks[i + 1].text == "Tag" and toks[i + 2].text == "::":
+            marks.append((i, toks[i + 3].text, t.line))
+    out: Dict[str, Tuple[List[Op], int]] = {}
+    for k, (start, tag, line) in enumerate(marks):
+        stop = marks[k + 1][0] if k + 1 < len(marks) else len(toks)
+        out[tag] = (_extract_ops(toks[start + 4:stop], coders), line)
+    return out
+
+
+def check(program: Program, codec_file: Optional[str] = None
+          ) -> List[Violation]:
+    from ..allowlist import CODEC_FILE
+    codec_file = codec_file or CODEC_FILE
+    fns = [f for f in program.functions.values()
+           if f.file == codec_file and f.has_definition]
+    violations: List[Violation] = []
+
+    # -- free encode_X / decode_X pairs -------------------------------------
+    by_name = {f.name: f for f in fns if f.cls is None}
+    for name, enc_fn in sorted(by_name.items()):
+        if not name.startswith("encode_") or name == "encode_message":
+            continue
+        dec_fn = by_name.get("decode_" + name[len("encode_"):])
+        if dec_fn is None:
+            continue
+        enc_ops = _extract_ops(enc_fn.body_tokens, _coder_vars(enc_fn))
+        dec_ops = _extract_ops(dec_fn.body_tokens, _coder_vars(dec_fn))
+        _diff(f"{enc_fn.name}/{dec_fn.name}", enc_ops, dec_ops,
+              codec_file, enc_fn.line, violations)
+
+    # -- encode_message branches vs decode_message cases --------------------
+    enc_msg = by_name.get("encode_message")
+    dec_msg = by_name.get("decode_message")
+    if enc_msg is not None and dec_msg is not None:
+        branches = _encode_branches(enc_msg)
+        cases = _decode_cases(dec_msg)
+        for tag in sorted(set(branches) | set(cases)):
+            if tag not in branches:
+                violations.append(Violation(
+                    "codec", codec_file, cases[tag][1],
+                    f"decode_message handles {tag} but encode_message has "
+                    f"no branch for it"))
+                continue
+            if tag not in cases:
+                violations.append(Violation(
+                    "codec", codec_file, branches[tag][1],
+                    f"encode_message emits {tag} but decode_message has no "
+                    f"case for it"))
+                continue
+            _diff(f"Tag::{tag}", branches[tag][0], cases[tag][0],
+                  codec_file, branches[tag][1], violations)
+    elif fns:
+        violations.append(Violation(
+            "codec", codec_file, 1,
+            "could not locate encode_message/decode_message pair"))
+
+    violations.sort(key=lambda v: (v.file, v.line))
+    return violations

@@ -1,0 +1,162 @@
+"""Thread-confinement and blocking-call rule (DESIGN.md §15).
+
+From every role-annotated function (the *roots*) walk the call graph:
+
+  * role exclusivity — an `HF_EVENT_LOOP_ONLY` root must never reach an
+    `HF_WORKER_ONLY` function (or vice versa), and an `HF_ANY_THREAD` entry
+    point must not reach either confined role. Traversal stops at annotated
+    functions: each is its own root, so blame lands on the function whose
+    contract is actually violated.
+  * state confinement — any function visited from a root of role R that
+    names a field annotated with a different confined role is a violation.
+  * blocking — no path from an `HF_EVENT_LOOP_ONLY` root may reach an
+    `HF_BLOCKING` function or a direct blocking primitive (condvar wait via
+    the annotated CondVar, `std::this_thread::sleep_*`, stdio/fstream I/O).
+
+Waivers (`// hfverify: allow-role(...)` / `allow-blocking(...)`) cut the
+edge or site they are attached to; `--list-waivers` prints the inventory.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..callgraph import CallGraph
+from ..model import (Function, Program, ROLE_ANY, ROLE_EVENT_LOOP,
+                     ROLE_WORKER, Violation)
+
+_CONFINED = (ROLE_EVENT_LOOP, ROLE_WORKER)
+
+
+def _role_conflicts(root_role: str, target_role: str) -> bool:
+    if target_role not in _CONFINED:
+        return False
+    if root_role == ROLE_ANY:
+        return True
+    return root_role != target_role
+
+
+def _path_str(parent: Dict[str, Optional[str]], qname: str) -> str:
+    chain = [qname]
+    while parent.get(chain[-1]) is not None:
+        chain.append(parent[chain[-1]])
+    return " <- ".join(chain)
+
+
+def _field_touches(program: Program, fn: Function,
+                   root_role: str) -> List[Tuple[str, int, str]]:
+    """(field_qname, line, field_role) for conflicting role-field accesses."""
+    if fn.cls is None or not fn.body_tokens:
+        return []
+    role_fields: Dict[str, Tuple[str, str]] = {}
+    for cls in program.base_chain(fn.cls):
+        info = program.classes.get(cls)
+        if info is None:
+            continue
+        for name, field in info.fields.items():
+            if field.role in _CONFINED and name not in role_fields:
+                role_fields[name] = (f"{cls}::{name}", field.role)
+    if not role_fields:
+        return []
+    out = []
+    seen: Set[Tuple[str, int]] = set()
+    for tok in fn.body_tokens:
+        entry = role_fields.get(tok.text)
+        if entry is None:
+            continue
+        qname, frole = entry
+        if not _role_conflicts(root_role, frole):
+            continue
+        if (qname, tok.line) in seen:
+            continue
+        seen.add((qname, tok.line))
+        out.append((qname, tok.line, frole))
+    return out
+
+
+def check(program: Program) -> List[Violation]:
+    graph = CallGraph(program)
+    violations: List[Violation] = []
+    reported: Set[Tuple] = set()
+
+    def report(key: Tuple, file: str, line: int, message: str) -> None:
+        if key in reported:
+            return
+        reported.add(key)
+        violations.append(Violation("confinement", file, line, message))
+
+    roots = [f for f in program.functions.values() if f.role is not None]
+
+    # -- role exclusivity + state confinement -------------------------------
+    for root in roots:
+        if not root.has_definition:
+            continue
+        visited: Set[str] = set()
+        parent: Dict[str, Optional[str]] = {root.qname: None}
+        frontier = [root]
+        while frontier:
+            fn = frontier.pop()
+            if fn.qname in visited:
+                continue
+            visited.add(fn.qname)
+            for fq, line, frole in _field_touches(program, fn, root.role):
+                if program.waiver_for("role", fn.file, line):
+                    continue
+                report(("field", root.qname, fq, fn.qname),
+                       fn.file, line,
+                       f"{fn.qname} (reached from {root.role}-role root "
+                       f"{root.qname}) touches {frole}-confined field {fq}")
+            for edge in graph.out_edges(fn):
+                if not edge.confident:
+                    continue
+                if program.waiver_for("role", fn.file, edge.call.line):
+                    continue
+                callee = edge.callee
+                if callee.role is not None:
+                    if _role_conflicts(root.role, callee.role):
+                        report(("role", root.qname, callee.qname),
+                               fn.file, edge.call.line,
+                               f"{root.role}-role root {root.qname} reaches "
+                               f"{callee.role}-only {callee.qname} "
+                               f"(path: {_path_str(parent, fn.qname)})")
+                    continue  # annotated callees are their own roots
+                if callee.qname not in visited:
+                    parent.setdefault(callee.qname, fn.qname)
+                    frontier.append(callee)
+
+    # -- blocking reachable from the event loop -----------------------------
+    for root in roots:
+        if root.role != ROLE_EVENT_LOOP or not root.has_definition:
+            continue
+        visited = set()
+        parent = {root.qname: None}
+        frontier = [root]
+        while frontier:
+            fn = frontier.pop()
+            if fn.qname in visited:
+                continue
+            visited.add(fn.qname)
+            for kind, line in fn.blocking_ops:
+                if program.waiver_for("blocking", fn.file, line):
+                    continue
+                report(("blockop", fn.qname, kind, line),
+                       fn.file, line,
+                       f"event-loop path reaches {kind} primitive in "
+                       f"{fn.qname} (path: {_path_str(parent, fn.qname)})")
+            for edge in graph.out_edges(fn):
+                if program.waiver_for("blocking", fn.file, edge.call.line):
+                    continue
+                callee = edge.callee
+                if callee.blocking:
+                    report(("blocking", callee.qname, fn.qname),
+                           fn.file, edge.call.line,
+                           f"event-loop path calls HF_BLOCKING "
+                           f"{callee.qname} "
+                           f"(path: {_path_str(parent, fn.qname)})")
+                    continue
+                if callee.role == ROLE_WORKER:
+                    continue  # already a role violation; don't descend
+                if callee.qname not in visited:
+                    parent.setdefault(callee.qname, fn.qname)
+                    frontier.append(callee)
+
+    violations.sort(key=lambda v: (v.file, v.line))
+    return violations
