@@ -33,4 +33,34 @@ inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
   return h;
 }
 
+/// Seeded FNV-1a: the seed is mixed into the offset basis so distinct seeds
+/// give independent-looking hash streams over the same bytes.
+inline std::uint64_t fnv1a_seeded(std::uint64_t seed, const std::uint8_t* data,
+                                  std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Seeded k-hash family for Bloom filters (Kirsch–Mitzenmacher double
+/// hashing): index i is derived as h1 + i*h2 from two seeded base hashes,
+/// which preserves the asymptotic false-positive rate of k independent
+/// hashes while costing two hash passes total.
+struct KHashFamily {
+  std::uint64_t h1;
+  std::uint64_t h2;
+
+  KHashFamily(std::uint64_t seed, const std::uint8_t* data, std::size_t len)
+      : h1(fnv1a_seeded(seed, data, len)),
+        h2(fnv1a_seeded(seed ^ 0x5bd1e9955bd1e995ULL, data, len) | 1) {}
+
+  /// The i-th hash of the family, reduced modulo `bits`.
+  std::uint64_t index(std::uint32_t i, std::uint64_t bits) const {
+    return mix64(h1 + static_cast<std::uint64_t>(i) * h2) % bits;
+  }
+};
+
 }  // namespace hyperfile

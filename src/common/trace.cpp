@@ -20,6 +20,7 @@ void merge_into(TraceSpan& into, const TraceSpan& from) {
   into.drain_us = std::max(into.drain_us, from.drain_us);
   into.retries = std::max(into.retries, from.retries);
   into.suspicions = std::max(into.suspicions, from.suspicions);
+  into.pruned = std::max(into.pruned, from.pruned);
 }
 
 namespace {
@@ -39,11 +40,11 @@ std::string QueryTrace::to_text() const {
   std::string out = "trace " + query_id + " elapsed " +
                     std::to_string(elapsed_us) + "us\n";
   for (const TraceSpan& s : spans) {
-    char line[288];
+    char line[320];
     std::snprintf(line, sizeof line,
                   "  site %u hop %u path [%s] msgs %llu dup %llu items %llu "
                   "fwd %llu results %llu drains %llu drain_us %llu "
-                  "retries %llu suspicions %llu\n",
+                  "retries %llu suspicions %llu pruned %llu\n",
                   s.site, s.first_hop, path_string(s.path, "->").c_str(),
                   static_cast<unsigned long long>(s.messages),
                   static_cast<unsigned long long>(s.duplicates),
@@ -53,7 +54,8 @@ std::string QueryTrace::to_text() const {
                   static_cast<unsigned long long>(s.drains),
                   static_cast<unsigned long long>(s.drain_us),
                   static_cast<unsigned long long>(s.retries),
-                  static_cast<unsigned long long>(s.suspicions));
+                  static_cast<unsigned long long>(s.suspicions),
+                  static_cast<unsigned long long>(s.pruned));
     out += line;
   }
   return out;
@@ -77,7 +79,8 @@ std::string QueryTrace::to_json() const {
            ", \"drains\": " + std::to_string(s.drains) +
            ", \"drain_us\": " + std::to_string(s.drain_us) +
            ", \"retries\": " + std::to_string(s.retries) +
-           ", \"suspicions\": " + std::to_string(s.suspicions) + "}";
+           ", \"suspicions\": " + std::to_string(s.suspicions) +
+           ", \"pruned\": " + std::to_string(s.pruned) + "}";
   }
   out += "]}";
   return out;

@@ -52,6 +52,9 @@ struct TraceSpan {
   std::uint64_t retries = 0;     // send retries attributed to this query
   std::uint64_t suspicions = 0;  // peers this site suspected dead during
                                  // the query (liveness, DESIGN.md §13)
+  std::uint64_t pruned = 0;      // remote dereferences skipped because the
+                                 // peer's summary proved them fruitless
+                                 // (DESIGN.md §16)
 
   static constexpr std::size_t kMaxPath = 32;
 

@@ -21,6 +21,14 @@ Cluster::Cluster(std::size_t sites, SiteServerOptions options,
     : net_(sites + clients),
       options_(std::move(options)),
       decorate_(std::move(decorate)) {
+  // Summaries enabled with no explicit peer list: advertise to the whole
+  // deployment. Stored in options_ so restart_site rebuilds keep it.
+  if (options_.summary_interval > Duration(0) &&
+      options_.summary_peers.empty()) {
+    for (std::size_t i = 0; i < sites; ++i) {
+      options_.summary_peers.push_back(static_cast<SiteId>(i));
+    }
+  }
   servers_.reserve(sites);
   for (std::size_t i = 0; i < sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);

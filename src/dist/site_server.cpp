@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
@@ -44,6 +45,19 @@ SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore stor
   // store state, superseding whatever the caller passed in. Births are then
   // registered from the *recovered* store.
   if (!options_.wal_dir.empty()) recover_durable_state();
+  // Summary epoch (DESIGN.md §16): durable sites count their boots in a
+  // sidecar file, so summaries advertised after a crash-restart carry a
+  // higher epoch and supersede pre-crash ones at every peer — the store's
+  // own version counter alone cannot order across incarnations.
+  if (options_.summary_interval > Duration(0) && !options_.wal_dir.empty()) {
+    const std::string boot_path = options_.wal_dir + "/site_" +
+                                  std::to_string(store_.site()) + ".boot";
+    std::uint64_t boots = 0;
+    if (std::ifstream in(boot_path); in) in >> boots;
+    summary_epoch_ = boots + 1;
+    std::ofstream out(boot_path, std::ios::trunc);
+    out << summary_epoch_;
+  }
   // Everything currently stored here was (as far as we know) born here.
   for (const ObjectId& id : store_.all_ids()) names_.register_birth(id);
   if (options_.drain_workers > 0) {
@@ -211,12 +225,20 @@ std::size_t SiteServer::context_count() const {
   return context_count_cache_;
 }
 
+std::size_t SiteServer::summary_count() const {
+  MutexLock lock(stats_mu_);
+  return summary_count_cache_;
+}
+
 void SiteServer::run_loop() {
   Gauge& contexts_gauge =
       metrics().gauge("dist.contexts", "site=" + std::to_string(store_.site()));
   last_sweep_ = now_tick();
   last_checkpoint_ = last_sweep_;
   last_liveness_check_ = last_sweep_;
+  // First tick builds and advertises immediately: a freshly (re)started
+  // site re-announces itself without waiting out a full interval.
+  last_summary_advert_ = last_sweep_ - options_.summary_interval;
   while (!stopping_.load()) {
     // hfverify: allow-blocking(poll): bounded by poll_interval; replacing
     // the poll with epoll-style readiness is a ROADMAP item.
@@ -225,6 +247,7 @@ void SiteServer::run_loop() {
     drain_ctl();
     sweep_contexts();
     check_liveness();
+    check_summaries();
     if (options_.checkpoint_interval > Duration(0) && wal_ != nullptr &&
         wal_->record_count() > 0 &&
         now_tick() - last_checkpoint_ >= options_.checkpoint_interval) {
@@ -237,6 +260,7 @@ void SiteServer::run_loop() {
     contexts_gauge.set(static_cast<std::int64_t>(contexts_.size()));
     MutexLock lock(stats_mu_);
     context_count_cache_ = contexts_.size();
+    summary_count_cache_ = peer_summaries_.size();
   }
 }
 
@@ -392,6 +416,107 @@ void SiteServer::check_liveness() {
   }
 }
 
+void SiteServer::check_summaries() {
+  if (options_.summary_interval <= Duration(0)) return;
+  const auto now = now_tick();
+  if (summary_built_ &&
+      now - last_summary_advert_ < options_.summary_interval) {
+    return;
+  }
+  last_summary_advert_ = now;
+  if (!summary_built_ || store_.version() != own_summary_.version) {
+    own_summary_ = index::SiteSummary::build(store_);
+    own_summary_.epoch = summary_epoch_;
+    summary_built_ = true;
+    metrics().counter("dist.summary_builds").inc();
+  }
+
+  auto to_record = [](const index::SiteSummary& s) {
+    wire::SummaryRecord rec;
+    rec.origin = s.origin;
+    rec.epoch = s.epoch;
+    rec.version = s.version;
+    rec.hash_count = s.filter.hash_count();
+    rec.entries = s.filter.entries();
+    rec.bits = s.filter.bytes();
+    return rec;
+  };
+  wire::SummaryMessage sm;
+  sm.records.push_back(to_record(own_summary_));
+  if (options_.summary_gossip) {
+    for (const auto& [peer, cached] : peer_summaries_) {
+      sm.records.push_back(to_record(cached.summary));
+    }
+  }
+  // Fire-and-forget, like pings: adverts are periodic and idempotent, so a
+  // lost one is simply superseded by the next; retrying would stall the
+  // loop against a dead peer for nothing.
+  for (SiteId peer : options_.summary_peers) {
+    if (peer == store_.site()) continue;
+    wire::SummaryMessage copy = sm;
+    copy.msg_seq = next_msg_seq_++;
+    if (endpoint_->send(peer, wire::Message(std::move(copy))).ok()) {
+      metrics().counter("dist.summary_exchanges").inc();
+    }
+  }
+}
+
+void SiteServer::handle_summary(SiteId src, wire::SummaryMessage sm) {
+  // Dedup before any install: a wire-duplicated advert must not count as a
+  // fresh exchange nor re-run the install scan.
+  if (already_seen(summary_seen_, src, sm.msg_seq)) {
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
+  const auto now = now_tick();
+  for (wire::SummaryRecord& rec : sm.records) {
+    install_summary(std::move(rec), now);
+  }
+  // Deliberately no liveness touch here: a gossiped record is hearsay about
+  // its origin, not a frame from it. Only the envelope-level heartbeat in
+  // handle() — which saw `src` itself on the wire — may refresh a clock, so
+  // a stale relayed record can never resurrect a suspected peer.
+}
+
+void SiteServer::install_summary(wire::SummaryRecord rec,
+                                 std::chrono::steady_clock::time_point now) {
+  if (rec.origin == store_.site() || rec.origin == kNoSite) return;
+  auto it = peer_summaries_.find(rec.origin);
+  if (it != peer_summaries_.end()) {
+    const index::SiteSummary& cached = it->second.summary;
+    const bool newer =
+        rec.epoch > cached.epoch ||
+        (rec.epoch == cached.epoch && rec.version > cached.version);
+    const bool expired =
+        options_.summary_ttl > Duration(0) &&
+        now - it->second.installed >= options_.summary_ttl;
+    // Strictly-newer wins; an expired cache entry carries no authority and
+    // yields to anything, including a version regression (the origin may
+    // have restarted volatile, resetting its counters).
+    if (!newer && !expired) return;
+  }
+  index::SiteSummary s;
+  s.origin = rec.origin;
+  s.epoch = rec.epoch;
+  s.version = rec.version;
+  s.filter = index::BloomFilter::from_parts(std::move(rec.bits),
+                                            rec.hash_count, rec.entries);
+  peer_summaries_[rec.origin] = CachedSummary{std::move(s), now};
+  metrics().counter("dist.summary_installs").inc();
+}
+
+bool SiteServer::summary_prunes(SiteId dest, const Query& query,
+                                std::uint32_t start, const ObjectId& oid) {
+  if (options_.summary_interval <= Duration(0)) return false;
+  auto it = peer_summaries_.find(dest);
+  if (it == peer_summaries_.end()) return false;  // unknown: never prune
+  if (options_.summary_ttl > Duration(0) &&
+      now_tick() - it->second.installed >= options_.summary_ttl) {
+    return false;  // expired: staleness never prunes
+  }
+  return !it->second.summary.may_contribute(query, start, oid);
+}
+
 void SiteServer::suspect_peer(SiteId peer) {
   auto it = liveness_.find(peer);
   if (it == liveness_.end() || it->second.suspected) return;
@@ -399,6 +524,11 @@ void SiteServer::suspect_peer(SiteId peer) {
   metrics().counter("dist.suspicions").inc();
   HF_WARN << "site " << store_.site() << ": suspecting site " << peer
           << " (silent past suspicion window)";
+
+  // The suspect's cached summary dies with the suspicion: if the site comes
+  // back — possibly volatile, with new content and a reset version counter —
+  // a stale summary must not keep pruning work it could now serve.
+  peer_summaries_.erase(peer);
 
   // Originations waiting on the suspect: force-finish as partial *now* —
   // the whole point of suspicion is answering within this window instead of
@@ -475,6 +605,8 @@ void SiteServer::handle(wire::Envelope env) {
     handle_move_data(std::move(*md));
   } else if (auto* lu = std::get_if<wire::LocationUpdate>(&env.message)) {
     handle_location_update(*lu);
+  } else if (auto* sm = std::get_if<wire::SummaryMessage>(&env.message)) {
+    handle_summary(src, std::move(*sm));
   } else if (auto* qd = std::get_if<wire::QueryDone>(&env.message)) {
     handle_done(*qd);
   }
@@ -611,6 +743,17 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
     return;
   }
 
+  // Fan-out pruning (DESIGN.md §16): skip the message entirely when the
+  // destination's cached summary is fresh and proves this item cannot
+  // contribute there. Unlike the suspicion drop above this is NOT a loss —
+  // the summary's never-false-negative guarantee makes the skipped work
+  // provably fruitless, so the reply stays exact and unflagged.
+  if (summary_prunes(dest, p.exec->query(), item.start, item.id)) {
+    ++p.span.pruned;
+    metrics().counter("dist.prunes").inc();
+    return;
+  }
+
   if (options_.batch_remote_derefs) {
     wire::DerefEntry entry;
     entry.oid = item.id;
@@ -701,6 +844,14 @@ void SiteServer::handle_deref(SiteId src, wire::DerefRequest dr) {
   note_engagement(p, dr.hop, dr.path);
   ds_on_computation_message(dr.qid, p, src);
   repay_weight(dr.qid, p, Weight::from_exponents(dr.weight));
+
+  // Prune effectiveness accounting: if our own current summary would have
+  // pruned this message, the sender paid for it anyway — its cache of us
+  // was missing or stale, or a Bloom false positive let it through.
+  if (summary_built_ &&
+      !own_summary_.may_contribute(dr.query, dr.start, dr.oid)) {
+    metrics().counter("dist.prune_false_positives").inc();
+  }
 
   WorkItem item;
   item.id = dr.oid;

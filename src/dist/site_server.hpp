@@ -46,6 +46,7 @@
 #include "common/trace.hpp"
 #include "engine/execution.hpp"
 #include "engine/parallel_execution.hpp"
+#include "index/site_summary.hpp"
 #include "naming/name_registry.hpp"
 #include "net/endpoint.hpp"
 #include "store/site_store.hpp"
@@ -128,6 +129,27 @@ struct SiteServerOptions {
   /// the event loop cannot answer pings mid-drain, so an aggressive window
   /// turns a slow site into a falsely suspected one.
   Duration suspect_after = Duration(0);
+  /// Site-summary exchange + remote fan-out pruning (DESIGN.md §16).
+  /// 0 = disabled. When set, the site rebuilds its SiteSummary (a Bloom
+  /// filter over everything it stores, index/site_summary.hpp) whenever the
+  /// store has mutated, advertises it to `summary_peers` on this cadence,
+  /// and — before forwarding a dereference — tests the query against the
+  /// cached summary of the destination, skipping sites that provably cannot
+  /// contribute. Pruning is conservative: a missing, expired, or
+  /// version-regressed summary never prunes, so results stay exact.
+  Duration summary_interval = Duration(0);
+  /// A cached peer summary older than this never prunes (it may still be
+  /// *replaced* by any incoming record, even a version-regressed one — an
+  /// expired cache entry carries no authority). 0 = never expires.
+  Duration summary_ttl = Duration(0);
+  /// Sites this server advertises its summary to. Cluster fills this with
+  /// the whole deployment when summaries are enabled and the list is empty.
+  std::vector<SiteId> summary_peers;
+  /// Relay cached peer records alongside our own record (epidemic spread on
+  /// sparse topologies). Receivers order gossiped records by their embedded
+  /// (epoch, version) and never treat them as liveness evidence for their
+  /// origin — only the frame's direct sender proved itself alive.
+  bool summary_gossip = true;
 };
 
 class SiteServer {
@@ -168,6 +190,11 @@ class SiteServer {
   /// Number of live query contexts (for tests: must drop to 0 after
   /// QueryDone).
   HF_ANY_THREAD std::size_t context_count() const;
+
+  /// Number of peer summaries currently cached (for tests and benches:
+  /// summary convergence means every site caches every other site's
+  /// summary). Snapshot refreshed once per loop tick, like context_count().
+  HF_ANY_THREAD std::size_t summary_count() const;
 
  private:
   struct Participation {
@@ -248,6 +275,13 @@ class SiteServer {
     bool suspected = false;
   };
 
+  /// One cached peer summary plus when it was installed (the staleness
+  /// clock summary_ttl runs against).
+  struct CachedSummary {
+    index::SiteSummary summary;
+    std::chrono::steady_clock::time_point installed;
+  };
+
   HF_EVENT_LOOP_ONLY void run_loop();
   /// Crash recovery + WAL attach (constructor, when wal_dir is set).
   void recover_durable_state();
@@ -284,6 +318,26 @@ class SiteServer {
   HF_EVENT_LOOP_ONLY void handle_move_data(wire::MoveData md);
   HF_EVENT_LOOP_ONLY void handle_location_update(
       const wire::LocationUpdate& lu);
+  /// Install gossiped summary records: each record is accepted iff its
+  /// (epoch, version) is strictly newer than the cached one for that origin
+  /// (or the cached one has aged past summary_ttl). Never touches liveness —
+  /// a gossiped record is hearsay about its origin, not a frame from it.
+  HF_EVENT_LOOP_ONLY void handle_summary(SiteId src, wire::SummaryMessage sm);
+  /// The install side effect of handle_summary, factored out so the
+  /// hfverify ordering rule sees it by name (allowlist SIDE_EFFECT_CALLS):
+  /// it must never run before the handler's dedup guard.
+  HF_EVENT_LOOP_ONLY void install_summary(
+      wire::SummaryRecord rec, std::chrono::steady_clock::time_point now);
+  /// Periodic summary maintenance (run_loop, summary_interval > 0): rebuild
+  /// our own summary when the store has mutated since the last build, and
+  /// advertise it (plus gossiped peer records) to summary_peers.
+  HF_EVENT_LOOP_ONLY void check_summaries();
+  /// True iff `dest`'s cached summary is fresh and proves the item
+  /// (entering `query` at `start` on object `oid`) cannot contribute.
+  /// Missing/expired summaries return false: staleness never prunes.
+  HF_EVENT_LOOP_ONLY bool summary_prunes(SiteId dest, const Query& query,
+                                          std::uint32_t start,
+                                          const ObjectId& oid);
 
   Participation& participation(const wire::QueryId& qid, const Query& query);
   Origination* find_origination(const wire::QueryId& qid);
@@ -388,11 +442,36 @@ class SiteServer {
   /// are created lazily when a peer first becomes of interest.
   std::unordered_map<SiteId, PeerLiveness> liveness_ HF_EVENT_LOOP_ONLY;
 
+  // --- Site-summary exchange (summary_interval > 0, DESIGN.md §16) ---
+  /// Our own advertised summary. Rebuilt by check_summaries() whenever
+  /// store_.version() has moved past own_summary_.version.
+  index::SiteSummary own_summary_ HF_EVENT_LOOP_ONLY;
+  bool summary_built_ HF_EVENT_LOOP_ONLY = false;
+  /// Incarnation counter baked into every summary we advertise. Durable
+  /// sites recover it from `<wal_dir>/site_<id>.boot` (incremented each
+  /// boot), so a restarted site's post-crash summaries outrank its
+  /// pre-crash ones even though the store version counter restarted at the
+  /// recovered store's mutation count.
+  std::uint64_t summary_epoch_ = 0;
+  std::chrono::steady_clock::time_point last_summary_advert_;
+  /// Freshest summary we hold per origin site, however it arrived (direct
+  /// advert or gossip). suspect_peer() drops the suspect's entry: a dead
+  /// site's summary must not keep pruning after it restarts with new
+  /// content.
+  std::unordered_map<SiteId, CachedSummary> peer_summaries_ HF_EVENT_LOOP_ONLY;
+  /// Duplicate suppression for SummaryMessages, per sender. Site-level (no
+  /// query context to hang it on); redelivery past this guard is harmless —
+  /// installs are idempotent under the strictly-newer rule — but the guard
+  /// keeps the metrics honest and the ordering contract uniform.
+  std::unordered_map<SiteId, std::unordered_set<std::uint64_t>>
+      summary_seen_ HF_EVENT_LOOP_ONLY;
+
   /// Guards the cross-thread observer snapshots (engine_stats(),
   /// context_count() — callable from any thread while the loop runs).
   mutable Mutex stats_mu_;
   EngineStats total_stats_ HF_GUARDED_BY(stats_mu_);
   std::size_t context_count_cache_ HF_GUARDED_BY(stats_mu_) = 0;
+  std::size_t summary_count_cache_ HF_GUARDED_BY(stats_mu_) = 0;
 
   /// run_exclusive handoff: closures queued by other threads, drained by
   /// the event loop between messages (the only cross-thread channel into

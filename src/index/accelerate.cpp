@@ -135,4 +135,45 @@ std::optional<std::vector<ObjectId>> accelerate_closure(
   return out;
 }
 
+const ReachabilityIndex& IndexCache::reachability(
+    const SiteStore& store, const std::string& tuple_type,
+    const std::string& pointer_key) {
+  const std::string cache_key = tuple_type + "|" + pointer_key;
+  ReachEntry& e = reach_[cache_key];
+  if (e.idx == nullptr || e.version != store.version()) {
+    e.idx = std::make_unique<ReachabilityIndex>(store, tuple_type, pointer_key);
+    e.version = store.version();
+    ++builds_;
+  }
+  return *e.idx;
+}
+
+const AttributeIndex& IndexCache::attribute(const SiteStore& store,
+                                            const std::string& type,
+                                            const std::string& key) {
+  const std::string cache_key = type + "|" + key;
+  AttrEntry& e = attr_[cache_key];
+  if (e.idx == nullptr || e.version != store.version()) {
+    e.idx = std::make_unique<AttributeIndex>(store, type, key);
+    e.version = store.version();
+    ++builds_;
+  }
+  return *e.idx;
+}
+
+void IndexCache::clear() {
+  reach_.clear();
+  attr_.clear();
+}
+
+std::optional<std::vector<ObjectId>> accelerate_closure(const SiteStore& store,
+                                                        IndexCache& cache,
+                                                        const Query& q) {
+  auto shape = match_closure_shape(q);
+  if (!shape.has_value()) return std::nullopt;
+  const ReachabilityIndex& reach =
+      cache.reachability(store, shape->tuple_type, shape->pointer_key);
+  return accelerate_closure(store, reach, q);
+}
+
 }  // namespace hyperfile::index

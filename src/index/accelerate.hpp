@@ -25,9 +25,13 @@
 //   * the initial set resolves in the given store.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "index/attribute_index.hpp"
 #include "index/reachability_index.hpp"
 #include "query/query.hpp"
 
@@ -50,5 +54,50 @@ std::optional<ClosureShape> match_closure_shape(const Query& q);
 /// identical to what the engine would produce.
 std::optional<std::vector<ObjectId>> accelerate_closure(
     const SiteStore& store, const ReachabilityIndex& reach, const Query& q);
+
+/// Memoized index builds. Building a ReachabilityIndex is a full-store
+/// transitive closure — paying it per query erases the point of having an
+/// index. The cache keys every built index on the (type, key) traversal
+/// class *and* the store's mutation counter (SiteStore::version()), so a
+/// repeated query reuses the structure and any store mutation invalidates
+/// it on the next lookup. Externally synchronized, like the store itself.
+class IndexCache {
+ public:
+  /// The reachability index over `store` for (tuple_type, pointer_key),
+  /// building it only if no current-version copy is cached.
+  const ReachabilityIndex& reachability(const SiteStore& store,
+                                        const std::string& tuple_type,
+                                        const std::string& pointer_key);
+
+  /// Same contract for the conventional (type, key) attribute index.
+  const AttributeIndex& attribute(const SiteStore& store,
+                                  const std::string& type,
+                                  const std::string& key);
+
+  /// Total index constructions performed — the regression observable:
+  /// repeated identical queries over an unchanged store add nothing here.
+  std::size_t builds() const { return builds_; }
+
+  void clear();
+
+ private:
+  struct ReachEntry {
+    std::uint64_t version;
+    std::unique_ptr<ReachabilityIndex> idx;
+  };
+  struct AttrEntry {
+    std::uint64_t version;
+    std::unique_ptr<AttributeIndex> idx;
+  };
+  std::unordered_map<std::string, ReachEntry> reach_;
+  std::unordered_map<std::string, AttrEntry> attr_;
+  std::size_t builds_ = 0;
+};
+
+/// As above, but the traversal index is built (or reused) via `cache`
+/// instead of being the caller's problem — the form query paths should use.
+std::optional<std::vector<ObjectId>> accelerate_closure(const SiteStore& store,
+                                                        IndexCache& cache,
+                                                        const Query& q);
 
 }  // namespace hyperfile::index

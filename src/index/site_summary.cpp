@@ -1,0 +1,289 @@
+#include "index/site_summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_set>
+#include <variant>
+
+#include "common/hash.hpp"
+
+namespace hyperfile::index {
+namespace {
+
+/// Protocol constant: every site must hash identically or probes against a
+/// peer's filter would be meaningless.
+constexpr std::uint64_t kBloomSeed = 0x48595046'32303236ULL;  // "HYPF2026"
+
+constexpr std::size_t kBitsPerEntry = 10;
+constexpr std::uint32_t kDefaultHashes = 7;  // round(ln2 * 10)
+constexpr std::int64_t kMaxRangeProbe = 16;
+
+/// A name field (tuple type / key) the pattern pins to one exact string:
+/// a string literal, or an "^lit$" regex fast path. Non-string literals in
+/// a name field can match no tuple at all — reported via `impossible`.
+std::optional<std::string> exact_name(const Pattern& p, bool* impossible) {
+  switch (p.kind()) {
+    case PatternKind::kLiteral:
+      if (!p.literal_value().is_string()) {
+        *impossible = true;
+        return std::nullopt;
+      }
+      return p.literal_value().as_string();
+    case PatternKind::kRegex:
+      if (p.fast_path() == RegexFastPath::kExact) return p.fast_text();
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string id_probe(const ObjectId& id) {
+  return "I|" + std::to_string(id.birth_site) + ":" + std::to_string(id.seq);
+}
+
+std::string value_canon(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "0";
+    case ValueKind::kString:
+      return "S:" + v.as_string();
+    case ValueKind::kNumber:
+      return "N:" + std::to_string(v.as_number());
+    case ValueKind::kPointer:
+      return "O:" + std::to_string(v.as_pointer().birth_site) + ":" +
+             std::to_string(v.as_pointer().seq);
+    case ValueKind::kBlob:
+      return "B";  // blobs are opaque; never used to refute
+  }
+  return "B";
+}
+
+BloomFilter BloomFilter::with_capacity(std::size_t expected_entries) {
+  BloomFilter f;
+  const std::size_t bits = std::max<std::size_t>(
+      256, expected_entries * kBitsPerEntry);
+  f.bits_.assign((bits + 7) / 8, 0);
+  f.hashes_ = kDefaultHashes;
+  return f;
+}
+
+BloomFilter BloomFilter::from_parts(std::vector<std::uint8_t> bits,
+                                    std::uint32_t hashes,
+                                    std::uint64_t entries) {
+  BloomFilter f;
+  f.bits_ = std::move(bits);
+  f.hashes_ = hashes;
+  f.entries_ = entries;
+  return f;
+}
+
+void BloomFilter::insert(std::string_view s) {
+  if (bits_.empty()) return;
+  const std::uint64_t m = bit_count();
+  KHashFamily h(kBloomSeed, reinterpret_cast<const std::uint8_t*>(s.data()),
+                s.size());
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t b = h.index(i, m);
+    bits_[b / 8] |= static_cast<std::uint8_t>(1u << (b % 8));
+  }
+  ++entries_;
+}
+
+bool BloomFilter::maybe_contains(std::string_view s) const {
+  if (bits_.empty() || hashes_ == 0) return false;  // empty site: nothing
+  const std::uint64_t m = bit_count();
+  KHashFamily h(kBloomSeed, reinterpret_cast<const std::uint8_t*>(s.data()),
+                s.size());
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t b = h.index(i, m);
+    if ((bits_[b / 8] & (1u << (b % 8))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::analytic_fp_rate() const {
+  if (bits_.empty() || hashes_ == 0) return 0.0;
+  const double m = static_cast<double>(bit_count());
+  const double k = static_cast<double>(hashes_);
+  const double n = static_cast<double>(entries_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+SiteSummary SiteSummary::build(const SiteStore& store) {
+  std::unordered_set<std::string> probes;
+  store.for_each([&](const Object& obj) {
+    probes.insert(id_probe(obj.id()));
+    for (const Tuple& t : obj.tuples()) {
+      probes.insert("T|" + t.type);
+      const std::string tk = t.type + "|" + t.key;
+      probes.insert("K|" + tk);
+      if (!t.data.is_blob()) {
+        probes.insert("V|" + tk + "|" + value_canon(t.data));
+      }
+      if (t.data.is_string()) {
+        const std::string& s = t.data.as_string();
+        if (s.size() >= 4) probes.insert("P4|" + tk + "|" + s.substr(0, 4));
+        if (s.size() >= 8) probes.insert("P8|" + tk + "|" + s.substr(0, 8));
+      }
+      if (t.data.is_pointer() && !store.contains(t.data.as_pointer())) {
+        probes.insert("R|" + tk);
+        probes.insert("R|*");
+      }
+    }
+  });
+
+  SiteSummary s;
+  s.origin = store.site();
+  s.version = store.version();
+  s.filter = BloomFilter::with_capacity(probes.size());
+  for (const std::string& p : probes) s.filter.insert(p);
+  return s;
+}
+
+/// Can this selection match *no* tuple at the summarized site? Only
+/// binding-independent evidence counts; every "can't tell" answers false.
+bool SiteSummary::refutes(const SelectFilter& sf) const {
+  bool impossible = false;
+  const auto type = exact_name(sf.type_pattern, &impossible);
+  if (impossible) return true;  // non-string literal in the type field
+  const auto key = exact_name(sf.key_pattern, &impossible);
+  if (impossible) return true;
+  if (!type.has_value()) return false;
+  if (!key.has_value()) return !filter.maybe_contains("T|" + *type);
+
+  const std::string tk = *type + "|" + *key;
+  // No (type, key) tuple at all refutes every data pattern.
+  if (!filter.maybe_contains("K|" + tk)) return true;
+
+  const Pattern& d = sf.data_pattern;
+  switch (d.kind()) {
+    case PatternKind::kLiteral: {
+      const Value& v = d.literal_value();
+      if (v.is_blob()) return false;  // blobs have no canonical probe
+      return !filter.maybe_contains("V|" + tk + "|" + value_canon(v));
+    }
+    case PatternKind::kRegex:
+      switch (d.fast_path()) {
+        case RegexFastPath::kExact:
+          return !filter.maybe_contains("V|" + tk + "|S:" + d.fast_text());
+        case RegexFastPath::kPrefix: {
+          const std::string& p = d.fast_text();
+          if (p.size() >= 8) {
+            return !filter.maybe_contains("P8|" + tk + "|" + p.substr(0, 8));
+          }
+          if (p.size() >= 4) {
+            return !filter.maybe_contains("P4|" + tk + "|" + p.substr(0, 4));
+          }
+          return false;
+        }
+        default:
+          return false;  // contains / suffix / general regex
+      }
+    case PatternKind::kRange: {
+      if (d.range_hi() < d.range_lo()) return true;  // empty range
+      const std::int64_t span = d.range_hi() - d.range_lo();
+      if (span >= kMaxRangeProbe) return false;
+      for (std::int64_t x = d.range_lo(); x <= d.range_hi(); ++x) {
+        if (filter.maybe_contains("V|" + tk + "|N:" + std::to_string(x))) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;  // any / bind / use / retrieve: K probe was the limit
+  }
+}
+
+/// Is every dereference reachable in [low..n] provably unable to leave the
+/// summarized site? A deref fans out only along pointers bound by selects
+/// *inside the reachable window* (matching variables are not shipped with
+/// remote work items, so bindings made before `low` do not exist at the
+/// peer). Each binding select with exact type+key probes the precise
+/// remote-edge class "R|t|k"; anything fuzzier falls back to "R|*".
+bool SiteSummary::fanout_confined(const Query& q, std::uint32_t low,
+                                  std::uint32_t n) const {
+  for (std::uint32_t i = low; i <= n; ++i) {
+    const auto* deref = std::get_if<DerefFilter>(&q.filter(i));
+    if (deref == nullptr) continue;
+    for (std::uint32_t j = low; j <= n; ++j) {
+      const auto* sel = std::get_if<SelectFilter>(&q.filter(j));
+      if (sel == nullptr) continue;
+      const bool binds_var =
+          (sel->type_pattern.binds() && sel->type_pattern.var() == deref->var) ||
+          (sel->key_pattern.binds() && sel->key_pattern.var() == deref->var) ||
+          (sel->data_pattern.binds() && sel->data_pattern.var() == deref->var);
+      if (!binds_var) continue;
+      bool impossible = false;
+      const auto type = exact_name(sel->type_pattern, &impossible);
+      const auto key = exact_name(sel->key_pattern, &impossible);
+      if (impossible) continue;  // the binding select can never match
+      const bool precise =
+          type.has_value() && key.has_value() && sel->data_pattern.binds();
+      const std::string probe =
+          precise ? "R|" + *type + "|" + *key : std::string("R|*");
+      if (filter.maybe_contains(probe)) return false;
+    }
+  }
+  return true;
+}
+
+bool SiteSummary::may_contribute(const Query& q, std::uint32_t start,
+                                 const ObjectId& target) const {
+  if (!q.retrieve_slots().empty()) return true;
+  const std::uint32_t n = q.size();
+  if (start < 1 || start > n) return true;  // item is already a result
+  // An id the site never stored still owes the sender a miss-redirect.
+  if (!filter.maybe_contains(id_probe(target))) return true;
+
+  // Reachable window: positions the item can visit. Iterate jumps move
+  // backward only, so the window is an interval [low..n]; fixpoint over
+  // bodies of iterates inside it.
+  std::uint32_t low = start;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::uint32_t i = low; i <= n; ++i) {
+      const auto* it = std::get_if<IterateFilter>(&q.filter(i));
+      if (it != nullptr && it->body_start < low) {
+        low = it->body_start;
+        changed = true;
+      }
+    }
+  }
+
+  std::uint32_t first_deref = n + 1;
+  std::uint32_t last_deref = 0;
+  for (std::uint32_t i = low; i <= n; ++i) {
+    if (std::holds_alternative<DerefFilter>(q.filter(i))) {
+      first_deref = std::min(first_deref, i);
+      last_deref = i;
+    }
+  }
+
+  // (a) Selections the item must pass before it can reach any dereference
+  // (or, with no dereference at all, before it can be retained): a single
+  // refuted one kills the item before it produces anything.
+  const std::uint32_t a_end = std::min(n, first_deref - 1);
+  for (std::uint32_t i = start; i <= a_end; ++i) {
+    const auto* sf = std::get_if<SelectFilter>(&q.filter(i));
+    if (sf != nullptr && refutes(*sf)) return false;
+  }
+  if (first_deref > n) return true;  // no derefs and nothing refuted
+
+  // (b) Descendants spawned by local dereferences enter at most at
+  // last_deref+1, so every retained object passes [L..n]. If one of those
+  // selections is refuted and no dereference can leave the site, the whole
+  // computation dies there.
+  if (!fanout_confined(q, low, n)) return true;
+  const std::uint32_t tail = std::max(start, last_deref + 1);
+  for (std::uint32_t i = tail; i <= n; ++i) {
+    const auto* sf = std::get_if<SelectFilter>(&q.filter(i));
+    if (sf != nullptr && refutes(*sf)) return false;
+  }
+  return true;
+}
+
+}  // namespace hyperfile::index

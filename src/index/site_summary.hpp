@@ -1,0 +1,135 @@
+// Distributed site summaries (ROADMAP "prune remote fan-out"; Bloofi and
+// ViP2P in PAPERS.md ground the idea): each site condenses *what it stores*
+// into a Bloom filter that peers cache and consult before forwarding a
+// query along a remote pointer. A summary can prove a site irrelevant to a
+// query — it can never prove it relevant — so pruning on a summary is
+// always conservative: a false positive only costs the message we would
+// have sent anyway, and a missing/expired/version-regressed summary never
+// prunes (DESIGN.md §16).
+//
+// The filter holds namespaced probe strings derived from every stored
+// tuple, plus structural facts the pruning proof needs:
+//   "I|b:s"        an object with id (birth b, seq s) is stored here;
+//   "T|t"          some tuple of type t exists;
+//   "K|t|k"        some (t, k) tuple exists;
+//   "V|t|k|c"      some (t, k) tuple carries data with canonical form c;
+//   "P4|t|k|p"     some (t, k) string datum starts with the 4 bytes p
+//   "P8|t|k|p"     (resp. 8) — serves kPrefix/kExact regex fast paths;
+//   "R|t|k", "R|*" some (t, k) pointer tuple targets an object NOT stored
+//                  here (a remote edge: dereferencing it leaves the site).
+//
+// may_contribute() is the pruning proof. Shipping a work item to a peer can
+// contribute to a query's answer in exactly three ways: the item survives
+// the remaining filters into the result, a dereference it passes fans work
+// out to further sites, or a retrieval pattern emits values. The proof
+// shows none is possible from the peer's summarized content alone; see the
+// member comment for the exact argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/object_id.hpp"
+#include "query/query.hpp"
+#include "store/site_store.hpp"
+
+namespace hyperfile::index {
+
+/// Plain Bloom filter over strings with a seeded k-hash family
+/// (common/hash.hpp, Kirsch–Mitzenmacher double hashing). Never reports a
+/// false negative; the false-positive rate follows the analytic
+/// (1 - e^{-kn/m})^k bound (test_summary holds the measured rate to 2× of
+/// it).
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sized for `expected_entries` at ~10 bits/entry (fp ≈ 0.8% at k=7).
+  static BloomFilter with_capacity(std::size_t expected_entries);
+
+  /// Reassemble from wire parts (SummaryRecord).
+  static BloomFilter from_parts(std::vector<std::uint8_t> bits,
+                                std::uint32_t hashes, std::uint64_t entries);
+
+  void insert(std::string_view s);
+
+  /// false = provably never inserted; true = possibly inserted.
+  bool maybe_contains(std::string_view s) const;
+
+  std::uint64_t bit_count() const { return bits_.size() * 8; }
+  std::uint32_t hash_count() const { return hashes_; }
+  std::uint64_t entries() const { return entries_; }
+  const std::vector<std::uint8_t>& bytes() const { return bits_; }
+
+  /// (1 - e^{-kn/m})^k for the current (m, k, n).
+  double analytic_fp_rate() const;
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
+    return a.bits_ == b.bits_ && a.hashes_ == b.hashes_ &&
+           a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::uint32_t hashes_ = 0;
+  std::uint64_t entries_ = 0;
+};
+
+/// Canonical probe strings shared by the builder and the prover (exposed
+/// for tests).
+std::string id_probe(const ObjectId& id);
+std::string value_canon(const Value& v);
+
+/// One site's content summary. `epoch` counts the site's incarnations
+/// (durable sites persist it across crashes), `version` is the store's
+/// mutation counter at build time; (epoch, version) orders summaries
+/// lexicographically so a restarted site's fresh summary always supersedes
+/// its pre-crash one even though the version counter restarts.
+struct SiteSummary {
+  SiteId origin = kNoSite;
+  std::uint64_t epoch = 0;
+  std::uint64_t version = 0;
+  BloomFilter filter;
+
+  /// Condense `store` (epoch is the caller's to fill in).
+  static SiteSummary build(const SiteStore& store);
+
+  /// Pruning proof: may forwarding (q, start, target) to the summarized
+  /// site possibly contribute to the answer? Returns false only when the
+  /// summary *proves* it cannot:
+  ///
+  ///  * Work flows forward through filters; iterate jumps only move
+  ///    backward, so an item entering at `start` passes every position in
+  ///    [start..n] at least once, and a refuted selection in that span
+  ///    before the first reachable dereference kills the item before it
+  ///    can produce anything.
+  ///  * Otherwise the item (or a locally dereferenced descendant) might be
+  ///    retained — unless every selection common to all descendants (the
+  ///    span after the last reachable dereference) is refuted AND no
+  ///    reachable dereference can fan out remotely (no "R" probe hits for
+  ///    its traversal classes), confining the dead computation to the site.
+  ///  * "Refuted" uses only binding-independent evidence: literal / exact /
+  ///    prefix / small-range patterns probed against the filter. Anything
+  ///    else (contains/suffix/general regex, $X, blob literals) passes.
+  ///  * A target id the site provably never stored is NOT a prune: the
+  ///    peer must still serve the miss-redirect chase (naming, DESIGN §4).
+  ///  * Queries with retrieval slots are never pruned (emissions from
+  ///    filters before a refuted selection would be lost).
+  bool may_contribute(const Query& q, std::uint32_t start,
+                      const ObjectId& target) const;
+
+  friend bool operator==(const SiteSummary& a, const SiteSummary& b) {
+    return a.origin == b.origin && a.epoch == b.epoch &&
+           a.version == b.version && a.filter == b.filter;
+  }
+
+ private:
+  bool refutes(const SelectFilter& sf) const;
+  bool fanout_confined(const Query& q, std::uint32_t low,
+                       std::uint32_t n) const;
+};
+
+}  // namespace hyperfile::index

@@ -107,6 +107,11 @@ class Pattern {
 
   RegexFastPath fast_path() const { return fast_; }
 
+  /// The literal a non-kNone fast path compares against (empty otherwise).
+  /// Exposed so site summaries can probe kPrefix/kExact regexes against a
+  /// peer's Bloom filter the same way the engine would match them.
+  const std::string& fast_text() const { return fast_text_; }
+
   friend bool operator==(const Pattern& a, const Pattern& b);
   friend bool operator!=(const Pattern& a, const Pattern& b) { return !(a == b); }
 

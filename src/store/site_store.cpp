@@ -44,12 +44,14 @@ void SiteStore::apply_wal_record(const WalRecord& rec) {
   // next_seq only ever moves forward: a record's snapshot of the allocator
   // never un-allocates ids handed out later.
   if (rec.next_seq > next_seq_) next_seq_ = rec.next_seq;
+  ++version_;
 }
 
 ObjectId SiteStore::put(Object obj) {
   if (!obj.id().valid()) obj.set_id(allocate());
   const ObjectId id = obj.id();
   objects_[id] = std::move(obj);
+  ++version_;
   log_put(objects_[id]);
   return id;
 }
@@ -67,6 +69,7 @@ const Object* SiteStore::get(const ObjectId& id) const {
 
 bool SiteStore::erase(const ObjectId& id) {
   if (objects_.erase(id) == 0) return false;
+  ++version_;
   log_erase(id);
   return true;
 }
@@ -76,6 +79,7 @@ std::optional<Object> SiteStore::take(const ObjectId& id) {
   if (it == objects_.end()) return std::nullopt;
   Object obj = std::move(it->second);
   objects_.erase(it);
+  ++version_;
   log_erase(id);
   return obj;
 }
@@ -88,6 +92,7 @@ Result<void> SiteStore::modify(const ObjectId& id,
   }
   mutator(it->second);
   it->second.set_id(id);  // identity is immutable
+  ++version_;
   log_put(it->second);
   return {};
 }
@@ -166,6 +171,7 @@ ObjectId SiteStore::create_set(const std::string& name,
 
 void SiteStore::bind_set(const std::string& name, const ObjectId& id) {
   named_sets_[name] = id;
+  ++version_;
   if (wal_ == nullptr) return;
   // hfverify: allow-blocking(wal-append): redo-before-ack (DESIGN.md §13).
   if (auto r = wal_->append(WalRecord::bind_set(name, id, next_seq_));

@@ -58,6 +58,12 @@ class SiteStore {
   LocalSeq next_seq() const { return next_seq_; }
   void set_next_seq(LocalSeq seq) { next_seq_ = seq; }
 
+  /// Monotonic mutation counter: bumped by every mutator (put / erase /
+  /// take / modify / bind_set / replayed WAL records). Derived structures
+  /// (index caches, site summaries) key their freshness on it — equal
+  /// version means provably unchanged content.
+  std::uint64_t version() const { return version_; }
+
   /// Store `obj`. If its id is invalid a fresh local id is assigned.
   /// Returns the id under which the object is stored. Overwrites any
   /// existing object with the same id (HyperFile edits replace tuples).
@@ -134,6 +140,7 @@ class SiteStore {
 
   SiteId site_;
   LocalSeq next_seq_ = 1;
+  std::uint64_t version_ = 0;
   std::unordered_map<ObjectId, Object> objects_;
   std::unordered_map<std::string, ObjectId> named_sets_;
   WriteAheadLog* wal_ = nullptr;

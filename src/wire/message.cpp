@@ -19,6 +19,7 @@ enum class Tag : std::uint8_t {
   kLocationUpdate = 11,
   kMoveReply = 12,
   kPing = 13,
+  kSummary = 14,
 };
 
 void encode_qid(Encoder& e, const QueryId& q) {
@@ -68,6 +69,7 @@ void encode_span(Encoder& e, const TraceSpan& s) {
   e.varint(s.drain_us);
   e.varint(s.retries);
   e.varint(s.suspicions);
+  e.varint(s.pruned);
 }
 
 Result<TraceSpan> decode_span(Decoder& d) {
@@ -110,6 +112,9 @@ Result<TraceSpan> decode_span(Decoder& d) {
   auto suspicions = d.varint();
   if (!suspicions.ok()) return suspicions.error();
   s.suspicions = suspicions.value();
+  auto pruned = d.varint();
+  if (!pruned.ok()) return pruned.error();
+  s.pruned = pruned.value();
   return s;
 }
 
@@ -132,6 +137,38 @@ Result<std::vector<TraceSpan>> decode_spans(Decoder& d) {
     spans.push_back(std::move(s).value());
   }
   return spans;
+}
+
+void encode_summary_record(Encoder& e, const SummaryRecord& r) {
+  e.varint(r.origin);
+  e.varint(r.epoch);
+  e.varint(r.version);
+  e.varint(r.hash_count);
+  e.varint(r.entries);
+  e.bytes(r.bits);
+}
+
+Result<SummaryRecord> decode_summary_record(Decoder& d) {
+  SummaryRecord r;
+  auto origin = d.varint();
+  if (!origin.ok()) return origin.error();
+  r.origin = static_cast<SiteId>(origin.value());
+  auto epoch = d.varint();
+  if (!epoch.ok()) return epoch.error();
+  r.epoch = epoch.value();
+  auto version = d.varint();
+  if (!version.ok()) return version.error();
+  r.version = version.value();
+  auto hashes = d.varint();
+  if (!hashes.ok()) return hashes.error();
+  r.hash_count = static_cast<std::uint32_t>(hashes.value());
+  auto entries = d.varint();
+  if (!entries.ok()) return entries.error();
+  r.entries = entries.value();
+  auto bits = d.bytes();
+  if (!bits.ok()) return bits.error();
+  r.bits = std::move(bits).value();
+  return r;
 }
 
 void encode_ids(Encoder& e, const std::vector<ObjectId>& ids) {
@@ -185,6 +222,8 @@ const char* message_type_name(const Message& m) {
       return "MoveReply";
     case 12:
       return "PingMessage";
+    case 13:
+      return "SummaryMessage";
   }
   return "?";
 }
@@ -264,6 +303,11 @@ Bytes encode_message(const Message& m) {
   } else if (const auto* pg = std::get_if<PingMessage>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kPing));
     e.u8(pg->want_reply ? 1 : 0);
+  } else if (const auto* sm = std::get_if<SummaryMessage>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kSummary));
+    e.varint(sm->records.size());
+    for (const auto& r : sm->records) encode_summary_record(e, r);
+    e.varint(sm->msg_seq);
   } else if (const auto* bd = std::get_if<BatchDerefRequest>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kBatchDeref));
     encode_qid(e, bd->qid);
@@ -593,6 +637,23 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       auto want = d.u8();
       if (!want.ok()) return want.error();
       return Message(PingMessage{want.value() != 0});
+    }
+    case Tag::kSummary: {
+      SummaryMessage sm;
+      auto n = d.varint();
+      if (!n.ok()) return n.error();
+      if (n.value() > d.remaining()) {
+        return make_error(Errc::kDecode, "summary list length exceeds input");
+      }
+      for (std::uint64_t i = 0; i < n.value(); ++i) {
+        auto r = decode_summary_record(d);
+        if (!r.ok()) return r.error();
+        sm.records.push_back(std::move(r).value());
+      }
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      sm.msg_seq = seq.value();
+      return Message(std::move(sm));
     }
   }
   return make_error(Errc::kDecode,

@@ -225,10 +225,38 @@ struct PingMessage {
   bool want_reply = false;
 };
 
+/// One site's content summary on the wire (index/site_summary.hpp,
+/// DESIGN.md §16): a Bloom filter over the site's stored tuples plus the
+/// (epoch, version) pair that orders summaries of the same origin. A
+/// record may be *gossiped* — relayed by a site other than its origin —
+/// so receivers must never treat a record's origin as the frame's sender.
+struct SummaryRecord {
+  SiteId origin = kNoSite;
+  /// Incarnation counter: durable sites persist it across crashes, so a
+  /// restarted site's summaries outrank everything it advertised before
+  /// the crash even though its store version counter restarted.
+  std::uint64_t epoch = 0;
+  /// SiteStore::version() at build time; (epoch, version) lexicographic.
+  std::uint64_t version = 0;
+  std::uint32_t hash_count = 0;
+  std::uint64_t entries = 0;
+  std::vector<std::uint8_t> bits;
+
+  friend bool operator==(const SummaryRecord&, const SummaryRecord&) = default;
+};
+
+/// Summary exchange, piggybacked on the liveness cadence (DESIGN.md §16):
+/// the sender's own current record first, optionally followed by cached
+/// peer records it is gossiping along.
+struct SummaryMessage {
+  std::vector<SummaryRecord> records;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+};
+
 using Message = std::variant<DerefRequest, StartQuery, ResultMessage, QueryDone,
                              ClientRequest, ClientReply, BatchDerefRequest,
                              TermAck, MoveCommand, MoveData, LocationUpdate,
-                             MoveReply, PingMessage>;
+                             MoveReply, PingMessage, SummaryMessage>;
 
 /// Transport envelope. src/dst are site ids; the client library occupies a
 /// site id of its own (the paper's client ran "at a separate machine from

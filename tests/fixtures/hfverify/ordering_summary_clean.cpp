@@ -1,0 +1,22 @@
+// Known-good: the summary handler consults the dedup guard first (only
+// pure accounting inside the guard block) and installs records afterwards.
+// HFVERIFY-RULE: ordering
+
+struct SummaryMessage {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_summary(int src, SummaryMessage sm) {
+    if (already_seen(src, sm.msg_seq)) {
+      inc();
+      return;
+    }
+    install_summary(sm.msg_seq);
+  }
+
+  void install_summary(std::uint64_t rec);
+  bool already_seen(int src, std::uint64_t seq);
+  void inc();
+};

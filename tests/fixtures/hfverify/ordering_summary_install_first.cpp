@@ -1,0 +1,25 @@
+// Seeded violation: a gossiped summary record is installed before the
+// duplicate check — a wire-duplicated advert re-runs the install scan (and
+// a stale relayed record could be mistaken for fresh evidence about its
+// origin, resurrecting a suspected peer's cached summary).
+// HFVERIFY-RULE: ordering
+// HFVERIFY-EXPECT: calls side effect install_summary() before the already_seen() dedup check
+
+struct SummaryMessage {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_summary(int src, SummaryMessage sm) {
+    install_summary(sm.msg_seq);
+    if (already_seen(src, sm.msg_seq)) {
+      inc();
+      return;
+    }
+  }
+
+  void install_summary(std::uint64_t rec);
+  bool already_seen(int src, std::uint64_t seq);
+  void inc();
+};

@@ -163,5 +163,74 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AccelerateEquivalence,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u,
                                            707u, 808u));
 
+// Regression: accelerated queries used to reconstruct the ReachabilityIndex
+// from scratch on every call, silently costing O(edges) per query. The
+// cache must build exactly once for repeated identical queries and
+// invalidate on store mutation.
+TEST(IndexCache, RepeatedIdenticalQueriesBuildExactlyOnce) {
+  SiteStore store(0);
+  testing::make_chain(store, 12, {0, 4, 8});
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+
+  index::IndexCache cache;
+  auto first = index::accelerate_closure(store, cache, q);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(cache.builds(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    auto again = index::accelerate_closure(store, cache, q);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(sorted(*again), sorted(*first));
+  }
+  EXPECT_EQ(cache.builds(), 1u);
+}
+
+TEST(IndexCache, MutationInvalidatesAndResultsStayCurrent) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 6, {0});
+  Query q = parse_or_die(
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)");
+
+  index::IndexCache cache;
+  auto before = index::accelerate_closure(store, cache, q);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(cache.builds(), 1u);
+
+  // Extend the chain: new tail gets the keyword, old tail points at it.
+  // Like every chain tail it must self-point to pass the iterate body.
+  ObjectId extra = store.allocate();
+  {
+    Object obj(extra);
+    obj.add(Tuple::pointer("Reference", extra));
+    obj.add(Tuple::keyword("Distributed"));
+    store.put(std::move(obj));
+  }
+  ASSERT_TRUE(store.add_tuple(ids.back(), Tuple::pointer("Reference", extra)).ok());
+
+  LocalEngine engine(store);
+  auto want = engine.run_readonly(q);
+  ASSERT_TRUE(want.ok());
+  auto after = index::accelerate_closure(store, cache, q);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(cache.builds(), 2u);  // the mutation forced exactly one rebuild
+  EXPECT_EQ(sorted(*after), sorted(want.value().ids));
+  EXPECT_NE(sorted(*after), sorted(*before));
+}
+
+TEST(IndexCache, DistinctTraversalsCacheIndependently) {
+  SiteStore store(0);
+  testing::make_chain(store, 5, {0});
+  index::IndexCache cache;
+  (void)cache.reachability(store, "pointer", "Reference");
+  (void)cache.reachability(store, "pointer", "Reference");
+  (void)cache.reachability(store, "pointer", "Other");
+  (void)cache.attribute(store, "keyword", "Distributed");
+  (void)cache.attribute(store, "keyword", "Distributed");
+  EXPECT_EQ(cache.builds(), 3u);
+  cache.clear();
+  (void)cache.reachability(store, "pointer", "Reference");
+  EXPECT_EQ(cache.builds(), 4u);
+}
+
 }  // namespace
 }  // namespace hyperfile

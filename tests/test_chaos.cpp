@@ -93,6 +93,55 @@ SiteServerOptions chaos_options(TerminationAlgorithm algo) {
   return options;
 }
 
+/// Summary exchange at test cadence (DESIGN.md §16): fast adverts, a TTL
+/// long enough that only the protocol (epoch supersession, suspicion
+/// drops), never expiry, is what keeps pruning honest in these tests.
+void enable_summaries(SiteServerOptions& o) {
+  o.summary_interval = Duration(20'000);
+  o.summary_ttl = Duration(10'000'000);
+}
+
+/// Star-of-subchains: one root at site 0 fanning "Branch" pointers to a
+/// fully local subchain per site, each subchain tagged with a *site-unique*
+/// keyword. A query for kw<s> can only be answered by site s, and every
+/// other site's summary provably refutes it — the shape where pruning
+/// actually fires (the round-robin chain above has a remote traversal edge
+/// at every hop, so its summaries conservatively never prune).
+std::vector<std::vector<ObjectId>> populate_tree(
+    const std::function<SiteStore&(SiteId)>& store_of, std::size_t sites) {
+  std::vector<std::vector<ObjectId>> subs(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      subs[s].push_back(store_of(static_cast<SiteId>(s)).allocate());
+    }
+  }
+  const ObjectId root = store_of(0).allocate();
+  {
+    Object obj(root);
+    for (std::size_t s = 0; s < sites; ++s) {
+      obj.add(Tuple::pointer("Branch", subs[s][0]));
+    }
+    store_of(0).put(std::move(obj));
+  }
+  for (std::size_t s = 0; s < sites; ++s) {
+    for (std::size_t i = 0; i < subs[s].size(); ++i) {
+      Object obj(subs[s][i]);
+      obj.add(Tuple::pointer(
+          "Branch", i + 1 < subs[s].size() ? subs[s][i + 1] : subs[s][i]));
+      obj.add(Tuple::keyword("kw" + std::to_string(s)));
+      store_of(static_cast<SiteId>(s)).put(std::move(obj));
+    }
+  }
+  store_of(0).create_set("S", std::span<const ObjectId>(&root, 1));
+  return subs;
+}
+
+Query tree_query(const std::string& kw) {
+  return parse_or_die(
+      R"(S [ (pointer, "Branch", ?X) | ^^X ]* (keyword, ")" + kw +
+      R"(", ?) -> T)");
+}
+
 /// In-process cluster whose server endpoints are wrapped in fault
 /// injectors (client links exempt, so the request/reply channel is
 /// reliable and the assertions observe the query protocol alone).
@@ -183,6 +232,39 @@ std::vector<ObjectId> check_result(const QueryResult& result,
         << "shortfall without the partial flag: silently wrong answer";
   }
   return got;
+}
+
+/// Poll until every site caches a summary from every peer.
+void wait_summaries(Cluster& cluster) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    bool converged = true;
+    for (SiteId s = 0; s < cluster.size(); ++s) {
+      if (cluster.server(s).summary_count() + 1 < cluster.size()) {
+        converged = false;
+      }
+    }
+    if (converged) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "summaries never converged";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void wait_summaries(const std::vector<std::unique_ptr<SiteServer>>& servers) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    bool converged = true;
+    for (const auto& s : servers) {
+      if (s && s->summary_count() + 1 < servers.size()) converged = false;
+    }
+    if (converged) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "summaries never converged";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 class ChaosAlgos : public ::testing::TestWithParam<TerminationAlgorithm> {};
@@ -422,6 +504,7 @@ struct TcpChaosDeployment {
   std::vector<FaultInjectingEndpoint*> injectors;  // owned by the servers
   std::unique_ptr<Client> client;
   std::vector<ObjectId> want;  // sorted true answer
+  std::vector<std::vector<ObjectId>> subchains;  // tree populate only
   bool ok = false;
   std::vector<TcpPeer> peers;    // resolved addresses, for restarts
   FaultOptions faults;           // re-applied to restarted endpoints
@@ -429,9 +512,16 @@ struct TcpChaosDeployment {
 
   TcpChaosDeployment(TerminationAlgorithm algo, const FaultOptions& faults_in,
                      SiteId sites = 3,
-                     std::function<void(SiteServerOptions&)> tweak = {})
+                     std::function<void(SiteServerOptions&)> tweak = {},
+                     bool tree = false)
       : faults(faults_in), options(chaos_options(algo)) {
     if (tweak) tweak(options);
+    // Mirror Cluster: with summaries on and no explicit peer list, every
+    // site advertises to every other site.
+    if (options.summary_interval > Duration(0) &&
+        options.summary_peers.empty()) {
+      for (SiteId s = 0; s < sites; ++s) options.summary_peers.push_back(s);
+    }
     std::vector<TcpPeer> zeros(sites + 1, TcpPeer{"127.0.0.1", 0});
     std::vector<std::unique_ptr<TcpNetwork>> nets;
     for (SiteId s = 0; s <= sites; ++s) {
@@ -456,20 +546,25 @@ struct TcpChaosDeployment {
     // Populate through the servers' stores (safe: not started yet) so that
     // when options.wal_dir is set every object lands in the log — recovery
     // from it is exactly what the crash tests exercise.
-    std::vector<ObjectId> ids;
-    for (std::size_t i = 0; i < 12; ++i) {
-      ids.push_back(servers[i % sites]->store().allocate());
+    if (tree) {
+      subchains = populate_tree(
+          [&](SiteId s) -> SiteStore& { return servers[s]->store(); }, sites);
+    } else {
+      std::vector<ObjectId> ids;
+      for (std::size_t i = 0; i < 12; ++i) {
+        ids.push_back(servers[i % sites]->store().allocate());
+      }
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        Object obj(ids[i]);
+        obj.add(Tuple::pointer("Reference",
+                               i + 1 < ids.size() ? ids[i + 1] : ids[i]));
+        if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
+        servers[i % sites]->store().put(std::move(obj));
+      }
+      servers[0]->store().create_set("S",
+                                     std::span<const ObjectId>(ids.data(), 1));
+      want = sorted({ids[0], ids[3], ids[6], ids[9]});
     }
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      Object obj(ids[i]);
-      obj.add(
-          Tuple::pointer("Reference", i + 1 < ids.size() ? ids[i + 1] : ids[i]));
-      if (i % 3 == 0) obj.add(Tuple::keyword("hit"));
-      servers[i % sites]->store().put(std::move(obj));
-    }
-    servers[0]->store().create_set("S",
-                                   std::span<const ObjectId>(ids.data(), 1));
-    want = sorted({ids[0], ids[3], ids[6], ids[9]});
 
     for (auto& s : servers) s->start();
     client = std::make_unique<Client>(std::move(nets[sites]), 0);
@@ -586,6 +681,231 @@ TEST_P(ChaosAlgos, TcpKilledSiteAnswersPartialThenRestartRecoversExact) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << "restarted site never served exact answers again";
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+// --- Summary pruning under chaos (DESIGN.md §16) ------------------------
+
+TEST_P(ChaosAlgos, InProcFaultSchedulesStayExactWithPruning) {
+  // The fault matrix again, now with summary pruning live on the topology
+  // where it actually fires: duplicated adverts must dedup, reordered
+  // (stale) adverts must lose the (epoch, version) race, and pruning must
+  // never turn a lossless schedule's exact answer into a silent shortfall.
+  // Frame conservation is not asserted here — adverts are periodic
+  // background traffic, so the injector is never quiescent.
+  for (const FaultCase& fc : fault_cases()) {
+    SCOPED_TRACE(fc.name);
+    ChaosCluster chaos(GetParam(), fc.faults, 3, enable_summaries);
+    Cluster& cluster = *chaos.cluster;
+    auto subs = populate_tree(
+        [&](SiteId s) -> SiteStore& { return cluster.store(s); }, 3);
+    cluster.start();
+    if (std::string(fc.name) == "none") wait_summaries(cluster);
+    const std::uint64_t prunes_before =
+        metrics().counter("dist.prunes").value();
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      SCOPED_TRACE("kw" + std::to_string(s));
+      Query q = tree_query("kw" + std::to_string(s));
+      const std::vector<ObjectId> want = sorted(subs[s]);
+      for (int round = 0; round < 2; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        auto r = cluster.client().run(q, Duration(30'000'000));
+        ASSERT_TRUE(r.ok()) << r.error().to_string();
+        check_result(r.value(), want, fc.lossless);
+      }
+    }
+    if (std::string(fc.name) == "none") {
+      EXPECT_GT(metrics().counter("dist.prunes").value(), prunes_before)
+          << "converged summaries never pruned a refutable deref on the "
+             "star-of-subchains topology";
+    }
+    expect_contexts_drain(cluster);
+    cluster.stop();
+  }
+}
+
+TEST_P(ChaosAlgos, RestartReAdvertisesSummaryNoPermanentFalsePrune) {
+  // The stale-summary bug this PR fixes: a site dies, restarts from its
+  // WAL, and its content moves on. Peers holding the pre-crash summary
+  // must never keep pruning derefs the recovered site could answer —
+  // suspicion drops the cached copy, and the restarted site's higher boot
+  // epoch supersedes any stale record still gossiping around.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_summary_wal_" +
+      std::to_string(static_cast<int>(GetParam()));
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  ChaosCluster chaos(GetParam(), FaultOptions{}, 3, [&](SiteServerOptions& o) {
+    o.wal_dir = wal_dir;
+    o.suspect_after = Duration(300'000);
+    enable_summaries(o);
+  });
+  Cluster& cluster = *chaos.cluster;
+  auto subs = populate_tree(
+      [&](SiteId s) -> SiteStore& { return cluster.store(s); }, 3);
+  cluster.start();
+  wait_summaries(cluster);
+
+  Query q1 = tree_query("kw1");
+  const std::vector<ObjectId> want1 = sorted(subs[1]);
+  const std::uint64_t prunes_before = metrics().counter("dist.prunes").value();
+  auto r0 = cluster.client().run(q1, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), want1);
+  EXPECT_FALSE(r0.value().partial);
+  EXPECT_GT(metrics().counter("dist.prunes").value(), prunes_before)
+      << "site 2's summary refutes kw1, so its deref must have been pruned";
+
+  // Crash site 1. Its summary is still cached at peers and says kw1 lives
+  // there, so the deref is *not* pruned — the send fails loudly and the
+  // answer comes back a flagged subset. Pruning must never convert a dead
+  // site into a silent empty "exact" result.
+  cluster.kill_site(1);
+  auto r1 = cluster.client().run(q1, Duration(30'000'000));
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), want1, /*lossless=*/false);
+  EXPECT_LT(got1.size(), want1.size());
+  EXPECT_TRUE(r1.value().partial);
+
+  // Restart from the WAL: the recovered site re-advertises and peers
+  // converge back to exact answers.
+  ASSERT_TRUE(cluster.restart_site(1).ok());
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (;;) {
+      auto r2 = cluster.client().run(q1, Duration(30'000'000));
+      ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+      auto got2 = check_result(r2.value(), want1, /*lossless=*/false);
+      if (got2 == want1) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "restarted site never served exact answers again";
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // Now the content *changes*: a keyword no pre-crash summary ever saw.
+  // If any peer kept pruning on the stale summary this query would stay
+  // empty forever; the next advert cadence must make it answerable. (The
+  // answer may transiently be empty within one advert interval of the
+  // mutation — that residual window is the documented bound, so this poll
+  // checks convergence, not per-round flags.)
+  ASSERT_TRUE(cluster.server(1)
+                  .run_exclusive([&]() -> Result<void> {
+                    return cluster.server(1).store().add_tuple(
+                        subs[1][0], Tuple::keyword("fresh"));
+                  })
+                  .ok());
+  Query qf = tree_query("fresh");
+  const std::vector<ObjectId> wantf = {subs[1][0]};
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (;;) {
+      auto rf = cluster.client().run(qf, Duration(30'000'000));
+      ASSERT_TRUE(rf.ok()) << rf.error().to_string();
+      if (sorted(rf.value().ids) == wantf) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "post-restart mutation never became visible: a stale summary "
+             "is permanently false-pruning the recovered site";
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  expect_contexts_drain(cluster);
+  cluster.stop();
+}
+
+TEST_P(ChaosAlgos, TcpFaultSchedulesStayExactWithPruning) {
+  // Same contract as the in-proc matrix, over real sockets: fault
+  // schedules mangle advert traffic too, and answers must stay exact
+  // (lossless) or flagged (lossy) with pruning live.
+  for (const FaultCase& fc : fault_cases()) {
+    SCOPED_TRACE(fc.name);
+    TcpChaosDeployment d(GetParam(), fc.faults, 3, enable_summaries,
+                         /*tree=*/true);
+    if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+    if (std::string(fc.name) == "none") wait_summaries(d.servers);
+    for (std::size_t s = 0; s < d.subchains.size(); ++s) {
+      SCOPED_TRACE("kw" + std::to_string(s));
+      Query q = tree_query("kw" + std::to_string(s));
+      const std::vector<ObjectId> want = sorted(d.subchains[s]);
+      auto r = d.client->run(q, Duration(30'000'000));
+      ASSERT_TRUE(r.ok()) << r.error().to_string();
+      check_result(r.value(), want, fc.lossless);
+    }
+  }
+}
+
+TEST_P(ChaosAlgos, TcpRestartReAdvertisesSummaryNoPermanentFalsePrune) {
+  // The kill/restart staleness regression over TCP: the restarted process
+  // rebinds its port, recovers from the WAL under a higher boot epoch, and
+  // its re-advertised summary must displace the stale cached copies so a
+  // post-restart mutation becomes queryable.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_tcp_summary_wal_" +
+      std::to_string(static_cast<int>(GetParam()));
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  TcpChaosDeployment d(
+      GetParam(), FaultOptions{}, 3,
+      [&](SiteServerOptions& o) {
+        o.wal_dir = wal_dir;
+        o.suspect_after = Duration(300'000);
+        enable_summaries(o);
+      },
+      /*tree=*/true);
+  if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+  wait_summaries(d.servers);
+
+  Query q1 = tree_query("kw1");
+  const std::vector<ObjectId> want1 = sorted(d.subchains[1]);
+  auto r0 = d.client->run(q1, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), want1);
+  EXPECT_FALSE(r0.value().partial);
+
+  d.kill(1);
+  auto r1 = d.client->run(q1, Duration(30'000'000));
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  auto got1 = check_result(r1.value(), want1, /*lossless=*/false);
+  EXPECT_LT(got1.size(), want1.size());
+  EXPECT_TRUE(r1.value().partial);
+
+  ASSERT_TRUE(d.restart(1).ok());
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      auto r2 = d.client->run(q1, Duration(30'000'000));
+      ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+      auto got2 = check_result(r2.value(), want1, /*lossless=*/false);
+      if (got2 == want1) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "restarted site never served exact answers again";
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  ASSERT_TRUE(d.servers[1]
+                  ->run_exclusive([&]() -> Result<void> {
+                    return d.servers[1]->store().add_tuple(
+                        d.subchains[1][0], Tuple::keyword("fresh"));
+                  })
+                  .ok());
+  Query qf = tree_query("fresh");
+  const std::vector<ObjectId> wantf = {d.subchains[1][0]};
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+      auto rf = d.client->run(qf, Duration(30'000'000));
+      ASSERT_TRUE(rf.ok()) << rf.error().to_string();
+      if (sorted(rf.value().ids) == wantf) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "post-restart mutation never became visible: a stale summary "
+             "is permanently false-pruning the recovered site";
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
 }
 

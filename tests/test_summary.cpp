@@ -1,0 +1,226 @@
+// Site summaries (index/site_summary.hpp, DESIGN.md §16): Bloom filter
+// guarantees (never a false negative, measured false-positive rate within
+// 2× of the analytic (m,k,n) bound), and the conservative-prune invariant —
+// may_contribute() may return false only for work the summarized site
+// provably cannot turn into results, fan-out, or retrievals.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "index/site_summary.hpp"
+#include "test_helpers.hpp"
+
+namespace hyperfile {
+namespace {
+
+using index::BloomFilter;
+using index::SiteSummary;
+using testing::parse_or_die;
+using testing::sorted;
+
+std::string random_token(Rng& rng, std::size_t len) {
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng.next_below(26));
+  }
+  return s;
+}
+
+TEST(Bloom, NeverForgetsAnInsertedEntry) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    BloomFilter f = BloomFilter::with_capacity(2000);
+    std::vector<std::string> inserted;
+    for (int i = 0; i < 2000; ++i) {
+      inserted.push_back(random_token(rng, 4 + rng.next_below(20)));
+      f.insert(inserted.back());
+    }
+    for (const std::string& s : inserted) {
+      EXPECT_TRUE(f.maybe_contains(s)) << s;
+    }
+  }
+}
+
+TEST(Bloom, MeasuredFpRateWithinTwiceAnalyticBound) {
+  Rng rng(0xB10F);
+  BloomFilter f = BloomFilter::with_capacity(2000);
+  std::unordered_set<std::string> inserted;
+  while (inserted.size() < 2000) {
+    const std::string s = random_token(rng, 12);
+    if (inserted.insert(s).second) f.insert(s);
+  }
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+  while (probes < 50000) {
+    const std::string s = random_token(rng, 13);  // disjoint length: absent
+    ++probes;
+    if (f.maybe_contains(s)) ++hits;
+  }
+  const double measured = static_cast<double>(hits) / probes;
+  const double analytic = f.analytic_fp_rate();
+  ASSERT_GT(analytic, 0.0);
+  EXPECT_LE(measured, 2.0 * analytic)
+      << "measured " << measured << " vs analytic " << analytic;
+}
+
+TEST(Bloom, EmptyFilterClaimsNothing) {
+  BloomFilter f;
+  EXPECT_FALSE(f.maybe_contains("anything"));
+  BloomFilter sized = BloomFilter::with_capacity(10);
+  EXPECT_FALSE(sized.maybe_contains("anything"));
+}
+
+TEST(Bloom, WirePartsReassembleIdentically) {
+  BloomFilter f = BloomFilter::with_capacity(50);
+  for (int i = 0; i < 50; ++i) f.insert("entry" + std::to_string(i));
+  BloomFilter back =
+      BloomFilter::from_parts(f.bytes(), f.hash_count(), f.entries());
+  EXPECT_EQ(back, f);
+  EXPECT_TRUE(back.maybe_contains("entry7"));
+}
+
+constexpr char kClosureHit[] =
+    R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Distributed", ?) -> T)";
+constexpr char kClosureMiss[] =
+    R"(S [ (pointer, "Reference", ?X) | ^^X ]* (keyword, "Absent", ?) -> T)";
+
+TEST(SummaryPrune, RefutesQueryForAbsentKeyword) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 8, {0, 3});
+  SiteSummary s = SiteSummary::build(store);
+  const Query hit = parse_or_die(kClosureHit);
+  const Query miss = parse_or_die(kClosureMiss);
+  // The stored keyword can contribute; the absent one provably cannot (the
+  // chain is self-contained, so the dead computation cannot leave the site).
+  EXPECT_TRUE(s.may_contribute(hit, 1, ids[2]));
+  EXPECT_FALSE(s.may_contribute(miss, 1, ids[2]));
+}
+
+TEST(SummaryPrune, AbsentTargetIdNeverPruned) {
+  SiteStore store(0);
+  testing::make_chain(store, 4);
+  SiteSummary s = SiteSummary::build(store);
+  // Even a hopeless query must be sent when the site never stored the
+  // target: the peer owes the sender the miss-redirect chase (naming §4).
+  const ObjectId foreign(9, 1234);
+  EXPECT_TRUE(s.may_contribute(parse_or_die(kClosureMiss), 1, foreign));
+}
+
+TEST(SummaryPrune, RetrieveSlotsNeverPruned) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 4);
+  SiteSummary s = SiteSummary::build(store);
+  const Query q = parse_or_die(
+      R"(S (string, "Name", ->v) (keyword, "Absent", ?) -> T)");
+  ASSERT_FALSE(q.retrieve_slots().empty());
+  EXPECT_TRUE(s.may_contribute(q, 1, ids[0]));
+}
+
+TEST(SummaryPrune, RemoteEdgePreventsPrune) {
+  // Objects whose traversal pointers leave the site: a refuted tail
+  // selection is NOT enough to prune, because the fan-out could reach a
+  // third site where the selection succeeds.
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  const ObjectId remote(7, 99);  // not stored here
+  {
+    Object obj(a);
+    obj.add(Tuple::pointer("Reference", remote));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  SiteSummary s = SiteSummary::build(store);
+  EXPECT_TRUE(s.may_contribute(parse_or_die(kClosureMiss), 1, a));
+}
+
+TEST(SummaryPrune, OpaquePatternsNeverRefute) {
+  SiteStore store(0);
+  auto ids = testing::make_chain(store, 4);
+  SiteSummary s = SiteSummary::build(store);
+  // contains-style regex: binding-independent refutation is impossible.
+  const Query q = parse_or_die(
+      R"(S (string, "Name", /.*zzz.*/) -> T)");
+  EXPECT_TRUE(s.may_contribute(q, 1, ids[0]));
+  // Absent exact string still refutes.
+  const Query exact = parse_or_die(R"(S (string, "Name", "nope") -> T)");
+  EXPECT_FALSE(s.may_contribute(exact, 1, ids[0]));
+  // Present exact string does not.
+  const Query present = parse_or_die(R"(S (string, "Name", "obj1") -> T)");
+  EXPECT_TRUE(s.may_contribute(present, 1, ids[0]));
+}
+
+TEST(SummaryPrune, SmallRangeRefutedLargeRangePasses) {
+  SiteStore store(0);
+  ObjectId a = store.allocate();
+  {
+    Object obj(a);
+    obj.add(Tuple::number("Year", 1985));
+    store.put(std::move(obj));
+  }
+  store.create_set("S", std::span<const ObjectId>(&a, 1));
+  SiteSummary s = SiteSummary::build(store);
+  EXPECT_FALSE(s.may_contribute(
+      parse_or_die(R"(S (number, "Year", [1990..1995]) -> T)"), 1, a));
+  EXPECT_TRUE(s.may_contribute(
+      parse_or_die(R"(S (number, "Year", [1980..1989]) -> T)"), 1, a));
+  // Span past the probe cap: conservatively kept even though every probe
+  // would miss.
+  EXPECT_TRUE(s.may_contribute(
+      parse_or_die(R"(S (number, "Year", [2000..2100]) -> T)"), 1, a));
+}
+
+// The invariant everything else rests on: a pruned item would have
+// contributed nothing. For self-contained random stores, any object the
+// engine turns into results must be may_contribute == true.
+class SummaryNeverFalselyPrunes
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummaryNeverFalselyPrunes, AgainstEngineOnRandomStores) {
+  Rng rng(GetParam());
+  SiteStore store(0);
+  constexpr std::size_t kN = 40;
+  std::vector<ObjectId> ids;
+  for (std::size_t i = 0; i < kN; ++i) ids.push_back(store.allocate());
+  for (std::size_t i = 0; i < kN; ++i) {
+    Object obj(ids[i]);
+    // Self-contained graph: every pointer targets a stored object, so the
+    // no-remote-fanout precondition of a tail-selection prune holds.
+    obj.add(Tuple::pointer("Reference", ids[rng.next_below(kN)]));
+    if (rng.next_bool(0.3)) obj.add(Tuple::keyword("Distributed"));
+    obj.add(Tuple::number("Year", rng.next_range(1980, 1992)));
+    obj.add(Tuple::string("Name", "obj" + std::to_string(rng.next_below(6))));
+    store.put(std::move(obj));
+  }
+  SiteSummary summary = SiteSummary::build(store);
+
+  const char* kQueries[] = {
+      kClosureHit,
+      kClosureMiss,
+      R"(S [ (pointer, "Reference", ?X) | ^^X ]* (number, "Year", [1984..1986]) -> T)",
+      R"(S (string, "Name", "obj3") (keyword, "Distributed", ?) -> T)",
+      R"(S (?, ?, ?) -> T)",
+  };
+  LocalEngine engine(store);
+  for (const char* text : kQueries) {
+    const Query q = parse_or_die(text);
+    for (const ObjectId& o : ids) {
+      store.create_set("S", std::span<const ObjectId>(&o, 1));
+      auto got = engine.run_readonly(q);
+      ASSERT_TRUE(got.ok()) << text;
+      if (!got.value().ids.empty()) {
+        EXPECT_TRUE(summary.may_contribute(q, 1, o))
+            << text << " seeded from " << o.to_string()
+            << " produced results but was pruned";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryNeverFalselyPrunes,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace hyperfile

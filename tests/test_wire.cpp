@@ -292,6 +292,50 @@ TEST(Messages, ClientMessagesRoundTrip) {
   EXPECT_EQ(back.dropped_items, 2u);
 }
 
+TEST(Messages, SummaryMessageRoundTripFuzz) {
+  // Summaries carry raw Bloom bitmaps; fuzz the shapes (empty record list,
+  // empty bitmap, multi-record gossip) through the codec.
+  Rng rng(0x5157);
+  for (int trial = 0; trial < 200; ++trial) {
+    SummaryMessage sm;
+    const std::size_t nrecords = rng.next_below(4);
+    for (std::size_t r = 0; r < nrecords; ++r) {
+      SummaryRecord rec;
+      rec.origin = static_cast<SiteId>(rng.next_below(8));
+      rec.epoch = rng.next_u64() % 1000;
+      rec.version = rng.next_u64() % 100000;
+      rec.hash_count = static_cast<std::uint32_t>(rng.next_below(16));
+      rec.entries = rng.next_u64() % 5000;
+      rec.bits.resize(rng.next_below(512));
+      for (auto& b : rec.bits) b = static_cast<std::uint8_t>(rng.next_u64());
+      sm.records.push_back(std::move(rec));
+    }
+    sm.msg_seq = rng.next_u64() % 100000;
+    auto got = decode_message(encode_message(sm));
+    ASSERT_TRUE(got.ok()) << got.error().to_string();
+    const auto& back = std::get<SummaryMessage>(got.value());
+    EXPECT_EQ(back.records, sm.records);
+    EXPECT_EQ(back.msg_seq, sm.msg_seq);
+  }
+}
+
+TEST(Messages, TruncatedSummaryRejected) {
+  SummaryMessage sm;
+  SummaryRecord rec;
+  rec.origin = 3;
+  rec.epoch = 2;
+  rec.version = 41;
+  rec.hash_count = 7;
+  rec.entries = 12;
+  rec.bits = {0xde, 0xad, 0xbe, 0xef};
+  sm.records = {rec, rec};
+  sm.msg_seq = 9;
+  auto bytes = encode_message(sm);
+  for (std::size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_message(std::span(bytes.data(), cut)).ok());
+  }
+}
+
 TEST(Messages, QueryDoneAndEnvelopeRoundTrip) {
   Envelope env{7, 2, QueryDone{{7, 123}}};
   auto got = decode_envelope(encode_envelope(env));

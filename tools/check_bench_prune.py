@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI gate for summary pruning (DESIGN.md §16).
+
+Reads a BENCH_summaries.json produced by bench/bench_summaries and fails
+unless pruning cuts per-query wire messages by at least the floor on the
+gated topology/selectivity — by default the tree workload at low
+selectivity, the configuration the paper's workload model predicts is the
+pruning sweet spot (subtrees are site-local, so most searches are
+refutable from a peer summary alone).
+
+The pruned mode's message count already includes the advert gossip, so the
+reduction this gate enforces is net of the scheme's own overhead. The bench
+binary itself exits nonzero if pruning changed any answer, so by the time
+this script runs, correctness has already been established.
+
+Usage:
+    check_bench_prune.py BENCH_summaries.json [--min-reduction 0.30]
+                         [--topology tree] [--selectivity low]
+
+Exit codes: 0 pass, 1 floor missed or row absent, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BENCH_summaries.json to check")
+    parser.add_argument("--min-reduction", type=float, default=0.30,
+                        help="message-reduction floor, 0..1 (default 0.30)")
+    parser.add_argument("--topology", default="tree",
+                        help="gated topology (default tree)")
+    parser.add_argument("--selectivity", default="low",
+                        help="gated selectivity (default low)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.json_path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.json_path}: {e}", file=sys.stderr)
+        return 2
+
+    rows = {r.get("config"): r for r in data.get("records", [])}
+    pair = {}
+    for mode in ("off", "on"):
+        config = f"{args.topology}/{args.selectivity}/{mode}"
+        row = rows.get(config)
+        if row is None:
+            print(f"error: no record '{config}' in {args.json_path} "
+                  f"(have: {sorted(rows)})", file=sys.stderr)
+            return 1
+        messages = row.get("counters", {}).get("messages")
+        if messages is None:
+            print(f"error: record '{config}' has no messages counter",
+                  file=sys.stderr)
+            return 1
+        pair[mode] = messages
+
+    if pair["off"] <= 0:
+        print(f"error: baseline sent no messages ({pair['off']}); the "
+              "workload never exercised the remote path", file=sys.stderr)
+        return 1
+
+    reduction = 1.0 - pair["on"] / pair["off"]
+    print(f"{args.topology}/{args.selectivity}: messages/query "
+          f"{pair['off']:.1f} -> {pair['on']:.1f} "
+          f"(reduction {reduction:.1%}, floor {args.min_reduction:.0%})")
+    if reduction < args.min_reduction:
+        print(f"FAIL: {reduction:.1%} < {args.min_reduction:.0%} — summary "
+              "pruning no longer pays for itself on the gated workload",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -97,6 +97,9 @@ SIDE_EFFECT_CALLS = {
     "add_item", "seed_local_set", "seed_initial", "drain", "drain_and_flush",
     # routing / replies
     "route_remote", "flush_batches", "send_reply",
+    # summary exchange (DESIGN.md §16): installing a gossiped record before
+    # the dedup guard would let a duplicated frame re-run the install scan
+    "install_summary",
     # store mutations
     "create_set", "put", "erase", "take", "bind_set", "merge_into",
     "apply_wal_record",

@@ -47,10 +47,13 @@ def print_trace(trace, out=sys.stdout):
                 f"  retries {s.get('retries', 0)}")
         if s.get("suspicions", 0):
             line += f"  suspicions {s['suspicions']}"
+        if s.get("pruned", 0):
+            line += f"  pruned {s['pruned']}"
         out.write(line + "\n")
     total_dup = sum(s.get("duplicates", 0) for s in spans)
     total_retry = sum(s.get("retries", 0) for s in spans)
     total_suspect = sum(s.get("suspicions", 0) for s in spans)
+    total_pruned = sum(s.get("pruned", 0) for s in spans)
     if total_dup or total_retry or total_suspect:
         out.write(f"  network friction: {total_dup} duplicate deliveries "
                   f"suppressed, {total_retry} send retries")
@@ -58,6 +61,10 @@ def print_trace(trace, out=sys.stdout):
             out.write(f", {total_suspect} peer suspicion(s) — the answer "
                       f"was cut short by failure detection")
         out.write("\n")
+    if total_pruned:
+        out.write(f"  fan-out pruning: {total_pruned} remote deref(s) "
+                  f"skipped via peer summaries (exactness preserved — a "
+                  f"summary only refutes, never guesses)\n")
 
 
 def main(argv):
