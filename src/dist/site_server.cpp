@@ -1,5 +1,7 @@
 #include "dist/site_server.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -21,6 +23,47 @@ bool already_seen(
     SiteId src, std::uint64_t seq) {
   if (seq == 0) return false;
   return !seen[src].insert(seq).second;
+}
+
+/// High-water-mark variant for process-lifetime streams (summary adverts):
+/// true iff (epoch, seq) is at or below the highest already processed from
+/// src. Bounded at one record per sender where a set would grow one entry
+/// per advert forever; the epoch scopes the mark to the sender's
+/// incarnation so a restarted sender's fresh adverts (seq counter back at
+/// 1, epoch strictly higher) pass immediately. See the summary_seen_
+/// member comment for why suppressing reordered older adverts is sound.
+bool already_seen(std::unordered_map<SiteId, SummaryAdvertHighWater>& marks,
+                  SiteId src, std::uint64_t epoch, std::uint64_t seq) {
+  if (seq == 0) return false;
+  auto [it, fresh] = marks.try_emplace(src);
+  SummaryAdvertHighWater& hw = it->second;
+  if (!fresh) {
+    if (epoch < hw.epoch) return true;  // straggler from an older incarnation
+    if (epoch == hw.epoch && seq <= hw.seq) return true;
+  }
+  hw.epoch = epoch;
+  hw.seq = seq;
+  return false;
+}
+
+/// Persist the boot counter write-then-fsync-then-rename: a crash at any
+/// point leaves either the old sidecar or the new one, never a truncated
+/// file whose empty read would restart the epoch at 1 and hand pre-crash
+/// summaries their pruning authority back.
+bool write_boot_epoch(const std::string& path, std::uint64_t epoch) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok =
+      std::fprintf(f, "%llu", static_cast<unsigned long long>(epoch)) > 0;
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::chrono::steady_clock::time_point now_tick() {
@@ -49,14 +92,31 @@ SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore stor
   // sidecar file, so summaries advertised after a crash-restart carry a
   // higher epoch and supersede pre-crash ones at every peer — the store's
   // own version counter alone cannot order across incarnations.
-  if (options_.summary_interval > Duration(0) && !options_.wal_dir.empty()) {
-    const std::string boot_path = options_.wal_dir + "/site_" +
-                                  std::to_string(store_.site()) + ".boot";
-    std::uint64_t boots = 0;
-    if (std::ifstream in(boot_path); in) in >> boots;
-    summary_epoch_ = boots + 1;
-    std::ofstream out(boot_path, std::ios::trunc);
-    out << summary_epoch_;
+  if (options_.summary_interval > Duration(0)) {
+    if (!options_.wal_dir.empty()) {
+      const std::string boot_path = options_.wal_dir + "/site_" +
+                                    std::to_string(store_.site()) + ".boot";
+      std::uint64_t boots = 0;
+      if (std::ifstream in(boot_path); in) in >> boots;
+      summary_epoch_ = boots + 1;
+      if (!write_boot_epoch(boot_path, summary_epoch_)) {
+        HF_WARN << "site " << store_.site()
+                << ": cannot persist boot epoch to " << boot_path
+                << " — a crash may resurrect pre-crash summary authority";
+      }
+    } else {
+      // Volatile sites have no sidecar and their version counter restarts
+      // at zero, so without an epoch a restarted site's fresh summaries
+      // would lose the (epoch, version) race to its own pre-crash records
+      // still circulating via gossip — and with no TTL configured peers
+      // would false-prune it forever. Stamp each incarnation with the boot
+      // wall clock: strictly increasing across restarts, and only ever
+      // compared against this site's own earlier epochs.
+      summary_epoch_ = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+    }
   }
   // Everything currently stored here was (as far as we know) born here.
   for (const ObjectId& id : store_.all_ids()) names_.register_birth(id);
@@ -442,10 +502,22 @@ void SiteServer::check_summaries() {
     return rec;
   };
   wire::SummaryMessage sm;
-  sm.records.push_back(to_record(own_summary_));
+  sm.records.push_back(to_record(own_summary_));  // own record: age 0
   if (options_.summary_gossip) {
     for (const auto& [peer, cached] : peer_summaries_) {
-      sm.records.push_back(to_record(cached.summary));
+      // Relay with the age the record has accrued here (installed is
+      // origin-anchored, so inherited age compounds across hops). A record
+      // past the TTL has no authority left to spread — don't gossip it.
+      const Duration age = std::chrono::duration_cast<Duration>(
+          now - cached.installed);
+      if (options_.summary_ttl > Duration(0) && age >= options_.summary_ttl) {
+        continue;
+      }
+      wire::SummaryRecord rec = to_record(cached.summary);
+      rec.age_us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, std::chrono::duration_cast<std::chrono::microseconds>(age)
+                 .count()));
+      sm.records.push_back(std::move(rec));
     }
   }
   // Fire-and-forget, like pings: adverts are periodic and idempotent, so a
@@ -463,8 +535,16 @@ void SiteServer::check_summaries() {
 
 void SiteServer::handle_summary(SiteId src, wire::SummaryMessage sm) {
   // Dedup before any install: a wire-duplicated advert must not count as a
-  // fresh exchange nor re-run the install scan.
-  if (already_seen(summary_seen_, src, sm.msg_seq)) {
+  // fresh exchange nor re-run the install scan. The sender's own record
+  // leads the message (check_summaries pushes it first) and its epoch
+  // names the sender's incarnation, scoping the seq high-water mark; a
+  // malformed message without that leading record deduces epoch 0 and is
+  // conservatively suppressed once a real incarnation has been seen.
+  std::uint64_t sender_epoch = 0;
+  if (!sm.records.empty() && sm.records.front().origin == src) {
+    sender_epoch = sm.records.front().epoch;
+  }
+  if (already_seen(summary_seen_, src, sender_epoch, sm.msg_seq)) {
     metrics().counter("dist.dedup_hits").inc();
     return;
   }
@@ -481,6 +561,21 @@ void SiteServer::handle_summary(SiteId src, wire::SummaryMessage sm) {
 void SiteServer::install_summary(wire::SummaryRecord rec,
                                  std::chrono::steady_clock::time_point now) {
   if (rec.origin == store_.site() || rec.origin == kNoSite) return;
+  // Wire sanity: hash_count bounds every maybe_contains probe loop on the
+  // route_remote hot path, so a corrupt or hostile value (up to 2^32) is a
+  // per-probe DoS, not just noise. Builders emit k=7 over a ≥32-byte
+  // bitmap; anything outside [1, 64] or bitmap-less is no summary we can
+  // trust — drop the origin's cached entry too, falling back to
+  // never-prune for it.
+  if (rec.hash_count < 1 || rec.hash_count > 64 || rec.bits.empty()) {
+    peer_summaries_.erase(rec.origin);
+    metrics().counter("dist.summary_rejects").inc();
+    HF_WARN << "site " << store_.site()
+            << ": rejecting malformed summary record from origin "
+            << rec.origin << " (hash_count=" << rec.hash_count
+            << ", bits=" << rec.bits.size() << ")";
+    return;
+  }
   auto it = peer_summaries_.find(rec.origin);
   if (it != peer_summaries_.end()) {
     const index::SiteSummary& cached = it->second.summary;
@@ -501,7 +596,20 @@ void SiteServer::install_summary(wire::SummaryRecord rec,
   s.version = rec.version;
   s.filter = index::BloomFilter::from_parts(std::move(rec.bits),
                                             rec.hash_count, rec.entries);
-  peer_summaries_[rec.origin] = CachedSummary{std::move(s), now};
+  // Anchor the staleness clock at the origin: the record arrives already
+  // age_us old, and installing it must not hand that age back. Clamp the
+  // wire value to the TTL — anything at or past it is equally dead, and
+  // the clamp keeps a hostile 2^64 age from wrapping the time_point the
+  // other way (into the future, i.e. eternally fresh).
+  std::chrono::steady_clock::time_point installed = now;
+  if (options_.summary_ttl > Duration(0)) {
+    const std::uint64_t ttl_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            options_.summary_ttl)
+            .count());
+    installed -= std::chrono::microseconds(std::min(rec.age_us, ttl_us));
+  }
+  peer_summaries_[rec.origin] = CachedSummary{std::move(s), installed};
   metrics().counter("dist.summary_installs").inc();
 }
 

@@ -152,6 +152,13 @@ struct SiteServerOptions {
   bool summary_gossip = true;
 };
 
+/// Per-sender advert dedup state: the highest (incarnation epoch, msg_seq)
+/// pair already processed from that sender (see SiteServer::summary_seen_).
+struct SummaryAdvertHighWater {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
 class SiteServer {
  public:
   SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore store,
@@ -275,8 +282,10 @@ class SiteServer {
     bool suspected = false;
   };
 
-  /// One cached peer summary plus when it was installed (the staleness
-  /// clock summary_ttl runs against).
+  /// One cached peer summary plus the staleness clock summary_ttl runs
+  /// against. `installed` is *origin-anchored*: arrival time minus the
+  /// record's wire-carried age, so a record relayed through many hops is
+  /// exactly as stale here as at the site that heard the origin directly.
   struct CachedSummary {
     index::SiteSummary summary;
     std::chrono::steady_clock::time_point installed;
@@ -447,11 +456,13 @@ class SiteServer {
   /// store_.version() has moved past own_summary_.version.
   index::SiteSummary own_summary_ HF_EVENT_LOOP_ONLY;
   bool summary_built_ HF_EVENT_LOOP_ONLY = false;
-  /// Incarnation counter baked into every summary we advertise. Durable
-  /// sites recover it from `<wal_dir>/site_<id>.boot` (incremented each
-  /// boot), so a restarted site's post-crash summaries outrank its
-  /// pre-crash ones even though the store version counter restarted at the
-  /// recovered store's mutation count.
+  /// Incarnation counter baked into every summary we advertise, so a
+  /// restarted site's post-crash summaries outrank its pre-crash ones even
+  /// though the store version counter restarted. Durable sites recover it
+  /// from `<wal_dir>/site_<id>.boot` (incremented each boot, written
+  /// write-then-rename); volatile sites stamp each boot with the wall
+  /// clock instead — nowhere to persist a counter, and epochs are only
+  /// ever compared against this site's own earlier ones.
   std::uint64_t summary_epoch_ = 0;
   std::chrono::steady_clock::time_point last_summary_advert_;
   /// Freshest summary we hold per origin site, however it arrived (direct
@@ -459,11 +470,20 @@ class SiteServer {
   /// site's summary must not keep pruning after it restarts with new
   /// content.
   std::unordered_map<SiteId, CachedSummary> peer_summaries_ HF_EVENT_LOOP_ONLY;
-  /// Duplicate suppression for SummaryMessages, per sender. Site-level (no
-  /// query context to hang it on); redelivery past this guard is harmless —
-  /// installs are idempotent under the strictly-newer rule — but the guard
-  /// keeps the metrics honest and the ordering contract uniform.
-  std::unordered_map<SiteId, std::unordered_set<std::uint64_t>>
+  /// Duplicate suppression for SummaryMessages: per sender, the highest
+  /// (incarnation epoch, msg_seq) processed. Site-level (no query context
+  /// to hang it on), so unlike the per-query `seen` sets it lives for the
+  /// whole process — a high-water mark instead of a set keeps it O(peers),
+  /// not O(peers × uptime). Suppressing a *reordered* older advert along
+  /// with true duplicates is sound: adverts are cumulative snapshots sent
+  /// in increasing seq order, and installs are ordered by (epoch, version)
+  /// with origin-anchored ages, so an older advert carries nothing the
+  /// newer one didn't supersede. The mark is epoch-scoped because a
+  /// restarted sender's seq counter restarts at 1: without the epoch its
+  /// fresh adverts would be suppressed as stale until the counter outgrew
+  /// the pre-crash range, leaving any stale gossiped record of it in
+  /// authority for that whole window.
+  std::unordered_map<SiteId, SummaryAdvertHighWater>
       summary_seen_ HF_EVENT_LOOP_ONLY;
 
   /// Guards the cross-thread observer snapshots (engine_stats(),

@@ -145,6 +145,7 @@ void encode_summary_record(Encoder& e, const SummaryRecord& r) {
   e.varint(r.version);
   e.varint(r.hash_count);
   e.varint(r.entries);
+  e.varint(r.age_us);
   e.bytes(r.bits);
 }
 
@@ -165,6 +166,9 @@ Result<SummaryRecord> decode_summary_record(Decoder& d) {
   auto entries = d.varint();
   if (!entries.ok()) return entries.error();
   r.entries = entries.value();
+  auto age = d.varint();
+  if (!age.ok()) return age.error();
+  r.age_us = age.value();
   auto bits = d.bytes();
   if (!bits.ok()) return bits.error();
   r.bits = std::move(bits).value();

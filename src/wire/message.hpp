@@ -240,6 +240,13 @@ struct SummaryRecord {
   std::uint64_t version = 0;
   std::uint32_t hash_count = 0;
   std::uint64_t entries = 0;
+  /// Age of this record when the frame was sent, in microseconds on the
+  /// sender's clock: 0 for a site's own freshly built record, time since
+  /// install for a gossiped relay. Receivers anchor their staleness clock
+  /// at (arrival − age_us), so a record's TTL keeps running across hops —
+  /// a stale record can circulate, but it can never regain freshness by
+  /// being reinstalled.
+  std::uint64_t age_us = 0;
   std::vector<std::uint8_t> bits;
 
   friend bool operator==(const SummaryRecord&, const SummaryRecord&) = default;

@@ -815,6 +815,77 @@ TEST_P(ChaosAlgos, RestartReAdvertisesSummaryNoPermanentFalsePrune) {
   cluster.stop();
 }
 
+TEST_P(ChaosAlgos, VolatileRestartReAdvertisesSummaryNoPermanentFalsePrune) {
+  // The stale-summary scenario the durable (WAL) restart tests cannot
+  // reach: a *volatile* site has no boot sidecar, and its store-version
+  // counter restarts at zero. Its pre-crash record — higher version, kept
+  // alive by site 2's gossip (site 2 never has a query waiting on site 1,
+  // so it never suspects it and never drops the cache) — would beat every
+  // fresh post-restart advert under the (epoch, version) rule forever,
+  // silently false-pruning the restarted site. The boot-wall-clock epoch
+  // must make the new incarnation supersede instead. summary_ttl stays 0
+  // (the default: no expiry) so only epoch supersession can retire the
+  // stale record, and no query runs during the outage so no suspicion ever
+  // opens a no-summary window that would mask the bug.
+  ChaosCluster chaos(GetParam(), FaultOptions{}, 3, [](SiteServerOptions& o) {
+    o.suspect_after = Duration(300'000);
+    o.summary_interval = Duration(20'000);
+    o.summary_ttl = Duration(0);
+  });
+  Cluster& cluster = *chaos.cluster;
+  auto subs = populate_tree(
+      [&](SiteId s) -> SiteStore& { return cluster.store(s); }, 3);
+  cluster.start();
+  wait_summaries(cluster);
+
+  Query q1 = tree_query("kw1");
+  const std::vector<ObjectId> want1 = sorted(subs[1]);
+  auto r0 = cluster.client().run(q1, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), want1);
+  EXPECT_FALSE(r0.value().partial);
+
+  // Crash-restart site 1 volatile: the store comes back empty. Re-create
+  // the head of its subchain *at the same id* the root still points to,
+  // but carrying a keyword no pre-crash summary ever saw. The stale
+  // summary holds the id probe and refutes "fresh" with a site-confined
+  // traversal — exactly the shape that false-prunes.
+  cluster.kill_site(1);
+  ASSERT_TRUE(cluster.restart_site(1).ok());
+  ASSERT_TRUE(cluster.server(1)
+                  .run_exclusive([&]() -> Result<void> {
+                    SiteStore& s1 = cluster.server(1).store();
+                    Object obj(subs[1][0]);
+                    obj.add(Tuple::pointer("Branch", subs[1][0]));
+                    obj.add(Tuple::keyword("fresh"));
+                    s1.put(std::move(obj));
+                    cluster.server(1).names().register_birth(subs[1][0]);
+                    return {};
+                  })
+                  .ok());
+
+  // If the pre-crash record keeps authority anywhere on the gossip path,
+  // site 0 prunes the Branch deref to subs[1][0] on every round and this
+  // poll never converges.
+  Query qf = tree_query("fresh");
+  const std::vector<ObjectId> wantf = {subs[1][0]};
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (;;) {
+      auto rf = cluster.client().run(qf, Duration(30'000'000));
+      ASSERT_TRUE(rf.ok()) << rf.error().to_string();
+      if (sorted(rf.value().ids) == wantf) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "volatile restart never became visible: a stale summary is "
+             "permanently false-pruning the restarted site";
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  expect_contexts_drain(cluster);
+  cluster.stop();
+}
+
 TEST_P(ChaosAlgos, TcpFaultSchedulesStayExactWithPruning) {
   // Same contract as the in-proc matrix, over real sockets: fault
   // schedules mangle advert traffic too, and answers must stay exact

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.hpp"
 #include "dist/cluster.hpp"
 #include "dist/site_server.hpp"
 #include "engine/local_engine.hpp"
@@ -597,6 +598,94 @@ TEST(SiteServerProtocol, StrandedParticipantContextExpiresViaTtl) {
         << "stranded context never expired";
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+  server.stop();
+}
+
+TEST(SiteServerProtocol, SummaryAdvertDedupAndMalformedRecordRejection) {
+  // Three REVIEW-driven contracts of the advert path, driven byte-for-byte:
+  //  1. the (epoch, seq) high-water dedup suppresses duplicated and
+  //     reordered adverts but passes a restarted sender's fresh adverts
+  //     (seq counter back at 1, epoch higher) immediately;
+  //  2. a malformed record (absurd hash_count would turn every Bloom probe
+  //     on the route_remote hot path into a multi-billion-iteration loop)
+  //     is rejected at install and revokes the origin's cached authority;
+  //  3. installs are counted so both behaviors are observable.
+  InProcNetwork net(2);
+  SiteStore store(0);
+  SiteServerOptions options;
+  options.summary_interval = Duration(50'000);  // exchange enabled, no peers
+  SiteServer server(net.endpoint(0), std::move(store), options);
+  server.start();
+  auto driver = net.endpoint(1);
+
+  auto advert = [](std::uint64_t epoch, std::uint64_t version,
+                   std::uint64_t seq) {
+    wire::SummaryRecord rec;
+    rec.origin = 1;
+    rec.epoch = epoch;
+    rec.version = version;
+    rec.hash_count = 7;
+    rec.entries = 3;
+    rec.bits.assign(32, 0xff);
+    wire::SummaryMessage sm;
+    sm.records.push_back(std::move(rec));
+    sm.msg_seq = seq;
+    return sm;
+  };
+  auto installs = [] {
+    return metrics().counter("dist.summary_installs").value();
+  };
+  auto wait_count = [&](std::size_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.summary_count() != want) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "summary_count never reached " << want;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  // A first advert installs.
+  const std::uint64_t base_installs = installs();
+  ASSERT_TRUE(driver->send(0, wire::Message(advert(1, 1, 5))).ok());
+  wait_count(1);
+  EXPECT_EQ(installs(), base_installs + 1);
+
+  // A duplicate (same seq) and a reordered older advert (lower seq, higher
+  // version) are both suppressed before any install side effect.
+  ASSERT_TRUE(driver->send(0, wire::Message(advert(1, 1, 5))).ok());
+  ASSERT_TRUE(driver->send(0, wire::Message(advert(1, 2, 4))).ok());
+  // A fresh advert behind them proves the suppressed ones were processed.
+  ASSERT_TRUE(driver->send(0, wire::Message(advert(1, 2, 6))).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (installs() != base_installs + 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "follow-up advert never installed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Restart simulation: epoch up, seq back at 1. Must NOT be suppressed —
+  // a restarted site whose adverts were deduped against its pre-crash seq
+  // range would leave stale gossiped records of it in authority.
+  ASSERT_TRUE(driver->send(0, wire::Message(advert(3, 1, 1))).ok());
+  while (installs() != base_installs + 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "post-restart advert was suppressed by the pre-crash high water";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Malformed record: hostile hash_count. Rejected, and the origin's
+  // cached summary is revoked (conservative never-prune fallback).
+  wire::SummaryMessage evil = advert(3, 9, 2);
+  evil.records[0].hash_count = 0xFFFFFFFFu;
+  const std::uint64_t rejects_before =
+      metrics().counter("dist.summary_rejects").value();
+  ASSERT_TRUE(driver->send(0, wire::Message(std::move(evil))).ok());
+  wait_count(0);
+  EXPECT_EQ(metrics().counter("dist.summary_rejects").value(),
+            rejects_before + 1);
+  EXPECT_EQ(installs(), base_installs + 3);
   server.stop();
 }
 

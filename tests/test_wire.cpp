@@ -306,6 +306,7 @@ TEST(Messages, SummaryMessageRoundTripFuzz) {
       rec.version = rng.next_u64() % 100000;
       rec.hash_count = static_cast<std::uint32_t>(rng.next_below(16));
       rec.entries = rng.next_u64() % 5000;
+      rec.age_us = rng.next_u64();  // full range: ages are unvalidated here
       rec.bits.resize(rng.next_below(512));
       for (auto& b : rec.bits) b = static_cast<std::uint8_t>(rng.next_u64());
       sm.records.push_back(std::move(rec));
@@ -327,6 +328,7 @@ TEST(Messages, TruncatedSummaryRejected) {
   rec.version = 41;
   rec.hash_count = 7;
   rec.entries = 12;
+  rec.age_us = 123456;
   rec.bits = {0xde, 0xad, 0xbe, 0xef};
   sm.records = {rec, rec};
   sm.msg_seq = 9;
