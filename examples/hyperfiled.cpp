@@ -30,7 +30,7 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "dist/site_server.hpp"
-#include "net/tcp.hpp"
+#include "net/transport.hpp"
 #include "store/snapshot.hpp"
 #include "workload/paper_workload.hpp"
 
@@ -90,7 +90,7 @@ int cmd_init(const std::string& config_path, const std::string& dir,
 int cmd_serve(SiteId site, const std::string& config_path,
               const std::string& snapshot_path, std::size_t workers,
               const std::string& metrics_json_path, const std::string& wal_dir,
-              long checkpoint_secs) {
+              long checkpoint_secs, TcpBackend backend) {
   auto peers = read_config(config_path);
   if (!peers.ok()) {
     std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
@@ -117,14 +117,14 @@ int cmd_serve(SiteId site, const std::string& config_path,
     store = std::move(loaded).value();
   }
 
-  auto net = TcpNetwork::create(site, peers.value());
+  auto net = make_socket_transport(backend, site, peers.value());
   if (!net.ok()) {
     std::fprintf(stderr, "%s\n", net.error().to_string().c_str());
     return 1;
   }
-  std::printf("hyperfiled: site %u on %s:%u, %zu objects, sets:", site,
-              peers.value()[site].host.c_str(), net.value()->bound_port(),
-              store.size());
+  std::printf("hyperfiled: site %u on %s:%u (%s transport), %zu objects, sets:",
+              site, peers.value()[site].host.c_str(), net.value()->bound_port(),
+              to_string(backend), store.size());
   for (const auto& name : store.set_names()) std::printf(" %s", name.c_str());
   std::printf("\n");
 
@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
     std::string metrics_json;
     std::string wal_dir;
     long checkpoint_secs = 0;
+    TcpBackend backend = TcpBackend::kThreaded;
     for (int i = 4; i < argc; ++i) {
       if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
         char* end = nullptr;
@@ -200,6 +201,14 @@ int main(int argc, char** argv) {
         metrics_json = argv[++i];
       } else if (std::string(argv[i]) == "--wal-dir" && i + 1 < argc) {
         wal_dir = argv[++i];
+      } else if (std::string(argv[i]) == "--transport" && i + 1 < argc) {
+        auto parsed = parse_tcp_backend(argv[++i]);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "--transport expects threaded|epoll, got '%s'\n",
+                       argv[i]);
+          return 1;
+        }
+        backend = parsed.value();
       } else if (std::string(argv[i]) == "--checkpoint-interval" &&
                  i + 1 < argc) {
         char* end = nullptr;
@@ -217,14 +226,14 @@ int main(int argc, char** argv) {
     }
     return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
                      snapshot, workers, metrics_json, wal_dir,
-                     checkpoint_secs);
+                     checkpoint_secs, backend);
   }
   std::printf(
       "hyperfiled — standalone HyperFile TCP site server\n"
       "  hyperfiled init CONFIG DIR [objects]     generate workload snapshots\n"
       "  hyperfiled serve SITE_ID CONFIG [SNAP] [--workers N]\n"
       "                  [--metrics-json PATH] [--wal-dir DIR]\n"
-      "                  [--checkpoint-interval SECS]\n"
+      "                  [--checkpoint-interval SECS] [--transport NAME]\n"
       "                                           run one site; --workers N\n"
       "                                           drains queries on N threads;\n"
       "                                           --metrics-json dumps the\n"
@@ -232,7 +241,9 @@ int main(int argc, char** argv) {
       "                                           --wal-dir makes the site\n"
       "                                           durable (WAL + recovery);\n"
       "                                           --checkpoint-interval takes\n"
-      "                                           online checkpoints\n"
+      "                                           online checkpoints;\n"
+      "                                           --transport threaded|epoll\n"
+      "                                           picks the socket backend\n"
       "CONFIG: one \"host port\" line per site. Query with hfq.\n");
   return 0;
 }

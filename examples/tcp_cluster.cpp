@@ -6,26 +6,38 @@
 // Everything crosses genuine sockets with length-prefixed wire frames — the
 // same SiteServer code as the in-process cluster, different transport.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "dist/client.hpp"
 #include "dist/site_server.hpp"
-#include "net/tcp.hpp"
+#include "net/transport.hpp"
 #include "query/parser.hpp"
 #include "workload/paper_workload.hpp"
 
 using namespace hyperfile;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kSites = 3;
   constexpr SiteId kClient = kSites;
+
+  // `tcp_cluster [threaded|epoll]` — same deployment, either socket backend.
+  TcpBackend backend = TcpBackend::kThreaded;
+  if (argc > 1) {
+    auto parsed = parse_tcp_backend(argv[1]);
+    if (!parsed.ok()) {
+      std::printf("usage: tcp_cluster [threaded|epoll]\n");
+      return 1;
+    }
+    backend = parsed.value();
+  }
 
   // Bind everyone on ephemeral ports, then exchange the real addresses
   // (in a real deployment this is the static site configuration).
   std::vector<TcpPeer> zeros(kSites + 1, TcpPeer{"127.0.0.1", 0});
-  std::vector<std::unique_ptr<TcpNetwork>> nets;
+  std::vector<std::unique_ptr<SocketTransport>> nets;
   for (SiteId s = 0; s <= kSites; ++s) {
-    auto net = TcpNetwork::create(s, zeros);
+    auto net = make_socket_transport(backend, s, zeros);
     if (!net.ok()) {
       std::printf("cannot create TCP endpoint: %s\n",
                   net.error().to_string().c_str());
@@ -38,6 +50,7 @@ int main() {
       net->update_peer(peer, {"127.0.0.1", nets[peer]->bound_port()});
     }
   }
+  std::printf("transport: %s\n", to_string(backend));
   std::printf("TCP endpoints: ");
   for (SiteId s = 0; s <= kSites; ++s) {
     std::printf("%s%u@127.0.0.1:%u", s != 0 ? ", " : "", s,

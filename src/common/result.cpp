@@ -16,6 +16,8 @@ const char* to_string(Errc c) {
       return "closed";
     case Errc::kTimeout:
       return "timeout";
+    case Errc::kBusy:
+      return "busy";
     case Errc::kInternal:
       return "internal";
   }

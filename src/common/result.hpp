@@ -20,6 +20,7 @@ enum class Errc : std::uint8_t {
   kIo,               // transport / file errors
   kClosed,           // channel or server shut down
   kTimeout,          // operation deadline exceeded
+  kBusy,             // backpressure: bounded queue full, retry after draining
   kInternal,         // invariant violation surfaced as an error
 };
 

@@ -327,12 +327,18 @@ void SiteServer::run_loop() {
 Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m,
                                          TraceSpan* span) {
   static Counter& retries = metrics().counter("dist.send_retries");
+  static Counter& busy_backoffs = metrics().counter("dist.busy_backoffs");
   auto r = endpoint_->send(to, m);
   Duration backoff = options_.retry_backoff;
   for (int attempt = 0; !r.ok() && attempt < options_.send_retries;
        ++attempt) {
     const Errc c = r.error().code;
     if (c == Errc::kNotFound || c == Errc::kInvalidArgument) break;
+    // kBusy is the epoll backend's backpressure signal: the peer's bounded
+    // send queue is full, nothing was lost, and the frame slot reopens as
+    // the loop drains — exactly what the backoff below is for. Tracked
+    // separately from transport failures so saturation is visible.
+    if (c == Errc::kBusy) busy_backoffs.inc();
     // hfverify: allow-blocking(retry-backoff): bounded exponential backoff
     // (send_retries * max backoff), accepted loop stall on a sick peer.
     std::this_thread::sleep_for(backoff);

@@ -1,0 +1,43 @@
+#include "net/transport.hpp"
+
+#include "net/epoll.hpp"
+#include "net/tcp.hpp"
+
+namespace hyperfile {
+
+const char* to_string(TcpBackend backend) {
+  switch (backend) {
+    case TcpBackend::kThreaded:
+      return "threaded";
+    case TcpBackend::kEpoll:
+      return "epoll";
+  }
+  return "unknown";
+}
+
+Result<TcpBackend> parse_tcp_backend(const std::string& name) {
+  if (name == "threaded" || name == "tcp") return TcpBackend::kThreaded;
+  if (name == "epoll") return TcpBackend::kEpoll;
+  return make_error(Errc::kInvalidArgument,
+                    "unknown tcp backend '" + name +
+                        "' (expected 'threaded' or 'epoll')");
+}
+
+Result<std::unique_ptr<SocketTransport>> make_socket_transport(
+    TcpBackend backend, SiteId self, std::vector<TcpPeer> peers) {
+  switch (backend) {
+    case TcpBackend::kThreaded: {
+      auto net = TcpNetwork::create(self, std::move(peers));
+      if (!net.ok()) return net.error();
+      return std::unique_ptr<SocketTransport>(std::move(net).value());
+    }
+    case TcpBackend::kEpoll: {
+      auto net = EpollNetwork::create(self, std::move(peers));
+      if (!net.ok()) return net.error();
+      return std::unique_ptr<SocketTransport>(std::move(net).value());
+    }
+  }
+  return make_error(Errc::kInvalidArgument, "unknown tcp backend");
+}
+
+}  // namespace hyperfile

@@ -1,0 +1,20 @@
+// Seeded violation: a helper reached from the event loop dials a peer with
+// a blocking connect (the net/tcp.cpp lock-held-connect shape). The
+// bounded, waived epoll_wait in the same loop is sanctioned.
+// HFVERIFY-RULE: confinement
+// HFVERIFY-EXPECT: reaches socket-wait primitive in Net::dial
+
+class Net {
+ public:
+  HF_EVENT_LOOP_ONLY void tick() {
+    // hfverify: allow-blocking(epoll_wait): bounded 200ms tick.
+    ::epoll_wait(epfd_, nullptr, 0, 200);
+    dial();
+  }
+
+ private:
+  void dial() { ::connect(fd_, nullptr, 0); }
+
+  int epfd_ = -1;
+  int fd_ = -1;
+};

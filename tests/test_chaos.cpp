@@ -25,7 +25,7 @@
 #include "dist/site_server.hpp"
 #include "engine/local_engine.hpp"
 #include "net/faulty.hpp"
-#include "net/tcp.hpp"
+#include "net/transport.hpp"
 #include "test_helpers.hpp"
 
 namespace hyperfile {
@@ -509,12 +509,13 @@ struct TcpChaosDeployment {
   std::vector<TcpPeer> peers;    // resolved addresses, for restarts
   FaultOptions faults;           // re-applied to restarted endpoints
   SiteServerOptions options;     // re-applied to restarted servers
+  TcpBackend backend;            // re-applied to restarted transports
 
-  TcpChaosDeployment(TerminationAlgorithm algo, const FaultOptions& faults_in,
-                     SiteId sites = 3,
+  TcpChaosDeployment(TerminationAlgorithm algo, TcpBackend backend_in,
+                     const FaultOptions& faults_in, SiteId sites = 3,
                      std::function<void(SiteServerOptions&)> tweak = {},
                      bool tree = false)
-      : faults(faults_in), options(chaos_options(algo)) {
+      : faults(faults_in), options(chaos_options(algo)), backend(backend_in) {
     if (tweak) tweak(options);
     // Mirror Cluster: with summaries on and no explicit peer list, every
     // site advertises to every other site.
@@ -523,9 +524,9 @@ struct TcpChaosDeployment {
       for (SiteId s = 0; s < sites; ++s) options.summary_peers.push_back(s);
     }
     std::vector<TcpPeer> zeros(sites + 1, TcpPeer{"127.0.0.1", 0});
-    std::vector<std::unique_ptr<TcpNetwork>> nets;
+    std::vector<std::unique_ptr<SocketTransport>> nets;
     for (SiteId s = 0; s <= sites; ++s) {
-      auto net = TcpNetwork::create(s, zeros);
+      auto net = make_socket_transport(backend, s, zeros);
       if (!net.ok()) return;  // no sockets in this environment
       nets.push_back(std::move(net).value());
     }
@@ -593,7 +594,7 @@ struct TcpChaosDeployment {
   /// Rebind the site's original port and bring up a fresh server from an
   /// *empty* store: whatever it serves afterwards came from checkpoint+WAL.
   Result<void> restart(SiteId site) {
-    auto net = TcpNetwork::create(site, peers);
+    auto net = make_socket_transport(backend, site, peers);
     if (!net.ok()) return net.error();
     auto ep = decorated_endpoint(std::move(net).value(), site);
     servers[site] = std::make_unique<SiteServer>(std::move(ep),
@@ -609,10 +610,25 @@ struct TcpChaosDeployment {
   }
 };
 
-TEST_P(ChaosAlgos, TcpWorkloadSurvivesFaultSchedules) {
+// Every TCP chaos test runs over both socket backends: the epoll transport
+// must satisfy the exact chaos contract the threaded one does, with the
+// FaultInjectingEndpoint decoration unchanged.
+class TcpChaosMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<TerminationAlgorithm, TcpBackend>> {
+ protected:
+  TerminationAlgorithm algo() const { return std::get<0>(GetParam()); }
+  TcpBackend backend() const { return std::get<1>(GetParam()); }
+  std::string tag() const {
+    return std::to_string(static_cast<int>(algo())) + "_" +
+           to_string(backend());
+  }
+};
+
+TEST_P(TcpChaosMatrix, TcpWorkloadSurvivesFaultSchedules) {
   for (const FaultCase& fc : fault_cases()) {
     SCOPED_TRACE(fc.name);
-    TcpChaosDeployment d(GetParam(), fc.faults);
+    TcpChaosDeployment d(algo(), backend(), fc.faults);
     if (!d.ok) GTEST_SKIP() << "no localhost sockets";
     Query q = parse_or_die(kClosure);
     for (int round = 0; round < 2; ++round) {
@@ -638,16 +654,14 @@ TEST_P(ChaosAlgos, TcpWorkloadSurvivesFaultSchedules) {
   }
 }
 
-TEST_P(ChaosAlgos, TcpKilledSiteAnswersPartialThenRestartRecoversExact) {
+TEST_P(TcpChaosMatrix, TcpKilledSiteAnswersPartialThenRestartRecoversExact) {
   // Same crash/recover contract as in-proc, over real sockets: the killed
   // process's fds die loudly, the restarted one rebinds its port and
   // recovers from the WAL, and peers reconnect lazily on their next send.
-  const std::string wal_dir =
-      ::testing::TempDir() + "/hf_tcp_chaos_wal_" +
-      std::to_string(static_cast<int>(GetParam()));
+  const std::string wal_dir = ::testing::TempDir() + "/hf_tcp_chaos_wal_" + tag();
   std::filesystem::remove_all(wal_dir);
   std::filesystem::create_directories(wal_dir);
-  TcpChaosDeployment d(GetParam(), FaultOptions{}, 3,
+  TcpChaosDeployment d(algo(), backend(), FaultOptions{}, 3,
                        [&](SiteServerOptions& o) { o.wal_dir = wal_dir; });
   if (!d.ok) GTEST_SKIP() << "no localhost sockets";
   Query q = parse_or_die(kClosure);
@@ -886,13 +900,13 @@ TEST_P(ChaosAlgos, VolatileRestartReAdvertisesSummaryNoPermanentFalsePrune) {
   cluster.stop();
 }
 
-TEST_P(ChaosAlgos, TcpFaultSchedulesStayExactWithPruning) {
+TEST_P(TcpChaosMatrix, TcpFaultSchedulesStayExactWithPruning) {
   // Same contract as the in-proc matrix, over real sockets: fault
   // schedules mangle advert traffic too, and answers must stay exact
   // (lossless) or flagged (lossy) with pruning live.
   for (const FaultCase& fc : fault_cases()) {
     SCOPED_TRACE(fc.name);
-    TcpChaosDeployment d(GetParam(), fc.faults, 3, enable_summaries,
+    TcpChaosDeployment d(algo(), backend(), fc.faults, 3, enable_summaries,
                          /*tree=*/true);
     if (!d.ok) GTEST_SKIP() << "no localhost sockets";
     if (std::string(fc.name) == "none") wait_summaries(d.servers);
@@ -907,18 +921,17 @@ TEST_P(ChaosAlgos, TcpFaultSchedulesStayExactWithPruning) {
   }
 }
 
-TEST_P(ChaosAlgos, TcpRestartReAdvertisesSummaryNoPermanentFalsePrune) {
+TEST_P(TcpChaosMatrix, TcpRestartReAdvertisesSummaryNoPermanentFalsePrune) {
   // The kill/restart staleness regression over TCP: the restarted process
   // rebinds its port, recovers from the WAL under a higher boot epoch, and
   // its re-advertised summary must displace the stale cached copies so a
   // post-restart mutation becomes queryable.
   const std::string wal_dir =
-      ::testing::TempDir() + "/hf_tcp_summary_wal_" +
-      std::to_string(static_cast<int>(GetParam()));
+      ::testing::TempDir() + "/hf_tcp_summary_wal_" + tag();
   std::filesystem::remove_all(wal_dir);
   std::filesystem::create_directories(wal_dir);
   TcpChaosDeployment d(
-      GetParam(), FaultOptions{}, 3,
+      algo(), backend(), FaultOptions{}, 3,
       [&](SiteServerOptions& o) {
         o.wal_dir = wal_dir;
         o.suspect_after = Duration(300'000);
@@ -979,6 +992,20 @@ TEST_P(ChaosAlgos, TcpRestartReAdvertisesSummaryNoPermanentFalsePrune) {
     }
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosByBackend, TcpChaosMatrix,
+    ::testing::Combine(
+        ::testing::Values(TerminationAlgorithm::kWeightedMessages,
+                          TerminationAlgorithm::kDijkstraScholten),
+        ::testing::Values(TcpBackend::kThreaded, TcpBackend::kEpoll)),
+    [](const ::testing::TestParamInfo<TcpChaosMatrix::ParamType>& info) {
+      const char* algo =
+          std::get<0>(info.param) == TerminationAlgorithm::kWeightedMessages
+              ? "weighted"
+              : "dijkstra_scholten";
+      return std::string(algo) + "_" + to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace hyperfile

@@ -42,6 +42,15 @@ _FILE_IO_CALLS = {"fopen", "freopen", "fwrite", "fread", "fflush", "fclose",
                   "rename", "remove"}
 _FILE_IO_TYPES = {"ofstream", "ifstream", "fstream"}
 _SLEEP_CALLS = {"sleep_for", "sleep_until"}
+# Socket syscalls that park the calling thread until the kernel has news:
+# connection handshakes, accept queues, readiness waits. Flagged on
+# event-loop paths like sleeps are — an event loop that blocks in connect()
+# freezes every connection it multiplexes (the net/tcp.cpp lock-held-connect
+# bug, found the hard way). Non-blocking uses (O_NONBLOCK sockets, the
+# loop's own bounded epoll_wait) carry allow-blocking waivers naming the
+# bound.
+_SOCKET_WAIT_CALLS = {"connect", "accept", "accept4", "poll", "select",
+                      "epoll_wait", "epoll_pwait"}
 
 _WAIVER_RE = re.compile(
     r"hfverify:\s*allow-(blocking|role|ordering|lockorder)"
@@ -447,6 +456,9 @@ class FileParser:
                 continue
             if t.text in _FILE_IO_CALLS and qualifier in (None, "std"):
                 fn.blocking_ops.append(("file-io", t.line))
+                continue
+            if t.text in _SOCKET_WAIT_CALLS and qualifier == "::":
+                fn.blocking_ops.append(("socket-wait", t.line))
                 continue
             if qualifier == "std":
                 continue
