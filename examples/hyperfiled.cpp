@@ -90,7 +90,8 @@ int cmd_init(const std::string& config_path, const std::string& dir,
 int cmd_serve(SiteId site, const std::string& config_path,
               const std::string& snapshot_path, std::size_t workers,
               const std::string& metrics_json_path, const std::string& wal_dir,
-              long checkpoint_secs, TcpBackend backend) {
+              long checkpoint_secs, TcpBackend backend,
+              long replicate_ring_ms) {
   auto peers = read_config(config_path);
   if (!peers.ok()) {
     std::fprintf(stderr, "%s\n", peers.error().to_string().c_str());
@@ -143,6 +144,22 @@ int cmd_serve(SiteId site, const std::string& config_path,
     std::printf("durable: wal-dir %s, checkpoint every %lds\n",
                 wal_dir.c_str(), checkpoint_secs > 0 ? checkpoint_secs : 0);
   }
+  // Hot-standby replication (DESIGN.md §18): every site ships its WAL to
+  // the next site in the config's ring, so the same flag on all servers
+  // yields one follower per primary and failover routing when one dies.
+  if (replicate_ring_ms > 0) {
+    if (wal_dir.empty()) {
+      std::fprintf(stderr, "--replicate-ring needs --wal-dir (it ships the WAL)\n");
+      return 1;
+    }
+    options.replication_interval = Duration(replicate_ring_ms * 1'000);
+    const auto sites = static_cast<SiteId>(peers.value().size());
+    for (SiteId s = 0; s < sites; ++s) {
+      options.replica_assignment[s] = static_cast<SiteId>((s + 1) % sites);
+    }
+    std::printf("replicating: WAL to site %u every %ldms\n",
+                static_cast<SiteId>((site + 1) % sites), replicate_ring_ms);
+  }
   SiteServer server(std::move(net).value(), std::move(store), options);
   server.start();
   std::signal(SIGINT, on_signal);
@@ -187,6 +204,7 @@ int main(int argc, char** argv) {
     std::string metrics_json;
     std::string wal_dir;
     long checkpoint_secs = 0;
+    long replicate_ring_ms = 0;
     TcpBackend backend = TcpBackend::kThreaded;
     for (int i = 4; i < argc; ++i) {
       if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
@@ -220,13 +238,23 @@ int main(int argc, char** argv) {
                        value);
           return 1;
         }
+      } else if (std::string(argv[i]) == "--replicate-ring" && i + 1 < argc) {
+        char* end = nullptr;
+        const char* value = argv[++i];
+        replicate_ring_ms = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || replicate_ring_ms <= 0) {
+          std::fprintf(stderr,
+                       "--replicate-ring expects milliseconds, got '%s'\n",
+                       value);
+          return 1;
+        }
       } else if (snapshot.empty()) {
         snapshot = argv[i];
       }
     }
     return cmd_serve(static_cast<SiteId>(std::stoul(argv[2])), argv[3],
                      snapshot, workers, metrics_json, wal_dir,
-                     checkpoint_secs, backend);
+                     checkpoint_secs, backend, replicate_ring_ms);
   }
   std::printf(
       "hyperfiled — standalone HyperFile TCP site server\n"
@@ -234,6 +262,7 @@ int main(int argc, char** argv) {
       "  hyperfiled serve SITE_ID CONFIG [SNAP] [--workers N]\n"
       "                  [--metrics-json PATH] [--wal-dir DIR]\n"
       "                  [--checkpoint-interval SECS] [--transport NAME]\n"
+      "                  [--replicate-ring MS]\n"
       "                                           run one site; --workers N\n"
       "                                           drains queries on N threads;\n"
       "                                           --metrics-json dumps the\n"
@@ -243,7 +272,12 @@ int main(int argc, char** argv) {
       "                                           --checkpoint-interval takes\n"
       "                                           online checkpoints;\n"
       "                                           --transport threaded|epoll\n"
-      "                                           picks the socket backend\n"
+      "                                           picks the socket backend;\n"
+      "                                           --replicate-ring MS ships\n"
+      "                                           each site's WAL to the next\n"
+      "                                           site every MS milliseconds\n"
+      "                                           (hot standby, needs\n"
+      "                                           --wal-dir)\n"
       "CONFIG: one \"host port\" line per site. Query with hfq.\n");
   return 0;
 }

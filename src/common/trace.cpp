@@ -21,6 +21,8 @@ void merge_into(TraceSpan& into, const TraceSpan& from) {
   into.retries = std::max(into.retries, from.retries);
   into.suspicions = std::max(into.suspicions, from.suspicions);
   into.pruned = std::max(into.pruned, from.pruned);
+  into.failovers = std::max(into.failovers, from.failovers);
+  into.replica_lag = std::max(into.replica_lag, from.replica_lag);
 }
 
 namespace {
@@ -40,11 +42,12 @@ std::string QueryTrace::to_text() const {
   std::string out = "trace " + query_id + " elapsed " +
                     std::to_string(elapsed_us) + "us\n";
   for (const TraceSpan& s : spans) {
-    char line[320];
+    char line[384];
     std::snprintf(line, sizeof line,
                   "  site %u hop %u path [%s] msgs %llu dup %llu items %llu "
                   "fwd %llu results %llu drains %llu drain_us %llu "
-                  "retries %llu suspicions %llu pruned %llu\n",
+                  "retries %llu suspicions %llu pruned %llu failovers %llu "
+                  "replica_lag %llu\n",
                   s.site, s.first_hop, path_string(s.path, "->").c_str(),
                   static_cast<unsigned long long>(s.messages),
                   static_cast<unsigned long long>(s.duplicates),
@@ -55,7 +58,9 @@ std::string QueryTrace::to_text() const {
                   static_cast<unsigned long long>(s.drain_us),
                   static_cast<unsigned long long>(s.retries),
                   static_cast<unsigned long long>(s.suspicions),
-                  static_cast<unsigned long long>(s.pruned));
+                  static_cast<unsigned long long>(s.pruned),
+                  static_cast<unsigned long long>(s.failovers),
+                  static_cast<unsigned long long>(s.replica_lag));
     out += line;
   }
   return out;
@@ -80,7 +85,9 @@ std::string QueryTrace::to_json() const {
            ", \"drain_us\": " + std::to_string(s.drain_us) +
            ", \"retries\": " + std::to_string(s.retries) +
            ", \"suspicions\": " + std::to_string(s.suspicions) +
-           ", \"pruned\": " + std::to_string(s.pruned) + "}";
+           ", \"pruned\": " + std::to_string(s.pruned) +
+           ", \"failovers\": " + std::to_string(s.failovers) +
+           ", \"replica_lag\": " + std::to_string(s.replica_lag) + "}";
   }
   out += "]}";
   return out;

@@ -55,6 +55,12 @@ struct TraceSpan {
   std::uint64_t pruned = 0;      // remote dereferences skipped because the
                                  // peer's summary proved them fruitless
                                  // (DESIGN.md §16)
+  std::uint64_t failovers = 0;   // dereferences redirected to a suspected
+                                 // primary's replica (DESIGN.md §18)
+  std::uint64_t replica_lag = 0; // work items served from a replica whose
+                                 // watermark trailed the primary's last
+                                 // shipped offset — the honesty marker on
+                                 // failover answers (DESIGN.md §18)
 
   static constexpr std::size_t kMaxPath = 32;
 

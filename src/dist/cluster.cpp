@@ -29,6 +29,16 @@ Cluster::Cluster(std::size_t sites, SiteServerOptions options,
       options_.summary_peers.push_back(static_cast<SiteId>(i));
     }
   }
+  // Replication enabled with no explicit assignment: ring — each site's WAL
+  // ships to its successor, so one standby covers every primary. Stored in
+  // options_ so restart_site rebuilds keep the same topology.
+  if (options_.replication_interval > Duration(0) &&
+      options_.replica_assignment.empty() && sites > 1) {
+    for (std::size_t i = 0; i < sites; ++i) {
+      options_.replica_assignment[static_cast<SiteId>(i)] =
+          static_cast<SiteId>((i + 1) % sites);
+    }
+  }
   servers_.reserve(sites);
   for (std::size_t i = 0; i < sites; ++i) {
     const SiteId site = static_cast<SiteId>(i);

@@ -1,0 +1,23 @@
+#include "dist/replication.hpp"
+
+#include "store/wal.hpp"
+
+namespace hyperfile {
+
+Result<std::size_t> apply_segment_records(
+    SiteStore& shadow, const std::vector<wire::Bytes>& records) {
+  std::size_t applied = 0;
+  for (const wire::Bytes& payload : records) {
+    auto rec = decode_wal_record(payload);
+    if (!rec.ok()) {
+      return make_error(Errc::kDecode,
+                        "WAL segment record " + std::to_string(applied) +
+                            " does not decode: " + rec.error().message);
+    }
+    shadow.apply_wal_record(rec.value());
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace hyperfile

@@ -123,6 +123,15 @@ SiteServer::SiteServer(std::unique_ptr<MessageEndpoint> endpoint, SiteStore stor
   if (options_.drain_workers > 0) {
     drain_pool_ = std::make_unique<WorkerPool>(options_.drain_workers);
   }
+  // Pre-register the replication instruments so every metrics dump of a
+  // replicating deployment carries them — a zero reads as "configured but
+  // quiet", an absent name as "not measured" (DESIGN.md §12, §18).
+  if (options_.replication_interval > Duration(0)) {
+    metrics().counter("dist.wal_segments_shipped");
+    metrics().counter("dist.replica_applies");
+    metrics().counter("dist.failovers");
+    metrics().histogram("dist.replica_lag_us");
+  }
 }
 
 void SiteServer::recover_durable_state() {
@@ -160,6 +169,22 @@ void SiteServer::recover_durable_state() {
   }
   wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
   store_.attach_wal(wal_.get());
+  // Ship epoch (DESIGN.md §18): like the summary boot epoch, but counting
+  // WAL generations — bumped here per boot (a crash may have lost appends a
+  // follower already applied, so pre-crash offsets must die with it) and on
+  // every checkpoint truncation. Bootstrapped before the initial checkpoint
+  // below so that checkpoint rolls it like any other.
+  if (options_.replication_interval > Duration(0)) {
+    const std::string ship_path = base + ".ship";
+    std::uint64_t generations = 0;
+    if (std::ifstream in(ship_path); in) in >> generations;
+    ship_epoch_ = generations + 1;
+    if (!write_boot_epoch(ship_path, ship_epoch_)) {
+      HF_WARN << "site " << store_.site()
+              << ": cannot persist ship epoch to " << ship_path
+              << " — followers may mistake a stale WAL tail for a live one";
+    }
+  }
   if (!had_checkpoint && replayed.value().records.empty() &&
       store_.size() > 0) {
     // A seeded store with no durable history yet (first boot from a
@@ -199,9 +224,28 @@ Result<void> SiteServer::do_checkpoint() {
   if (std::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
     return make_error(Errc::kIo, "cannot install checkpoint " + ckpt_path);
   }
+  // The rename is durable only once the directory entry itself is synced
+  // (save_snapshot fsynced the *bytes*, not the *name*). Truncating the WAL
+  // before that would leave a crash window where neither the WAL records
+  // nor the checkpoint that subsumed them survive — acknowledged mutations
+  // silently lost.
+  // hfverify: allow-blocking(checkpoint): durability barrier, same pause.
+  if (auto r = fsync_parent_dir(ckpt_path); !r.ok()) return r;
   metrics().counter("dist.checkpoints").inc();
   // hfverify: allow-blocking(checkpoint): WAL reset is part of the pause.
-  return wal_->truncate();
+  if (auto r = wal_->truncate(); !r.ok()) return r;
+  // Truncation invalidates every byte offset shipped so far: roll the WAL
+  // generation and resync followers via snapshot. The sidecar write is
+  // best-effort — a lost bump is re-covered by the next boot's bump, and
+  // until then the worst case is a follower resyncing once more than
+  // strictly needed.
+  ++ship_epoch_;
+  if (options_.replication_interval > Duration(0)) {
+    // hfverify: allow-blocking(checkpoint): epoch sidecar, same pause.
+    (void)write_boot_epoch(base + ".ship", ship_epoch_);
+    for (auto& [follower, ship] : followers_) ship.needs_catchup = true;
+  }
+  return {};
 }
 
 Result<void> SiteServer::checkpoint() {
@@ -216,6 +260,9 @@ Result<void> SiteServer::run_exclusive(
     MutexLock lock(ctl_mu_);
     ctl_.push_back(CtlTask{fn, waiter});
   }
+  // Wake-capable endpoints park in recv() until traffic or a deadline;
+  // kick the loop so the task runs now instead of at the next wakeup.
+  endpoint_->wake_recv();
   MutexLock lock(waiter->mu);
   while (!waiter->done) waiter->cv.wait(lock);
   return waiter->result;
@@ -251,6 +298,7 @@ void SiteServer::start() {
 void SiteServer::stop() {
   if (!running_.load()) return;
   stopping_.store(true);
+  endpoint_->wake_recv();  // don't wait out a parked recv() to notice
   if (thread_.joinable()) thread_.join();
   running_.store(false);
   // Serve any run_exclusive calls that raced the shutdown — their callers
@@ -265,7 +313,10 @@ void SiteServer::stop() {
   // own stats lock, and stats_mu_ is a leaf (DESIGN.md §10 rule 2).
   EngineStats interrupted;
   // hfverify: allow-role(loop-joined): same — loop thread is gone.
-  for (auto& [qid, p] : contexts_) interrupted += p.exec->stats();
+  for (auto& [qid, p] : contexts_) {
+    interrupted += p.exec->stats();
+    for (auto& [primary, se] : p.shadow_execs) interrupted += se->stats();
+  }
   // hfverify: allow-role(loop-joined): same — loop thread is gone.
   contexts_.clear();
   {
@@ -290,6 +341,36 @@ std::size_t SiteServer::summary_count() const {
   return summary_count_cache_;
 }
 
+SiteServer::ReplicaProbe SiteServer::replica_probe(SiteId primary) {
+  ReplicaProbe probe;
+  (void)run_exclusive([&]() -> Result<void> {
+    // hfverify: allow-role(run-exclusive): this closure holds exclusive
+    // ownership of the loop-confined state — it runs on the loop thread,
+    // or inline only once the loop has stopped.
+    auto it = replicas_.find(primary);
+    // hfverify: allow-role(run-exclusive): same exclusive closure.
+    if (it == replicas_.end()) return {};
+    probe.exists = true;
+    probe.ship_epoch = it->second->watermark.ship_epoch;
+    probe.wal_offset = it->second->watermark.wal_offset;
+    probe.covers_tail = it->second->watermark.covers(it->second->primary_tail);
+    probe.shadow = it->second->shadow;
+    return {};
+  });
+  return probe;
+}
+
+SiteStore SiteServer::store_copy() {
+  SiteStore copy(store_.site());
+  (void)run_exclusive([&]() -> Result<void> {
+    copy = store_;
+    return {};
+  });
+  // The copy must not shadow mutations into the live server's WAL.
+  copy.attach_wal(nullptr);
+  return copy;
+}
+
 void SiteServer::run_loop() {
   Gauge& contexts_gauge =
       metrics().gauge("dist.contexts", "site=" + std::to_string(store_.site()));
@@ -299,15 +380,25 @@ void SiteServer::run_loop() {
   // First tick builds and advertises immediately: a freshly (re)started
   // site re-announces itself without waiting out a full interval.
   last_summary_advert_ = last_sweep_ - options_.summary_interval;
+  last_replication_ = last_sweep_ - options_.replication_interval;
+  // Readiness-driven endpoints (epoll, in-proc) interrupt a parked recv()
+  // on traffic, run_exclusive and stop(), so the wait may stretch to the
+  // next periodic deadline; the threaded TCP backend cannot interrupt a
+  // parked receiver and keeps the short timed poll.
+  const bool wakeable = endpoint_->wake_capable();
   while (!stopping_.load()) {
-    // hfverify: allow-blocking(poll): bounded by poll_interval; replacing
-    // the poll with epoll-style readiness is a ROADMAP item.
-    auto env = endpoint_->recv(options_.poll_interval);
+    // The wait is bounded — by recv_budget() (the nearest periodic
+    // deadline, capped at 1s) on wake-capable endpoints, where wake_recv()
+    // cuts the wait short, and by poll_interval on the threaded fallback.
+    const Duration wait = wakeable ? recv_budget() : options_.poll_interval;
+    // hfverify: allow-blocking(recv-wait): bounded wait, see above.
+    auto env = endpoint_->recv(wait);
     if (env.has_value()) handle(std::move(*env));
     drain_ctl();
     sweep_contexts();
     check_liveness();
     check_summaries();
+    check_replication();
     if (options_.checkpoint_interval > Duration(0) && wal_ != nullptr &&
         wal_->record_count() > 0 &&
         now_tick() - last_checkpoint_ >= options_.checkpoint_interval) {
@@ -322,6 +413,31 @@ void SiteServer::run_loop() {
     context_count_cache_ = contexts_.size();
     summary_count_cache_ = peer_summaries_.size();
   }
+}
+
+Duration SiteServer::recv_budget() const {
+  const auto now = now_tick();
+  // 1s cap: a cheap heartbeat through the loop even when every periodic
+  // duty is idle (and a backstop should a wakeup ever be missed).
+  Duration budget = Duration(1'000'000);
+  const auto consider = [&](std::chrono::steady_clock::time_point last,
+                            Duration period) {
+    if (period <= Duration(0)) return;
+    const Duration elapsed =
+        std::chrono::duration_cast<Duration>(now - last);
+    budget = std::min(budget,
+                      elapsed >= period ? Duration(0) : period - elapsed);
+  };
+  consider(last_sweep_, options_.context_ttl / 4);
+  if (options_.suspect_after > Duration(0)) {
+    consider(last_liveness_check_, options_.suspect_after / 4);
+  }
+  consider(last_summary_advert_, options_.summary_interval);
+  if (wal_ != nullptr && wal_->record_count() > 0) {
+    consider(last_checkpoint_, options_.checkpoint_interval);
+  }
+  consider(last_replication_, options_.replication_interval);
+  return budget;
 }
 
 Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m,
@@ -346,6 +462,21 @@ Result<void> SiteServer::send_with_retry(SiteId to, const wire::Message& m,
     retries.inc();
     if (span != nullptr) ++span->retries;
     r = endpoint_->send(to, m);
+  }
+  // A send that still fails after the retry budget is a loud death signal
+  // (dead fd, closed mailbox) — at least as strong as a silence window, and
+  // available *now* rather than after suspect_after of quiet. Record it for
+  // the next check_liveness pass (not suspect_peer() here: that force-
+  // finishes originations, and this path runs mid-drain with live
+  // Participation references) so the next routing decision fails over to
+  // the peer's replica (DESIGN.md §18) instead of re-dropping an item per
+  // query. A wrong verdict (transient connect hiccup) heals exactly like a
+  // real revival: check_liveness keeps pinging suspects, and any reply
+  // revives the peer. kBusy is excluded — backpressure means the peer is
+  // alive and draining, the opposite of dead.
+  if (!r.ok() && r.error().code != Errc::kBusy &&
+      options_.suspect_after > Duration(0)) {
+    liveness_.try_emplace(to).first->second.send_failed = true;
   }
   return r;
 }
@@ -408,7 +539,7 @@ void SiteServer::sweep_contexts() {
     if (find_origination(qid) != nullptr) continue;  // dies with origination
     const bool pending = !p.pending_ids.empty() || !p.pending_values.empty() ||
                          p.pending_count > 0 ||
-                         (p.exec->idle() && p.weight.holding());
+                         (p.executions_idle() && p.weight.holding());
     const bool stale = now - p.last_activity >= options_.context_ttl;
     if (stale) {
       dead.push_back(qid);
@@ -443,6 +574,22 @@ void SiteServer::check_liveness() {
   for (const auto& [qid, p] : contexts_) {
     if (qid.originator != store_.site()) interest.insert(qid.originator);
   }
+  // A follower is permanently interested in the primaries it replicates:
+  // failover (route_remote serving from the shadow store) triggers on *our
+  // own* suspicion of the primary, and the WAL stream refreshing last_seen
+  // makes that verdict timely — silence on a stream that ticks every
+  // replication_interval is the strongest death signal this site has.
+  if (options_.replication_interval > Duration(0)) {
+    for (const auto& [primary, follower] : options_.replica_assignment) {
+      if (follower == store_.site()) interest.insert(primary);
+    }
+  }
+  // A recorded loud send failure is interest enough: the query that hit it
+  // may already have replied (partial), but the verdict must still land so
+  // the *next* query fails over instead of re-dropping.
+  for (const auto& [peer, pl] : liveness_) {
+    if (pl.send_failed) interest.insert(peer);
+  }
   interest.erase(store_.site());
 
   const Duration probe_after = options_.suspect_after / 3;
@@ -450,6 +597,12 @@ void SiteServer::check_liveness() {
   for (SiteId peer : interest) {
     auto [it, fresh] = liveness_.try_emplace(peer);
     PeerLiveness& pl = it->second;
+    if (pl.send_failed) {
+      // Loud failure: suspect without waiting out the silence window.
+      pl.send_failed = false;
+      if (!pl.suspected) newly_suspect.push_back(peer);
+      continue;
+    }
     if (fresh) {
       // First interest in this peer: give it a full window from now rather
       // than suspecting it for silence predating our interest.
@@ -677,6 +830,284 @@ void SiteServer::suspect_peer(SiteId peer) {
   }
 }
 
+// --- WAL replication (DESIGN.md §18) ---------------------------------------
+
+ReplicaTail* SiteServer::replica_slot(SiteId primary) {
+  auto it = options_.replica_assignment.find(primary);
+  if (it == options_.replica_assignment.end() ||
+      it->second != store_.site() || primary == store_.site()) {
+    return nullptr;
+  }
+  auto [rit, fresh] = replicas_.try_emplace(primary);
+  if (rit->second == nullptr) {
+    rit->second = std::make_unique<ReplicaTail>(primary);
+  }
+  return rit->second.get();
+}
+
+void SiteServer::check_replication() {
+  if (options_.replication_interval <= Duration(0)) return;
+  const auto now = now_tick();
+  if (now - last_replication_ < options_.replication_interval) return;
+  last_replication_ = now;
+
+  // Follower half: (re)subscribe to assigned primaries whose stream has
+  // gone quiet. One path covers the initial subscribe, a lost subscribe, a
+  // primary reboot, and the gap/corruption resyncs apply_segment requests.
+  constexpr auto kNever = std::chrono::steady_clock::time_point{};
+  for (const auto& [primary, follower] : options_.replica_assignment) {
+    if (follower != store_.site() || primary == store_.site()) continue;
+    ReplicaTail* rt = replica_slot(primary);
+    if (rt == nullptr) continue;
+    const bool quiet = rt->last_heard == kNever ||
+                       now - rt->last_heard >= 4 * options_.replication_interval;
+    if (!quiet) continue;
+    if (rt->last_subscribe != kNever &&
+        now - rt->last_subscribe < options_.replication_interval) {
+      continue;  // one announce per tick is plenty
+    }
+    if (peer_suspected(primary)) continue;  // nobody home; revival re-arms
+    send_subscribe(primary, *rt);
+  }
+
+  // Primary half: ship our WAL tail to every subscribed follower. Volatile
+  // sites (no WAL) never ship — there is no redo stream to speak of.
+  if (wal_ == nullptr) return;
+  for (auto& [follower, ship] : followers_) {
+    if (peer_suspected(follower)) continue;
+    ship_to(follower, ship);
+  }
+}
+
+void SiteServer::send_subscribe(SiteId primary, ReplicaTail& rt) {
+  wire::WalSubscribe ws;
+  ws.follower = store_.site();
+  ws.ship_epoch = rt.watermark.ship_epoch;
+  ws.wal_offset = rt.watermark.wal_offset;
+  // Deliberately unsequenced (msg_seq 0, never suppressed): a subscribe is
+  // an idempotent cursor placement, and a seq high-water mark would eat a
+  // rebooted follower's first subscribe — its counter restarts below the
+  // primary's mark, and a follower has no persisted epoch of its own to
+  // scope the mark with (ship_epoch here is the *primary's*).
+  ws.msg_seq = 0;
+  rt.last_subscribe = now_tick();
+  if (endpoint_->send(primary, wire::Message(std::move(ws))).ok()) {
+    metrics().counter("dist.wal_subscribes_sent").inc();
+  }
+}
+
+void SiteServer::handle_wal_subscribe(SiteId src, wire::WalSubscribe ws) {
+  // Subscribes travel unsequenced (see send_subscribe), so this guard never
+  // suppresses anything — it short-circuits on msg_seq 0 without touching
+  // the mark. It exists because the dedup-before-side-effects contract
+  // (tools/hfverify ordering rule) is checked uniformly over every handler
+  // of a sequenced message type, and an exception here would be a standing
+  // invitation to add a sequenced send path without a guard.
+  if (already_seen(wal_stream_seen_, src, ws.ship_epoch, ws.msg_seq)) {
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
+  if (options_.replication_interval <= Duration(0) || wal_ == nullptr ||
+      src == store_.site() || src == kNoSite) {
+    return;  // not a replicating primary (volatile, or the feature is off)
+  }
+  FollowerShip& ship = followers_[src];
+  ship.ship_epoch = ws.ship_epoch;
+  ship.shipped = ws.wal_offset;
+  // A generation mismatch (either side rebooted, or we truncated) — or an
+  // offset past our tail (we truncated *and* re-filled) — means tail replay
+  // from the follower's position is meaningless: snapshot it instead.
+  ship.needs_catchup =
+      ws.ship_epoch != ship_epoch_ || ws.wal_offset > wal_->byte_size();
+  metrics().counter("dist.wal_subscribes").inc();
+}
+
+void SiteServer::ship_to(SiteId follower, FollowerShip& ship) {
+  if (ship.ship_epoch != ship_epoch_) ship.needs_catchup = true;
+  if (ship.needs_catchup) {
+    const std::uint64_t tail = wal_->byte_size();
+    wire::WalCatchup wc;
+    wc.primary = store_.site();
+    wc.ship_epoch = ship_epoch_;
+    wc.wal_offset = tail;
+    wc.snapshot = snapshot_store(store_);
+    wc.msg_seq = next_msg_seq_++;
+    // Fire-and-forget like summary adverts: a lost shipment surfaces as a
+    // quiet stream at the follower, whose re-subscribe re-aims the cursor.
+    if (endpoint_->send(follower, wire::Message(std::move(wc))).ok()) {
+      ship.ship_epoch = ship_epoch_;
+      ship.shipped = tail;
+      ship.needs_catchup = false;
+      metrics().counter("dist.wal_catchups_shipped").inc();
+    }
+    return;
+  }
+  if (ship.shipped >= wal_->byte_size()) return;  // follower is current
+  // hfverify: allow-blocking(wal-ship): bounded file read (one
+  // replication_segment_bytes batch) in the same loop pause that already
+  // absorbs WAL appends; shipping from the file keeps no second copy.
+  auto seg = read_wal_segment(wal_->path(), ship.shipped,
+                              options_.replication_segment_bytes);
+  if (!seg.ok()) {
+    HF_WARN << "site " << store_.site() << ": cannot read WAL segment at "
+            << ship.shipped << ": " << seg.error().message;
+    return;
+  }
+  if (seg.value().records.empty()) {
+    // A torn record at the read offset can never frame a full record again;
+    // resync via snapshot rather than re-reading the tear forever.
+    if (seg.value().torn) ship.needs_catchup = true;
+    return;
+  }
+  wire::WalSegment wg;
+  wg.primary = store_.site();
+  wg.ship_epoch = ship_epoch_;
+  wg.from_offset = ship.shipped;
+  wg.end_offset = seg.value().end_offset;
+  wg.records = std::move(seg.value().records);
+  wg.msg_seq = next_msg_seq_++;
+  const std::uint64_t end = wg.end_offset;
+  const std::uint64_t count = wg.records.size();
+  if (endpoint_->send(follower, wire::Message(std::move(wg))).ok()) {
+    ship.shipped = end;
+    metrics().counter("dist.wal_segments_shipped").inc();
+    metrics().counter("dist.wal_records_shipped").inc(count);
+  }
+}
+
+void SiteServer::handle_wal_segment(SiteId src, wire::WalSegment wg) {
+  // Dedup before any apply: a wire-duplicated segment must not re-run its
+  // records nor advance the watermark twice. Epoch-scoped high-water, like
+  // summary adverts and for the same reboot reason; true positional
+  // arbitration (gaps, reorders across loss) lives in apply_segment.
+  if (already_seen(wal_stream_seen_, src, wg.ship_epoch, wg.msg_seq)) {
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
+  apply_segment(src, wg.ship_epoch, wg.from_offset, wg.end_offset,
+                std::move(wg.records));
+}
+
+void SiteServer::handle_wal_catchup(SiteId src, wire::WalCatchup wc) {
+  // Same stream, same mark as WalSegment: segments and catchups from one
+  // primary interleave on one msg_seq sequence.
+  if (already_seen(wal_stream_seen_, src, wc.ship_epoch, wc.msg_seq)) {
+    metrics().counter("dist.dedup_hits").inc();
+    return;
+  }
+  apply_catchup(src, wc.ship_epoch, wc.wal_offset, std::move(wc.snapshot));
+}
+
+void SiteServer::apply_segment(SiteId primary, std::uint64_t ship_epoch,
+                               std::uint64_t from_offset,
+                               std::uint64_t end_offset,
+                               std::vector<wire::Bytes> records) {
+  ReplicaTail* rt = replica_slot(primary);
+  if (rt == nullptr) return;  // stray shipment: we don't follow this site
+  rt->last_heard = now_tick();
+  // Whatever else happens below, the segment proves the primary's WAL
+  // reaches end_offset — remember the freshest tail we have evidence of,
+  // so covers() honestly reports lag across gaps and epoch rolls.
+  if (ship_epoch > rt->primary_tail.ship_epoch ||
+      (ship_epoch == rt->primary_tail.ship_epoch &&
+       end_offset > rt->primary_tail.wal_offset)) {
+    rt->primary_tail.ship_epoch = ship_epoch;
+    rt->primary_tail.wal_offset = end_offset;
+  }
+  ReplicationWatermark& wm = rt->watermark;
+  if (ship_epoch != wm.ship_epoch || from_offset != wm.wal_offset) {
+    // Positional mismatch. At-or-behind the watermark in the same epoch is
+    // a transport retry of something already applied — drop it. Anything
+    // else (a gap, an unseen epoch) means tail replay cannot proceed:
+    // re-announce our position and let the primary pick tail vs snapshot.
+    if (ship_epoch == wm.ship_epoch && end_offset <= wm.wal_offset) {
+      metrics().counter("dist.replica_duplicate_segments").inc();
+      return;
+    }
+    send_subscribe(primary, *rt);
+    return;
+  }
+  auto applied = apply_segment_records(rt->shadow, records);
+  if (!applied.ok()) {
+    HF_WARN << "site " << store_.site() << ": WAL segment from primary "
+            << primary << " corrupt: " << applied.error().message
+            << "; resyncing via snapshot";
+    // A prefix may have applied; that is safe (the snapshot that answers
+    // the resubscribe supersedes the whole shadow), but the watermark must
+    // not claim the segment. Reset it so nothing positional matches again.
+    rt->watermark = ReplicationWatermark{};
+    send_subscribe(primary, *rt);
+    return;
+  }
+  wm.wal_offset = end_offset;
+  wm.store_version = rt->shadow.version();
+  rt->last_advance = rt->last_heard;
+  metrics().counter("dist.replica_applies").inc(applied.value());
+}
+
+void SiteServer::apply_catchup(SiteId primary, std::uint64_t ship_epoch,
+                               std::uint64_t wal_offset, wire::Bytes snapshot) {
+  ReplicaTail* rt = replica_slot(primary);
+  if (rt == nullptr) return;
+  rt->last_heard = now_tick();
+  ReplicationWatermark& wm = rt->watermark;
+  // Never rewind onto an older snapshot: a reordered catchup from an
+  // earlier generation (or an earlier tail of this one) would roll the
+  // shadow back past records already applied.
+  if (ship_epoch < wm.ship_epoch ||
+      (ship_epoch == wm.ship_epoch && wal_offset <= wm.wal_offset)) {
+    metrics().counter("dist.replica_duplicate_segments").inc();
+    return;
+  }
+  auto restored = restore_store(snapshot);
+  if (!restored.ok()) {
+    HF_WARN << "site " << store_.site() << ": catchup snapshot from primary "
+            << primary << " does not restore: " << restored.error().message;
+    return;  // stay on the old shadow; the resubscribe path will retry
+  }
+  // Move-assign into the existing object: failover executions hold
+  // references to rt->shadow, which must stay address-stable.
+  rt->shadow = std::move(restored).value();
+  wm.ship_epoch = ship_epoch;
+  wm.wal_offset = wal_offset;
+  wm.store_version = rt->shadow.version();
+  if (wm.covers(rt->primary_tail)) rt->primary_tail = wm;
+  rt->last_advance = rt->last_heard;
+  metrics().counter("dist.replica_catchups").inc();
+}
+
+SiteExecution& SiteServer::shadow_execution(const wire::QueryId& qid,
+                                            Participation& p, SiteId primary) {
+  auto it = p.shadow_execs.find(primary);
+  if (it != p.shadow_execs.end()) return *it->second;
+  SiteStore& shadow = replica_slot(primary)->shadow;
+  ExecutionOptions opts;
+  opts.discipline = options_.discipline;
+  opts.is_local = [&shadow](const ObjectId& id) { return shadow.contains(id); };
+  opts.remote_sink = [this, qid](WorkItem&& item) {
+    auto cit = contexts_.find(qid);
+    if (cit == contexts_.end()) return;
+    Participation& ctx = cit->second;
+    if (store_.contains(item.id)) {
+      // A pointer out of the shadow landing on our *own* store: feed the
+      // main execution directly instead of bouncing through the wire.
+      ++ctx.span.items;
+      ctx.exec->add_item(std::move(item));
+      return;
+    }
+    route_remote(qid, ctx, std::move(item));
+  };
+  // Always the serial engine, even when a drain pool exists: failover work
+  // is the degraded path, and one engine shape keeps the shadow store's
+  // event-loop confinement trivially true.
+  auto [nit, inserted] = p.shadow_execs.emplace(
+      primary,
+      std::make_unique<QueryExecution>(p.exec->query(), shadow,
+                                       std::move(opts)));
+  (void)inserted;
+  return *nit->second;
+}
+
 void SiteServer::handle(wire::Envelope env) {
   const SiteId src = env.src;
   // Piggybacked heartbeat: any frame from a peer proves it alive. Seeing a
@@ -686,6 +1117,7 @@ void SiteServer::handle(wire::Envelope env) {
       src != kNoSite) {
     auto [it, fresh] = liveness_.try_emplace(src);
     it->second.last_seen = now_tick();
+    it->second.send_failed = false;  // the frame outranks a stale failure
     if (!fresh && it->second.suspected) {
       it->second.suspected = false;
       metrics().counter("dist.peer_revivals").inc();
@@ -721,6 +1153,12 @@ void SiteServer::handle(wire::Envelope env) {
     handle_location_update(*lu);
   } else if (auto* sm = std::get_if<wire::SummaryMessage>(&env.message)) {
     handle_summary(src, std::move(*sm));
+  } else if (auto* ws = std::get_if<wire::WalSubscribe>(&env.message)) {
+    handle_wal_subscribe(src, std::move(*ws));
+  } else if (auto* wg = std::get_if<wire::WalSegment>(&env.message)) {
+    handle_wal_segment(src, std::move(*wg));
+  } else if (auto* wcu = std::get_if<wire::WalCatchup>(&env.message)) {
+    handle_wal_catchup(src, std::move(*wcu));
   } else if (auto* qd = std::get_if<wire::QueryDone>(&env.message)) {
     handle_done(*qd);
   }
@@ -820,7 +1258,7 @@ void SiteServer::ds_try_settle(const wire::QueryId& qid, Participation& p) {
     maybe_finish(qid, *o);
     return;
   }
-  if (p.ds_engaged && p.ds_deficit == 0 && p.exec->idle()) {
+  if (p.ds_engaged && p.ds_deficit == 0 && p.executions_idle()) {
     const SiteId parent = p.ds_parent;
     p.ds_engaged = false;
     p.ds_parent = kNoSite;
@@ -844,17 +1282,50 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
     dest = *hop;
   }
 
-  // Route around a suspected peer: sending would either fail loudly (true
-  // crash) or silently strand weight (partitioned), so drop the item as a
-  // *known* loss instead — the reply comes back flagged partial instead of
+  // Route around a suspected peer. Failover first (DESIGN.md §18): if the
+  // suspect has a hot standby, its work is served from the replica — from
+  // our own shadow store when we are the follower, else by redirecting the
+  // message to whoever is. Only when no replica can cover the item does it
+  // drop as a *known* loss (reply flagged partial) — still better than
   // waiting out retries against a dead site.
+  SiteId send_to = dest;
   if (peer_suspected(dest)) {
-    if (Origination* o = find_origination(qid)) {
-      ++o->dropped_items;
-    } else {
-      ++p.dropped;
+    if (ReplicaTail* rt = replica_slot(dest); rt != nullptr) {
+      // We are the suspect's follower: execute against the shadow.
+      if (rt->shadow.contains(item.id)) {
+        ++p.span.failovers;
+        metrics().counter("dist.failovers").inc();
+        if (!rt->watermark.covers(rt->primary_tail)) {
+          // The shadow verifiably trails the primary's last known WAL
+          // tail: the answer may miss acknowledged mutations. Flag it —
+          // maybe_finish degrades the reply to partial.
+          ++p.span.replica_lag;
+          metrics().histogram("dist.replica_lag_us")
+              .observe(us_since(rt->last_advance));
+        }
+        shadow_execution(qid, p, dest).add_item(std::move(item));
+        return;
+      }
+      // Not in the shadow (never shipped, or lost to lag): a known loss —
+      // executing a miss here could chase stale hints in circles.
+    } else if (SiteId standby = replica_for(dest);
+               standby != kNoSite && standby != store_.site() &&
+               !peer_suspected(standby)) {
+      // Someone else holds the replica: redirect the deref there. The
+      // oid keeps presuming the dead primary, which is exactly what tells
+      // the standby to serve it from that primary's shadow store.
+      ++p.span.failovers;
+      metrics().counter("dist.failovers").inc();
+      send_to = standby;
     }
-    return;
+    if (send_to == dest) {
+      if (Origination* o = find_origination(qid)) {
+        ++o->dropped_items;
+      } else {
+        ++p.dropped;
+      }
+      return;
+    }
   }
 
   // Fan-out pruning (DESIGN.md §16): skip the message entirely when the
@@ -874,7 +1345,7 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
     entry.oid.presumed_site = dest;
     entry.start = item.start;
     entry.iter_stack = std::move(item.iter_stack);
-    p.pending_batches[dest].push_back(std::move(entry));
+    p.pending_batches[send_to].push_back(std::move(entry));
     return;
   }
 
@@ -890,13 +1361,13 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
   dr.msg_seq = next_msg_seq_++;
   dr.hop = p.current_hop + 1;
   dr.path = p.out_path;
-  if (auto r = send_with_retry(dest, wire::Message(std::move(dr)), &p.span);
+  if (auto r = send_with_retry(send_to, wire::Message(std::move(dr)), &p.span);
       !r.ok()) {
     // Site unreachable even after retries: drop the item but keep its
     // weight, so the query terminates with partial results instead of
     // hanging (paper Section 1: "Partial results are better than none at
     // all") — and record the loss so the reply is flagged partial.
-    HF_DEBUG << "site " << self << ": deref to site " << dest
+    HF_DEBUG << "site " << self << ": deref to site " << send_to
              << " failed (" << r.error().to_string() << "); dropping item";
     repay_weight(qid, p, std::move(w));
     if (Origination* o = find_origination(qid)) {
@@ -908,7 +1379,7 @@ void SiteServer::route_remote(const wire::QueryId& qid, Participation& p,
   }
   ds_on_send(p);
   ++p.span.forwarded;
-  if (Origination* o = find_origination(qid)) o->involved.insert(dest);
+  if (Origination* o = find_origination(qid)) o->involved.insert(send_to);
 }
 
 void SiteServer::flush_batches(const wire::QueryId& qid, Participation& p) {
@@ -1043,6 +1514,33 @@ void SiteServer::drain_and_flush(const wire::QueryId& qid) {
   Participation& p = it->second;
   const auto drain_t0 = now_tick();
   p.exec->drain();
+  if (!p.shadow_execs.empty()) {
+    // Joint fixpoint with the failover executions: draining one can feed
+    // another (shadow pointer landing on our store, our pointer landing on
+    // a suspect's shadow), so loop until every engine is simultaneously
+    // idle. Keys are snapshotted per round — route_remote may grow the map
+    // mid-drain when a chase reaches a second suspected primary.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      std::vector<SiteId> primaries;
+      primaries.reserve(p.shadow_execs.size());
+      for (const auto& [primary, se] : p.shadow_execs) {
+        primaries.push_back(primary);
+      }
+      for (SiteId primary : primaries) {
+        auto sit = p.shadow_execs.find(primary);
+        if (sit != p.shadow_execs.end() && !sit->second->idle()) {
+          sit->second->drain();
+          moved = true;
+        }
+      }
+      if (!p.exec->idle()) {
+        p.exec->drain();
+        moved = true;
+      }
+    }
+  }
   const std::uint64_t drain_us = us_since(drain_t0);
   ++p.span.drains;
   p.span.drain_us += drain_us;
@@ -1052,6 +1550,14 @@ void SiteServer::drain_and_flush(const wire::QueryId& qid) {
   const Query& query = p.exec->query();
   std::vector<ObjectId> ids = p.exec->take_result_ids();
   std::vector<Retrieved> vals = p.exec->take_retrieved();
+  for (auto& [primary, se] : p.shadow_execs) {
+    // Failover results surface through this site's reply stream; the
+    // originator dedups ids, so overlap with the primary's own earlier
+    // answers is harmless.
+    std::vector<ObjectId> sids = se->take_result_ids();
+    ids.insert(ids.end(), sids.begin(), sids.end());
+    for (Retrieved& r : se->take_retrieved()) vals.push_back(std::move(r));
+  }
   p.span.results += ids.size() + vals.size();
 
   // count_only: results stay here, bound under the result set name; only
@@ -1254,7 +1760,7 @@ void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o,
   if (!force) {
     auto cit = contexts_.find(qid);
     if (cit == contexts_.end()) return;
-    if (!cit->second.exec->idle()) return;
+    if (!cit->second.executions_idle()) return;
     const bool quiescent = using_ds() ? cit->second.ds_deficit == 0
                                       : o.term.all_weight_home();
     if (!quiescent) return;
@@ -1274,6 +1780,17 @@ void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o,
     }
   }
 
+  // Merge the originator's own (still-live) span into the trace before the
+  // partial verdict: its replica_lag flag feeds that verdict like every
+  // participant's does.
+  if (auto cit = contexts_.find(qid); cit != contexts_.end()) {
+    merge_into(o.spans[store_.site()], cit->second.span);
+  }
+  bool replica_lagged = false;
+  for (const auto& [site, span] : o.spans) {
+    if (span.replica_lag > 0) replica_lagged = true;
+  }
+
   wire::ClientReply reply;
   reply.client_seq = o.client_seq;
   reply.ok = true;
@@ -1283,19 +1800,18 @@ void SiteServer::maybe_finish(const wire::QueryId& qid, Origination& o,
   reply.total_count = query.count_only() ? o.total_count : o.ids.size();
   // A forced finish means termination never arrived — some site may still
   // hold unreported results, so the answer is partial even when no loss
-  // was positively observed.
-  reply.partial = force || o.dropped_items > 0;
+  // was positively observed. A lagging replica answer (DESIGN.md §18) is
+  // the same epistemic state: nothing provably wrong arrived, but
+  // acknowledged mutations may be missing.
+  reply.partial = force || o.dropped_items > 0 || replica_lagged;
   reply.dropped_items = o.dropped_items;
   if (force) metrics().counter("dist.ttl_force_finish").inc();
   if (reply.partial) metrics().counter("dist.queries_partial").inc();
 
   // Assemble the trace: participant snapshots merged so far, plus the
-  // originator's own (still-live) span, sorted by site for the client.
+  // originator's own span, sorted by site for the client.
   reply.qid = qid;
   reply.elapsed_us = us_since(o.started);
-  if (auto cit = contexts_.find(qid); cit != contexts_.end()) {
-    merge_into(o.spans[store_.site()], cit->second.span);
-  }
   for (const auto& [site, span] : o.spans) reply.spans.push_back(span);
   std::sort(reply.spans.begin(), reply.spans.end(),
             [](const TraceSpan& a, const TraceSpan& b) { return a.site < b.site; });
@@ -1405,7 +1921,10 @@ void SiteServer::discard_context(const wire::QueryId& qid) {
   if (it == contexts_.end()) return;
   // Snapshot before taking stats_mu_: exec->stats() acquires the engine's
   // own stats lock, and stats_mu_ is a leaf (DESIGN.md §10 rule 2).
-  const EngineStats finished = it->second.exec->stats();
+  EngineStats finished = it->second.exec->stats();
+  for (auto& [primary, se] : it->second.shadow_execs) {
+    finished += se->stats();
+  }
   {
     MutexLock lock(stats_mu_);
     total_stats_ += finished;

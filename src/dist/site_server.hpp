@@ -47,9 +47,11 @@
 #include "engine/execution.hpp"
 #include "engine/parallel_execution.hpp"
 #include "index/site_summary.hpp"
+#include "dist/replication.hpp"
 #include "naming/name_registry.hpp"
 #include "net/endpoint.hpp"
 #include "store/site_store.hpp"
+#include "store/versioning.hpp"
 #include "store/wal.hpp"
 #include "term/weighted.hpp"
 
@@ -150,6 +152,23 @@ struct SiteServerOptions {
   /// (epoch, version) and never treat them as liveness evidence for their
   /// origin — only the frame's direct sender proved itself alive.
   bool summary_gossip = true;
+  /// WAL-shipped hot-standby replication (DESIGN.md §18, dist/replication.hpp).
+  /// 0 = disabled. When set, this site ships its WAL tail to its assigned
+  /// follower on this cadence, (re)subscribes to the primaries it follows,
+  /// and — when the failure detector suspects a primary — fails dereference
+  /// work over to that primary's replica instead of dropping it. Requires
+  /// suspect_after > 0 for the failover half, and wal_dir on primaries for
+  /// the shipping half (a volatile site can follow, but has no WAL to ship).
+  Duration replication_interval = Duration(0);
+  /// Per-WalSegment budget of framed WAL bytes (always at least one whole
+  /// record, see read_wal_segment).
+  std::uint64_t replication_segment_bytes = 256 * 1024;
+  /// Deployment-wide replica assignment: primary site -> follower site.
+  /// Every site carries the whole map — routers need it to redirect work at
+  /// a suspect's replica, not just the pairs they are part of. Cluster
+  /// fills it ring-wise (site i -> site i+1) when replication is enabled
+  /// and the map is empty.
+  std::unordered_map<SiteId, SiteId> replica_assignment;
 };
 
 /// Per-sender advert dedup state: the highest (incarnation epoch, msg_seq)
@@ -203,10 +222,46 @@ class SiteServer {
   /// summary). Snapshot refreshed once per loop tick, like context_count().
   HF_ANY_THREAD std::size_t summary_count() const;
 
+  /// Follower-side replication probe (tests/benches, DESIGN.md §18): this
+  /// site's shadow of `primary` — watermark position, the exact-vs-lagged
+  /// verdict a failover would render right now, and a copy of the shadow
+  /// store for differential comparison against the primary. Routed through
+  /// run_exclusive, so safe on a live server. `exists` is false when this
+  /// site holds no shadow for `primary` (not its follower, or no segment
+  /// arrived yet).
+  struct ReplicaProbe {
+    bool exists = false;
+    std::uint64_t ship_epoch = 0;
+    std::uint64_t wal_offset = 0;
+    bool covers_tail = false;
+    SiteStore shadow{kNoSite};
+  };
+  HF_ANY_THREAD HF_BLOCKING ReplicaProbe replica_probe(SiteId primary);
+
+  /// The primary-side mirror (tests/benches): a consistent copy of this
+  /// site's own store, taken inside the event loop.
+  HF_ANY_THREAD HF_BLOCKING SiteStore store_copy();
+
  private:
   struct Participation {
     /// Serial QueryExecution, or ParallelExecution when drain_workers > 0.
     std::unique_ptr<SiteExecution> exec;
+    /// Failover executions over shadow stores (DESIGN.md §18), one per
+    /// suspected primary this site answered for during the query, created
+    /// lazily by shadow_execution(). Always serial: the failover path
+    /// favours correctness over drain parallelism. Declared after `exec`
+    /// (destroyed first) because their remote sinks feed it.
+    std::unordered_map<SiteId, std::unique_ptr<SiteExecution>> shadow_execs;
+    /// Idle test across the main and all shadow executions — termination
+    /// (maybe_finish, D-S settling, TTL sweeps) must not fire while any
+    /// failover drain still holds work.
+    bool executions_idle() const {
+      if (!exec->idle()) return false;
+      for (const auto& [primary, se] : shadow_execs) {
+        if (!se->idle()) return false;
+      }
+      return true;
+    }
     WeightedTerminationParticipant weight;
     /// count_only: ids retained locally instead of shipped.
     std::vector<ObjectId> retained;
@@ -280,6 +335,11 @@ class SiteServer {
     std::chrono::steady_clock::time_point last_seen;
     std::chrono::steady_clock::time_point last_ping;
     bool suspected = false;
+    /// A send to this peer failed loudly even after retries (dead fd,
+    /// closed mailbox). Recorded by send_with_retry; the next
+    /// check_liveness pass converts it into a suspicion without waiting
+    /// out the silence window. Cleared by any received frame.
+    bool send_failed = false;
   };
 
   /// One cached peer summary plus the staleness clock summary_ttl runs
@@ -292,6 +352,11 @@ class SiteServer {
   };
 
   HF_EVENT_LOOP_ONLY void run_loop();
+  /// How long the next recv may block on a wake-capable endpoint: the time
+  /// until the earliest periodic duty (sweep, liveness, summaries,
+  /// checkpoint, replication) falls due, capped at a bounded idle maximum.
+  /// Frame arrival and wake_recv() cut the wait short either way.
+  HF_EVENT_LOOP_ONLY Duration recv_budget() const;
   /// Crash recovery + WAL attach (constructor, when wal_dir is set).
   void recover_durable_state();
   /// Checkpoint on the loop thread (or pre-start): snapshot to a temp file,
@@ -347,6 +412,47 @@ class SiteServer {
   HF_EVENT_LOOP_ONLY bool summary_prunes(SiteId dest, const Query& query,
                                           std::uint32_t start,
                                           const ObjectId& oid);
+
+  // --- WAL replication (replication_interval > 0, DESIGN.md §18) ---
+  /// The assigned follower of `primary`, or kNoSite.
+  SiteId replica_for(SiteId primary) const {
+    auto it = options_.replica_assignment.find(primary);
+    return it == options_.replica_assignment.end() ? kNoSite : it->second;
+  }
+  /// The shadow-store slot for a primary this site follows; created lazily,
+  /// nullptr when the assignment does not name us as `primary`'s follower.
+  HF_EVENT_LOOP_ONLY ReplicaTail* replica_slot(SiteId primary);
+  /// Periodic replication pass (run_loop): re-subscribe to quiet primaries
+  /// we follow, ship WAL tails (or catchup snapshots) to our followers.
+  HF_EVENT_LOOP_ONLY void check_replication();
+  HF_EVENT_LOOP_ONLY void ship_to(SiteId follower, FollowerShip& ship);
+  /// Fire-and-forget WalSubscribe carrying `rt`'s current watermark.
+  HF_EVENT_LOOP_ONLY void send_subscribe(SiteId primary, ReplicaTail& rt);
+  /// Primary side: (re)aim the follower's ship cursor. Idempotent by
+  /// design — subscribes travel unsequenced and may be re-sent freely.
+  HF_EVENT_LOOP_ONLY void handle_wal_subscribe(SiteId src,
+                                                wire::WalSubscribe ws);
+  HF_EVENT_LOOP_ONLY void handle_wal_segment(SiteId src, wire::WalSegment wg);
+  HF_EVENT_LOOP_ONLY void handle_wal_catchup(SiteId src, wire::WalCatchup wc);
+  /// The apply side effects of the two handlers above, factored out (like
+  /// install_summary) so the hfverify ordering rule sees them by name: they
+  /// must never run before the handler's dedup guard. Both take unpacked
+  /// fields, not the message structs, so the rule does not demand a second
+  /// guard inside them.
+  HF_EVENT_LOOP_ONLY void apply_segment(SiteId primary,
+                                        std::uint64_t ship_epoch,
+                                        std::uint64_t from_offset,
+                                        std::uint64_t end_offset,
+                                        std::vector<wire::Bytes> records);
+  HF_EVENT_LOOP_ONLY void apply_catchup(SiteId primary,
+                                        std::uint64_t ship_epoch,
+                                        std::uint64_t wal_offset,
+                                        wire::Bytes snapshot);
+  /// The failover execution serving `primary`'s shadow store for this
+  /// query; created on first use. Requires replicas_.at(primary) to exist.
+  HF_EVENT_LOOP_ONLY SiteExecution& shadow_execution(const wire::QueryId& qid,
+                                                     Participation& p,
+                                                     SiteId primary);
 
   Participation& participation(const wire::QueryId& qid, const Query& query);
   Origination* find_origination(const wire::QueryId& qid);
@@ -485,6 +591,33 @@ class SiteServer {
   /// authority for that whole window.
   std::unordered_map<SiteId, SummaryAdvertHighWater>
       summary_seen_ HF_EVENT_LOOP_ONLY;
+
+  // --- WAL replication (replication_interval > 0, DESIGN.md §18) ---
+  /// Our WAL generation: which checkpoint the byte offsets we ship are
+  /// relative to. Persisted in `<wal_dir>/site_<id>.ship` (same
+  /// write-then-rename discipline as the summary boot epoch) and bumped on
+  /// every boot and every WAL truncation, so a follower can always tell a
+  /// stale tail from a live one. Stays 0 on volatile sites — they have no
+  /// WAL and never ship.
+  std::uint64_t ship_epoch_ = 0;
+  /// Primary side: ship cursor per subscribed follower.
+  std::unordered_map<SiteId, FollowerShip> followers_ HF_EVENT_LOOP_ONLY;
+  /// Follower side: shadow store + watermark per primary we replicate.
+  /// unique_ptr for address stability — failover executions hold references
+  /// to the shadow SiteStore across map rehashes.
+  std::unordered_map<SiteId, std::unique_ptr<ReplicaTail>>
+      replicas_ HF_EVENT_LOOP_ONLY;
+  /// Duplicate suppression for WalSegment/WalCatchup, one stream per
+  /// sending primary. Epoch-scoped high-water like summary_seen_ (and for
+  /// the same reason: a rebooted primary restarts msg_seq at 1, but its
+  /// persisted ship_epoch is strictly higher). The real gap/duplicate
+  /// arbitration is positional — (ship_epoch, from_offset) against the
+  /// watermark, in apply_segment — this mark only suppresses transport
+  /// retries, and exists so the handler ordering contract (dedup before
+  /// side effects, tools/hfverify) holds uniformly.
+  std::unordered_map<SiteId, SummaryAdvertHighWater>
+      wal_stream_seen_ HF_EVENT_LOOP_ONLY;
+  std::chrono::steady_clock::time_point last_replication_;
 
   /// Guards the cross-thread observer snapshots (engine_stats(),
   /// context_count() — callable from any thread while the loop runs).

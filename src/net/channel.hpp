@@ -26,17 +26,31 @@ class Channel {
     return true;
   }
 
-  /// Blocking pop with timeout. nullopt on timeout or when closed and empty.
+  /// Blocking pop with timeout. nullopt on timeout, on interrupt(), or when
+  /// closed and empty.
   HF_BLOCKING std::optional<T> pop_wait(Duration timeout) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     MutexLock lock(mu_);
-    while (items_.empty() && !closed_) {
+    while (items_.empty() && !closed_ && interrupts_ == 0) {
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
     }
+    if (interrupts_ > 0) interrupts_ = 0;  // consumed: one wake per waiter
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Wake one parked pop_wait early (it returns as if it timed out). The
+  /// wake is latched, not edge-triggered: an interrupt landing between two
+  /// pop_wait calls is consumed by the next one instead of being lost —
+  /// exactly the readiness semantics MessageEndpoint::wake_recv() needs.
+  void interrupt() {
+    {
+      MutexLock lock(mu_);
+      ++interrupts_;
+    }
+    cv_.notify_all();
   }
 
   std::optional<T> try_pop() {
@@ -62,6 +76,7 @@ class Channel {
     MutexLock lock(mu_);
     items_.clear();
     closed_ = false;
+    interrupts_ = 0;  // wakes meant for the previous incarnation die with it
   }
 
   bool closed() const {
@@ -79,6 +94,7 @@ class Channel {
   CondVar cv_;
   std::deque<T> items_ HF_GUARDED_BY(mu_);
   bool closed_ HF_GUARDED_BY(mu_) = false;
+  std::uint64_t interrupts_ HF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hyperfile

@@ -28,6 +28,18 @@ class MessageEndpoint {
 
   /// Blocking receive with timeout; nullopt on timeout or shutdown.
   HF_BLOCKING virtual std::optional<wire::Envelope> recv(Duration timeout) = 0;
+
+  /// True when wake_recv() can cut a parked recv() short. Wake-capable
+  /// endpoints let the event loop sleep until real work arrives (recv
+  /// bounded only by its next periodic deadline) instead of spinning a
+  /// short timed poll; SiteServer::run_loop picks its recv budget by this.
+  virtual bool wake_capable() const { return false; }
+
+  /// Interrupt a parked recv() from another thread; it returns early as if
+  /// it timed out. Latched, not edge-triggered: a wake landing between two
+  /// recv() calls is consumed by the next one. Default: no-op (the caller
+  /// must keep a bounded poll — see wake_capable()).
+  HF_ANY_THREAD virtual void wake_recv() {}
 };
 
 struct NetworkStats {

@@ -177,9 +177,10 @@ void EpollNetwork::run_loop() {
     ::close(fd);
   }
   conns_by_fd_.clear();
-  ::close(listen_fd_);
-  ::close(wake_fd_);
-  ::close(epoll_fd_);
+  // The listen/wake/epoll fds are NOT closed here: a concurrent shutdown()
+  // caller may still be inside wake()'s write to the eventfd, and closing
+  // under it would let a reused fd number misdirect that write. shutdown()
+  // closes all three strictly after joining this thread.
 }
 
 void EpollNetwork::drain_pending() {
@@ -601,6 +602,15 @@ void EpollNetwork::shutdown() {
   if (stopping_.exchange(true)) return;
   wake();
   if (loop_thread_.joinable()) loop_thread_.join();
+  // Loop infrastructure closes only after the join: the loop may notice
+  // stopping_ via its epoll timeout while wake()'s write is still in
+  // flight, and close-under-write hands the fd number to whoever opens
+  // next. Also covers start() failing before the thread ever spawned.
+  // (The members stay as-is: clearing them would race wake()'s unlocked
+  // read, and this body runs exactly once — the exchange above gates it.)
+  for (const int fd : {listen_fd_, wake_fd_, epoll_fd_}) {
+    if (fd >= 0) ::close(fd);
+  }
   inbox_.close();
   MutexLock lock(conn_mu_);
   conns_.clear();

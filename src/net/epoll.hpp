@@ -73,6 +73,13 @@ class EpollNetwork final : public SocketTransport {
   HF_ANY_THREAD Result<void> send(SiteId to, wire::Message message) override;
   HF_BLOCKING std::optional<wire::Envelope> recv(Duration timeout) override;
 
+  /// Readiness-driven: inbound frames land in inbox_ from the socket loop,
+  /// so a parked recv() is interruptible and the consumer needs no timed
+  /// poll. (wake_recv interrupts the *inbox* wait — distinct from the
+  /// private wake(), which kicks the socket loop's epoll_wait via eventfd.)
+  bool wake_capable() const override { return true; }
+  HF_ANY_THREAD void wake_recv() override { inbox_.interrupt(); }
+
   void update_peer(SiteId site, TcpPeer peer) override;
 
   void shutdown() override;

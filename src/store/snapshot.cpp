@@ -1,7 +1,12 @@
 #include "store/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <span>
 
 #include "common/hash.hpp"
@@ -109,9 +114,33 @@ Result<void> save_snapshot(const SiteStore& store, const std::string& path) {
     return make_error(Errc::kIo, "cannot open '" + path + "' for writing");
   }
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  // fflush pushes to the OS; fsync pushes to the platter. Without the fsync
+  // a later rename can publish a snapshot whose *bytes* are still only in
+  // the page cache — a power loss then leaves a checkpoint name pointing at
+  // garbage while the WAL it licensed truncating is gone (DESIGN.md §18).
+  const bool flushed = written == bytes.size() && std::fflush(f) == 0 &&
+                       ::fsync(::fileno(f)) == 0;
   std::fclose(f);
-  if (written != bytes.size()) {
+  if (!flushed) {
     return make_error(Errc::kIo, "short write to '" + path + "'");
+  }
+  return {};
+}
+
+Result<void> fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return make_error(Errc::kIo, "cannot open directory '" + dir +
+                                     "': " + std::strerror(errno));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return make_error(Errc::kIo, "fsync of directory '" + dir + "' failed");
   }
   return {};
 }

@@ -21,9 +21,17 @@ wire::Bytes snapshot_store(const SiteStore& store);
 /// Rebuild a store from snapshot bytes.
 Result<SiteStore> restore_store(std::span<const std::uint8_t> data);
 
-/// File convenience wrappers.
+/// File convenience wrappers. save_snapshot fsyncs the file before
+/// returning; callers that then rename it into place must also fsync the
+/// parent directory (fsync_parent_dir) before treating the publish as
+/// durable — in particular before truncating the WAL the snapshot subsumes.
 HF_BLOCKING Result<void> save_snapshot(const SiteStore& store,
                                        const std::string& path);
 HF_BLOCKING Result<SiteStore> load_snapshot(const std::string& path);
+
+/// fsync the directory containing `path`, making a completed rename of
+/// `path` durable (the file's own fsync orders its bytes; the directory's
+/// orders its *name*). The write-temp/fsync/rename/fsync-dir discipline.
+HF_BLOCKING Result<void> fsync_parent_dir(const std::string& path);
 
 }  // namespace hyperfile

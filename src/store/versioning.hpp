@@ -40,4 +40,42 @@ std::size_t prune_versions(SiteStore& store, const ObjectId& id,
                            std::size_t keep,
                            const std::string& version_key = kPreviousVersionKey);
 
+/// How far a replica's shadow store trails its primary (DESIGN.md §18).
+/// A follower advances the watermark as it applies WalSegments; a failover
+/// read consults covers() to decide whether the replica can answer for the
+/// suspected primary *exactly* or must be flagged as lagging.
+struct ReplicationWatermark {
+  /// Primary's checkpoint generation the shadow store was built against
+  /// (bumped every time the primary checkpoints and truncates its WAL).
+  std::uint64_t ship_epoch = 0;
+  /// Byte offset into the primary's WAL (within ship_epoch) applied so far.
+  std::uint64_t wal_offset = 0;
+  /// shadow SiteStore::version() after the last apply — the freshness the
+  /// replica can actually serve.
+  std::uint64_t store_version = 0;
+
+  friend bool operator==(const ReplicationWatermark&,
+                         const ReplicationWatermark&) = default;
+
+  /// True iff this watermark has caught up to `primary_tail`, the primary's
+  /// last known (ship_epoch, wal_offset): nothing acknowledged by the
+  /// primary is missing from the shadow store, so a read served from it is
+  /// exact, not lagging.
+  bool covers(const ReplicationWatermark& primary_tail) const {
+    if (ship_epoch != primary_tail.ship_epoch) {
+      return ship_epoch > primary_tail.ship_epoch;
+    }
+    return wal_offset >= primary_tail.wal_offset;
+  }
+
+  /// Known lag in WAL bytes against `primary_tail`; 0 when covering. An
+  /// epoch mismatch means the tail offsets aren't comparable — report the
+  /// whole tail as lag (the honest upper bound).
+  std::uint64_t lag_bytes(const ReplicationWatermark& primary_tail) const {
+    if (covers(primary_tail)) return 0;
+    if (ship_epoch != primary_tail.ship_epoch) return primary_tail.wal_offset;
+    return primary_tail.wal_offset - wal_offset;
+  }
+};
+
 }  // namespace hyperfile

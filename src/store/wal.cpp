@@ -168,6 +168,78 @@ Result<WalReplay> replay_wal(const std::string& path) {
   return out;
 }
 
+Result<WalSegmentRead> read_wal_segment(const std::string& path,
+                                        std::uint64_t from_offset,
+                                        std::uint64_t max_bytes) {
+  WalSegmentRead out;
+  out.end_offset = from_offset;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return out;  // no log yet — empty, not an error
+    return make_error(Errc::kIo, "cannot open WAL '" + path + "' for reading");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return make_error(Errc::kIo, "cannot seek WAL '" + path + "'");
+  }
+  const auto file_size = static_cast<std::uint64_t>(std::ftell(f));
+  if (from_offset >= file_size) {
+    std::fclose(f);
+    return out;  // caller's cursor is at (or past) the tail: nothing new
+  }
+  if (std::fseek(f, static_cast<long>(from_offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return make_error(Errc::kIo, "cannot seek WAL '" + path + "'");
+  }
+  wire::Bytes bytes;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return make_error(Errc::kIo, "read error on WAL '" + path + "'");
+  }
+
+  // Same frame scan as replay_wal, but collecting raw payloads and bounded
+  // by max_bytes of framed records. Stopping for the size budget is a clean
+  // partial read; stopping at a bad frame is a torn tail.
+  std::size_t pos = 0;
+  std::uint64_t framed = 0;
+  bool clean_stop = false;
+  while (pos < bytes.size()) {
+    wire::Decoder d(std::span<const std::uint8_t>(bytes).subspan(pos));
+    auto len = d.varint();
+    if (!len.ok()) break;
+    const std::size_t header = bytes.size() - pos - d.remaining();
+    if (len.value() > d.remaining() || d.remaining() - len.value() < 8) break;
+    const std::size_t frame_size =
+        header + static_cast<std::size_t>(len.value()) + 8;
+    if (!out.records.empty() && framed + frame_size > max_bytes) {
+      clean_stop = true;  // budget reached on a record boundary
+      break;
+    }
+    const auto payload =
+        std::span<const std::uint8_t>(bytes).subspan(pos + header,
+                                                     len.value());
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored |= static_cast<std::uint64_t>(
+                    bytes[pos + header + len.value() + i])
+                << (8 * i);
+    }
+    if (fnv1a(payload.data(), payload.size()) != stored) break;
+    out.records.emplace_back(payload.begin(), payload.end());
+    pos += frame_size;
+    framed += frame_size;
+  }
+  out.end_offset = from_offset + pos;
+  out.torn = !clean_stop && pos != bytes.size();
+  return out;
+}
+
 WriteAheadLog::WriteAheadLog(std::string path, std::FILE* f,
                              std::uint64_t records, std::uint64_t bytes)
     : path_(std::move(path)), f_(f), record_count_(records),

@@ -76,6 +76,29 @@ struct WalReplay {
 /// a damaged tail ends the scan (WalReplay::torn) rather than failing it.
 Result<WalReplay> replay_wal(const std::string& path);
 
+/// One offset-addressed tail read of a WAL file — the shipping primitive of
+/// WAL replication (DESIGN.md §18). `records` are encoded payloads (framing
+/// stripped, checksums verified), ready to travel as wire::WalSegment
+/// records and be decoded with decode_wal_record at the follower.
+struct WalSegmentRead {
+  std::vector<wire::Bytes> records;
+  /// Byte offset one past the last record returned: the next read's
+  /// `from_offset`, and the follower's watermark after applying.
+  std::uint64_t end_offset = 0;
+  /// True when the scan stopped at a torn/corrupt frame instead of a clean
+  /// record boundary — also the symptom of a `from_offset` that is not a
+  /// record boundary, since a misaligned scan fails its first checksum.
+  bool torn = false;
+};
+
+/// Read whole records from `path` starting at byte `from_offset`, collecting
+/// at most `max_bytes` of framed records per call (always at least one full
+/// record when any is available, so progress never stalls on a large
+/// record). `from_offset` at or past end-of-file yields an empty read.
+Result<WalSegmentRead> read_wal_segment(const std::string& path,
+                                        std::uint64_t from_offset,
+                                        std::uint64_t max_bytes);
+
 class WriteAheadLog {
  public:
   /// Open `path` for appending after a replay_wal() pass: the file is first

@@ -20,6 +20,9 @@ enum class Tag : std::uint8_t {
   kMoveReply = 12,
   kPing = 13,
   kSummary = 14,
+  kWalSubscribe = 15,
+  kWalSegment = 16,
+  kWalCatchup = 17,
 };
 
 void encode_qid(Encoder& e, const QueryId& q) {
@@ -70,6 +73,8 @@ void encode_span(Encoder& e, const TraceSpan& s) {
   e.varint(s.retries);
   e.varint(s.suspicions);
   e.varint(s.pruned);
+  e.varint(s.failovers);
+  e.varint(s.replica_lag);
 }
 
 Result<TraceSpan> decode_span(Decoder& d) {
@@ -115,6 +120,12 @@ Result<TraceSpan> decode_span(Decoder& d) {
   auto pruned = d.varint();
   if (!pruned.ok()) return pruned.error();
   s.pruned = pruned.value();
+  auto failovers = d.varint();
+  if (!failovers.ok()) return failovers.error();
+  s.failovers = failovers.value();
+  auto replica_lag = d.varint();
+  if (!replica_lag.ok()) return replica_lag.error();
+  s.replica_lag = replica_lag.value();
   return s;
 }
 
@@ -228,6 +239,12 @@ const char* message_type_name(const Message& m) {
       return "PingMessage";
     case 13:
       return "SummaryMessage";
+    case 14:
+      return "WalSubscribe";
+    case 15:
+      return "WalSegment";
+    case 16:
+      return "WalCatchup";
   }
   return "?";
 }
@@ -312,6 +329,28 @@ Bytes encode_message(const Message& m) {
     e.varint(sm->records.size());
     for (const auto& r : sm->records) encode_summary_record(e, r);
     e.varint(sm->msg_seq);
+  } else if (const auto* ws = std::get_if<WalSubscribe>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kWalSubscribe));
+    e.varint(ws->follower);
+    e.varint(ws->ship_epoch);
+    e.varint(ws->wal_offset);
+    e.varint(ws->msg_seq);
+  } else if (const auto* wg = std::get_if<WalSegment>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kWalSegment));
+    e.varint(wg->primary);
+    e.varint(wg->ship_epoch);
+    e.varint(wg->from_offset);
+    e.varint(wg->end_offset);
+    e.varint(wg->records.size());
+    for (const auto& rec : wg->records) e.bytes(rec);
+    e.varint(wg->msg_seq);
+  } else if (const auto* wc = std::get_if<WalCatchup>(&m)) {
+    e.u8(static_cast<std::uint8_t>(Tag::kWalCatchup));
+    e.varint(wc->primary);
+    e.varint(wc->ship_epoch);
+    e.varint(wc->wal_offset);
+    e.bytes(wc->snapshot);
+    e.varint(wc->msg_seq);
   } else if (const auto* bd = std::get_if<BatchDerefRequest>(&m)) {
     e.u8(static_cast<std::uint8_t>(Tag::kBatchDeref));
     encode_qid(e, bd->qid);
@@ -658,6 +697,70 @@ Result<Message> decode_message(std::span<const std::uint8_t> data) {
       if (!seq.ok()) return seq.error();
       sm.msg_seq = seq.value();
       return Message(std::move(sm));
+    }
+    case Tag::kWalSubscribe: {
+      WalSubscribe ws;
+      auto follower = d.varint();
+      if (!follower.ok()) return follower.error();
+      ws.follower = static_cast<SiteId>(follower.value());
+      auto epoch = d.varint();
+      if (!epoch.ok()) return epoch.error();
+      ws.ship_epoch = epoch.value();
+      auto offset = d.varint();
+      if (!offset.ok()) return offset.error();
+      ws.wal_offset = offset.value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      ws.msg_seq = seq.value();
+      return Message(ws);
+    }
+    case Tag::kWalSegment: {
+      WalSegment wg;
+      auto primary = d.varint();
+      if (!primary.ok()) return primary.error();
+      wg.primary = static_cast<SiteId>(primary.value());
+      auto epoch = d.varint();
+      if (!epoch.ok()) return epoch.error();
+      wg.ship_epoch = epoch.value();
+      auto from = d.varint();
+      if (!from.ok()) return from.error();
+      wg.from_offset = from.value();
+      auto end = d.varint();
+      if (!end.ok()) return end.error();
+      wg.end_offset = end.value();
+      auto n = d.varint();
+      if (!n.ok()) return n.error();
+      if (n.value() > d.remaining()) {
+        return make_error(Errc::kDecode, "record list length exceeds input");
+      }
+      for (std::uint64_t i = 0; i < n.value(); ++i) {
+        auto rec = d.bytes();
+        if (!rec.ok()) return rec.error();
+        wg.records.push_back(std::move(rec).value());
+      }
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      wg.msg_seq = seq.value();
+      return Message(std::move(wg));
+    }
+    case Tag::kWalCatchup: {
+      WalCatchup wc;
+      auto primary = d.varint();
+      if (!primary.ok()) return primary.error();
+      wc.primary = static_cast<SiteId>(primary.value());
+      auto epoch = d.varint();
+      if (!epoch.ok()) return epoch.error();
+      wc.ship_epoch = epoch.value();
+      auto offset = d.varint();
+      if (!offset.ok()) return offset.error();
+      wc.wal_offset = offset.value();
+      auto snap = d.bytes();
+      if (!snap.ok()) return snap.error();
+      wc.snapshot = std::move(snap).value();
+      auto seq = d.varint();
+      if (!seq.ok()) return seq.error();
+      wc.msg_seq = seq.value();
+      return Message(std::move(wc));
     }
   }
   return make_error(Errc::kDecode,

@@ -260,10 +260,54 @@ struct SummaryMessage {
   std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
 };
 
+/// Follower -> primary: "stream me your WAL, I hold this much already"
+/// (DESIGN.md §18). `ship_epoch` is the primary's checkpoint generation the
+/// follower's shadow store was built against; `wal_offset` is the byte
+/// offset into the primary's WAL (within that generation) up to which the
+/// follower has applied. A primary whose generation moved on (it
+/// checkpointed and truncated) answers with a WalCatchup instead of a tail.
+/// Re-sent on reconnect and whenever a gap is detected, so it must be
+/// idempotent at the primary.
+struct WalSubscribe {
+  SiteId follower = kNoSite;
+  std::uint64_t ship_epoch = 0;
+  std::uint64_t wal_offset = 0;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+};
+
+/// Primary -> follower: a batch of redo records, the WAL byte range
+/// [from_offset, end_offset) of generation `ship_epoch`. `records` are
+/// encode_wal_record payloads (store/wal.hpp), applied in order. Dedup /
+/// gap detection is positional: a follower applies only when `ship_epoch`
+/// matches and `from_offset` equals its watermark; anything else is a
+/// duplicate (ignore) or a gap (resubscribe).
+struct WalSegment {
+  SiteId primary = kNoSite;
+  std::uint64_t ship_epoch = 0;
+  std::uint64_t from_offset = 0;
+  std::uint64_t end_offset = 0;
+  std::vector<Bytes> records;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+};
+
+/// Primary -> follower: full checkpoint snapshot (store/snapshot.hpp byte
+/// form) when the follower is too far behind for tail replay — its
+/// generation predates the primary's last WAL truncation. The follower
+/// rebuilds its shadow store from `snapshot` and resumes tailing at
+/// (ship_epoch, wal_offset).
+struct WalCatchup {
+  SiteId primary = kNoSite;
+  std::uint64_t ship_epoch = 0;
+  std::uint64_t wal_offset = 0;
+  Bytes snapshot;
+  std::uint64_t msg_seq = 0;  // see DerefRequest::msg_seq
+};
+
 using Message = std::variant<DerefRequest, StartQuery, ResultMessage, QueryDone,
                              ClientRequest, ClientReply, BatchDerefRequest,
                              TermAck, MoveCommand, MoveData, LocationUpdate,
-                             MoveReply, PingMessage, SummaryMessage>;
+                             MoveReply, PingMessage, SummaryMessage,
+                             WalSubscribe, WalSegment, WalCatchup>;
 
 /// Transport envelope. src/dst are site ids; the client library occupies a
 /// site id of its own (the paper's client ran "at a separate machine from

@@ -1,0 +1,25 @@
+// Seeded violation: a shipped WAL segment is applied to the shadow store
+// before the duplicate check — a wire-duplicated (retried) segment would
+// replay its redo records, corrupting the replica a failover later serves
+// answers from (DESIGN.md §18).
+// HFVERIFY-RULE: ordering
+// HFVERIFY-EXPECT: calls side effect apply_segment() before the already_seen() dedup check
+
+struct WalSegment {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_wal_segment(int src, WalSegment wg) {
+    apply_segment(src, wg.msg_seq);
+    if (already_seen(src, wg.msg_seq)) {
+      inc();
+      return;
+    }
+  }
+
+  void apply_segment(int primary, std::uint64_t seq);
+  bool already_seen(int src, std::uint64_t seq);
+  void inc();
+};

@@ -1,0 +1,23 @@
+// Clean: the WAL-segment handler consults the duplicate check before
+// applying any shipped redo records, so a wire-duplicated segment cannot
+// replay mutations into the shadow store (DESIGN.md §18).
+// HFVERIFY-RULE: ordering
+
+struct WalSegment {
+  std::uint64_t msg_seq = 0;
+};
+
+class Server {
+ public:
+  void handle_wal_segment(int src, WalSegment wg) {
+    if (already_seen(src, wg.msg_seq)) {
+      inc();
+      return;
+    }
+    apply_segment(src, wg.msg_seq);
+  }
+
+  void apply_segment(int primary, std::uint64_t seq);
+  bool already_seen(int src, std::uint64_t seq);
+  void inc();
+};

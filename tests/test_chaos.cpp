@@ -698,6 +698,155 @@ TEST_P(TcpChaosMatrix, TcpKilledSiteAnswersPartialThenRestartRecoversExact) {
   }
 }
 
+// --- Hot-standby failover under chaos (DESIGN.md §18) -------------------
+
+/// Poll until `follower`'s shadow of `primary` covers the primary's WAL
+/// tail and matches its live store object-for-object.
+void wait_replica_synced(TcpChaosDeployment& d, SiteId primary,
+                         SiteId follower) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    auto probe = d.servers[follower]->replica_probe(primary);
+    if (probe.exists && probe.covers_tail) {
+      SiteStore truth = d.servers[primary]->store_copy();
+      bool equal = truth.size() == probe.shadow.size();
+      truth.for_each([&](const Object& obj) {
+        const Object* other = probe.shadow.get(obj.id());
+        if (other == nullptr || !(*other == obj)) equal = false;
+      });
+      if (equal) return;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "site " << follower << "'s shadow of site " << primary
+        << " never synced";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Replication at test cadence with the ring assignment Cluster would
+/// auto-fill (site i ships to site i+1) and a fast failure detector.
+std::function<void(SiteServerOptions&)> enable_replication(
+    const std::string& wal_dir, SiteId sites = 3) {
+  return [wal_dir, sites](SiteServerOptions& o) {
+    o.wal_dir = wal_dir;
+    o.replication_interval = Duration(5'000);
+    o.suspect_after = Duration(300'000);
+    for (SiteId s = 0; s < sites; ++s) {
+      o.replica_assignment[s] = static_cast<SiteId>((s + 1) % sites);
+    }
+  };
+}
+
+TEST_P(TcpChaosMatrix, PrimaryDeathServesFromReplicaExactOrFlaggedPartial) {
+  // The availability contract (DESIGN.md §18): with a synced hot standby,
+  // killing a primary must degrade answers to exact-or-flagged-partial
+  // (never wrong, never hung), and within the suspicion window the
+  // standby's shadow must take over with *exact, unflagged* answers.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_tcp_failover_wal_" + tag();
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  TcpChaosDeployment d(algo(), backend(), FaultOptions{}, 3,
+                       enable_replication(wal_dir));
+  if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+  Query q = parse_or_die(kClosure);
+
+  auto r0 = d.client->run(q, Duration(30'000'000));
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(sorted(r0.value().ids), d.want);
+  EXPECT_FALSE(r0.value().partial);
+
+  // The kill only has a covering replica once site 2's shadow of site 1
+  // has caught up; killing earlier tests the lag path, not failover.
+  wait_replica_synced(d, /*primary=*/1, /*follower=*/2);
+  const std::uint64_t failovers_before =
+      metrics().counter("dist.failovers").value();
+  d.kill(1);
+
+  // Interim answers (before suspicion converges at every router) may be
+  // flagged partial; check_result asserts each one is a subset with no
+  // duplicates. The loop exits only on the target state: exact and
+  // unflagged, served while the primary is still dead.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(25);
+  for (;;) {
+    auto r = d.client->run(q, Duration(30'000'000));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    auto got = check_result(r.value(), d.want, /*lossless=*/false);
+    if (got == d.want && !r.value().partial) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "failover never produced an exact unflagged answer";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GT(metrics().counter("dist.failovers").value(), failovers_before)
+      << "the exact answer did not come from the failover path";
+}
+
+TEST_P(TcpChaosMatrix, RevivedPrimaryReclaimsRoutingWithoutSplitBrain) {
+  // After a failover, the revived primary replays its own WAL, heals the
+  // suspicion through ping replies, and reclaims routing: queries stop
+  // paying the failover path. The split-brain guard is check_result's
+  // duplicate assertion — a primary and its stale shadow both serving the
+  // same objects would surface as duplicated ids.
+  const std::string wal_dir =
+      ::testing::TempDir() + "/hf_tcp_revive_wal_" + tag();
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  TcpChaosDeployment d(algo(), backend(), FaultOptions{}, 3,
+                       enable_replication(wal_dir));
+  if (!d.ok) GTEST_SKIP() << "no localhost sockets";
+  Query q = parse_or_die(kClosure);
+
+  wait_replica_synced(d, 1, 2);
+  d.kill(1);
+  const auto failover_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(25);
+  for (;;) {
+    auto r = d.client->run(q, Duration(30'000'000));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    auto got = check_result(r.value(), d.want, /*lossless=*/false);
+    if (got == d.want && !r.value().partial) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), failover_deadline)
+        << "failover never produced an exact unflagged answer";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  ASSERT_TRUE(d.restart(1).ok());
+  // Reclaimed routing: an exact, unflagged answer that incremented no
+  // failover counter — the primary itself served its span. Until then
+  // every interim answer must still be exact-or-flagged, never wrong.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(25);
+  for (;;) {
+    const std::uint64_t failovers_before =
+        metrics().counter("dist.failovers").value();
+    auto r = d.client->run(q, Duration(30'000'000));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    auto got = check_result(r.value(), d.want, /*lossless=*/false);
+    if (got == d.want && !r.value().partial &&
+        metrics().counter("dist.failovers").value() == failovers_before) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "revived primary never reclaimed routing";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // And it reclaims *shipping*: a post-revival mutation must flow through
+  // the recovered WAL (new ship generation) into the standby's shadow.
+  ASSERT_TRUE(d.servers[1]
+                  ->run_exclusive([&]() -> Result<void> {
+                    SiteStore& store = d.servers[1]->store();
+                    Object obj(store.allocate());
+                    obj.add(Tuple::string("Name", "post-revival"));
+                    store.put(std::move(obj));
+                    return {};
+                  })
+                  .ok());
+  wait_replica_synced(d, 1, 2);
+}
+
 // --- Summary pruning under chaos (DESIGN.md §16) ------------------------
 
 TEST_P(ChaosAlgos, InProcFaultSchedulesStayExactWithPruning) {

@@ -10,7 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+#include "dist/site_server.hpp"
+#include "net/inproc.hpp"
 #include "store/site_store.hpp"
+#include "store/snapshot.hpp"
 #include "store/wal.hpp"
 
 namespace hyperfile {
@@ -322,6 +326,84 @@ TEST(WalStoreIntegration, RecoverySurvivesATornLastAppend) {
   EXPECT_EQ(recovered.size(), 1u);  // the torn record is lost...
   EXPECT_TRUE(recovered.contains(a));
   EXPECT_FALSE(recovered.contains(b));  // ...but nothing before it is
+}
+
+TEST(CheckpointCrashWindow, CrashBetweenRenameAndTruncateLosesNothing) {
+  // do_checkpoint's publish order is: write tmp snapshot -> rename into
+  // place -> fsync the parent directory -> only then truncate the WAL.
+  // This test injects a crash inside that window: the new checkpoint is
+  // durably installed but the WAL was never truncated, so recovery sees
+  // the checkpoint AND every record it already subsumes. Replaying the
+  // full log over the checkpoint must be a no-op-on-top, never a
+  // corruption or a loss.
+  const std::string dir = ::testing::TempDir() + "/hf_ckpt_crash";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SiteServerOptions options;
+  options.wal_dir = dir;
+  const std::string base = dir + "/site_0";
+
+  InProcNetwork net(2);
+  SiteStore reference(0);
+  {
+    SiteServer server(net.endpoint(0), SiteStore(0), options);
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 5; ++i) ids.push_back(server.store().allocate());
+    for (int i = 0; i < 5; ++i) {
+      server.store().put(sample_object(ids[i], i));
+    }
+    ASSERT_TRUE(server.store().erase(ids[4]));
+    server.store().create_set("S", std::span<const ObjectId>(ids.data(), 2));
+
+    // The crash-window disk state, built by hand: install the checkpoint
+    // exactly as do_checkpoint would (tmp + rename + parent fsync) and
+    // then "crash" — the server dies with the WAL untruncated.
+    ASSERT_TRUE(save_snapshot(server.store(), base + ".ckpt.tmp").ok());
+    ASSERT_EQ(std::rename((base + ".ckpt.tmp").c_str(),
+                          (base + ".ckpt").c_str()),
+              0);
+    ASSERT_TRUE(fsync_parent_dir(base + ".ckpt").ok());
+    ASSERT_GT(server.store().wal()->record_count(), 0u)
+        << "crash window requires an untruncated WAL";
+    reference = server.store();
+    reference.attach_wal(nullptr);
+  }
+
+  // Recovery from the crash window: checkpoint loads, then the full WAL
+  // replays on top of content it already contains.
+  SiteServer revived(net.endpoint(1), SiteStore(0), options);
+  expect_same_store(reference, revived.store());
+  EXPECT_GT(metrics().counter("dist.crash_recoveries").value(), 0u);
+}
+
+TEST(CheckpointCrashWindow, CompletedCheckpointRecoversWithoutWal) {
+  // Control for the test above: the same sequence with the truncate step
+  // completed (a full SiteServer::checkpoint()) recovers from the
+  // checkpoint alone — the WAL is empty and stays empty.
+  const std::string dir = ::testing::TempDir() + "/hf_ckpt_done";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SiteServerOptions options;
+  options.wal_dir = dir;
+
+  InProcNetwork net(2);
+  SiteStore reference(0);
+  {
+    SiteServer server(net.endpoint(0), SiteStore(0), options);
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 5; ++i) ids.push_back(server.store().allocate());
+    for (int i = 0; i < 5; ++i) {
+      server.store().put(sample_object(ids[i], i));
+    }
+    ASSERT_TRUE(server.checkpoint().ok());
+    EXPECT_EQ(server.store().wal()->record_count(), 0u);
+    reference = server.store();
+    reference.attach_wal(nullptr);
+  }
+
+  SiteServer revived(net.endpoint(1), SiteStore(0), options);
+  expect_same_store(reference, revived.store());
+  EXPECT_EQ(revived.store().wal()->record_count(), 0u);
 }
 
 }  // namespace

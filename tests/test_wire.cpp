@@ -191,6 +191,9 @@ TraceSpan wire_test_span() {
   s.drain_us = 12345;
   s.retries = 2;
   s.suspicions = 1;
+  s.pruned = 5;
+  s.failovers = 2;
+  s.replica_lag = 1;
   return s;
 }
 
@@ -335,6 +338,95 @@ TEST(Messages, TruncatedSummaryRejected) {
   auto bytes = encode_message(sm);
   for (std::size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
     EXPECT_FALSE(decode_message(std::span(bytes.data(), cut)).ok());
+  }
+}
+
+TEST(Messages, WalSubscribeRoundTrip) {
+  WalSubscribe ws;
+  ws.follower = 3;
+  ws.ship_epoch = 17;
+  ws.wal_offset = 123456789;
+  ws.msg_seq = 0;  // subscribes ride unsequenced (idempotent, DESIGN.md §18)
+  auto got = decode_message(encode_message(ws));
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  const auto& back = std::get<WalSubscribe>(got.value());
+  EXPECT_EQ(back.follower, ws.follower);
+  EXPECT_EQ(back.ship_epoch, ws.ship_epoch);
+  EXPECT_EQ(back.wal_offset, ws.wal_offset);
+  EXPECT_EQ(back.msg_seq, ws.msg_seq);
+}
+
+TEST(Messages, WalSegmentRoundTripFuzz) {
+  // Segments carry raw redo-record payloads; fuzz the shapes (empty record
+  // list, empty payloads, multi-record batches, offset extremes).
+  Rng rng(0x9A17);
+  for (int trial = 0; trial < 200; ++trial) {
+    WalSegment wg;
+    wg.primary = static_cast<SiteId>(rng.next_below(8));
+    wg.ship_epoch = rng.next_u64() % 1000;
+    wg.from_offset = rng.next_u64();
+    wg.end_offset = wg.from_offset + rng.next_u64() % 100000;
+    const std::size_t nrecords = rng.next_below(6);
+    for (std::size_t r = 0; r < nrecords; ++r) {
+      Bytes payload(rng.next_below(128));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+      wg.records.push_back(std::move(payload));
+    }
+    wg.msg_seq = rng.next_u64() % 100000;
+    auto got = decode_message(encode_message(wg));
+    ASSERT_TRUE(got.ok()) << got.error().to_string();
+    const auto& back = std::get<WalSegment>(got.value());
+    EXPECT_EQ(back.primary, wg.primary);
+    EXPECT_EQ(back.ship_epoch, wg.ship_epoch);
+    EXPECT_EQ(back.from_offset, wg.from_offset);
+    EXPECT_EQ(back.end_offset, wg.end_offset);
+    EXPECT_EQ(back.records, wg.records);
+    EXPECT_EQ(back.msg_seq, wg.msg_seq);
+  }
+}
+
+TEST(Messages, WalCatchupRoundTrip) {
+  WalCatchup wc;
+  wc.primary = 5;
+  wc.ship_epoch = 3;
+  wc.wal_offset = 0;
+  wc.snapshot = {0x01, 0x00, 0xff, 0x7e, 0x00, 0x42};
+  wc.msg_seq = 77;
+  auto got = decode_message(encode_message(wc));
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  const auto& back = std::get<WalCatchup>(got.value());
+  EXPECT_EQ(back.primary, wc.primary);
+  EXPECT_EQ(back.ship_epoch, wc.ship_epoch);
+  EXPECT_EQ(back.wal_offset, wc.wal_offset);
+  EXPECT_EQ(back.snapshot, wc.snapshot);
+  EXPECT_EQ(back.msg_seq, wc.msg_seq);
+}
+
+TEST(Messages, TruncatedReplicationMessagesRejected) {
+  // Every strict prefix of each replication message must fail cleanly:
+  // a torn frame must never decode into a shorter-but-valid segment.
+  WalSegment wg;
+  wg.primary = 2;
+  wg.ship_epoch = 4;
+  wg.from_offset = 1000;
+  wg.end_offset = 1064;
+  wg.records = {{0xde, 0xad}, {}, {0xbe, 0xef, 0x00}};
+  wg.msg_seq = 31;
+  WalCatchup wc;
+  wc.primary = 2;
+  wc.ship_epoch = 5;
+  wc.wal_offset = 64;
+  wc.snapshot = {0x10, 0x20, 0x30};
+  wc.msg_seq = 32;
+  WalSubscribe ws;
+  ws.follower = 1;
+  ws.ship_epoch = 4;
+  ws.wal_offset = 1000;
+  for (const Message m : {Message(wg), Message(wc), Message(ws)}) {
+    auto bytes = encode_message(m);
+    for (std::size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+      EXPECT_FALSE(decode_message(std::span(bytes.data(), cut)).ok());
+    }
   }
 }
 

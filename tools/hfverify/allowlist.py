@@ -103,6 +103,10 @@ SIDE_EFFECT_CALLS = {
     # store mutations
     "create_set", "put", "erase", "take", "bind_set", "merge_into",
     "apply_wal_record",
+    # WAL replication (DESIGN.md §18): applying a shipped segment or catchup
+    # snapshot before the dedup guard would replay redo records (or rewind
+    # the shadow store) on duplicated frames
+    "apply_segment", "apply_catchup", "apply_segment_records",
 }
 
 # Calls that are allowed inside the dedup guard's early-return block

@@ -49,11 +49,17 @@ def print_trace(trace, out=sys.stdout):
             line += f"  suspicions {s['suspicions']}"
         if s.get("pruned", 0):
             line += f"  pruned {s['pruned']}"
+        if s.get("failovers", 0):
+            line += f"  failovers {s['failovers']}"
+        if s.get("replica_lag", 0):
+            line += f"  replica_lag {s['replica_lag']}"
         out.write(line + "\n")
     total_dup = sum(s.get("duplicates", 0) for s in spans)
     total_retry = sum(s.get("retries", 0) for s in spans)
     total_suspect = sum(s.get("suspicions", 0) for s in spans)
     total_pruned = sum(s.get("pruned", 0) for s in spans)
+    total_failover = sum(s.get("failovers", 0) for s in spans)
+    total_lag = sum(s.get("replica_lag", 0) for s in spans)
     if total_dup or total_retry or total_suspect:
         out.write(f"  network friction: {total_dup} duplicate deliveries "
                   f"suppressed, {total_retry} send retries")
@@ -65,6 +71,17 @@ def print_trace(trace, out=sys.stdout):
         out.write(f"  fan-out pruning: {total_pruned} remote deref(s) "
                   f"skipped via peer summaries (exactness preserved — a "
                   f"summary only refutes, never guesses)\n")
+    if total_failover:
+        out.write(f"  failover: {total_failover} item(s) served from a hot "
+                  f"standby's shadow store (DESIGN.md §18)")
+        if total_lag:
+            out.write(f"; {total_lag} of them from a shadow verifiably "
+                      f"behind its primary's WAL tail — the reply was "
+                      f"flagged partial")
+        else:
+            out.write(" with the replication watermark covering the "
+                      "primary's known WAL tail (answer exact)")
+        out.write("\n")
 
 
 def main(argv):
